@@ -1,0 +1,117 @@
+//! Average Rate (AVR), Yao, Demers & Shenker's second online algorithm.
+//!
+//! Every job is processed at its own density `w_j / (d_j − r_j)`, spread
+//! uniformly over its availability window; the machine's speed at any time
+//! is the sum of the densities of the jobs available at that time.  AVR is
+//! `(2α)^α / 2`-competitive and serves as an easy-to-predict baseline in the
+//! classical (mandatory completion) experiments.
+
+use pss_intervals::IntervalPartition;
+use pss_types::{Instance, JobId, OnlineScheduler, Schedule, ScheduleError, Scheduler, Segment};
+
+/// The Average Rate scheduler (single machine).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AvrScheduler;
+
+impl Scheduler for AvrScheduler {
+    fn name(&self) -> String {
+        "AVR".into()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        if instance.machines != 1 {
+            return Err(ScheduleError::Internal(
+                "AVR is a single-machine algorithm".into(),
+            ));
+        }
+        let mut schedule = Schedule::empty(1);
+        let partition = IntervalPartition::from_jobs(&instance.jobs);
+
+        for iv in partition.intervals() {
+            // Jobs available throughout this atomic interval.
+            let active: Vec<(JobId, f64)> = instance
+                .jobs
+                .iter()
+                .filter(|j| partition.job_covers(j, iv.index))
+                .map(|j| (j.id, j.density()))
+                .collect();
+            let total_speed: f64 = active.iter().map(|(_, d)| d).sum();
+            if total_speed <= 0.0 {
+                continue;
+            }
+            // Run at the summed density; each job receives a share of the
+            // interval proportional to its own density, which processes
+            // exactly `density · length` of its work.
+            let mut t = iv.start;
+            for (job, density) in &active {
+                let duration = iv.length() * density / total_speed;
+                if duration <= 0.0 {
+                    continue;
+                }
+                schedule.push(Segment::work(0, t, t + duration, total_speed, *job));
+                t += duration;
+            }
+        }
+        Ok(schedule)
+    }
+}
+
+impl OnlineScheduler for AvrScheduler {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_offline::YdsScheduler;
+    use pss_types::validate_schedule;
+
+    fn instance() -> Instance {
+        Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 4.0, 2.0, 1.0),
+                (1.0, 3.0, 1.0, 1.0),
+                (2.0, 5.0, 1.5, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn avr_finishes_every_job() {
+        let inst = instance();
+        let s = AvrScheduler.schedule(&inst).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(report.rejected.is_empty(), "rejected {:?}", report.rejected);
+    }
+
+    #[test]
+    fn avr_single_job_matches_optimum() {
+        let inst = Instance::from_tuples(1, 3.0, vec![(0.0, 2.0, 1.0, 1.0)]).unwrap();
+        let s = AvrScheduler.schedule(&inst).unwrap();
+        assert!((s.cost(&inst).energy - 2.0 * 0.5f64.powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avr_uses_at_least_as_much_energy_as_yds() {
+        let inst = instance();
+        let avr = AvrScheduler.schedule(&inst).unwrap().cost(&inst).energy;
+        let yds = YdsScheduler.schedule(&inst).unwrap().cost(&inst).energy;
+        assert!(avr >= yds - 1e-9, "AVR {avr} below optimal {yds}");
+    }
+
+    #[test]
+    fn avr_speed_is_sum_of_densities() {
+        let inst = instance();
+        let s = AvrScheduler.schedule(&inst).unwrap();
+        // At t = 2.5 all three jobs are active: densities 0.5, 0.5, 0.5.
+        let expected: f64 = inst.jobs.iter().filter(|j| j.available_at(2.5)).map(|j| j.density()).sum();
+        assert!((s.total_speed_at(2.5) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avr_rejects_multi_machine_instances() {
+        let inst = Instance::from_tuples(2, 2.0, vec![(0.0, 1.0, 1.0, 1.0)]).unwrap();
+        assert!(AvrScheduler.schedule(&inst).is_err());
+    }
+}

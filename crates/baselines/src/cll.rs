@@ -1,0 +1,150 @@
+//! The Chan–Lam–Li (CLL) profitable scheduler for a single machine.
+//!
+//! CLL extends Optimal Available with a rejection rule evaluated once, when
+//! a job arrives: compute the OA plan *including* the new job and reject the
+//! job if the speed OA plans to run it at exceeds the threshold
+//! `(α^{α-2} · v_j / w_j)^{1/(α-1)}` — equivalently, if the energy the plan
+//! would invest in the job exceeds `α^{α-2} · v_j`.  Admitted jobs are then
+//! always finished.  Chan, Lam & Li prove this is `(α^α + 2e^α)`-competitive
+//! for the cost = energy + lost value objective; the paper's PD algorithm
+//! improves the bound to `α^α`.
+
+use pss_offline::yds::yds_schedule;
+use pss_power::AlphaPower;
+use pss_types::{
+    Instance, Job, JobId, OnlineScheduler, Schedule, ScheduleError, Scheduler,
+};
+
+use crate::oa::OaPlanner;
+use crate::replan::{run_replanning, AdmissionPolicy, PendingJob};
+
+/// The Chan–Lam–Li admission rule: reject a job if OA would plan it at a
+/// speed above the value/workload threshold.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CllAdmission;
+
+impl AdmissionPolicy for CllAdmission {
+    fn admit(
+        &self,
+        instance: &Instance,
+        now: f64,
+        job: &Job,
+        pending: &[PendingJob],
+    ) -> Result<bool, ScheduleError> {
+        let power = AlphaPower::new(instance.alpha);
+        // Plan the remaining work of the admitted jobs plus the new one.
+        let mut jobs: Vec<Job> = pending
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.as_job_at(now, i))
+            .collect();
+        let new_dense = jobs.len();
+        jobs.push(Job::new(new_dense, job.release.max(now), job.deadline, job.work, job.value));
+        let plan = yds_schedule(&jobs, instance.alpha)?.schedule;
+        let planned_speed = plan
+            .segments
+            .iter()
+            .filter(|s| s.job == Some(JobId(new_dense)))
+            .map(|s| s.speed)
+            .fold(0.0_f64, f64::max);
+        let threshold = power.rejection_speed_threshold(job.value, job.work);
+        Ok(planned_speed <= threshold * (1.0 + 1e-9))
+    }
+}
+
+/// The Chan–Lam–Li scheduler: OA with the value-based rejection rule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CllScheduler;
+
+impl Scheduler for CllScheduler {
+    fn name(&self) -> String {
+        "CLL".into()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        if instance.machines != 1 {
+            return Err(ScheduleError::Internal(
+                "CLL is a single-machine algorithm; the paper's PD handles m > 1".into(),
+            ));
+        }
+        run_replanning(instance, &OaPlanner { speed_factor: 1.0 }, &CllAdmission)
+    }
+}
+
+impl OnlineScheduler for CllScheduler {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_types::validate_schedule;
+
+    #[test]
+    fn high_value_jobs_are_all_finished() {
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 4.0, 1.0, 100.0),
+                (1.0, 3.0, 1.0, 100.0),
+                (2.0, 6.0, 2.0, 100.0),
+            ],
+        )
+        .unwrap();
+        let s = CllScheduler.schedule(&inst).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+    }
+
+    #[test]
+    fn worthless_expensive_job_is_rejected() {
+        // Needs speed 10 over a unit window (energy 100 at alpha 2) but is
+        // worth almost nothing.
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![(0.0, 1.0, 10.0, 0.001)],
+        )
+        .unwrap();
+        let s = CllScheduler.schedule(&inst).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert_eq!(report.rejected, vec![JobId(0)]);
+        assert!((s.cost(&inst).total() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_case_alpha2_admits_exactly_when_value_covers_energy() {
+        // With alpha = 2 the factor alpha^{alpha-2} is 1: a lone job is
+        // admitted iff its planned energy w·s is at most its value.
+        // Job over [0,1) with work 2 plans at speed 2, energy 4.
+        let admit = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 2.0, 4.1)]).unwrap();
+        let reject = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 2.0, 3.9)]).unwrap();
+        let sa = CllScheduler.schedule(&admit).unwrap();
+        let sr = CllScheduler.schedule(&reject).unwrap();
+        assert!(validate_schedule(&admit, &sa).unwrap().rejected.is_empty());
+        assert_eq!(validate_schedule(&reject, &sr).unwrap().rejected, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn rejection_is_permanent_even_if_load_later_drops() {
+        // A burst makes job 1 expensive at its arrival; even though the
+        // burst jobs finish quickly, job 1 stays rejected.
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 1.0, 3.0, 1000.0), // burst job forcing high speed
+                (0.0, 1.2, 1.0, 0.5),    // cheap job arriving during the burst
+            ],
+        )
+        .unwrap();
+        let s = CllScheduler.schedule(&inst).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(report.rejected.contains(&JobId(1)));
+    }
+
+    #[test]
+    fn cll_requires_single_machine() {
+        let inst = Instance::from_tuples(2, 2.0, vec![(0.0, 1.0, 1.0, 1.0)]).unwrap();
+        assert!(CllScheduler.schedule(&inst).is_err());
+    }
+}

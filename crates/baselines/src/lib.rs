@@ -1,0 +1,40 @@
+//! # pss-baselines
+//!
+//! The online baseline algorithms the paper compares against or builds on:
+//!
+//! * [`oa::OaScheduler`] — **Optimal Available** (Yao, Demers & Shenker):
+//!   at every arrival, recompute the optimal (YDS) schedule for the
+//!   remaining work and follow it until the next arrival.  Exactly
+//!   `α^α`-competitive for mandatory completion.
+//! * [`oa::QoaScheduler`] — **qOA** (Bansal et al.): follow the OA plan but
+//!   at `q` times its speed (default `q = 2 − 1/α`), finishing work early.
+//! * [`oa::MultiOaScheduler`] — the multiprocessor extension of OA (Albers,
+//!   Antoniadis & Greiner): replan with the multiprocessor offline optimum
+//!   (coordinate descent on the convex program) at every arrival.
+//! * [`avr::AvrScheduler`] — **Average Rate**: every job is processed at its
+//!   own density; the machine speed is the sum of densities of the active
+//!   jobs.
+//! * [`bkp::BkpScheduler`] — the **BKP** algorithm (Bansal, Kimbrel &
+//!   Pruhs), evaluated on a configurable time grid.
+//! * [`cll::CllScheduler`] — the **Chan–Lam–Li** profitable scheduler for a
+//!   single machine: OA plus the rejection rule "reject a job if its planned
+//!   speed exceeds `(α^{α-2}·v/w)^{1/(α-1)}`", `(α^α + 2e^α)`-competitive.
+//!   This is the algorithm the paper's PD improves upon.
+//!
+//! All of them are driven by the replanning executor in [`replan`], which
+//! enforces the online information model: plans may only depend on jobs
+//! released so far and on the remaining (unprocessed) work.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod avr;
+pub mod bkp;
+pub mod cll;
+pub mod oa;
+pub mod replan;
+
+pub use avr::AvrScheduler;
+pub use bkp::BkpScheduler;
+pub use cll::CllScheduler;
+pub use oa::{MultiOaScheduler, OaScheduler, QoaScheduler};

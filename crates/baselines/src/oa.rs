@@ -1,0 +1,285 @@
+//! Optimal Available (OA), its speed-scaled variant qOA, and the
+//! multiprocessor OA extension.
+
+use pss_convex::{solve_min_energy_with, ProgramContext, SolverOptions};
+use pss_offline::yds::yds_schedule;
+use pss_types::{Instance, Job, OnlineScheduler, Schedule, ScheduleError, Scheduler};
+
+use crate::replan::{run_replanning, AdmitAll, PendingJob, Planner};
+
+/// The YDS-replanning planner: the plan at time `t` is the energy-optimal
+/// schedule of the remaining work, which is precisely OA's definition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OaPlanner {
+    /// Factor by which every planned speed is multiplied (1.0 for OA,
+    /// `2 − 1/α` for the usual qOA parameterisation).
+    pub speed_factor: f64,
+}
+
+impl OaPlanner {
+    /// Planner with a given speed factor (must be ≥ 1 so deadlines are met).
+    pub fn with_factor(speed_factor: f64) -> Self {
+        assert!(speed_factor >= 1.0, "speed factor must be >= 1");
+        Self { speed_factor }
+    }
+}
+
+impl Planner for OaPlanner {
+    fn name(&self) -> String {
+        if self.speed_factor == 1.0 || self.speed_factor == 0.0 {
+            "OA".into()
+        } else {
+            format!("qOA(q={:.3})", self.speed_factor)
+        }
+    }
+
+    fn plan(
+        &self,
+        instance: &Instance,
+        now: f64,
+        pending: &[PendingJob],
+    ) -> Result<Schedule, ScheduleError> {
+        let jobs: Vec<Job> = pending
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.as_job_at(now, i))
+            .collect();
+        let mut plan = yds_schedule(&jobs, instance.alpha)?.schedule;
+        let factor = if self.speed_factor > 0.0 {
+            self.speed_factor
+        } else {
+            1.0
+        };
+        if factor != 1.0 {
+            for seg in &mut plan.segments {
+                seg.speed *= factor;
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// **Optimal Available** for a single machine (Yao, Demers & Shenker):
+/// replan with YDS on the remaining work at every arrival.  `α^α`-competitive
+/// for instances where every job must be finished.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OaScheduler;
+
+impl Scheduler for OaScheduler {
+    fn name(&self) -> String {
+        "OA".into()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        if instance.machines != 1 {
+            return Err(ScheduleError::Internal(
+                "OA is a single-machine algorithm; use MultiOaScheduler for m > 1".into(),
+            ));
+        }
+        run_replanning(instance, &OaPlanner { speed_factor: 1.0 }, &AdmitAll)
+    }
+}
+
+impl OnlineScheduler for OaScheduler {}
+
+/// **qOA** (Bansal, Chan, Pruhs & Katz): follow OA's plan at `q` times its
+/// speed.  The default `q = 2 − 1/α` is the parameterisation analysed in the
+/// literature; any `q ≥ 1` is accepted.
+#[derive(Debug, Clone, Copy)]
+pub struct QoaScheduler {
+    /// The speed multiplier `q ≥ 1`; `None` selects `2 − 1/α`.
+    pub q: Option<f64>,
+}
+
+impl Default for QoaScheduler {
+    fn default() -> Self {
+        Self { q: None }
+    }
+}
+
+impl Scheduler for QoaScheduler {
+    fn name(&self) -> String {
+        "qOA".into()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        if instance.machines != 1 {
+            return Err(ScheduleError::Internal(
+                "qOA is a single-machine algorithm".into(),
+            ));
+        }
+        let q = self.q.unwrap_or(2.0 - 1.0 / instance.alpha).max(1.0);
+        run_replanning(instance, &OaPlanner::with_factor(q), &AdmitAll)
+    }
+}
+
+impl OnlineScheduler for QoaScheduler {}
+
+/// Planner replanning with the *multiprocessor* offline optimum (coordinate
+/// descent on the convex program, realised by Chen et al.'s algorithm).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiOaPlanner {
+    /// Convex solver options used for every replanning step.
+    pub options: SolverOptions,
+}
+
+impl Planner for MultiOaPlanner {
+    fn name(&self) -> String {
+        "OA(m)".into()
+    }
+
+    fn plan(
+        &self,
+        instance: &Instance,
+        now: f64,
+        pending: &[PendingJob],
+    ) -> Result<Schedule, ScheduleError> {
+        if pending.is_empty() {
+            return Ok(Schedule::empty(instance.machines));
+        }
+        let jobs: Vec<Job> = pending
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.as_job_at(now, i))
+            .collect();
+        let sub = Instance::from_jobs(instance.machines, instance.alpha, jobs)
+            .map_err(|e| ScheduleError::Internal(e.to_string()))?;
+        let ctx = ProgramContext::new(&sub);
+        let sol = solve_min_energy_with(&ctx, &self.options);
+        Ok(ctx.realize_schedule(&sol.assignment))
+    }
+}
+
+/// The multiprocessor extension of OA (in the spirit of Albers, Antoniadis &
+/// Greiner): at every arrival, recompute the optimal schedule of the
+/// remaining work on all `m` machines and follow it.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiOaScheduler {
+    /// Convex solver options used for every replanning step.
+    pub options: SolverOptions,
+}
+
+impl Default for MultiOaScheduler {
+    fn default() -> Self {
+        Self {
+            options: SolverOptions::default(),
+        }
+    }
+}
+
+impl Scheduler for MultiOaScheduler {
+    fn name(&self) -> String {
+        "OA(m)".into()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        run_replanning(
+            instance,
+            &MultiOaPlanner {
+                options: self.options,
+            },
+            &AdmitAll,
+        )
+    }
+}
+
+impl OnlineScheduler for MultiOaScheduler {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_offline::YdsScheduler;
+    use pss_power::AlphaPower;
+    use pss_types::validate_schedule;
+
+    fn instance(alpha: f64) -> Instance {
+        Instance::from_tuples(
+            1,
+            alpha,
+            vec![
+                (0.0, 4.0, 1.0, 1.0),
+                (1.0, 3.0, 1.5, 1.0),
+                (2.0, 6.0, 2.0, 1.0),
+                (2.5, 5.0, 0.5, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn oa_finishes_every_job() {
+        let inst = instance(3.0);
+        let s = OaScheduler.schedule(&inst).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+    }
+
+    #[test]
+    fn oa_cost_is_within_alpha_alpha_of_yds() {
+        for alpha in [1.5, 2.0, 3.0] {
+            let inst = instance(alpha);
+            let oa = OaScheduler.schedule(&inst).unwrap().cost(&inst).energy;
+            let opt = YdsScheduler.schedule(&inst).unwrap().cost(&inst).energy;
+            let bound = AlphaPower::new(alpha).competitive_ratio_pd();
+            assert!(oa >= opt - 1e-9, "OA beats OPT?! {oa} < {opt}");
+            assert!(
+                oa <= bound * opt + 1e-9,
+                "alpha={alpha}: OA {oa} exceeds {bound}·OPT ({opt})"
+            );
+        }
+    }
+
+    #[test]
+    fn oa_on_single_job_matches_optimum() {
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 2.0, 2.0, 1.0)]).unwrap();
+        let s = OaScheduler.schedule(&inst).unwrap();
+        assert!((s.cost(&inst).energy - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oa_requires_single_machine() {
+        let inst = Instance::from_tuples(2, 2.0, vec![(0.0, 1.0, 1.0, 1.0)]).unwrap();
+        assert!(OaScheduler.schedule(&inst).is_err());
+        assert!(QoaScheduler::default().schedule(&inst).is_err());
+    }
+
+    #[test]
+    fn qoa_finishes_every_job_and_uses_no_less_energy_than_opt() {
+        let inst = instance(2.0);
+        let s = QoaScheduler::default().schedule(&inst).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(report.rejected.is_empty());
+        let opt = YdsScheduler.schedule(&inst).unwrap().cost(&inst).energy;
+        assert!(s.cost(&inst).energy >= opt - 1e-9);
+    }
+
+    #[test]
+    fn multi_oa_finishes_every_job_on_two_machines() {
+        let inst = Instance::from_tuples(
+            2,
+            2.5,
+            vec![
+                (0.0, 3.0, 1.0, 1.0),
+                (0.5, 2.5, 1.5, 1.0),
+                (1.0, 4.0, 2.0, 1.0),
+                (1.5, 3.5, 0.8, 1.0),
+            ],
+        )
+        .unwrap();
+        let s = MultiOaScheduler::default().schedule(&inst).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+    }
+
+    #[test]
+    fn multi_oa_matches_oa_on_one_machine() {
+        let inst = instance(2.0);
+        let a = OaScheduler.schedule(&inst).unwrap().cost(&inst).energy;
+        let b = MultiOaScheduler::default()
+            .schedule(&inst)
+            .unwrap()
+            .cost(&inst)
+            .energy;
+        assert!((a - b).abs() < 1e-3 * a.max(1.0), "OA {a} vs OA(m) {b}");
+    }
+}

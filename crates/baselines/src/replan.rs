@@ -1,0 +1,325 @@
+//! The replanning executor shared by the online baseline algorithms.
+//!
+//! All the plan-revision style algorithms (OA, qOA, multiprocessor OA, CLL)
+//! follow the same loop: whenever a job arrives, decide whether to admit it,
+//! recompute a plan for the *remaining* work of all admitted jobs, and
+//! follow that plan until the next arrival.  The executor implements this
+//! loop once, enforcing the online information model:
+//!
+//! * the planner only ever sees jobs that have already been released,
+//! * it only sees the work that has not been processed yet,
+//! * already executed segments are never revised.
+
+use pss_types::{num, Instance, Job, JobId, Schedule, ScheduleError, Segment};
+
+/// A released, admitted and not yet finished job as seen by a planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingJob {
+    /// The job's id in the original instance.
+    pub id: JobId,
+    /// Original release time.
+    pub release: f64,
+    /// Deadline.
+    pub deadline: f64,
+    /// Original workload.
+    pub work: f64,
+    /// Workload still to be processed.
+    pub remaining: f64,
+    /// Value.
+    pub value: f64,
+}
+
+impl PendingJob {
+    /// Creates the pending view of a freshly released job.
+    pub fn new(job: &Job) -> Self {
+        Self {
+            id: job.id,
+            release: job.release,
+            deadline: job.deadline,
+            work: job.work,
+            remaining: job.work,
+            value: job.value,
+        }
+    }
+
+    /// The job as a [`Job`] with its remaining work and release clamped to
+    /// `now` — the shape planners expect.
+    pub fn as_job_at(&self, now: f64, dense_id: usize) -> Job {
+        Job::new(
+            dense_id,
+            self.release.max(now),
+            self.deadline,
+            self.remaining,
+            self.value,
+        )
+    }
+}
+
+/// A planning rule: given the current time and the pending jobs, produce a
+/// schedule for the future (over the instance's machines).  Segment job ids
+/// must refer to positions in the `pending` slice (dense ids `0..len`); the
+/// executor maps them back to original ids.
+pub trait Planner {
+    /// Human-readable name of the planning rule.
+    fn name(&self) -> String;
+
+    /// Plans the remaining work of `pending` starting at time `now`.
+    fn plan(
+        &self,
+        instance: &Instance,
+        now: f64,
+        pending: &[PendingJob],
+    ) -> Result<Schedule, ScheduleError>;
+}
+
+/// An admission rule consulted once per job, at its release time, before the
+/// job is added to the pending set.  Returning `false` rejects the job
+/// permanently (its value is lost).
+pub trait AdmissionPolicy {
+    /// Decides whether to admit `job` at time `now` given the other pending
+    /// jobs.
+    fn admit(
+        &self,
+        instance: &Instance,
+        now: f64,
+        job: &Job,
+        pending: &[PendingJob],
+    ) -> Result<bool, ScheduleError>;
+}
+
+/// Admits every job (the mandatory-completion baselines).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+impl AdmissionPolicy for AdmitAll {
+    fn admit(
+        &self,
+        _instance: &Instance,
+        _now: f64,
+        _job: &Job,
+        _pending: &[PendingJob],
+    ) -> Result<bool, ScheduleError> {
+        Ok(true)
+    }
+}
+
+/// Runs the replanning loop and returns the executed schedule.
+pub fn run_replanning<P: Planner, A: AdmissionPolicy>(
+    instance: &Instance,
+    planner: &P,
+    admission: &A,
+) -> Result<Schedule, ScheduleError> {
+    let mut schedule = Schedule::empty(instance.machines);
+    if instance.is_empty() {
+        return Ok(schedule);
+    }
+
+    // Distinct release times in increasing order.
+    let mut release_times: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
+    release_times.sort_by(|a, b| a.partial_cmp(b).expect("finite releases"));
+    release_times.dedup_by(|a, b| num::approx_eq(*a, *b));
+    let horizon_end = instance.horizon().1;
+
+    let mut pending: Vec<PendingJob> = Vec::new();
+
+    for (idx, &now) in release_times.iter().enumerate() {
+        // Admit the jobs released now (in id order, as the paper's online
+        // model reveals them one at a time).
+        let mut arrivals: Vec<&Job> = instance
+            .jobs
+            .iter()
+            .filter(|j| num::approx_eq(j.release, now))
+            .collect();
+        arrivals.sort_by_key(|j| j.id);
+        for job in arrivals {
+            if admission.admit(instance, now, job, &pending)? {
+                pending.push(PendingJob::new(job));
+            }
+        }
+
+        // Plan for the remaining work and follow the plan until the next
+        // arrival (or the end of the horizon after the last arrival).
+        let window_end = release_times.get(idx + 1).copied().unwrap_or(horizon_end);
+        if window_end <= now + 1e-15 {
+            continue;
+        }
+        let plan = planner.plan(instance, now, &pending)?;
+        execute_window(&mut schedule, &mut pending, &plan, now, window_end);
+        pending.retain(|p| p.remaining > 1e-9 * p.work.max(1.0) && p.deadline > window_end + 1e-12);
+    }
+
+    Ok(schedule)
+}
+
+/// Executes the part of `plan` that falls into `[from, to)`, appending the
+/// executed segments (with original job ids) to `schedule` and decreasing
+/// the pending jobs' remaining work.
+fn execute_window(
+    schedule: &mut Schedule,
+    pending: &mut [PendingJob],
+    plan: &Schedule,
+    from: f64,
+    to: f64,
+) {
+    let mut segments: Vec<Segment> = plan
+        .segments
+        .iter()
+        .copied()
+        .filter(|s| s.end > from + 1e-15 && s.start < to - 1e-15)
+        .collect();
+    segments.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+
+    for mut seg in segments {
+        seg.start = seg.start.max(from);
+        seg.end = seg.end.min(to);
+        if seg.duration() <= 1e-15 {
+            continue;
+        }
+        let Some(plan_id) = seg.job else {
+            continue;
+        };
+        let Some(p) = pending.get_mut(plan_id.index()) else {
+            continue;
+        };
+        // Never process more than the job still needs (guards against
+        // overshoot when a planner runs faster than strictly necessary).
+        let max_duration = if seg.speed > 0.0 {
+            p.remaining / seg.speed
+        } else {
+            0.0
+        };
+        if max_duration <= 1e-15 {
+            continue;
+        }
+        if seg.duration() > max_duration {
+            seg.end = seg.start + max_duration;
+        }
+        p.remaining = (p.remaining - seg.work_amount()).max(0.0);
+        seg.job = Some(p.id);
+        schedule.push(seg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_offline::yds::yds_schedule;
+    use pss_types::validate_schedule;
+
+    /// A planner that simply runs every pending job back to back at speed 1
+    /// starting from `now` on machine 0 (only useful to test the executor).
+    struct NaivePlanner;
+
+    impl Planner for NaivePlanner {
+        fn name(&self) -> String {
+            "naive".into()
+        }
+
+        fn plan(
+            &self,
+            instance: &Instance,
+            now: f64,
+            pending: &[PendingJob],
+        ) -> Result<Schedule, ScheduleError> {
+            let mut s = Schedule::empty(instance.machines);
+            let mut t = now;
+            for (i, p) in pending.iter().enumerate() {
+                let d = p.remaining;
+                s.push(Segment::work(0, t, t + d, 1.0, JobId(i)));
+                t += d;
+            }
+            Ok(s)
+        }
+    }
+
+    /// A YDS planner, the real OA, to exercise the executor end to end.
+    struct YdsPlanner;
+
+    impl Planner for YdsPlanner {
+        fn name(&self) -> String {
+            "yds".into()
+        }
+
+        fn plan(
+            &self,
+            instance: &Instance,
+            now: f64,
+            pending: &[PendingJob],
+        ) -> Result<Schedule, ScheduleError> {
+            let jobs: Vec<Job> = pending
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.as_job_at(now, i))
+                .collect();
+            yds_schedule(&jobs, instance.alpha).map(|r| r.schedule)
+        }
+    }
+
+    #[test]
+    fn executor_tracks_remaining_work_across_windows() {
+        // Two jobs with generous deadlines; the naive planner at speed 1
+        // finishes both.
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![(0.0, 10.0, 2.0, 1.0), (1.0, 10.0, 3.0, 1.0)],
+        )
+        .unwrap();
+        let s = run_replanning(&inst, &NaivePlanner, &AdmitAll).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(report.rejected.is_empty());
+        // Exactly the total work is processed (no overshoot).
+        let total: f64 = s.segments.iter().map(|x| x.work_amount()).sum();
+        assert!((total - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn executor_with_yds_planner_is_oa_and_finishes_everything() {
+        let inst = Instance::from_tuples(
+            1,
+            3.0,
+            vec![
+                (0.0, 4.0, 1.0, 1.0),
+                (1.0, 3.0, 1.0, 1.0),
+                (2.0, 6.0, 2.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let s = run_replanning(&inst, &YdsPlanner, &AdmitAll).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(report.rejected.is_empty(), "rejected {:?}", report.rejected);
+    }
+
+    #[test]
+    fn rejected_jobs_are_never_executed() {
+        struct RejectSecond;
+        impl AdmissionPolicy for RejectSecond {
+            fn admit(
+                &self,
+                _i: &Instance,
+                _now: f64,
+                job: &Job,
+                _p: &[PendingJob],
+            ) -> Result<bool, ScheduleError> {
+                Ok(job.id.index() != 1)
+            }
+        }
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![(0.0, 5.0, 1.0, 1.0), (1.0, 5.0, 1.0, 7.0)],
+        )
+        .unwrap();
+        let s = run_replanning(&inst, &YdsPlanner, &RejectSecond).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert_eq!(report.rejected, vec![JobId(1)]);
+        assert!((s.cost(&inst).lost_value - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_instance_gives_empty_schedule() {
+        let inst = Instance::from_tuples(2, 2.0, vec![]).unwrap();
+        let s = run_replanning(&inst, &NaivePlanner, &AdmitAll).unwrap();
+        assert!(s.segments.is_empty());
+    }
+}

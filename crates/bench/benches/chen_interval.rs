@@ -1,0 +1,44 @@
+//! Criterion bench: Chen et al.'s per-interval algorithm (substrate of
+//! every per-interval energy evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pss_chen::ChenInterval;
+use pss_power::AlphaPower;
+
+fn bench_chen_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chen_interval_solve");
+    group.sample_size(40);
+    for &n_jobs in &[8usize, 64, 512] {
+        for &machines in &[4usize, 32] {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let works: Vec<f64> = (0..n_jobs).map(|_| rng.gen_range(0.0..5.0)).collect();
+            let chen = ChenInterval::new(1.0, machines, AlphaPower::new(2.5));
+            group.bench_with_input(
+                BenchmarkId::new(format!("m{machines}"), n_jobs),
+                &works,
+                |b, works| b.iter(|| std::hint::black_box(chen.solve(works).energy)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_chen_loads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chen_interval_machine_loads");
+    group.sample_size(40);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let works: Vec<f64> = (0..256).map(|_| rng.gen_range(0.0..5.0)).collect();
+    let chen = ChenInterval::new(1.0, 16, AlphaPower::new(3.0));
+    let sol = chen.solve(&works);
+    group.bench_function("loads_256_jobs_16_machines", |b| {
+        b.iter(|| std::hint::black_box(sol.machine_loads()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chen_solve, bench_chen_loads);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: the coordinate-descent offline solver and the dual
+//! bound evaluation (the multiprocessor lower-bound machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pss_convex::{dual_bound, solve_min_energy_with, ProgramContext, SolverOptions};
+use pss_core::prelude::*;
+use pss_workloads::{RandomConfig, ValueModel};
+
+fn instance(n: usize, m: usize) -> Instance {
+    RandomConfig {
+        n_jobs: n,
+        machines: m,
+        alpha: 2.5,
+        horizon: n as f64 / 4.0,
+        value: ValueModel::Mandatory,
+        ..RandomConfig::standard(17)
+    }
+    .generate()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convex_min_energy");
+    group.sample_size(10);
+    for &(n, m) in &[(15usize, 2usize), (30, 4), (60, 8)] {
+        let inst = instance(n, m);
+        let ctx = ProgramContext::new(&inst);
+        let opts = SolverOptions::coarse();
+        group.bench_with_input(
+            BenchmarkId::new(format!("m{m}"), n),
+            &ctx,
+            |b, ctx| b.iter(|| std::hint::black_box(solve_min_energy_with(ctx, &opts).energy)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dual_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dual_bound");
+    group.sample_size(30);
+    for &n in &[50usize, 200] {
+        let inst = instance(n, 4);
+        let run = PdScheduler::coarse().run(&inst).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &run, |b, run| {
+            b.iter(|| std::hint::black_box(dual_bound(&run.context, &run.lambda).value))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_dual_bound);
+criterion_main!(benches);

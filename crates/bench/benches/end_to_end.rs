@@ -1,0 +1,56 @@
+//! Criterion bench: end-to-end comparison of PD against the online
+//! baselines on the same profitable instance (runtime counterpart of the
+//! E5/E9 quality tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pss_core::prelude::*;
+use pss_sim::Simulation;
+use pss_workloads::{staircase_instance, RandomConfig, ValueModel};
+
+fn profitable_instance(n: usize) -> Instance {
+    RandomConfig {
+        n_jobs: n,
+        machines: 1,
+        alpha: 2.0,
+        horizon: n as f64 / 4.0,
+        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+        ..RandomConfig::standard(23)
+    }
+    .generate()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_profitable_n40");
+    group.sample_size(10);
+    let inst = profitable_instance(40);
+    let algos: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("pd", Box::new(PdScheduler::coarse())),
+        ("cll", Box::new(CllScheduler)),
+        ("oa", Box::new(OaScheduler)),
+        ("avr", Box::new(AvrScheduler)),
+    ];
+    for (name, algo) in &algos {
+        group.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(algo.schedule(&inst).unwrap().cost(&inst).total()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_staircase_and_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_staircase");
+    group.sample_size(10);
+    let inst = staircase_instance(40, 2.0, 1e9);
+    group.bench_function("pd_staircase_n40", |b| {
+        b.iter(|| std::hint::black_box(PdScheduler::coarse().schedule(&inst).unwrap().cost(&inst).total()))
+    });
+    let run = PdScheduler::coarse().run(&inst).unwrap();
+    group.bench_function("simulate_pd_schedule", |b| {
+        b.iter(|| std::hint::black_box(Simulation.run(&inst, &run.schedule).unwrap().total_cost()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_staircase_and_sim);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: the water-filling arrival step and full PD runs
+//! (experiments E3/E10 runtime counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pss_convex::{waterfill_job, ProgramContext, WaterfillOptions};
+use pss_core::prelude::*;
+use pss_workloads::{RandomConfig, ValueModel};
+
+fn instance(n: usize, m: usize) -> Instance {
+    RandomConfig {
+        n_jobs: n,
+        machines: m,
+        alpha: 2.5,
+        horizon: n as f64 / 4.0,
+        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 5.0 },
+        ..RandomConfig::standard(7)
+    }
+    .generate()
+}
+
+fn bench_single_arrival(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waterfill_single_arrival");
+    group.sample_size(30);
+    for &n in &[20usize, 100] {
+        let inst = instance(n, 4);
+        let ctx = ProgramContext::new(&inst);
+        // Pre-fill all but the last job with PD, then measure the last
+        // arrival's water-filling step.
+        let run = PdScheduler::coarse().run(&inst).unwrap();
+        let mut x = run.assignment.clone();
+        let last = n - 1;
+        x.clear_job(last);
+        let opts = WaterfillOptions::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(waterfill_job(&ctx, &x, last, &opts).total))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pd_full_run");
+    group.sample_size(15);
+    for &(n, m) in &[(20usize, 1usize), (50, 4), (100, 8)] {
+        let inst = instance(n, m);
+        group.bench_with_input(
+            BenchmarkId::new(format!("m{m}"), n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        PdScheduler::coarse().run(inst).unwrap().cost().total(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_arrival, bench_full_pd);
+criterion_main!(benches);

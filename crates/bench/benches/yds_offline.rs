@@ -1,0 +1,49 @@
+//! Criterion bench: the YDS offline optimum and the brute-force optimum
+//! (the competitive-ratio denominators of E3–E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pss_offline::{brute_force_optimum, yds::yds_schedule};
+use pss_workloads::{RandomConfig, ValueModel};
+
+fn bench_yds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yds_offline");
+    group.sample_size(25);
+    for &n in &[10usize, 40, 100] {
+        let inst = RandomConfig {
+            n_jobs: n,
+            machines: 1,
+            alpha: 2.0,
+            horizon: n as f64 / 4.0,
+            value: ValueModel::Mandatory,
+            ..RandomConfig::standard(11)
+        }
+        .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(yds_schedule(&inst.jobs, inst.alpha).unwrap().energy))
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force_optimum");
+    group.sample_size(10);
+    for &n in &[8usize, 12] {
+        let inst = RandomConfig {
+            n_jobs: n,
+            machines: 1,
+            alpha: 2.0,
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 3.0 },
+            ..RandomConfig::standard(13)
+        }
+        .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(brute_force_optimum(inst).unwrap().cost.total()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_yds, bench_brute_force);
+criterion_main!(benches);

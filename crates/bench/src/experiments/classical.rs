@@ -1,0 +1,118 @@
+//! E9 — classical (mandatory-completion) substrate sanity: OA, AVR, BKP and
+//! qOA against the exact YDS optimum, and Chen et al.'s per-interval
+//! algorithm against a naive split.
+
+use pss_chen::ChenInterval;
+use pss_core::prelude::*;
+use pss_metrics::table::fmt_f64;
+use pss_metrics::{evaluate_scheduler, RatioSummary, Table};
+use pss_power::AlphaPower;
+use pss_workloads::{RandomConfig, ValueModel};
+
+use super::ExperimentOutput;
+use crate::support::check;
+
+/// Runs E9.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let seeds: u64 = if quick { 3 } else { 8 };
+    let alpha = 2.0;
+
+    // -- Online algorithms vs YDS ------------------------------------------
+    let algorithms: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(OaScheduler),
+        Box::new(AvrScheduler),
+        Box::new(QoaScheduler::default()),
+        Box::new(BkpScheduler::default()),
+        Box::new(PdScheduler::default()),
+    ];
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+
+    for seed in 0..seeds {
+        let cfg = RandomConfig {
+            n_jobs: 12,
+            machines: 1,
+            alpha,
+            value: ValueModel::Mandatory,
+            ..RandomConfig::standard(4000 + seed)
+        };
+        let instance = cfg.generate();
+        let opt = YdsScheduler
+            .schedule(&instance)
+            .expect("YDS")
+            .cost(&instance)
+            .energy;
+        for (i, algo) in algorithms.iter().enumerate() {
+            let result = evaluate_scheduler(algo.as_ref(), &instance).expect("baseline run");
+            ratios[i].push(result.cost.total() / opt);
+        }
+    }
+
+    let mut table = Table::new(
+        "Mandatory-completion baselines vs YDS (m = 1, alpha = 2)",
+        &["algorithm", "mean ratio", "max ratio", "guarantee"],
+    );
+    let oa_bound = AlphaPower::new(alpha).competitive_ratio_pd();
+    let mut oa_within = true;
+    for (i, algo) in algorithms.iter().enumerate() {
+        let summary = RatioSummary::from_ratios(&ratios[i]).unwrap();
+        let guarantee = match algo.name().as_str() {
+            "OA" | "PD" => fmt_f64(oa_bound),
+            "AVR" => fmt_f64((2.0 * alpha).powf(alpha) / 2.0),
+            _ => "-".into(),
+        };
+        if algo.name() == "OA" || algo.name() == "PD" {
+            oa_within &= summary.max <= oa_bound + 1e-6;
+        }
+        table.push_row(vec![
+            algo.name(),
+            fmt_f64(summary.mean),
+            fmt_f64(summary.max),
+            guarantee,
+        ]);
+    }
+
+    // -- Chen et al. vs a naive per-interval split --------------------------
+    let mut chen_table = Table::new(
+        "Chen et al. per-interval energy vs naive splits (one interval, alpha = 2)",
+        &["machines", "jobs", "chen energy", "one-machine energy", "per-job-machine energy"],
+    );
+    let works = [4.0, 2.0, 1.5, 1.0, 0.5, 0.25];
+    let power = AlphaPower::new(alpha);
+    for m in [2usize, 4, 6] {
+        let chen = ChenInterval::new(1.0, m, power).solve(&works);
+        // Naive A: everything on one machine.
+        let total: f64 = works.iter().sum();
+        let single = power.energy_for_work(total, 1.0);
+        // Naive B: each job on its own machine when possible (needs >= 6).
+        let per_job: f64 = works.iter().map(|w| power.energy_for_work(*w, 1.0)).sum();
+        chen_table.push_row(vec![
+            m.to_string(),
+            works.len().to_string(),
+            fmt_f64(chen.energy),
+            fmt_f64(single),
+            fmt_f64(per_job),
+        ]);
+    }
+
+    ExperimentOutput {
+        id: "E9".into(),
+        title: "Classical substrate sanity: OA/AVR/BKP/qOA vs YDS and Chen vs naive splits".into(),
+        tables: vec![table, chen_table],
+        notes: vec![
+            format!("OA and PD stayed within alpha^alpha of YDS: {}", check(oa_within)),
+            "with mandatory values PD degenerates to an OA-like algorithm, as described in Section 3 of the paper".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_oa_and_pd_within_bound() {
+        let out = run(true);
+        assert!(out.notes[0].contains("yes"), "{:?}", out.notes);
+        assert_eq!(out.tables.len(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! E3 — Theorem 3 upper bound: the empirical competitive ratio of PD stays
+//! below `α^α` across random instance families.
+
+use pss_core::prelude::*;
+use pss_metrics::table::fmt_f64;
+use pss_metrics::{RatioSummary, Table};
+use pss_workloads::{RandomConfig, ValueModel};
+
+use super::ExperimentOutput;
+use crate::support::{best_lower_bound, check, safe_ratio};
+
+/// Runs E3.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let seeds: u64 = if quick { 3 } else { 10 };
+    let alphas = [1.5, 2.0, 2.5, 3.0];
+    let machine_counts = [1usize, 2, 4];
+
+    let mut table = Table::new(
+        "Empirical competitive ratio of PD vs lower bound",
+        &[
+            "alpha", "m", "n", "instances", "bound source", "mean ratio", "max ratio", "alpha^alpha",
+            "within bound",
+        ],
+    );
+    let mut all_within = true;
+
+    for &alpha in &alphas {
+        for &m in &machine_counts {
+            // Exact optimum (brute force) is affordable only on one machine
+            // with few jobs; larger settings use the certified dual bound.
+            let n_jobs = if m == 1 { 10 } else { 18 };
+            let mut ratios = Vec::new();
+            let mut exact = true;
+            for seed in 0..seeds {
+                let cfg = RandomConfig {
+                    n_jobs,
+                    machines: m,
+                    alpha,
+                    value: ValueModel::ProportionalToEnergy { min: 0.3, max: 5.0 },
+                    ..RandomConfig::standard(seed)
+                };
+                let instance = cfg.generate();
+                let run = PdScheduler::default().run(&instance).expect("PD run");
+                let lb = best_lower_bound(&instance, &run).expect("lower bound");
+                exact &= lb.exact;
+                ratios.push(safe_ratio(run.cost().total(), lb.value));
+            }
+            let summary = RatioSummary::from_ratios(&ratios).expect("nonempty sweep");
+            let bound = AlphaPower::new(alpha).competitive_ratio_pd();
+            let within = summary.max <= bound + 1e-6;
+            all_within &= within;
+            table.push_row(vec![
+                fmt_f64(alpha),
+                m.to_string(),
+                n_jobs.to_string(),
+                summary.count.to_string(),
+                if exact { "exact OPT" } else { "dual bound" }.into(),
+                fmt_f64(summary.mean),
+                fmt_f64(summary.max),
+                fmt_f64(bound),
+                check(within).into(),
+            ]);
+        }
+    }
+
+    ExperimentOutput {
+        id: "E3".into(),
+        title: "Theorem 3 upper bound: cost(PD) / LB stays below alpha^alpha".into(),
+        tables: vec![table],
+        notes: vec![format!(
+            "every sweep stayed within the proven bound: {}",
+            check(all_within)
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_quick_sweep_respects_the_bound() {
+        let out = run(true);
+        assert!(out.notes[0].contains("yes"), "{:?}", out.notes);
+    }
+}

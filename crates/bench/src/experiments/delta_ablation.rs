@@ -1,0 +1,96 @@
+//! E11 — δ-ablation: the analysed parameter `δ = α^{1-α}` should be a good
+//! (near-minimising) choice of PD's only tuning knob.
+
+use pss_core::prelude::*;
+use pss_metrics::table::fmt_f64;
+use pss_metrics::{RatioSummary, Table};
+use pss_offline::brute_force_optimum;
+use pss_workloads::{RandomConfig, ValueModel};
+
+use super::ExperimentOutput;
+use crate::support::safe_ratio;
+
+/// Runs E11.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let seeds: u64 = if quick { 3 } else { 8 };
+    let alpha = 2.5;
+    let delta_star = AlphaPower::new(alpha).delta_star();
+    let multipliers = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+    // Pre-generate the instances and their optima once (shared across δ).
+    let mut instances = Vec::new();
+    for seed in 0..seeds {
+        let cfg = RandomConfig {
+            n_jobs: 12,
+            machines: 1,
+            alpha,
+            value: ValueModel::ProportionalToEnergy { min: 0.2, max: 3.0 },
+            ..RandomConfig::standard(6000 + seed)
+        };
+        let instance = cfg.generate();
+        let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+        instances.push((instance, opt));
+    }
+
+    let mut table = Table::new(
+        format!("Ablation of PD's parameter δ (α = {alpha}, δ* = {})", fmt_f64(delta_star)),
+        &["δ / δ*", "δ", "mean ratio", "max ratio", "mean rejected"],
+    );
+
+    let mut best_max = f64::INFINITY;
+    let mut best_multiplier = 1.0;
+    let mut star_max = f64::INFINITY;
+
+    for &mult in &multipliers {
+        let delta = delta_star * mult;
+        let scheduler = PdScheduler::with_delta(delta);
+        let mut ratios = Vec::new();
+        let mut rejected = 0usize;
+        for (instance, opt) in &instances {
+            let run = scheduler.run(instance).expect("PD run");
+            ratios.push(safe_ratio(run.cost().total(), *opt));
+            rejected += run.rejected_jobs().len();
+        }
+        let summary = RatioSummary::from_ratios(&ratios).unwrap();
+        if summary.max < best_max {
+            best_max = summary.max;
+            best_multiplier = mult;
+        }
+        if (mult - 1.0).abs() < 1e-12 {
+            star_max = summary.max;
+        }
+        table.push_row(vec![
+            fmt_f64(mult),
+            fmt_f64(delta),
+            fmt_f64(summary.mean),
+            fmt_f64(summary.max),
+            fmt_f64(rejected as f64 / instances.len() as f64),
+        ]);
+    }
+
+    ExperimentOutput {
+        id: "E11".into(),
+        title: "δ-ablation: the analysed δ = α^{1-α} is a near-optimal choice".into(),
+        tables: vec![table],
+        notes: vec![
+            format!(
+                "worst-case ratio at δ* is {} vs {} at the empirically best multiplier {}",
+                fmt_f64(star_max),
+                fmt_f64(best_max),
+                fmt_f64(best_multiplier)
+            ),
+            "very small δ accepts too much (pays energy), very large δ rejects too much (pays value); the analysed δ* balances the two".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_produces_one_row_per_multiplier() {
+        let out = run(true);
+        assert_eq!(out.tables[0].rows.len(), 7);
+    }
+}

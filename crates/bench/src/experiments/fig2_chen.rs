@@ -1,0 +1,94 @@
+//! E1 — Figure 2: Chen et al. schedule structure before and after the
+//! arrival of a new job.
+
+use pss_chen::ChenInterval;
+use pss_metrics::table::fmt_f64;
+use pss_metrics::Table;
+use pss_power::AlphaPower;
+use pss_workloads::figure2_instance;
+
+use super::ExperimentOutput;
+use crate::support::check;
+
+/// Runs E1.
+pub fn run(_quick: bool) -> ExperimentOutput {
+    let instance = figure2_instance();
+    let alpha = instance.alpha;
+    let chen = ChenInterval::new(1.0, instance.machines, AlphaPower::new(alpha));
+
+    // Work vector before the arrival of the last job and after it.
+    let all_works: Vec<f64> = instance.jobs.iter().map(|j| j.work).collect();
+    let mut before_works = all_works.clone();
+    let new_job = before_works.len() - 1;
+    let z = before_works[new_job];
+    before_works[new_job] = 0.0;
+
+    let before = chen.solve(&before_works);
+    let after = chen.solve(&all_works);
+
+    let mut structure = Table::new(
+        "Dedicated/pool structure (Figure 2)",
+        &["state", "dedicated jobs", "pool jobs", "pool speed", "energy"],
+    );
+    for (label, sol) in [("before", &before), ("after", &after)] {
+        structure.push_row(vec![
+            label.to_string(),
+            format!("{:?}", sol.dedicated.iter().map(|(j, _)| *j).collect::<Vec<_>>()),
+            format!("{:?}", sol.pool.iter().map(|(j, _)| *j).collect::<Vec<_>>()),
+            fmt_f64(sol.pool_speed),
+            fmt_f64(sol.energy),
+        ]);
+    }
+
+    let loads_before = before.machine_loads();
+    let loads_after = after.machine_loads();
+    let mut loads = Table::new(
+        format!("Machine loads before/after arrival of work z = {z}"),
+        &["machine (fastest first)", "load before", "load after", "delta", "0 <= delta <= z"],
+    );
+    let mut prop2_ok = true;
+    for i in 0..loads_before.len() {
+        let delta = loads_after[i] - loads_before[i];
+        let ok = delta >= -1e-9 && delta <= z + 1e-9;
+        prop2_ok &= ok;
+        loads.push_row(vec![
+            format!("{i}"),
+            fmt_f64(loads_before[i]),
+            fmt_f64(loads_after[i]),
+            fmt_f64(delta),
+            check(ok).to_string(),
+        ]);
+    }
+
+    let demoted = before.dedicated.len() > after.dedicated.len()
+        || before
+            .dedicated
+            .iter()
+            .any(|(j, _)| after.pool.iter().any(|(p, _)| p == j));
+
+    ExperimentOutput {
+        id: "E1".into(),
+        title: "Chen et al. per-interval structure before/after a new arrival (paper Figure 2)".into(),
+        tables: vec![structure, loads],
+        notes: vec![
+            format!("Proposition 2 bounds hold on every machine: {}", check(prop2_ok)),
+            format!(
+                "a previously dedicated job is demoted into the pool by the arrival (as in Figure 2): {}",
+                check(demoted)
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reports_prop2_holds_and_a_demotion() {
+        let out = run(true);
+        assert_eq!(out.id, "E1");
+        assert_eq!(out.tables.len(), 2);
+        assert!(out.notes.iter().all(|n| n.contains("yes")), "{:?}", out.notes);
+    }
+}

@@ -1,0 +1,101 @@
+//! E5 — PD vs Chan–Lam–Li on single-machine profitable instances.
+
+use pss_core::prelude::*;
+use pss_metrics::table::fmt_f64;
+use pss_metrics::{RatioSummary, Table};
+use pss_offline::brute_force_optimum;
+use pss_workloads::{RandomConfig, ValueModel};
+
+use super::ExperimentOutput;
+use crate::support::{check, safe_ratio};
+
+/// Runs E5.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let seeds: u64 = if quick { 3 } else { 8 };
+    let alpha = 2.0;
+    // Three value regimes: stingy (most jobs not worth finishing), balanced,
+    // and generous (nearly mandatory).
+    let regimes: [(&str, f64, f64); 3] = [
+        ("stingy", 0.1, 1.0),
+        ("balanced", 0.5, 4.0),
+        ("generous", 2.0, 20.0),
+    ];
+
+    let mut table = Table::new(
+        "PD vs CLL vs OPT (single machine, alpha = 2)",
+        &[
+            "value regime", "instances", "mean PD/OPT", "max PD/OPT", "mean CLL/OPT", "max CLL/OPT",
+            "PD bound", "CLL bound", "PD <= CLL (mean)",
+        ],
+    );
+    let mut pd_always_within = true;
+
+    for (name, vmin, vmax) in regimes {
+        let mut pd_ratios = Vec::new();
+        let mut cll_ratios = Vec::new();
+        for seed in 0..seeds {
+            let cfg = RandomConfig {
+                n_jobs: 12,
+                machines: 1,
+                alpha,
+                value: ValueModel::ProportionalToEnergy { min: vmin, max: vmax },
+                ..RandomConfig::standard(1000 + seed)
+            };
+            let instance = cfg.generate();
+            let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+            let pd = PdScheduler::default()
+                .schedule(&instance)
+                .expect("PD")
+                .cost(&instance)
+                .total();
+            let cll = CllScheduler
+                .schedule(&instance)
+                .expect("CLL")
+                .cost(&instance)
+                .total();
+            pd_ratios.push(safe_ratio(pd, opt));
+            cll_ratios.push(safe_ratio(cll, opt));
+        }
+        let pd_summary = RatioSummary::from_ratios(&pd_ratios).unwrap();
+        let cll_summary = RatioSummary::from_ratios(&cll_ratios).unwrap();
+        let power = AlphaPower::new(alpha);
+        pd_always_within &= pd_summary.max <= power.competitive_ratio_pd() + 1e-6;
+        table.push_row(vec![
+            name.into(),
+            pd_summary.count.to_string(),
+            fmt_f64(pd_summary.mean),
+            fmt_f64(pd_summary.max),
+            fmt_f64(cll_summary.mean),
+            fmt_f64(cll_summary.max),
+            fmt_f64(power.competitive_ratio_pd()),
+            fmt_f64(power.competitive_ratio_cll()),
+            check(pd_summary.mean <= cll_summary.mean + 1e-9).into(),
+        ]);
+    }
+
+    ExperimentOutput {
+        id: "E5".into(),
+        title: "Improvement over Chan–Lam–Li: PD vs CLL against the exact optimum".into(),
+        tables: vec![table],
+        notes: vec![
+            format!(
+                "PD stayed within its alpha^alpha guarantee on every instance: {}",
+                check(pd_always_within)
+            ),
+            "the paper's improvement is in the *guarantee* (alpha^alpha vs alpha^alpha + 2e^alpha); on typical random instances both algorithms are far below their bounds and PD's rejection rule coincides with CLL's, so average costs are close"
+                .into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_pd_within_guarantee() {
+        let out = run(true);
+        assert!(out.notes[0].contains("yes"), "{:?}", out.notes);
+        assert_eq!(out.tables[0].rows.len(), 3);
+    }
+}

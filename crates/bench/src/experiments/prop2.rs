@@ -1,0 +1,82 @@
+//! E7 — Proposition 2: load monotonicity of Chen et al.'s algorithm under
+//! a single new arrival, measured over random work vectors.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use pss_chen::ChenInterval;
+use pss_metrics::table::fmt_f64;
+use pss_metrics::Table;
+use pss_power::AlphaPower;
+
+use super::ExperimentOutput;
+use crate::support::check;
+
+/// Runs E7.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let trials = if quick { 500 } else { 5000 };
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let alpha = 2.5;
+
+    // Histogram of delta / z over all machines and trials, bucketed in
+    // tenths, plus violation counters.
+    let mut histogram = [0usize; 10];
+    let mut violations = 0usize;
+    let mut samples = 0usize;
+
+    for _ in 0..trials {
+        let m = rng.gen_range(1..=8usize);
+        let n = rng.gen_range(0..=10usize);
+        let mut works: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+        let z: f64 = rng.gen_range(0.01..5.0);
+        let chen = ChenInterval::new(1.0, m, AlphaPower::new(alpha));
+        let before = chen.solve(&works).machine_loads();
+        works.push(z);
+        let after = chen.solve(&works).machine_loads();
+        for i in 0..m {
+            let delta = after[i] - before[i];
+            samples += 1;
+            if delta < -1e-9 || delta > z + 1e-9 {
+                violations += 1;
+            }
+            let bucket = ((delta / z).clamp(0.0, 0.999) * 10.0) as usize;
+            histogram[bucket] += 1;
+        }
+    }
+
+    let mut table = Table::new(
+        format!("Distribution of (L'_i - L_i) / z over {samples} machine samples"),
+        &["bucket", "count", "fraction"],
+    );
+    for (b, count) in histogram.iter().enumerate() {
+        table.push_row(vec![
+            format!("[{:.1}, {:.1})", b as f64 / 10.0, (b + 1) as f64 / 10.0),
+            count.to_string(),
+            fmt_f64(*count as f64 / samples as f64),
+        ]);
+    }
+
+    ExperimentOutput {
+        id: "E7".into(),
+        title: "Proposition 2: per-machine load change after one arrival lies in [0, z]".into(),
+        tables: vec![table],
+        notes: vec![format!(
+            "violations of 0 <= L'_i - L_i <= z over {} random trials: {} ({})",
+            trials,
+            violations,
+            check(violations == 0)
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_no_violations() {
+        let out = run(true);
+        assert!(out.notes[0].contains("yes"), "{:?}", out.notes);
+    }
+}

@@ -1,0 +1,88 @@
+//! E6 — rejection-policy equivalence (Section 3, "Relation to the OA
+//! Algorithm"): with `δ = α^{1-α}`, PD's accept/reject decision coincides
+//! with the closed-form threshold rule of Chan–Lam–Li.
+
+use pss_core::analysis::rejection_policy_report;
+use pss_core::prelude::*;
+use pss_metrics::table::fmt_f64;
+use pss_metrics::Table;
+use pss_workloads::{RandomConfig, ValueModel};
+
+use super::ExperimentOutput;
+use crate::support::check;
+
+/// Runs E6.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let seeds: u64 = if quick { 3 } else { 12 };
+    let alphas = [1.5, 2.0, 3.0];
+
+    let mut table = Table::new(
+        "PD decisions vs the closed-form threshold rule (m = 1)",
+        &["alpha", "instances", "jobs", "accepted", "rejected", "mismatches", "all match"],
+    );
+    let mut all_match = true;
+
+    for &alpha in &alphas {
+        let mut jobs = 0usize;
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        let mut mismatches = 0usize;
+        for seed in 0..seeds {
+            let cfg = RandomConfig {
+                n_jobs: 15,
+                machines: 1,
+                alpha,
+                value: ValueModel::ProportionalToEnergy { min: 0.2, max: 3.0 },
+                ..RandomConfig::standard(2000 + seed)
+            };
+            let instance = cfg.generate();
+            let report = rejection_policy_report(&PdScheduler::default(), &instance)
+                .expect("rejection policy report");
+            for d in &report.decisions {
+                jobs += 1;
+                if d.pd_accepted {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                }
+                let borderline = (d.forced_speed - d.threshold_speed).abs()
+                    <= 1e-6 * d.threshold_speed.max(1.0);
+                if d.pd_accepted != d.threshold_accepts && !borderline {
+                    mismatches += 1;
+                }
+            }
+        }
+        let ok = mismatches == 0;
+        all_match &= ok;
+        table.push_row(vec![
+            fmt_f64(alpha),
+            seeds.to_string(),
+            jobs.to_string(),
+            accepted.to_string(),
+            rejected.to_string(),
+            mismatches.to_string(),
+            check(ok).into(),
+        ]);
+    }
+
+    ExperimentOutput {
+        id: "E6".into(),
+        title: "Rejection-policy equivalence: PD (δ = α^{1-α}) vs the α^{α-2}·v threshold".into(),
+        tables: vec![table],
+        notes: vec![format!(
+            "PD's decisions matched the threshold rule on every non-borderline job: {}",
+            check(all_match)
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_decisions_match_threshold_rule() {
+        let out = run(true);
+        assert!(out.notes[0].contains("yes"), "{:?}", out.notes);
+    }
+}

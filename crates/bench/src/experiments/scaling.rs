@@ -1,0 +1,88 @@
+//! E10 — multiprocessor scaling: cost quality, runtime and machine
+//! utilisation of PD as the machine count and instance size grow.
+
+use std::time::Instant;
+
+use pss_core::prelude::*;
+use pss_metrics::table::fmt_f64;
+use pss_metrics::Table;
+use pss_sim::Simulation;
+use pss_workloads::{RandomConfig, ValueModel};
+
+use super::ExperimentOutput;
+use crate::support::{check, safe_ratio};
+
+/// Runs E10.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let machine_counts: Vec<usize> = if quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8, 16] };
+    let sizes: Vec<usize> = if quick { vec![30] } else { vec![50, 200] };
+    let alpha = 2.5;
+
+    let mut table = Table::new(
+        "PD scaling with machines and jobs",
+        &[
+            "m", "n", "runtime (ms)", "jobs/s", "cost(PD)", "dual bound", "certified ratio",
+            "accepted", "mean utilisation", "preemptions", "migrations",
+        ],
+    );
+    let mut all_within = true;
+    let bound = AlphaPower::new(alpha).competitive_ratio_pd();
+
+    for &n in &sizes {
+        for &m in &machine_counts {
+            let cfg = RandomConfig {
+                n_jobs: n,
+                machines: m,
+                alpha,
+                horizon: n as f64 / 4.0,
+                value: ValueModel::ProportionalToEnergy { min: 0.3, max: 5.0 },
+                ..RandomConfig::standard(5000 + m as u64)
+            };
+            let instance = cfg.generate();
+            let scheduler = PdScheduler::coarse();
+            let start = Instant::now();
+            let run = scheduler.run(&instance).expect("PD run");
+            let elapsed = start.elapsed().as_secs_f64();
+            let analysis = analyze_run(&run);
+            let ratio = safe_ratio(analysis.cost.total(), analysis.dual.value);
+            all_within &= ratio <= bound + 1e-6;
+            let sim = Simulation.run(&instance, &run.schedule).expect("simulation");
+            let accepted = run.accepted.iter().filter(|a| **a).count();
+            table.push_row(vec![
+                m.to_string(),
+                n.to_string(),
+                fmt_f64(elapsed * 1e3),
+                fmt_f64(n as f64 / elapsed),
+                fmt_f64(analysis.cost.total()),
+                fmt_f64(analysis.dual.value),
+                fmt_f64(ratio),
+                format!("{accepted}/{n}"),
+                fmt_f64(sim.mean_utilization()),
+                sim.preemptions.to_string(),
+                sim.migrations.to_string(),
+            ]);
+        }
+    }
+
+    ExperimentOutput {
+        id: "E10".into(),
+        title: "Multiprocessor scaling of PD (quality, throughput, utilisation)".into(),
+        tables: vec![table],
+        notes: vec![format!(
+            "the certified ratio stayed below alpha^alpha = {} in every configuration: {}",
+            fmt_f64(bound),
+            check(all_within)
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_quick_scaling_within_bound() {
+        let out = run(true);
+        assert!(out.notes[0].contains("yes"), "{:?}", out.notes);
+    }
+}

@@ -1,0 +1,22 @@
+//! # pss-bench
+//!
+//! The experiment harness: one module per experiment of `DESIGN.md`'s
+//! experiment index (E1–E11), each regenerating the corresponding
+//! table/figure of `EXPERIMENTS.md`, plus shared helpers for lower bounds
+//! and sweeps.
+//!
+//! Two entry points use this library:
+//!
+//! * the `experiments` binary (`cargo run -p pss-bench --release --bin
+//!   experiments -- all`) prints every table and writes Markdown/JSON
+//!   results under `results/`,
+//! * the Criterion benches (`cargo bench`) measure the runtime of the
+//!   substrates and of end-to-end scheduling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod support;
+
+pub use experiments::{all_experiments, ExperimentOutput};

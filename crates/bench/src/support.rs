@@ -1,0 +1,83 @@
+//! Shared helpers for the experiment modules.
+
+use serde::{Deserialize, Serialize};
+
+use pss_core::prelude::*;
+use pss_core::PdRun;
+use pss_offline::brute_force_optimum;
+use pss_types::ScheduleError;
+
+/// A lower bound on the optimal cost of an instance together with its
+/// provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LowerBound {
+    /// The bound value.
+    pub value: f64,
+    /// `true` if the bound is the exact optimum (brute force), `false` if it
+    /// is the dual bound `g(λ̃)`.
+    pub exact: bool,
+}
+
+/// Computes the best available lower bound on the optimal cost: the exact
+/// brute-force optimum when the instance is small enough, otherwise the dual
+/// bound evaluated at PD's duals.
+pub fn best_lower_bound(instance: &Instance, run: &PdRun) -> Result<LowerBound, ScheduleError> {
+    if instance.len() <= 14 {
+        let opt = brute_force_optimum(instance)?;
+        Ok(LowerBound {
+            value: opt.cost.total(),
+            exact: true,
+        })
+    } else {
+        let dual = pss_convex::dual_bound(&run.context, &run.lambda);
+        Ok(LowerBound {
+            value: dual.value.max(0.0),
+            exact: false,
+        })
+    }
+}
+
+/// Ratio of a cost to a lower bound, with the usual conventions for
+/// degenerate denominators.
+pub fn safe_ratio(cost: f64, bound: f64) -> f64 {
+    if bound <= 1e-12 {
+        if cost <= 1e-12 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (cost / bound).max(1.0)
+    }
+}
+
+/// Formats a boolean as a check mark for tables.
+pub fn check(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "NO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_ratio_conventions() {
+        assert_eq!(safe_ratio(0.0, 0.0), 1.0);
+        assert_eq!(safe_ratio(1.0, 0.0), f64::INFINITY);
+        assert!((safe_ratio(2.0, 1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(safe_ratio(0.5, 1.0), 1.0); // clamped: cost below a lower bound is round-off
+    }
+
+    #[test]
+    fn lower_bound_prefers_exact_for_small_instances() {
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 1.0, 10.0)]).unwrap();
+        let run = PdScheduler::default().run(&inst).unwrap();
+        let lb = best_lower_bound(&inst, &run).unwrap();
+        assert!(lb.exact);
+        assert!((lb.value - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,188 @@
+//! Conversion of an [`IntervalSolution`] into concrete machine-level
+//! segments.
+//!
+//! Dedicated jobs occupy their own machine for the whole interval.  Pool
+//! jobs are placed on the pool machines with **McNaughton's wrap-around
+//! rule**: jobs are laid out back to back at the common pool speed; when a
+//! job crosses the end of the interval on one machine it "wraps" onto the
+//! next machine starting at the beginning of the interval.  Because every
+//! pool job's processing time at the pool speed is at most the interval
+//! length, the two pieces of a wrapped job never overlap in time, so the
+//! nonparallelism constraint of the model is respected.
+
+use pss_types::{num, JobId, Segment};
+
+use crate::solution::IntervalSolution;
+
+/// Places the solution into the absolute time window `[start, start + length)`
+/// using machines `machine_offset..machine_offset + solution.machines`,
+/// returning the machine-level segments.
+///
+/// The caller chooses `machine_offset` (normally 0) and guarantees that the
+/// window corresponds to the atomic interval the solution was computed for.
+pub fn place_interval(
+    solution: &IntervalSolution,
+    start: f64,
+    machine_offset: usize,
+    job_id_of: impl Fn(usize) -> JobId,
+) -> Vec<Segment> {
+    let l = solution.length;
+    let end = start + l;
+    let mut segments = Vec::new();
+
+    // Dedicated jobs: machine i runs job i of the dedicated list alone.
+    for (i, (job, work)) in solution.dedicated.iter().enumerate() {
+        let speed = work / l;
+        if speed <= 0.0 {
+            continue;
+        }
+        segments.push(Segment::work(
+            machine_offset + i,
+            start,
+            end,
+            speed,
+            job_id_of(*job),
+        ));
+    }
+
+    // Pool jobs: McNaughton wrap-around on the remaining machines.
+    if solution.pool_speed > 0.0 && solution.pool_machines > 0 {
+        let first_pool_machine = machine_offset + solution.dedicated.len();
+        let mut machine = first_pool_machine;
+        let mut offset = 0.0_f64; // time offset within the interval
+        for (job, work) in &solution.pool {
+            let mut duration = work / solution.pool_speed;
+            debug_assert!(
+                duration <= l * (1.0 + 1e-9),
+                "pool job longer than the interval: {duration} > {l}"
+            );
+            duration = duration.min(l);
+            let mut remaining = duration;
+            while remaining > 0.0 {
+                let available = l - offset;
+                let piece = remaining.min(available);
+                if piece > 0.0 && !num::approx_zero(piece) {
+                    segments.push(Segment::work(
+                        machine,
+                        start + offset,
+                        start + offset + piece,
+                        solution.pool_speed,
+                        job_id_of(*job),
+                    ));
+                }
+                remaining -= piece;
+                offset += piece;
+                if num::approx_ge(offset, l) {
+                    machine += 1;
+                    offset = 0.0;
+                }
+                if remaining <= 1e-15 {
+                    break;
+                }
+            }
+        }
+    }
+
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::ChenInterval;
+    use pss_power::AlphaPower;
+    use pss_types::num::stable_sum;
+
+    fn place(works: &[f64], m: usize, length: f64) -> (IntervalSolution, Vec<Segment>) {
+        let chen = ChenInterval::new(length, m, AlphaPower::new(3.0));
+        let sol = chen.solve(works);
+        let segs = place_interval(&sol, 10.0, 0, JobId);
+        (sol, segs)
+    }
+
+    fn work_of_job(segments: &[Segment], job: usize) -> f64 {
+        stable_sum(
+            segments
+                .iter()
+                .filter(|s| s.job == Some(JobId(job)))
+                .map(|s| s.work_amount()),
+        )
+    }
+
+    #[test]
+    fn dedicated_jobs_get_their_own_machine() {
+        let (_, segs) = place(&[3.0, 2.0, 1.0], 3, 1.0);
+        // Every job fully processed.
+        for (j, w) in [(0, 3.0), (1, 2.0), (2, 1.0)] {
+            assert!((work_of_job(&segs, j) - w).abs() < 1e-9, "job {j}");
+        }
+        // Each on a distinct machine, spanning the whole interval.
+        let machines: Vec<usize> = segs.iter().map(|s| s.machine).collect();
+        let mut sorted = machines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+        for s in &segs {
+            assert_eq!((s.start, s.end), (10.0, 11.0));
+        }
+    }
+
+    #[test]
+    fn pool_jobs_are_wrapped_without_time_overlap() {
+        // m = 2, three equal jobs: all pool at speed 1.5, each takes 2/3 of
+        // the interval, so one of them wraps across machines.
+        let (sol, segs) = place(&[1.0, 1.0, 1.0], 2, 1.0);
+        assert_eq!(sol.pool_machines, 2);
+        for j in 0..3 {
+            assert!((work_of_job(&segs, j) - 1.0).abs() < 1e-9, "job {j}");
+        }
+        // No overlapping segments on a machine.
+        for m in 0..2 {
+            let mut on_m: Vec<&Segment> = segs.iter().filter(|s| s.machine == m).collect();
+            on_m.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            for pair in on_m.windows(2) {
+                assert!(pair[0].end <= pair[1].start + 1e-9);
+            }
+        }
+        // The wrapped job's two pieces must not overlap in time.
+        for j in 0..3 {
+            let pieces: Vec<&Segment> =
+                segs.iter().filter(|s| s.job == Some(JobId(j))).collect();
+            if pieces.len() == 2 {
+                assert!(!pieces[0].overlaps(pieces[1]), "job {j} overlaps itself");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_energy_matches_solution_energy() {
+        let alpha = 3.0;
+        let (sol, segs) = place(&[9.0, 2.0, 2.0, 2.0], 3, 1.0);
+        let seg_energy = stable_sum(segs.iter().map(|s| s.energy(alpha)));
+        assert!((seg_energy - sol.energy).abs() < 1e-9 * sol.energy.max(1.0));
+    }
+
+    #[test]
+    fn machine_offset_shifts_machines() {
+        let chen = ChenInterval::new(1.0, 2, AlphaPower::new(2.0));
+        let sol = chen.solve(&[1.0, 1.0, 1.0]);
+        let segs = place_interval(&sol, 0.0, 5, JobId);
+        assert!(segs.iter().all(|s| s.machine >= 5 && s.machine < 7));
+    }
+
+    #[test]
+    fn empty_solution_produces_no_segments() {
+        let (_, segs) = place(&[0.0, 0.0], 2, 1.0);
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn pool_job_exactly_filling_interval_is_single_piece() {
+        // m = 2, works 2, 1, 1: job0 dedicated (2 >= 2/1), jobs 1 and 2 pool
+        // at speed 2 on one machine; each takes 0.5 of the interval.
+        let (sol, segs) = place(&[2.0, 1.0, 1.0], 2, 1.0);
+        assert_eq!(sol.dedicated.len(), 1);
+        let pieces: Vec<&Segment> = segs.iter().filter(|s| s.job == Some(JobId(1))).collect();
+        assert_eq!(pieces.len(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # pss-convex
+//!
+//! The convex-programming machinery of the paper (Sections 2.1, 4.1, 4.2):
+//!
+//! * [`ProgramContext`] — binds an instance to its atomic-interval partition
+//!   and evaluates the objective of the (relaxed) program (CP): the sum of
+//!   per-interval energies `P_k` plus the value of unfinished jobs,
+//! * [`waterfill`] — the greedy marginal-cost-equalising allocation of one
+//!   job's workload across its atomic intervals.  This is both the inner
+//!   step of the paper's online primal-dual algorithm (`pss-core`) and the
+//!   coordinate step of the offline solver,
+//! * [`dual`] — the dual function `g(λ)` of Lemma 5/6 in closed form.  For
+//!   any `λ ≥ 0`, `g(λ)` is a *rigorous lower bound* on the optimal cost,
+//!   which is how the experiment harness measures empirical competitive
+//!   ratios on instances too large for brute force,
+//! * [`solver`] — an offline cyclic coordinate-descent solver for the
+//!   "finish everything" relaxation, used as the multiprocessor offline
+//!   baseline and as the replanning engine of multiprocessor Optimal
+//!   Available,
+//! * [`kkt`] — KKT stationarity residuals used to certify solver output in
+//!   tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dual;
+pub mod kkt;
+pub mod program;
+pub mod solver;
+pub mod waterfill;
+
+pub use dual::{dual_bound, DualSolution};
+pub use program::ProgramContext;
+pub use solver::{solve_min_energy, solve_min_energy_with, MinEnergySolution, SolverOptions};
+pub use waterfill::{waterfill_job, WaterfillOptions, WaterfillResult};

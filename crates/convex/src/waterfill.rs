@@ -1,0 +1,397 @@
+//! Marginal-cost-equalising allocation of one job's workload across its
+//! atomic intervals ("water filling").
+//!
+//! This implements the continuous greedy increase of lines 5–12 of the
+//! paper's Listing 1 in closed form.  The algorithm raises a common
+//! *level* — the marginal cost `∂P_k/∂x_{jk}` — across all candidate
+//! intervals, assigning work to each interval up to the amount it can absorb
+//! at that level, until either the job is fully assigned or the level
+//! reaches a cap (for PD: `v_j / δ`, the rejection threshold).
+//!
+//! ## How the per-interval capacity is computed
+//!
+//! Fix an interval of length `l` on `m` machines with the *other* jobs'
+//! works `u_1, …, u_p` and a target speed `s` (the level expressed as a
+//! speed via `λ = α w_j s^{α-1}`).  The maximum amount of work `z` job `j`
+//! can place in the interval such that Chen et al.'s algorithm processes it
+//! at speed at most `s` is
+//!
+//! ```text
+//! z*(s) = min( s·l , max(0, q·s·l − B) )        with
+//!         q = m − |{i : u_i > s·l}|,   B = Σ_{u_i ≤ s·l} u_i
+//! ```
+//!
+//! The first term is the nonparallelism constraint (job `j` has only `l`
+//! time units available), the second is the capacity of the machines not
+//! permanently occupied by jobs that are too large to ever run at speed
+//! `≤ s`.  `z*` is continuous and nondecreasing in `s` (when `s·l` crosses
+//! some `u_i`, `q` gains one machine and `B` gains `u_i`, which cancel), so
+//! an outer bisection on `s` finds the common level.
+
+use pss_types::num::{self, Tolerance};
+use pss_intervals::WorkAssignment;
+
+use crate::program::ProgramContext;
+
+/// Options controlling a water-filling run.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterfillOptions {
+    /// Total fraction of the job to place (1.0 = the whole job).
+    pub max_fraction: f64,
+    /// Optional cap on the marginal cost `∂P_k/∂x_{jk}`; the fill stops at
+    /// this level even if the job is not fully placed.  PD uses `v_j / δ`.
+    pub max_marginal: Option<f64>,
+    /// Numeric tolerance of the level search.
+    pub tol: Tolerance,
+}
+
+impl Default for WaterfillOptions {
+    fn default() -> Self {
+        Self {
+            max_fraction: 1.0,
+            max_marginal: None,
+            tol: Tolerance::default(),
+        }
+    }
+}
+
+/// Result of a water-filling run for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaterfillResult {
+    /// `(interval, fraction)` pairs with strictly positive fractions.
+    pub added: Vec<(usize, f64)>,
+    /// Total fraction placed, `Σ added`.
+    pub total: f64,
+    /// The common speed level `s*` reached by the fill.
+    pub level_speed: f64,
+    /// The corresponding marginal cost `α · w_j · (s*)^{α-1}`.
+    pub level_marginal: f64,
+    /// `true` if the job was fully placed (total reached `max_fraction`).
+    pub saturated: bool,
+}
+
+impl WaterfillResult {
+    fn empty() -> Self {
+        Self {
+            added: Vec::new(),
+            total: 0.0,
+            level_speed: 0.0,
+            level_marginal: 0.0,
+            saturated: false,
+        }
+    }
+}
+
+/// Per-interval data needed to evaluate the capacity function.
+struct IntervalCapacity {
+    interval: usize,
+    length: f64,
+    /// Other jobs' works, sorted in decreasing order.
+    sorted_works: Vec<f64>,
+    /// Prefix sums of `sorted_works`.
+    prefix: Vec<f64>,
+}
+
+impl IntervalCapacity {
+    fn new(interval: usize, length: f64, mut works: Vec<f64>) -> Self {
+        works.retain(|u| *u > 0.0);
+        works.sort_by(|a, b| b.partial_cmp(a).expect("finite works"));
+        let mut prefix = Vec::with_capacity(works.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for u in &works {
+            acc += u;
+            prefix.push(acc);
+        }
+        Self {
+            interval,
+            length,
+            sorted_works: works,
+            prefix,
+        }
+    }
+
+    /// Maximum work job `j` can place here with its speed staying `≤ speed`.
+    fn capacity(&self, speed: f64, machines: usize) -> f64 {
+        if speed <= 0.0 {
+            return 0.0;
+        }
+        let threshold = speed * self.length;
+        // Number of other jobs whose work exceeds the threshold; works are
+        // sorted in decreasing order, so this is a partition point.
+        let above = self.sorted_works.partition_point(|u| *u > threshold);
+        if above >= machines {
+            return 0.0;
+        }
+        let q = (machines - above) as f64;
+        let b_small = self.prefix[self.sorted_works.len()] - self.prefix[above];
+        let machine_cap = (q * threshold - b_small).max(0.0);
+        threshold.min(machine_cap)
+    }
+}
+
+/// Runs the water-filling allocation for `job` on top of the assignment `x`
+/// (whose entries for `job` are ignored — callers wanting to *re*-allocate a
+/// job should conceptually treat its old row as cleared; the base works are
+/// always computed excluding `job`).
+pub fn waterfill_job(
+    ctx: &ProgramContext,
+    x: &WorkAssignment,
+    job: usize,
+    opts: &WaterfillOptions,
+) -> WaterfillResult {
+    let candidates = ctx.covered(job);
+    let w_j = ctx.workloads()[job];
+    if candidates.is_empty() || w_j <= 0.0 || opts.max_fraction <= 0.0 {
+        return WaterfillResult::empty();
+    }
+    let m = ctx.machines();
+    let power = ctx.power();
+
+    let caps: Vec<IntervalCapacity> = candidates
+        .iter()
+        .map(|&k| {
+            IntervalCapacity::new(
+                k,
+                ctx.partition().length(k),
+                ctx.interval_works_excluding(x, k, job),
+            )
+        })
+        .collect();
+
+    let total_fraction_at = |speed: f64| -> f64 {
+        num::stable_sum(caps.iter().map(|c| c.capacity(speed, m))) / w_j
+    };
+
+    // The speed corresponding to the marginal cap (if any).
+    let speed_cap = opts.max_marginal.map(|mm| power.dual_speed(mm, w_j));
+
+    // If even at the cap the job cannot be fully placed, the fill stops at
+    // the cap (PD's rejection case).
+    if let Some(cap) = speed_cap {
+        if total_fraction_at(cap) < opts.max_fraction * (1.0 - 1e-12) {
+            return build_result(&caps, m, w_j, cap, power, false, opts.max_fraction);
+        }
+    }
+
+    // Find an upper bracket for the level: double until the job fits.
+    let mut hi = initial_speed_guess(&caps, w_j, opts.max_fraction);
+    let mut guard = 0;
+    while total_fraction_at(hi) < opts.max_fraction && guard < 200 {
+        hi *= 2.0;
+        guard += 1;
+    }
+    if let Some(cap) = speed_cap {
+        hi = hi.min(cap);
+    }
+
+    // Bisection on the speed level.
+    let level = num::bisect_nondecreasing(0.0, hi, opts.max_fraction, opts.tol, |s| {
+        total_fraction_at(s)
+    });
+
+    build_result(&caps, m, w_j, level, power, true, opts.max_fraction)
+}
+
+fn initial_speed_guess(caps: &[IntervalCapacity], w_j: f64, max_fraction: f64) -> f64 {
+    let max_existing = caps
+        .iter()
+        .flat_map(|c| c.sorted_works.first().map(|u| u / c.length))
+        .fold(0.0_f64, f64::max);
+    let total_length: f64 = caps.iter().map(|c| c.length).sum();
+    let spread_speed = if total_length > 0.0 {
+        w_j * max_fraction / total_length
+    } else {
+        1.0
+    };
+    (max_existing + spread_speed).max(1e-9)
+}
+
+fn build_result(
+    caps: &[IntervalCapacity],
+    machines: usize,
+    w_j: f64,
+    level_speed: f64,
+    power: pss_power::AlphaPower,
+    saturated: bool,
+    max_fraction: f64,
+) -> WaterfillResult {
+    let mut added: Vec<(usize, f64)> = caps
+        .iter()
+        .map(|c| (c.interval, c.capacity(level_speed, machines) / w_j))
+        .filter(|(_, f)| *f > 0.0)
+        .collect();
+    let mut total = num::stable_sum(added.iter().map(|(_, f)| *f));
+    if saturated && total > 0.0 {
+        // The bisection leaves a relative error of ~tol; rescale so that a
+        // fully placed job has an assigned fraction of exactly max_fraction.
+        let scale = max_fraction / total;
+        for (_, f) in &mut added {
+            *f *= scale;
+        }
+        total = max_fraction;
+    }
+    WaterfillResult {
+        added,
+        total,
+        level_speed,
+        level_marginal: power.dual_value(level_speed, w_j),
+        saturated: saturated && total >= max_fraction * (1.0 - 1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_chen::interval_power_derivative;
+    use pss_types::Instance;
+
+    fn single_job_ctx(machines: usize, alpha: f64, tuples: Vec<(f64, f64, f64, f64)>) -> ProgramContext {
+        let inst = Instance::from_tuples(machines, alpha, tuples).unwrap();
+        ProgramContext::new(&inst)
+    }
+
+    #[test]
+    fn lone_job_spreads_evenly_over_its_window() {
+        // One job, window [0, 4), work 2, one machine: the optimal fill is
+        // speed 0.5 everywhere.
+        let ctx = single_job_ctx(1, 3.0, vec![(0.0, 4.0, 2.0, 100.0)]);
+        let x = WorkAssignment::zeros(1, ctx.partition().len());
+        let r = waterfill_job(&ctx, &x, 0, &WaterfillOptions::default());
+        assert!(r.saturated);
+        assert!((r.total - 1.0).abs() < 1e-9);
+        assert!((r.level_speed - 0.5).abs() < 1e-6);
+        assert_eq!(r.added.len(), 1);
+    }
+
+    #[test]
+    fn fill_prefers_empty_intervals() {
+        // Job 0 occupies [0,1) heavily; job 1 has window [0,2) and should
+        // put (almost) everything in [1,2).
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![(0.0, 1.0, 3.0, 100.0), (0.0, 2.0, 1.0, 100.0)],
+        )
+        .unwrap();
+        let ctx = ProgramContext::new(&inst);
+        let mut x = WorkAssignment::zeros(2, ctx.partition().len());
+        // Place job 0 fully in its only interval [0,1).
+        x.set(0, 0, 1.0);
+        let r = waterfill_job(&ctx, &x, 1, &WaterfillOptions::default());
+        assert!(r.saturated);
+        let in_second: f64 = r
+            .added
+            .iter()
+            .filter(|(k, _)| *k == 1)
+            .map(|(_, f)| *f)
+            .sum();
+        // Interval [1,2) is empty and can absorb speed up to 1 without
+        // exceeding the marginal of interval [0,1) (which has speed 3).
+        assert!(in_second > 0.99, "expected job 1 in the empty interval, got {:?}", r.added);
+    }
+
+    #[test]
+    fn fill_equalises_marginals_across_used_intervals() {
+        // Two equal-length empty intervals: the job splits evenly and the
+        // marginal costs agree with the Chen derivative.
+        let ctx = single_job_ctx(2, 2.5, vec![(0.0, 2.0, 3.0, 100.0)]);
+        // Introduce a second boundary by adding a second job that splits
+        // [0, 2) into [0,1) and [1,2).
+        let inst = Instance::from_tuples(
+            2,
+            2.5,
+            vec![(0.0, 2.0, 3.0, 100.0), (1.0, 2.0, 0.5, 100.0)],
+        )
+        .unwrap();
+        let ctx2 = ProgramContext::new(&inst);
+        drop(ctx);
+        let x = WorkAssignment::zeros(2, ctx2.partition().len());
+        let r = waterfill_job(&ctx2, &x, 0, &WaterfillOptions::default());
+        assert!(r.saturated);
+        // Fractions should be equal (both intervals identical and empty).
+        assert_eq!(r.added.len(), 2);
+        assert!((r.added[0].1 - r.added[1].1).abs() < 1e-6);
+
+        // Marginal from the Chen derivative should match the reported level.
+        let mut x_after = x.clone();
+        for (k, f) in &r.added {
+            x_after.set(0, *k, *f);
+        }
+        for &(k, _) in &r.added {
+            let d = interval_power_derivative(
+                ctx2.power(),
+                ctx2.partition().length(k),
+                2,
+                &x_after.column(k),
+                ctx2.workloads(),
+                0,
+            );
+            assert!(
+                (d - r.level_marginal).abs() < 1e-4 * d.max(1.0),
+                "interval {k}: derivative {d} vs level {}",
+                r.level_marginal
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_cap_limits_the_fill() {
+        // Single interval of length 1, one machine, job work 4: running the
+        // whole job needs speed 4 and marginal alpha*w*s^{alpha-1} = 2*4*4 = 32.
+        // Capping the marginal at the value for speed 2 (2*4*2 = 16) only
+        // places half the job.
+        let ctx = single_job_ctx(1, 2.0, vec![(0.0, 1.0, 4.0, 100.0)]);
+        let x = WorkAssignment::zeros(1, 1);
+        let opts = WaterfillOptions {
+            max_marginal: Some(16.0),
+            ..Default::default()
+        };
+        let r = waterfill_job(&ctx, &x, 0, &opts);
+        assert!(!r.saturated);
+        assert!((r.total - 0.5).abs() < 1e-9, "total = {}", r.total);
+        assert!((r.level_speed - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_machine_capacity_respects_nonparallelism() {
+        // One job alone on 4 machines in a single interval: it can still use
+        // only one machine's worth of time, so the level equals work/length
+        // regardless of machine count.
+        let ctx = single_job_ctx(4, 3.0, vec![(0.0, 2.0, 6.0, 100.0)]);
+        let x = WorkAssignment::zeros(1, 1);
+        let r = waterfill_job(&ctx, &x, 0, &WaterfillOptions::default());
+        assert!(r.saturated);
+        assert!((r.level_speed - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_fraction_request_is_empty() {
+        let ctx = single_job_ctx(1, 2.0, vec![(0.0, 1.0, 1.0, 1.0)]);
+        let x = WorkAssignment::zeros(1, 1);
+        let opts = WaterfillOptions {
+            max_fraction: 0.0,
+            ..Default::default()
+        };
+        let r = waterfill_job(&ctx, &x, 0, &opts);
+        assert_eq!(r.total, 0.0);
+        assert!(r.added.is_empty());
+    }
+
+    #[test]
+    fn capacity_function_is_monotone_and_continuous() {
+        let cap = IntervalCapacity::new(0, 1.0, vec![2.0, 1.0, 0.5]);
+        let m = 3;
+        let mut prev = 0.0;
+        let mut s = 0.0;
+        while s < 5.0 {
+            let c = cap.capacity(s, m);
+            assert!(c + 1e-12 >= prev, "capacity decreased at s={s}");
+            // Continuity check: small step, small change.
+            let c2 = cap.capacity(s + 1e-6, m);
+            assert!((c2 - c).abs() < 1e-4);
+            prev = c;
+            s += 0.01;
+        }
+    }
+}

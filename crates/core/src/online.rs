@@ -1,0 +1,285 @@
+//! The truly online, event-driven variant of PD.
+//!
+//! [`PdScheduler`](crate::pd::PdScheduler) runs over the atomic-interval
+//! partition induced by the *whole* instance, which is convenient for
+//! experiments but assumes the partition is known upfront.  The paper argues
+//! ("Concerning the Time Partitioning", Section 3) that this is without loss
+//! of generality: running the algorithm on the coarser partition known at
+//! each arrival and splitting assigned work proportionally whenever a new
+//! boundary refines an interval produces the identical schedule.
+//!
+//! [`OnlinePd`] implements that online version literally: jobs are fed one
+//! by one via [`OnlinePd::arrive`], the partition grows by refinement, and
+//! previously assigned work is split proportionally (via
+//! [`WorkAssignment::apply_refinement`]).  The equivalence with the batch
+//! scheduler is verified by tests and by the `online_equivalence`
+//! integration test.
+
+use pss_convex::{waterfill_job, ProgramContext, WaterfillOptions};
+use pss_intervals::{IntervalPartition, WorkAssignment};
+use pss_power::AlphaPower;
+use pss_types::num::Tolerance;
+use pss_types::{Instance, Job, JobId, Schedule, ScheduleError};
+
+/// Event-driven PD: feed jobs in release order, read out the schedule at any
+/// point.
+#[derive(Debug, Clone)]
+pub struct OnlinePd {
+    machines: usize,
+    alpha: f64,
+    delta: f64,
+    tol: Tolerance,
+    partition: IntervalPartition,
+    assignment: WorkAssignment,
+    /// Jobs in arrival order, re-indexed densely (`jobs[i].id == JobId(i)`).
+    jobs: Vec<Job>,
+    /// The original id of each arrived job.
+    original_ids: Vec<JobId>,
+    lambda: Vec<f64>,
+    accepted: Vec<bool>,
+    last_release: f64,
+}
+
+impl OnlinePd {
+    /// Creates an online PD instance for `machines` machines, exponent
+    /// `alpha` and the default parameter `δ = α^{1-α}`.
+    pub fn new(machines: usize, alpha: f64) -> Self {
+        let delta = AlphaPower::new(alpha).delta_star();
+        Self::with_delta(machines, alpha, delta)
+    }
+
+    /// Creates an online PD instance with an explicit `δ`.
+    pub fn with_delta(machines: usize, alpha: f64, delta: f64) -> Self {
+        assert!(machines > 0, "need at least one machine");
+        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
+        // Constructing the power function validates alpha.
+        let _ = AlphaPower::new(alpha);
+        Self {
+            machines,
+            alpha,
+            delta,
+            tol: Tolerance::default(),
+            partition: IntervalPartition::from_boundaries(std::iter::empty()),
+            assignment: WorkAssignment::new(0),
+            jobs: Vec::new(),
+            original_ids: Vec::new(),
+            lambda: Vec::new(),
+            accepted: Vec::new(),
+            last_release: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Number of jobs that have arrived so far.
+    pub fn arrived(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The accept/reject decisions so far, in arrival order, paired with the
+    /// jobs' original ids.
+    pub fn decisions(&self) -> Vec<(JobId, bool)> {
+        self.original_ids
+            .iter()
+            .copied()
+            .zip(self.accepted.iter().copied())
+            .collect()
+    }
+
+    /// Feeds the next arriving job.  Jobs must be fed in nondecreasing order
+    /// of release time (the online model); the job keeps its original id for
+    /// the final schedule.  Returns whether PD accepted the job.
+    pub fn arrive(&mut self, job: &Job) -> Result<bool, ScheduleError> {
+        job.validate()
+            .map_err(|e| ScheduleError::Internal(e.to_string()))?;
+        if job.release < self.last_release - 1e-9 {
+            return Err(ScheduleError::Internal(format!(
+                "jobs must arrive in release order: got release {} after {}",
+                job.release, self.last_release
+            )));
+        }
+        self.last_release = self.last_release.max(job.release);
+
+        // 1. Refine the partition with the new boundaries and split the
+        //    existing assignment proportionally.
+        let (refined, refinement) = self.partition.refine([job.release, job.deadline]);
+        self.assignment.apply_refinement(&refinement);
+        self.partition = refined;
+
+        // 2. Register the job under a dense arrival index.
+        let dense = self.jobs.len();
+        self.jobs
+            .push(Job::new(dense, job.release, job.deadline, job.work, job.value));
+        self.original_ids.push(job.id);
+        self.assignment.ensure_job(dense);
+
+        // 3. Greedy primal-dual step for the new job on the current
+        //    partition.
+        let ctx = self.context()?;
+        let opts = WaterfillOptions {
+            max_fraction: 1.0,
+            max_marginal: Some(job.value / self.delta),
+            tol: self.tol,
+        };
+        let fill = waterfill_job(&ctx, &self.assignment, dense, &opts);
+        if fill.saturated {
+            for (k, f) in &fill.added {
+                self.assignment.set(dense, *k, *f);
+            }
+            self.lambda.push(self.delta * fill.level_marginal);
+            self.accepted.push(true);
+            Ok(true)
+        } else {
+            self.lambda.push(job.value);
+            self.accepted.push(false);
+            Ok(false)
+        }
+    }
+
+    /// The current schedule for everything that has arrived so far, with the
+    /// jobs' original ids.
+    pub fn schedule(&self) -> Result<Schedule, ScheduleError> {
+        if self.jobs.is_empty() {
+            return Ok(Schedule::empty(self.machines));
+        }
+        let ctx = self.context()?;
+        let dense_schedule = ctx.realize_schedule(&self.assignment);
+        let mut schedule = Schedule::empty(self.machines);
+        for mut seg in dense_schedule.segments {
+            if let Some(job) = seg.job {
+                seg.job = Some(self.original_ids[job.index()]);
+            }
+            schedule.push(seg);
+        }
+        Ok(schedule)
+    }
+
+    /// Convenience: runs the online algorithm over a whole instance (feeding
+    /// jobs in release order) and returns the schedule in the instance's
+    /// original job ids.
+    pub fn run_instance(instance: &Instance) -> Result<Schedule, ScheduleError> {
+        let mut online = Self::new(instance.machines, instance.alpha);
+        for id in instance.arrival_order() {
+            online.arrive(instance.job(id))?;
+        }
+        online.schedule()
+    }
+
+    fn context(&self) -> Result<ProgramContext, ScheduleError> {
+        let instance = Instance::from_jobs(self.machines, self.alpha, self.jobs.clone())
+            .map_err(|e| ScheduleError::Internal(e.to_string()))?;
+        Ok(ProgramContext::with_partition(&instance, self.partition.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pd::PdScheduler;
+    use pss_types::validate_schedule;
+
+    fn instance() -> Instance {
+        Instance::from_tuples(
+            2,
+            2.5,
+            vec![
+                (0.0, 3.0, 1.5, 6.0),
+                (0.5, 2.0, 1.0, 0.2),
+                (1.0, 4.0, 2.0, 5.0),
+                (2.0, 3.5, 1.0, 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn online_matches_batch_pd() {
+        let inst = instance();
+        let batch = PdScheduler::default().run(&inst).unwrap();
+        let mut online = OnlinePd::new(inst.machines, inst.alpha);
+        for id in inst.arrival_order() {
+            let accepted = online.arrive(inst.job(id)).unwrap();
+            assert_eq!(
+                accepted,
+                batch.accepted[id.index()],
+                "decision for {id} differs between online and batch PD"
+            );
+        }
+        let online_cost = online.schedule().unwrap().cost(&inst).total();
+        let batch_cost = batch.schedule.cost(&inst).total();
+        assert!(
+            (online_cost - batch_cost).abs() < 1e-6 * batch_cost.max(1.0),
+            "online {online_cost} vs batch {batch_cost}"
+        );
+    }
+
+    #[test]
+    fn online_schedule_is_feasible_at_every_prefix() {
+        let inst = instance();
+        let mut online = OnlinePd::new(inst.machines, inst.alpha);
+        for (i, id) in inst.arrival_order().into_iter().enumerate() {
+            online.arrive(inst.job(id)).unwrap();
+            let schedule = online.schedule().unwrap();
+            // Validate against the prefix instance (jobs released so far).
+            let prefix_ids: Vec<JobId> = inst.arrival_order()[..=i].to_vec();
+            let mut jobs: Vec<Job> = prefix_ids.iter().map(|j| *inst.job(*j)).collect();
+            // Re-densify for validation.
+            jobs.sort_by_key(|j| j.id);
+            let dense: Vec<Job> = jobs
+                .iter()
+                .enumerate()
+                .map(|(k, j)| Job::new(k, j.release, j.deadline, j.work, j.value))
+                .collect();
+            let id_map: std::collections::HashMap<usize, usize> = jobs
+                .iter()
+                .enumerate()
+                .map(|(k, j)| (j.id.index(), k))
+                .collect();
+            let prefix_inst = Instance::from_jobs(inst.machines, inst.alpha, dense).unwrap();
+            let mut remapped = Schedule::empty(inst.machines);
+            for mut seg in schedule.segments {
+                if let Some(j) = seg.job {
+                    seg.job = Some(JobId(id_map[&j.index()]));
+                }
+                remapped.push(seg);
+            }
+            assert!(validate_schedule(&prefix_inst, &remapped).is_ok());
+        }
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_rejected() {
+        let mut online = OnlinePd::new(1, 2.0);
+        online.arrive(&Job::new(0, 5.0, 6.0, 1.0, 1.0)).unwrap();
+        let err = online.arrive(&Job::new(1, 1.0, 2.0, 1.0, 1.0));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn decisions_report_original_ids() {
+        let inst = instance();
+        let mut online = OnlinePd::new(inst.machines, inst.alpha);
+        for id in inst.arrival_order() {
+            online.arrive(inst.job(id)).unwrap();
+        }
+        let decisions = online.decisions();
+        assert_eq!(decisions.len(), inst.len());
+        let ids: Vec<JobId> = decisions.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, inst.arrival_order());
+    }
+
+    #[test]
+    fn run_instance_convenience_matches_batch_cost() {
+        let inst = instance();
+        let online = OnlinePd::run_instance(&inst).unwrap();
+        let batch = PdScheduler::default().run(&inst).unwrap();
+        let a = online.cost(&inst).total();
+        let b = batch.schedule.cost(&inst).total();
+        assert!((a - b).abs() < 1e-6 * b.max(1.0));
+    }
+
+    #[test]
+    fn empty_online_schedule_is_empty() {
+        let online = OnlinePd::new(3, 2.0);
+        assert_eq!(online.arrived(), 0);
+        assert!(online.schedule().unwrap().segments.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! The primal load variables `x_{jk}` of the convex program.
+
+use serde::{Deserialize, Serialize};
+
+use pss_types::num;
+
+use crate::partition::Refinement;
+
+/// A work assignment: for every job `j` and atomic interval `k`, the
+/// fraction `x_{jk} ∈ [0, 1]` of the job's workload assigned to that
+/// interval.
+///
+/// This is the primal variable vector `x` of the paper's convex program
+/// (Figure 1).  The assignment is stored densely (`n_jobs × n_intervals`)
+/// because the experiment sizes keep `n·N` comfortably small (both are at
+/// most a few thousand) and dense rows make the water-filling inner loops
+/// cache friendly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkAssignment {
+    n_intervals: usize,
+    /// Row-major: `rows[j][k] = x_{jk}`.
+    rows: Vec<Vec<f64>>,
+}
+
+impl WorkAssignment {
+    /// Creates an assignment with no jobs over `n_intervals` intervals.
+    pub fn new(n_intervals: usize) -> Self {
+        Self {
+            n_intervals,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates an all-zero assignment for `n_jobs` jobs over `n_intervals`
+    /// intervals.
+    pub fn zeros(n_jobs: usize, n_intervals: usize) -> Self {
+        Self {
+            n_intervals,
+            rows: vec![vec![0.0; n_intervals]; n_jobs],
+        }
+    }
+
+    /// Number of jobs tracked.
+    #[inline]
+    pub fn n_jobs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of atomic intervals.
+    #[inline]
+    pub fn n_intervals(&self) -> usize {
+        self.n_intervals
+    }
+
+    /// Ensures rows exist for jobs `0..=job`, adding zero rows as needed.
+    pub fn ensure_job(&mut self, job: usize) {
+        while self.rows.len() <= job {
+            self.rows.push(vec![0.0; self.n_intervals]);
+        }
+    }
+
+    /// The fraction `x_{jk}`; zero for jobs or intervals that were never
+    /// touched.
+    #[inline]
+    pub fn get(&self, job: usize, interval: usize) -> f64 {
+        self.rows
+            .get(job)
+            .and_then(|r| r.get(interval))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Sets `x_{jk}`, growing the job table as needed.
+    ///
+    /// # Panics
+    /// Panics if `interval` is outside the partition.
+    pub fn set(&mut self, job: usize, interval: usize, value: f64) {
+        assert!(
+            interval < self.n_intervals,
+            "interval index {interval} out of range ({} intervals)",
+            self.n_intervals
+        );
+        self.ensure_job(job);
+        self.rows[job][interval] = value;
+    }
+
+    /// Adds `delta` to `x_{jk}`.
+    pub fn add(&mut self, job: usize, interval: usize, delta: f64) {
+        let cur = self.get(job, interval);
+        self.set(job, interval, cur + delta);
+    }
+
+    /// The row `x_{j·}` of a job (empty slice if the job is unknown).
+    pub fn row(&self, job: usize) -> &[f64] {
+        self.rows.get(job).map(|r| r.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total assigned fraction `Σ_k x_{jk}` of a job.
+    pub fn total_fraction(&self, job: usize) -> f64 {
+        num::stable_sum(self.row(job).iter().copied())
+    }
+
+    /// Resets a job's whole row to zero (used when PD rejects a job).
+    pub fn clear_job(&mut self, job: usize) {
+        if let Some(row) = self.rows.get_mut(job) {
+            row.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// The per-interval column: fractions of every job in interval `k`.
+    pub fn column(&self, interval: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r.get(interval).copied().unwrap_or(0.0)).collect()
+    }
+
+    /// Jobs with a strictly positive fraction in interval `k`.
+    pub fn jobs_in_interval(&self, interval: usize) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.get(interval).copied().unwrap_or(0.0) > 0.0)
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Applies an interval [`Refinement`]: every row is re-expressed over
+    /// the refined partition, splitting each old fraction proportionally to
+    /// the lengths of the new pieces (the paper's proportional split, which
+    /// keeps per-interval speeds unchanged).
+    pub fn apply_refinement(&mut self, refinement: &Refinement) {
+        if refinement.is_identity() {
+            return;
+        }
+        assert_eq!(
+            refinement.pieces.len(),
+            self.n_intervals,
+            "refinement was computed for a different partition"
+        );
+        for row in &mut self.rows {
+            let mut new_row = vec![0.0; refinement.new_len];
+            for (old_k, &x) in row.iter().enumerate() {
+                if x == 0.0 {
+                    continue;
+                }
+                for &(new_k, frac) in &refinement.pieces[old_k] {
+                    new_row[new_k] += x * frac;
+                }
+            }
+            *row = new_row;
+        }
+        self.n_intervals = refinement.new_len;
+    }
+
+    /// The work `x_{jk} · w_j` each job places in interval `k`, given the
+    /// jobs' workloads.
+    pub fn interval_work(&self, interval: usize, workloads: &[f64]) -> Vec<f64> {
+        (0..self.n_jobs())
+            .map(|j| self.get(j, interval) * workloads.get(j).copied().unwrap_or(0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::IntervalPartition;
+
+    #[test]
+    fn get_set_and_totals() {
+        let mut x = WorkAssignment::new(3);
+        assert_eq!(x.n_jobs(), 0);
+        x.set(1, 2, 0.5);
+        assert_eq!(x.n_jobs(), 2);
+        assert_eq!(x.get(1, 2), 0.5);
+        assert_eq!(x.get(0, 0), 0.0);
+        assert_eq!(x.get(7, 0), 0.0);
+        x.add(1, 0, 0.25);
+        assert!((x.total_fraction(1) - 0.75).abs() < 1e-12);
+        assert_eq!(x.total_fraction(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_panics_on_bad_interval() {
+        let mut x = WorkAssignment::new(2);
+        x.set(0, 5, 0.1);
+    }
+
+    #[test]
+    fn columns_and_job_queries() {
+        let mut x = WorkAssignment::zeros(3, 2);
+        x.set(0, 1, 0.3);
+        x.set(2, 1, 0.7);
+        assert_eq!(x.column(1), vec![0.3, 0.0, 0.7]);
+        assert_eq!(x.jobs_in_interval(1), vec![0, 2]);
+        assert_eq!(x.jobs_in_interval(0), Vec::<usize>::new());
+        assert_eq!(x.interval_work(1, &[2.0, 1.0, 10.0]), vec![0.6, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn clear_job_zeroes_the_row() {
+        let mut x = WorkAssignment::zeros(2, 2);
+        x.set(1, 0, 0.4);
+        x.set(1, 1, 0.6);
+        x.clear_job(1);
+        assert_eq!(x.total_fraction(1), 0.0);
+    }
+
+    #[test]
+    fn refinement_preserves_totals_and_density() {
+        // One interval [0,4) with x = 0.8; refine at t=1 => pieces 1/4, 3/4.
+        let old = IntervalPartition::from_boundaries([0.0, 4.0]);
+        let (_, map) = old.refine([1.0]);
+        let mut x = WorkAssignment::zeros(1, 1);
+        x.set(0, 0, 0.8);
+        x.apply_refinement(&map);
+        assert_eq!(x.n_intervals(), 2);
+        assert!((x.get(0, 0) - 0.2).abs() < 1e-12);
+        assert!((x.get(0, 1) - 0.6).abs() < 1e-12);
+        assert!((x.total_fraction(0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_refinement_is_a_noop() {
+        let old = IntervalPartition::from_boundaries([0.0, 1.0, 2.0]);
+        let (_, map) = old.refine([]);
+        let mut x = WorkAssignment::zeros(1, 2);
+        x.set(0, 0, 0.5);
+        let before = x.clone();
+        x.apply_refinement(&map);
+        assert_eq!(x, before);
+    }
+}

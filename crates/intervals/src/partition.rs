@@ -1,0 +1,301 @@
+//! Atomic interval partitions and their online refinement.
+
+use serde::{Deserialize, Serialize};
+
+use pss_types::{num, Job};
+
+/// Boundary coincidence tolerance: release/deadline values closer than this
+/// are treated as the same time point when building partitions.
+const BOUNDARY_EPS: f64 = 1e-12;
+
+/// One atomic interval `T_k = [start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtomicInterval {
+    /// Index `k` of the interval within its partition.
+    pub index: usize,
+    /// Left endpoint `τ_{k-1}` (inclusive).
+    pub start: f64,
+    /// Right endpoint `τ_k` (exclusive).
+    pub end: f64,
+}
+
+impl AtomicInterval {
+    /// Length `l_k = τ_k − τ_{k-1}` of the interval.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A partition of the time horizon into atomic intervals, induced by a set
+/// of boundary time points (the jobs' release times and deadlines).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalPartition {
+    boundaries: Vec<f64>,
+}
+
+impl IntervalPartition {
+    /// Builds the partition induced by the given boundary points.  Points
+    /// closer together than an absolute tolerance of `1e-12` are merged and
+    /// the result is sorted.
+    pub fn from_boundaries(points: impl IntoIterator<Item = f64>) -> Self {
+        let mut pts: Vec<f64> = points.into_iter().filter(|p| p.is_finite()).collect();
+        pts.sort_by(|a, b| a.partial_cmp(b).expect("finite boundaries"));
+        let mut boundaries: Vec<f64> = Vec::with_capacity(pts.len());
+        for p in pts {
+            if boundaries.last().is_none_or(|last| p - last > BOUNDARY_EPS) {
+                boundaries.push(p);
+            }
+        }
+        Self { boundaries }
+    }
+
+    /// Builds the partition induced by the release times and deadlines of
+    /// the given jobs (the `{ r_j, d_j | j ∈ J }` of the paper).
+    pub fn from_jobs<'a>(jobs: impl IntoIterator<Item = &'a Job>) -> Self {
+        Self::from_boundaries(jobs.into_iter().flat_map(|j| [j.release, j.deadline]))
+    }
+
+    /// The ordered boundary points `τ_0 < τ_1 < … < τ_N`.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Number of atomic intervals `N` (0 if fewer than two boundaries).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.boundaries.len().saturating_sub(1)
+    }
+
+    /// Returns `true` if the partition has no intervals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k`-th atomic interval.
+    ///
+    /// # Panics
+    /// Panics if `k >= self.len()`.
+    pub fn interval(&self, k: usize) -> AtomicInterval {
+        assert!(k < self.len(), "interval index {k} out of range");
+        AtomicInterval {
+            index: k,
+            start: self.boundaries[k],
+            end: self.boundaries[k + 1],
+        }
+    }
+
+    /// Iterator over all atomic intervals in time order.
+    pub fn intervals(&self) -> impl Iterator<Item = AtomicInterval> + '_ {
+        (0..self.len()).map(move |k| self.interval(k))
+    }
+
+    /// Length `l_k` of interval `k`.
+    #[inline]
+    pub fn length(&self, k: usize) -> f64 {
+        self.interval(k).length()
+    }
+
+    /// The availability indicator `c_{jk}`: `true` iff `T_k ⊆ [r_j, d_j)`.
+    pub fn job_covers(&self, job: &Job, k: usize) -> bool {
+        let iv = self.interval(k);
+        job.covers(iv.start, iv.end)
+    }
+
+    /// Indices of all intervals contained in the job's availability window.
+    pub fn covered_intervals(&self, job: &Job) -> Vec<usize> {
+        (0..self.len()).filter(|&k| self.job_covers(job, k)).collect()
+    }
+
+    /// Index of the interval containing time `t`, if any.
+    pub fn interval_containing(&self, t: f64) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        // Binary search over boundaries.
+        let n = self.len();
+        if t < self.boundaries[0] || t >= self.boundaries[n] {
+            return None;
+        }
+        let mut lo = 0usize;
+        let mut hi = n; // intervals 0..n
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.boundaries[mid] <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+
+    /// Refines the partition with additional boundary points (typically the
+    /// release time and deadline of a newly arrived job), returning the new
+    /// partition and the [`Refinement`] mapping old intervals to the new
+    /// pieces they were split into.
+    pub fn refine(&self, new_points: impl IntoIterator<Item = f64>) -> (IntervalPartition, Refinement) {
+        let refined = IntervalPartition::from_boundaries(
+            self.boundaries.iter().copied().chain(new_points),
+        );
+        let mapping = Refinement::between(self, &refined);
+        (refined, mapping)
+    }
+}
+
+/// Describes how the intervals of an old partition map onto the intervals of
+/// a refined partition.
+///
+/// For every old interval `k`, `pieces[k]` lists the new interval indices it
+/// was split into together with the fraction of the old length each piece
+/// represents.  Work already assigned to the old interval is split according
+/// to these fractions — exactly the proportional split described in the
+/// paper's "Concerning the Time Partitioning" paragraph, which leaves the
+/// produced schedule unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Refinement {
+    /// For each old interval, the `(new_index, length_fraction)` pieces.
+    pub pieces: Vec<Vec<(usize, f64)>>,
+    /// Number of intervals in the refined partition.
+    pub new_len: usize,
+}
+
+impl Refinement {
+    /// Computes the refinement mapping from `old` to `new`.  `new` must be a
+    /// refinement of `old` (every old boundary is also a new boundary); this
+    /// is guaranteed by [`IntervalPartition::refine`].
+    pub fn between(old: &IntervalPartition, new: &IntervalPartition) -> Self {
+        let mut pieces = vec![Vec::new(); old.len()];
+        for (k, old_iv) in old.intervals().enumerate() {
+            let old_len = old_iv.length();
+            for new_iv in new.intervals() {
+                // A new interval belongs to the old one if it is contained
+                // in it (refinement => containment or disjointness).
+                if num::approx_ge(new_iv.start, old_iv.start) && num::approx_le(new_iv.end, old_iv.end)
+                {
+                    let frac = if old_len > 0.0 {
+                        new_iv.length() / old_len
+                    } else {
+                        0.0
+                    };
+                    pieces[k].push((new_iv.index, frac));
+                }
+            }
+            debug_assert!(
+                num::approx_eq(pieces[k].iter().map(|(_, f)| *f).sum::<f64>(), 1.0)
+                    || old_len == 0.0,
+                "refinement pieces of interval {k} do not cover it"
+            );
+        }
+        Self {
+            pieces,
+            new_len: new.len(),
+        }
+    }
+
+    /// Returns `true` if the refinement is the identity (no interval was
+    /// split and the count is unchanged).
+    pub fn is_identity(&self) -> bool {
+        self.pieces.len() == self.new_len
+            && self
+                .pieces
+                .iter()
+                .enumerate()
+                .all(|(k, p)| p.len() == 1 && p[0].0 == k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_types::Job;
+
+    fn jobs() -> Vec<Job> {
+        vec![
+            Job::new(0, 0.0, 4.0, 2.0, 1.0),
+            Job::new(1, 1.0, 3.0, 1.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn partition_from_jobs_has_expected_boundaries() {
+        let p = IntervalPartition::from_jobs(&jobs());
+        assert_eq!(p.boundaries(), &[0.0, 1.0, 3.0, 4.0]);
+        assert_eq!(p.len(), 3);
+        let iv = p.interval(1);
+        assert_eq!((iv.start, iv.end), (1.0, 3.0));
+        assert_eq!(iv.length(), 2.0);
+    }
+
+    #[test]
+    fn duplicate_boundaries_are_merged() {
+        let p = IntervalPartition::from_boundaries([0.0, 1.0, 1.0 + 1e-15, 2.0]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_single_boundary_partitions() {
+        let p = IntervalPartition::from_boundaries(std::iter::empty());
+        assert!(p.is_empty());
+        let p = IntervalPartition::from_boundaries([3.0]);
+        assert!(p.is_empty());
+        assert_eq!(p.interval_containing(3.0), None);
+    }
+
+    #[test]
+    fn job_coverage_matches_paper_definition() {
+        let js = jobs();
+        let p = IntervalPartition::from_jobs(&js);
+        // Job 0 covers all three intervals, job 1 only the middle one.
+        assert_eq!(p.covered_intervals(&js[0]), vec![0, 1, 2]);
+        assert_eq!(p.covered_intervals(&js[1]), vec![1]);
+        assert!(p.job_covers(&js[0], 0));
+        assert!(!p.job_covers(&js[1], 0));
+    }
+
+    #[test]
+    fn interval_containing_finds_the_right_interval() {
+        let p = IntervalPartition::from_boundaries([0.0, 1.0, 3.0, 4.0]);
+        assert_eq!(p.interval_containing(0.0), Some(0));
+        assert_eq!(p.interval_containing(0.99), Some(0));
+        assert_eq!(p.interval_containing(1.0), Some(1));
+        assert_eq!(p.interval_containing(3.5), Some(2));
+        assert_eq!(p.interval_containing(4.0), None);
+        assert_eq!(p.interval_containing(-0.1), None);
+    }
+
+    #[test]
+    fn refinement_splits_proportionally() {
+        let p = IntervalPartition::from_boundaries([0.0, 4.0]);
+        let (refined, map) = p.refine([1.0]);
+        assert_eq!(refined.len(), 2);
+        assert_eq!(map.pieces.len(), 1);
+        let pieces = &map.pieces[0];
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].0, 0);
+        assert!((pieces[0].1 - 0.25).abs() < 1e-12);
+        assert_eq!(pieces[1].0, 1);
+        assert!((pieces[1].1 - 0.75).abs() < 1e-12);
+        assert!(!map.is_identity());
+    }
+
+    #[test]
+    fn refinement_with_no_new_points_is_identity() {
+        let p = IntervalPartition::from_boundaries([0.0, 1.0, 2.0]);
+        let (refined, map) = p.refine([1.0]);
+        assert_eq!(refined, p);
+        assert!(map.is_identity());
+    }
+
+    #[test]
+    fn refinement_with_points_outside_extends_partition() {
+        // A new job whose window extends past the old horizon adds intervals
+        // at the end; old intervals map onto themselves.
+        let p = IntervalPartition::from_boundaries([0.0, 2.0]);
+        let (refined, map) = p.refine([2.0, 5.0]);
+        assert_eq!(refined.len(), 2);
+        assert_eq!(map.pieces[0], vec![(0, 1.0)]);
+        assert!(!map.is_identity()); // counts differ (1 old vs 2 new)
+    }
+}

@@ -1,0 +1,73 @@
+//! Minimal CSV export for experiment tables (no external dependency).
+//!
+//! The experiment harness emits Markdown for humans and JSON for machines;
+//! CSV is the lingua franca for spreadsheet/plotting workflows, so tables
+//! can also be exported in RFC-4180-compatible form.
+
+use crate::table::Table;
+
+/// Escapes one CSV field: wraps in quotes when it contains a comma, quote or
+/// newline, doubling embedded quotes.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders a [`Table`] as CSV (header row followed by data rows).  The table
+/// title is not part of the CSV output (it usually becomes the file name).
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &table
+            .headers
+            .iter()
+            .map(|h| escape_field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| escape_field(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape_field("plain"), "plain");
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn table_round_trips_headers_and_rows() {
+        let mut t = Table::new("title", &["algo", "cost"]);
+        t.push_row(vec!["PD".into(), "1.5".into()]);
+        t.push_row(vec!["CLL, tuned".into(), "2.0".into()]);
+        let csv = table_to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "algo,cost");
+        assert_eq!(lines[1], "PD,1.5");
+        assert_eq!(lines[2], "\"CLL, tuned\",2.0");
+    }
+
+    #[test]
+    fn empty_table_is_just_the_header() {
+        let t = Table::new("t", &["a"]);
+        assert_eq!(table_to_csv(&t), "a\n");
+    }
+}

@@ -1,0 +1,17 @@
+//! # pss-metrics
+//!
+//! Measurement and reporting utilities shared by the experiment harness:
+//! per-algorithm result records, competitive-ratio summaries, and plain-text
+//! / Markdown / JSON table rendering used to produce the tables recorded in
+//! `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod report;
+pub mod table;
+
+pub use csv::table_to_csv;
+pub use report::{evaluate_scheduler, AlgorithmResult, RatioSummary};
+pub use table::Table;

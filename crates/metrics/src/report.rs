@@ -1,0 +1,174 @@
+//! Algorithm evaluation records and ratio summaries.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use pss_types::{validate_schedule, Cost, Instance, ScheduleError, Scheduler};
+
+/// The outcome of running one algorithm on one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmResult {
+    /// Algorithm name (from [`Scheduler::name`]).
+    pub algorithm: String,
+    /// Cost of the produced schedule.
+    pub cost: Cost,
+    /// Number of jobs the schedule finished.
+    pub finished_jobs: usize,
+    /// Number of jobs not finished (rejected or missed).
+    pub rejected_jobs: usize,
+    /// Wall-clock runtime of the scheduling call, in seconds.
+    pub runtime_secs: f64,
+}
+
+impl AlgorithmResult {
+    /// The ratio of this result's total cost to a reference cost (clamped to
+    /// 1 from below when the reference is a valid lower bound and round-off
+    /// makes the ratio dip slightly under 1).
+    pub fn ratio_to(&self, reference: f64) -> f64 {
+        if reference <= 0.0 {
+            if self.cost.total() <= 1e-12 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.cost.total() / reference
+        }
+    }
+}
+
+/// Runs a scheduler on an instance, validates the schedule, and returns the
+/// result record.
+pub fn evaluate_scheduler<S: Scheduler + ?Sized>(
+    scheduler: &S,
+    instance: &Instance,
+) -> Result<AlgorithmResult, ScheduleError> {
+    let start = Instant::now();
+    let schedule = scheduler.schedule(instance)?;
+    let runtime_secs = start.elapsed().as_secs_f64();
+    let report = validate_schedule(instance, &schedule)?;
+    let cost = schedule.cost(instance);
+    Ok(AlgorithmResult {
+        algorithm: scheduler.name(),
+        cost,
+        finished_jobs: report.finished_count(),
+        rejected_jobs: instance.len() - report.finished_count(),
+        runtime_secs,
+    })
+}
+
+/// Summary statistics of a collection of ratios (one per instance of a
+/// sweep).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioSummary {
+    /// Number of ratios summarised.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl RatioSummary {
+    /// Summarises a set of ratios.  Returns `None` for an empty input.
+    pub fn from_ratios(ratios: &[f64]) -> Option<Self> {
+        if ratios.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = ratios.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            sorted[idx.min(count - 1)]
+        };
+        Some(Self {
+            count,
+            min: sorted[0],
+            mean,
+            median: pct(0.5),
+            p95: pct(0.95),
+            max: sorted[count - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_types::{Schedule, Segment};
+
+    struct FixedSpeed(f64);
+
+    impl Scheduler for FixedSpeed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+
+        fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+            let mut s = Schedule::empty(instance.machines);
+            for j in &instance.jobs {
+                let duration = j.work / self.0;
+                s.push(Segment::work(
+                    0,
+                    j.release,
+                    (j.release + duration).min(j.deadline),
+                    self.0,
+                    j.id,
+                ));
+            }
+            Ok(s)
+        }
+    }
+
+    #[test]
+    fn evaluate_scheduler_reports_cost_and_completion() {
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![(0.0, 1.0, 0.5, 2.0), (2.0, 3.0, 2.0, 4.0)],
+        )
+        .unwrap();
+        // At speed 1, job 0 (work 0.5) finishes, job 1 (work 2, window 1) does not.
+        let result = evaluate_scheduler(&FixedSpeed(1.0), &inst).unwrap();
+        assert_eq!(result.algorithm, "fixed");
+        assert_eq!(result.finished_jobs, 1);
+        assert_eq!(result.rejected_jobs, 1);
+        assert!((result.cost.lost_value - 4.0).abs() < 1e-12);
+        assert!(result.runtime_secs >= 0.0);
+    }
+
+    #[test]
+    fn ratio_to_handles_degenerate_references() {
+        let r = AlgorithmResult {
+            algorithm: "x".into(),
+            cost: Cost::new(2.0, 0.0),
+            finished_jobs: 1,
+            rejected_jobs: 0,
+            runtime_secs: 0.0,
+        };
+        assert!((r.ratio_to(1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(r.ratio_to(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ratio_summary_percentiles() {
+        let ratios: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = RatioSummary::from_ratios(&ratios).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.median - 50.0).abs() <= 1.0);
+        assert!((s.p95 - 95.0).abs() <= 1.0);
+        assert!(RatioSummary::from_ratios(&[]).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Plain-text and Markdown table rendering for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned table used by the experiment binaries to print
+/// the rows recorded in `EXPERIMENTS.md`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Convenience for rows mixing text and numbers.
+    pub fn push_display_row(&mut self, cells: &[&dyn std::fmt::Display]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        widths
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| " --- |").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible fixed precision for tables.
+pub fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if x == 0.0 {
+        return "0".into();
+    }
+    let mag = x.abs();
+    if mag >= 1000.0 || mag < 0.001 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["algo", "cost", "ratio"]);
+        t.push_row(vec!["PD".into(), "12.5".into(), "1.31".into()]);
+        t.push_row(vec!["CLL".into(), "14.0".into(), "1.47".into()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let text = sample().to_text();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("algo"));
+        assert!(text.contains("PD"));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header + separator + two rows + title.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn markdown_rendering_has_header_separator() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| algo | cost | ratio |"));
+        assert!(md.contains("| --- | --- | --- |"));
+        assert!(md.contains("| CLL | 14.0 | 1.47 |"));
+    }
+
+    #[test]
+    fn fmt_f64_picks_reasonable_precision() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1.23456), "1.2346");
+        assert!(fmt_f64(123456.0).contains('e'));
+        assert!(fmt_f64(0.0000123).contains('e'));
+        assert_eq!(fmt_f64(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn push_display_row_stringifies() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_display_row(&[&1.5, &"x"]);
+        assert_eq!(t.rows[0], vec!["1.5".to_string(), "x".to_string()]);
+    }
+}

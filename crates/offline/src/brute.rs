@@ -1,0 +1,218 @@
+//! Exact optimum of the profitable scheduling problem for small instances.
+//!
+//! The integral program (IMP) couples a combinatorial choice — which jobs to
+//! reject — with a convex continuous problem — how to schedule the kept
+//! jobs with minimal energy.  For small `n` we can afford to enumerate all
+//! `2^n` rejection sets and solve the continuous part exactly:
+//!
+//! * `m = 1`: with the independent YDS implementation,
+//! * `m > 1`: with the coordinate-descent solver of `pss-convex`.
+//!
+//! The result is the ground-truth denominator for empirical competitive
+//! ratios (experiments E3–E5) and for tests of the PD algorithm's `α^α`
+//! guarantee.
+
+use pss_convex::{solve_min_energy_with, ProgramContext, SolverOptions};
+use pss_types::{num, Cost, Instance, JobId, Schedule, ScheduleError};
+
+use crate::yds::yds_schedule;
+
+/// Maximum instance size accepted by the brute-force search (2^20 subsets).
+pub const MAX_BRUTE_FORCE_JOBS: usize = 20;
+
+/// The exact optimum found by exhaustive search.
+#[derive(Debug, Clone)]
+pub struct BruteForceResult {
+    /// The optimal cost (energy of the kept set + value of the rejected set).
+    pub cost: Cost,
+    /// The jobs rejected by the optimal solution.
+    pub rejected: Vec<JobId>,
+    /// An optimal schedule realising the cost.
+    pub schedule: Schedule,
+    /// Number of rejection sets evaluated.
+    pub evaluated: usize,
+}
+
+/// Computes the exact optimum of the profitable scheduling problem by
+/// enumerating rejection sets.
+///
+/// Returns an error if the instance has more than [`MAX_BRUTE_FORCE_JOBS`]
+/// jobs (use the dual lower bound of `pss-convex` for larger instances).
+pub fn brute_force_optimum(instance: &Instance) -> Result<BruteForceResult, ScheduleError> {
+    brute_force_optimum_with(instance, &SolverOptions::default())
+}
+
+/// [`brute_force_optimum`] with explicit convex-solver options (used to
+/// trade accuracy for speed in large sweeps).
+pub fn brute_force_optimum_with(
+    instance: &Instance,
+    solver_opts: &SolverOptions,
+) -> Result<BruteForceResult, ScheduleError> {
+    let n = instance.len();
+    if n > MAX_BRUTE_FORCE_JOBS {
+        return Err(ScheduleError::Internal(format!(
+            "brute force limited to {MAX_BRUTE_FORCE_JOBS} jobs, instance has {n}"
+        )));
+    }
+    if n == 0 {
+        return Ok(BruteForceResult {
+            cost: Cost::ZERO,
+            rejected: Vec::new(),
+            schedule: Schedule::empty(instance.machines),
+            evaluated: 1,
+        });
+    }
+
+    let mut best_cost = f64::INFINITY;
+    let mut best: Option<(Cost, Vec<JobId>, Schedule)> = None;
+    let mut evaluated = 0usize;
+
+    for mask in 0..(1u32 << n) {
+        let kept: Vec<JobId> = (0..n)
+            .filter(|j| mask & (1 << j) != 0)
+            .map(JobId)
+            .collect();
+        let rejected: Vec<JobId> = (0..n)
+            .filter(|j| mask & (1 << j) == 0)
+            .map(JobId)
+            .collect();
+        let lost_value: f64 =
+            num::stable_sum(rejected.iter().map(|j| instance.job(*j).value));
+        evaluated += 1;
+
+        // Cheap pruning: even with zero energy this mask cannot win.
+        if lost_value >= best_cost {
+            continue;
+        }
+
+        let (energy, schedule) = if kept.is_empty() {
+            (0.0, Schedule::empty(instance.machines))
+        } else {
+            let sub = instance.restrict(&kept);
+            let (energy, sub_schedule) = if instance.machines == 1 {
+                let res = yds_schedule(&sub.jobs, sub.alpha)?;
+                (res.energy, res.schedule)
+            } else {
+                let ctx = ProgramContext::new(&sub);
+                let sol = solve_min_energy_with(&ctx, solver_opts);
+                (sol.energy, ctx.realize_schedule(&sol.assignment))
+            };
+            // Map the sub-instance's dense ids back to the original ids.
+            let mut mapped = Schedule::empty(instance.machines);
+            for mut seg in sub_schedule.segments {
+                if let Some(job) = seg.job {
+                    seg.job = Some(kept[job.index()]);
+                }
+                mapped.push(seg);
+            }
+            (energy, mapped)
+        };
+
+        let cost = Cost::new(energy, lost_value);
+        if cost.total() < best_cost {
+            best_cost = cost.total();
+            best = Some((cost, rejected, schedule));
+        }
+    }
+
+    let (cost, rejected, schedule) = best.expect("at least one rejection set evaluated");
+    Ok(BruteForceResult {
+        cost,
+        rejected,
+        schedule,
+        evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_types::validate_schedule;
+
+    #[test]
+    fn rejects_job_whose_value_is_below_its_energy() {
+        // One job that would need speed 10 (energy 100 with alpha=2) but is
+        // worth only 1: optimal is to reject it.
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 10.0, 1.0)]).unwrap();
+        let res = brute_force_optimum(&inst).unwrap();
+        assert_eq!(res.rejected, vec![JobId(0)]);
+        assert!((res.cost.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keeps_job_whose_value_exceeds_its_energy() {
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 1.0, 10.0)]).unwrap();
+        let res = brute_force_optimum(&inst).unwrap();
+        assert!(res.rejected.is_empty());
+        assert!((res.cost.total() - 1.0).abs() < 1e-9);
+        let report = validate_schedule(&inst, &res.schedule).unwrap();
+        assert!(report.rejected.is_empty());
+    }
+
+    #[test]
+    fn mixed_instance_keeps_only_the_profitable_jobs() {
+        // Two jobs competing for the same unit interval: keeping both needs
+        // speed 2 (energy 4 with alpha 2).  Job 0 is valuable, job 1 cheap.
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![(0.0, 1.0, 1.0, 100.0), (0.0, 1.0, 1.0, 0.5)],
+        )
+        .unwrap();
+        let res = brute_force_optimum(&inst).unwrap();
+        // Options: keep both (4), keep 0 only (1 + 0.5), keep 1 only
+        // (1 + 100), reject both (100.5).  Best: keep 0 only.
+        assert_eq!(res.rejected, vec![JobId(1)]);
+        assert!((res.cost.total() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiprocessor_optimum_uses_convex_solver() {
+        let inst = Instance::from_tuples(
+            2,
+            2.0,
+            vec![(0.0, 1.0, 1.0, 10.0), (0.0, 1.0, 1.0, 10.0)],
+        )
+        .unwrap();
+        let res = brute_force_optimum(&inst).unwrap();
+        // Each job on its own machine at speed 1: total energy 2.
+        assert!(res.rejected.is_empty());
+        assert!((res.cost.total() - 2.0).abs() < 1e-6);
+        let report = validate_schedule(&inst, &res.schedule).unwrap();
+        assert!(report.rejected.is_empty());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_tuples(1, 2.0, vec![]).unwrap();
+        let res = brute_force_optimum(&inst).unwrap();
+        assert_eq!(res.cost.total(), 0.0);
+        assert_eq!(res.evaluated, 1);
+    }
+
+    #[test]
+    fn too_many_jobs_is_an_error() {
+        let tuples: Vec<_> = (0..21).map(|i| (i as f64, i as f64 + 1.0, 1.0, 1.0)).collect();
+        let inst = Instance::from_tuples(1, 2.0, tuples).unwrap();
+        assert!(brute_force_optimum(&inst).is_err());
+    }
+
+    #[test]
+    fn optimum_never_exceeds_reject_everything_or_keep_everything() {
+        let inst = Instance::from_tuples(
+            1,
+            3.0,
+            vec![
+                (0.0, 2.0, 1.0, 3.0),
+                (0.5, 1.5, 0.8, 0.2),
+                (1.0, 3.0, 1.2, 5.0),
+            ],
+        )
+        .unwrap();
+        let res = brute_force_optimum(&inst).unwrap();
+        let reject_all = inst.total_value();
+        let keep_all = yds_schedule(&inst.jobs, inst.alpha).unwrap().energy;
+        assert!(res.cost.total() <= reject_all + 1e-9);
+        assert!(res.cost.total() <= keep_all + 1e-9);
+    }
+}

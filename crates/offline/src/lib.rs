@@ -1,0 +1,31 @@
+//! # pss-offline
+//!
+//! Offline reference algorithms used as competitive-ratio denominators and
+//! as building blocks of the online baselines:
+//!
+//! * [`yds`] — the classical Yao–Demers–Shenker algorithm: the exact
+//!   energy-optimal single-processor schedule for a mandatory job set,
+//!   implemented independently of the convex machinery (and cross-validated
+//!   against it in tests).  Includes the preemptive-EDF sub-scheduler used
+//!   inside critical intervals.
+//! * [`brute`] — the exact optimum of the *profitable* problem for small
+//!   instances: exhaustive search over rejection sets, with the energy of
+//!   each kept set computed by YDS (`m = 1`) or the convex coordinate
+//!   descent solver (`m > 1`).
+//! * [`schedulers`] — [`Scheduler`](pss_types::Scheduler) wrappers:
+//!   [`YdsScheduler`](schedulers::YdsScheduler),
+//!   [`MinEnergyScheduler`](schedulers::MinEnergyScheduler) (multiprocessor,
+//!   finish everything) and
+//!   [`BruteForceScheduler`](schedulers::BruteForceScheduler) (exact optimum
+//!   with rejection).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod brute;
+pub mod schedulers;
+pub mod yds;
+
+pub use brute::{brute_force_optimum, BruteForceResult};
+pub use schedulers::{BruteForceScheduler, MinEnergyScheduler, YdsScheduler};
+pub use yds::{edf_schedule, yds_schedule, YdsResult};

@@ -1,0 +1,138 @@
+//! [`Scheduler`] wrappers around the offline algorithms.
+
+use pss_convex::{solve_min_energy_with, ProgramContext, SolverOptions};
+use pss_types::{Instance, Schedule, ScheduleError, Scheduler};
+
+use crate::brute::brute_force_optimum;
+use crate::yds::yds_schedule;
+
+/// The Yao–Demers–Shenker offline optimum for a single machine, finishing
+/// every job (values are ignored).
+///
+/// Returns an error when asked to schedule a multi-machine instance; use
+/// [`MinEnergyScheduler`] there.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YdsScheduler;
+
+impl Scheduler for YdsScheduler {
+    fn name(&self) -> String {
+        "YDS".into()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        if instance.machines != 1 {
+            return Err(ScheduleError::Internal(
+                "YDS is a single-machine algorithm; use MinEnergyScheduler for m > 1".into(),
+            ));
+        }
+        yds_schedule(&instance.jobs, instance.alpha).map(|r| r.schedule)
+    }
+}
+
+/// The multiprocessor offline energy optimum for mandatory completion
+/// (values are ignored), computed by coordinate descent on the convex
+/// program and realised with Chen et al.'s per-interval algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct MinEnergyScheduler {
+    /// Convex-solver options.
+    pub options: SolverOptions,
+}
+
+impl Default for MinEnergyScheduler {
+    fn default() -> Self {
+        Self {
+            options: SolverOptions::default(),
+        }
+    }
+}
+
+impl Scheduler for MinEnergyScheduler {
+    fn name(&self) -> String {
+        "OPT-energy".into()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        let ctx = ProgramContext::new(instance);
+        let sol = solve_min_energy_with(&ctx, &self.options);
+        Ok(ctx.realize_schedule(&sol.assignment))
+    }
+}
+
+/// The exact optimum of the profitable problem (with rejection) for small
+/// instances, by exhaustive search over rejection sets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForceScheduler;
+
+impl Scheduler for BruteForceScheduler {
+    fn name(&self) -> String {
+        "OPT".into()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        brute_force_optimum(instance).map(|r| r.schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_types::validate_schedule;
+
+    fn sample(m: usize) -> Instance {
+        Instance::from_tuples(
+            m,
+            2.0,
+            vec![(0.0, 2.0, 1.0, 10.0), (0.5, 1.5, 0.5, 10.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn yds_scheduler_finishes_everything_on_one_machine() {
+        let inst = sample(1);
+        let s = YdsScheduler.schedule(&inst).unwrap();
+        assert!(validate_schedule(&inst, &s).unwrap().rejected.is_empty());
+        assert_eq!(YdsScheduler.name(), "YDS");
+    }
+
+    #[test]
+    fn yds_scheduler_rejects_multiprocessor_instances() {
+        let inst = sample(2);
+        assert!(YdsScheduler.schedule(&inst).is_err());
+    }
+
+    #[test]
+    fn min_energy_scheduler_matches_yds_on_one_machine() {
+        let inst = sample(1);
+        let yds = YdsScheduler.schedule(&inst).unwrap();
+        let cvx = MinEnergyScheduler::default().schedule(&inst).unwrap();
+        let e_yds = yds.cost(&inst).energy;
+        let e_cvx = cvx.cost(&inst).energy;
+        assert!(
+            (e_yds - e_cvx).abs() < 1e-5 * e_yds.max(1.0),
+            "YDS {e_yds} vs convex {e_cvx}"
+        );
+    }
+
+    #[test]
+    fn min_energy_scheduler_handles_multiple_machines() {
+        let inst = sample(2);
+        let s = MinEnergyScheduler::default().schedule(&inst).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(report.rejected.is_empty());
+    }
+
+    #[test]
+    fn brute_force_scheduler_produces_valid_schedules() {
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![(0.0, 1.0, 3.0, 0.5), (0.0, 2.0, 1.0, 50.0)],
+        )
+        .unwrap();
+        let s = BruteForceScheduler.schedule(&inst).unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        // The expensive low-value job should be rejected.
+        assert_eq!(report.rejected, vec![pss_types::JobId(0)]);
+    }
+}

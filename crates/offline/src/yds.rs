@@ -1,0 +1,410 @@
+//! The Yao–Demers–Shenker (YDS) algorithm: exact energy-optimal
+//! single-processor scheduling of a mandatory job set.
+//!
+//! YDS repeatedly finds the *critical interval* — the interval `[t1, t2)`
+//! maximising the density `Σ w_j / (t2 − t1)` over the jobs whose whole
+//! availability window lies inside it — schedules those jobs inside the
+//! interval at exactly that density using preemptive EDF, removes both the
+//! jobs and the interval from the timeline, and recurses on the remaining
+//! (time-collapsed) instance.
+//!
+//! The implementation here is deliberately independent of the convex
+//! machinery in `pss-convex` so that the two can cross-validate each other:
+//! for `m = 1` the coordinate-descent solver must reproduce YDS's energy.
+
+use pss_types::{num, Job, JobId, Schedule, ScheduleError, Segment};
+
+/// The result of running YDS.
+#[derive(Debug, Clone)]
+pub struct YdsResult {
+    /// The produced single-machine schedule (machine index 0).
+    pub schedule: Schedule,
+    /// Total energy of the schedule for the exponent it was computed with.
+    pub energy: f64,
+    /// The critical-interval rounds as `(start, end, speed)` triples, in the
+    /// order they were peeled off (useful for inspecting the speed profile).
+    pub rounds: Vec<(f64, f64, f64)>,
+}
+
+/// Runs YDS for the given jobs on a single machine with power exponent
+/// `alpha`, producing an exact energy-optimal schedule that finishes every
+/// job.
+///
+/// Values are ignored: YDS is the mandatory-completion baseline.
+pub fn yds_schedule(jobs: &[Job], alpha: f64) -> Result<YdsResult, ScheduleError> {
+    #[derive(Clone)]
+    struct Pending {
+        id: JobId,
+        release: f64,
+        deadline: f64,
+        work: f64,
+    }
+
+    let mut pending: Vec<Pending> = jobs
+        .iter()
+        .map(|j| Pending {
+            id: j.id,
+            release: j.release,
+            deadline: j.deadline,
+            work: j.work,
+        })
+        .collect();
+
+    let mut schedule = Schedule::empty(1);
+    let mut rounds = Vec::new();
+    // Collapsed→real time expansions, applied in reverse order of removal.
+    let mut expansions: Vec<(f64, f64)> = Vec::new();
+
+    while !pending.is_empty() {
+        // -- Find the critical interval over all boundary pairs. ----------
+        let mut boundaries: Vec<f64> = pending
+            .iter()
+            .flat_map(|j| [j.release, j.deadline])
+            .collect();
+        boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        boundaries.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let mut best: Option<(f64, f64, f64)> = None; // (t1, t2, density)
+        for (i, &t1) in boundaries.iter().enumerate() {
+            for &t2 in &boundaries[i + 1..] {
+                let len = t2 - t1;
+                if len <= 0.0 {
+                    continue;
+                }
+                let work: f64 = pending
+                    .iter()
+                    .filter(|j| num::approx_ge(j.release, t1) && num::approx_le(j.deadline, t2))
+                    .map(|j| j.work)
+                    .sum();
+                if work <= 0.0 {
+                    continue;
+                }
+                let density = work / len;
+                if best.is_none_or(|(_, _, d)| density > d + 1e-15) {
+                    best = Some((t1, t2, density));
+                }
+            }
+        }
+        let Some((t1, t2, speed)) = best else {
+            // No positive work left (defensive: all works zero).
+            break;
+        };
+        rounds.push((t1, t2, speed));
+
+        // -- Schedule the critical set inside [t1, t2) with EDF. ----------
+        let critical: Vec<Job> = pending
+            .iter()
+            .filter(|j| num::approx_ge(j.release, t1) && num::approx_le(j.deadline, t2))
+            .map(|j| Job {
+                id: j.id,
+                release: j.release,
+                deadline: j.deadline,
+                work: j.work,
+                value: 0.0,
+            })
+            .collect();
+        let segments = edf_schedule(&critical, t1, t2, speed)?;
+        // The segments are in the *current* collapsed timeline; expand them
+        // through every earlier removal (in reverse order) to real time.
+        for seg in segments {
+            for expanded in expand_segment(seg, &expansions) {
+                schedule.push(expanded);
+            }
+        }
+
+        // -- Remove the critical jobs and collapse [t1, t2). --------------
+        pending.retain(|j| {
+            !(num::approx_ge(j.release, t1) && num::approx_le(j.deadline, t2))
+        });
+        let gap = t2 - t1;
+        for j in &mut pending {
+            j.release = collapse_time(j.release, t1, t2, gap);
+            j.deadline = collapse_time(j.deadline, t1, t2, gap);
+            if j.deadline <= j.release {
+                return Err(ScheduleError::Internal(format!(
+                    "YDS collapsed job {} to an empty window",
+                    j.id
+                )));
+            }
+        }
+        // Later rounds produce segments in a timeline from which [t1, t2)
+        // has been removed; record the expansion so their segments can be
+        // mapped back.  Expansions recorded earlier refer to *later*
+        // collapse steps and must be applied first when expanding.
+        expansions.insert(0, (t1, t2));
+    }
+
+    let energy = schedule.energy(alpha);
+    Ok(YdsResult {
+        schedule,
+        energy,
+        rounds,
+    })
+}
+
+fn collapse_time(t: f64, t1: f64, t2: f64, gap: f64) -> f64 {
+    if t >= t2 {
+        t - gap
+    } else if t > t1 {
+        t1
+    } else {
+        t
+    }
+}
+
+/// Expands a segment from a collapsed timeline back to real time, applying
+/// the recorded removals oldest-last (i.e. in the order given).
+fn expand_segment(seg: Segment, expansions: &[(f64, f64)]) -> Vec<Segment> {
+    let mut pieces = vec![seg];
+    for &(t1, t2) in expansions {
+        let gap = t2 - t1;
+        let mut next = Vec::with_capacity(pieces.len());
+        for p in pieces {
+            if p.end <= t1 + 1e-15 {
+                next.push(p);
+            } else if p.start >= t1 - 1e-15 {
+                next.push(Segment {
+                    start: p.start + gap,
+                    end: p.end + gap,
+                    ..p
+                });
+            } else {
+                // The segment straddles the removed gap: split it.
+                next.push(Segment {
+                    start: p.start,
+                    end: t1,
+                    ..p
+                });
+                next.push(Segment {
+                    start: t2,
+                    end: p.end + gap,
+                    ..p
+                });
+            }
+        }
+        pieces = next;
+    }
+    pieces
+}
+
+/// Preemptive earliest-deadline-first scheduling of `jobs` inside
+/// `[window_start, window_end)` at the constant speed `speed` on machine 0.
+///
+/// Every job's availability window must lie inside the window, and the
+/// total work must equal `speed · (window_end − window_start)` up to
+/// tolerance for the schedule to finish everything — both are guaranteed
+/// when called on a YDS critical interval.  Returns an error if some job
+/// cannot be finished by its deadline (which would indicate a bug in the
+/// critical-interval computation).
+pub fn edf_schedule(
+    jobs: &[Job],
+    window_start: f64,
+    window_end: f64,
+    speed: f64,
+) -> Result<Vec<Segment>, ScheduleError> {
+    if speed <= 0.0 {
+        return Ok(Vec::new());
+    }
+    let mut remaining: Vec<f64> = jobs.iter().map(|j| j.work).collect();
+    let mut segments = Vec::new();
+    let mut now = window_start;
+
+    while now < window_end - 1e-12 {
+        // Jobs released and unfinished.
+        let mut candidates: Vec<usize> = (0..jobs.len())
+            .filter(|&i| num::approx_le(jobs[i].release, now) && remaining[i] > 1e-12)
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            jobs[a]
+                .deadline
+                .partial_cmp(&jobs[b].deadline)
+                .expect("finite deadlines")
+                .then(jobs[a].id.cmp(&jobs[b].id))
+        });
+
+        // Next event: the earliest future release (or the window end).
+        let next_release = jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, j)| j.release > now + 1e-12 && remaining[*i] > 1e-12)
+            .map(|(_, j)| j.release)
+            .fold(window_end, f64::min);
+
+        let Some(&run) = candidates.first() else {
+            // Idle until the next release.
+            now = next_release;
+            continue;
+        };
+
+        let time_to_finish = remaining[run] / speed;
+        let end = (now + time_to_finish).min(next_release).min(window_end);
+        if end <= now + 1e-15 {
+            now = next_release;
+            continue;
+        }
+        segments.push(Segment::work(0, now, end, speed, jobs[run].id));
+        remaining[run] -= speed * (end - now);
+        now = end;
+    }
+
+    // Everything must be finished (YDS critical interval invariant).
+    for (i, rem) in remaining.iter().enumerate() {
+        if *rem > 1e-6 * jobs[i].work.max(1.0) {
+            return Err(ScheduleError::Internal(format!(
+                "EDF failed to finish job {} inside the critical interval ({} work left)",
+                jobs[i].id, rem
+            )));
+        }
+    }
+    Ok(merge_adjacent(segments))
+}
+
+/// Merges adjacent segments of the same job and speed (cosmetic, keeps the
+/// schedule small).
+fn merge_adjacent(segments: Vec<Segment>) -> Vec<Segment> {
+    let mut merged: Vec<Segment> = Vec::with_capacity(segments.len());
+    for seg in segments {
+        if let Some(last) = merged.last_mut() {
+            if last.job == seg.job
+                && last.machine == seg.machine
+                && num::approx_eq(last.end, seg.start)
+                && num::approx_eq(last.speed, seg.speed)
+            {
+                last.end = seg.end;
+                continue;
+            }
+        }
+        merged.push(seg);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_types::{validate_schedule, Instance};
+
+    fn run(tuples: Vec<(f64, f64, f64, f64)>, alpha: f64) -> (Instance, YdsResult) {
+        let inst = Instance::from_tuples(1, alpha, tuples).unwrap();
+        let res = yds_schedule(&inst.jobs, alpha).unwrap();
+        (inst, res)
+    }
+
+    #[test]
+    fn single_job_runs_at_density() {
+        let (inst, res) = run(vec![(0.0, 4.0, 2.0, 1.0)], 3.0);
+        assert!((res.energy - 0.5).abs() < 1e-9);
+        let report = validate_schedule(&inst, &res.schedule).unwrap();
+        assert!(report.rejected.is_empty());
+        assert_eq!(res.rounds.len(), 1);
+        assert!((res.rounds[0].2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_jobs_classic_example() {
+        // Job 0: [0,4) work 2; job 1: [1,2) work 2.  Critical interval
+        // [1,2) at speed 2, then job 0 at speed 2/3 on the remaining 3 units.
+        let (inst, res) = run(vec![(0.0, 4.0, 2.0, 1.0), (1.0, 2.0, 2.0, 1.0)], 2.0);
+        let expected = 4.0 + 3.0 * (2.0f64 / 3.0).powi(2);
+        assert!((res.energy - expected).abs() < 1e-9, "energy {}", res.energy);
+        let report = validate_schedule(&inst, &res.schedule).unwrap();
+        assert!(report.rejected.is_empty());
+        assert_eq!(res.rounds.len(), 2);
+        assert!((res.rounds[0].2 - 2.0).abs() < 1e-12);
+        assert!((res.rounds[1].2 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_jobs_each_run_at_their_density() {
+        let (inst, res) = run(
+            vec![(0.0, 1.0, 2.0, 1.0), (2.0, 4.0, 1.0, 1.0)],
+            2.0,
+        );
+        let expected = 4.0 + 0.5;
+        assert!((res.energy - expected).abs() < 1e-9);
+        assert!(validate_schedule(&inst, &res.schedule).unwrap().rejected.is_empty());
+    }
+
+    #[test]
+    fn staircase_instance_runs_every_job_to_completion() {
+        // The Bansal–Kimbrel–Pruhs staircase used for the lower bound.
+        let n = 6;
+        let alpha = 2.0;
+        let tuples: Vec<(f64, f64, f64, f64)> = (1..=n)
+            .map(|j| {
+                (
+                    (j - 1) as f64,
+                    n as f64,
+                    ((n - j + 1) as f64).powf(-1.0 / alpha),
+                    1.0,
+                )
+            })
+            .collect();
+        let (inst, res) = run(tuples, alpha);
+        let report = validate_schedule(&inst, &res.schedule).unwrap();
+        assert!(report.rejected.is_empty());
+        assert!(res.energy > 0.0);
+    }
+
+    #[test]
+    fn empty_job_set_is_trivial() {
+        let res = yds_schedule(&[], 2.0).unwrap();
+        assert_eq!(res.energy, 0.0);
+        assert!(res.schedule.segments.is_empty());
+    }
+
+    #[test]
+    fn edf_respects_release_times() {
+        // Job 1 released mid-window with an earlier deadline preempts job 0.
+        let jobs = vec![
+            Job::new(0, 0.0, 4.0, 2.25, 0.0),
+            Job::new(1, 1.0, 2.0, 0.75, 0.0),
+        ];
+        let segs = edf_schedule(&jobs, 0.0, 4.0, 0.75).unwrap();
+        // Total work 3 at speed 0.75 over 4 time units: exactly fits.
+        let total: f64 = segs.iter().map(|s| s.work_amount()).sum();
+        assert!((total - 3.0).abs() < 1e-9);
+        // Job 1's work must be inside [1, 2).
+        for s in segs.iter().filter(|s| s.job == Some(JobId(1))) {
+            assert!(s.start >= 1.0 - 1e-9 && s.end <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn edf_reports_infeasible_input() {
+        // Deliberately too slow a speed: EDF cannot finish.
+        let jobs = vec![Job::new(0, 0.0, 1.0, 2.0, 0.0)];
+        assert!(edf_schedule(&jobs, 0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn yds_energy_is_no_worse_than_naive_average_rate() {
+        // AVR (each job at its own density) is feasible, so YDS must not use
+        // more energy.
+        let tuples = vec![
+            (0.0, 3.0, 2.0, 1.0),
+            (1.0, 4.0, 1.0, 1.0),
+            (2.0, 6.0, 2.0, 1.0),
+            (0.5, 2.0, 0.7, 1.0),
+        ];
+        let alpha = 2.5;
+        let (inst, res) = run(tuples, alpha);
+        // AVR energy: integrate (sum of densities)^alpha over time via fine
+        // sampling.
+        let (lo, hi) = inst.horizon();
+        let samples = 20_000;
+        let dt = (hi - lo) / samples as f64;
+        let mut avr_energy = 0.0;
+        for i in 0..samples {
+            let t = lo + (i as f64 + 0.5) * dt;
+            let s: f64 = inst
+                .jobs
+                .iter()
+                .filter(|j| j.available_at(t))
+                .map(|j| j.density())
+                .sum();
+            avr_energy += s.powf(alpha) * dt;
+        }
+        assert!(res.energy <= avr_energy + 1e-6);
+    }
+}

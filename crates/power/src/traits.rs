@@ -1,0 +1,42 @@
+//! The abstract power-function interface.
+
+/// A convex, differentiable power function `P : speed → power` with
+/// `P(0) = 0`.
+///
+/// The paper fixes `P(s) = s^α`; this trait exists so that the per-interval
+/// power function machinery (`pss-chen`) and the convex-program machinery
+/// (`pss-convex`) can be read — and extended — independently of that choice.
+/// Implementations must guarantee:
+///
+/// * `power(0) == 0`,
+/// * `power` is convex and strictly increasing on `s >= 0`,
+/// * `marginal(s)` is the derivative `P'(s)` and is nondecreasing,
+/// * `speed_for_marginal(marginal(s)) == s` for all `s >= 0`.
+pub trait PowerFunction: Clone + Send + Sync {
+    /// Power consumption `P(s)` at speed `s >= 0`.
+    fn power(&self, speed: f64) -> f64;
+
+    /// Derivative `P'(s)` at speed `s >= 0`.
+    fn marginal(&self, speed: f64) -> f64;
+
+    /// Inverse of [`marginal`](Self::marginal): the speed at which the
+    /// derivative equals `m >= 0`.
+    fn speed_for_marginal(&self, m: f64) -> f64;
+
+    /// Energy consumed when running at constant speed `s` for `time` units:
+    /// `P(s) · time`.
+    fn energy_at_speed(&self, speed: f64, time: f64) -> f64 {
+        self.power(speed) * time
+    }
+
+    /// Minimal energy needed to process `work` units of work within `time`
+    /// time units on a single processor: achieved by running at the constant
+    /// speed `work / time` (by convexity of `P`).
+    fn energy_for_work(&self, work: f64, time: f64) -> f64 {
+        if work <= 0.0 {
+            return 0.0;
+        }
+        debug_assert!(time > 0.0, "cannot process positive work in zero time");
+        self.energy_at_speed(work / time, time)
+    }
+}

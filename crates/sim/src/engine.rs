@@ -1,0 +1,289 @@
+//! The discrete-event schedule simulator.
+
+use serde::{Deserialize, Serialize};
+
+use pss_power::{AlphaPower, PowerFunction};
+use pss_types::{num, Instance, JobId, Schedule, ScheduleError, Segment};
+
+/// Per-machine execution statistics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Time the machine spent running jobs.
+    pub busy_time: f64,
+    /// Time the machine was idle within the simulated horizon.
+    pub idle_time: f64,
+    /// Energy the machine consumed.
+    pub energy: f64,
+    /// Work the machine processed.
+    pub work: f64,
+    /// Maximum speed the machine ever ran at.
+    pub peak_speed: f64,
+    /// Utilisation `busy / (busy + idle)` (0 for an unused machine).
+    pub utilization: f64,
+}
+
+/// Per-job execution outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job.
+    pub job: JobId,
+    /// Work processed for the job.
+    pub work_done: f64,
+    /// Whether the job was finished.
+    pub finished: bool,
+    /// Completion time (time at which the job's workload was fully
+    /// processed), if finished.
+    pub completion_time: Option<f64>,
+    /// Slack `deadline − completion_time`, if finished.
+    pub slack: Option<f64>,
+    /// Number of preemptions: times the job stopped running and resumed
+    /// later.
+    pub preemptions: usize,
+    /// Number of migrations: times the job resumed on a different machine
+    /// than it last ran on.
+    pub migrations: usize,
+}
+
+/// The full simulation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Simulated horizon `[start, end)`.
+    pub horizon: (f64, f64),
+    /// Per-machine statistics.
+    pub machines: Vec<MachineStats>,
+    /// Per-job outcomes, indexed by job id.
+    pub jobs: Vec<JobOutcome>,
+    /// Total energy (sum over machines).
+    pub total_energy: f64,
+    /// Total lost value (sum of values of unfinished jobs).
+    pub lost_value: f64,
+    /// Total number of preemptions.
+    pub preemptions: usize,
+    /// Total number of migrations.
+    pub migrations: usize,
+}
+
+impl SimReport {
+    /// Total cost `energy + lost value`, matching the paper's objective.
+    pub fn total_cost(&self) -> f64 {
+        self.total_energy + self.lost_value
+    }
+
+    /// Average machine utilisation.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.machines.is_empty() {
+            return 0.0;
+        }
+        self.machines.iter().map(|m| m.utilization).sum::<f64>() / self.machines.len() as f64
+    }
+}
+
+/// The simulator: validates a schedule and replays it event by event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Replays `schedule` for `instance`, producing a [`SimReport`].
+    ///
+    /// The schedule must be feasible (this is checked first via
+    /// [`validate_schedule`](pss_types::validate_schedule)); the simulation
+    /// then walks the event timeline (all segment boundaries in time order)
+    /// and accumulates the statistics.
+    pub fn run(&self, instance: &Instance, schedule: &Schedule) -> Result<SimReport, ScheduleError> {
+        pss_types::validate_schedule(instance, schedule)?;
+        let power = AlphaPower::new(instance.alpha);
+        let m = instance.machines;
+        let n = instance.len();
+
+        let horizon = {
+            let (ilo, ihi) = instance.horizon();
+            match schedule.span() {
+                Some((slo, shi)) => (ilo.min(slo), ihi.max(shi)),
+                None => (ilo, ihi),
+            }
+        };
+
+        // Order segments per job by start time to count preemptions and
+        // migrations and to find completion times.
+        let mut jobs = Vec::with_capacity(n);
+        for job in &instance.jobs {
+            let mut segs: Vec<&Segment> = schedule
+                .segments
+                .iter()
+                .filter(|s| s.job == Some(job.id))
+                .collect();
+            segs.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+
+            let mut work_done = 0.0;
+            let mut completion_time = None;
+            let mut preemptions = 0usize;
+            let mut migrations = 0usize;
+            let mut prev: Option<&Segment> = None;
+            for seg in &segs {
+                if let Some(p) = prev {
+                    if !num::approx_eq(p.end, seg.start) {
+                        preemptions += 1;
+                    }
+                    if p.machine != seg.machine {
+                        migrations += 1;
+                    }
+                }
+                let before = work_done;
+                work_done += seg.work_amount();
+                if completion_time.is_none() && num::approx_ge(work_done, job.work) {
+                    // The job completes inside this segment; interpolate.
+                    let needed = job.work - before;
+                    let t = if seg.speed > 0.0 {
+                        seg.start + needed / seg.speed
+                    } else {
+                        seg.end
+                    };
+                    completion_time = Some(t.min(seg.end));
+                }
+                prev = Some(seg);
+            }
+            let finished = num::approx_ge(work_done, job.work);
+            jobs.push(JobOutcome {
+                job: job.id,
+                work_done,
+                finished,
+                completion_time: if finished { completion_time } else { None },
+                slack: if finished {
+                    completion_time.map(|t| job.deadline - t)
+                } else {
+                    None
+                },
+                preemptions,
+                migrations,
+            });
+        }
+
+        // Per-machine statistics.
+        let mut machines = vec![MachineStats::default(); m];
+        for machine in 0..m {
+            let segs = schedule.machine_segments(machine);
+            let stats = &mut machines[machine];
+            for seg in &segs {
+                stats.busy_time += seg.duration();
+                stats.energy += power.energy_at_speed(seg.speed, seg.duration());
+                stats.work += seg.work_amount();
+                stats.peak_speed = stats.peak_speed.max(seg.speed);
+            }
+            let span = horizon.1 - horizon.0;
+            stats.idle_time = (span - stats.busy_time).max(0.0);
+            stats.utilization = if span > 0.0 { stats.busy_time / span } else { 0.0 };
+        }
+
+        let total_energy = num::stable_sum(machines.iter().map(|s| s.energy));
+        let lost_value = num::stable_sum(
+            jobs.iter()
+                .filter(|o| !o.finished)
+                .map(|o| instance.job(o.job).value),
+        );
+        let preemptions = jobs.iter().map(|o| o.preemptions).sum();
+        let migrations = jobs.iter().map(|o| o.migrations).sum();
+
+        Ok(SimReport {
+            horizon,
+            machines,
+            jobs,
+            total_energy,
+            lost_value,
+            preemptions,
+            migrations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_types::Segment;
+
+    fn instance() -> Instance {
+        Instance::from_tuples(
+            2,
+            2.0,
+            vec![(0.0, 4.0, 2.0, 5.0), (1.0, 3.0, 1.0, 2.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simulation_matches_schedule_cost() {
+        let inst = instance();
+        let mut s = Schedule::empty(2);
+        s.push(Segment::work(0, 0.0, 4.0, 0.5, JobId(0)));
+        s.push(Segment::work(1, 1.0, 3.0, 0.5, JobId(1)));
+        let report = Simulation.run(&inst, &s).unwrap();
+        let cost = s.cost(&inst);
+        assert!((report.total_cost() - cost.total()).abs() < 1e-9);
+        assert_eq!(report.lost_value, 0.0);
+        assert!(report.jobs.iter().all(|j| j.finished));
+    }
+
+    #[test]
+    fn completion_times_and_slack_are_interpolated() {
+        let inst = instance();
+        let mut s = Schedule::empty(2);
+        // Job 0 finishes exactly at t = 4 (work 2 at speed 0.5).
+        s.push(Segment::work(0, 0.0, 4.0, 0.5, JobId(0)));
+        // Job 1 runs at speed 1 from t=1, needs 1 unit of work -> done at 2.
+        s.push(Segment::work(1, 1.0, 3.0, 1.0, JobId(1)));
+        let report = Simulation.run(&inst, &s).unwrap();
+        // Overshoot is permitted by the validator but completion is at the
+        // point the workload is reached.
+        assert!((report.jobs[0].completion_time.unwrap() - 4.0).abs() < 1e-9);
+        assert!((report.jobs[1].completion_time.unwrap() - 2.0).abs() < 1e-9);
+        assert!((report.jobs[1].slack.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preemptions_and_migrations_are_counted() {
+        let inst = Instance::from_tuples(
+            2,
+            2.0,
+            vec![(0.0, 10.0, 3.0, 1.0)],
+        )
+        .unwrap();
+        let mut s = Schedule::empty(2);
+        // Run, pause, resume on another machine.
+        s.push(Segment::work(0, 0.0, 1.0, 1.0, JobId(0)));
+        s.push(Segment::work(1, 2.0, 4.0, 1.0, JobId(0)));
+        let report = Simulation.run(&inst, &s).unwrap();
+        assert_eq!(report.preemptions, 1);
+        assert_eq!(report.migrations, 1);
+    }
+
+    #[test]
+    fn unfinished_jobs_contribute_lost_value() {
+        let inst = instance();
+        let s = Schedule::empty(2);
+        let report = Simulation.run(&inst, &s).unwrap();
+        assert_eq!(report.total_energy, 0.0);
+        assert!((report.lost_value - 7.0).abs() < 1e-12);
+        assert!(report.jobs.iter().all(|j| !j.finished));
+    }
+
+    #[test]
+    fn machine_stats_track_utilization_and_peak_speed() {
+        let inst = instance();
+        let mut s = Schedule::empty(2);
+        s.push(Segment::work(0, 0.0, 2.0, 1.0, JobId(0)));
+        s.push(Segment::work(1, 1.0, 3.0, 0.5, JobId(1)));
+        let report = Simulation.run(&inst, &s).unwrap();
+        assert!((report.machines[0].busy_time - 2.0).abs() < 1e-12);
+        assert!((report.machines[0].peak_speed - 1.0).abs() < 1e-12);
+        assert!((report.machines[0].utilization - 0.5).abs() < 1e-12);
+        assert!((report.machines[1].busy_time - 2.0).abs() < 1e-12);
+        assert!(report.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn infeasible_schedules_are_rejected() {
+        let inst = instance();
+        let mut s = Schedule::empty(2);
+        s.push(Segment::work(0, 0.0, 5.0, 1.0, JobId(0))); // outside window
+        assert!(Simulation.run(&inst, &s).is_err());
+    }
+}

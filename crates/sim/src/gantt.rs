@@ -1,0 +1,165 @@
+//! Plain-text Gantt rendering of schedules.
+//!
+//! The experiment binaries and examples use this to show *what the schedule
+//! looks like* (which machine runs which job when, and how fast) without any
+//! plotting dependency.  Each machine becomes one row of time cells; each
+//! cell shows the job occupying most of that cell, and an optional second
+//! row per machine shows the speed profile as a coarse bar chart.
+
+use pss_types::{Instance, Schedule};
+
+/// Options for the Gantt renderer.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttOptions {
+    /// Number of time columns.
+    pub columns: usize,
+    /// Whether to add a per-machine speed row (`▁▂▃▄▅▆▇█` bars).
+    pub show_speed: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        Self {
+            columns: 64,
+            show_speed: true,
+        }
+    }
+}
+
+/// Renders the schedule as a plain-text Gantt chart over the instance's
+/// horizon.
+pub fn render_gantt(instance: &Instance, schedule: &Schedule, opts: &GanttOptions) -> String {
+    let (lo, hi) = match schedule.span() {
+        Some((slo, shi)) => {
+            let (ilo, ihi) = instance.horizon();
+            (ilo.min(slo), ihi.max(shi))
+        }
+        None => instance.horizon(),
+    };
+    if hi <= lo {
+        return String::from("(empty schedule)\n");
+    }
+    let columns = opts.columns.max(8);
+    let dt = (hi - lo) / columns as f64;
+
+    // Global speed scale for the bar rows.
+    let mut max_speed = 0.0_f64;
+    for seg in &schedule.segments {
+        max_speed = max_speed.max(seg.speed);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time [{lo:.2}, {hi:.2}), {columns} columns of {dt:.3} time units each\n"
+    ));
+    for machine in 0..instance.machines {
+        let mut job_row = String::with_capacity(columns);
+        let mut speed_row = String::with_capacity(columns);
+        for c in 0..columns {
+            let t = lo + (c as f64 + 0.5) * dt;
+            // The segment covering the midpoint of this cell, if any.
+            let seg = schedule
+                .segments
+                .iter()
+                .find(|s| s.machine == machine && s.start <= t && t < s.end);
+            match seg {
+                Some(s) => {
+                    let ch = s
+                        .job
+                        .map(|j| job_glyph(j.index()))
+                        .unwrap_or('·');
+                    job_row.push(ch);
+                    speed_row.push(speed_glyph(s.speed, max_speed));
+                }
+                None => {
+                    job_row.push('·');
+                    speed_row.push(' ');
+                }
+            }
+        }
+        out.push_str(&format!("m{machine:<2} |{job_row}|\n"));
+        if opts.show_speed {
+            out.push_str(&format!("    |{speed_row}|\n"));
+        }
+    }
+    out.push_str("legend: digits/letters = job ids (mod 36), '·' = idle\n");
+    out
+}
+
+fn job_glyph(index: usize) -> char {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    GLYPHS[index % GLYPHS.len()] as char
+}
+
+fn speed_glyph(speed: f64, max_speed: f64) -> char {
+    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    if max_speed <= 0.0 || speed <= 0.0 {
+        return ' ';
+    }
+    let idx = ((speed / max_speed) * (BARS.len() as f64 - 1.0)).round() as usize;
+    BARS[idx.min(BARS.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_types::{Instance, JobId, Segment};
+
+    fn setup() -> (Instance, Schedule) {
+        let inst = Instance::from_tuples(
+            2,
+            2.0,
+            vec![(0.0, 2.0, 1.0, 1.0), (0.0, 4.0, 2.0, 1.0)],
+        )
+        .unwrap();
+        let mut s = Schedule::empty(2);
+        s.push(Segment::work(0, 0.0, 2.0, 0.5, JobId(0)));
+        s.push(Segment::work(1, 1.0, 4.0, 2.0 / 3.0, JobId(1)));
+        (inst, s)
+    }
+
+    #[test]
+    fn gantt_has_one_block_per_machine() {
+        let (inst, s) = setup();
+        let text = render_gantt(&inst, &s, &GanttOptions::default());
+        assert!(text.contains("m0 "));
+        assert!(text.contains("m1 "));
+        assert!(text.contains('0'));
+        assert!(text.contains('1'));
+        assert!(text.contains("legend"));
+    }
+
+    #[test]
+    fn idle_time_is_rendered_as_dots() {
+        let (inst, s) = setup();
+        let text = render_gantt(
+            &inst,
+            &s,
+            &GanttOptions {
+                columns: 16,
+                show_speed: false,
+            },
+        );
+        // Machine 1 is idle during [0,1): its row must start with dots.
+        let m1_row = text.lines().find(|l| l.starts_with("m1 ")).unwrap();
+        assert!(m1_row.contains('·'));
+    }
+
+    #[test]
+    fn empty_schedule_renders_gracefully() {
+        let inst = Instance::from_tuples(1, 2.0, vec![]).unwrap();
+        let s = Schedule::empty(1);
+        let text = render_gantt(&inst, &s, &GanttOptions::default());
+        assert!(text.contains("empty"));
+    }
+
+    #[test]
+    fn glyphs_cycle_and_speed_bars_scale() {
+        assert_eq!(job_glyph(0), '0');
+        assert_eq!(job_glyph(10), 'a');
+        assert_eq!(job_glyph(36), '0');
+        assert_eq!(speed_glyph(0.0, 1.0), ' ');
+        assert_eq!(speed_glyph(1.0, 1.0), '\u{2588}');
+        assert_eq!(speed_glyph(0.01, 1.0), '\u{2581}');
+    }
+}

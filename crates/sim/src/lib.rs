@@ -1,0 +1,29 @@
+//! # pss-sim
+//!
+//! The execution substrate: a discrete-event simulator that "runs" a
+//! schedule on `m` speed-scalable machines and reports what actually
+//! happened, plus an online-behaviour replay harness.
+//!
+//! The paper analyses schedules purely through their cost functional; a
+//! system reproducing it still needs the runtime view a practitioner would
+//! use — per-machine utilisation, preemptions, migrations, completion
+//! times, deadline slack, energy split per machine.  [`engine::Simulation`]
+//! provides exactly that, and doubles as an independent check of the cost
+//! accounting in `pss-types` (the simulator integrates power over its own
+//! event timeline).
+//!
+//! [`replay`] provides the operational definition of "online": it re-runs a
+//! [`Scheduler`](pss_types::Scheduler) on growing prefixes of an instance
+//! and verifies that the machine speed profiles *in the past* never change
+//! when new jobs arrive.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod gantt;
+pub mod replay;
+
+pub use engine::{JobOutcome, MachineStats, SimReport, Simulation};
+pub use gantt::{render_gantt, GanttOptions};
+pub use replay::{prefix_stability_report, PrefixStabilityReport};

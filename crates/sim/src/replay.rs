@@ -1,0 +1,197 @@
+//! Online-behaviour verification by prefix replay.
+//!
+//! An algorithm is *online* when its decisions about the past do not depend
+//! on jobs that have not been released yet.  All the online algorithms in
+//! this workspace are implemented in the plan-revision style (they iterate
+//! over arrivals), but an implementation bug could still leak future
+//! information.  The replay harness checks the operational property
+//! directly: for every arrival time `t`, running the scheduler on the
+//! *prefix instance* (jobs released before or at `t`) must produce exactly
+//! the same machine speed profiles on `[0, t)` as running it on the full
+//! instance.
+
+use serde::{Deserialize, Serialize};
+
+use pss_types::{Instance, Schedule, ScheduleError, Scheduler};
+
+/// Result of the prefix-stability check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefixStabilityReport {
+    /// The arrival times at which prefixes were compared.
+    pub checkpoints: Vec<f64>,
+    /// The largest absolute speed-profile deviation observed in the past of
+    /// any checkpoint.
+    pub max_deviation: f64,
+    /// Number of profile samples per checkpoint.
+    pub samples: usize,
+}
+
+impl PrefixStabilityReport {
+    /// `true` if no past deviation above the tolerance was observed.
+    pub fn is_online(&self, tol: f64) -> bool {
+        self.max_deviation <= tol
+    }
+}
+
+/// Runs the prefix-stability check for `scheduler` on `instance`, sampling
+/// each machine's speed profile at `samples` points.
+pub fn prefix_stability_report<S: Scheduler>(
+    scheduler: &S,
+    instance: &Instance,
+    samples: usize,
+) -> Result<PrefixStabilityReport, ScheduleError> {
+    let full = scheduler.schedule(instance)?;
+    let mut checkpoints: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
+    checkpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    checkpoints.dedup();
+
+    let mut max_deviation = 0.0_f64;
+    for &t in &checkpoints {
+        if t <= instance.horizon().0 {
+            continue;
+        }
+        // The prefix instance: jobs released strictly before t (jobs
+        // released exactly at t may be processed from t onwards only, so
+        // they cannot affect the past either way; excluding them keeps the
+        // comparison strict).
+        let keep: Vec<pss_types::JobId> = instance
+            .jobs
+            .iter()
+            .filter(|j| j.release < t - 1e-12)
+            .map(|j| j.id)
+            .collect();
+        if keep.is_empty() {
+            continue;
+        }
+        let prefix = instance.restrict(&keep);
+        let prefix_schedule = scheduler.schedule(&prefix)?;
+        max_deviation = max_deviation.max(profile_deviation(
+            &full,
+            &prefix_schedule,
+            instance.machines,
+            instance.horizon().0,
+            t,
+            samples,
+        ));
+    }
+
+    Ok(PrefixStabilityReport {
+        checkpoints,
+        max_deviation,
+        samples,
+    })
+}
+
+fn profile_deviation(
+    a: &Schedule,
+    b: &Schedule,
+    machines: usize,
+    from: f64,
+    to: f64,
+    samples: usize,
+) -> f64 {
+    if to <= from {
+        return 0.0;
+    }
+    let step = (to - from) / samples as f64;
+    let mut max_dev = 0.0_f64;
+    for machine in 0..machines {
+        for i in 0..samples {
+            let t = from + (i as f64 + 0.5) * step;
+            let dev = (a.speed_at(machine, t) - b.speed_at(machine, t)).abs();
+            max_dev = max_dev.max(dev);
+        }
+    }
+    max_dev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_types::{JobId, Segment};
+
+    /// A fake "offline" scheduler that schedules every job at a common speed
+    /// proportional to the *total* number of jobs — later arrivals change
+    /// the past, so the prefix check must flag it.
+    struct Clairvoyant;
+
+    impl Scheduler for Clairvoyant {
+        fn name(&self) -> String {
+            "clairvoyant".into()
+        }
+
+        fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+            let mut s = Schedule::empty(instance.machines);
+            let boost = instance.len() as f64;
+            for job in &instance.jobs {
+                s.push(Segment::work(
+                    0,
+                    job.release,
+                    job.deadline,
+                    boost * job.density(),
+                    job.id,
+                ));
+            }
+            Ok(s)
+        }
+    }
+
+    /// An honest online scheduler: every job at its own density, which never
+    /// depends on other jobs — but jobs of one machine may overlap, so use a
+    /// one-job-per-interval instance.
+    struct Honest;
+
+    impl Scheduler for Honest {
+        fn name(&self) -> String {
+            "honest".into()
+        }
+
+        fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+            let mut s = Schedule::empty(instance.machines);
+            for job in &instance.jobs {
+                s.push(Segment::work(
+                    0,
+                    job.release,
+                    job.deadline,
+                    job.density(),
+                    job.id,
+                ));
+            }
+            Ok(s)
+        }
+    }
+
+    fn disjoint_instance() -> Instance {
+        Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 1.0, 0.5, 1.0),
+                (1.0, 2.0, 0.7, 1.0),
+                (2.0, 3.0, 0.9, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn honest_scheduler_passes_the_check() {
+        let report = prefix_stability_report(&Honest, &disjoint_instance(), 64).unwrap();
+        assert!(report.is_online(1e-9), "deviation {}", report.max_deviation);
+    }
+
+    #[test]
+    fn clairvoyant_scheduler_fails_the_check() {
+        let report = prefix_stability_report(&Clairvoyant, &disjoint_instance(), 64).unwrap();
+        assert!(!report.is_online(1e-6));
+        assert!(report.max_deviation > 0.1);
+    }
+
+    #[test]
+    fn single_job_instances_are_trivially_online() {
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 0.5, 1.0)]).unwrap();
+        let report = prefix_stability_report(&Honest, &inst, 16).unwrap();
+        assert_eq!(report.max_deviation, 0.0);
+        let _ = JobId(0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cost accounting for schedules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// The cost of a schedule, split into its two components as in Equation (1)
+/// of the paper: consumed energy and the total value of unfinished jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cost {
+    /// Total energy `Σ_i ∫ P_α(S_i(t)) dt`.
+    pub energy: f64,
+    /// Total value `Σ_{j ∈ J_rej} v_j` of jobs the schedule does not finish.
+    pub lost_value: f64,
+}
+
+impl Cost {
+    /// A zero cost.
+    pub const ZERO: Cost = Cost {
+        energy: 0.0,
+        lost_value: 0.0,
+    };
+
+    /// Creates a cost from its two components.
+    pub fn new(energy: f64, lost_value: f64) -> Self {
+        Self { energy, lost_value }
+    }
+
+    /// The total cost `energy + lost_value`, the objective minimised by the
+    /// paper's algorithms.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.energy + self.lost_value
+    }
+
+    /// The ratio of this cost over `other` (total over total).  Returns
+    /// `1.0` when both are (numerically) zero and `+∞` when only the
+    /// denominator is zero — matching the convention that the competitive
+    /// ratio is at least one and empty instances are uninteresting.
+    pub fn ratio_to(&self, other: &Cost) -> f64 {
+        let num = self.total();
+        let den = other.total();
+        if crate::num::approx_zero(den) {
+            if crate::num::approx_zero(num) {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            num / den
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            energy: self.energy + rhs.energy,
+            lost_value: self.lost_value + rhs.lost_value,
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cost {{ total: {:.6}, energy: {:.6}, lost value: {:.6} }}",
+            self.total(),
+            self.energy,
+            self.lost_value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_add() {
+        let a = Cost::new(2.0, 1.0);
+        let b = Cost::new(0.5, 0.25);
+        assert_eq!(a.total(), 3.0);
+        let c = a + b;
+        assert_eq!(c.energy, 2.5);
+        assert_eq!(c.lost_value, 1.25);
+        assert_eq!(c.total(), 3.75);
+    }
+
+    #[test]
+    fn ratio_conventions() {
+        let a = Cost::new(2.0, 0.0);
+        let b = Cost::new(1.0, 1.0);
+        assert!((a.ratio_to(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(Cost::ZERO.ratio_to(&Cost::ZERO), 1.0);
+        assert_eq!(a.ratio_to(&Cost::ZERO), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_mentions_components() {
+        let s = Cost::new(1.0, 2.0).to_string();
+        assert!(s.contains("energy"));
+        assert!(s.contains("lost value"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Problem instances.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::InstanceError;
+use crate::job::{Job, JobId};
+
+/// A problem instance: a job set, the number of speed-scalable machines and
+/// the energy exponent `α` of the power function `P_α(s) = s^α`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// The jobs, indexed by [`JobId`]: `jobs[j].id == JobId(j)`.
+    pub jobs: Vec<Job>,
+    /// Number of identical speed-scalable machines `m >= 1`.
+    pub machines: usize,
+    /// Energy exponent `α > 1`.
+    pub alpha: f64,
+}
+
+impl Instance {
+    /// Builds an instance from raw `(release, deadline, work, value)` tuples,
+    /// assigning dense job ids in the given order, and validates it.
+    pub fn from_tuples(
+        machines: usize,
+        alpha: f64,
+        tuples: impl IntoIterator<Item = (f64, f64, f64, f64)>,
+    ) -> Result<Self, InstanceError> {
+        let jobs = tuples
+            .into_iter()
+            .enumerate()
+            .map(|(i, (r, d, w, v))| Job::new(i, r, d, w, v))
+            .collect();
+        Self::from_jobs(machines, alpha, jobs)
+    }
+
+    /// Builds an instance from fully formed jobs and validates it.
+    pub fn from_jobs(machines: usize, alpha: f64, jobs: Vec<Job>) -> Result<Self, InstanceError> {
+        let inst = Self {
+            jobs,
+            machines,
+            alpha,
+        };
+        inst.validate()?;
+        Ok(inst)
+    }
+
+    /// Number of jobs `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Returns `true` if the instance has no jobs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Returns the job with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range (ids are dense, so this indicates a
+    /// programming error).
+    #[inline]
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.index()]
+    }
+
+    /// Total value of all jobs, i.e. the cost of the trivial schedule that
+    /// rejects everything.  This is always an upper bound on the optimal
+    /// cost and is used as a sanity cap in tests and metrics.
+    pub fn total_value(&self) -> f64 {
+        crate::num::stable_sum(self.jobs.iter().map(|j| j.value))
+    }
+
+    /// Total workload of all jobs.
+    pub fn total_work(&self) -> f64 {
+        crate::num::stable_sum(self.jobs.iter().map(|j| j.work))
+    }
+
+    /// The time horizon `[min release, max deadline]` spanned by the
+    /// instance.  Returns `(0.0, 0.0)` for an empty instance.
+    pub fn horizon(&self) -> (f64, f64) {
+        if self.jobs.is_empty() {
+            return (0.0, 0.0);
+        }
+        let lo = self.jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
+        let hi = self
+            .jobs
+            .iter()
+            .map(|j| j.deadline)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    }
+
+    /// Job ids sorted by release time (ties broken by id).  This is the
+    /// order in which an online algorithm learns about the jobs.
+    pub fn arrival_order(&self) -> Vec<JobId> {
+        let mut ids: Vec<JobId> = self.jobs.iter().map(|j| j.id).collect();
+        ids.sort_by(|a, b| {
+            let ja = &self.jobs[a.index()];
+            let jb = &self.jobs[b.index()];
+            ja.release
+                .partial_cmp(&jb.release)
+                .expect("release times are finite")
+                .then(a.cmp(b))
+        });
+        ids
+    }
+
+    /// Returns a copy of the instance restricted to the given job ids, with
+    /// ids re-densified in the given order.  Useful for brute-force search
+    /// over rejection sets.
+    pub fn restrict(&self, keep: &[JobId]) -> Instance {
+        let jobs = keep
+            .iter()
+            .enumerate()
+            .map(|(new_id, old)| {
+                let j = self.job(*old);
+                Job::new(new_id, j.release, j.deadline, j.work, j.value)
+            })
+            .collect();
+        Instance {
+            jobs,
+            machines: self.machines,
+            alpha: self.alpha,
+        }
+    }
+
+    /// Validates the instance: machine count, `α`, dense job ids and all
+    /// per-job constraints.
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        if self.machines == 0 {
+            return Err(InstanceError::NoMachines);
+        }
+        if !self.alpha.is_finite() || self.alpha <= 1.0 {
+            return Err(InstanceError::BadAlpha(self.alpha));
+        }
+        for (i, job) in self.jobs.iter().enumerate() {
+            if job.id.index() != i {
+                return Err(InstanceError::NonDenseIds {
+                    position: i,
+                    found: job.id,
+                });
+            }
+            job.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Instance {
+        Instance::from_tuples(
+            2,
+            3.0,
+            vec![
+                (0.0, 4.0, 2.0, 5.0),
+                (1.0, 3.0, 1.0, 2.0),
+                (0.5, 2.0, 0.5, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_assigns_dense_ids() {
+        let inst = sample();
+        assert_eq!(inst.len(), 3);
+        for (i, j) in inst.jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i));
+        }
+    }
+
+    #[test]
+    fn totals_and_horizon() {
+        let inst = sample();
+        assert!((inst.total_value() - 8.0).abs() < 1e-12);
+        assert!((inst.total_work() - 3.5).abs() < 1e-12);
+        assert_eq!(inst.horizon(), (0.0, 4.0));
+    }
+
+    #[test]
+    fn arrival_order_sorts_by_release() {
+        let inst = sample();
+        let order = inst.arrival_order();
+        assert_eq!(order, vec![JobId(0), JobId(2), JobId(1)]);
+    }
+
+    #[test]
+    fn restrict_re_densifies_ids() {
+        let inst = sample();
+        let sub = inst.restrict(&[JobId(2), JobId(0)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.jobs[0].id, JobId(0));
+        assert_eq!(sub.jobs[0].work, 0.5);
+        assert_eq!(sub.jobs[1].id, JobId(1));
+        assert_eq!(sub.jobs[1].work, 2.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_alpha_and_machines() {
+        assert!(matches!(
+            Instance::from_tuples(0, 2.0, vec![(0.0, 1.0, 1.0, 1.0)]),
+            Err(InstanceError::NoMachines)
+        ));
+        assert!(matches!(
+            Instance::from_tuples(1, 1.0, vec![(0.0, 1.0, 1.0, 1.0)]),
+            Err(InstanceError::BadAlpha(_))
+        ));
+    }
+
+    #[test]
+    fn validation_catches_non_dense_ids() {
+        let jobs = vec![Job::new(1, 0.0, 1.0, 1.0, 1.0)];
+        assert!(matches!(
+            Instance::from_jobs(1, 2.0, jobs),
+            Err(InstanceError::NonDenseIds { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_instance_is_fine() {
+        let inst = Instance::from_tuples(1, 2.0, vec![]).unwrap();
+        assert!(inst.is_empty());
+        assert_eq!(inst.horizon(), (0.0, 0.0));
+        assert_eq!(inst.total_value(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inst = sample();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+}

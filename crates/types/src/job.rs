@@ -1,0 +1,183 @@
+//! Jobs and job identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::InstanceError;
+use crate::num;
+
+/// Identifier of a job inside an [`Instance`](crate::Instance).
+///
+/// Job ids are dense indices (`0..n`) into the instance's job vector; all
+/// per-job vectors in the workspace (work assignments, dual variables,
+/// rejection flags, …) are indexed by `JobId::index()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub usize);
+
+impl JobId {
+    /// The dense index of this job.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// A preemptable job, following Section 2 of the paper.
+///
+/// A job `j` is released at time `release = r_j`, must be finished by
+/// `deadline = d_j` to count as completed, carries `work = w_j` units of
+/// workload, and is worth `value = v_j`.  A schedule that does not finish
+/// the job pays `v_j` instead of the energy required to process it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Dense identifier of the job inside its instance.
+    pub id: JobId,
+    /// Release time `r_j`: the job (and all its attributes) becomes known to
+    /// an online algorithm only at this time.
+    pub release: f64,
+    /// Deadline `d_j > r_j`: work processed at or after the deadline does
+    /// not count towards finishing the job.
+    pub deadline: f64,
+    /// Workload `w_j > 0` in units of "work" (speed × time).
+    pub work: f64,
+    /// Value `v_j >= 0` lost if the job is not finished.
+    pub value: f64,
+}
+
+impl Job {
+    /// Creates a new job.  Prefer [`Instance::from_jobs`](crate::Instance::from_jobs)
+    /// or the builder in `pss-workloads` for constructing whole instances.
+    pub fn new(id: usize, release: f64, deadline: f64, work: f64, value: f64) -> Self {
+        Self {
+            id: JobId(id),
+            release,
+            deadline,
+            work,
+            value,
+        }
+    }
+
+    /// Length of the job's availability window `d_j - r_j`.
+    #[inline]
+    pub fn window(&self) -> f64 {
+        self.deadline - self.release
+    }
+
+    /// Density `w_j / (d_j - r_j)`: the minimum average speed a processor
+    /// must dedicate to the job over its whole window to finish it.
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.work / self.window()
+    }
+
+    /// Returns `true` if the half-open interval `[from, to)` is fully
+    /// contained in the job's availability window `[r_j, d_j)`.
+    #[inline]
+    pub fn covers(&self, from: f64, to: f64) -> bool {
+        num::approx_le(self.release, from) && num::approx_le(to, self.deadline)
+    }
+
+    /// Returns `true` if the job is available (may be processed) at time `t`.
+    #[inline]
+    pub fn available_at(&self, t: f64) -> bool {
+        num::approx_le(self.release, t) && num::definitely_lt(t, self.deadline)
+    }
+
+    /// Checks the basic sanity conditions of the model and returns a
+    /// descriptive error if any is violated.
+    pub fn validate(&self) -> Result<(), InstanceError> {
+        if !self.release.is_finite() || self.release < 0.0 {
+            return Err(InstanceError::BadJob {
+                job: self.id,
+                reason: format!("release time {} is not finite and nonnegative", self.release),
+            });
+        }
+        if !self.deadline.is_finite() || self.deadline <= self.release {
+            return Err(InstanceError::BadJob {
+                job: self.id,
+                reason: format!(
+                    "deadline {} does not lie strictly after release {}",
+                    self.deadline, self.release
+                ),
+            });
+        }
+        if !self.work.is_finite() || self.work <= 0.0 {
+            return Err(InstanceError::BadJob {
+                job: self.id,
+                reason: format!("workload {} is not finite and positive", self.work),
+            });
+        }
+        if !self.value.is_finite() || self.value < 0.0 {
+            return Err(InstanceError::BadJob {
+                job: self.id,
+                reason: format!("value {} is not finite and nonnegative", self.value),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job::new(3, 1.0, 5.0, 2.0, 10.0)
+    }
+
+    #[test]
+    fn id_display_and_index() {
+        assert_eq!(JobId(7).to_string(), "j7");
+        assert_eq!(JobId(7).index(), 7);
+    }
+
+    #[test]
+    fn window_and_density() {
+        let j = job();
+        assert_eq!(j.window(), 4.0);
+        assert_eq!(j.density(), 0.5);
+    }
+
+    #[test]
+    fn covers_and_available_at() {
+        let j = job();
+        assert!(j.covers(1.0, 5.0));
+        assert!(j.covers(2.0, 3.0));
+        assert!(!j.covers(0.5, 3.0));
+        assert!(!j.covers(2.0, 5.5));
+        assert!(j.available_at(1.0));
+        assert!(j.available_at(4.999));
+        assert!(!j.available_at(5.0));
+        assert!(!j.available_at(0.999));
+    }
+
+    #[test]
+    fn validation_accepts_good_job() {
+        assert!(job().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_jobs() {
+        let mut j = job();
+        j.deadline = 1.0;
+        assert!(j.validate().is_err());
+
+        let mut j = job();
+        j.work = 0.0;
+        assert!(j.validate().is_err());
+
+        let mut j = job();
+        j.value = -1.0;
+        assert!(j.validate().is_err());
+
+        let mut j = job();
+        j.release = f64::NAN;
+        assert!(j.validate().is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # pss-types
+//!
+//! Foundational types for the *Profitable Speed Scaling* workspace, a
+//! reproduction of Kling & Pietrzyk, "Profitable Scheduling on Multiple
+//! Speed-Scalable Processors" (SPAA 2013).
+//!
+//! This crate defines the problem model shared by every other crate:
+//!
+//! * [`Job`] — a preemptable job with release time, deadline, workload and
+//!   value,
+//! * [`Instance`] — a problem instance (job set, number of machines, energy
+//!   exponent `α`),
+//! * [`Schedule`] — a machine-level schedule as a set of constant-speed
+//!   [`Segment`]s, together with cost accounting ([`Cost`]),
+//! * [`validate`] — feasibility checking of schedules against instances,
+//! * [`Scheduler`] / [`OnlineScheduler`] — the algorithm traits implemented
+//!   by the offline baselines, the online baselines, and the paper's
+//!   primal-dual algorithm (`pss-core`),
+//! * [`num`] — tolerance-aware floating point helpers used by all numeric
+//!   code in the workspace.
+//!
+//! The model follows Section 2 of the paper: `m` speed-scalable processors,
+//! power `P_α(s) = s^α` with `α > 1`, preemption and migration allowed, at
+//! most one job per processor and one processor per job at any time, and the
+//! cost of a schedule is the consumed energy plus the total value of jobs it
+//! does not finish.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod error;
+pub mod instance;
+pub mod job;
+pub mod num;
+pub mod scheduler;
+pub mod segment;
+pub mod validate;
+
+pub use cost::Cost;
+pub use error::{InstanceError, ScheduleError};
+pub use instance::Instance;
+pub use job::{Job, JobId};
+pub use num::Tolerance;
+pub use scheduler::{OnlineScheduler, Scheduler};
+pub use segment::{Schedule, Segment};
+pub use validate::{validate_schedule, ValidationReport};

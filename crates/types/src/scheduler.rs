@@ -1,0 +1,85 @@
+//! Algorithm traits implemented across the workspace.
+
+use crate::error::ScheduleError;
+use crate::instance::Instance;
+use crate::segment::Schedule;
+
+/// A scheduling algorithm that maps an instance to a schedule.
+///
+/// Both offline algorithms (YDS, brute force, the convex-program solver) and
+/// online algorithms implement this trait; it is what the experiment harness
+/// and the simulator consume.
+pub trait Scheduler {
+    /// Human-readable name used in experiment tables (e.g. `"PD"`, `"OA"`,
+    /// `"YDS"`).
+    fn name(&self) -> String;
+
+    /// Computes a schedule for the instance.
+    ///
+    /// Implementations must return a schedule over `instance.machines`
+    /// machines whose segments respect the availability windows of the jobs
+    /// they process; [`validate_schedule`](crate::validate::validate_schedule)
+    /// checks this.
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError>;
+}
+
+/// Marker trait for *online* algorithms.
+///
+/// An online algorithm must base every decision concerning times `< t` only
+/// on jobs with release time `<= t`.  The trait is a marker because all our
+/// online algorithms are implemented in the "plan revision" style of the
+/// paper: they iterate over jobs in release order and only ever add work to
+/// the future.  The simulator crate (`pss-sim`) additionally provides an
+/// event-driven harness ([`pss-sim::replay`]) that re-runs a scheduler on
+/// growing prefixes of the instance and checks that the produced past never
+/// changes, which is the operational definition of "online".
+pub trait OnlineScheduler: Scheduler {}
+
+impl<T: Scheduler + ?Sized> Scheduler for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        (**self).schedule(instance)
+    }
+}
+
+impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        (**self).schedule(instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Noop;
+
+    impl Scheduler for Noop {
+        fn name(&self) -> String {
+            "noop".into()
+        }
+
+        fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+            Ok(Schedule::empty(instance.machines))
+        }
+    }
+
+    #[test]
+    fn blanket_impls_forward() {
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 1.0, 1.0)]).unwrap();
+        let s = Noop;
+        let by_ref: &dyn Scheduler = &s;
+        assert_eq!(by_ref.name(), "noop");
+        assert!(by_ref.schedule(&inst).is_ok());
+        let boxed: Box<dyn Scheduler> = Box::new(Noop);
+        assert_eq!(boxed.name(), "noop");
+        assert!(boxed.schedule(&inst).unwrap().segments.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Adversarial instances from the lower-bound constructions.
+
+use pss_types::{Instance, Job};
+
+/// The Bansal–Kimbrel–Pruhs staircase instance used in the proof of the
+/// lower bound of Theorem 3 (and originally for the `α^α` lower bound on
+/// OA): job `j ∈ {1, …, n}` arrives at time `j − 1`, has workload
+/// `(n − j + 1)^{-1/α}` and deadline `n`.
+///
+/// `value_factor` scales every job's value relative to the energy it would
+/// cost to run the job alone over its whole window; a large factor (the
+/// default use is `1e6`) makes rejection unprofitable, so PD behaves like OA
+/// and its cost approaches `α^α · OPT` as `n → ∞`.
+pub fn staircase_instance(n: usize, alpha: f64, value_factor: f64) -> Instance {
+    let jobs: Vec<Job> = (1..=n)
+        .map(|j| {
+            let release = (j - 1) as f64;
+            let deadline = n as f64;
+            let work = ((n - j + 1) as f64).powf(-1.0 / alpha);
+            let window = deadline - release;
+            let alone_energy = work * (work / window).powf(alpha - 1.0);
+            Job::new(j - 1, release, deadline, work, value_factor * alone_energy.max(1e-9))
+        })
+        .collect();
+    Instance::from_jobs(1, alpha, jobs).expect("staircase jobs are valid")
+}
+
+/// A multiprocessor variant of the staircase: `m` interleaved copies of the
+/// single-machine staircase on `m` machines.  Each copy stresses one machine
+/// the way the original stresses the single machine.
+pub fn staircase_multiprocessor(n_per_machine: usize, machines: usize, alpha: f64, value_factor: f64) -> Instance {
+    let single = staircase_instance(n_per_machine, alpha, value_factor);
+    let mut jobs = Vec::with_capacity(n_per_machine * machines);
+    let mut id = 0;
+    for copy in 0..machines {
+        // Tiny release offsets keep the copies distinguishable while leaving
+        // the structure intact.
+        let offset = copy as f64 * 1e-6;
+        for j in &single.jobs {
+            jobs.push(Job::new(id, j.release + offset, j.deadline + offset, j.work, j.value));
+            id += 1;
+        }
+    }
+    Instance::from_jobs(machines, alpha, jobs).expect("valid multiprocessor staircase")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_has_the_paper_structure() {
+        let n = 5;
+        let alpha = 2.0;
+        let inst = staircase_instance(n, alpha, 10.0);
+        assert_eq!(inst.len(), n);
+        assert_eq!(inst.machines, 1);
+        for (idx, job) in inst.jobs.iter().enumerate() {
+            let j = idx + 1;
+            assert_eq!(job.release, (j - 1) as f64);
+            assert_eq!(job.deadline, n as f64);
+            let expected_work = ((n - j + 1) as f64).powf(-1.0 / alpha);
+            assert!((job.work - expected_work).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn staircase_works_are_increasing_over_time() {
+        // Later jobs have larger workloads: (n-j+1)^{-1/alpha} grows in j.
+        let inst = staircase_instance(8, 3.0, 1.0);
+        for w in inst.jobs.windows(2) {
+            assert!(w[1].work > w[0].work);
+        }
+    }
+
+    #[test]
+    fn multiprocessor_staircase_replicates_per_machine() {
+        let inst = staircase_multiprocessor(4, 3, 2.0, 5.0);
+        assert_eq!(inst.len(), 12);
+        assert_eq!(inst.machines, 3);
+        assert!(inst.validate().is_ok());
+    }
+}

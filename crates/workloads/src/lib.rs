@@ -1,0 +1,31 @@
+//! # pss-workloads
+//!
+//! Workload generators for the experiment harness.  The paper is a theory
+//! paper and ships no traces, so the experiments are driven by synthetic
+//! workloads that exercise the scenarios its introduction motivates
+//! (data-center job streams with heterogeneous sizes, deadlines and values)
+//! plus the adversarial instances used in its proofs:
+//!
+//! * [`random`] — seeded random instance families: uniform or Poisson
+//!   arrivals, uniform or Pareto (heavy-tailed) workloads, several value
+//!   models (absolute, proportional to work, proportional to the job's
+//!   stand-alone energy),
+//! * [`adversarial`] — the Bansal–Kimbrel–Pruhs staircase instance that
+//!   realises the `α^α` lower bound of Theorem 3, plus a multiprocessor
+//!   variant,
+//! * [`paper_examples`] — the small hand-crafted instances behind the
+//!   paper's Figures 2 and 3.
+//!
+//! All generators are deterministic given their seed (ChaCha8), so every
+//! experiment table in EXPERIMENTS.md can be regenerated bit-for-bit.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adversarial;
+pub mod paper_examples;
+pub mod random;
+
+pub use adversarial::{staircase_instance, staircase_multiprocessor};
+pub use paper_examples::{figure2_instance, figure3_instance};
+pub use random::{ArrivalModel, RandomConfig, ValueModel, WindowModel, WorkModel};

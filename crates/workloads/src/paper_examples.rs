@@ -1,0 +1,73 @@
+//! The small hand-crafted instances behind the paper's illustrations.
+
+use pss_types::Instance;
+
+/// An instance reproducing the situation of the paper's **Figure 2**:
+/// four machines, a handful of jobs of very different sizes inside one
+/// atomic interval, so that Chen et al.'s algorithm uses both dedicated and
+/// pool machines — and the arrival of one more job demotes a dedicated job
+/// into the pool.
+///
+/// The "new job" of Figure 2(b) is the last job of the instance (largest
+/// id); experiment E1 runs Chen's algorithm with and without it and prints
+/// the machine loads before and after.
+pub fn figure2_instance() -> Instance {
+    Instance::from_tuples(
+        4,
+        3.0,
+        vec![
+            // One atomic interval [0, 1): all jobs share it.
+            (0.0, 1.0, 2.4, 100.0), // large: dedicated
+            (0.0, 1.0, 1.0, 100.0), // medium: dedicated before the arrival, pooled after
+            (0.0, 1.0, 0.5, 100.0), // pool
+            (0.0, 1.0, 0.4, 100.0), // pool
+            (0.0, 1.0, 0.3, 100.0), // pool
+            (0.0, 1.0, 0.9, 100.0), // the newly arriving job of Figure 2(b)
+        ],
+    )
+    .expect("figure 2 instance is valid")
+}
+
+/// An instance reproducing the flavour of the paper's **Figure 3**: a single
+/// machine and two jobs whose windows nest, chosen so that OA raises the
+/// speed of already-planned work when the second job arrives while PD only
+/// adds new work — making PD's profile more conservative towards the end of
+/// the horizon.
+pub fn figure3_instance() -> Instance {
+    Instance::from_tuples(
+        1,
+        3.0,
+        vec![
+            // Job available on the whole horizon [0, 2).
+            (0.0, 2.0, 1.0, 1e6),
+            // Job arriving later with a tight deadline.
+            (1.0, 1.5, 0.8, 1e6),
+        ],
+    )
+    .expect("figure 3 instance is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_is_a_single_interval_four_machine_instance() {
+        let inst = figure2_instance();
+        assert_eq!(inst.machines, 4);
+        assert!(inst.len() > inst.machines);
+        let (lo, hi) = inst.horizon();
+        assert_eq!((lo, hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn figure3_jobs_nest_and_values_forbid_rejection() {
+        let inst = figure3_instance();
+        assert_eq!(inst.machines, 1);
+        assert_eq!(inst.len(), 2);
+        let a = &inst.jobs[0];
+        let b = &inst.jobs[1];
+        assert!(a.release < b.release && b.deadline < a.deadline);
+        assert!(a.value > 1e3 && b.value > 1e3);
+    }
+}

@@ -1,0 +1,305 @@
+//! Seeded random instance families.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use pss_types::{Instance, Job};
+
+/// How job release times are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Release times drawn uniformly from `[0, horizon)`.
+    Uniform,
+    /// A Poisson process with the given rate (jobs per unit time); the
+    /// `horizon` field is ignored and the stream extends as far as needed.
+    Poisson {
+        /// Expected number of arrivals per unit time.
+        rate: f64,
+    },
+    /// Jobs arrive in bursts: groups of `burst_size` share a release time,
+    /// and the burst release times are spread uniformly over the horizon.
+    Bursty {
+        /// Number of jobs per burst.
+        burst_size: usize,
+    },
+}
+
+/// How job window lengths (deadline − release) are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WindowModel {
+    /// Window lengths uniform in `[min, max]`.
+    Uniform {
+        /// Shortest window.
+        min: f64,
+        /// Longest window.
+        max: f64,
+    },
+}
+
+/// How job workloads are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkModel {
+    /// Workloads uniform in `[min, max]`.
+    Uniform {
+        /// Smallest workload.
+        min: f64,
+        /// Largest workload.
+        max: f64,
+    },
+    /// Heavy-tailed workloads: `scale · U^{-1/shape}` (Pareto), capped at
+    /// `cap` to keep instances numerically sane.
+    Pareto {
+        /// Pareto shape parameter (smaller = heavier tail).
+        shape: f64,
+        /// Scale (minimum workload).
+        scale: f64,
+        /// Hard cap on the workload.
+        cap: f64,
+    },
+}
+
+/// How job values are generated.
+///
+/// The interesting regime for *profitable* scheduling is when values are of
+/// the same order as the energy a job needs: far larger values make every
+/// algorithm accept everything (the classical model), far smaller values
+/// make everything get rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueModel {
+    /// Values uniform in `[min, max]`, independent of the job.
+    Absolute {
+        /// Smallest value.
+        min: f64,
+        /// Largest value.
+        max: f64,
+    },
+    /// `value = factor · work`, with `factor` uniform in `[min, max]`.
+    ProportionalToWork {
+        /// Smallest factor.
+        min: f64,
+        /// Largest factor.
+        max: f64,
+    },
+    /// `value = factor · E_alone`, where `E_alone = w·(w/window)^{α-1}` is
+    /// the energy of running the job alone at its density, with `factor`
+    /// uniform in `[min, max]`.  `factor ≈ 1` puts the job right at the
+    /// accept/reject boundary.
+    ProportionalToEnergy {
+        /// Smallest factor.
+        min: f64,
+        /// Largest factor.
+        max: f64,
+    },
+    /// Every job gets the same huge value, effectively forbidding rejection
+    /// (the classical mandatory-completion model).
+    Mandatory,
+}
+
+/// Configuration of a random instance family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomConfig {
+    /// Number of jobs.
+    pub n_jobs: usize,
+    /// Number of machines.
+    pub machines: usize,
+    /// Energy exponent `α`.
+    pub alpha: f64,
+    /// Length of the arrival window (for uniform/bursty arrivals).
+    pub horizon: f64,
+    /// Arrival model.
+    pub arrival: ArrivalModel,
+    /// Window-length model.
+    pub window: WindowModel,
+    /// Workload model.
+    pub work: WorkModel,
+    /// Value model.
+    pub value: ValueModel,
+    /// PRNG seed (ChaCha8); equal seeds give equal instances.
+    pub seed: u64,
+}
+
+impl RandomConfig {
+    /// A reasonable default family: 20 jobs, 2 machines, `α = 2.5`,
+    /// uniform arrivals over 10 time units, windows 1–4, work 0.5–2 and
+    /// values around the stand-alone energy.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            n_jobs: 20,
+            machines: 2,
+            alpha: 2.5,
+            horizon: 10.0,
+            arrival: ArrivalModel::Uniform,
+            window: WindowModel::Uniform { min: 1.0, max: 4.0 },
+            work: WorkModel::Uniform { min: 0.5, max: 2.0 },
+            value: ValueModel::ProportionalToEnergy { min: 0.5, max: 4.0 },
+            seed,
+        }
+    }
+
+    /// Generates the instance described by this configuration.
+    pub fn generate(&self) -> Instance {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let releases = self.releases(&mut rng);
+        let mut jobs = Vec::with_capacity(self.n_jobs);
+        for (i, release) in releases.into_iter().enumerate() {
+            let window = match self.window {
+                WindowModel::Uniform { min, max } => sample_uniform(&mut rng, min, max),
+            };
+            let work = match self.work {
+                WorkModel::Uniform { min, max } => sample_uniform(&mut rng, min, max),
+                WorkModel::Pareto { shape, scale, cap } => {
+                    let u: f64 = rng.gen_range(1e-9..1.0);
+                    (scale * u.powf(-1.0 / shape)).min(cap)
+                }
+            };
+            let value = match self.value {
+                ValueModel::Absolute { min, max } => sample_uniform(&mut rng, min, max),
+                ValueModel::ProportionalToWork { min, max } => {
+                    work * sample_uniform(&mut rng, min, max)
+                }
+                ValueModel::ProportionalToEnergy { min, max } => {
+                    let alone = work * (work / window).powf(self.alpha - 1.0);
+                    alone * sample_uniform(&mut rng, min, max)
+                }
+                ValueModel::Mandatory => 1e12,
+            };
+            jobs.push(Job::new(i, release, release + window, work, value));
+        }
+        Instance::from_jobs(self.machines, self.alpha, jobs)
+            .expect("generator produces valid jobs")
+    }
+
+    fn releases(&self, rng: &mut ChaCha8Rng) -> Vec<f64> {
+        match self.arrival {
+            ArrivalModel::Uniform => {
+                let mut r: Vec<f64> = (0..self.n_jobs)
+                    .map(|_| sample_uniform(rng, 0.0, self.horizon))
+                    .collect();
+                r.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                r
+            }
+            ArrivalModel::Poisson { rate } => {
+                let mut t = 0.0;
+                (0..self.n_jobs)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(1e-12..1.0);
+                        t += -u.ln() / rate;
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalModel::Bursty { burst_size } => {
+                let bursts = self.n_jobs.div_ceil(burst_size.max(1));
+                let mut burst_times: Vec<f64> = (0..bursts)
+                    .map(|_| sample_uniform(rng, 0.0, self.horizon))
+                    .collect();
+                burst_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                (0..self.n_jobs)
+                    .map(|i| burst_times[i / burst_size.max(1)])
+                    .collect()
+            }
+        }
+    }
+}
+
+fn sample_uniform(rng: &mut ChaCha8Rng, min: f64, max: f64) -> f64 {
+    if max <= min {
+        min
+    } else {
+        rng.gen_range(min..max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = RandomConfig::standard(7).generate();
+        let b = RandomConfig::standard(7).generate();
+        let c = RandomConfig::standard(8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_instances_are_valid_and_sized_correctly() {
+        for seed in 0..5 {
+            let inst = RandomConfig::standard(seed).generate();
+            assert_eq!(inst.len(), 20);
+            assert!(inst.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_increasing() {
+        let cfg = RandomConfig {
+            arrival: ArrivalModel::Poisson { rate: 2.0 },
+            ..RandomConfig::standard(3)
+        };
+        let inst = cfg.generate();
+        let releases: Vec<f64> = inst.jobs.iter().map(|j| j.release).collect();
+        for w in releases.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn bursty_arrivals_share_release_times() {
+        let cfg = RandomConfig {
+            n_jobs: 12,
+            arrival: ArrivalModel::Bursty { burst_size: 4 },
+            ..RandomConfig::standard(11)
+        };
+        let inst = cfg.generate();
+        let distinct: std::collections::BTreeSet<u64> = inst
+            .jobs
+            .iter()
+            .map(|j| j.release.to_bits())
+            .collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn pareto_work_is_capped_and_above_scale() {
+        let cfg = RandomConfig {
+            n_jobs: 200,
+            work: WorkModel::Pareto {
+                shape: 1.2,
+                scale: 0.5,
+                cap: 25.0,
+            },
+            ..RandomConfig::standard(5)
+        };
+        let inst = cfg.generate();
+        for j in &inst.jobs {
+            assert!(j.work >= 0.5 - 1e-12 && j.work <= 25.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mandatory_values_are_huge() {
+        let cfg = RandomConfig {
+            value: ValueModel::Mandatory,
+            ..RandomConfig::standard(2)
+        };
+        let inst = cfg.generate();
+        assert!(inst.jobs.iter().all(|j| j.value >= 1e11));
+    }
+
+    #[test]
+    fn proportional_to_energy_values_scale_with_density() {
+        let cfg = RandomConfig {
+            value: ValueModel::ProportionalToEnergy { min: 1.0, max: 1.0 },
+            ..RandomConfig::standard(9)
+        };
+        let inst = cfg.generate();
+        for j in &inst.jobs {
+            let alone = j.work * (j.work / j.window()).powf(inst.alpha - 1.0);
+            assert!((j.value - alone).abs() < 1e-9 * alone.max(1.0));
+        }
+    }
+}

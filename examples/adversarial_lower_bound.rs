@@ -1,0 +1,37 @@
+//! The tightness construction of Theorem 3: on the Bansal–Kimbrel–Pruhs
+//! staircase instance (with values too high to ever reject), PD's cost
+//! approaches `α^α` times the optimum as the number of jobs grows.
+//!
+//! ```text
+//! cargo run -p pss-core --release --example adversarial_lower_bound
+//! ```
+
+use pss_core::prelude::*;
+use pss_workloads::staircase_instance;
+
+fn main() {
+    let alpha = 2.0;
+    let bound = AlphaPower::new(alpha).competitive_ratio_pd();
+    println!("alpha = {alpha}, proven tight competitive ratio alpha^alpha = {bound}");
+    println!("{:>6}  {:>12}  {:>12}  {:>8}", "n", "cost(PD)", "cost(OPT)", "ratio");
+
+    for n in [2usize, 4, 8, 16, 32, 64, 128] {
+        let instance = staircase_instance(n, alpha, 1e9);
+        let pd = PdScheduler::coarse()
+            .schedule(&instance)
+            .expect("PD on the staircase")
+            .cost(&instance)
+            .total();
+        let opt = YdsScheduler
+            .schedule(&instance)
+            .expect("YDS on the staircase")
+            .cost(&instance)
+            .total();
+        println!("{n:>6}  {pd:>12.4}  {opt:>12.4}  {:>8.4}", pd / opt);
+    }
+
+    println!(
+        "\nThe ratio increases with n and converges to alpha^alpha = {bound}: the paper's\n\
+         analysis is tight, and no better guarantee is possible for this algorithm."
+    );
+}

@@ -1,0 +1,125 @@
+//! Competitive-guarantee integration tests: the paper's Theorem 3 and the
+//! baselines' known guarantees, checked against the exact (brute force)
+//! optimum on many small random instances.
+
+use pss_core::prelude::*;
+use pss_offline::brute_force_optimum;
+use pss_workloads::{staircase_instance, RandomConfig, ValueModel};
+
+fn sweep(machines: usize, alpha: f64, seeds: std::ops::Range<u64>) -> Vec<Instance> {
+    seeds
+        .map(|seed| {
+            RandomConfig {
+                n_jobs: 9,
+                machines,
+                alpha,
+                value: ValueModel::ProportionalToEnergy { min: 0.2, max: 4.0 },
+                ..RandomConfig::standard(900 + seed)
+            }
+            .generate()
+        })
+        .collect()
+}
+
+#[test]
+fn pd_is_within_alpha_alpha_of_the_exact_optimum() {
+    for &(m, alpha) in &[(1usize, 1.5), (1, 2.0), (1, 3.0), (2, 2.0), (3, 2.5)] {
+        let bound = AlphaPower::new(alpha).competitive_ratio_pd();
+        for instance in sweep(m, alpha, 0..4) {
+            let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+            let pd = PdScheduler::default()
+                .schedule(&instance)
+                .expect("PD")
+                .cost(&instance)
+                .total();
+            assert!(
+                pd <= bound * opt + 1e-6,
+                "m={m}, alpha={alpha}: PD {pd} > {bound} * OPT {opt}"
+            );
+            assert!(pd + 1e-9 >= opt, "PD beat the optimum?!");
+        }
+    }
+}
+
+#[test]
+fn cll_is_within_its_published_bound_of_the_optimum() {
+    let alpha = 2.0;
+    let bound = AlphaPower::new(alpha).competitive_ratio_cll();
+    for instance in sweep(1, alpha, 10..14) {
+        let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+        let cll = CllScheduler
+            .schedule(&instance)
+            .expect("CLL")
+            .cost(&instance)
+            .total();
+        assert!(
+            cll <= bound * opt + 1e-6,
+            "CLL {cll} > {bound} * OPT {opt}"
+        );
+    }
+}
+
+#[test]
+fn dual_bound_never_exceeds_the_exact_optimum() {
+    for &(m, alpha) in &[(1usize, 2.0), (2, 2.5), (3, 3.0)] {
+        for instance in sweep(m, alpha, 20..23) {
+            let run = PdScheduler::default().run(&instance).expect("PD run");
+            let analysis = analyze_run(&run);
+            let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+            assert!(
+                analysis.dual.value <= opt + 1e-6,
+                "m={m}, alpha={alpha}: dual {} > OPT {opt}",
+                analysis.dual.value
+            );
+        }
+    }
+}
+
+#[test]
+fn staircase_ratio_is_monotone_and_bounded() {
+    let alpha = 2.0;
+    let bound = AlphaPower::new(alpha).competitive_ratio_pd();
+    let mut prev = 0.0;
+    for n in [2usize, 4, 8, 16, 32] {
+        let instance = staircase_instance(n, alpha, 1e9);
+        let pd = PdScheduler::default()
+            .schedule(&instance)
+            .expect("PD")
+            .cost(&instance)
+            .total();
+        let opt = YdsScheduler
+            .schedule(&instance)
+            .expect("YDS")
+            .cost(&instance)
+            .total();
+        let ratio = pd / opt;
+        assert!(ratio <= bound + 1e-6, "n={n}: ratio {ratio} exceeds {bound}");
+        assert!(ratio + 1e-6 >= prev, "n={n}: ratio decreased ({prev} -> {ratio})");
+        prev = ratio;
+    }
+    // By n = 32 the ratio should already be well above the trivial 1.0,
+    // showing the bound is not vacuous.
+    assert!(prev > 1.5, "staircase ratio stayed near 1: {prev}");
+}
+
+#[test]
+fn rejecting_everything_and_accepting_everything_bracket_pd() {
+    for instance in sweep(2, 2.0, 30..33) {
+        let pd = PdScheduler::default()
+            .schedule(&instance)
+            .expect("PD")
+            .cost(&instance)
+            .total();
+        let reject_all = instance.total_value();
+        // PD never does worse than alpha^alpha times the better of the two
+        // trivial strategies (both are feasible, so both upper-bound OPT).
+        let finish_all = MinEnergyScheduler::default()
+            .schedule(&instance)
+            .expect("finish everything")
+            .cost(&instance)
+            .total();
+        let trivial_best = reject_all.min(finish_all);
+        let bound = AlphaPower::new(instance.alpha).competitive_ratio_pd();
+        assert!(pd <= bound * trivial_best + 1e-6);
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end pipeline integration tests: workload generator → PD →
+//! schedule validation → simulator → metrics, checking that every layer
+//! agrees with the others.
+
+use pss_core::prelude::*;
+use pss_metrics::evaluate_scheduler;
+use pss_sim::Simulation;
+use pss_workloads::{ArrivalModel, RandomConfig, ValueModel, WorkModel};
+
+fn families() -> Vec<RandomConfig> {
+    vec![
+        RandomConfig::standard(1),
+        RandomConfig {
+            n_jobs: 30,
+            machines: 4,
+            alpha: 3.0,
+            arrival: ArrivalModel::Poisson { rate: 2.0 },
+            value: ValueModel::ProportionalToEnergy { min: 0.2, max: 5.0 },
+            ..RandomConfig::standard(2)
+        },
+        RandomConfig {
+            n_jobs: 24,
+            machines: 2,
+            alpha: 1.7,
+            arrival: ArrivalModel::Bursty { burst_size: 4 },
+            work: WorkModel::Pareto {
+                shape: 1.3,
+                scale: 0.3,
+                cap: 8.0,
+            },
+            value: ValueModel::ProportionalToWork { min: 0.1, max: 3.0 },
+            ..RandomConfig::standard(3)
+        },
+    ]
+}
+
+#[test]
+fn pd_schedules_are_feasible_and_consistent_across_layers() {
+    for cfg in families() {
+        let instance = cfg.generate();
+        let run = PdScheduler::default().run(&instance).expect("PD run");
+
+        // Validation layer agrees with the run's accept/reject decisions.
+        let report = validate_schedule(&instance, &run.schedule).expect("feasible schedule");
+        for (j, accepted) in run.accepted.iter().enumerate() {
+            assert_eq!(
+                *accepted, report.finished[j],
+                "seed {}: job {j} acceptance/finish mismatch",
+                cfg.seed
+            );
+        }
+
+        // Cost accounting agrees between Schedule::cost, the validator and
+        // the simulator.
+        let cost = run.schedule.cost(&instance);
+        assert!((cost.energy - report.energy).abs() < 1e-6 * cost.energy.max(1.0));
+        let sim = Simulation.run(&instance, &run.schedule).expect("simulation");
+        assert!((sim.total_energy - cost.energy).abs() < 1e-6 * cost.energy.max(1.0));
+        assert!((sim.lost_value - cost.lost_value).abs() < 1e-9);
+        assert!((sim.total_cost() - cost.total()).abs() < 1e-6 * cost.total().max(1.0));
+
+        // The metrics layer reports the same cost.
+        let result = evaluate_scheduler(&PdScheduler::default(), &instance).expect("metrics run");
+        assert!((result.cost.total() - cost.total()).abs() < 1e-6 * cost.total().max(1.0));
+        assert_eq!(
+            result.finished_jobs,
+            run.accepted.iter().filter(|a| **a).count()
+        );
+    }
+}
+
+#[test]
+fn certified_guarantee_holds_on_every_generated_family() {
+    for cfg in families() {
+        let instance = cfg.generate();
+        let run = PdScheduler::default().run(&instance).expect("PD run");
+        let analysis = analyze_run(&run);
+        assert!(
+            analysis.guarantee_holds(),
+            "seed {}: cost {} exceeds alpha^alpha * dual bound {} * {}",
+            cfg.seed,
+            analysis.cost.total(),
+            analysis.competitive_bound,
+            analysis.dual.value
+        );
+        // The dual bound can never exceed what any feasible schedule costs;
+        // the cheapest trivial schedule rejects everything.
+        assert!(analysis.dual.value <= instance.total_value() + 1e-6);
+    }
+}
+
+#[test]
+fn baselines_produce_feasible_schedules_on_shared_workloads() {
+    let instance = RandomConfig {
+        n_jobs: 15,
+        machines: 1,
+        alpha: 2.0,
+        value: ValueModel::ProportionalToEnergy { min: 0.5, max: 5.0 },
+        ..RandomConfig::standard(77)
+    }
+    .generate();
+
+    let algorithms: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(PdScheduler::default()),
+        Box::new(CllScheduler),
+        Box::new(OaScheduler),
+        Box::new(AvrScheduler),
+        Box::new(QoaScheduler::default()),
+        Box::new(BkpScheduler::default()),
+        Box::new(YdsScheduler),
+        Box::new(MinEnergyScheduler::default()),
+    ];
+    for algo in &algorithms {
+        let schedule = algo.schedule(&instance).expect("algorithm runs");
+        validate_schedule(&instance, &schedule)
+            .unwrap_or_else(|e| panic!("{} produced an infeasible schedule: {e}", algo.name()));
+    }
+}
+
+#[test]
+fn mandatory_value_instances_are_fully_accepted_by_pd() {
+    let instance = RandomConfig {
+        n_jobs: 20,
+        machines: 3,
+        alpha: 2.5,
+        value: ValueModel::Mandatory,
+        ..RandomConfig::standard(8)
+    }
+    .generate();
+    let run = PdScheduler::default().run(&instance).expect("PD run");
+    assert!(run.accepted.iter().all(|a| *a), "PD rejected a mandatory job");
+    let report = validate_schedule(&instance, &run.schedule).expect("feasible");
+    assert_eq!(report.finished_count(), instance.len());
+}

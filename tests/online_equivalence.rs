@@ -1,0 +1,90 @@
+//! Online-behaviour integration tests: the event-driven PD (with interval
+//! refinement) matches the batch PD, and the online algorithms never revise
+//! the past when new jobs arrive.
+
+use pss_core::prelude::*;
+use pss_sim::prefix_stability_report;
+use pss_workloads::{RandomConfig, ValueModel};
+
+fn instances() -> Vec<Instance> {
+    (0..4u64)
+        .map(|seed| {
+            RandomConfig {
+                n_jobs: 12,
+                machines: if seed % 2 == 0 { 1 } else { 3 },
+                alpha: 2.0 + 0.5 * (seed % 3) as f64,
+                value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+                ..RandomConfig::standard(500 + seed)
+            }
+            .generate()
+        })
+        .collect()
+}
+
+#[test]
+fn online_pd_matches_batch_pd_decisions_and_cost() {
+    for instance in instances() {
+        let batch = PdScheduler::default().run(&instance).expect("batch PD");
+        let mut online = OnlinePd::new(instance.machines, instance.alpha);
+        for id in instance.arrival_order() {
+            let accepted = online.arrive(instance.job(id)).expect("online arrival");
+            assert_eq!(
+                accepted,
+                batch.accepted[id.index()],
+                "decision mismatch for {id} (alpha {})",
+                instance.alpha
+            );
+        }
+        let online_cost = online.schedule().expect("online schedule").cost(&instance);
+        let batch_cost = batch.schedule.cost(&instance);
+        assert!(
+            (online_cost.total() - batch_cost.total()).abs()
+                < 1e-5 * batch_cost.total().max(1.0),
+            "cost mismatch: online {} vs batch {}",
+            online_cost.total(),
+            batch_cost.total()
+        );
+    }
+}
+
+#[test]
+fn pd_never_revises_the_past() {
+    for instance in instances() {
+        let report = prefix_stability_report(&PdScheduler::default(), &instance, 48)
+            .expect("prefix replay");
+        assert!(
+            report.is_online(1e-5),
+            "PD revised the past: max deviation {}",
+            report.max_deviation
+        );
+    }
+}
+
+#[test]
+fn oa_and_cll_never_revise_the_past() {
+    let instance = RandomConfig {
+        n_jobs: 10,
+        machines: 1,
+        alpha: 2.0,
+        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+        ..RandomConfig::standard(321)
+    }
+    .generate();
+    for algo in [&OaScheduler as &dyn Scheduler, &CllScheduler as &dyn Scheduler] {
+        let report = prefix_stability_report(&algo, &instance, 48).expect("prefix replay");
+        assert!(
+            report.is_online(1e-5),
+            "{} revised the past: {}",
+            algo.name(),
+            report.max_deviation
+        );
+    }
+}
+
+#[test]
+fn online_pd_schedule_is_feasible_for_the_full_instance() {
+    for instance in instances() {
+        let schedule = OnlinePd::run_instance(&instance).expect("online run");
+        validate_schedule(&instance, &schedule).expect("online schedule is feasible");
+    }
+}
