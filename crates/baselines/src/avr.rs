@@ -5,25 +5,30 @@
 //! is the sum of the densities of the jobs available at that time.  AVR is
 //! `(2α)^α / 2`-competitive and serves as an easy-to-predict baseline in the
 //! classical (mandatory completion) experiments.
+//!
+//! AVR is naturally event-driven: a job's contribution to the speed profile
+//! is fixed at its own arrival and never touches the past, so the
+//! incremental [`AvrState`] simply *commits* the window between consecutive
+//! arrivals using the densities of the jobs known so far.  The one-shot
+//! construction over the full atomic-interval partition is retained as
+//! [`AvrScheduler::batch_schedule`] for the equivalence tests.
 
 use pss_intervals::IntervalPartition;
-use pss_types::{Instance, JobId, OnlineScheduler, Schedule, ScheduleError, Scheduler, Segment};
+use pss_types::{
+    check_arrival_order, Decision, Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler,
+    Schedule, ScheduleError, Segment,
+};
 
 /// The Average Rate scheduler (single machine).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AvrScheduler;
 
-impl Scheduler for AvrScheduler {
-    fn name(&self) -> String {
-        "AVR".into()
-    }
-
-    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
-        if instance.machines != 1 {
-            return Err(ScheduleError::Internal(
-                "AVR is a single-machine algorithm".into(),
-            ));
-        }
+impl AvrScheduler {
+    /// The original batch construction over the instance's atomic-interval
+    /// partition, kept as the reference implementation for the
+    /// incremental-vs-batch equivalence tests.
+    pub fn batch_schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        crate::require_single_machine(instance.machines, "AVR", "")?;
         let mut schedule = Schedule::empty(1);
         let partition = IntervalPartition::from_jobs(&instance.jobs);
 
@@ -56,13 +61,112 @@ impl Scheduler for AvrScheduler {
     }
 }
 
-impl OnlineScheduler for AvrScheduler {}
+/// One event-driven AVR run.
+#[derive(Debug, Clone)]
+pub struct AvrState {
+    /// Jobs released so far (original ids).
+    jobs: Vec<Job>,
+    committed: Schedule,
+    now: f64,
+}
+
+impl AvrState {
+    /// Commits the window `[self.now, to)` using the densities of the jobs
+    /// known so far.  Future arrivals have release `≥ to`, so they can never
+    /// contribute to this window — the commit is final.
+    fn commit_to(&mut self, to: f64) {
+        if !self.now.is_finite() || to <= self.now + 1e-15 {
+            self.now = self.now.max(to);
+            return;
+        }
+        // Sub-partition the window at every known boundary inside it; the
+        // pieces coincide with the batch partition's atomic intervals
+        // because arrival times are themselves boundaries.
+        let mut cuts: Vec<f64> = vec![self.now, to];
+        for j in &self.jobs {
+            for b in [j.release, j.deadline] {
+                if b > self.now + 1e-12 && b < to - 1e-12 {
+                    cuts.push(b);
+                }
+            }
+        }
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite boundaries"));
+        cuts.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+
+        for pair in cuts.windows(2) {
+            let (start, end) = (pair[0], pair[1]);
+            let active: Vec<(JobId, f64)> = self
+                .jobs
+                .iter()
+                .filter(|j| j.covers(start, end))
+                .map(|j| (j.id, j.density()))
+                .collect();
+            let total_speed: f64 = active.iter().map(|(_, d)| d).sum();
+            if total_speed <= 0.0 {
+                continue;
+            }
+            let mut t = start;
+            for (job, density) in &active {
+                let duration = (end - start) * density / total_speed;
+                if duration <= 0.0 {
+                    continue;
+                }
+                self.committed
+                    .push(Segment::work(0, t, t + duration, total_speed, *job));
+                t += duration;
+            }
+        }
+        self.now = to;
+    }
+}
+
+impl OnlineScheduler for AvrState {
+    fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError> {
+        check_arrival_order(self.now, now)?;
+        self.commit_to(now.max(self.now));
+        self.jobs.push(*job);
+        Ok(Decision::accept(0.0))
+    }
+
+    fn frontier(&self) -> &Schedule {
+        &self.committed
+    }
+
+    fn finish(mut self) -> Result<Schedule, ScheduleError> {
+        let end = self
+            .jobs
+            .iter()
+            .map(|j| j.deadline)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if end.is_finite() {
+            self.commit_to(end);
+        }
+        Ok(self.committed)
+    }
+}
+
+impl OnlineAlgorithm for AvrScheduler {
+    type Run = AvrState;
+
+    fn algorithm_name(&self) -> String {
+        "AVR".into()
+    }
+
+    fn start(&self, machines: usize, _alpha: f64) -> Result<Self::Run, ScheduleError> {
+        crate::require_single_machine(machines, "AVR", "")?;
+        Ok(AvrState {
+            jobs: Vec::new(),
+            committed: Schedule::empty(1),
+            now: f64::NEG_INFINITY,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pss_offline::YdsScheduler;
-    use pss_types::validate_schedule;
+    use pss_types::{validate_schedule, Scheduler};
 
     fn instance() -> Instance {
         Instance::from_tuples(
@@ -105,8 +209,53 @@ mod tests {
         let inst = instance();
         let s = AvrScheduler.schedule(&inst).unwrap();
         // At t = 2.5 all three jobs are active: densities 0.5, 0.5, 0.5.
-        let expected: f64 = inst.jobs.iter().filter(|j| j.available_at(2.5)).map(|j| j.density()).sum();
+        let expected: f64 = inst
+            .jobs
+            .iter()
+            .filter(|j| j.available_at(2.5))
+            .map(|j| j.density())
+            .sum();
         assert!((s.total_speed_at(2.5) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_avr_matches_the_batch_reference() {
+        let inst = instance();
+        let batch = AvrScheduler.batch_schedule(&inst).unwrap();
+        let inc = AvrScheduler.schedule(&inst).unwrap();
+        assert!(
+            (batch.cost(&inst).energy - inc.cost(&inst).energy).abs() < 1e-9,
+            "energy differs: batch {} vs incremental {}",
+            batch.cost(&inst).energy,
+            inc.cost(&inst).energy
+        );
+        for t in [0.5, 1.5, 2.5, 3.5, 4.5] {
+            assert!(
+                (batch.total_speed_at(t) - inc.total_speed_at(t)).abs() < 1e-9,
+                "profiles differ at t={t}"
+            );
+        }
+        // Per-job work is also identical.
+        let bw = batch.work_per_job(inst.len());
+        let iw = inc.work_per_job(inst.len());
+        for j in 0..inst.len() {
+            assert!((bw[j] - iw[j]).abs() < 1e-9, "work differs for job {j}");
+        }
+    }
+
+    #[test]
+    fn frontier_is_committed_only_up_to_the_last_arrival() {
+        let inst = instance();
+        let mut run = AvrScheduler.start_for(&inst).unwrap();
+        for id in inst.arrival_order() {
+            let job = inst.job(id);
+            run.on_arrival(job, job.release).unwrap();
+            for seg in &run.frontier().segments {
+                assert!(seg.end <= job.release + 1e-12);
+            }
+        }
+        let s = run.finish().unwrap();
+        assert!(validate_schedule(&inst, &s).unwrap().rejected.is_empty());
     }
 
     #[test]

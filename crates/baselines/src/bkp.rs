@@ -20,17 +20,36 @@
 //! discretisation error so that all jobs still finish; the induced energy
 //! error is of the same order.  BKP is only used as a context baseline in
 //! the classical-scheduling experiment (E9), where this accuracy is ample.
+//!
+//! The event-driven [`BkpState`] executes the same grid incrementally: the
+//! speed of a step is fixed when the step is first entered (it only depends
+//! on jobs released by the step's start, so later arrivals cannot change
+//! it), and the EDF sub-segment in flight when an arrival lands mid-step is
+//! completed before the dispatcher re-evaluates — exactly reproducing the
+//! batch loop.  Because the grid itself is derived from the instance
+//! horizon, [`OnlineAlgorithm::start_for`] picks the grid; a pure
+//! [`start`](OnlineAlgorithm::start) requires an explicit
+//! [`step`](BkpScheduler::step) width.
 
-use pss_types::{num, Instance, OnlineScheduler, Schedule, ScheduleError, Scheduler, Segment};
+use pss_types::{
+    check_arrival_order, num, Decision, Instance, Job, OnlineAlgorithm, OnlineScheduler, Schedule,
+    ScheduleError, Segment,
+};
 
 /// The BKP scheduler (single machine).
 #[derive(Debug, Clone, Copy)]
 pub struct BkpScheduler {
-    /// Number of uniform time steps used to evaluate the speed profile.
+    /// Number of uniform time steps used to evaluate the speed profile when
+    /// the horizon is known upfront (the batch path and
+    /// [`OnlineAlgorithm::start_for`]).
     pub resolution: usize,
     /// Multiplicative safety margin on the speed to absorb discretisation
     /// error (1.0 = none).
     pub speed_margin: f64,
+    /// Explicit grid step width for horizon-free streaming runs started via
+    /// [`OnlineAlgorithm::start`]; `None` derives the step from the horizon
+    /// via `resolution` (and makes `start` without an instance an error).
+    pub step: Option<f64>,
 }
 
 impl Default for BkpScheduler {
@@ -38,61 +57,58 @@ impl Default for BkpScheduler {
         Self {
             resolution: 4000,
             speed_margin: 1.02,
+            step: None,
         }
     }
+}
+
+/// The BKP speed `e·v(t)` at time `t`, given the jobs released so far.
+fn bkp_speed(jobs: &[Job], t: f64) -> f64 {
+    let e = std::f64::consts::E;
+    // Candidate t': all deadlines after t, plus the points where the
+    // left endpoint e·t − (e−1)·t' crosses a release time.
+    let mut candidates: Vec<f64> = jobs
+        .iter()
+        .filter(|j| j.release <= t + 1e-12 && j.deadline > t)
+        .map(|j| j.deadline)
+        .collect();
+    for j in jobs.iter().filter(|j| j.release <= t + 1e-12) {
+        let crossing = (e * t - j.release) / (e - 1.0);
+        if crossing > t {
+            candidates.push(crossing);
+        }
+    }
+    let mut v = 0.0_f64;
+    for &t2 in &candidates {
+        if t2 <= t {
+            continue;
+        }
+        let t1 = e * t - (e - 1.0) * t2;
+        let work: f64 = jobs
+            .iter()
+            .filter(|j| {
+                j.release <= t + 1e-12
+                    && num::approx_ge(j.release, t1)
+                    && num::approx_le(j.deadline, t2)
+            })
+            .map(|j| j.work)
+            .sum();
+        v = v.max(work / (e * (t2 - t)));
+    }
+    e * v
 }
 
 impl BkpScheduler {
-    /// The BKP speed `e·v(t)` at time `t`, given the jobs released so far.
-    fn speed_at(&self, instance: &Instance, t: f64) -> f64 {
-        let e = std::f64::consts::E;
-        // Candidate t': all deadlines after t, plus the points where the
-        // left endpoint e·t − (e−1)·t' crosses a release time.
-        let mut candidates: Vec<f64> = instance
-            .jobs
-            .iter()
-            .filter(|j| j.release <= t + 1e-12 && j.deadline > t)
-            .map(|j| j.deadline)
-            .collect();
-        for j in instance.jobs.iter().filter(|j| j.release <= t + 1e-12) {
-            let crossing = (e * t - j.release) / (e - 1.0);
-            if crossing > t {
-                candidates.push(crossing);
-            }
-        }
-        let mut v = 0.0_f64;
-        for &t2 in &candidates {
-            if t2 <= t {
-                continue;
-            }
-            let t1 = e * t - (e - 1.0) * t2;
-            let work: f64 = instance
-                .jobs
-                .iter()
-                .filter(|j| {
-                    j.release <= t + 1e-12
-                        && num::approx_ge(j.release, t1)
-                        && num::approx_le(j.deadline, t2)
-                })
-                .map(|j| j.work)
-                .sum();
-            v = v.max(work / (e * (t2 - t)));
-        }
-        e * v
-    }
-}
-
-impl Scheduler for BkpScheduler {
-    fn name(&self) -> String {
-        "BKP".into()
+    /// The BKP speed `e·v(t)` at time `t`, given the jobs of `instance`
+    /// released by then.
+    pub fn speed_at(&self, instance: &Instance, t: f64) -> f64 {
+        bkp_speed(&instance.jobs, t)
     }
 
-    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
-        if instance.machines != 1 {
-            return Err(ScheduleError::Internal(
-                "BKP is a single-machine algorithm".into(),
-            ));
-        }
+    /// The original batch grid evaluation, kept as the reference
+    /// implementation for the incremental-vs-batch equivalence tests.
+    pub fn batch_schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        crate::require_single_machine(instance.machines, "BKP", "")?;
         let mut schedule = Schedule::empty(1);
         if instance.is_empty() {
             return Ok(schedule);
@@ -120,10 +136,14 @@ impl Scheduler for BkpScheduler {
                         remaining[*j] > 1e-12 && job.release <= now + 1e-12 && job.deadline > now
                     })
                     .min_by(|(_, a), (_, b)| {
-                        a.deadline.partial_cmp(&b.deadline).expect("finite deadlines")
+                        a.deadline
+                            .partial_cmp(&b.deadline)
+                            .expect("finite deadlines")
                     });
                 let Some((j, job)) = next else { break };
-                let max_dur = (remaining[j] / speed).min(step_end - now).min(job.deadline - now);
+                let max_dur = (remaining[j] / speed)
+                    .min(step_end - now)
+                    .min(job.deadline - now);
                 if max_dur <= 1e-15 {
                     break;
                 }
@@ -136,13 +156,256 @@ impl Scheduler for BkpScheduler {
     }
 }
 
-impl OnlineScheduler for BkpScheduler {}
+/// The EDF sub-segment currently being executed (it survives arrivals that
+/// land in its middle, exactly like the batch loop's inner dispatch).
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    /// Dense index into [`BkpState::jobs`].
+    job: usize,
+    /// Time at which the sub-segment ends.
+    end: f64,
+    /// The job's remaining work once the sub-segment completes.
+    remaining_after: f64,
+}
+
+/// One event-driven BKP run.
+#[derive(Debug, Clone)]
+pub struct BkpState {
+    speed_margin: f64,
+    /// Grid step width.
+    dt: f64,
+    /// Grid anchor (`τ_0`); fixed by `start_for`, or at the first arrival
+    /// for horizon-free runs.
+    anchor: Option<f64>,
+    /// Upper bound on the number of grid steps (set by `start_for` to match
+    /// the batch grid exactly; `None` runs until the released horizon ends).
+    max_steps: Option<usize>,
+    /// Jobs released so far (original ids).
+    jobs: Vec<Job>,
+    remaining: Vec<f64>,
+    committed: Schedule,
+    /// Time up to which the frontier is committed.
+    now: f64,
+    /// Index of the grid step containing `now`.
+    step_idx: usize,
+    /// Speed of the current step, fixed when the step is first entered.
+    step_speed: Option<f64>,
+    /// Set when the batch dispatch rule `break`s out of the current step
+    /// (no eligible job, or a degenerate sub-segment): the remainder of the
+    /// step idles even if a job arrives inside it, exactly like the batch
+    /// loop.
+    step_idle: bool,
+    inflight: Option<Inflight>,
+}
+
+impl BkpState {
+    fn step_start(&self, anchor: f64) -> f64 {
+        anchor + self.step_idx as f64 * self.dt
+    }
+
+    /// Executes the grid over `[self.now, to)`.
+    fn advance_to(&mut self, to: f64) {
+        let Some(anchor) = self.anchor else { return };
+        while self.now < to - 1e-15 {
+            if let Some(limit) = self.max_steps {
+                if self.step_idx >= limit {
+                    self.now = to;
+                    return;
+                }
+            }
+            let step_start = self.step_start(anchor);
+            let step_end = step_start + self.dt;
+            if self.dt <= 0.0 || step_end <= step_start {
+                self.now = to;
+                return;
+            }
+            // The speed of a step is fixed at its start time, from the jobs
+            // released by then — later arrivals never change it.
+            let speed = *self
+                .step_speed
+                .get_or_insert_with(|| bkp_speed(&self.jobs, step_start) * self.speed_margin);
+            let stop = step_end.min(to);
+
+            if speed <= 0.0 || self.step_idle {
+                self.now = stop;
+            } else {
+                // Dispatch EDF sub-segments until `stop`, completing any
+                // sub-segment already in flight first.
+                while self.now < stop - 1e-15 {
+                    let fl = match self.inflight {
+                        Some(fl) => fl,
+                        None => {
+                            let next = self
+                                .jobs
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, job)| {
+                                    self.remaining[*j] > 1e-12
+                                        && job.release <= self.now + 1e-12
+                                        && job.deadline > self.now
+                                })
+                                .min_by(|(_, a), (_, b)| {
+                                    a.deadline
+                                        .partial_cmp(&b.deadline)
+                                        .expect("finite deadlines")
+                                });
+                            let Some((j, job)) = next else {
+                                // Batch `break`: the rest of the step idles,
+                                // even past arrivals landing inside it.
+                                self.step_idle = true;
+                                break;
+                            };
+                            let max_dur = (self.remaining[j] / speed)
+                                .min(step_end - self.now)
+                                .min(job.deadline - self.now);
+                            if max_dur <= 1e-15 {
+                                self.step_idle = true;
+                                break;
+                            }
+                            let fl = Inflight {
+                                job: j,
+                                end: self.now + max_dur,
+                                remaining_after: self.remaining[j] - speed * max_dur,
+                            };
+                            self.inflight = Some(fl);
+                            fl
+                        }
+                    };
+                    let until = fl.end.min(stop);
+                    self.committed.push(Segment::work(
+                        0,
+                        self.now,
+                        until,
+                        speed,
+                        self.jobs[fl.job].id,
+                    ));
+                    self.now = until;
+                    if until >= fl.end - 1e-15 {
+                        self.remaining[fl.job] = fl.remaining_after;
+                        self.inflight = None;
+                    }
+                }
+                // A `break` above leaves the rest of `[now, stop)` idle.
+                self.now = self.now.max(stop);
+            }
+            if self.now >= step_end - 1e-15 {
+                self.step_idx += 1;
+                self.step_speed = None;
+                self.step_idle = false;
+                self.now = self.now.max(step_end);
+            }
+        }
+        self.now = self.now.max(to);
+    }
+}
+
+impl OnlineScheduler for BkpState {
+    fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError> {
+        if self.now.is_finite() {
+            check_arrival_order(self.now, now)?;
+        }
+        if self.anchor.is_none() {
+            self.anchor = Some(now);
+            self.now = now;
+        }
+        if self.now.is_finite() {
+            let to = now.max(self.now);
+            self.advance_to(to);
+        }
+        self.jobs.push(*job);
+        self.remaining.push(job.work);
+        Ok(Decision::accept(0.0))
+    }
+
+    fn frontier(&self) -> &Schedule {
+        &self.committed
+    }
+
+    fn finish(mut self) -> Result<Schedule, ScheduleError> {
+        if let Some(anchor) = self.anchor {
+            let end = match self.max_steps {
+                Some(steps) => anchor + steps as f64 * self.dt,
+                None => self.jobs.iter().map(|j| j.deadline).fold(anchor, f64::max),
+            };
+            self.advance_to(end);
+        }
+        Ok(self.committed)
+    }
+}
+
+impl OnlineAlgorithm for BkpScheduler {
+    type Run = BkpState;
+
+    fn algorithm_name(&self) -> String {
+        "BKP".into()
+    }
+
+    fn start(&self, machines: usize, _alpha: f64) -> Result<Self::Run, ScheduleError> {
+        crate::require_single_machine(machines, "BKP", "")?;
+        let Some(dt) = self.step else {
+            return Err(ScheduleError::Internal(
+                "BKP needs a time grid: set BkpScheduler::step for horizon-free streaming, \
+                 or start the run with start_for(instance)"
+                    .into(),
+            ));
+        };
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(ScheduleError::Internal(format!(
+                "BKP step width must be positive and finite, got {dt}"
+            )));
+        }
+        Ok(BkpState {
+            speed_margin: self.speed_margin,
+            dt,
+            anchor: None,
+            max_steps: None,
+            jobs: Vec::new(),
+            remaining: Vec::new(),
+            committed: Schedule::empty(1),
+            now: f64::NEG_INFINITY,
+            step_idx: 0,
+            step_speed: None,
+            step_idle: false,
+            inflight: None,
+        })
+    }
+
+    fn start_for(&self, instance: &Instance) -> Result<Self::Run, ScheduleError> {
+        crate::require_single_machine(instance.machines, "BKP", "")?;
+        if let Some(dt) = self.step {
+            // An explicit step takes precedence over the horizon grid.
+            let mut run = self.start(1, instance.alpha)?;
+            debug_assert_eq!(run.dt, dt);
+            run.anchor = Some(instance.horizon().0);
+            run.now = instance.horizon().0;
+            return Ok(run);
+        }
+        let (lo, hi) = instance.horizon();
+        let steps = self.resolution.max(1);
+        let span = hi - lo;
+        let dt = if span > 0.0 { span / steps as f64 } else { 1.0 };
+        Ok(BkpState {
+            speed_margin: self.speed_margin,
+            dt,
+            anchor: Some(lo),
+            max_steps: Some(steps),
+            jobs: Vec::new(),
+            remaining: Vec::new(),
+            committed: Schedule::empty(1),
+            now: lo,
+            step_idx: 0,
+            step_speed: None,
+            step_idle: false,
+            inflight: None,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pss_offline::YdsScheduler;
-    use pss_types::validate_schedule;
+    use pss_types::{validate_schedule, Scheduler};
 
     fn instance() -> Instance {
         Instance::from_tuples(
@@ -162,15 +425,82 @@ mod tests {
         let inst = instance();
         let s = BkpScheduler::default().schedule(&inst).unwrap();
         let report = validate_schedule(&inst, &s).unwrap();
-        assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+        assert!(
+            report.rejected.is_empty(),
+            "rejected: {:?}",
+            report.rejected
+        );
     }
 
     #[test]
     fn bkp_energy_is_at_least_the_optimum() {
         let inst = instance();
-        let bkp = BkpScheduler::default().schedule(&inst).unwrap().cost(&inst).energy;
+        let bkp = BkpScheduler::default()
+            .schedule(&inst)
+            .unwrap()
+            .cost(&inst)
+            .energy;
         let opt = YdsScheduler.schedule(&inst).unwrap().cost(&inst).energy;
         assert!(bkp >= opt - 1e-9, "BKP {bkp} below optimal {opt}");
+    }
+
+    #[test]
+    fn incremental_bkp_matches_the_batch_reference() {
+        let inst = instance();
+        let algo = BkpScheduler {
+            resolution: 500,
+            ..Default::default()
+        };
+        let batch = algo.batch_schedule(&inst).unwrap();
+        let inc = algo.schedule(&inst).unwrap();
+        assert!(
+            (batch.cost(&inst).energy - inc.cost(&inst).energy).abs()
+                < 1e-6 * batch.cost(&inst).energy.max(1.0),
+            "energy differs: batch {} vs incremental {}",
+            batch.cost(&inst).energy,
+            inc.cost(&inst).energy
+        );
+        for i in 0..60 {
+            let t = 0.05 + i as f64 * 0.1;
+            assert!(
+                (batch.speed_at(0, t) - inc.speed_at(0, t)).abs() < 1e-6,
+                "profiles differ at t={t}: {} vs {}",
+                batch.speed_at(0, t),
+                inc.speed_at(0, t)
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_free_streaming_needs_an_explicit_step() {
+        assert!(BkpScheduler::default().start(1, 2.0).is_err());
+        let with_step = BkpScheduler {
+            step: Some(0.01),
+            ..Default::default()
+        };
+        assert!(with_step.start(1, 2.0).is_ok());
+    }
+
+    #[test]
+    fn explicit_step_streaming_finishes_jobs() {
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 2.0, 1.0, 1.0), (1.0, 4.0, 1.0, 1.0)])
+            .unwrap();
+        let algo = BkpScheduler {
+            step: Some(0.002),
+            ..Default::default()
+        };
+        let mut run = algo.start(1, inst.alpha).unwrap();
+        for id in inst.arrival_order() {
+            let job = inst.job(id);
+            assert!(run.on_arrival(job, job.release).unwrap().accepted);
+        }
+        let s = run.finish().unwrap();
+        let report = validate_schedule(&inst, &s).unwrap();
+        assert!(
+            report.rejected.is_empty(),
+            "rejected: {:?}",
+            report.rejected
+        );
     }
 
     #[test]
@@ -184,12 +514,8 @@ mod tests {
 
     #[test]
     fn bkp_ignores_unreleased_jobs() {
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 2.0, 1.0, 1.0), (5.0, 6.0, 10.0, 1.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 2.0, 1.0, 1.0), (5.0, 6.0, 10.0, 1.0)])
+            .unwrap();
         let s = BkpScheduler::default();
         // At time 0 only the first job has arrived; the huge future job must
         // not influence the speed.

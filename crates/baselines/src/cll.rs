@@ -8,15 +8,18 @@
 //! always finished.  Chan, Lam & Li prove this is `(α^α + 2e^α)`-competitive
 //! for the cost = energy + lost value objective; the paper's PD algorithm
 //! improves the bound to `α^α`.
+//!
+//! Like the other plan-revision baselines, CLL is event-driven: it
+//! implements [`OnlineAlgorithm`] through a [`ReplanState`] whose admission
+//! policy is the rejection rule above, and recovers its batch
+//! [`Scheduler`](pss_types::Scheduler) impl through the blanket adapter.
 
 use pss_offline::yds::yds_schedule;
 use pss_power::AlphaPower;
-use pss_types::{
-    Instance, Job, JobId, OnlineScheduler, Schedule, ScheduleError, Scheduler,
-};
+use pss_types::{Instance, Job, JobId, OnlineAlgorithm, Schedule, ScheduleError};
 
 use crate::oa::OaPlanner;
-use crate::replan::{run_replanning, AdmissionPolicy, PendingJob};
+use crate::replan::{run_replanning, AdmissionPolicy, OnlineEnv, PendingJob, ReplanState};
 
 /// The Chan–Lam–Li admission rule: reject a job if OA would plan it at a
 /// speed above the value/workload threshold.
@@ -26,12 +29,12 @@ pub struct CllAdmission;
 impl AdmissionPolicy for CllAdmission {
     fn admit(
         &self,
-        instance: &Instance,
+        env: &OnlineEnv,
         now: f64,
         job: &Job,
         pending: &[PendingJob],
     ) -> Result<bool, ScheduleError> {
-        let power = AlphaPower::new(instance.alpha);
+        let power = AlphaPower::new(env.alpha);
         // Plan the remaining work of the admitted jobs plus the new one.
         let mut jobs: Vec<Job> = pending
             .iter()
@@ -39,8 +42,14 @@ impl AdmissionPolicy for CllAdmission {
             .map(|(i, p)| p.as_job_at(now, i))
             .collect();
         let new_dense = jobs.len();
-        jobs.push(Job::new(new_dense, job.release.max(now), job.deadline, job.work, job.value));
-        let plan = yds_schedule(&jobs, instance.alpha)?.schedule;
+        jobs.push(Job::new(
+            new_dense,
+            job.release.max(now),
+            job.deadline,
+            job.work,
+            job.value,
+        ));
+        let plan = yds_schedule(&jobs, env.alpha)?.schedule;
         let planned_speed = plan
             .segments
             .iter()
@@ -56,27 +65,36 @@ impl AdmissionPolicy for CllAdmission {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CllScheduler;
 
-impl Scheduler for CllScheduler {
-    fn name(&self) -> String {
-        "CLL".into()
-    }
-
-    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
-        if instance.machines != 1 {
-            return Err(ScheduleError::Internal(
-                "CLL is a single-machine algorithm; the paper's PD handles m > 1".into(),
-            ));
-        }
+impl CllScheduler {
+    /// The original batch replanning loop, kept as the reference
+    /// implementation for the incremental-vs-batch equivalence tests.
+    pub fn batch_schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        crate::require_single_machine(instance.machines, "CLL", "; the paper's PD handles m > 1")?;
         run_replanning(instance, &OaPlanner { speed_factor: 1.0 }, &CllAdmission)
     }
 }
 
-impl OnlineScheduler for CllScheduler {}
+impl OnlineAlgorithm for CllScheduler {
+    type Run = ReplanState<OaPlanner, CllAdmission>;
+
+    fn algorithm_name(&self) -> String {
+        "CLL".into()
+    }
+
+    fn start(&self, machines: usize, alpha: f64) -> Result<Self::Run, ScheduleError> {
+        crate::require_single_machine(machines, "CLL", "; the paper's PD handles m > 1")?;
+        Ok(ReplanState::new(
+            OaPlanner { speed_factor: 1.0 },
+            CllAdmission,
+            OnlineEnv { machines, alpha },
+        ))
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pss_types::validate_schedule;
+    use pss_types::{validate_schedule, OnlineScheduler, Scheduler};
 
     #[test]
     fn high_value_jobs_are_all_finished() {
@@ -92,23 +110,38 @@ mod tests {
         .unwrap();
         let s = CllScheduler.schedule(&inst).unwrap();
         let report = validate_schedule(&inst, &s).unwrap();
-        assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+        assert!(
+            report.rejected.is_empty(),
+            "rejected: {:?}",
+            report.rejected
+        );
     }
 
     #[test]
     fn worthless_expensive_job_is_rejected() {
         // Needs speed 10 over a unit window (energy 100 at alpha 2) but is
         // worth almost nothing.
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 1.0, 10.0, 0.001)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 10.0, 0.001)]).unwrap();
         let s = CllScheduler.schedule(&inst).unwrap();
         let report = validate_schedule(&inst, &s).unwrap();
         assert_eq!(report.rejected, vec![JobId(0)]);
         assert!((s.cost(&inst).total() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_decisions_report_the_rejection_and_its_dual() {
+        let inst =
+            Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 10.0, 0.001), (0.0, 2.0, 0.5, 10.0)])
+                .unwrap();
+        let mut run = CllScheduler.start_for(&inst).unwrap();
+        let mut decisions = Vec::new();
+        for id in inst.arrival_order() {
+            let job = inst.job(id);
+            decisions.push(run.on_arrival(job, job.release).unwrap());
+        }
+        assert!(!decisions[0].accepted);
+        assert!((decisions[0].dual - 0.001).abs() < 1e-12);
+        assert!(decisions[1].accepted);
     }
 
     #[test]
@@ -121,7 +154,10 @@ mod tests {
         let sa = CllScheduler.schedule(&admit).unwrap();
         let sr = CllScheduler.schedule(&reject).unwrap();
         assert!(validate_schedule(&admit, &sa).unwrap().rejected.is_empty());
-        assert_eq!(validate_schedule(&reject, &sr).unwrap().rejected, vec![JobId(0)]);
+        assert_eq!(
+            validate_schedule(&reject, &sr).unwrap().rejected,
+            vec![JobId(0)]
+        );
     }
 
     #[test]
@@ -140,6 +176,28 @@ mod tests {
         let s = CllScheduler.schedule(&inst).unwrap();
         let report = validate_schedule(&inst, &s).unwrap();
         assert!(report.rejected.contains(&JobId(1)));
+    }
+
+    #[test]
+    fn incremental_cll_matches_the_batch_reference() {
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 4.0, 1.0, 2.0),
+                (0.5, 2.0, 2.0, 0.3),
+                (1.0, 3.0, 1.0, 5.0),
+                (2.0, 6.0, 1.5, 1.0),
+            ],
+        )
+        .unwrap();
+        let batch = CllScheduler.batch_schedule(&inst).unwrap();
+        let inc = CllScheduler.schedule(&inst).unwrap();
+        assert!(
+            (batch.cost(&inst).total() - inc.cost(&inst).total()).abs()
+                < 1e-9 * batch.cost(&inst).total().max(1.0)
+        );
+        assert_eq!(batch.unfinished_jobs(&inst), inc.unfinished_jobs(&inst));
     }
 
     #[test]

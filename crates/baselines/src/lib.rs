@@ -21,7 +21,12 @@
 //!   speed exceeds `(α^{α-2}·v/w)^{1/(α-1)}`", `(α^α + 2e^α)`-competitive.
 //!   This is the algorithm the paper's PD improves upon.
 //!
-//! All of them are driven by the replanning executor in [`replan`], which
+//! All of them implement the event-driven
+//! [`OnlineAlgorithm`](pss_types::OnlineAlgorithm) API — jobs arrive one at
+//! a time, the committed past is never revised — and recover their batch
+//! [`Scheduler`](pss_types::Scheduler) impl through the blanket adapter in
+//! `pss-types`.  The plan-revision algorithms (OA, qOA, multiprocessor OA,
+//! CLL) share the incremental replanning executor in [`replan`], which
 //! enforces the online information model: plans may only depend on jobs
 //! released so far and on the remaining (unprocessed) work.
 
@@ -33,6 +38,19 @@ pub mod bkp;
 pub mod cll;
 pub mod oa;
 pub mod replan;
+
+pub(crate) fn require_single_machine(
+    machines: usize,
+    name: &str,
+    hint: &str,
+) -> Result<(), pss_types::ScheduleError> {
+    if machines != 1 {
+        return Err(pss_types::ScheduleError::Internal(format!(
+            "{name} is a single-machine algorithm{hint}"
+        )));
+    }
+    Ok(())
+}
 
 pub use avr::AvrScheduler;
 pub use bkp::BkpScheduler;

@@ -1,11 +1,19 @@
 //! Optimal Available (OA), its speed-scaled variant qOA, and the
 //! multiprocessor OA extension.
+//!
+//! All three are plan-revision algorithms driven by the replanning executor
+//! in [`crate::replan`]: they implement the event-driven
+//! [`OnlineAlgorithm`] trait (and hence, via the blanket adapter, the batch
+//! [`Scheduler`](pss_types::Scheduler) trait) by starting a
+//! [`ReplanState`] with the appropriate planner.  The original batch loops
+//! are retained as `batch_schedule` reference paths for the equivalence
+//! tests.
 
 use pss_convex::{solve_min_energy_with, ProgramContext, SolverOptions};
 use pss_offline::yds::yds_schedule;
-use pss_types::{Instance, Job, OnlineScheduler, Schedule, ScheduleError, Scheduler};
+use pss_types::{Instance, Job, OnlineAlgorithm, Schedule, ScheduleError};
 
-use crate::replan::{run_replanning, AdmitAll, PendingJob, Planner};
+use crate::replan::{run_replanning, AdmitAll, OnlineEnv, PendingJob, Planner, ReplanState};
 
 /// The YDS-replanning planner: the plan at time `t` is the energy-optimal
 /// schedule of the remaining work, which is precisely OA's definition.
@@ -35,7 +43,7 @@ impl Planner for OaPlanner {
 
     fn plan(
         &self,
-        instance: &Instance,
+        env: &OnlineEnv,
         now: f64,
         pending: &[PendingJob],
     ) -> Result<Schedule, ScheduleError> {
@@ -44,7 +52,7 @@ impl Planner for OaPlanner {
             .enumerate()
             .map(|(i, p)| p.as_job_at(now, i))
             .collect();
-        let mut plan = yds_schedule(&jobs, instance.alpha)?.schedule;
+        let mut plan = yds_schedule(&jobs, env.alpha)?.schedule;
         let factor = if self.speed_factor > 0.0 {
             self.speed_factor
         } else {
@@ -65,55 +73,74 @@ impl Planner for OaPlanner {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OaScheduler;
 
-impl Scheduler for OaScheduler {
-    fn name(&self) -> String {
-        "OA".into()
-    }
-
-    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
-        if instance.machines != 1 {
-            return Err(ScheduleError::Internal(
-                "OA is a single-machine algorithm; use MultiOaScheduler for m > 1".into(),
-            ));
-        }
+impl OaScheduler {
+    /// The original batch replanning loop, kept as the reference
+    /// implementation for the incremental-vs-batch equivalence tests.
+    pub fn batch_schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        crate::require_single_machine(instance.machines, "OA", "; use MultiOaScheduler for m > 1")?;
         run_replanning(instance, &OaPlanner { speed_factor: 1.0 }, &AdmitAll)
     }
 }
 
-impl OnlineScheduler for OaScheduler {}
+impl OnlineAlgorithm for OaScheduler {
+    type Run = ReplanState<OaPlanner, AdmitAll>;
+
+    fn algorithm_name(&self) -> String {
+        "OA".into()
+    }
+
+    fn start(&self, machines: usize, alpha: f64) -> Result<Self::Run, ScheduleError> {
+        crate::require_single_machine(machines, "OA", "; use MultiOaScheduler for m > 1")?;
+        Ok(ReplanState::new(
+            OaPlanner { speed_factor: 1.0 },
+            AdmitAll,
+            OnlineEnv { machines, alpha },
+        ))
+    }
+}
 
 /// **qOA** (Bansal, Chan, Pruhs & Katz): follow OA's plan at `q` times its
 /// speed.  The default `q = 2 − 1/α` is the parameterisation analysed in the
 /// literature; any `q ≥ 1` is accepted.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct QoaScheduler {
     /// The speed multiplier `q ≥ 1`; `None` selects `2 − 1/α`.
     pub q: Option<f64>,
 }
 
-impl Default for QoaScheduler {
-    fn default() -> Self {
-        Self { q: None }
-    }
-}
-
-impl Scheduler for QoaScheduler {
-    fn name(&self) -> String {
-        "qOA".into()
+impl QoaScheduler {
+    fn effective_q(&self, alpha: f64) -> f64 {
+        self.q.unwrap_or(2.0 - 1.0 / alpha).max(1.0)
     }
 
-    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
-        if instance.machines != 1 {
-            return Err(ScheduleError::Internal(
-                "qOA is a single-machine algorithm".into(),
-            ));
-        }
-        let q = self.q.unwrap_or(2.0 - 1.0 / instance.alpha).max(1.0);
+    /// The original batch replanning loop (reference implementation).
+    pub fn batch_schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+        crate::require_single_machine(
+            instance.machines,
+            "qOA",
+            "; use MultiOaScheduler for m > 1",
+        )?;
+        let q = self.effective_q(instance.alpha);
         run_replanning(instance, &OaPlanner::with_factor(q), &AdmitAll)
     }
 }
 
-impl OnlineScheduler for QoaScheduler {}
+impl OnlineAlgorithm for QoaScheduler {
+    type Run = ReplanState<OaPlanner, AdmitAll>;
+
+    fn algorithm_name(&self) -> String {
+        "qOA".into()
+    }
+
+    fn start(&self, machines: usize, alpha: f64) -> Result<Self::Run, ScheduleError> {
+        crate::require_single_machine(machines, "qOA", "; use MultiOaScheduler for m > 1")?;
+        Ok(ReplanState::new(
+            OaPlanner::with_factor(self.effective_q(alpha)),
+            AdmitAll,
+            OnlineEnv { machines, alpha },
+        ))
+    }
+}
 
 /// Planner replanning with the *multiprocessor* offline optimum (coordinate
 /// descent on the convex program, realised by Chen et al.'s algorithm).
@@ -130,19 +157,19 @@ impl Planner for MultiOaPlanner {
 
     fn plan(
         &self,
-        instance: &Instance,
+        env: &OnlineEnv,
         now: f64,
         pending: &[PendingJob],
     ) -> Result<Schedule, ScheduleError> {
         if pending.is_empty() {
-            return Ok(Schedule::empty(instance.machines));
+            return Ok(Schedule::empty(env.machines));
         }
         let jobs: Vec<Job> = pending
             .iter()
             .enumerate()
             .map(|(i, p)| p.as_job_at(now, i))
             .collect();
-        let sub = Instance::from_jobs(instance.machines, instance.alpha, jobs)
+        let sub = Instance::from_jobs(env.machines, env.alpha, jobs)
             .map_err(|e| ScheduleError::Internal(e.to_string()))?;
         let ctx = ProgramContext::new(&sub);
         let sol = solve_min_energy_with(&ctx, &self.options);
@@ -153,26 +180,15 @@ impl Planner for MultiOaPlanner {
 /// The multiprocessor extension of OA (in the spirit of Albers, Antoniadis &
 /// Greiner): at every arrival, recompute the optimal schedule of the
 /// remaining work on all `m` machines and follow it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MultiOaScheduler {
     /// Convex solver options used for every replanning step.
     pub options: SolverOptions,
 }
 
-impl Default for MultiOaScheduler {
-    fn default() -> Self {
-        Self {
-            options: SolverOptions::default(),
-        }
-    }
-}
-
-impl Scheduler for MultiOaScheduler {
-    fn name(&self) -> String {
-        "OA(m)".into()
-    }
-
-    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
+impl MultiOaScheduler {
+    /// The original batch replanning loop (reference implementation).
+    pub fn batch_schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
         run_replanning(
             instance,
             &MultiOaPlanner {
@@ -183,14 +199,30 @@ impl Scheduler for MultiOaScheduler {
     }
 }
 
-impl OnlineScheduler for MultiOaScheduler {}
+impl OnlineAlgorithm for MultiOaScheduler {
+    type Run = ReplanState<MultiOaPlanner, AdmitAll>;
+
+    fn algorithm_name(&self) -> String {
+        "OA(m)".into()
+    }
+
+    fn start(&self, machines: usize, alpha: f64) -> Result<Self::Run, ScheduleError> {
+        Ok(ReplanState::new(
+            MultiOaPlanner {
+                options: self.options,
+            },
+            AdmitAll,
+            OnlineEnv { machines, alpha },
+        ))
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pss_offline::YdsScheduler;
     use pss_power::AlphaPower;
-    use pss_types::validate_schedule;
+    use pss_types::{validate_schedule, Scheduler};
 
     fn instance(alpha: f64) -> Instance {
         Instance::from_tuples(
@@ -211,7 +243,11 @@ mod tests {
         let inst = instance(3.0);
         let s = OaScheduler.schedule(&inst).unwrap();
         let report = validate_schedule(&inst, &s).unwrap();
-        assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+        assert!(
+            report.rejected.is_empty(),
+            "rejected: {:?}",
+            report.rejected
+        );
     }
 
     #[test]
@@ -226,6 +262,25 @@ mod tests {
                 oa <= bound * opt + 1e-9,
                 "alpha={alpha}: OA {oa} exceeds {bound}·OPT ({opt})"
             );
+        }
+    }
+
+    #[test]
+    fn incremental_oa_matches_the_batch_reference() {
+        for alpha in [1.5, 2.0, 3.0] {
+            let inst = instance(alpha);
+            let batch = OaScheduler.batch_schedule(&inst).unwrap();
+            let inc = OaScheduler.schedule(&inst).unwrap();
+            assert!(
+                (batch.cost(&inst).total() - inc.cost(&inst).total()).abs()
+                    < 1e-9 * batch.cost(&inst).total().max(1.0)
+            );
+            for t in [0.5, 1.5, 2.2, 3.5, 4.5, 5.5] {
+                assert!(
+                    (batch.speed_at(0, t) - inc.speed_at(0, t)).abs() < 1e-9,
+                    "alpha={alpha}: profiles differ at t={t}"
+                );
+            }
         }
     }
 
@@ -268,7 +323,11 @@ mod tests {
         .unwrap();
         let s = MultiOaScheduler::default().schedule(&inst).unwrap();
         let report = validate_schedule(&inst, &s).unwrap();
-        assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+        assert!(
+            report.rejected.is_empty(),
+            "rejected: {:?}",
+            report.rejected
+        );
     }
 
     #[test]

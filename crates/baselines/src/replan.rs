@@ -9,8 +9,34 @@
 //! * the planner only ever sees jobs that have already been released,
 //! * it only sees the work that has not been processed yet,
 //! * already executed segments are never revised.
+//!
+//! Two executors are provided:
+//!
+//! * [`ReplanState`] — the *incremental* executor implementing the
+//!   event-driven [`OnlineScheduler`] trait: each
+//!   [`on_arrival`](OnlineScheduler::on_arrival) executes the current plan
+//!   up to the arrival time (extending the committed frontier), consults the
+//!   admission policy, and replans.  This is what the blanket batch adapter
+//!   and the streaming simulator drive.
+//! * [`run_replanning`] — the original *batch* loop over an instance's
+//!   distinct release times, retained verbatim as an independently coded
+//!   reference: the `incremental_equivalence` integration tests check that
+//!   both paths produce identical schedules on random workloads.
 
-use pss_types::{num, Instance, Job, JobId, Schedule, ScheduleError, Segment};
+use pss_types::{
+    check_arrival_order, num, Decision, Instance, Job, JobId, OnlineScheduler, Schedule,
+    ScheduleError, Segment,
+};
+
+/// The static environment an online run lives in: everything a planner may
+/// know about the instance before any job is released.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineEnv {
+    /// Number of identical speed-scalable machines.
+    pub machines: usize,
+    /// Energy exponent `α > 1` of the power function.
+    pub alpha: f64,
+}
 
 /// A released, admitted and not yet finished job as seen by a planner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,9 +82,9 @@ impl PendingJob {
 }
 
 /// A planning rule: given the current time and the pending jobs, produce a
-/// schedule for the future (over the instance's machines).  Segment job ids
-/// must refer to positions in the `pending` slice (dense ids `0..len`); the
-/// executor maps them back to original ids.
+/// schedule for the future (over the environment's machines).  Segment job
+/// ids must refer to positions in the `pending` slice (dense ids `0..len`);
+/// the executor maps them back to original ids.
 pub trait Planner {
     /// Human-readable name of the planning rule.
     fn name(&self) -> String;
@@ -66,7 +92,7 @@ pub trait Planner {
     /// Plans the remaining work of `pending` starting at time `now`.
     fn plan(
         &self,
-        instance: &Instance,
+        env: &OnlineEnv,
         now: f64,
         pending: &[PendingJob],
     ) -> Result<Schedule, ScheduleError>;
@@ -80,7 +106,7 @@ pub trait AdmissionPolicy {
     /// jobs.
     fn admit(
         &self,
-        instance: &Instance,
+        env: &OnlineEnv,
         now: f64,
         job: &Job,
         pending: &[PendingJob],
@@ -94,7 +120,7 @@ pub struct AdmitAll;
 impl AdmissionPolicy for AdmitAll {
     fn admit(
         &self,
-        _instance: &Instance,
+        _env: &OnlineEnv,
         _now: f64,
         _job: &Job,
         _pending: &[PendingJob],
@@ -103,12 +129,135 @@ impl AdmissionPolicy for AdmitAll {
     }
 }
 
-/// Runs the replanning loop and returns the executed schedule.
+/// The incremental replanning executor: event-driven state for one run of a
+/// plan-revision algorithm.
+///
+/// The committed frontier grows by executing the *current* plan over the
+/// window between consecutive arrivals; admission and replanning happen at
+/// each arrival, after the window has been executed, so neither can affect
+/// the past.
+#[derive(Debug, Clone)]
+pub struct ReplanState<P: Planner, A: AdmissionPolicy> {
+    planner: P,
+    admission: A,
+    env: OnlineEnv,
+    pending: Vec<PendingJob>,
+    /// The current plan for the future (dense ids into `pending`).
+    plan: Schedule,
+    /// Set when the pending set changed since `plan` was computed; the plan
+    /// is recomputed lazily just before it is executed, so a burst of
+    /// simultaneous arrivals costs a single planning solve (exactly like
+    /// the batch loop, which plans once per distinct release time).
+    plan_stale: bool,
+    /// The executed frontier (original job ids).
+    committed: Schedule,
+    /// Time up to which the frontier is committed.
+    now: f64,
+    /// Latest deadline among released jobs: the horizon the final plan is
+    /// executed to by [`finish`](OnlineScheduler::finish).
+    horizon_end: f64,
+}
+
+impl<P: Planner, A: AdmissionPolicy> ReplanState<P, A> {
+    /// Creates a fresh run for the given environment.
+    pub fn new(planner: P, admission: A, env: OnlineEnv) -> Self {
+        Self {
+            planner,
+            admission,
+            env,
+            pending: Vec::new(),
+            plan: Schedule::empty(env.machines),
+            plan_stale: false,
+            committed: Schedule::empty(env.machines),
+            now: f64::NEG_INFINITY,
+            horizon_end: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The jobs currently admitted and unfinished.
+    pub fn pending(&self) -> &[PendingJob] {
+        &self.pending
+    }
+
+    /// Executes the current plan over `[self.now, to)` and drops finished or
+    /// expired pending jobs, exactly like one window of the batch loop.
+    ///
+    /// Arrival times closer than the workspace tolerance are treated as
+    /// simultaneous (no window is executed between them) — the same
+    /// `approx_eq` rule the batch loop uses to dedup release times, so the
+    /// two paths stay equivalent on near-tied releases.
+    fn advance_to(&mut self, to: f64) -> Result<(), ScheduleError> {
+        if !self.now.is_finite() {
+            self.now = self.now.max(to);
+            return Ok(());
+        }
+        if to <= self.now || num::approx_eq(to, self.now) {
+            return Ok(());
+        }
+        if self.plan_stale {
+            self.plan = self.planner.plan(&self.env, self.now, &self.pending)?;
+            self.plan_stale = false;
+        }
+        execute_window(
+            &mut self.committed,
+            &mut self.pending,
+            &self.plan,
+            self.now,
+            to,
+        );
+        self.pending
+            .retain(|p| p.remaining > 1e-9 * p.work.max(1.0) && p.deadline > to + 1e-12);
+        self.now = to;
+        Ok(())
+    }
+}
+
+impl<P: Planner, A: AdmissionPolicy> OnlineScheduler for ReplanState<P, A> {
+    fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError> {
+        check_arrival_order(self.now, now)?;
+        self.advance_to(now.max(self.now))?;
+        self.horizon_end = self.horizon_end.max(job.deadline);
+        let admitted = self
+            .admission
+            .admit(&self.env, self.now, job, &self.pending)?;
+        if admitted {
+            self.pending.push(PendingJob::new(job));
+        }
+        self.plan_stale = true;
+        Ok(if admitted {
+            Decision::accept(0.0)
+        } else {
+            Decision::reject(job.value)
+        })
+    }
+
+    fn frontier(&self) -> &Schedule {
+        &self.committed
+    }
+
+    fn finish(mut self) -> Result<Schedule, ScheduleError> {
+        if self.horizon_end.is_finite() {
+            self.advance_to(self.horizon_end)?;
+        }
+        Ok(self.committed)
+    }
+}
+
+/// Runs the batch replanning loop and returns the executed schedule.
+///
+/// This is the original, independently coded reference executor.  The
+/// incremental [`ReplanState`] must produce an identical schedule when fed
+/// the same instance arrival by arrival; the integration tests verify this
+/// on random workloads.
 pub fn run_replanning<P: Planner, A: AdmissionPolicy>(
     instance: &Instance,
     planner: &P,
     admission: &A,
 ) -> Result<Schedule, ScheduleError> {
+    let env = OnlineEnv {
+        machines: instance.machines,
+        alpha: instance.alpha,
+    };
     let mut schedule = Schedule::empty(instance.machines);
     if instance.is_empty() {
         return Ok(schedule);
@@ -132,7 +281,7 @@ pub fn run_replanning<P: Planner, A: AdmissionPolicy>(
             .collect();
         arrivals.sort_by_key(|j| j.id);
         for job in arrivals {
-            if admission.admit(instance, now, job, &pending)? {
+            if admission.admit(&env, now, job, &pending)? {
                 pending.push(PendingJob::new(job));
             }
         }
@@ -143,7 +292,7 @@ pub fn run_replanning<P: Planner, A: AdmissionPolicy>(
         if window_end <= now + 1e-15 {
             continue;
         }
-        let plan = planner.plan(instance, now, &pending)?;
+        let plan = planner.plan(&env, now, &pending)?;
         execute_window(&mut schedule, &mut pending, &plan, now, window_end);
         pending.retain(|p| p.remaining > 1e-9 * p.work.max(1.0) && p.deadline > window_end + 1e-12);
     }
@@ -217,11 +366,11 @@ mod tests {
 
         fn plan(
             &self,
-            instance: &Instance,
+            env: &OnlineEnv,
             now: f64,
             pending: &[PendingJob],
         ) -> Result<Schedule, ScheduleError> {
-            let mut s = Schedule::empty(instance.machines);
+            let mut s = Schedule::empty(env.machines);
             let mut t = now;
             for (i, p) in pending.iter().enumerate() {
                 let d = p.remaining;
@@ -242,7 +391,7 @@ mod tests {
 
         fn plan(
             &self,
-            instance: &Instance,
+            env: &OnlineEnv,
             now: f64,
             pending: &[PendingJob],
         ) -> Result<Schedule, ScheduleError> {
@@ -251,7 +400,39 @@ mod tests {
                 .enumerate()
                 .map(|(i, p)| p.as_job_at(now, i))
                 .collect();
-            yds_schedule(&jobs, instance.alpha).map(|r| r.schedule)
+            yds_schedule(&jobs, env.alpha).map(|r| r.schedule)
+        }
+    }
+
+    fn drive_incremental<P: Planner + Clone, A: AdmissionPolicy + Clone>(
+        instance: &Instance,
+        planner: &P,
+        admission: &A,
+    ) -> Schedule {
+        let mut state = ReplanState::new(
+            planner.clone(),
+            admission.clone(),
+            OnlineEnv {
+                machines: instance.machines,
+                alpha: instance.alpha,
+            },
+        );
+        for id in instance.arrival_order() {
+            let job = instance.job(id);
+            state.on_arrival(job, job.release).unwrap();
+        }
+        state.finish().unwrap()
+    }
+
+    impl Clone for NaivePlanner {
+        fn clone(&self) -> Self {
+            NaivePlanner
+        }
+    }
+
+    impl Clone for YdsPlanner {
+        fn clone(&self) -> Self {
+            YdsPlanner
         }
     }
 
@@ -259,12 +440,9 @@ mod tests {
     fn executor_tracks_remaining_work_across_windows() {
         // Two jobs with generous deadlines; the naive planner at speed 1
         // finishes both.
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 10.0, 2.0, 1.0), (1.0, 10.0, 3.0, 1.0)],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_tuples(1, 2.0, vec![(0.0, 10.0, 2.0, 1.0), (1.0, 10.0, 3.0, 1.0)])
+                .unwrap();
         let s = run_replanning(&inst, &NaivePlanner, &AdmitAll).unwrap();
         let report = validate_schedule(&inst, &s).unwrap();
         assert!(report.rejected.is_empty());
@@ -291,12 +469,77 @@ mod tests {
     }
 
     #[test]
+    fn incremental_state_matches_batch_executor() {
+        let inst = Instance::from_tuples(
+            1,
+            2.5,
+            vec![
+                (0.0, 4.0, 1.0, 1.0),
+                (1.0, 3.0, 1.5, 1.0),
+                (1.0, 5.0, 0.5, 1.0), // simultaneous arrival
+                (2.5, 6.0, 2.0, 1.0),
+            ],
+        )
+        .unwrap();
+        for (batch, inc) in [
+            (
+                run_replanning(&inst, &NaivePlanner, &AdmitAll).unwrap(),
+                drive_incremental(&inst, &NaivePlanner, &AdmitAll),
+            ),
+            (
+                run_replanning(&inst, &YdsPlanner, &AdmitAll).unwrap(),
+                drive_incremental(&inst, &YdsPlanner, &AdmitAll),
+            ),
+        ] {
+            let bc = batch.cost(&inst);
+            let ic = inc.cost(&inst);
+            assert!(
+                (bc.total() - ic.total()).abs() < 1e-9 * bc.total().max(1.0),
+                "batch {} vs incremental {}",
+                bc.total(),
+                ic.total()
+            );
+            for t in [0.25, 1.5, 2.0, 3.0, 4.5, 5.5] {
+                assert!(
+                    (batch.speed_at(0, t) - inc.speed_at(0, t)).abs() < 1e-9,
+                    "profiles differ at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_frontier_never_extends_past_now() {
+        let inst =
+            Instance::from_tuples(1, 2.0, vec![(0.0, 10.0, 2.0, 1.0), (3.0, 10.0, 1.0, 1.0)])
+                .unwrap();
+        let mut state = ReplanState::new(
+            NaivePlanner,
+            AdmitAll,
+            OnlineEnv {
+                machines: 1,
+                alpha: 2.0,
+            },
+        );
+        for id in inst.arrival_order() {
+            let job = inst.job(id);
+            state.on_arrival(job, job.release).unwrap();
+            for seg in &state.frontier().segments {
+                assert!(seg.end <= job.release + 1e-12, "frontier leaks into future");
+            }
+        }
+        let s = state.finish().unwrap();
+        assert!(validate_schedule(&inst, &s).unwrap().rejected.is_empty());
+    }
+
+    #[test]
     fn rejected_jobs_are_never_executed() {
+        #[derive(Clone)]
         struct RejectSecond;
         impl AdmissionPolicy for RejectSecond {
             fn admit(
                 &self,
-                _i: &Instance,
+                _env: &OnlineEnv,
                 _now: f64,
                 job: &Job,
                 _p: &[PendingJob],
@@ -304,16 +547,27 @@ mod tests {
                 Ok(job.id.index() != 1)
             }
         }
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 5.0, 1.0, 1.0), (1.0, 5.0, 1.0, 7.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 5.0, 1.0, 1.0), (1.0, 5.0, 1.0, 7.0)])
+            .unwrap();
         let s = run_replanning(&inst, &YdsPlanner, &RejectSecond).unwrap();
         let report = validate_schedule(&inst, &s).unwrap();
         assert_eq!(report.rejected, vec![JobId(1)]);
         assert!((s.cost(&inst).lost_value - 7.0).abs() < 1e-12);
+        // The incremental path reports the rejection in its decision.
+        let mut state = ReplanState::new(
+            YdsPlanner,
+            RejectSecond,
+            OnlineEnv {
+                machines: 1,
+                alpha: 2.0,
+            },
+        );
+        let mut decisions = Vec::new();
+        for id in inst.arrival_order() {
+            let job = inst.job(id);
+            decisions.push(state.on_arrival(job, job.release).unwrap().accepted);
+        }
+        assert_eq!(decisions, vec![true, false]);
     }
 
     #[test]
@@ -321,5 +575,14 @@ mod tests {
         let inst = Instance::from_tuples(2, 2.0, vec![]).unwrap();
         let s = run_replanning(&inst, &NaivePlanner, &AdmitAll).unwrap();
         assert!(s.segments.is_empty());
+        let state = ReplanState::new(
+            NaivePlanner,
+            AdmitAll,
+            OnlineEnv {
+                machines: 2,
+                alpha: 2.0,
+            },
+        );
+        assert!(state.finish().unwrap().segments.is_empty());
     }
 }

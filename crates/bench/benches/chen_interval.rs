@@ -2,9 +2,8 @@
 //! every per-interval energy evaluation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+
+use pss_workloads::SmallRng;
 
 use pss_chen::ChenInterval;
 use pss_power::AlphaPower;
@@ -14,8 +13,8 @@ fn bench_chen_solve(c: &mut Criterion) {
     group.sample_size(40);
     for &n_jobs in &[8usize, 64, 512] {
         for &machines in &[4usize, 32] {
-            let mut rng = ChaCha8Rng::seed_from_u64(1);
-            let works: Vec<f64> = (0..n_jobs).map(|_| rng.gen_range(0.0..5.0)).collect();
+            let mut rng = SmallRng::seed_from_u64(1);
+            let works: Vec<f64> = (0..n_jobs).map(|_| rng.f64_range(0.0, 5.0)).collect();
             let chen = ChenInterval::new(1.0, machines, AlphaPower::new(2.5));
             group.bench_with_input(
                 BenchmarkId::new(format!("m{machines}"), n_jobs),
@@ -30,8 +29,8 @@ fn bench_chen_solve(c: &mut Criterion) {
 fn bench_chen_loads(c: &mut Criterion) {
     let mut group = c.benchmark_group("chen_interval_machine_loads");
     group.sample_size(40);
-    let mut rng = ChaCha8Rng::seed_from_u64(2);
-    let works: Vec<f64> = (0..256).map(|_| rng.gen_range(0.0..5.0)).collect();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let works: Vec<f64> = (0..256).map(|_| rng.f64_range(0.0, 5.0)).collect();
     let chen = ChenInterval::new(1.0, 16, AlphaPower::new(3.0));
     let sol = chen.solve(&works);
     group.bench_function("loads_256_jobs_16_machines", |b| {

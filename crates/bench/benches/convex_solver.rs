@@ -26,11 +26,9 @@ fn bench_solver(c: &mut Criterion) {
         let inst = instance(n, m);
         let ctx = ProgramContext::new(&inst);
         let opts = SolverOptions::coarse();
-        group.bench_with_input(
-            BenchmarkId::new(format!("m{m}"), n),
-            &ctx,
-            |b, ctx| b.iter(|| std::hint::black_box(solve_min_energy_with(ctx, &opts).energy)),
-        );
+        group.bench_with_input(BenchmarkId::new(format!("m{m}"), n), &ctx, |b, ctx| {
+            b.iter(|| std::hint::black_box(solve_min_energy_with(ctx, &opts).energy))
+        });
     }
     group.finish();
 }

@@ -43,7 +43,15 @@ fn bench_staircase_and_sim(c: &mut Criterion) {
     group.sample_size(10);
     let inst = staircase_instance(40, 2.0, 1e9);
     group.bench_function("pd_staircase_n40", |b| {
-        b.iter(|| std::hint::black_box(PdScheduler::coarse().schedule(&inst).unwrap().cost(&inst).total()))
+        b.iter(|| {
+            std::hint::black_box(
+                PdScheduler::coarse()
+                    .schedule(&inst)
+                    .unwrap()
+                    .cost(&inst)
+                    .total(),
+            )
+        })
     });
     let run = PdScheduler::coarse().run(&inst).unwrap();
     group.bench_function("simulate_pd_schedule", |b| {

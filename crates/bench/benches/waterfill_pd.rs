@@ -44,17 +44,9 @@ fn bench_full_pd(c: &mut Criterion) {
     group.sample_size(15);
     for &(n, m) in &[(20usize, 1usize), (50, 4), (100, 8)] {
         let inst = instance(n, m);
-        group.bench_with_input(
-            BenchmarkId::new(format!("m{m}"), n),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    std::hint::black_box(
-                        PdScheduler::coarse().run(inst).unwrap().cost().total(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(format!("m{m}"), n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(PdScheduler::coarse().run(inst).unwrap().cost().total()))
+        });
     }
     group.finish();
 }

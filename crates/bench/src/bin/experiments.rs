@@ -21,22 +21,21 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-    let outputs: Vec<ExperimentOutput> = if requested.is_empty()
-        || requested.iter().any(|a| a.eq_ignore_ascii_case("all"))
-    {
-        all_experiments(quick)
-    } else {
-        requested
-            .iter()
-            .filter_map(|id| {
-                let out = run_experiment(id, quick);
-                if out.is_none() {
-                    eprintln!("unknown experiment id: {id} (expected E1..E11 or 'all')");
-                }
-                out
-            })
-            .collect()
-    };
+    let outputs: Vec<ExperimentOutput> =
+        if requested.is_empty() || requested.iter().any(|a| a.eq_ignore_ascii_case("all")) {
+            all_experiments(quick)
+        } else {
+            requested
+                .iter()
+                .filter_map(|id| {
+                    let out = run_experiment(id, quick);
+                    if out.is_none() {
+                        eprintln!("unknown experiment id: {id} (expected E1..E11 or 'all')");
+                    }
+                    out
+                })
+                .collect()
+        };
 
     let results_dir = Path::new("results");
     if let Err(e) = fs::create_dir_all(results_dir) {
@@ -50,19 +49,15 @@ fn main() {
         combined_md.push('\n');
 
         for (i, table) in out.tables.iter().enumerate() {
-            let csv_path = results_dir.join(format!("{}_table{}.csv", out.id.to_lowercase(), i + 1));
+            let csv_path =
+                results_dir.join(format!("{}_table{}.csv", out.id.to_lowercase(), i + 1));
             if let Err(e) = fs::write(&csv_path, pss_metrics::table_to_csv(table)) {
                 eprintln!("warning: could not write {}: {e}", csv_path.display());
             }
         }
         let json_path = results_dir.join(format!("{}.json", out.id.to_lowercase()));
-        match serde_json::to_string_pretty(out) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&json_path, json) {
-                    eprintln!("warning: could not write {}: {e}", json_path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: could not serialise {}: {e}", out.id),
+        if let Err(e) = fs::write(&json_path, out.to_json()) {
+            eprintln!("warning: could not write {}: {e}", json_path.display());
         }
     }
 

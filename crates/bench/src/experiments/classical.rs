@@ -74,7 +74,13 @@ pub fn run(quick: bool) -> ExperimentOutput {
     // -- Chen et al. vs a naive per-interval split --------------------------
     let mut chen_table = Table::new(
         "Chen et al. per-interval energy vs naive splits (one interval, alpha = 2)",
-        &["machines", "jobs", "chen energy", "one-machine energy", "per-job-machine energy"],
+        &[
+            "machines",
+            "jobs",
+            "chen energy",
+            "one-machine energy",
+            "per-job-machine energy",
+        ],
     );
     let works = [4.0, 2.0, 1.5, 1.0, 0.5, 0.25];
     let power = AlphaPower::new(alpha);

@@ -18,7 +18,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let mut table = Table::new(
         "Empirical competitive ratio of PD vs lower bound",
         &[
-            "alpha", "m", "n", "instances", "bound source", "mean ratio", "max ratio", "alpha^alpha",
+            "alpha",
+            "m",
+            "n",
+            "instances",
+            "bound source",
+            "mean ratio",
+            "max ratio",
+            "alpha^alpha",
             "within bound",
         ],
     );

@@ -28,12 +28,18 @@ pub fn run(quick: bool) -> ExperimentOutput {
             ..RandomConfig::standard(6000 + seed)
         };
         let instance = cfg.generate();
-        let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+        let opt = brute_force_optimum(&instance)
+            .expect("brute force")
+            .cost
+            .total();
         instances.push((instance, opt));
     }
 
     let mut table = Table::new(
-        format!("Ablation of PD's parameter δ (α = {alpha}, δ* = {})", fmt_f64(delta_star)),
+        format!(
+            "Ablation of PD's parameter δ (α = {alpha}, δ* = {})",
+            fmt_f64(delta_star)
+        ),
         &["δ / δ*", "δ", "mean ratio", "max ratio", "mean rejected"],
     );
 

@@ -18,8 +18,16 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let mut table = Table::new(
         "Dual bound vs PD cost",
         &[
-            "m", "alpha", "seed", "cost(PD)", "g(lambda)", "alpha^-alpha * cost", "inequality holds",
-            "|J1|", "|J2|", "|J3|",
+            "m",
+            "alpha",
+            "seed",
+            "cost(PD)",
+            "g(lambda)",
+            "alpha^-alpha * cost",
+            "inequality holds",
+            "|J1|",
+            "|J2|",
+            "|J3|",
         ],
     );
     let mut all_hold = true;

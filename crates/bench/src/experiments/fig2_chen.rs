@@ -28,12 +28,21 @@ pub fn run(_quick: bool) -> ExperimentOutput {
 
     let mut structure = Table::new(
         "Dedicated/pool structure (Figure 2)",
-        &["state", "dedicated jobs", "pool jobs", "pool speed", "energy"],
+        &[
+            "state",
+            "dedicated jobs",
+            "pool jobs",
+            "pool speed",
+            "energy",
+        ],
     );
     for (label, sol) in [("before", &before), ("after", &after)] {
         structure.push_row(vec![
             label.to_string(),
-            format!("{:?}", sol.dedicated.iter().map(|(j, _)| *j).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                sol.dedicated.iter().map(|(j, _)| *j).collect::<Vec<_>>()
+            ),
             format!("{:?}", sol.pool.iter().map(|(j, _)| *j).collect::<Vec<_>>()),
             fmt_f64(sol.pool_speed),
             fmt_f64(sol.energy),
@@ -44,7 +53,13 @@ pub fn run(_quick: bool) -> ExperimentOutput {
     let loads_after = after.machine_loads();
     let mut loads = Table::new(
         format!("Machine loads before/after arrival of work z = {z}"),
-        &["machine (fastest first)", "load before", "load after", "delta", "0 <= delta <= z"],
+        &[
+            "machine (fastest first)",
+            "load before",
+            "load after",
+            "delta",
+            "0 <= delta <= z",
+        ],
     );
     let mut prop2_ok = true;
     for i in 0..loads_before.len() {
@@ -89,6 +104,10 @@ mod tests {
         let out = run(true);
         assert_eq!(out.id, "E1");
         assert_eq!(out.tables.len(), 2);
-        assert!(out.notes.iter().all(|n| n.contains("yes")), "{:?}", out.notes);
+        assert!(
+            out.notes.iter().all(|n| n.contains("yes")),
+            "{:?}",
+            out.notes
+        );
     }
 }

@@ -38,7 +38,10 @@ pub fn run(_quick: bool) -> ExperimentOutput {
 
     let pd_cost = pd.cost(&instance);
     let oa_cost = oa.cost(&instance);
-    let mut costs = Table::new("Cost on the Figure 3 instance", &["algorithm", "energy", "lost value", "total"]);
+    let mut costs = Table::new(
+        "Cost on the Figure 3 instance",
+        &["algorithm", "energy", "lost value", "total"],
+    );
     for (name, c) in [("PD", pd_cost), ("OA", oa_cost)] {
         costs.push_row(vec![
             name.into(),
@@ -69,7 +72,8 @@ pub fn run(_quick: bool) -> ExperimentOutput {
                 fmt_f64(oa_tail_max),
                 check(conservative)
             ),
-            "both algorithms finish both jobs (values are set high enough to forbid rejection)".into(),
+            "both algorithms finish both jobs (values are set high enough to forbid rejection)"
+                .into(),
         ],
     }
 }

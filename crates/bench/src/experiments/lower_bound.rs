@@ -21,7 +21,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
 
     let mut table = Table::new(
         "PD on the staircase lower-bound instance (values forbid rejection)",
-        &["alpha", "n", "cost(PD)", "cost(OPT=YDS)", "ratio", "alpha^alpha"],
+        &[
+            "alpha",
+            "n",
+            "cost(PD)",
+            "cost(OPT=YDS)",
+            "ratio",
+            "alpha^alpha",
+        ],
     );
     let mut monotone = true;
     let mut within = true;

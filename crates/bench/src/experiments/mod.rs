@@ -1,7 +1,5 @@
 //! The experiment registry (E1–E11 of DESIGN.md).
 
-use serde::{Deserialize, Serialize};
-
 use pss_metrics::Table;
 
 pub mod classical;
@@ -19,7 +17,7 @@ pub mod scaling;
 /// The output of one experiment: its identifier, a short description, the
 /// generated tables and free-form notes (observations recorded in
 /// EXPERIMENTS.md).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentOutput {
     /// Experiment id (e.g. "E3").
     pub id: String,
@@ -43,6 +41,21 @@ impl ExperimentOutput {
             out.push_str(&format!("note: {n}\n"));
         }
         out
+    }
+
+    /// Renders the whole experiment as a JSON object (hand-rolled; the
+    /// workspace has no serialisation dependency).
+    pub fn to_json(&self) -> String {
+        use pss_metrics::table::json_string;
+        let tables: Vec<String> = self.tables.iter().map(|t| t.to_json()).collect();
+        let notes: Vec<String> = self.notes.iter().map(|n| json_string(n)).collect();
+        format!(
+            "{{\"id\":{},\"title\":{},\"tables\":[{}],\"notes\":[{}]}}",
+            json_string(&self.id),
+            json_string(&self.title),
+            tables.join(","),
+            notes.join(",")
+        )
     }
 
     /// Renders the whole experiment as Markdown.

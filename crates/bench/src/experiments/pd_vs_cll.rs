@@ -24,8 +24,15 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let mut table = Table::new(
         "PD vs CLL vs OPT (single machine, alpha = 2)",
         &[
-            "value regime", "instances", "mean PD/OPT", "max PD/OPT", "mean CLL/OPT", "max CLL/OPT",
-            "PD bound", "CLL bound", "PD <= CLL (mean)",
+            "value regime",
+            "instances",
+            "mean PD/OPT",
+            "max PD/OPT",
+            "mean CLL/OPT",
+            "max CLL/OPT",
+            "PD bound",
+            "CLL bound",
+            "PD <= CLL (mean)",
         ],
     );
     let mut pd_always_within = true;
@@ -38,11 +45,17 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 n_jobs: 12,
                 machines: 1,
                 alpha,
-                value: ValueModel::ProportionalToEnergy { min: vmin, max: vmax },
+                value: ValueModel::ProportionalToEnergy {
+                    min: vmin,
+                    max: vmax,
+                },
                 ..RandomConfig::standard(1000 + seed)
             };
             let instance = cfg.generate();
-            let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+            let opt = brute_force_optimum(&instance)
+                .expect("brute force")
+                .cost
+                .total();
             let pd = PdScheduler::default()
                 .schedule(&instance)
                 .expect("PD")

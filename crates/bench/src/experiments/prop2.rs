@@ -1,14 +1,11 @@
 //! E7 — Proposition 2: load monotonicity of Chen et al.'s algorithm under
 //! a single new arrival, measured over random work vectors.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
 use pss_chen::ChenInterval;
 use pss_metrics::table::fmt_f64;
 use pss_metrics::Table;
 use pss_power::AlphaPower;
+use pss_workloads::SmallRng;
 
 use super::ExperimentOutput;
 use crate::support::check;
@@ -16,7 +13,7 @@ use crate::support::check;
 /// Runs E7.
 pub fn run(quick: bool) -> ExperimentOutput {
     let trials = if quick { 500 } else { 5000 };
-    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut rng = SmallRng::seed_from_u64(42);
     let alpha = 2.5;
 
     // Histogram of delta / z over all machines and trials, bucketed in
@@ -26,10 +23,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let mut samples = 0usize;
 
     for _ in 0..trials {
-        let m = rng.gen_range(1..=8usize);
-        let n = rng.gen_range(0..=10usize);
-        let mut works: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
-        let z: f64 = rng.gen_range(0.01..5.0);
+        let m = rng.usize_range(1, 8);
+        let n = rng.usize_range(0, 10);
+        let mut works: Vec<f64> = (0..n).map(|_| rng.f64_range(0.0, 5.0)).collect();
+        let z: f64 = rng.f64_range(0.01, 5.0);
         let chen = ChenInterval::new(1.0, m, AlphaPower::new(alpha));
         let before = chen.solve(&works).machine_loads();
         works.push(z);

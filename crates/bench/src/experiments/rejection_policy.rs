@@ -18,7 +18,15 @@ pub fn run(quick: bool) -> ExperimentOutput {
 
     let mut table = Table::new(
         "PD decisions vs the closed-form threshold rule (m = 1)",
-        &["alpha", "instances", "jobs", "accepted", "rejected", "mismatches", "all match"],
+        &[
+            "alpha",
+            "instances",
+            "jobs",
+            "accepted",
+            "rejected",
+            "mismatches",
+            "all match",
+        ],
     );
     let mut all_match = true;
 
@@ -45,8 +53,8 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 } else {
                     rejected += 1;
                 }
-                let borderline = (d.forced_speed - d.threshold_speed).abs()
-                    <= 1e-6 * d.threshold_speed.max(1.0);
+                let borderline =
+                    (d.forced_speed - d.threshold_speed).abs() <= 1e-6 * d.threshold_speed.max(1.0);
                 if d.pd_accepted != d.threshold_accepts && !borderline {
                     mismatches += 1;
                 }

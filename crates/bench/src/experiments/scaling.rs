@@ -14,15 +14,28 @@ use crate::support::{check, safe_ratio};
 
 /// Runs E10.
 pub fn run(quick: bool) -> ExperimentOutput {
-    let machine_counts: Vec<usize> = if quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8, 16] };
+    let machine_counts: Vec<usize> = if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
     let sizes: Vec<usize> = if quick { vec![30] } else { vec![50, 200] };
     let alpha = 2.5;
 
     let mut table = Table::new(
         "PD scaling with machines and jobs",
         &[
-            "m", "n", "runtime (ms)", "jobs/s", "cost(PD)", "dual bound", "certified ratio",
-            "accepted", "mean utilisation", "preemptions", "migrations",
+            "m",
+            "n",
+            "runtime (ms)",
+            "jobs/s",
+            "cost(PD)",
+            "dual bound",
+            "certified ratio",
+            "accepted",
+            "mean utilisation",
+            "preemptions",
+            "migrations",
         ],
     );
     let mut all_within = true;
@@ -46,7 +59,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
             let analysis = analyze_run(&run);
             let ratio = safe_ratio(analysis.cost.total(), analysis.dual.value);
             all_within &= ratio <= bound + 1e-6;
-            let sim = Simulation.run(&instance, &run.schedule).expect("simulation");
+            let sim = Simulation
+                .run(&instance, &run.schedule)
+                .expect("simulation");
             let accepted = run.accepted.iter().filter(|a| **a).count();
             table.push_row(vec![
                 m.to_string(),

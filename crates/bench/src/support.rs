@@ -1,7 +1,5 @@
 //! Shared helpers for the experiment modules.
 
-use serde::{Deserialize, Serialize};
-
 use pss_core::prelude::*;
 use pss_core::PdRun;
 use pss_offline::brute_force_optimum;
@@ -9,7 +7,7 @@ use pss_types::ScheduleError;
 
 /// A lower bound on the optimal cost of an instance together with its
 /// provenance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LowerBound {
     /// The bound value.
     pub value: f64,

@@ -146,8 +146,7 @@ mod tests {
         }
         // The wrapped job's two pieces must not overlap in time.
         for j in 0..3 {
-            let pieces: Vec<&Segment> =
-                segs.iter().filter(|s| s.job == Some(JobId(j))).collect();
+            let pieces: Vec<&Segment> = segs.iter().filter(|s| s.job == Some(JobId(j))).collect();
             if pieces.len() == 2 {
                 assert!(!pieces[0].overlaps(pieces[1]), "job {j} overlaps itself");
             }

@@ -20,7 +20,9 @@ pub fn interval_power(
     workloads: &[f64],
 ) -> f64 {
     let works = to_works(fractions, workloads);
-    ChenInterval::new(length, machines, power).solve(&works).energy
+    ChenInterval::new(length, machines, power)
+        .solve(&works)
+        .energy
 }
 
 /// Evaluates the partial derivative `∂P_k/∂x_{jk}` at the given assignment:
@@ -110,8 +112,7 @@ mod tests {
         let fractions = [0.9, 0.5, 0.5, 0.8];
         for m in [1usize, 2, 3, 4] {
             for job in 0..4 {
-                let analytic =
-                    interval_power_derivative(p, 1.5, m, &fractions, &workloads, job);
+                let analytic = interval_power_derivative(p, 1.5, m, &fractions, &workloads, job);
                 let numeric = numeric_derivative(p, 1.5, m, &fractions, &workloads, job);
                 assert!(
                     (analytic - numeric).abs() <= TOL * numeric.abs().max(1.0),
@@ -129,7 +130,10 @@ mod tests {
         // Job 1 has no work yet; its marginal cost equals w_1 * P'(pool speed).
         let d = interval_power_derivative(p, 1.0, 2, &fractions, &workloads, 1);
         let numeric = numeric_derivative(p, 1.0, 2, &fractions, &workloads, 1);
-        assert!((d - numeric).abs() < 1e-4, "analytic {d} vs numeric {numeric}");
+        assert!(
+            (d - numeric).abs() < 1e-4,
+            "analytic {d} vs numeric {numeric}"
+        );
     }
 
     #[test]

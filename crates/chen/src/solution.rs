@@ -1,7 +1,5 @@
 //! The Chen et al. per-interval solver.
 
-use serde::{Deserialize, Serialize};
-
 use pss_power::{AlphaPower, PowerFunction};
 use pss_types::num;
 
@@ -13,7 +11,7 @@ use pss_types::num;
 const DEDICATED_REL_EPS: f64 = 1e-12;
 
 /// The role of a job inside one atomic interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobRole {
     /// The job runs alone on its own machine at speed `u_j / l_k`.
     Dedicated,
@@ -37,7 +35,7 @@ pub struct ChenInterval {
 
 /// The energy-optimal schedule structure Chen et al.'s algorithm produces
 /// for one atomic interval and one fixed work assignment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalSolution {
     /// Interval length the solution was computed for.
     pub length: f64,
@@ -213,7 +211,7 @@ impl IntervalSolution {
     pub fn machine_loads(&self) -> Vec<f64> {
         let mut loads: Vec<f64> = self.dedicated.iter().map(|(_, u)| *u).collect();
         let pool_load = self.pool_speed * self.length;
-        loads.extend(std::iter::repeat(pool_load).take(self.pool_machines));
+        loads.extend(std::iter::repeat_n(pool_load, self.pool_machines));
         // Dedicated loads are ≥ pool loads by construction, but sort anyway
         // to be robust against tolerance effects at the boundary.
         loads.sort_by(|a, b| b.partial_cmp(a).expect("finite loads"));

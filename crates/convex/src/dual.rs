@@ -24,15 +24,13 @@
 //! the experiment harness certifies competitive ratios on instances where
 //! the true optimum cannot be computed exactly.
 
-use serde::{Deserialize, Serialize};
-
 use pss_power::PowerFunction;
 use pss_types::num;
 
 use crate::program::ProgramContext;
 
 /// The evaluated dual solution: the bound and its per-job decomposition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DualSolution {
     /// The dual variables the bound was evaluated at.
     pub lambda: Vec<f64>,
@@ -162,12 +160,8 @@ mod tests {
     fn bound_never_exceeds_cost_of_feasible_schedules() {
         // Two jobs, one machine.  Compare g(λ) for a grid of duals against
         // the cost of an explicit feasible schedule.
-        let inst = Instance::from_tuples(
-            1,
-            3.0,
-            vec![(0.0, 2.0, 1.0, 4.0), (1.0, 3.0, 1.0, 2.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(1, 3.0, vec![(0.0, 2.0, 1.0, 4.0), (1.0, 3.0, 1.0, 2.0)])
+            .unwrap();
         let ctx = ProgramContext::new(&inst);
         // Feasible: job 0 at speed 0.5 on [0,2), job 1 at speed 1 on [2,3).
         let mut x = WorkAssignment::zeros(2, ctx.partition().len());

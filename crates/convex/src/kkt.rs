@@ -31,7 +31,7 @@ pub fn max_stationarity_violation(ctx: &ProgramContext, x: &WorkAssignment) -> K
     let mut implied_dual = vec![None; n];
     let mut max_violation = 0.0_f64;
 
-    for job in 0..n {
+    for (job, dual_slot) in implied_dual.iter_mut().enumerate() {
         let covered = ctx.covered(job);
         if covered.is_empty() {
             continue;
@@ -61,7 +61,7 @@ pub fn max_stationarity_violation(ctx: &ProgramContext, x: &WorkAssignment) -> K
             continue;
         }
         let lambda = used.iter().copied().fold(f64::INFINITY, f64::min);
-        implied_dual[job] = Some(lambda);
+        *dual_slot = Some(lambda);
         let scale = lambda.max(1e-12);
 
         for (_, frac, d) in &marginals {
@@ -115,12 +115,9 @@ mod tests {
     fn unbalanced_assignment_has_large_violation() {
         // Job with window [0,2) split into two intervals; dumping all work
         // into one interval violates stationarity badly.
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 2.0, 2.0, 1.0), (1.0, 2.0, 0.0001, 1.0)],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_tuples(1, 2.0, vec![(0.0, 2.0, 2.0, 1.0), (1.0, 2.0, 0.0001, 1.0)])
+                .unwrap();
         let ctx = ProgramContext::new(&inst);
         let mut x = WorkAssignment::zeros(2, ctx.partition().len());
         x.set(0, 0, 1.0); // everything in [0,1)

@@ -120,11 +120,7 @@ impl ProgramContext {
 
     /// The Chen et al. solver for interval `k`.
     pub fn chen(&self, interval: usize) -> ChenInterval {
-        ChenInterval::new(
-            self.partition.length(interval),
-            self.machines(),
-            self.power,
-        )
+        ChenInterval::new(self.partition.length(interval), self.machines(), self.power)
     }
 
     /// The per-interval energy `P_k` under the given assignment.
@@ -157,18 +153,32 @@ impl ProgramContext {
         num::stable_sum(self.covered[job].iter().map(|&k| x.get(job, k)))
     }
 
+    /// Realises a single atomic interval of the assignment: runs Chen et
+    /// al.'s algorithm on the interval's work column and places the result
+    /// with McNaughton's rule.  Returns an empty vector for an interval with
+    /// no work.
+    ///
+    /// Because the realisation of an interval depends only on that
+    /// interval's column of `x`, the event-driven online algorithms use this
+    /// to *commit* elapsed intervals one at a time as arrivals are
+    /// processed, without ever touching already-committed intervals.
+    pub fn realize_interval(&self, x: &WorkAssignment, interval: usize) -> Vec<pss_types::Segment> {
+        let iv = self.partition.interval(interval);
+        let works = self.interval_works(x, interval);
+        if works.iter().all(|u| *u <= 0.0) {
+            return Vec::new();
+        }
+        let sol = self.chen(interval).solve(&works);
+        pss_chen::placement::place_interval(&sol, iv.start, 0, JobId)
+    }
+
     /// Converts a work assignment into a machine-level [`Schedule`] by
     /// running Chen et al.'s algorithm in every atomic interval and placing
     /// the result with McNaughton's rule.
     pub fn realize_schedule(&self, x: &WorkAssignment) -> Schedule {
         let mut schedule = Schedule::empty(self.machines());
         for iv in self.partition.intervals() {
-            let works = self.interval_works(x, iv.index);
-            if works.iter().all(|u| *u <= 0.0) {
-                continue;
-            }
-            let sol = self.chen(iv.index).solve(&works);
-            for seg in pss_chen::placement::place_interval(&sol, iv.start, 0, JobId) {
+            for seg in self.realize_interval(x, iv.index) {
                 schedule.push(seg);
             }
         }
@@ -181,12 +191,8 @@ mod tests {
     use super::*;
 
     fn ctx() -> ProgramContext {
-        let inst = Instance::from_tuples(
-            2,
-            2.0,
-            vec![(0.0, 2.0, 2.0, 10.0), (1.0, 3.0, 1.0, 5.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(2, 2.0, vec![(0.0, 2.0, 2.0, 10.0), (1.0, 3.0, 1.0, 5.0)])
+            .unwrap();
         ProgramContext::new(&inst)
     }
 

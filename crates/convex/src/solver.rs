@@ -7,7 +7,7 @@
 //! `x ≥ 0`.  The objective is convex and differentiable (Proposition 1) and
 //! the feasible set is a product of per-job simplices, so block coordinate
 //! descent — re-optimising one job's row at a time, exactly, via
-//! [`waterfill_job`](crate::waterfill::waterfill_job) — converges to the
+//! [`crate::waterfill::waterfill_job`] — converges to the
 //! global optimum.
 //!
 //! This solver is used as
@@ -18,8 +18,6 @@
 //!   (`pss-baselines`),
 //! * the "energy of the kept set" oracle inside the brute-force optimum.
 
-use serde::{Deserialize, Serialize};
-
 use pss_intervals::WorkAssignment;
 use pss_types::num::Tolerance;
 
@@ -27,7 +25,7 @@ use crate::program::ProgramContext;
 use crate::waterfill::{waterfill_job, WaterfillOptions};
 
 /// Options for the coordinate-descent solver.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SolverOptions {
     /// Maximum number of passes over all jobs.
     pub max_passes: usize,
@@ -151,12 +149,8 @@ mod tests {
     #[test]
     fn two_disjoint_jobs_single_machine() {
         // Two jobs with disjoint windows: each runs at its own density.
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 1.0, 1.0, 1.0), (1.0, 3.0, 1.0, 1.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 1.0, 1.0), (1.0, 3.0, 1.0, 1.0)])
+            .unwrap();
         let (_, sol) = solve(&inst);
         let expected = 1.0 + 2.0 * 0.25; // 1^2*1 + 0.5^2*2
         assert!((sol.energy - expected).abs() < 1e-6);
@@ -167,12 +161,8 @@ mod tests {
         // Classic YDS example: job 0 on [0,4) with work 2, job 1 on [1,2)
         // with work 2.  The critical interval is [1,2) at speed 2 (job 1);
         // job 0 then runs at speed 2/3 on the remaining 3 time units.
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 4.0, 2.0, 1.0), (1.0, 2.0, 2.0, 1.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 4.0, 2.0, 1.0), (1.0, 2.0, 2.0, 1.0)])
+            .unwrap();
         let (_, sol) = solve(&inst);
         let expected = 4.0 + 3.0 * (2.0 / 3.0_f64).powi(2);
         assert!(
@@ -187,14 +177,14 @@ mod tests {
     fn two_machines_split_parallel_jobs() {
         // Two identical jobs on two machines: each gets its own machine at
         // its density; energy is twice the single-job energy.
-        let inst = Instance::from_tuples(
-            2,
-            3.0,
-            vec![(0.0, 2.0, 2.0, 1.0), (0.0, 2.0, 2.0, 1.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(2, 3.0, vec![(0.0, 2.0, 2.0, 1.0), (0.0, 2.0, 2.0, 1.0)])
+            .unwrap();
         let (_, sol) = solve(&inst);
-        assert!((sol.energy - 2.0 * 2.0).abs() < 1e-6, "energy {}", sol.energy);
+        assert!(
+            (sol.energy - 2.0 * 2.0).abs() < 1e-6,
+            "energy {}",
+            sol.energy
+        );
     }
 
     #[test]
@@ -234,7 +224,11 @@ mod tests {
         let (ctx, sol) = solve(&inst);
         let schedule = ctx.realize_schedule(&sol.assignment);
         let report = validate_schedule(&inst, &schedule).unwrap();
-        assert!(report.rejected.is_empty(), "rejected: {:?}", report.rejected);
+        assert!(
+            report.rejected.is_empty(),
+            "rejected: {:?}",
+            report.rejected
+        );
         assert!((report.energy - sol.energy).abs() < 1e-6);
     }
 

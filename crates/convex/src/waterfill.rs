@@ -28,8 +28,8 @@
 //! some `u_i`, `q` gains one machine and `B` gains `u_i`, which cancel), so
 //! an outer bisection on `s` finds the common level.
 
-use pss_types::num::{self, Tolerance};
 use pss_intervals::WorkAssignment;
+use pss_types::num::{self, Tolerance};
 
 use crate::program::ProgramContext;
 
@@ -159,9 +159,8 @@ pub fn waterfill_job(
         })
         .collect();
 
-    let total_fraction_at = |speed: f64| -> f64 {
-        num::stable_sum(caps.iter().map(|c| c.capacity(speed, m))) / w_j
-    };
+    let total_fraction_at =
+        |speed: f64| -> f64 { num::stable_sum(caps.iter().map(|c| c.capacity(speed, m))) / w_j };
 
     // The speed corresponding to the marginal cap (if any).
     let speed_cap = opts.max_marginal.map(|mm| power.dual_speed(mm, w_j));
@@ -246,7 +245,11 @@ mod tests {
     use pss_chen::interval_power_derivative;
     use pss_types::Instance;
 
-    fn single_job_ctx(machines: usize, alpha: f64, tuples: Vec<(f64, f64, f64, f64)>) -> ProgramContext {
+    fn single_job_ctx(
+        machines: usize,
+        alpha: f64,
+        tuples: Vec<(f64, f64, f64, f64)>,
+    ) -> ProgramContext {
         let inst = Instance::from_tuples(machines, alpha, tuples).unwrap();
         ProgramContext::new(&inst)
     }
@@ -268,12 +271,9 @@ mod tests {
     fn fill_prefers_empty_intervals() {
         // Job 0 occupies [0,1) heavily; job 1 has window [0,2) and should
         // put (almost) everything in [1,2).
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 1.0, 3.0, 100.0), (0.0, 2.0, 1.0, 100.0)],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 3.0, 100.0), (0.0, 2.0, 1.0, 100.0)])
+                .unwrap();
         let ctx = ProgramContext::new(&inst);
         let mut x = WorkAssignment::zeros(2, ctx.partition().len());
         // Place job 0 fully in its only interval [0,1).
@@ -288,7 +288,11 @@ mod tests {
             .sum();
         // Interval [1,2) is empty and can absorb speed up to 1 without
         // exceeding the marginal of interval [0,1) (which has speed 3).
-        assert!(in_second > 0.99, "expected job 1 in the empty interval, got {:?}", r.added);
+        assert!(
+            in_second > 0.99,
+            "expected job 1 in the empty interval, got {:?}",
+            r.added
+        );
     }
 
     #[test]
@@ -298,12 +302,9 @@ mod tests {
         let ctx = single_job_ctx(2, 2.5, vec![(0.0, 2.0, 3.0, 100.0)]);
         // Introduce a second boundary by adding a second job that splits
         // [0, 2) into [0,1) and [1,2).
-        let inst = Instance::from_tuples(
-            2,
-            2.5,
-            vec![(0.0, 2.0, 3.0, 100.0), (1.0, 2.0, 0.5, 100.0)],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_tuples(2, 2.5, vec![(0.0, 2.0, 3.0, 100.0), (1.0, 2.0, 0.5, 100.0)])
+                .unwrap();
         let ctx2 = ProgramContext::new(&inst);
         drop(ctx);
         let x = WorkAssignment::zeros(2, ctx2.partition().len());

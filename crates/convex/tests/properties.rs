@@ -1,53 +1,63 @@
-//! Property-based tests of the convex-program machinery: water-filling
+//! Randomised property tests of the convex-program machinery: water-filling
 //! invariants, duality (weak duality against explicitly constructed feasible
 //! schedules), and solver optimality against per-job balance conditions.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the workspace's seeded [`SmallRng`] (no crates.io
+//! access, so `proptest` is unavailable); equal seeds make every failure
+//! reproducible.
 
 use pss_convex::{dual_bound, solve_min_energy, waterfill_job, ProgramContext, WaterfillOptions};
 use pss_intervals::WorkAssignment;
 use pss_types::Instance;
+use pss_workloads::SmallRng;
 
-/// Strategy producing small random instances with valid windows.
-fn instance_strategy(max_jobs: usize, max_machines: usize) -> impl Strategy<Value = Instance> {
-    let job = (0.0f64..5.0, 0.2f64..4.0, 0.1f64..3.0, 0.0f64..10.0);
-    (
-        prop::collection::vec(job, 1..=max_jobs),
-        1..=max_machines,
-        prop_oneof![Just(1.5f64), Just(2.0), Just(2.5), Just(3.0)],
-    )
-        .prop_map(|(tuples, machines, alpha)| {
-            let jobs = tuples
-                .into_iter()
-                .map(|(r, window, w, v)| (r, r + window, w, v))
-                .collect::<Vec<_>>();
-            Instance::from_tuples(machines, alpha, jobs).expect("valid random instance")
+const ALPHAS: [f64; 4] = [1.5, 2.0, 2.5, 3.0];
+
+/// A small random instance with valid windows.
+fn random_instance(rng: &mut SmallRng, max_jobs: usize, max_machines: usize) -> Instance {
+    let n = rng.usize_range(1, max_jobs);
+    let machines = rng.usize_range(1, max_machines);
+    let alpha = ALPHAS[rng.usize_range(0, ALPHAS.len() - 1)];
+    let jobs: Vec<(f64, f64, f64, f64)> = (0..n)
+        .map(|_| {
+            let r = rng.f64_range(0.0, 5.0);
+            let window = rng.f64_range(0.2, 4.0);
+            let w = rng.f64_range(0.1, 3.0);
+            let v = rng.f64_range(0.0, 10.0);
+            (r, r + window, w, v)
         })
+        .collect();
+    Instance::from_tuples(machines, alpha, jobs).expect("valid random instance")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Water filling a job with no level cap always places the whole job,
-    /// only into intervals the job covers, with nonnegative fractions.
-    #[test]
-    fn waterfill_places_exactly_the_whole_job(inst in instance_strategy(6, 4), job_sel in 0usize..6) {
+/// Water filling a job with no level cap always places the whole job,
+/// only into intervals the job covers, with nonnegative fractions.
+#[test]
+fn waterfill_places_exactly_the_whole_job() {
+    let mut rng = SmallRng::seed_from_u64(0xC0 + 1);
+    for _ in 0..48 {
+        let inst = random_instance(&mut rng, 6, 4);
+        let job = rng.usize_range(0, inst.len() - 1);
         let ctx = ProgramContext::new(&inst);
-        let job = job_sel % inst.len();
         let x = WorkAssignment::zeros(inst.len(), ctx.partition().len());
         let fill = waterfill_job(&ctx, &x, job, &WaterfillOptions::default());
-        prop_assert!(fill.saturated);
-        prop_assert!((fill.total - 1.0).abs() < 1e-6);
+        assert!(fill.saturated);
+        assert!((fill.total - 1.0).abs() < 1e-6, "total {}", fill.total);
         for (k, f) in &fill.added {
-            prop_assert!(*f >= 0.0);
-            prop_assert!(ctx.covered(job).contains(k), "interval {} not covered", k);
+            assert!(*f >= 0.0);
+            assert!(ctx.covered(job).contains(k), "interval {k} not covered");
         }
     }
+}
 
-    /// A marginal cap never increases the amount placed, and the reported
-    /// level never exceeds the cap.
-    #[test]
-    fn waterfill_cap_is_respected(inst in instance_strategy(5, 3), cap in 0.01f64..5.0) {
+/// A marginal cap never increases the amount placed, and the reported
+/// level never exceeds the cap.
+#[test]
+fn waterfill_cap_is_respected() {
+    let mut rng = SmallRng::seed_from_u64(0xC0 + 2);
+    for _ in 0..48 {
+        let inst = random_instance(&mut rng, 5, 3);
+        let cap = rng.f64_range(0.01, 5.0);
         let ctx = ProgramContext::new(&inst);
         let x = WorkAssignment::zeros(inst.len(), ctx.partition().len());
         let free = waterfill_job(&ctx, &x, 0, &WaterfillOptions::default());
@@ -55,38 +65,49 @@ proptest! {
             &ctx,
             &x,
             0,
-            &WaterfillOptions { max_marginal: Some(cap), ..Default::default() },
+            &WaterfillOptions {
+                max_marginal: Some(cap),
+                ..Default::default()
+            },
         );
-        prop_assert!(capped.total <= free.total + 1e-9);
-        prop_assert!(capped.level_marginal <= cap * (1.0 + 1e-6) + 1e-9);
+        assert!(capped.total <= free.total + 1e-9);
+        assert!(capped.level_marginal <= cap * (1.0 + 1e-6) + 1e-9);
     }
+}
 
-    /// Weak duality: for arbitrary nonnegative duals, g(λ) never exceeds the
-    /// cost of the "finish everything optimally" schedule nor the cost of
-    /// the "reject everything" schedule.
-    #[test]
-    fn dual_bound_respects_weak_duality(
-        inst in instance_strategy(5, 3),
-        lambda_seed in prop::collection::vec(0.0f64..8.0, 5),
-    ) {
+/// Weak duality: for arbitrary nonnegative duals, g(λ) never exceeds the
+/// cost of the "finish everything optimally" schedule nor the cost of
+/// the "reject everything" schedule.
+#[test]
+fn dual_bound_respects_weak_duality() {
+    let mut rng = SmallRng::seed_from_u64(0xC0 + 3);
+    for _ in 0..48 {
+        let inst = random_instance(&mut rng, 5, 3);
         let ctx = ProgramContext::new(&inst);
-        let lambda: Vec<f64> = (0..inst.len()).map(|j| lambda_seed[j % lambda_seed.len()]).collect();
+        let lambda: Vec<f64> = (0..inst.len()).map(|_| rng.f64_range(0.0, 8.0)).collect();
         let g = dual_bound(&ctx, &lambda).value;
 
         // Feasible schedule 1: reject everything.
-        prop_assert!(g <= inst.total_value() + 1e-6);
+        assert!(g <= inst.total_value() + 1e-6);
 
         // Feasible schedule 2: finish everything with the offline solver.
         let sol = solve_min_energy(&ctx);
-        prop_assert!(g <= sol.energy + 1e-5 * sol.energy.max(1.0) + 1e-6,
-            "g = {} exceeds finish-all energy {}", g, sol.energy);
+        assert!(
+            g <= sol.energy + 1e-5 * sol.energy.max(1.0) + 1e-6,
+            "g = {g} exceeds finish-all energy {}",
+            sol.energy
+        );
     }
+}
 
-    /// The offline solver's energy never exceeds the energy of the simple
-    /// feasible solution that spreads every job uniformly over its window,
-    /// and realising its assignment yields a schedule finishing every job.
-    #[test]
-    fn solver_beats_uniform_spreading(inst in instance_strategy(5, 3)) {
+/// The offline solver's energy never exceeds the energy of the simple
+/// feasible solution that spreads every job uniformly over its window,
+/// and realising its assignment yields a schedule finishing every job.
+#[test]
+fn solver_beats_uniform_spreading() {
+    let mut rng = SmallRng::seed_from_u64(0xC0 + 4);
+    for _ in 0..48 {
+        let inst = random_instance(&mut rng, 5, 3);
         let ctx = ProgramContext::new(&inst);
         let sol = solve_min_energy(&ctx);
 
@@ -99,11 +120,18 @@ proptest! {
             }
         }
         let uniform_energy = ctx.total_energy(&uniform);
-        prop_assert!(sol.energy <= uniform_energy + 1e-5 * uniform_energy.max(1.0),
-            "solver {} worse than uniform {}", sol.energy, uniform_energy);
+        assert!(
+            sol.energy <= uniform_energy + 1e-5 * uniform_energy.max(1.0),
+            "solver {} worse than uniform {uniform_energy}",
+            sol.energy
+        );
 
         let schedule = ctx.realize_schedule(&sol.assignment);
         let report = pss_types::validate_schedule(&inst, &schedule).expect("feasible");
-        prop_assert!(report.rejected.is_empty(), "solver failed to finish: {:?}", report.rejected);
+        assert!(
+            report.rejected.is_empty(),
+            "solver failed to finish: {:?}",
+            report.rejected
+        );
     }
 }

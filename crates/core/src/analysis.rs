@@ -14,8 +14,6 @@
 //! exactly when fully scheduling it would require a planned speed above
 //! `(α^{α-2}·v_j/w_j)^{1/(α-1)}` — the threshold of Chan, Lam & Li.
 
-use serde::{Deserialize, Serialize};
-
 use pss_convex::{dual_bound, waterfill_job, DualSolution, ProgramContext, WaterfillOptions};
 use pss_intervals::WorkAssignment;
 use pss_power::AlphaPower;
@@ -24,7 +22,7 @@ use pss_types::{Cost, Instance, ScheduleError};
 use crate::pd::{PdRun, PdScheduler};
 
 /// The analysis categories of Section 4.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobCategory {
     /// `J1`: jobs finished by PD.
     Finished,
@@ -60,8 +58,8 @@ impl PdAnalysis {
     /// (up to numeric tolerance), which implies the paper's guarantee
     /// `cost ≤ α^α · OPT`.
     pub fn guarantee_holds(&self) -> bool {
-        self.cost.total() <= self.competitive_bound * self.dual.value.max(0.0)
-            + 1e-6 * self.cost.total().max(1.0)
+        self.cost.total()
+            <= self.competitive_bound * self.dual.value.max(0.0) + 1e-6 * self.cost.total().max(1.0)
     }
 
     /// Number of jobs in each category, as `(finished, low_yield, high_yield)`.
@@ -123,7 +121,7 @@ pub fn analyze_run(run: &PdRun) -> PdAnalysis {
 }
 
 /// Per-job outcome of the rejection-policy comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RejectionDecision {
     /// Whether PD accepted the job.
     pub pd_accepted: bool,
@@ -137,7 +135,7 @@ pub struct RejectionDecision {
 }
 
 /// The rejection-policy equivalence report (experiment E6).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RejectionPolicyReport {
     /// Decision pair per job, in job-id order.
     pub decisions: Vec<RejectionDecision>,
@@ -150,8 +148,7 @@ impl RejectionPolicyReport {
     pub fn all_match(&self) -> bool {
         self.decisions.iter().all(|d| {
             d.pd_accepted == d.threshold_accepts
-                || (d.forced_speed - d.threshold_speed).abs()
-                    <= 1e-6 * d.threshold_speed.max(1.0)
+                || (d.forced_speed - d.threshold_speed).abs() <= 1e-6 * d.threshold_speed.max(1.0)
         })
     }
 }

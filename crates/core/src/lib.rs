@@ -45,7 +45,7 @@
 //! | Module | Contents |
 //! |--------|----------|
 //! | [`pd`] | The PD algorithm ([`PdScheduler`]) and its run record ([`PdRun`]) |
-//! | [`online`] | The event-driven variant ([`OnlinePd`]) that refines atomic intervals as jobs arrive |
+//! | [`online`] | The event-driven form ([`OnlinePd`], the [`OnlineScheduler`](pss_types::OnlineScheduler) run behind `PdScheduler`) that refines atomic intervals and commits the elapsed frontier as jobs arrive |
 //! | [`analysis`] | Dual bound, job categories (J1/J2/J3), Lemma 9–11 checks, rejection-policy equivalence |
 //! | re-exports | `types`, `power`, `intervals`, `chen`, `convex`, `offline`, `baselines` |
 
@@ -82,6 +82,7 @@ pub mod prelude {
     pub use pss_offline::{BruteForceScheduler, MinEnergyScheduler, YdsScheduler};
     pub use pss_power::{AlphaPower, PowerFunction};
     pub use pss_types::{
-        validate_schedule, Cost, Instance, Job, JobId, Schedule, Scheduler, Segment,
+        run_online, validate_schedule, Cost, Decision, Instance, Job, JobId, OnlineAlgorithm,
+        OnlineScheduler, Schedule, Scheduler, Segment,
     };
 }

@@ -19,7 +19,9 @@ use pss_convex::{waterfill_job, ProgramContext, WaterfillOptions};
 use pss_intervals::{IntervalPartition, WorkAssignment};
 use pss_power::AlphaPower;
 use pss_types::num::Tolerance;
-use pss_types::{Instance, Job, JobId, Schedule, ScheduleError};
+use pss_types::{
+    check_arrival_order, Decision, Instance, Job, JobId, OnlineScheduler, Schedule, ScheduleError,
+};
 
 /// Event-driven PD: feed jobs in release order, read out the schedule at any
 /// point.
@@ -38,6 +40,13 @@ pub struct OnlinePd {
     lambda: Vec<f64>,
     accepted: Vec<bool>,
     last_release: f64,
+    /// Realised segments of every fully elapsed atomic interval (original
+    /// job ids) — the committed frontier of the event-driven API.
+    committed: Schedule,
+    /// Number of leading partition intervals already realised into
+    /// `committed`.  Refinement only ever adds boundaries at or after the
+    /// current arrival time, so this prefix is stable.
+    committed_prefix: usize,
 }
 
 impl OnlinePd {
@@ -50,6 +59,13 @@ impl OnlinePd {
 
     /// Creates an online PD instance with an explicit `δ`.
     pub fn with_delta(machines: usize, alpha: f64, delta: f64) -> Self {
+        Self::with_options(machines, alpha, delta, Tolerance::default())
+    }
+
+    /// Creates an online PD instance with an explicit `δ` and water-level
+    /// search tolerance (the knobs of
+    /// [`PdScheduler`](crate::pd::PdScheduler)).
+    pub fn with_options(machines: usize, alpha: f64, delta: f64, tol: Tolerance) -> Self {
         assert!(machines > 0, "need at least one machine");
         assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
         // Constructing the power function validates alpha.
@@ -58,7 +74,7 @@ impl OnlinePd {
             machines,
             alpha,
             delta,
-            tol: Tolerance::default(),
+            tol,
             partition: IntervalPartition::from_boundaries(std::iter::empty()),
             assignment: WorkAssignment::new(0),
             jobs: Vec::new(),
@@ -66,6 +82,8 @@ impl OnlinePd {
             lambda: Vec::new(),
             accepted: Vec::new(),
             last_release: f64::NEG_INFINITY,
+            committed: Schedule::empty(machines),
+            committed_prefix: 0,
         }
     }
 
@@ -90,12 +108,7 @@ impl OnlinePd {
     pub fn arrive(&mut self, job: &Job) -> Result<bool, ScheduleError> {
         job.validate()
             .map_err(|e| ScheduleError::Internal(e.to_string()))?;
-        if job.release < self.last_release - 1e-9 {
-            return Err(ScheduleError::Internal(format!(
-                "jobs must arrive in release order: got release {} after {}",
-                job.release, self.last_release
-            )));
-        }
+        check_arrival_order(self.last_release, job.release)?;
         self.last_release = self.last_release.max(job.release);
 
         // 1. Refine the partition with the new boundaries and split the
@@ -106,8 +119,13 @@ impl OnlinePd {
 
         // 2. Register the job under a dense arrival index.
         let dense = self.jobs.len();
-        self.jobs
-            .push(Job::new(dense, job.release, job.deadline, job.work, job.value));
+        self.jobs.push(Job::new(
+            dense,
+            job.release,
+            job.deadline,
+            job.work,
+            job.value,
+        ));
         self.original_ids.push(job.id);
         self.assignment.ensure_job(dense);
 
@@ -120,17 +138,42 @@ impl OnlinePd {
             tol: self.tol,
         };
         let fill = waterfill_job(&ctx, &self.assignment, dense, &opts);
-        if fill.saturated {
+        let accepted = if fill.saturated {
             for (k, f) in &fill.added {
                 self.assignment.set(dense, *k, *f);
             }
             self.lambda.push(self.delta * fill.level_marginal);
             self.accepted.push(true);
-            Ok(true)
+            true
         } else {
             self.lambda.push(job.value);
             self.accepted.push(false);
-            Ok(false)
+            false
+        };
+
+        // 4. Commit every interval that has fully elapsed: its column of the
+        //    assignment can never change again (later jobs are released at
+        //    or after `now` and refinement only adds boundaries `>= now`),
+        //    so its realisation is final.
+        self.commit_elapsed(&ctx, job.release);
+        Ok(accepted)
+    }
+
+    /// Realises (and remembers) every not-yet-committed interval ending at
+    /// or before `now`.
+    fn commit_elapsed(&mut self, ctx: &ProgramContext, now: f64) {
+        while self.committed_prefix < ctx.partition().len() {
+            let iv = ctx.partition().interval(self.committed_prefix);
+            if iv.end > now + 1e-12 {
+                break;
+            }
+            for mut seg in ctx.realize_interval(&self.assignment, iv.index) {
+                if let Some(j) = seg.job {
+                    seg.job = Some(self.original_ids[j.index()]);
+                }
+                self.committed.push(seg);
+            }
+            self.committed_prefix += 1;
         }
     }
 
@@ -166,7 +209,37 @@ impl OnlinePd {
     fn context(&self) -> Result<ProgramContext, ScheduleError> {
         let instance = Instance::from_jobs(self.machines, self.alpha, self.jobs.clone())
             .map_err(|e| ScheduleError::Internal(e.to_string()))?;
-        Ok(ProgramContext::with_partition(&instance, self.partition.clone()))
+        Ok(ProgramContext::with_partition(
+            &instance,
+            self.partition.clone(),
+        ))
+    }
+}
+
+impl OnlineScheduler for OnlinePd {
+    fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError> {
+        if now < job.release - 1e-9 {
+            return Err(ScheduleError::Internal(format!(
+                "job {} fed before its release time ({} < {})",
+                job.id, now, job.release
+            )));
+        }
+        let accepted = self.arrive(job)?;
+        let dual = self.lambda.last().copied().unwrap_or(0.0);
+        Ok(Decision { accepted, dual })
+    }
+
+    fn frontier(&self) -> &Schedule {
+        &self.committed
+    }
+
+    fn finish(mut self) -> Result<Schedule, ScheduleError> {
+        if self.jobs.is_empty() {
+            return Ok(Schedule::empty(self.machines));
+        }
+        let ctx = self.context()?;
+        self.commit_elapsed(&ctx, f64::INFINITY);
+        Ok(self.committed)
     }
 }
 

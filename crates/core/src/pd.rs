@@ -23,27 +23,20 @@
 use pss_convex::{waterfill_job, ProgramContext, WaterfillOptions};
 use pss_intervals::WorkAssignment;
 use pss_types::num::Tolerance;
-use pss_types::{Instance, OnlineScheduler, Schedule, ScheduleError, Scheduler};
+use pss_types::{Instance, OnlineAlgorithm, Schedule, ScheduleError};
+
+use crate::online::OnlinePd;
 
 /// The PD scheduler.
 ///
 /// The two knobs are the primal-dual parameter `δ` (defaults to the analysed
 /// optimum `α^{1-α}`) and the numeric tolerance of the water-level search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PdScheduler {
     /// The parameter `δ` of Listing 1; `None` selects `δ* = α^{1-α}`.
     pub delta: Option<f64>,
     /// Numeric tolerance of the water-filling level search.
     pub tol: Tolerance,
-}
-
-impl Default for PdScheduler {
-    fn default() -> Self {
-        Self {
-            delta: None,
-            tol: Tolerance::default(),
-        }
-    }
 }
 
 impl PdScheduler {
@@ -124,17 +117,32 @@ impl PdScheduler {
     }
 }
 
-impl Scheduler for PdScheduler {
-    fn name(&self) -> String {
+/// PD is event-driven: a run is an [`OnlinePd`] fed one arrival at a time.
+/// The batch [`Scheduler`](pss_types::Scheduler) impl is recovered by the
+/// blanket adapter in `pss-types`; [`PdScheduler::run`] remains the
+/// independent batch reference (whole-instance partition, no refinement)
+/// that the equivalence tests compare against.
+impl OnlineAlgorithm for PdScheduler {
+    type Run = OnlinePd;
+
+    fn algorithm_name(&self) -> String {
         "PD".into()
     }
 
-    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
-        self.run(instance).map(|r| r.schedule)
+    fn start(&self, machines: usize, alpha: f64) -> Result<Self::Run, ScheduleError> {
+        if machines == 0 {
+            return Err(ScheduleError::Internal(
+                "PD needs at least one machine".into(),
+            ));
+        }
+        Ok(OnlinePd::with_options(
+            machines,
+            alpha,
+            self.effective_delta(alpha),
+            self.tol,
+        ))
     }
 }
-
-impl OnlineScheduler for PdScheduler {}
 
 /// The complete record of one PD run: everything the analysis of Section 4
 /// needs, plus the realised schedule.
@@ -191,7 +199,7 @@ mod tests {
     use super::*;
     use pss_offline::brute_force_optimum;
     use pss_power::AlphaPower;
-    use pss_types::{validate_schedule, JobId};
+    use pss_types::{validate_schedule, JobId, Scheduler};
 
     #[test]
     fn lone_valuable_job_is_accepted_and_spread_optimally() {
@@ -200,7 +208,10 @@ mod tests {
         assert!(run.accepted[0]);
         // Optimal energy 0.5 (speed 0.5 for 4 units).
         assert!((run.cost().energy - 0.5).abs() < 1e-6);
-        assert!(validate_schedule(&inst, &run.schedule).unwrap().rejected.is_empty());
+        assert!(validate_schedule(&inst, &run.schedule)
+            .unwrap()
+            .rejected
+            .is_empty());
     }
 
     #[test]
@@ -225,10 +236,7 @@ mod tests {
         let planned_speed = w / window;
         // Value exactly at the threshold: planned energy = α^{α-2}·v.
         let v_threshold = w * planned_speed.powf(alpha - 1.0) / power.rejection_energy_factor();
-        for (v, should_accept) in [
-            (v_threshold * 1.05, true),
-            (v_threshold * 0.95, false),
-        ] {
+        for (v, should_accept) in [(v_threshold * 1.05, true), (v_threshold * 0.95, false)] {
             let inst = Instance::from_tuples(1, alpha, vec![(0.0, window, w, v)]).unwrap();
             let run = PdScheduler::default().run(&inst).unwrap();
             assert_eq!(
@@ -266,8 +274,24 @@ mod tests {
     #[test]
     fn pd_never_exceeds_alpha_alpha_times_brute_force_optimum() {
         let cases = vec![
-            (1, 2.0, vec![(0.0, 1.0, 1.0, 0.5), (0.0, 2.0, 1.0, 3.0), (1.0, 3.0, 1.5, 1.0)]),
-            (2, 3.0, vec![(0.0, 2.0, 1.0, 2.0), (0.0, 2.0, 1.0, 2.0), (1.0, 3.0, 2.0, 0.3)]),
+            (
+                1,
+                2.0,
+                vec![
+                    (0.0, 1.0, 1.0, 0.5),
+                    (0.0, 2.0, 1.0, 3.0),
+                    (1.0, 3.0, 1.5, 1.0),
+                ],
+            ),
+            (
+                2,
+                3.0,
+                vec![
+                    (0.0, 2.0, 1.0, 2.0),
+                    (0.0, 2.0, 1.0, 2.0),
+                    (1.0, 3.0, 2.0, 0.3),
+                ],
+            ),
             (1, 1.5, vec![(0.0, 1.0, 2.0, 1.0), (0.5, 2.0, 1.0, 4.0)]),
         ];
         for (m, alpha, tuples) in cases {
@@ -290,12 +314,9 @@ mod tests {
         // PD never reassigns earlier jobs: job 0's per-interval fractions
         // must be identical whether or not job 1 exists.
         let base = Instance::from_tuples(1, 2.0, vec![(0.0, 2.0, 1.0, 100.0)]).unwrap();
-        let both = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 2.0, 1.0, 100.0), (1.0, 2.0, 1.0, 100.0)],
-        )
-        .unwrap();
+        let both =
+            Instance::from_tuples(1, 2.0, vec![(0.0, 2.0, 1.0, 100.0), (1.0, 2.0, 1.0, 100.0)])
+                .unwrap();
         let run_base = PdScheduler::default().run(&base).unwrap();
         let run_both = PdScheduler::default().run(&both).unwrap();
         // In the base run there is a single interval [0,2); in the refined
@@ -308,19 +329,19 @@ mod tests {
         let first_half = run_both.assignment.get(0, 0) * w0;
         let second_half = run_both.assignment.get(0, 1) * w0;
         assert!((first_half - 0.5).abs() < 1e-6, "first half {first_half}");
-        assert!((second_half - 0.5).abs() < 1e-6, "second half {second_half}");
+        assert!(
+            (second_half - 0.5).abs() < 1e-6,
+            "second half {second_half}"
+        );
     }
 
     #[test]
     fn multiprocessor_run_uses_all_machines_when_beneficial() {
         // Two identical heavy jobs, two machines: each should get (almost)
         // a dedicated machine and both be accepted.
-        let inst = Instance::from_tuples(
-            2,
-            2.0,
-            vec![(0.0, 1.0, 1.0, 50.0), (0.0, 1.0, 1.0, 50.0)],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_tuples(2, 2.0, vec![(0.0, 1.0, 1.0, 50.0), (0.0, 1.0, 1.0, 50.0)])
+                .unwrap();
         let run = PdScheduler::default().run(&inst).unwrap();
         assert!(run.accepted.iter().all(|a| *a));
         assert!((run.cost().energy - 2.0).abs() < 1e-6);
@@ -338,17 +359,17 @@ mod tests {
         let s: &dyn Scheduler = &PdScheduler::default();
         assert_eq!(s.name(), "PD");
         let schedule = s.schedule(&inst).unwrap();
-        assert!(validate_schedule(&inst, &schedule).unwrap().rejected.is_empty());
+        assert!(validate_schedule(&inst, &schedule)
+            .unwrap()
+            .rejected
+            .is_empty());
     }
 
     #[test]
     fn run_helpers_report_rejections() {
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 1.0, 10.0, 0.5), (0.0, 2.0, 0.5, 10.0)],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 10.0, 0.5), (0.0, 2.0, 0.5, 10.0)])
+                .unwrap();
         let run = PdScheduler::default().run(&inst).unwrap();
         assert_eq!(run.rejected_jobs(), vec![0]);
         assert!((run.lost_value() - 0.5).abs() < 1e-12);

@@ -1,104 +1,140 @@
-//! Property-based tests of the PD algorithm itself: feasibility, the
+//! Randomised property tests of the PD algorithm itself: feasibility, the
 //! certified Theorem 3 inequality, monotonicity in the job values, and
 //! consistency between the batch and online variants.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the workspace's seeded [`SmallRng`] (no crates.io
+//! access, so `proptest` is unavailable); equal seeds make every failure
+//! reproducible.
 
 use pss_core::prelude::*;
 use pss_types::Instance;
+use pss_workloads::SmallRng;
 
-fn instance_strategy(max_jobs: usize, max_machines: usize) -> impl Strategy<Value = Instance> {
-    let job = (0.0f64..6.0, 0.3f64..4.0, 0.1f64..2.5, 0.0f64..6.0);
-    (
-        prop::collection::vec(job, 1..=max_jobs),
-        1..=max_machines,
-        prop_oneof![Just(1.5f64), Just(2.0), Just(3.0)],
-    )
-        .prop_map(|(tuples, machines, alpha)| {
-            let jobs = tuples
-                .into_iter()
-                .map(|(r, window, w, v)| (r, r + window, w, v))
-                .collect::<Vec<_>>();
-            Instance::from_tuples(machines, alpha, jobs).expect("valid random instance")
+const ALPHAS: [f64; 3] = [1.5, 2.0, 3.0];
+
+fn random_instance(rng: &mut SmallRng, max_jobs: usize, max_machines: usize) -> Instance {
+    let n = rng.usize_range(1, max_jobs);
+    let machines = rng.usize_range(1, max_machines);
+    let alpha = ALPHAS[rng.usize_range(0, ALPHAS.len() - 1)];
+    let jobs: Vec<(f64, f64, f64, f64)> = (0..n)
+        .map(|_| {
+            let r = rng.f64_range(0.0, 6.0);
+            let window = rng.f64_range(0.3, 4.0);
+            let w = rng.f64_range(0.1, 2.5);
+            let v = rng.f64_range(0.0, 6.0);
+            (r, r + window, w, v)
         })
+        .collect();
+    Instance::from_tuples(machines, alpha, jobs).expect("valid random instance")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Every PD schedule is feasible, finishes exactly the accepted jobs,
-    /// and satisfies the certified Theorem 3 inequality.
-    #[test]
-    fn pd_is_feasible_and_certified(inst in instance_strategy(7, 4)) {
+/// Every PD schedule is feasible, finishes exactly the accepted jobs,
+/// and satisfies the certified Theorem 3 inequality.
+#[test]
+fn pd_is_feasible_and_certified() {
+    let mut rng = SmallRng::seed_from_u64(0xBD + 1);
+    for _ in 0..40 {
+        let inst = random_instance(&mut rng, 7, 4);
         let run = PdScheduler::default().run(&inst).expect("PD run");
         let report = validate_schedule(&inst, &run.schedule).expect("feasible");
         for (j, accepted) in run.accepted.iter().enumerate() {
-            prop_assert_eq!(*accepted, report.finished[j], "job {} mismatch", j);
+            assert_eq!(*accepted, report.finished[j], "job {j} mismatch");
         }
         let analysis = analyze_run(&run);
-        prop_assert!(analysis.guarantee_holds(),
+        assert!(
+            analysis.guarantee_holds(),
             "cost {} vs bound {} * dual {}",
-            analysis.cost.total(), analysis.competitive_bound, analysis.dual.value);
+            analysis.cost.total(),
+            analysis.competitive_bound,
+            analysis.dual.value
+        );
         // The dual bound is also sane: nonnegative and at most the total value.
-        prop_assert!(analysis.dual.value >= -1e-9);
-        prop_assert!(analysis.dual.value <= inst.total_value() + 1e-6);
+        assert!(analysis.dual.value >= -1e-9);
+        assert!(analysis.dual.value <= inst.total_value() + 1e-6);
     }
+}
 
-    /// Raising every job's value to something enormous makes PD accept
-    /// everything (the mandatory-completion regime of Section 3).
-    #[test]
-    fn pd_accepts_everything_when_values_are_huge(inst in instance_strategy(6, 3)) {
+/// Raising every job's value to something enormous makes PD accept
+/// everything (the mandatory-completion regime of Section 3).
+#[test]
+fn pd_accepts_everything_when_values_are_huge() {
+    let mut rng = SmallRng::seed_from_u64(0xBD + 2);
+    for _ in 0..40 {
+        let inst = random_instance(&mut rng, 6, 3);
         let boosted = Instance::from_jobs(
             inst.machines,
             inst.alpha,
-            inst.jobs.iter().map(|j| {
-                let mut j = *j;
-                j.value = 1e12;
-                j
-            }).collect(),
-        ).expect("boosted instance");
+            inst.jobs
+                .iter()
+                .map(|j| {
+                    let mut j = *j;
+                    j.value = 1e12;
+                    j
+                })
+                .collect(),
+        )
+        .expect("boosted instance");
         let run = PdScheduler::default().run(&boosted).expect("PD run");
-        prop_assert!(run.accepted.iter().all(|a| *a));
+        assert!(run.accepted.iter().all(|a| *a));
     }
+}
 
-    /// Setting every job's value to zero makes PD reject everything and pay
-    /// exactly zero cost.
-    #[test]
-    fn pd_rejects_everything_when_values_are_zero(inst in instance_strategy(6, 3)) {
+/// Setting every job's value to zero makes PD reject everything and pay
+/// exactly zero cost.
+#[test]
+fn pd_rejects_everything_when_values_are_zero() {
+    let mut rng = SmallRng::seed_from_u64(0xBD + 3);
+    for _ in 0..40 {
+        let inst = random_instance(&mut rng, 6, 3);
         let zeroed = Instance::from_jobs(
             inst.machines,
             inst.alpha,
-            inst.jobs.iter().map(|j| {
-                let mut j = *j;
-                j.value = 0.0;
-                j
-            }).collect(),
-        ).expect("zeroed instance");
+            inst.jobs
+                .iter()
+                .map(|j| {
+                    let mut j = *j;
+                    j.value = 0.0;
+                    j
+                })
+                .collect(),
+        )
+        .expect("zeroed instance");
         let run = PdScheduler::default().run(&zeroed).expect("PD run");
-        prop_assert!(run.accepted.iter().all(|a| !a));
-        prop_assert!(run.cost().total() < 1e-9);
+        assert!(run.accepted.iter().all(|a| !a));
+        assert!(run.cost().total() < 1e-9);
     }
+}
 
-    /// The event-driven OnlinePd agrees with the batch scheduler on both
-    /// decisions and (up to numeric tolerance) cost.
-    #[test]
-    fn online_pd_matches_batch(inst in instance_strategy(6, 3)) {
+/// The event-driven OnlinePd agrees with the batch scheduler on both
+/// decisions and (up to numeric tolerance) cost.
+#[test]
+fn online_pd_matches_batch() {
+    let mut rng = SmallRng::seed_from_u64(0xBD + 4);
+    for _ in 0..40 {
+        let inst = random_instance(&mut rng, 6, 3);
         let batch = PdScheduler::default().run(&inst).expect("batch");
         let mut online = OnlinePd::new(inst.machines, inst.alpha);
         for id in inst.arrival_order() {
             let accepted = online.arrive(inst.job(id)).expect("arrive");
-            prop_assert_eq!(accepted, batch.accepted[id.index()]);
+            assert_eq!(accepted, batch.accepted[id.index()]);
         }
         let oc = online.schedule().expect("schedule").cost(&inst).total();
         let bc = batch.schedule.cost(&inst).total();
-        prop_assert!((oc - bc).abs() <= 1e-4 * bc.max(1.0), "online {} vs batch {}", oc, bc);
+        assert!(
+            (oc - bc).abs() <= 1e-4 * bc.max(1.0),
+            "online {oc} vs batch {bc}"
+        );
     }
+}
 
-    /// PD's cost never exceeds alpha^alpha times the cost of either trivial
-    /// strategy (reject everything; finish everything optimally), both of
-    /// which upper-bound the optimum.
-    #[test]
-    fn pd_within_bound_of_trivial_strategies(inst in instance_strategy(6, 2)) {
+/// PD's cost never exceeds alpha^alpha times the cost of either trivial
+/// strategy (reject everything; finish everything optimally), both of
+/// which upper-bound the optimum.
+#[test]
+fn pd_within_bound_of_trivial_strategies() {
+    let mut rng = SmallRng::seed_from_u64(0xBD + 5);
+    for _ in 0..40 {
+        let inst = random_instance(&mut rng, 6, 2);
         let run = PdScheduler::default().run(&inst).expect("PD run");
         let bound = AlphaPower::new(inst.alpha).competitive_ratio_pd();
         let reject_all = inst.total_value();
@@ -108,7 +144,10 @@ proptest! {
             .cost(&inst)
             .total();
         let best_trivial = reject_all.min(finish_all);
-        prop_assert!(run.cost().total() <= bound * best_trivial + 1e-5 * best_trivial.max(1.0),
-            "PD {} vs {} * trivial {}", run.cost().total(), bound, best_trivial);
+        assert!(
+            run.cost().total() <= bound * best_trivial + 1e-5 * best_trivial.max(1.0),
+            "PD {} vs {bound} * trivial {best_trivial}",
+            run.cost().total()
+        );
     }
 }

@@ -1,7 +1,5 @@
 //! The primal load variables `x_{jk}` of the convex program.
 
-use serde::{Deserialize, Serialize};
-
 use pss_types::num;
 
 use crate::partition::Refinement;
@@ -15,7 +13,7 @@ use crate::partition::Refinement;
 /// because the experiment sizes keep `n·N` comfortably small (both are at
 /// most a few thousand) and dense rows make the water-filling inner loops
 /// cache friendly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkAssignment {
     n_intervals: usize,
     /// Row-major: `rows[j][k] = x_{jk}`.
@@ -109,7 +107,10 @@ impl WorkAssignment {
 
     /// The per-interval column: fractions of every job in interval `k`.
     pub fn column(&self, interval: usize) -> Vec<f64> {
-        self.rows.iter().map(|r| r.get(interval).copied().unwrap_or(0.0)).collect()
+        self.rows
+            .iter()
+            .map(|r| r.get(interval).copied().unwrap_or(0.0))
+            .collect()
     }
 
     /// Jobs with a strictly positive fraction in interval `k`.

@@ -1,7 +1,5 @@
 //! Atomic interval partitions and their online refinement.
 
-use serde::{Deserialize, Serialize};
-
 use pss_types::{num, Job};
 
 /// Boundary coincidence tolerance: release/deadline values closer than this
@@ -9,7 +7,7 @@ use pss_types::{num, Job};
 const BOUNDARY_EPS: f64 = 1e-12;
 
 /// One atomic interval `T_k = [start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AtomicInterval {
     /// Index `k` of the interval within its partition.
     pub index: usize,
@@ -29,7 +27,7 @@ impl AtomicInterval {
 
 /// A partition of the time horizon into atomic intervals, induced by a set
 /// of boundary time points (the jobs' release times and deadlines).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalPartition {
     boundaries: Vec<f64>,
 }
@@ -105,7 +103,9 @@ impl IntervalPartition {
 
     /// Indices of all intervals contained in the job's availability window.
     pub fn covered_intervals(&self, job: &Job) -> Vec<usize> {
-        (0..self.len()).filter(|&k| self.job_covers(job, k)).collect()
+        (0..self.len())
+            .filter(|&k| self.job_covers(job, k))
+            .collect()
     }
 
     /// Index of the interval containing time `t`, if any.
@@ -135,10 +135,12 @@ impl IntervalPartition {
     /// release time and deadline of a newly arrived job), returning the new
     /// partition and the [`Refinement`] mapping old intervals to the new
     /// pieces they were split into.
-    pub fn refine(&self, new_points: impl IntoIterator<Item = f64>) -> (IntervalPartition, Refinement) {
-        let refined = IntervalPartition::from_boundaries(
-            self.boundaries.iter().copied().chain(new_points),
-        );
+    pub fn refine(
+        &self,
+        new_points: impl IntoIterator<Item = f64>,
+    ) -> (IntervalPartition, Refinement) {
+        let refined =
+            IntervalPartition::from_boundaries(self.boundaries.iter().copied().chain(new_points));
         let mapping = Refinement::between(self, &refined);
         (refined, mapping)
     }
@@ -153,7 +155,7 @@ impl IntervalPartition {
 /// to these fractions — exactly the proportional split described in the
 /// paper's "Concerning the Time Partitioning" paragraph, which leaves the
 /// produced schedule unchanged.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Refinement {
     /// For each old interval, the `(new_index, length_fraction)` pieces.
     pub pieces: Vec<Vec<(usize, f64)>>,
@@ -172,7 +174,8 @@ impl Refinement {
             for new_iv in new.intervals() {
                 // A new interval belongs to the old one if it is contained
                 // in it (refinement => containment or disjointness).
-                if num::approx_ge(new_iv.start, old_iv.start) && num::approx_le(new_iv.end, old_iv.end)
+                if num::approx_ge(new_iv.start, old_iv.start)
+                    && num::approx_le(new_iv.end, old_iv.end)
                 {
                     let frac = if old_len > 0.0 {
                         new_iv.length() / old_len

@@ -2,12 +2,10 @@
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
-
 use pss_types::{validate_schedule, Cost, Instance, ScheduleError, Scheduler};
 
 /// The outcome of running one algorithm on one instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlgorithmResult {
     /// Algorithm name (from [`Scheduler::name`]).
     pub algorithm: String,
@@ -60,7 +58,7 @@ pub fn evaluate_scheduler<S: Scheduler + ?Sized>(
 
 /// Summary statistics of a collection of ratios (one per instance of a
 /// sweep).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RatioSummary {
     /// Number of ratios summarised.
     pub count: usize,
@@ -131,12 +129,8 @@ mod tests {
 
     #[test]
     fn evaluate_scheduler_reports_cost_and_completion() {
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 1.0, 0.5, 2.0), (2.0, 3.0, 2.0, 4.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 0.5, 2.0), (2.0, 3.0, 2.0, 4.0)])
+            .unwrap();
         // At speed 1, job 0 (work 0.5) finishes, job 1 (work 2, window 1) does not.
         let result = evaluate_scheduler(&FixedSpeed(1.0), &inst).unwrap();
         assert_eq!(result.algorithm, "fixed");

@@ -1,10 +1,8 @@
 //! Plain-text and Markdown table rendering for experiment output.
 
-use serde::{Deserialize, Serialize};
-
 /// A simple column-aligned table used by the experiment binaries to print
 /// the rows recorded in `EXPERIMENTS.md`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table title.
     pub title: String,
@@ -62,13 +60,34 @@ impl Table {
         };
         out.push_str(&render_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row));
             out.push('\n');
         }
         out
+    }
+
+    /// Renders the table as a JSON object (`{"title", "headers", "rows"}`).
+    ///
+    /// The workspace has no serialisation dependency, so the experiment
+    /// harness emits its machine-readable results through this hand-rolled
+    /// writer.
+    pub fn to_json(&self) -> String {
+        let arr = |items: &[String]| -> String {
+            let cells: Vec<String> = items.iter().map(|c| json_string(c)).collect();
+            format!("[{}]", cells.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"title\":{},\"headers\":{},\"rows\":[{}]}}",
+            json_string(&self.title),
+            arr(&self.headers),
+            rows.join(",")
+        )
     }
 
     /// Renders the table as GitHub-flavoured Markdown.
@@ -87,6 +106,25 @@ impl Table {
     }
 }
 
+/// Escapes a string as a JSON string literal (including the quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Formats a float with a sensible fixed precision for tables.
 pub fn fmt_f64(x: f64) -> String {
     if !x.is_finite() {
@@ -96,7 +134,7 @@ pub fn fmt_f64(x: f64) -> String {
         return "0".into();
     }
     let mag = x.abs();
-    if mag >= 1000.0 || mag < 0.001 {
+    if !(0.001..1000.0).contains(&mag) {
         format!("{x:.3e}")
     } else {
         format!("{x:.4}")
@@ -140,6 +178,16 @@ mod tests {
         assert!(fmt_f64(123456.0).contains('e'));
         assert!(fmt_f64(0.0000123).contains('e'));
         assert_eq!(fmt_f64(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn json_rendering_escapes_special_characters() {
+        let mut t = Table::new("a \"quoted\" title", &["col"]);
+        t.push_row(vec!["line\nbreak".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("line\\nbreak"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 
     #[test]

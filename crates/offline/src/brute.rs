@@ -68,16 +68,9 @@ pub fn brute_force_optimum_with(
     let mut evaluated = 0usize;
 
     for mask in 0..(1u32 << n) {
-        let kept: Vec<JobId> = (0..n)
-            .filter(|j| mask & (1 << j) != 0)
-            .map(JobId)
-            .collect();
-        let rejected: Vec<JobId> = (0..n)
-            .filter(|j| mask & (1 << j) == 0)
-            .map(JobId)
-            .collect();
-        let lost_value: f64 =
-            num::stable_sum(rejected.iter().map(|j| instance.job(*j).value));
+        let kept: Vec<JobId> = (0..n).filter(|j| mask & (1 << j) != 0).map(JobId).collect();
+        let rejected: Vec<JobId> = (0..n).filter(|j| mask & (1 << j) == 0).map(JobId).collect();
+        let lost_value: f64 = num::stable_sum(rejected.iter().map(|j| instance.job(*j).value));
         evaluated += 1;
 
         // Cheap pruning: even with zero energy this mask cannot win.
@@ -153,12 +146,9 @@ mod tests {
     fn mixed_instance_keeps_only_the_profitable_jobs() {
         // Two jobs competing for the same unit interval: keeping both needs
         // speed 2 (energy 4 with alpha 2).  Job 0 is valuable, job 1 cheap.
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 1.0, 1.0, 100.0), (0.0, 1.0, 1.0, 0.5)],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 1.0, 100.0), (0.0, 1.0, 1.0, 0.5)])
+                .unwrap();
         let res = brute_force_optimum(&inst).unwrap();
         // Options: keep both (4), keep 0 only (1 + 0.5), keep 1 only
         // (1 + 100), reject both (100.5).  Best: keep 0 only.
@@ -168,12 +158,9 @@ mod tests {
 
     #[test]
     fn multiprocessor_optimum_uses_convex_solver() {
-        let inst = Instance::from_tuples(
-            2,
-            2.0,
-            vec![(0.0, 1.0, 1.0, 10.0), (0.0, 1.0, 1.0, 10.0)],
-        )
-        .unwrap();
+        let inst =
+            Instance::from_tuples(2, 2.0, vec![(0.0, 1.0, 1.0, 10.0), (0.0, 1.0, 1.0, 10.0)])
+                .unwrap();
         let res = brute_force_optimum(&inst).unwrap();
         // Each job on its own machine at speed 1: total energy 2.
         assert!(res.rejected.is_empty());
@@ -192,7 +179,9 @@ mod tests {
 
     #[test]
     fn too_many_jobs_is_an_error() {
-        let tuples: Vec<_> = (0..21).map(|i| (i as f64, i as f64 + 1.0, 1.0, 1.0)).collect();
+        let tuples: Vec<_> = (0..21)
+            .map(|i| (i as f64, i as f64 + 1.0, 1.0, 1.0))
+            .collect();
         let inst = Instance::from_tuples(1, 2.0, tuples).unwrap();
         assert!(brute_force_optimum(&inst).is_err());
     }

@@ -13,10 +13,10 @@
 //!   each kept set computed by YDS (`m = 1`) or the convex coordinate
 //!   descent solver (`m > 1`).
 //! * [`schedulers`] — [`Scheduler`](pss_types::Scheduler) wrappers:
-//!   [`YdsScheduler`](schedulers::YdsScheduler),
-//!   [`MinEnergyScheduler`](schedulers::MinEnergyScheduler) (multiprocessor,
+//!   [`schedulers::YdsScheduler`],
+//!   [`schedulers::MinEnergyScheduler`] (multiprocessor,
 //!   finish everything) and
-//!   [`BruteForceScheduler`](schedulers::BruteForceScheduler) (exact optimum
+//!   [`schedulers::BruteForceScheduler`] (exact optimum
 //!   with rejection).
 
 #![warn(missing_docs)]

@@ -32,18 +32,10 @@ impl Scheduler for YdsScheduler {
 /// The multiprocessor offline energy optimum for mandatory completion
 /// (values are ignored), computed by coordinate descent on the convex
 /// program and realised with Chen et al.'s per-interval algorithm.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MinEnergyScheduler {
     /// Convex-solver options.
     pub options: SolverOptions,
-}
-
-impl Default for MinEnergyScheduler {
-    fn default() -> Self {
-        Self {
-            options: SolverOptions::default(),
-        }
-    }
 }
 
 impl Scheduler for MinEnergyScheduler {
@@ -79,12 +71,7 @@ mod tests {
     use pss_types::validate_schedule;
 
     fn sample(m: usize) -> Instance {
-        Instance::from_tuples(
-            m,
-            2.0,
-            vec![(0.0, 2.0, 1.0, 10.0), (0.5, 1.5, 0.5, 10.0)],
-        )
-        .unwrap()
+        Instance::from_tuples(m, 2.0, vec![(0.0, 2.0, 1.0, 10.0), (0.5, 1.5, 0.5, 10.0)]).unwrap()
     }
 
     #[test]
@@ -124,12 +111,8 @@ mod tests {
 
     #[test]
     fn brute_force_scheduler_produces_valid_schedules() {
-        let inst = Instance::from_tuples(
-            1,
-            2.0,
-            vec![(0.0, 1.0, 3.0, 0.5), (0.0, 2.0, 1.0, 50.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 3.0, 0.5), (0.0, 2.0, 1.0, 50.0)])
+            .unwrap();
         let s = BruteForceScheduler.schedule(&inst).unwrap();
         let report = validate_schedule(&inst, &s).unwrap();
         // The expensive low-value job should be rejected.

@@ -113,9 +113,7 @@ pub fn yds_schedule(jobs: &[Job], alpha: f64) -> Result<YdsResult, ScheduleError
         }
 
         // -- Remove the critical jobs and collapse [t1, t2). --------------
-        pending.retain(|j| {
-            !(num::approx_ge(j.release, t1) && num::approx_le(j.deadline, t2))
-        });
+        pending.retain(|j| !(num::approx_ge(j.release, t1) && num::approx_le(j.deadline, t2)));
         let gap = t2 - t1;
         for j in &mut pending {
             j.release = collapse_time(j.release, t1, t2, gap);
@@ -306,7 +304,11 @@ mod tests {
         // [1,2) at speed 2, then job 0 at speed 2/3 on the remaining 3 units.
         let (inst, res) = run(vec![(0.0, 4.0, 2.0, 1.0), (1.0, 2.0, 2.0, 1.0)], 2.0);
         let expected = 4.0 + 3.0 * (2.0f64 / 3.0).powi(2);
-        assert!((res.energy - expected).abs() < 1e-9, "energy {}", res.energy);
+        assert!(
+            (res.energy - expected).abs() < 1e-9,
+            "energy {}",
+            res.energy
+        );
         let report = validate_schedule(&inst, &res.schedule).unwrap();
         assert!(report.rejected.is_empty());
         assert_eq!(res.rounds.len(), 2);
@@ -316,13 +318,13 @@ mod tests {
 
     #[test]
     fn disjoint_jobs_each_run_at_their_density() {
-        let (inst, res) = run(
-            vec![(0.0, 1.0, 2.0, 1.0), (2.0, 4.0, 1.0, 1.0)],
-            2.0,
-        );
+        let (inst, res) = run(vec![(0.0, 1.0, 2.0, 1.0), (2.0, 4.0, 1.0, 1.0)], 2.0);
         let expected = 4.0 + 0.5;
         assert!((res.energy - expected).abs() < 1e-9);
-        assert!(validate_schedule(&inst, &res.schedule).unwrap().rejected.is_empty());
+        assert!(validate_schedule(&inst, &res.schedule)
+            .unwrap()
+            .rejected
+            .is_empty());
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! The concrete power function `P_α(s) = s^α` and the analysis constants.
 
-use serde::{Deserialize, Serialize};
-
 use crate::traits::PowerFunction;
 
 /// The power function `P_α(s) = s^α` for a fixed energy exponent `α > 1`,
 /// together with the closed-form constants of the paper's analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlphaPower {
     alpha: f64,
 }

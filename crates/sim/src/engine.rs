@@ -1,12 +1,22 @@
-//! The discrete-event schedule simulator.
+//! The discrete-event schedule simulator and the streaming online event
+//! loop.
+//!
+//! [`Simulation`] replays a complete schedule and reports per-machine and
+//! per-job execution statistics.  [`StreamingSimulation`] drives an
+//! event-driven online algorithm ([`OnlineAlgorithm`]) one arrival at a
+//! time, recording a per-event trace (decision, dual value, arrival-handling
+//! latency, frontier growth) before replaying the finished schedule through
+//! [`Simulation`] — the runtime view of the paper's online model.
 
-use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 use pss_power::{AlphaPower, PowerFunction};
-use pss_types::{num, Instance, JobId, Schedule, ScheduleError, Segment};
+use pss_types::{
+    num, Instance, JobId, OnlineAlgorithm, OnlineScheduler, Schedule, ScheduleError, Segment,
+};
 
 /// Per-machine execution statistics.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MachineStats {
     /// Time the machine spent running jobs.
     pub busy_time: f64,
@@ -23,7 +33,7 @@ pub struct MachineStats {
 }
 
 /// Per-job execution outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
     /// The job.
     pub job: JobId,
@@ -45,7 +55,7 @@ pub struct JobOutcome {
 }
 
 /// The full simulation report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Simulated horizon `[start, end)`.
     pub horizon: (f64, f64),
@@ -89,7 +99,11 @@ impl Simulation {
     /// [`validate_schedule`](pss_types::validate_schedule)); the simulation
     /// then walks the event timeline (all segment boundaries in time order)
     /// and accumulates the statistics.
-    pub fn run(&self, instance: &Instance, schedule: &Schedule) -> Result<SimReport, ScheduleError> {
+    pub fn run(
+        &self,
+        instance: &Instance,
+        schedule: &Schedule,
+    ) -> Result<SimReport, ScheduleError> {
         pss_types::validate_schedule(instance, schedule)?;
         let power = AlphaPower::new(instance.alpha);
         let m = instance.machines;
@@ -160,9 +174,8 @@ impl Simulation {
 
         // Per-machine statistics.
         let mut machines = vec![MachineStats::default(); m];
-        for machine in 0..m {
+        for (machine, stats) in machines.iter_mut().enumerate() {
             let segs = schedule.machine_segments(machine);
-            let stats = &mut machines[machine];
             for seg in &segs {
                 stats.busy_time += seg.duration();
                 stats.energy += power.energy_at_speed(seg.speed, seg.duration());
@@ -171,7 +184,11 @@ impl Simulation {
             }
             let span = horizon.1 - horizon.0;
             stats.idle_time = (span - stats.busy_time).max(0.0);
-            stats.utilization = if span > 0.0 { stats.busy_time / span } else { 0.0 };
+            stats.utilization = if span > 0.0 {
+                stats.busy_time / span
+            } else {
+                0.0
+            };
         }
 
         let total_energy = num::stable_sum(machines.iter().map(|s| s.energy));
@@ -195,18 +212,127 @@ impl Simulation {
     }
 }
 
+/// One arrival event of a streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalRecord {
+    /// The arriving job.
+    pub job: JobId,
+    /// Arrival (release) time.
+    pub time: f64,
+    /// Whether the algorithm accepted the job.
+    pub accepted: bool,
+    /// The dual value the algorithm reported for the job.
+    pub dual: f64,
+    /// Wall-clock time the algorithm spent handling this arrival, in
+    /// seconds.
+    pub latency_secs: f64,
+    /// Number of committed frontier segments right after the arrival.
+    pub frontier_segments: usize,
+}
+
+/// The result of one streaming run: the per-event trace, the finished
+/// schedule, and the execution report of replaying it.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Name of the algorithm that was driven.
+    pub algorithm: String,
+    /// One record per arrival, in arrival order.
+    pub events: Vec<ArrivalRecord>,
+    /// The finished schedule.
+    pub schedule: Schedule,
+    /// The execution report of replaying `schedule`.
+    pub report: SimReport,
+}
+
+impl StreamReport {
+    /// Number of accepted jobs.
+    pub fn accepted_jobs(&self) -> usize {
+        self.events.iter().filter(|e| e.accepted).count()
+    }
+
+    /// Number of rejected jobs.
+    pub fn rejected_jobs(&self) -> usize {
+        self.events.len() - self.accepted_jobs()
+    }
+
+    /// Fraction of arrivals accepted (1 for an empty stream).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.events.is_empty() {
+            return 1.0;
+        }
+        self.accepted_jobs() as f64 / self.events.len() as f64
+    }
+
+    /// Mean arrival-handling latency in seconds (0 for an empty stream).
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().map(|e| e.latency_secs).sum::<f64>() / self.events.len() as f64
+    }
+
+    /// Maximum arrival-handling latency in seconds.
+    pub fn max_latency_secs(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| e.latency_secs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total cost of the finished schedule (energy + lost value).
+    pub fn total_cost(&self) -> f64 {
+        self.report.total_cost()
+    }
+}
+
+/// Drives an event-driven online algorithm over an instance's arrival
+/// stream, one job at a time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamingSimulation;
+
+impl StreamingSimulation {
+    /// Feeds the instance's jobs to a fresh run of `algo` in arrival order,
+    /// recording per-event metrics, then finishes the run, validates the
+    /// schedule and replays it through [`Simulation`].
+    pub fn run<A: OnlineAlgorithm + ?Sized>(
+        &self,
+        algo: &A,
+        instance: &Instance,
+    ) -> Result<StreamReport, ScheduleError> {
+        let mut run = algo.start_for(instance)?;
+        let mut events = Vec::with_capacity(instance.len());
+        for id in instance.arrival_order() {
+            let job = instance.job(id);
+            let started = Instant::now();
+            let decision = run.on_arrival(job, job.release)?;
+            let latency_secs = started.elapsed().as_secs_f64();
+            events.push(ArrivalRecord {
+                job: id,
+                time: job.release,
+                accepted: decision.accepted,
+                dual: decision.dual,
+                latency_secs,
+                frontier_segments: run.frontier().segments.len(),
+            });
+        }
+        let schedule = run.finish()?;
+        let report = Simulation.run(instance, &schedule)?;
+        Ok(StreamReport {
+            algorithm: algo.algorithm_name(),
+            events,
+            schedule,
+            report,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use pss_types::Segment;
 
     fn instance() -> Instance {
-        Instance::from_tuples(
-            2,
-            2.0,
-            vec![(0.0, 4.0, 2.0, 5.0), (1.0, 3.0, 1.0, 2.0)],
-        )
-        .unwrap()
+        Instance::from_tuples(2, 2.0, vec![(0.0, 4.0, 2.0, 5.0), (1.0, 3.0, 1.0, 2.0)]).unwrap()
     }
 
     #[test]
@@ -240,12 +366,7 @@ mod tests {
 
     #[test]
     fn preemptions_and_migrations_are_counted() {
-        let inst = Instance::from_tuples(
-            2,
-            2.0,
-            vec![(0.0, 10.0, 3.0, 1.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(2, 2.0, vec![(0.0, 10.0, 3.0, 1.0)]).unwrap();
         let mut s = Schedule::empty(2);
         // Run, pause, resume on another machine.
         s.push(Segment::work(0, 0.0, 1.0, 1.0, JobId(0)));
@@ -285,5 +406,56 @@ mod tests {
         let mut s = Schedule::empty(2);
         s.push(Segment::work(0, 0.0, 5.0, 1.0, JobId(0))); // outside window
         assert!(Simulation.run(&inst, &s).is_err());
+    }
+
+    #[test]
+    fn streaming_simulation_traces_every_arrival_and_matches_batch_cost() {
+        use pss_baselines::AvrScheduler;
+        use pss_types::Scheduler;
+
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 4.0, 2.0, 5.0),
+                (1.0, 3.0, 1.0, 2.0),
+                (2.0, 5.0, 1.5, 3.0),
+            ],
+        )
+        .unwrap();
+        let stream = StreamingSimulation.run(&AvrScheduler, &inst).unwrap();
+        assert_eq!(stream.algorithm, "AVR");
+        assert_eq!(stream.events.len(), inst.len());
+        assert_eq!(stream.accepted_jobs(), inst.len());
+        assert_eq!(stream.rejected_jobs(), 0);
+        assert!((stream.acceptance_rate() - 1.0).abs() < 1e-12);
+        assert!(stream.mean_latency_secs() >= 0.0);
+        assert!(stream.max_latency_secs() >= stream.mean_latency_secs());
+        // Event times follow the arrival order and the frontier only grows.
+        for pair in stream.events.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+            assert!(pair[0].frontier_segments <= pair[1].frontier_segments);
+        }
+        // The streamed schedule costs the same as the batch adapter's.
+        let batch_cost = AvrScheduler.schedule(&inst).unwrap().cost(&inst).total();
+        assert!((stream.total_cost() - batch_cost).abs() < 1e-9 * batch_cost.max(1.0));
+    }
+
+    #[test]
+    fn streaming_simulation_records_rejections_and_duals() {
+        use pss_baselines::CllScheduler;
+
+        // One hopeless job (huge work, tiny value) and one easy job.
+        let inst =
+            Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 10.0, 0.001), (0.0, 2.0, 0.5, 10.0)])
+                .unwrap();
+        let stream = StreamingSimulation.run(&CllScheduler, &inst).unwrap();
+        assert_eq!(stream.accepted_jobs(), 1);
+        assert_eq!(stream.rejected_jobs(), 1);
+        let rejected = stream.events.iter().find(|e| !e.accepted).unwrap();
+        assert_eq!(rejected.job, JobId(0));
+        assert!((rejected.dual - 0.001).abs() < 1e-12);
+        // The execution report agrees: the rejected job's value is lost.
+        assert!((stream.report.lost_value - 0.001).abs() < 1e-9);
     }
 }

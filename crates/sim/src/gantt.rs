@@ -64,10 +64,7 @@ pub fn render_gantt(instance: &Instance, schedule: &Schedule, opts: &GanttOption
                 .find(|s| s.machine == machine && s.start <= t && t < s.end);
             match seg {
                 Some(s) => {
-                    let ch = s
-                        .job
-                        .map(|j| job_glyph(j.index()))
-                        .unwrap_or('·');
+                    let ch = s.job.map(|j| job_glyph(j.index())).unwrap_or('·');
                     job_row.push(ch);
                     speed_row.push(speed_glyph(s.speed, max_speed));
                 }
@@ -92,7 +89,10 @@ fn job_glyph(index: usize) -> char {
 }
 
 fn speed_glyph(speed: f64, max_speed: f64) -> char {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if max_speed <= 0.0 || speed <= 0.0 {
         return ' ';
     }
@@ -106,12 +106,8 @@ mod tests {
     use pss_types::{Instance, JobId, Segment};
 
     fn setup() -> (Instance, Schedule) {
-        let inst = Instance::from_tuples(
-            2,
-            2.0,
-            vec![(0.0, 2.0, 1.0, 1.0), (0.0, 4.0, 2.0, 1.0)],
-        )
-        .unwrap();
+        let inst = Instance::from_tuples(2, 2.0, vec![(0.0, 2.0, 1.0, 1.0), (0.0, 4.0, 2.0, 1.0)])
+            .unwrap();
         let mut s = Schedule::empty(2);
         s.push(Segment::work(0, 0.0, 2.0, 0.5, JobId(0)));
         s.push(Segment::work(1, 1.0, 4.0, 2.0 / 3.0, JobId(1)));

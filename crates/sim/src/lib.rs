@@ -12,10 +12,18 @@
 //! accounting in `pss-types` (the simulator integrates power over its own
 //! event timeline).
 //!
-//! [`replay`] provides the operational definition of "online": it re-runs a
+//! [`engine::StreamingSimulation`] drives an event-driven online algorithm
+//! ([`OnlineAlgorithm`](pss_types::OnlineAlgorithm)) one arrival at a time
+//! and records a per-event trace (decision, dual, latency, frontier
+//! growth) — the runtime counterpart of the paper's online model.
+//!
+//! [`replay`] provides the operational definition of "online": the
+//! streaming check [`replay::streaming_prefix_report`] verifies in a single
+//! pass that the machine speed profiles an incremental run *commits to*
+//! are never revised by later arrivals, and the batch fallback
+//! [`replay::prefix_stability_report`] re-runs any
 //! [`Scheduler`](pss_types::Scheduler) on growing prefixes of an instance
-//! and verifies that the machine speed profiles *in the past* never change
-//! when new jobs arrive.
+//! for algorithms without the incremental API.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,6 +32,9 @@ pub mod engine;
 pub mod gantt;
 pub mod replay;
 
-pub use engine::{JobOutcome, MachineStats, SimReport, Simulation};
+pub use engine::{
+    ArrivalRecord, JobOutcome, MachineStats, SimReport, Simulation, StreamReport,
+    StreamingSimulation,
+};
 pub use gantt::{render_gantt, GanttOptions};
-pub use replay::{prefix_stability_report, PrefixStabilityReport};
+pub use replay::{prefix_stability_report, streaming_prefix_report, PrefixStabilityReport};

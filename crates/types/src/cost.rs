@@ -1,12 +1,11 @@
 //! Cost accounting for schedules.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Add;
 
 /// The cost of a schedule, split into its two components as in Equation (1)
 /// of the paper: consumed energy and the total value of unfinished jobs.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Cost {
     /// Total energy `Σ_i ∫ P_α(S_i(t)) dt`.
     pub energy: f64,

@@ -1,13 +1,11 @@
 //! Problem instances.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::InstanceError;
 use crate::job::{Job, JobId};
 
 /// A problem instance: a job set, the number of speed-scalable machines and
 /// the energy exponent `α` of the power function `P_α(s) = s^α`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instance {
     /// The jobs, indexed by [`JobId`]: `jobs[j].id == JobId(j)`.
     pub jobs: Vec<Job>,
@@ -84,7 +82,11 @@ impl Instance {
         if self.jobs.is_empty() {
             return (0.0, 0.0);
         }
-        let lo = self.jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
+        let lo = self
+            .jobs
+            .iter()
+            .map(|j| j.release)
+            .fold(f64::INFINITY, f64::min);
         let hi = self
             .jobs
             .iter()
@@ -231,10 +233,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn restrict_to_everything_is_identity_up_to_ids() {
         let inst = sample();
-        let json = serde_json::to_string(&inst).unwrap();
-        let back: Instance = serde_json::from_str(&json).unwrap();
+        let all: Vec<JobId> = inst.jobs.iter().map(|j| j.id).collect();
+        let back = inst.restrict(&all);
         assert_eq!(inst, back);
     }
 }

@@ -1,6 +1,5 @@
 //! Jobs and job identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::error::InstanceError;
@@ -11,7 +10,7 @@ use crate::num;
 /// Job ids are dense indices (`0..n`) into the instance's job vector; all
 /// per-job vectors in the workspace (work assignments, dual variables,
 /// rejection flags, …) are indexed by `JobId::index()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobId(pub usize);
 
 impl JobId {
@@ -34,7 +33,7 @@ impl fmt::Display for JobId {
 /// `deadline = d_j` to count as completed, carries `work = w_j` units of
 /// workload, and is worth `value = v_j`.  A schedule that does not finish
 /// the job pays `v_j` instead of the energy required to process it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Job {
     /// Dense identifier of the job inside its instance.
     pub id: JobId,
@@ -95,7 +94,10 @@ impl Job {
         if !self.release.is_finite() || self.release < 0.0 {
             return Err(InstanceError::BadJob {
                 job: self.id,
-                reason: format!("release time {} is not finite and nonnegative", self.release),
+                reason: format!(
+                    "release time {} is not finite and nonnegative",
+                    self.release
+                ),
             });
         }
         if !self.deadline.is_finite() || self.deadline <= self.release {

@@ -13,9 +13,12 @@
 //! * [`Schedule`] — a machine-level schedule as a set of constant-speed
 //!   [`Segment`]s, together with cost accounting ([`Cost`]),
 //! * [`validate`] — feasibility checking of schedules against instances,
-//! * [`Scheduler`] / [`OnlineScheduler`] — the algorithm traits implemented
-//!   by the offline baselines, the online baselines, and the paper's
-//!   primal-dual algorithm (`pss-core`),
+//! * [`Scheduler`] — the batch algorithm trait implemented by the offline
+//!   baselines, plus the event-driven online pair
+//!   [`OnlineAlgorithm`]/[`OnlineScheduler`] (incremental arrivals via
+//!   [`OnlineScheduler::on_arrival`], a never-revised committed
+//!   [`OnlineScheduler::frontier`], and a blanket batch adapter) implemented
+//!   by every online algorithm in the workspace,
 //! * [`num`] — tolerance-aware floating point helpers used by all numeric
 //!   code in the workspace.
 //!
@@ -42,6 +45,8 @@ pub use error::{InstanceError, ScheduleError};
 pub use instance::Instance;
 pub use job::{Job, JobId};
 pub use num::Tolerance;
-pub use scheduler::{OnlineScheduler, Scheduler};
+pub use scheduler::{
+    check_arrival_order, run_online, Decision, OnlineAlgorithm, OnlineScheduler, Scheduler,
+};
 pub use segment::{Schedule, Segment};
 pub use validate::{validate_schedule, ValidationReport};

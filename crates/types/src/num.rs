@@ -14,8 +14,6 @@
 //!   numeric solvers (bisection loops, water filling, coordinate descent) so
 //!   that callers can trade accuracy for speed.
 
-use serde::{Deserialize, Serialize};
-
 /// Workspace-wide default tolerance used by the convenience comparison
 /// functions in this module.
 pub const EPS: f64 = 1e-9;
@@ -82,7 +80,7 @@ pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
 
 /// Explicit tolerance settings carried by the iterative numeric solvers of
 /// the workspace (bisection, water filling, coordinate descent).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tolerance {
     /// Relative tolerance on the quantity being solved for.
     pub rel: f64,
@@ -160,7 +158,13 @@ pub fn stable_sum(values: impl IntoIterator<Item = f64>) -> f64 {
 /// returned, if `f(hi) <= target` the upper end is returned; this makes the
 /// function total and well suited to water-filling style searches where the
 /// target may be unattainable inside the bracket.
-pub fn bisect_nondecreasing<F>(mut lo: f64, mut hi: f64, target: f64, tol: Tolerance, mut f: F) -> f64
+pub fn bisect_nondecreasing<F>(
+    mut lo: f64,
+    mut hi: f64,
+    target: f64,
+    tol: Tolerance,
+    mut f: F,
+) -> f64
 where
     F: FnMut(f64) -> f64,
 {

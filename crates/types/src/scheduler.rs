@@ -1,14 +1,30 @@
 //! Algorithm traits implemented across the workspace.
+//!
+//! Two views of a scheduling algorithm coexist:
+//!
+//! * [`Scheduler`] — the *batch* view: map a complete [`Instance`] to a
+//!   [`Schedule`].  Offline algorithms (YDS, brute force, the convex
+//!   solver) implement this directly.
+//! * [`OnlineScheduler`] / [`OnlineAlgorithm`] — the *event-driven* view:
+//!   jobs arrive one at a time via [`OnlineScheduler::on_arrival`], every
+//!   decision is made with only the jobs released so far, and the
+//!   already-committed past ([`OnlineScheduler::frontier`]) is never
+//!   revised.  All online algorithms in the workspace (PD, OA, qOA,
+//!   multiprocessor OA, AVR, BKP, CLL) implement this pair, and a blanket
+//!   adapter recovers their batch [`Scheduler`] impl, so the experiment
+//!   harness can keep treating every algorithm uniformly.
 
 use crate::error::ScheduleError;
 use crate::instance::Instance;
+use crate::job::Job;
 use crate::segment::Schedule;
 
 /// A scheduling algorithm that maps an instance to a schedule.
 ///
 /// Both offline algorithms (YDS, brute force, the convex-program solver) and
-/// online algorithms implement this trait; it is what the experiment harness
-/// and the simulator consume.
+/// online algorithms implement this trait (the latter through the blanket
+/// adapter over [`OnlineAlgorithm`]); it is what the experiment harness and
+/// the simulator consume.
 pub trait Scheduler {
     /// Human-readable name used in experiment tables (e.g. `"PD"`, `"OA"`,
     /// `"YDS"`).
@@ -23,41 +39,154 @@ pub trait Scheduler {
     fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError>;
 }
 
-/// Marker trait for *online* algorithms.
-///
-/// An online algorithm must base every decision concerning times `< t` only
-/// on jobs with release time `<= t`.  The trait is a marker because all our
-/// online algorithms are implemented in the "plan revision" style of the
-/// paper: they iterate over jobs in release order and only ever add work to
-/// the future.  The simulator crate (`pss-sim`) additionally provides an
-/// event-driven harness ([`pss-sim::replay`]) that re-runs a scheduler on
-/// growing prefixes of the instance and checks that the produced past never
-/// changes, which is the operational definition of "online".
-pub trait OnlineScheduler: Scheduler {}
+/// The outcome of one [`OnlineScheduler::on_arrival`] event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Whether the algorithm committed to finishing the job.  Rejected jobs
+    /// are permanently lost (their value is paid instead of energy).
+    pub accepted: bool,
+    /// The dual value `λ_j` the algorithm associates with the job: for the
+    /// paper's primal-dual algorithm this is the water level reached
+    /// (accepted) or the job's value (rejected); algorithms without a dual
+    /// interpretation report `0` for accepted jobs and the lost value for
+    /// rejected ones.
+    pub dual: f64,
+}
 
-impl<T: Scheduler + ?Sized> Scheduler for &T {
-    fn name(&self) -> String {
-        (**self).name()
+impl Decision {
+    /// An acceptance with the given dual value.
+    pub fn accept(dual: f64) -> Self {
+        Self {
+            accepted: true,
+            dual,
+        }
     }
 
-    fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
-        (**self).schedule(instance)
+    /// A rejection; `lost_value` (the job's value) becomes the dual value.
+    pub fn reject(lost_value: f64) -> Self {
+        Self {
+            accepted: false,
+            dual: lost_value,
+        }
     }
 }
 
-impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
+/// One *run* of an event-driven online algorithm.
+///
+/// A run is stateful: jobs are fed one at a time, in nondecreasing release
+/// order, via [`on_arrival`](Self::on_arrival).  The online information
+/// model is structural: a run only ever sees jobs that have been fed to it,
+/// so it cannot base decisions on the future.  The complementary property —
+/// the *past* is never revised — is exposed through
+/// [`frontier`](Self::frontier) and verified operationally by the streaming
+/// replay harness in the `pss-sim` crate (`replay` module).
+///
+/// Runs are created by [`OnlineAlgorithm::start`]; the blanket adapter
+/// `impl<A: OnlineAlgorithm> Scheduler for A` drives a fresh run over a
+/// whole instance via [`run_online`].
+pub trait OnlineScheduler {
+    /// Feeds the next arriving job at time `now` and returns the
+    /// accept/reject decision together with the job's dual value.
+    ///
+    /// `now` must be nondecreasing across calls and at least the run's
+    /// previous arrival time; implementations return an error on
+    /// out-of-order feeds.  Typically `now == job.release`.
+    fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError>;
+
+    /// The committed *frontier*: the partial schedule for the past (times
+    /// `< now`) that the run guarantees never to revise.  It grows
+    /// monotonically as arrivals are processed and, once
+    /// [`finish`](Self::finish) is called, coincides with the final
+    /// schedule on every already-committed time range.
+    fn frontier(&self) -> &Schedule;
+
+    /// Consumes the run and returns the complete schedule (the committed
+    /// frontier extended to the end of the horizon of the released jobs).
+    fn finish(self) -> Result<Schedule, ScheduleError>
+    where
+        Self: Sized;
+}
+
+/// An online algorithm: a (cheaply copyable) configuration able to start
+/// fresh event-driven runs.
+///
+/// Implementing this trait is all an online algorithm needs to do; the
+/// blanket impl `impl<A: OnlineAlgorithm> Scheduler for A` recovers the
+/// batch interface by replaying an instance's arrival sequence through a
+/// fresh run, so the experiment harness, metrics and simulator keep working
+/// unchanged.
+pub trait OnlineAlgorithm {
+    /// The run state this algorithm produces.
+    type Run: OnlineScheduler;
+
+    /// Human-readable name used in experiment tables (e.g. `"PD"`, `"OA"`).
+    fn algorithm_name(&self) -> String;
+
+    /// Starts a fresh run for `machines` machines and energy exponent
+    /// `alpha`, before any job is known.
+    fn start(&self, machines: usize, alpha: f64) -> Result<Self::Run, ScheduleError>;
+
+    /// Starts a fresh run for an instance's static parameters.
+    ///
+    /// The default forwards to [`start`](Self::start) with the instance's
+    /// machine count and `α`.  Algorithms whose *discretisation* (not their
+    /// decisions) depends on static instance metadata — BKP evaluates its
+    /// speed expression on a uniform time grid over the horizon — override
+    /// this to pick the grid; they still learn about individual jobs only
+    /// through [`OnlineScheduler::on_arrival`].
+    fn start_for(&self, instance: &Instance) -> Result<Self::Run, ScheduleError> {
+        self.start(instance.machines, instance.alpha)
+    }
+}
+
+/// Checks the nondecreasing-arrival-time contract of
+/// [`OnlineScheduler::on_arrival`]: `now` may not lie (more than a small
+/// tolerance) before the previous arrival time.  Every run implementation
+/// in the workspace routes its ordering check through this helper so the
+/// tolerance and error wording stay in one place.
+pub fn check_arrival_order(previous: f64, now: f64) -> Result<(), ScheduleError> {
+    if now < previous - 1e-9 {
+        return Err(ScheduleError::Internal(format!(
+            "jobs must arrive in release order: got time {now} after {previous}"
+        )));
+    }
+    Ok(())
+}
+
+/// Drives a fresh run of `algo` over the whole instance, feeding jobs in
+/// arrival order (release time, ties by id) and finishing the run.
+///
+/// This is the batch adapter used by the blanket [`Scheduler`] impl for
+/// online algorithms; the streaming simulator and replay harness in
+/// `pss-sim` provide richer drivers (per-event metrics, frontier-stability
+/// checks) around the same trait.
+pub fn run_online<A: OnlineAlgorithm + ?Sized>(
+    algo: &A,
+    instance: &Instance,
+) -> Result<Schedule, ScheduleError> {
+    let mut run = algo.start_for(instance)?;
+    for id in instance.arrival_order() {
+        let job = instance.job(id);
+        run.on_arrival(job, job.release)?;
+    }
+    run.finish()
+}
+
+impl<A: OnlineAlgorithm> Scheduler for A {
     fn name(&self) -> String {
-        (**self).name()
+        self.algorithm_name()
     }
 
     fn schedule(&self, instance: &Instance) -> Result<Schedule, ScheduleError> {
-        (**self).schedule(instance)
+        run_online(self, instance)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use crate::segment::Segment;
 
     struct Noop;
 
@@ -71,15 +200,138 @@ mod tests {
         }
     }
 
+    /// A tiny online algorithm used to exercise the adapter: every job runs
+    /// at its own density over its whole window on machine 0.
+    struct Density;
+
+    struct DensityRun {
+        committed: Schedule,
+        pending: Vec<Job>,
+        now: f64,
+    }
+
+    impl DensityRun {
+        fn commit_to(&mut self, to: f64) {
+            // Commit the part of every known job's density segment that has
+            // elapsed; jobs only extend into the future, so this never
+            // revises the past.
+            for job in &self.pending {
+                let from = job.release.max(self.now);
+                let until = job.deadline.min(to);
+                if until > from {
+                    self.committed
+                        .push(Segment::work(0, from, until, job.density(), job.id));
+                }
+            }
+            self.now = self.now.max(to);
+        }
+    }
+
+    impl OnlineScheduler for DensityRun {
+        fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError> {
+            if now < self.now {
+                return Err(ScheduleError::Internal("out of order arrival".into()));
+            }
+            self.commit_to(now);
+            self.pending.push(*job);
+            Ok(Decision::accept(0.0))
+        }
+
+        fn frontier(&self) -> &Schedule {
+            &self.committed
+        }
+
+        fn finish(mut self) -> Result<Schedule, ScheduleError> {
+            let end = self
+                .pending
+                .iter()
+                .map(|j| j.deadline)
+                .fold(self.now, f64::max);
+            self.commit_to(end);
+            Ok(self.committed)
+        }
+    }
+
+    impl OnlineAlgorithm for Density {
+        type Run = DensityRun;
+
+        fn algorithm_name(&self) -> String {
+            "density".into()
+        }
+
+        fn start(&self, machines: usize, _alpha: f64) -> Result<Self::Run, ScheduleError> {
+            Ok(DensityRun {
+                committed: Schedule::empty(machines),
+                pending: Vec::new(),
+                now: f64::NEG_INFINITY,
+            })
+        }
+    }
+
     #[test]
-    fn blanket_impls_forward() {
+    fn batch_scheduler_works_through_trait_objects() {
         let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 1.0, 1.0)]).unwrap();
-        let s = Noop;
-        let by_ref: &dyn Scheduler = &s;
+        let by_ref: &dyn Scheduler = &Noop;
         assert_eq!(by_ref.name(), "noop");
         assert!(by_ref.schedule(&inst).is_ok());
         let boxed: Box<dyn Scheduler> = Box::new(Noop);
         assert_eq!(boxed.name(), "noop");
         assert!(boxed.schedule(&inst).unwrap().segments.is_empty());
+    }
+
+    #[test]
+    fn blanket_adapter_recovers_the_batch_scheduler() {
+        let inst = Instance::from_tuples(1, 2.0, vec![(0.0, 2.0, 1.0, 1.0), (1.0, 3.0, 1.0, 1.0)])
+            .unwrap();
+        // Via the blanket impl, the online algorithm is a Scheduler.
+        let s: &dyn Scheduler = &Density;
+        assert_eq!(s.name(), "density");
+        let schedule = s.schedule(&inst).unwrap();
+        // Both jobs fully processed at their densities.
+        let work = schedule.work_per_job(2);
+        assert!((work[0] - 1.0).abs() < 1e-12);
+        assert!((work[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontier_grows_monotonically_and_matches_the_final_schedule() {
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 1.0, 0.5, 1.0),
+                (1.0, 2.0, 0.5, 1.0),
+                (2.0, 3.0, 0.5, 1.0),
+            ],
+        )
+        .unwrap();
+        let mut run = Density.start_for(&inst).unwrap();
+        let mut last_len = 0usize;
+        for id in inst.arrival_order() {
+            let job = inst.job(id);
+            let d = run.on_arrival(job, job.release).unwrap();
+            assert!(d.accepted);
+            assert!(run.frontier().segments.len() >= last_len);
+            last_len = run.frontier().segments.len();
+        }
+        // The frontier's committed speeds agree with the final schedule.
+        let committed = run.frontier().clone();
+        let full = run.finish().unwrap();
+        for sample in [0.25, 0.75, 1.5] {
+            assert!(
+                (committed.speed_at(0, sample) - full.speed_at(0, sample)).abs() < 1e-12,
+                "past revised at t={sample}"
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_carry_dual_values() {
+        let accept = Decision::accept(2.5);
+        assert!(accept.accepted);
+        assert_eq!(accept.dual, 2.5);
+        let reject = Decision::reject(7.0);
+        assert!(!reject.accepted);
+        assert_eq!(reject.dual, 7.0);
     }
 }

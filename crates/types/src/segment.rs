@@ -1,7 +1,5 @@
 //! Machine-level schedules: constant-speed segments.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cost::Cost;
 use crate::instance::Instance;
 use crate::job::JobId;
@@ -13,7 +11,7 @@ use crate::num;
 /// Segments with `job == None` model idle-but-spinning time; well formed
 /// schedules only emit such segments with `speed == 0`, and they are ignored
 /// by the cost accounting when their speed is zero.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Machine index in `0..m`.
     pub machine: usize,
@@ -89,7 +87,7 @@ impl Segment {
 /// (restricted to its availability window — enforced by
 /// [`validate_schedule`](crate::validate::validate_schedule)) reaches its
 /// workload.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Schedule {
     /// Number of machines the schedule is defined over.
     pub machines: usize,
@@ -250,12 +248,7 @@ mod tests {
     use super::*;
 
     fn instance() -> Instance {
-        Instance::from_tuples(
-            2,
-            2.0,
-            vec![(0.0, 2.0, 2.0, 10.0), (0.0, 4.0, 4.0, 3.0)],
-        )
-        .unwrap()
+        Instance::from_tuples(2, 2.0, vec![(0.0, 2.0, 2.0, 10.0), (0.0, 4.0, 4.0, 3.0)]).unwrap()
     }
 
     #[test]

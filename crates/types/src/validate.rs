@@ -62,7 +62,9 @@ pub fn validate_schedule(
     // -- Per-segment well-formedness -------------------------------------
     for seg in &schedule.segments {
         if !seg.start.is_finite() || !seg.end.is_finite() || !seg.speed.is_finite() {
-            return Err(ScheduleError::BadSegment(format!("non-finite segment {seg:?}")));
+            return Err(ScheduleError::BadSegment(format!(
+                "non-finite segment {seg:?}"
+            )));
         }
         if seg.end <= seg.start {
             return Err(ScheduleError::BadSegment(format!(
@@ -160,12 +162,7 @@ mod tests {
     use crate::segment::Segment;
 
     fn inst() -> Instance {
-        Instance::from_tuples(
-            2,
-            2.0,
-            vec![(0.0, 2.0, 2.0, 4.0), (1.0, 3.0, 1.0, 1.0)],
-        )
-        .unwrap()
+        Instance::from_tuples(2, 2.0, vec![(0.0, 2.0, 2.0, 4.0), (1.0, 3.0, 1.0, 1.0)]).unwrap()
     }
 
     #[test]

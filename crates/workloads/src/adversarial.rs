@@ -19,7 +19,13 @@ pub fn staircase_instance(n: usize, alpha: f64, value_factor: f64) -> Instance {
             let work = ((n - j + 1) as f64).powf(-1.0 / alpha);
             let window = deadline - release;
             let alone_energy = work * (work / window).powf(alpha - 1.0);
-            Job::new(j - 1, release, deadline, work, value_factor * alone_energy.max(1e-9))
+            Job::new(
+                j - 1,
+                release,
+                deadline,
+                work,
+                value_factor * alone_energy.max(1e-9),
+            )
         })
         .collect();
     Instance::from_jobs(1, alpha, jobs).expect("staircase jobs are valid")
@@ -28,7 +34,12 @@ pub fn staircase_instance(n: usize, alpha: f64, value_factor: f64) -> Instance {
 /// A multiprocessor variant of the staircase: `m` interleaved copies of the
 /// single-machine staircase on `m` machines.  Each copy stresses one machine
 /// the way the original stresses the single machine.
-pub fn staircase_multiprocessor(n_per_machine: usize, machines: usize, alpha: f64, value_factor: f64) -> Instance {
+pub fn staircase_multiprocessor(
+    n_per_machine: usize,
+    machines: usize,
+    alpha: f64,
+    value_factor: f64,
+) -> Instance {
     let single = staircase_instance(n_per_machine, alpha, value_factor);
     let mut jobs = Vec::with_capacity(n_per_machine * machines);
     let mut id = 0;
@@ -37,7 +48,13 @@ pub fn staircase_multiprocessor(n_per_machine: usize, machines: usize, alpha: f6
         // the structure intact.
         let offset = copy as f64 * 1e-6;
         for j in &single.jobs {
-            jobs.push(Job::new(id, j.release + offset, j.deadline + offset, j.work, j.value));
+            jobs.push(Job::new(
+                id,
+                j.release + offset,
+                j.deadline + offset,
+                j.work,
+                j.value,
+            ));
             id += 1;
         }
     }

@@ -16,8 +16,10 @@
 //! * [`paper_examples`] — the small hand-crafted instances behind the
 //!   paper's Figures 2 and 3.
 //!
-//! All generators are deterministic given their seed (ChaCha8), so every
-//! experiment table in EXPERIMENTS.md can be regenerated bit-for-bit.
+//! All generators are deterministic given their seed (a vendored
+//! xoshiro256** generator in [`rng`], since the build environment has no
+//! crates.io access), so every experiment table in EXPERIMENTS.md can be
+//! regenerated bit-for-bit.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,7 +27,9 @@
 pub mod adversarial;
 pub mod paper_examples;
 pub mod random;
+pub mod rng;
 
 pub use adversarial::{staircase_instance, staircase_multiprocessor};
 pub use paper_examples::{figure2_instance, figure3_instance};
 pub use random::{ArrivalModel, RandomConfig, ValueModel, WindowModel, WorkModel};
+pub use rng::SmallRng;

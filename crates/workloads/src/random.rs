@@ -1,14 +1,11 @@
 //! Seeded random instance families.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
-
 use pss_types::{Instance, Job};
 
+use crate::rng::SmallRng;
+
 /// How job release times are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalModel {
     /// Release times drawn uniformly from `[0, horizon)`.
     Uniform,
@@ -27,7 +24,7 @@ pub enum ArrivalModel {
 }
 
 /// How job window lengths (deadline − release) are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WindowModel {
     /// Window lengths uniform in `[min, max]`.
     Uniform {
@@ -39,7 +36,7 @@ pub enum WindowModel {
 }
 
 /// How job workloads are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WorkModel {
     /// Workloads uniform in `[min, max]`.
     Uniform {
@@ -66,7 +63,7 @@ pub enum WorkModel {
 /// the same order as the energy a job needs: far larger values make every
 /// algorithm accept everything (the classical model), far smaller values
 /// make everything get rejected.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ValueModel {
     /// Values uniform in `[min, max]`, independent of the job.
     Absolute {
@@ -98,7 +95,7 @@ pub enum ValueModel {
 }
 
 /// Configuration of a random instance family.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RandomConfig {
     /// Number of jobs.
     pub n_jobs: usize,
@@ -116,7 +113,7 @@ pub struct RandomConfig {
     pub work: WorkModel,
     /// Value model.
     pub value: ValueModel,
-    /// PRNG seed (ChaCha8); equal seeds give equal instances.
+    /// PRNG seed; equal seeds give equal instances.
     pub seed: u64,
 }
 
@@ -140,7 +137,7 @@ impl RandomConfig {
 
     /// Generates the instance described by this configuration.
     pub fn generate(&self) -> Instance {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
         let releases = self.releases(&mut rng);
         let mut jobs = Vec::with_capacity(self.n_jobs);
         for (i, release) in releases.into_iter().enumerate() {
@@ -150,7 +147,7 @@ impl RandomConfig {
             let work = match self.work {
                 WorkModel::Uniform { min, max } => sample_uniform(&mut rng, min, max),
                 WorkModel::Pareto { shape, scale, cap } => {
-                    let u: f64 = rng.gen_range(1e-9..1.0);
+                    let u: f64 = rng.f64_range(1e-9, 1.0);
                     (scale * u.powf(-1.0 / shape)).min(cap)
                 }
             };
@@ -167,11 +164,10 @@ impl RandomConfig {
             };
             jobs.push(Job::new(i, release, release + window, work, value));
         }
-        Instance::from_jobs(self.machines, self.alpha, jobs)
-            .expect("generator produces valid jobs")
+        Instance::from_jobs(self.machines, self.alpha, jobs).expect("generator produces valid jobs")
     }
 
-    fn releases(&self, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    fn releases(&self, rng: &mut SmallRng) -> Vec<f64> {
         match self.arrival {
             ArrivalModel::Uniform => {
                 let mut r: Vec<f64> = (0..self.n_jobs)
@@ -184,7 +180,7 @@ impl RandomConfig {
                 let mut t = 0.0;
                 (0..self.n_jobs)
                     .map(|_| {
-                        let u: f64 = rng.gen_range(1e-12..1.0);
+                        let u: f64 = rng.f64_range(1e-12, 1.0);
                         t += -u.ln() / rate;
                         t
                     })
@@ -204,12 +200,8 @@ impl RandomConfig {
     }
 }
 
-fn sample_uniform(rng: &mut ChaCha8Rng, min: f64, max: f64) -> f64 {
-    if max <= min {
-        min
-    } else {
-        rng.gen_range(min..max)
-    }
+fn sample_uniform(rng: &mut SmallRng, min: f64, max: f64) -> f64 {
+    rng.f64_range(min, max)
 }
 
 #[cfg(test)]
@@ -255,11 +247,8 @@ mod tests {
             ..RandomConfig::standard(11)
         };
         let inst = cfg.generate();
-        let distinct: std::collections::BTreeSet<u64> = inst
-            .jobs
-            .iter()
-            .map(|j| j.release.to_bits())
-            .collect();
+        let distinct: std::collections::BTreeSet<u64> =
+            inst.jobs.iter().map(|j| j.release.to_bits()).collect();
         assert_eq!(distinct.len(), 3);
     }
 

@@ -1,0 +1,125 @@
+//! A small, dependency-free seeded PRNG used by every generator and
+//! randomised test in the workspace.
+//!
+//! The build environment has no access to crates.io, so instead of `rand` +
+//! `rand_chacha` the workspace uses this xoshiro256**-based generator
+//! (seeded via SplitMix64, the construction recommended by its authors).
+//! It is deterministic per seed across platforms, which is all the
+//! experiment tables and property tests need; it is **not** cryptographic.
+
+/// A seedable, deterministic pseudo-random number generator
+/// (xoshiro256**).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.  Equal seeds yield equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniform sample from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `[min, max)`; returns `min` when the range is
+    /// empty or degenerate.
+    pub fn f64_range(&mut self, min: f64, max: f64) -> f64 {
+        if max <= min {
+            min
+        } else {
+            min + (max - min) * self.next_f64()
+        }
+    }
+
+    /// A uniform sample from the inclusive integer range `[lo, hi]`.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        let span = (hi - lo + 1) as u64;
+        lo + (self.next_u64() % span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_samples_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.f64_range(2.0, 5.0);
+            assert!((2.0..5.0).contains(&y));
+        }
+        assert_eq!(rng.f64_range(3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn usize_range_is_inclusive_and_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.usize_range(2, 6);
+            assert!((2..=6).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        assert_eq!(rng.usize_range(4, 4), 4);
+        assert_eq!(rng.usize_range(9, 3), 9);
+    }
+
+    #[test]
+    fn mean_of_uniform_samples_is_near_half() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

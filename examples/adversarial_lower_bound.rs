@@ -3,7 +3,7 @@
 //! approaches `α^α` times the optimum as the number of jobs grows.
 //!
 //! ```text
-//! cargo run -p pss-core --release --example adversarial_lower_bound
+//! cargo run --release --example adversarial_lower_bound
 //! ```
 
 use pss_core::prelude::*;
@@ -13,7 +13,10 @@ fn main() {
     let alpha = 2.0;
     let bound = AlphaPower::new(alpha).competitive_ratio_pd();
     println!("alpha = {alpha}, proven tight competitive ratio alpha^alpha = {bound}");
-    println!("{:>6}  {:>12}  {:>12}  {:>8}", "n", "cost(PD)", "cost(OPT)", "ratio");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>8}",
+        "n", "cost(PD)", "cost(OPT)", "ratio"
+    );
 
     for n in [2usize, 4, 8, 16, 32, 64, 128] {
         let instance = staircase_instance(n, alpha, 1e9);

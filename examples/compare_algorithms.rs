@@ -3,7 +3,7 @@
 //! against the exact optimum on a single machine.
 //!
 //! ```text
-//! cargo run -p pss-core --release --example compare_algorithms
+//! cargo run --release --example compare_algorithms
 //! ```
 
 use pss_core::prelude::*;
@@ -37,7 +37,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("12 jobs, 1 machine, alpha = 2 — exact OPT = {opt:.4}"),
-        &["algorithm", "energy", "lost value", "total cost", "cost/OPT", "finished"],
+        &[
+            "algorithm",
+            "energy",
+            "lost value",
+            "total cost",
+            "cost/OPT",
+            "finished",
+        ],
     );
     for algo in &algorithms {
         let result = evaluate_scheduler(algo.as_ref(), &instance).expect("algorithm run");

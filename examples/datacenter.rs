@@ -8,11 +8,11 @@
 //! dual lower bound that certifies how far from optimal the run can be.
 //!
 //! ```text
-//! cargo run -p pss-core --release --example datacenter
+//! cargo run --release --example datacenter
 //! ```
 
 use pss_core::prelude::*;
-use pss_sim::Simulation;
+use pss_sim::{Simulation, StreamingSimulation};
 use pss_workloads::{ArrivalModel, RandomConfig, ValueModel, WorkModel};
 
 fn main() {
@@ -59,7 +59,10 @@ fn main() {
         .run(&instance, &run.schedule)
         .expect("simulate PD schedule");
     println!("\n== execution report ==");
-    println!("  mean utilisation   : {:.1}%", 100.0 * sim.mean_utilization());
+    println!(
+        "  mean utilisation   : {:.1}%",
+        100.0 * sim.mean_utilization()
+    );
     println!("  preemptions        : {}", sim.preemptions);
     println!("  migrations         : {}", sim.migrations);
     for (i, m) in sim.machines.iter().enumerate() {
@@ -68,6 +71,40 @@ fn main() {
             m.busy_time, m.energy, m.peak_speed
         );
     }
+
+    // The same run, driven as a live event stream: jobs are fed to PD one
+    // arrival at a time, and every decision is traced with its dual value
+    // and handling latency — the view an online admission controller has.
+    let stream = StreamingSimulation
+        .run(&PdScheduler::coarse(), &instance)
+        .expect("streaming PD run");
+    println!("\n== streaming arrival trace ==");
+    println!(
+        "  arrivals           : {} ({} accepted, {} rejected, rate {:.1}%)",
+        stream.events.len(),
+        stream.accepted_jobs(),
+        stream.rejected_jobs(),
+        100.0 * stream.acceptance_rate()
+    );
+    println!(
+        "  arrival latency    : mean {:.3} ms, max {:.3} ms",
+        1e3 * stream.mean_latency_secs(),
+        1e3 * stream.max_latency_secs()
+    );
+    for event in stream.events.iter().take(5) {
+        println!(
+            "  t={:6.2}  {}  {}  dual {:.3}  frontier {} segs",
+            event.time,
+            event.job,
+            if event.accepted { "accept" } else { "REJECT" },
+            event.dual,
+            event.frontier_segments
+        );
+    }
+    println!(
+        "  ... ({} more events)",
+        stream.events.len().saturating_sub(5)
+    );
 
     // What would happen if the operator insisted on finishing everything?
     let finish_all = MinEnergyScheduler::default()

@@ -2,7 +2,7 @@
 //! processors with the paper's PD algorithm.
 //!
 //! ```text
-//! cargo run -p pss-core --release --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use pss_core::prelude::*;
@@ -37,7 +37,11 @@ fn main() {
             job.value,
             job.release,
             job.deadline,
-            if run.accepted[j] { "accepted" } else { "REJECTED" },
+            if run.accepted[j] {
+                "accepted"
+            } else {
+                "REJECTED"
+            },
         );
     }
 

@@ -26,7 +26,10 @@ fn pd_is_within_alpha_alpha_of_the_exact_optimum() {
     for &(m, alpha) in &[(1usize, 1.5), (1, 2.0), (1, 3.0), (2, 2.0), (3, 2.5)] {
         let bound = AlphaPower::new(alpha).competitive_ratio_pd();
         for instance in sweep(m, alpha, 0..4) {
-            let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+            let opt = brute_force_optimum(&instance)
+                .expect("brute force")
+                .cost
+                .total();
             let pd = PdScheduler::default()
                 .schedule(&instance)
                 .expect("PD")
@@ -46,16 +49,16 @@ fn cll_is_within_its_published_bound_of_the_optimum() {
     let alpha = 2.0;
     let bound = AlphaPower::new(alpha).competitive_ratio_cll();
     for instance in sweep(1, alpha, 10..14) {
-        let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+        let opt = brute_force_optimum(&instance)
+            .expect("brute force")
+            .cost
+            .total();
         let cll = CllScheduler
             .schedule(&instance)
             .expect("CLL")
             .cost(&instance)
             .total();
-        assert!(
-            cll <= bound * opt + 1e-6,
-            "CLL {cll} > {bound} * OPT {opt}"
-        );
+        assert!(cll <= bound * opt + 1e-6, "CLL {cll} > {bound} * OPT {opt}");
     }
 }
 
@@ -65,7 +68,10 @@ fn dual_bound_never_exceeds_the_exact_optimum() {
         for instance in sweep(m, alpha, 20..23) {
             let run = PdScheduler::default().run(&instance).expect("PD run");
             let analysis = analyze_run(&run);
-            let opt = brute_force_optimum(&instance).expect("brute force").cost.total();
+            let opt = brute_force_optimum(&instance)
+                .expect("brute force")
+                .cost
+                .total();
             assert!(
                 analysis.dual.value <= opt + 1e-6,
                 "m={m}, alpha={alpha}: dual {} > OPT {opt}",
@@ -93,8 +99,14 @@ fn staircase_ratio_is_monotone_and_bounded() {
             .cost(&instance)
             .total();
         let ratio = pd / opt;
-        assert!(ratio <= bound + 1e-6, "n={n}: ratio {ratio} exceeds {bound}");
-        assert!(ratio + 1e-6 >= prev, "n={n}: ratio decreased ({prev} -> {ratio})");
+        assert!(
+            ratio <= bound + 1e-6,
+            "n={n}: ratio {ratio} exceeds {bound}"
+        );
+        assert!(
+            ratio + 1e-6 >= prev,
+            "n={n}: ratio decreased ({prev} -> {ratio})"
+        );
         prev = ratio;
     }
     // By n = 32 the ratio should already be well above the trivial 1.0,

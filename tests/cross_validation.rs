@@ -91,7 +91,11 @@ fn pd_with_mandatory_values_behaves_like_oa_on_one_machine() {
             .energy;
         let bound = AlphaPower::new(instance.alpha).competitive_ratio_pd();
         for algo in [&PdScheduler::default() as &dyn Scheduler, &OaScheduler] {
-            let cost = algo.schedule(&instance).expect("run").cost(&instance).total();
+            let cost = algo
+                .schedule(&instance)
+                .expect("run")
+                .cost(&instance)
+                .total();
             assert!(
                 cost <= bound * opt + 1e-6,
                 "seed {seed}: {} cost {cost} exceeds {bound} * {opt}",
@@ -113,7 +117,5 @@ fn online_and_offline_pd_agree_with_the_simulator_energy() {
     let sim_online = pss_sim::Simulation
         .run(&instance, &online)
         .expect("simulate online");
-    assert!(
-        (sim_online.total_cost() - sim.total_cost()).abs() < 1e-5 * sim.total_cost().max(1.0)
-    );
+    assert!((sim_online.total_cost() - sim.total_cost()).abs() < 1e-5 * sim.total_cost().max(1.0));
 }

@@ -1,0 +1,165 @@
+//! Batch-vs-incremental equivalence property test.
+//!
+//! Every online algorithm in the workspace exists in two forms: the
+//! independently coded *batch* reference (`PdScheduler::run`, the
+//! `batch_schedule` methods of the baselines — all retained from before the
+//! event-driven redesign) and the *incremental* event-driven run driven by
+//! the blanket `Scheduler` adapter.  This test asserts that on random
+//! workloads both paths produce identical schedules: same accept/reject
+//! outcome per job, same cost, and the same machine speed profiles.
+//!
+//! Segment lists are *not* compared verbatim — time-sharing within an
+//! interval may order jobs differently — because the schedule semantics
+//! live in the speed profiles and per-job work, which are compared.
+
+use pss_core::prelude::*;
+use pss_workloads::{RandomConfig, ValueModel};
+
+/// Compares two schedules of the same instance as schedules-proper: cost,
+/// finished set, and sampled total speed profiles.
+fn assert_equivalent(
+    instance: &Instance,
+    batch: &Schedule,
+    incremental: &Schedule,
+    label: &str,
+    tol: f64,
+) {
+    let bc = batch.cost(instance);
+    let ic = incremental.cost(instance);
+    assert!(
+        (bc.total() - ic.total()).abs() <= tol * bc.total().max(1.0),
+        "{label}: cost differs — batch {} vs incremental {}",
+        bc.total(),
+        ic.total()
+    );
+    assert_eq!(
+        batch.unfinished_jobs(instance),
+        incremental.unfinished_jobs(instance),
+        "{label}: finished sets differ"
+    );
+    let (lo, hi) = instance.horizon();
+    if hi > lo {
+        let samples = 160;
+        let step = (hi - lo) / samples as f64;
+        for i in 0..samples {
+            let t = lo + (i as f64 + 0.5) * step;
+            let b = batch.total_speed_at(t);
+            let a = incremental.total_speed_at(t);
+            assert!(
+                (b - a).abs() <= tol * b.max(1.0),
+                "{label}: speed profile differs at t={t}: batch {b} vs incremental {a}"
+            );
+        }
+    }
+}
+
+fn profitable(seed: u64, machines: usize, alpha: f64) -> Instance {
+    RandomConfig {
+        n_jobs: 10,
+        machines,
+        alpha,
+        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+        ..RandomConfig::standard(seed)
+    }
+    .generate()
+}
+
+#[test]
+fn pd_incremental_equals_batch_on_random_workloads() {
+    for seed in 0..6u64 {
+        let machines = 1 + (seed % 3) as usize;
+        let alpha = 1.5 + 0.5 * (seed % 3) as f64;
+        let instance = profitable(4200 + seed, machines, alpha);
+        let batch = PdScheduler::default().run(&instance).expect("batch PD");
+        let incremental = PdScheduler::default()
+            .schedule(&instance)
+            .expect("incremental PD");
+        // PD's two paths run on different partitions (whole-instance vs
+        // refined-on-arrival), so equality is numeric, not bitwise.
+        assert_equivalent(&instance, &batch.schedule, &incremental, "PD", 1e-4);
+        // Decisions must agree exactly.
+        let finished = incremental.finished(&instance);
+        for (j, accepted) in batch.accepted.iter().enumerate() {
+            assert_eq!(*accepted, finished[j], "PD decision differs for job {j}");
+        }
+    }
+}
+
+#[test]
+fn oa_incremental_equals_batch_on_random_workloads() {
+    for seed in 0..6u64 {
+        let instance = profitable(4300 + seed, 1, 2.0 + 0.5 * (seed % 3) as f64);
+        let batch = OaScheduler.batch_schedule(&instance).expect("batch OA");
+        let incremental = OaScheduler.schedule(&instance).expect("incremental OA");
+        assert_equivalent(&instance, &batch, &incremental, "OA", 1e-9);
+    }
+}
+
+#[test]
+fn qoa_incremental_equals_batch_on_random_workloads() {
+    for seed in 0..6u64 {
+        let instance = profitable(4400 + seed, 1, 2.5);
+        let algo = QoaScheduler::default();
+        let batch = algo.batch_schedule(&instance).expect("batch qOA");
+        let incremental = algo.schedule(&instance).expect("incremental qOA");
+        assert_equivalent(&instance, &batch, &incremental, "qOA", 1e-9);
+    }
+}
+
+#[test]
+fn multi_oa_incremental_equals_batch_on_random_workloads() {
+    for seed in 0..4u64 {
+        let instance = profitable(4500 + seed, 1 + (seed % 3) as usize, 2.5);
+        let algo = MultiOaScheduler::default();
+        let batch = algo.batch_schedule(&instance).expect("batch OA(m)");
+        let incremental = algo.schedule(&instance).expect("incremental OA(m)");
+        assert_equivalent(&instance, &batch, &incremental, "OA(m)", 1e-9);
+    }
+}
+
+#[test]
+fn avr_incremental_equals_batch_on_random_workloads() {
+    for seed in 0..6u64 {
+        let instance = profitable(4600 + seed, 1, 2.0);
+        let batch = AvrScheduler.batch_schedule(&instance).expect("batch AVR");
+        let incremental = AvrScheduler.schedule(&instance).expect("incremental AVR");
+        assert_equivalent(&instance, &batch, &incremental, "AVR", 1e-9);
+        // AVR also guarantees identical per-job work.
+        let bw = batch.work_per_job(instance.len());
+        let iw = incremental.work_per_job(instance.len());
+        for j in 0..instance.len() {
+            assert!(
+                (bw[j] - iw[j]).abs() < 1e-9,
+                "AVR work differs for job {j}: {} vs {}",
+                bw[j],
+                iw[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn bkp_incremental_equals_batch_on_random_workloads() {
+    for seed in 0..4u64 {
+        let instance = profitable(4700 + seed, 1, 3.0);
+        // A moderate grid keeps the test fast; the comparison is
+        // grid-for-grid so the resolution does not affect equality.
+        let algo = BkpScheduler {
+            resolution: 800,
+            ..Default::default()
+        };
+        let batch = algo.batch_schedule(&instance).expect("batch BKP");
+        let incremental = algo.schedule(&instance).expect("incremental BKP");
+        assert_equivalent(&instance, &batch, &incremental, "BKP", 1e-6);
+    }
+}
+
+#[test]
+fn cll_incremental_equals_batch_on_random_workloads() {
+    for seed in 0..6u64 {
+        let instance = profitable(4800 + seed, 1, 2.0);
+        let batch = CllScheduler.batch_schedule(&instance).expect("batch CLL");
+        let incremental = CllScheduler.schedule(&instance).expect("incremental CLL");
+        assert_equivalent(&instance, &batch, &incremental, "CLL", 1e-9);
+    }
+}

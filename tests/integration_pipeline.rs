@@ -54,7 +54,9 @@ fn pd_schedules_are_feasible_and_consistent_across_layers() {
         // the simulator.
         let cost = run.schedule.cost(&instance);
         assert!((cost.energy - report.energy).abs() < 1e-6 * cost.energy.max(1.0));
-        let sim = Simulation.run(&instance, &run.schedule).expect("simulation");
+        let sim = Simulation
+            .run(&instance, &run.schedule)
+            .expect("simulation");
         assert!((sim.total_energy - cost.energy).abs() < 1e-6 * cost.energy.max(1.0));
         assert!((sim.lost_value - cost.lost_value).abs() < 1e-9);
         assert!((sim.total_cost() - cost.total()).abs() < 1e-6 * cost.total().max(1.0));
@@ -128,7 +130,10 @@ fn mandatory_value_instances_are_fully_accepted_by_pd() {
     }
     .generate();
     let run = PdScheduler::default().run(&instance).expect("PD run");
-    assert!(run.accepted.iter().all(|a| *a), "PD rejected a mandatory job");
+    assert!(
+        run.accepted.iter().all(|a| *a),
+        "PD rejected a mandatory job"
+    );
     let report = validate_schedule(&instance, &run.schedule).expect("feasible");
     assert_eq!(report.finished_count(), instance.len());
 }
