@@ -15,8 +15,8 @@
 
 use pss_intervals::IntervalPartition;
 use pss_types::{
-    check_arrival_order, Decision, Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler,
-    Schedule, ScheduleError, Segment,
+    check_arrival, Decision, Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler, Schedule,
+    ScheduleError, Segment,
 };
 
 /// The Average Rate scheduler (single machine).
@@ -90,7 +90,7 @@ impl AvrState {
                 }
             }
         }
-        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite boundaries"));
+        cuts.sort_by(f64::total_cmp);
         cuts.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
 
         for pair in cuts.windows(2) {
@@ -122,7 +122,7 @@ impl AvrState {
 
 impl OnlineScheduler for AvrState {
     fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError> {
-        check_arrival_order(self.now, now)?;
+        check_arrival(job, self.now, now)?;
         self.commit_to(now.max(self.now));
         self.jobs.push(*job);
         Ok(Decision::accept(0.0))

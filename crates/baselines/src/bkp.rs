@@ -32,7 +32,7 @@
 //! [`step`](BkpScheduler::step) width.
 
 use pss_types::{
-    check_arrival_order, num, Decision, Instance, Job, OnlineAlgorithm, OnlineScheduler, Schedule,
+    check_arrival, num, Decision, Instance, Job, OnlineAlgorithm, OnlineScheduler, Schedule,
     ScheduleError, Segment,
 };
 
@@ -135,11 +135,7 @@ impl BkpScheduler {
                     .filter(|(j, job)| {
                         remaining[*j] > 1e-12 && job.release <= now + 1e-12 && job.deadline > now
                     })
-                    .min_by(|(_, a), (_, b)| {
-                        a.deadline
-                            .partial_cmp(&b.deadline)
-                            .expect("finite deadlines")
-                    });
+                    .min_by(|(_, a), (_, b)| a.deadline.total_cmp(&b.deadline));
                 let Some((j, job)) = next else { break };
                 let max_dur = (remaining[j] / speed)
                     .min(step_end - now)
@@ -244,11 +240,7 @@ impl BkpState {
                                         && job.release <= self.now + 1e-12
                                         && job.deadline > self.now
                                 })
-                                .min_by(|(_, a), (_, b)| {
-                                    a.deadline
-                                        .partial_cmp(&b.deadline)
-                                        .expect("finite deadlines")
-                                });
+                                .min_by(|(_, a), (_, b)| a.deadline.total_cmp(&b.deadline));
                             let Some((j, job)) = next else {
                                 // Batch `break`: the rest of the step idles,
                                 // even past arrivals landing inside it.
@@ -301,9 +293,7 @@ impl BkpState {
 
 impl OnlineScheduler for BkpState {
     fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError> {
-        if self.now.is_finite() {
-            check_arrival_order(self.now, now)?;
-        }
+        check_arrival(job, self.now, now)?;
         if self.anchor.is_none() {
             self.anchor = Some(now);
             self.now = now;

@@ -10,10 +10,13 @@
 //! tests.
 
 use pss_convex::{solve_min_energy_with, ProgramContext, SolverOptions};
+use pss_offline::incremental::{IncrementalYds, PlanItem};
 use pss_offline::yds::yds_schedule;
 use pss_types::{Instance, Job, OnlineAlgorithm, Schedule, ScheduleError};
 
-use crate::replan::{run_replanning, AdmitAll, OnlineEnv, PendingJob, Planner, ReplanState};
+use crate::replan::{
+    run_replanning, AdmitAll, OnlineEnv, PendingJob, PlanCache, Planner, ReplanState,
+};
 
 /// The YDS-replanning planner: the plan at time `t` is the energy-optimal
 /// schedule of the remaining work, which is precisely OA's definition.
@@ -29,6 +32,21 @@ impl OaPlanner {
     pub fn with_factor(speed_factor: f64) -> Self {
         assert!(speed_factor >= 1.0, "speed factor must be >= 1");
         Self { speed_factor }
+    }
+
+    /// Multiplies every planned speed by the configured factor (1.0 and the
+    /// `Default` zero value are the plain OA plan).
+    fn apply_factor(&self, plan: &mut Schedule) {
+        let factor = if self.speed_factor > 0.0 {
+            self.speed_factor
+        } else {
+            1.0
+        };
+        if factor != 1.0 {
+            for seg in &mut plan.segments {
+                seg.speed *= factor;
+            }
+        }
     }
 }
 
@@ -53,16 +71,36 @@ impl Planner for OaPlanner {
             .map(|(i, p)| p.as_job_at(now, i))
             .collect();
         let mut plan = yds_schedule(&jobs, env.alpha)?.schedule;
-        let factor = if self.speed_factor > 0.0 {
-            self.speed_factor
-        } else {
-            1.0
-        };
-        if factor != 1.0 {
-            for seg in &mut plan.segments {
-                seg.speed *= factor;
-            }
-        }
+        self.apply_factor(&mut plan);
+        Ok(plan)
+    }
+
+    /// Warm-started replan: every pending job has already been released, so
+    /// its effective window starts at `now` — the left-aligned YDS special
+    /// case.  The warm state keeps the previous solution's deadline order
+    /// (keyed by original job id), so consecutive replans only merge the new
+    /// arrival and re-derive the perturbed part of the staircase instead of
+    /// running the general `O(k³)` critical-interval search.
+    fn plan_warm(
+        &self,
+        _env: &OnlineEnv,
+        now: f64,
+        pending: &[PendingJob],
+        cache: &mut PlanCache,
+    ) -> Result<Schedule, ScheduleError> {
+        let items: Vec<PlanItem> = pending
+            .iter()
+            .map(|p| PlanItem {
+                key: p.id.index(),
+                deadline: p.deadline,
+                work: p.remaining,
+            })
+            .collect();
+        let warm = cache.yds.get_or_insert_with(IncrementalYds::default);
+        // The plan's segment ids are item positions, which coincide with the
+        // dense pending ids the executor expects — no remapping needed.
+        let mut plan = warm.plan(now, &items)?;
+        self.apply_factor(&mut plan);
         Ok(plan)
     }
 }

@@ -16,16 +16,21 @@
 //!   event-driven [`OnlineScheduler`] trait: each
 //!   [`on_arrival`](OnlineScheduler::on_arrival) executes the current plan
 //!   up to the arrival time (extending the committed frontier), consults the
-//!   admission policy, and replans.  This is what the blanket batch adapter
-//!   and the streaming simulator drive.
+//!   admission policy, and replans.  Replans are **warm-started** through
+//!   [`Planner::plan_warm`] and the per-run [`PlanCache`]: the OA-family
+//!   planners reuse their previous YDS solution and only re-derive the part
+//!   of the staircase the new arrival perturbs, instead of re-solving from
+//!   zero.  This is what the blanket batch adapter and the streaming
+//!   simulator drive; `with_warm_start(false)` restores the from-scratch
+//!   behaviour for benchmarks.
 //! * [`run_replanning`] — the original *batch* loop over an instance's
 //!   distinct release times, retained verbatim as an independently coded
 //!   reference: the `incremental_equivalence` integration tests check that
 //!   both paths produce identical schedules on random workloads.
 
 use pss_types::{
-    check_arrival_order, num, Decision, Instance, Job, JobId, OnlineScheduler, Schedule,
-    ScheduleError, Segment,
+    check_arrival, num, Decision, Instance, Job, JobId, OnlineScheduler, Schedule, ScheduleError,
+    Segment,
 };
 
 /// The static environment an online run lives in: everything a planner may
@@ -81,6 +86,22 @@ impl PendingJob {
     }
 }
 
+/// Mutable warm-start state a [`Planner`] may carry across the replanning
+/// steps of one run.
+///
+/// The executor owns one cache per run and hands it to
+/// [`Planner::plan_warm`] at every replan; planners without warm-start
+/// support simply ignore it.  The cache is part of the run, not of the
+/// planner, so one planner value can drive many concurrent runs.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    /// Warm left-aligned YDS state (used by the OA-family planners): the
+    /// deadline-sorted job order survives across replans, so consecutive
+    /// plans cost an `O(k)` merge + staircase pass instead of a fresh
+    /// `O(k³)` critical-interval search.
+    pub yds: Option<pss_offline::IncrementalYds>,
+}
+
 /// A planning rule: given the current time and the pending jobs, produce a
 /// schedule for the future (over the environment's machines).  Segment job
 /// ids must refer to positions in the `pending` slice (dense ids `0..len`);
@@ -96,6 +117,27 @@ pub trait Planner {
         now: f64,
         pending: &[PendingJob],
     ) -> Result<Schedule, ScheduleError>;
+
+    /// Warm-started replan: like [`plan`](Self::plan), but may reuse state
+    /// in `cache` carried over from the previous replanning step of the same
+    /// run (e.g. the previous YDS solution, of which the new arrival only
+    /// perturbs a part).
+    ///
+    /// Implementations must produce a schedule *equivalent* to
+    /// [`plan`](Self::plan) — same speeds, same per-job works — on every
+    /// input; the `incremental_equivalence` integration tests pin this on
+    /// random workloads.  The default ignores the cache and falls back to
+    /// the from-scratch plan.
+    fn plan_warm(
+        &self,
+        env: &OnlineEnv,
+        now: f64,
+        pending: &[PendingJob],
+        cache: &mut PlanCache,
+    ) -> Result<Schedule, ScheduleError> {
+        let _ = cache;
+        self.plan(env, now, pending)
+    }
 }
 
 /// An admission rule consulted once per job, at its release time, before the
@@ -149,6 +191,12 @@ pub struct ReplanState<P: Planner, A: AdmissionPolicy> {
     /// simultaneous arrivals costs a single planning solve (exactly like
     /// the batch loop, which plans once per distinct release time).
     plan_stale: bool,
+    /// Warm-start state handed to [`Planner::plan_warm`] at every replan.
+    cache: PlanCache,
+    /// When `false`, every replan calls the from-scratch [`Planner::plan`]
+    /// instead — the pre-warm-start behaviour, kept for benchmarks and
+    /// equivalence tests.
+    warm_start: bool,
     /// The executed frontier (original job ids).
     committed: Schedule,
     /// Time up to which the frontier is committed.
@@ -159,7 +207,8 @@ pub struct ReplanState<P: Planner, A: AdmissionPolicy> {
 }
 
 impl<P: Planner, A: AdmissionPolicy> ReplanState<P, A> {
-    /// Creates a fresh run for the given environment.
+    /// Creates a fresh run for the given environment.  Replans are
+    /// warm-started by default; see [`with_warm_start`](Self::with_warm_start).
     pub fn new(planner: P, admission: A, env: OnlineEnv) -> Self {
         Self {
             planner,
@@ -168,10 +217,21 @@ impl<P: Planner, A: AdmissionPolicy> ReplanState<P, A> {
             pending: Vec::new(),
             plan: Schedule::empty(env.machines),
             plan_stale: false,
+            cache: PlanCache::default(),
+            warm_start: true,
             committed: Schedule::empty(env.machines),
             now: f64::NEG_INFINITY,
             horizon_end: f64::NEG_INFINITY,
         }
+    }
+
+    /// Enables or disables warm-started replanning.  With `false` every
+    /// replan calls the from-scratch [`Planner::plan`]; this is the
+    /// rebuild-per-arrival baseline the `warm_replan` benchmark and the
+    /// warm-vs-cold equivalence tests compare against.
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        self
     }
 
     /// The jobs currently admitted and unfinished.
@@ -195,7 +255,12 @@ impl<P: Planner, A: AdmissionPolicy> ReplanState<P, A> {
             return Ok(());
         }
         if self.plan_stale {
-            self.plan = self.planner.plan(&self.env, self.now, &self.pending)?;
+            self.plan = if self.warm_start {
+                self.planner
+                    .plan_warm(&self.env, self.now, &self.pending, &mut self.cache)?
+            } else {
+                self.planner.plan(&self.env, self.now, &self.pending)?
+            };
             self.plan_stale = false;
         }
         execute_window(
@@ -214,7 +279,7 @@ impl<P: Planner, A: AdmissionPolicy> ReplanState<P, A> {
 
 impl<P: Planner, A: AdmissionPolicy> OnlineScheduler for ReplanState<P, A> {
     fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError> {
-        check_arrival_order(self.now, now)?;
+        check_arrival(job, self.now, now)?;
         self.advance_to(now.max(self.now))?;
         self.horizon_end = self.horizon_end.max(job.deadline);
         let admitted = self
@@ -265,7 +330,7 @@ pub fn run_replanning<P: Planner, A: AdmissionPolicy>(
 
     // Distinct release times in increasing order.
     let mut release_times: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
-    release_times.sort_by(|a, b| a.partial_cmp(b).expect("finite releases"));
+    release_times.sort_by(f64::total_cmp);
     release_times.dedup_by(|a, b| num::approx_eq(*a, *b));
     let horizon_end = instance.horizon().1;
 
@@ -316,7 +381,7 @@ fn execute_window(
         .copied()
         .filter(|s| s.end > from + 1e-15 && s.start < to - 1e-15)
         .collect();
-    segments.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+    segments.sort_by(|a, b| a.start.total_cmp(&b.start));
 
     for mut seg in segments {
         seg.start = seg.start.max(from);

@@ -1,0 +1,99 @@
+//! Criterion bench: warm-started incremental arrivals vs the
+//! rebuild-per-arrival baseline, for OA (the replanning executor) and PD
+//! (the persistent planning context).
+//!
+//! The workload is a Poisson stream with a bounded active set, so the
+//! per-arrival cost of the warm paths stays flat as the stream grows while
+//! the rebuild paths degrade with the history size.  The measured quantity
+//! is the *total arrival-processing time* of feeding the whole stream to a
+//! fresh run (no `finish`, no validation) — the serving-path metric.
+//!
+//! The rebuild-per-arrival PD baseline is quadratic per arrival and cannot
+//! reasonably run at `n = 10_000`; it is benched at a smaller size where the
+//! comparison is already decisive (the E12 experiment tabulates the same
+//! speedup).  Set `WARM_REPLAN_SMOKE=1` to shrink every size for CI smoke
+//! runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pss_bench::experiments::streaming::stream_instance;
+use pss_core::baselines::oa::OaPlanner;
+use pss_core::baselines::replan::{AdmitAll, OnlineEnv, ReplanState};
+use pss_core::prelude::*;
+
+fn smoke() -> bool {
+    std::env::var_os("WARM_REPLAN_SMOKE").is_some()
+}
+
+/// Feeds every arrival to the run and returns the frontier size (to keep the
+/// work observable).
+fn feed_all<R: OnlineScheduler>(mut run: R, instance: &Instance) -> usize {
+    for id in instance.arrival_order() {
+        let job = instance.job(id);
+        run.on_arrival(job, job.release).expect("arrival");
+    }
+    run.frontier().segments.len()
+}
+
+fn oa_run(alpha: f64, warm: bool) -> ReplanState<OaPlanner, AdmitAll> {
+    ReplanState::new(
+        OaPlanner { speed_factor: 1.0 },
+        AdmitAll,
+        OnlineEnv { machines: 1, alpha },
+    )
+    .with_warm_start(warm)
+}
+
+fn bench_oa_arrivals(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke() { &[200] } else { &[2000, 10000] };
+    let mut group = c.benchmark_group("oa_arrivals");
+    group.sample_size(10);
+    for &n in sizes {
+        let inst = stream_instance(n, 7100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("warm", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(feed_all(oa_run(inst.alpha, true), inst)))
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(feed_all(oa_run(inst.alpha, false), inst)))
+        });
+    }
+    group.finish();
+}
+
+fn pd_run(inst: &Instance, warm: bool) -> OnlinePd {
+    let scheduler = PdScheduler::coarse();
+    let pd = OnlinePd::with_options(
+        inst.machines,
+        inst.alpha,
+        scheduler.effective_delta(inst.alpha),
+        scheduler.tol,
+    );
+    if warm {
+        pd
+    } else {
+        pd.with_rebuild_engine()
+    }
+}
+
+fn bench_pd_arrivals(c: &mut Criterion) {
+    let warm_sizes: &[usize] = if smoke() { &[200] } else { &[2000, 10000] };
+    let rebuild_sizes: &[usize] = if smoke() { &[200] } else { &[500, 1000] };
+    let mut group = c.benchmark_group("pd_arrivals");
+    group.sample_size(10);
+    for &n in warm_sizes {
+        let inst = stream_instance(n, 7100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("warm", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(feed_all(pd_run(inst, true), inst)))
+        });
+    }
+    for &n in rebuild_sizes {
+        let inst = stream_instance(n, 7100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(feed_all(pd_run(inst, false), inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oa_arrivals, bench_pd_arrivals);
+criterion_main!(benches);

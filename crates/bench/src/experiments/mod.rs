@@ -1,4 +1,5 @@
-//! The experiment registry (E1–E11 of DESIGN.md).
+//! The experiment registry (E1–E11 of DESIGN.md, plus the streaming
+//! latency experiment E12).
 
 use pss_metrics::Table;
 
@@ -13,6 +14,7 @@ pub mod pd_vs_cll;
 pub mod prop2;
 pub mod rejection_policy;
 pub mod scaling;
+pub mod streaming;
 
 /// The output of one experiment: its identifier, a short description, the
 /// generated tables and free-form notes (observations recorded in
@@ -90,10 +92,11 @@ pub fn all_experiments(quick: bool) -> Vec<ExperimentOutput> {
         classical::run(quick),
         scaling::run(quick),
         delta_ablation::run(quick),
+        streaming::run(quick),
     ]
 }
 
-/// Runs a single experiment by id (`"E1"`, …, `"E11"`), if it exists.
+/// Runs a single experiment by id (`"E1"`, …, `"E12"`), if it exists.
 pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
     match id.to_ascii_uppercase().as_str() {
         "E1" => Some(fig2_chen::run(quick)),
@@ -107,6 +110,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "E9" => Some(classical::run(quick)),
         "E10" => Some(scaling::run(quick)),
         "E11" => Some(delta_ablation::run(quick)),
+        "E12" => Some(streaming::run(quick)),
         _ => None,
     }
 }

@@ -1,0 +1,199 @@
+//! E12 — streaming arrival latency: per-arrival handling time percentiles
+//! (p50/p95/p99) versus stream length for the event-driven online
+//! algorithms, driven through [`StreamingSimulation`], plus the
+//! warm-started-vs-rebuild arrival-processing speedup.
+//!
+//! The workload is a Poisson arrival stream with a bounded active set (the
+//! regime a long-running scheduler actually serves), so the stream length
+//! `n` grows while the instantaneous load stays fixed — per-arrival latency
+//! then measures how the *history* size affects the arrival step.  With the
+//! persistent planning contexts this cost is flat; the rebuild-per-arrival
+//! baselines degrade with `n`.
+
+use std::time::Instant;
+
+use pss_core::baselines::replan::{AdmitAll, OnlineEnv, ReplanState};
+use pss_core::prelude::*;
+use pss_metrics::table::fmt_f64;
+use pss_metrics::Table;
+use pss_sim::StreamingSimulation;
+use pss_workloads::{ArrivalModel, RandomConfig, ValueModel};
+
+use super::ExperimentOutput;
+use crate::support::check;
+
+/// A Poisson stream of `n` jobs with a bounded active set (~10 jobs).
+pub fn stream_instance(n: usize, seed: u64) -> Instance {
+    RandomConfig {
+        n_jobs: n,
+        machines: 1,
+        alpha: 2.5,
+        arrival: ArrivalModel::Poisson { rate: 4.0 },
+        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+        ..RandomConfig::standard(seed)
+    }
+    .generate()
+}
+
+/// Feeds every arrival of `instance` to `run` and returns the wall-clock
+/// time spent in `on_arrival` calls.
+fn drive_arrivals<R: OnlineScheduler>(run: &mut R, instance: &Instance) -> f64 {
+    let start = Instant::now();
+    for id in instance.arrival_order() {
+        let job = instance.job(id);
+        run.on_arrival(job, job.release).expect("arrival");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Runs E12.
+pub fn run(quick: bool) -> ExperimentOutput {
+    let sizes: Vec<usize> = if quick {
+        vec![150, 400]
+    } else {
+        vec![1000, 4000, 10000]
+    };
+
+    let mut latency = Table::new(
+        "Per-arrival latency percentiles (Poisson stream, bounded active set)",
+        &[
+            "algorithm",
+            "n",
+            "accepted",
+            "p50 (us)",
+            "p95 (us)",
+            "p99 (us)",
+            "max (us)",
+            "total (ms)",
+            "arrivals/s",
+            "cost",
+        ],
+    );
+    let mut percentiles_ordered = true;
+    for &n in &sizes {
+        let instance = stream_instance(n, 9100 + n as u64);
+        let pd = PdScheduler::coarse();
+        let oa = OaScheduler;
+        let cll = CllScheduler;
+        let avr = AvrScheduler;
+        let runs: Vec<pss_sim::StreamReport> = vec![
+            StreamingSimulation.run(&pd, &instance).expect("PD stream"),
+            StreamingSimulation.run(&oa, &instance).expect("OA stream"),
+            StreamingSimulation
+                .run(&cll, &instance)
+                .expect("CLL stream"),
+            StreamingSimulation
+                .run(&avr, &instance)
+                .expect("AVR stream"),
+        ];
+        for stream in runs {
+            let (p50, p95, p99) = (
+                stream.latency_percentile_secs(50.0),
+                stream.latency_percentile_secs(95.0),
+                stream.latency_percentile_secs(99.0),
+            );
+            percentiles_ordered &= p50 <= p95 + 1e-12 && p95 <= p99 + 1e-12;
+            let total = stream.total_arrival_secs();
+            latency.push_row(vec![
+                stream.algorithm.clone(),
+                n.to_string(),
+                format!("{}/{n}", stream.accepted_jobs()),
+                fmt_f64(p50 * 1e6),
+                fmt_f64(p95 * 1e6),
+                fmt_f64(p99 * 1e6),
+                fmt_f64(stream.max_latency_secs() * 1e6),
+                fmt_f64(total * 1e3),
+                fmt_f64(n as f64 / total.max(1e-12)),
+                fmt_f64(stream.total_cost()),
+            ]);
+        }
+    }
+
+    // Warm-started vs rebuild-per-arrival total arrival-processing time, at
+    // a size the (quadratic-per-arrival) rebuild paths can still handle.
+    let (oa_n, pd_n) = if quick { (120, 100) } else { (1500, 600) };
+    let mut speedup = Table::new(
+        "Warm-started vs rebuild-per-arrival arrival processing",
+        &[
+            "algorithm",
+            "n",
+            "warm total (ms)",
+            "from-scratch total (ms)",
+            "speedup",
+        ],
+    );
+    let mut all_speedups = Vec::new();
+
+    let oa_inst = stream_instance(oa_n, 9300);
+    let env = OnlineEnv {
+        machines: 1,
+        alpha: oa_inst.alpha,
+    };
+    let planner = pss_core::baselines::oa::OaPlanner { speed_factor: 1.0 };
+    let mut warm_run = ReplanState::new(planner, AdmitAll, env);
+    let warm = drive_arrivals(&mut warm_run, &oa_inst);
+    let mut cold_run = ReplanState::new(planner, AdmitAll, env).with_warm_start(false);
+    let cold = drive_arrivals(&mut cold_run, &oa_inst);
+    all_speedups.push(cold / warm.max(1e-12));
+    speedup.push_row(vec![
+        "OA".into(),
+        oa_n.to_string(),
+        fmt_f64(warm * 1e3),
+        fmt_f64(cold * 1e3),
+        fmt_f64(cold / warm.max(1e-12)),
+    ]);
+
+    let pd_inst = stream_instance(pd_n, 9400);
+    let scheduler = PdScheduler::coarse();
+    let mut warm_run = scheduler.start_for(&pd_inst).expect("PD run");
+    let warm = drive_arrivals(&mut warm_run, &pd_inst);
+    let mut cold_run = OnlinePd::with_options(
+        pd_inst.machines,
+        pd_inst.alpha,
+        scheduler.effective_delta(pd_inst.alpha),
+        scheduler.tol,
+    )
+    .with_rebuild_engine();
+    let cold = drive_arrivals(&mut cold_run, &pd_inst);
+    all_speedups.push(cold / warm.max(1e-12));
+    speedup.push_row(vec![
+        "PD".into(),
+        pd_n.to_string(),
+        fmt_f64(warm * 1e3),
+        fmt_f64(cold * 1e3),
+        fmt_f64(cold / warm.max(1e-12)),
+    ]);
+
+    let min_speedup = all_speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    ExperimentOutput {
+        id: "E12".into(),
+        title: "Streaming arrival latency (percentiles vs n, warm-start speedup)".into(),
+        tables: vec![latency, speedup],
+        notes: vec![
+            format!(
+                "latency percentiles are ordered p50 <= p95 <= p99 in every row: {}",
+                check(percentiles_ordered)
+            ),
+            format!(
+                "warm-started arrival processing is faster than rebuild-per-arrival \
+                 (min speedup {}x across OA and PD)",
+                fmt_f64(min_speedup)
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_quick_produces_ordered_percentiles() {
+        let out = run(true);
+        assert_eq!(out.tables.len(), 2);
+        // 4 algorithms x 2 sizes latency rows, 2 speedup rows.
+        assert_eq!(out.tables[0].rows.len(), 8);
+        assert_eq!(out.tables[1].rows.len(), 2);
+        assert!(out.notes[0].contains("yes"), "{:?}", out.notes);
+    }
+}

@@ -139,7 +139,7 @@ mod tests {
         // No overlapping segments on a machine.
         for m in 0..2 {
             let mut on_m: Vec<&Segment> = segs.iter().filter(|s| s.machine == m).collect();
-            on_m.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            on_m.sort_by(|a, b| a.start.total_cmp(&b.start));
             for pair in on_m.windows(2) {
                 assert!(pair[0].end <= pair[1].start + 1e-9);
             }

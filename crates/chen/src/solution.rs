@@ -88,11 +88,7 @@ impl ChenInterval {
             .filter(|(_, u)| *u > 0.0)
             .collect();
         // Sort by decreasing work; ties broken by job id for determinism.
-        positive.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("work amounts are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        positive.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
         let total: f64 = num::stable_sum(positive.iter().map(|(_, u)| *u));
         let m = self.machines;
@@ -214,7 +210,7 @@ impl IntervalSolution {
         loads.extend(std::iter::repeat_n(pool_load, self.pool_machines));
         // Dedicated loads are ≥ pool loads by construction, but sort anyway
         // to be robust against tolerance effects at the boundary.
-        loads.sort_by(|a, b| b.partial_cmp(a).expect("finite loads"));
+        loads.sort_by(|a, b| b.total_cmp(a));
         loads
     }
 

@@ -88,12 +88,7 @@ pub fn dual_bound(ctx: &ProgramContext, lambda: &[f64]) -> DualSolution {
         let mut available: Vec<usize> = (0..n)
             .filter(|&j| ctx.covered(j).binary_search(&iv.index).is_ok() && hat_speed[j] > 0.0)
             .collect();
-        available.sort_by(|&a, &b| {
-            hat_speed[b]
-                .partial_cmp(&hat_speed[a])
-                .expect("finite speeds")
-                .then(a.cmp(&b))
-        });
+        available.sort_by(|&a, &b| hat_speed[b].total_cmp(&hat_speed[a]).then(a.cmp(&b)));
         for &j in available.iter().take(m) {
             scheduled_time[j] += iv.length();
         }

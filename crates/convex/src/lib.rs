@@ -32,4 +32,6 @@ pub mod waterfill;
 pub use dual::{dual_bound, DualSolution};
 pub use program::ProgramContext;
 pub use solver::{solve_min_energy, solve_min_energy_with, MinEnergySolution, SolverOptions};
-pub use waterfill::{waterfill_job, WaterfillOptions, WaterfillResult};
+pub use waterfill::{
+    waterfill_candidates, waterfill_job, WaterfillCandidate, WaterfillOptions, WaterfillResult,
+};

@@ -95,7 +95,7 @@ struct IntervalCapacity {
 impl IntervalCapacity {
     fn new(interval: usize, length: f64, mut works: Vec<f64>) -> Self {
         works.retain(|u| *u > 0.0);
-        works.sort_by(|a, b| b.partial_cmp(a).expect("finite works"));
+        works.sort_by(|a, b| b.total_cmp(a));
         let mut prefix = Vec::with_capacity(works.len() + 1);
         prefix.push(0.0);
         let mut acc = 0.0;
@@ -130,6 +130,23 @@ impl IntervalCapacity {
     }
 }
 
+/// One candidate interval of a water-filling run, described independently of
+/// a [`ProgramContext`]: the interval's index (echoed back in the result's
+/// `added` pairs), its length, and the works the *other* jobs already place
+/// in it.  The incremental online context builds these directly from its
+/// per-interval load lists instead of materialising a dense assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaterfillCandidate {
+    /// Caller-chosen interval index reported back in
+    /// [`WaterfillResult::added`].
+    pub interval: usize,
+    /// Length `l_k` of the interval.
+    pub length: f64,
+    /// Work every *other* job places in the interval (order irrelevant;
+    /// non-positive entries are ignored).
+    pub other_works: Vec<f64>,
+}
+
 /// Runs the water-filling allocation for `job` on top of the assignment `x`
 /// (whose entries for `job` are ignored — callers wanting to *re*-allocate a
 /// job should conceptually treat its old row as cleared; the base works are
@@ -140,23 +157,43 @@ pub fn waterfill_job(
     job: usize,
     opts: &WaterfillOptions,
 ) -> WaterfillResult {
-    let candidates = ctx.covered(job);
-    let w_j = ctx.workloads()[job];
+    let candidates: Vec<WaterfillCandidate> = ctx
+        .covered(job)
+        .iter()
+        .map(|&k| WaterfillCandidate {
+            interval: k,
+            length: ctx.partition().length(k),
+            other_works: ctx.interval_works_excluding(x, k, job),
+        })
+        .collect();
+    waterfill_candidates(
+        ctx.power(),
+        ctx.machines(),
+        ctx.workloads()[job],
+        candidates,
+        opts,
+    )
+}
+
+/// Runs the water-filling allocation for a job of workload `w_j` over the
+/// given candidate intervals — the context-free core of [`waterfill_job`],
+/// used by the persistent online-PD planning context (which keeps sparse
+/// per-interval loads instead of a dense assignment).
+pub fn waterfill_candidates(
+    power: pss_power::AlphaPower,
+    machines: usize,
+    w_j: f64,
+    candidates: Vec<WaterfillCandidate>,
+    opts: &WaterfillOptions,
+) -> WaterfillResult {
     if candidates.is_empty() || w_j <= 0.0 || opts.max_fraction <= 0.0 {
         return WaterfillResult::empty();
     }
-    let m = ctx.machines();
-    let power = ctx.power();
+    let m = machines;
 
     let caps: Vec<IntervalCapacity> = candidates
-        .iter()
-        .map(|&k| {
-            IntervalCapacity::new(
-                k,
-                ctx.partition().length(k),
-                ctx.interval_works_excluding(x, k, job),
-            )
-        })
+        .into_iter()
+        .map(|c| IntervalCapacity::new(c.interval, c.length, c.other_works))
         .collect();
 
     let total_fraction_at =

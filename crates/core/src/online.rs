@@ -10,18 +10,117 @@
 //!
 //! [`OnlinePd`] implements that online version literally: jobs are fed one
 //! by one via [`OnlinePd::arrive`], the partition grows by refinement, and
-//! previously assigned work is split proportionally (via
-//! [`WorkAssignment::apply_refinement`]).  The equivalence with the batch
-//! scheduler is verified by tests and by the `online_equivalence`
+//! previously assigned work is split proportionally.  The equivalence with
+//! the batch scheduler is verified by tests and by the `online_equivalence`
 //! integration test.
+//!
+//! ## The persistent planning context
+//!
+//! The arrival step is **incremental**: the run keeps a persistent sparse
+//! planning context — the current partition plus, per atomic interval, the
+//! list of `(job, fraction)` loads assigned there — and updates it in place
+//! on every arrival (partition refinement splits load entries
+//! proportionally; an accepted fill appends its entries).  The water-filling
+//! step reads its per-interval capacities straight from these lists, so an
+//! arrival costs time proportional to the *locally* affected intervals, not
+//! to the whole history: no job list is cloned, no `Instance` is rebuilt,
+//! and no dense `n × N` assignment is materialised.
+//!
+//! The pre-existing rebuild-from-scratch arrival step is retained behind
+//! [`OnlinePd::with_rebuild_engine`] as an independently coded cross-check
+//! (both engines must produce identical schedules; the
+//! `incremental_equivalence` integration tests verify this) and as the
+//! baseline of the `warm_replan` benchmark.
 
-use pss_convex::{waterfill_job, ProgramContext, WaterfillOptions};
-use pss_intervals::{IntervalPartition, WorkAssignment};
+use pss_chen::{placement::place_interval, ChenInterval};
+use pss_convex::{
+    waterfill_candidates, waterfill_job, ProgramContext, WaterfillCandidate, WaterfillOptions,
+};
+use pss_intervals::{BoundaryInsert, IntervalPartition, WorkAssignment};
 use pss_power::AlphaPower;
 use pss_types::num::Tolerance;
 use pss_types::{
-    check_arrival_order, Decision, Instance, Job, JobId, OnlineScheduler, Schedule, ScheduleError,
+    check_arrival, Decision, Instance, Job, JobId, OnlineScheduler, Schedule, ScheduleError,
+    Segment, ARRIVAL_ORDER_TOLERANCE,
 };
+
+/// The persistent sparse planning context of the incremental engine: the
+/// partition known so far and, per atomic interval, the `(dense job,
+/// fraction)` loads assigned there.  This is the "cached instance +
+/// partition updated in place" replacing the per-arrival rebuild.
+#[derive(Debug, Clone)]
+struct PlanState {
+    partition: IntervalPartition,
+    /// `loads[k]` lists the jobs with positive fraction in interval `k`.
+    loads: Vec<Vec<(usize, f64)>>,
+}
+
+impl PlanState {
+    fn new() -> Self {
+        Self {
+            partition: IntervalPartition::from_boundaries(std::iter::empty()),
+            loads: Vec::new(),
+        }
+    }
+
+    /// Refines the partition with the new job's window endpoints **in
+    /// place** and splits the affected load lists proportionally.  Each
+    /// endpoint is an `O(log N)` search plus an `O(tail)` insertion —
+    /// boundaries arrive in nondecreasing time order, so the moved tail is
+    /// short and the committed prefix keeps its indices (the caller clamps
+    /// the points to the committed-frontier floor, so no committed interval
+    /// can ever split).  No new partition and no full `Refinement` mapping
+    /// is ever materialised.
+    fn refine(&mut self, points: [f64; 2]) {
+        for p in points {
+            match self.partition.insert_boundary(p) {
+                BoundaryInsert::Existing => {}
+                BoundaryInsert::Append { created_interval } => {
+                    if created_interval {
+                        self.loads.push(Vec::new());
+                    }
+                }
+                BoundaryInsert::Prepend { created_interval } => {
+                    // Releases are nondecreasing, so a point before the very
+                    // first boundary can only occur before anything was
+                    // committed; the committed prefix is unaffected.
+                    if created_interval {
+                        self.loads.insert(0, Vec::new());
+                    }
+                }
+                BoundaryInsert::Split {
+                    interval,
+                    left_fraction,
+                } => {
+                    let entries = &mut self.loads[interval];
+                    let right: Vec<(usize, f64)> = entries
+                        .iter()
+                        .map(|&(j, f)| (j, f * (1.0 - left_fraction)))
+                        .collect();
+                    for e in entries.iter_mut() {
+                        e.1 *= left_fraction;
+                    }
+                    self.loads.insert(interval + 1, right);
+                }
+            }
+        }
+        debug_assert_eq!(self.loads.len(), self.partition.len());
+    }
+}
+
+/// How a run maintains its planning context across arrivals.
+#[derive(Debug, Clone)]
+enum ArrivalEngine {
+    /// Persistent sparse context updated in place (the default).
+    Incremental(PlanState),
+    /// Rebuild the dense context (`Instance` + `ProgramContext` +
+    /// `WorkAssignment`) from scratch on every arrival — the pre-warm-start
+    /// behaviour, kept as a cross-check and benchmark baseline.
+    Rebuild {
+        partition: IntervalPartition,
+        assignment: WorkAssignment,
+    },
+}
 
 /// Event-driven PD: feed jobs in release order, read out the schedule at any
 /// point.
@@ -29,10 +128,10 @@ use pss_types::{
 pub struct OnlinePd {
     machines: usize,
     alpha: f64,
+    power: AlphaPower,
     delta: f64,
     tol: Tolerance,
-    partition: IntervalPartition,
-    assignment: WorkAssignment,
+    engine: ArrivalEngine,
     /// Jobs in arrival order, re-indexed densely (`jobs[i].id == JobId(i)`).
     jobs: Vec<Job>,
     /// The original id of each arrived job.
@@ -68,15 +167,14 @@ impl OnlinePd {
     pub fn with_options(machines: usize, alpha: f64, delta: f64, tol: Tolerance) -> Self {
         assert!(machines > 0, "need at least one machine");
         assert!(delta > 0.0 && delta.is_finite(), "delta must be positive");
-        // Constructing the power function validates alpha.
-        let _ = AlphaPower::new(alpha);
+        let power = AlphaPower::new(alpha);
         Self {
             machines,
             alpha,
+            power,
             delta,
             tol,
-            partition: IntervalPartition::from_boundaries(std::iter::empty()),
-            assignment: WorkAssignment::new(0),
+            engine: ArrivalEngine::Incremental(PlanState::new()),
             jobs: Vec::new(),
             original_ids: Vec::new(),
             lambda: Vec::new(),
@@ -85,6 +183,27 @@ impl OnlinePd {
             committed: Schedule::empty(machines),
             committed_prefix: 0,
         }
+    }
+
+    /// Switches this (fresh) run to the rebuild-per-arrival engine: the
+    /// planning context (`Instance`, partition coverage, dense assignment)
+    /// is reconstructed from the full job history on every arrival, exactly
+    /// as before the persistent context existed.  Kept as an independently
+    /// coded reference — both engines must produce identical schedules — and
+    /// as the baseline of the warm-start benchmarks.
+    ///
+    /// # Panics
+    /// Panics if jobs have already arrived.
+    pub fn with_rebuild_engine(mut self) -> Self {
+        assert!(
+            self.jobs.is_empty(),
+            "the engine can only be chosen before the first arrival"
+        );
+        self.engine = ArrivalEngine::Rebuild {
+            partition: IntervalPartition::from_boundaries(std::iter::empty()),
+            assignment: WorkAssignment::new(0),
+        };
+        self
     }
 
     /// Number of jobs that have arrived so far.
@@ -106,18 +225,10 @@ impl OnlinePd {
     /// of release time (the online model); the job keeps its original id for
     /// the final schedule.  Returns whether PD accepted the job.
     pub fn arrive(&mut self, job: &Job) -> Result<bool, ScheduleError> {
-        job.validate()
-            .map_err(|e| ScheduleError::Internal(e.to_string()))?;
-        check_arrival_order(self.last_release, job.release)?;
+        check_arrival(job, self.last_release, job.release)?;
         self.last_release = self.last_release.max(job.release);
 
-        // 1. Refine the partition with the new boundaries and split the
-        //    existing assignment proportionally.
-        let (refined, refinement) = self.partition.refine([job.release, job.deadline]);
-        self.assignment.apply_refinement(&refinement);
-        self.partition = refined;
-
-        // 2. Register the job under a dense arrival index.
+        // 1. Register the job under a dense arrival index.
         let dense = self.jobs.len();
         self.jobs.push(Job::new(
             dense,
@@ -127,70 +238,197 @@ impl OnlinePd {
             job.value,
         ));
         self.original_ids.push(job.id);
-        self.assignment.ensure_job(dense);
 
-        // 3. Greedy primal-dual step for the new job on the current
-        //    partition.
-        let ctx = self.context()?;
+        // 2. Refine the partition with the new boundaries (splitting the
+        //    existing loads proportionally) and run the greedy primal-dual
+        //    step for the new job on the refined partition.  The boundary
+        //    points are clamped to the committed-frontier floor: the arrival
+        //    tolerance lets a release lie up to 1e-9 before the previous
+        //    arrival, which could otherwise split an already-committed
+        //    interval and double-realise the sliver.
+        let floor = if self.committed_prefix > 0 {
+            self.partition().boundaries()[self.committed_prefix]
+        } else {
+            f64::NEG_INFINITY
+        };
+        let boundary_points = [job.release.max(floor), job.deadline.max(floor)];
         let opts = WaterfillOptions {
             max_fraction: 1.0,
             max_marginal: Some(job.value / self.delta),
             tol: self.tol,
         };
-        let fill = waterfill_job(&ctx, &self.assignment, dense, &opts);
-        let accepted = if fill.saturated {
-            for (k, f) in &fill.added {
-                self.assignment.set(dense, *k, *f);
+        // The rebuild engine's dense context is built once per arrival and
+        // reused for the commit step below, like the pre-warm-start code.
+        let mut rebuild_ctx: Option<ProgramContext> = None;
+        let fill = match &mut self.engine {
+            ArrivalEngine::Incremental(state) => {
+                state.refine(boundary_points);
+                let candidates: Vec<WaterfillCandidate> = state
+                    .partition
+                    .covered_intervals(&self.jobs[dense])
+                    .into_iter()
+                    .map(|k| WaterfillCandidate {
+                        interval: k,
+                        length: state.partition.length(k),
+                        other_works: state.loads[k]
+                            .iter()
+                            .map(|&(j, f)| f * self.jobs[j].work)
+                            .collect(),
+                    })
+                    .collect();
+                waterfill_candidates(self.power, self.machines, job.work, candidates, &opts)
             }
-            self.lambda.push(self.delta * fill.level_marginal);
-            self.accepted.push(true);
-            true
-        } else {
-            self.lambda.push(job.value);
-            self.accepted.push(false);
-            false
+            ArrivalEngine::Rebuild {
+                partition,
+                assignment,
+            } => {
+                let (refined, refinement) = partition.refine(boundary_points);
+                assignment.apply_refinement(&refinement);
+                *partition = refined;
+                assignment.ensure_job(dense);
+                let ctx = rebuild_context(self.machines, self.alpha, &self.jobs, partition)?;
+                let fill = waterfill_job(&ctx, assignment, dense, &opts);
+                rebuild_ctx = Some(ctx);
+                fill
+            }
         };
 
-        // 4. Commit every interval that has fully elapsed: its column of the
-        //    assignment can never change again (later jobs are released at
-        //    or after `now` and refinement only adds boundaries `>= now`),
-        //    so its realisation is final.
-        self.commit_elapsed(&ctx, job.release);
+        // 3. Commit or reset the fill, following Listing 1.
+        let accepted = fill.saturated;
+        if accepted {
+            match &mut self.engine {
+                ArrivalEngine::Incremental(state) => {
+                    for &(k, f) in &fill.added {
+                        state.loads[k].push((dense, f));
+                    }
+                }
+                ArrivalEngine::Rebuild { assignment, .. } => {
+                    for &(k, f) in &fill.added {
+                        assignment.set(dense, k, f);
+                    }
+                }
+            }
+            self.lambda.push(self.delta * fill.level_marginal);
+        } else {
+            self.lambda.push(job.value);
+        }
+        self.accepted.push(accepted);
+
+        // 4. Commit every interval that has fully elapsed: its loads can
+        //    never change again (later jobs are released at or after `now`
+        //    and refinement only adds boundaries `>= now`), so its
+        //    realisation is final.
+        self.commit_elapsed(job.release, rebuild_ctx.as_ref())?;
         Ok(accepted)
     }
 
+    /// Realises interval `k` of the current planning context, with the jobs'
+    /// **original** ids.  `ctx` must be the rebuild engine's current dense
+    /// context (ignored by the incremental engine).
+    fn realize_interval(
+        &self,
+        k: usize,
+        ctx: Option<&ProgramContext>,
+    ) -> Result<Vec<Segment>, ScheduleError> {
+        match &self.engine {
+            ArrivalEngine::Incremental(state) => {
+                let entries = &state.loads[k];
+                if entries.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let iv = state.partition.interval(k);
+                let works: Vec<f64> = entries
+                    .iter()
+                    .map(|&(j, f)| f * self.jobs[j].work)
+                    .collect();
+                if works.iter().all(|u| *u <= 0.0) {
+                    return Ok(Vec::new());
+                }
+                let sol = ChenInterval::new(iv.length(), self.machines, self.power).solve(&works);
+                Ok(place_interval(&sol, iv.start, 0, |i| {
+                    self.original_ids[entries[i].0]
+                }))
+            }
+            ArrivalEngine::Rebuild { assignment, .. } => {
+                let ctx = ctx.ok_or_else(|| {
+                    ScheduleError::Internal(
+                        "rebuild engine: realisation needs the dense context".into(),
+                    )
+                })?;
+                let mut segments = ctx.realize_interval(assignment, k);
+                for seg in &mut segments {
+                    if let Some(j) = seg.job {
+                        seg.job = Some(self.original_ids[j.index()]);
+                    }
+                }
+                Ok(segments)
+            }
+        }
+    }
+
+    /// The partition of the engine currently in use.
+    fn partition(&self) -> &IntervalPartition {
+        match &self.engine {
+            ArrivalEngine::Incremental(state) => &state.partition,
+            ArrivalEngine::Rebuild { partition, .. } => partition,
+        }
+    }
+
+    /// Builds the rebuild engine's dense context (`None` for the incremental
+    /// engine) — once per caller, not per interval.
+    fn current_rebuild_context(&self) -> Result<Option<ProgramContext>, ScheduleError> {
+        match &self.engine {
+            ArrivalEngine::Incremental(_) => Ok(None),
+            ArrivalEngine::Rebuild { partition, .. } => Ok(Some(rebuild_context(
+                self.machines,
+                self.alpha,
+                &self.jobs,
+                partition,
+            )?)),
+        }
+    }
+
     /// Realises (and remembers) every not-yet-committed interval ending at
-    /// or before `now`.
-    fn commit_elapsed(&mut self, ctx: &ProgramContext, now: f64) {
-        while self.committed_prefix < ctx.partition().len() {
-            let iv = ctx.partition().interval(self.committed_prefix);
+    /// or before `now`.  `ctx` is the rebuild engine's current dense context
+    /// if the caller already built one this arrival (built here otherwise).
+    fn commit_elapsed(
+        &mut self,
+        now: f64,
+        ctx: Option<&ProgramContext>,
+    ) -> Result<(), ScheduleError> {
+        let built;
+        let ctx = match ctx {
+            Some(ctx) => Some(ctx),
+            None => {
+                built = self.current_rebuild_context()?;
+                built.as_ref()
+            }
+        };
+        while self.committed_prefix < self.partition().len() {
+            let iv = self.partition().interval(self.committed_prefix);
             if iv.end > now + 1e-12 {
                 break;
             }
-            for mut seg in ctx.realize_interval(&self.assignment, iv.index) {
-                if let Some(j) = seg.job {
-                    seg.job = Some(self.original_ids[j.index()]);
-                }
+            for seg in self.realize_interval(iv.index, ctx)? {
                 self.committed.push(seg);
             }
             self.committed_prefix += 1;
         }
+        Ok(())
     }
 
     /// The current schedule for everything that has arrived so far, with the
     /// jobs' original ids.
     pub fn schedule(&self) -> Result<Schedule, ScheduleError> {
-        if self.jobs.is_empty() {
-            return Ok(Schedule::empty(self.machines));
-        }
-        let ctx = self.context()?;
-        let dense_schedule = ctx.realize_schedule(&self.assignment);
         let mut schedule = Schedule::empty(self.machines);
-        for mut seg in dense_schedule.segments {
-            if let Some(job) = seg.job {
-                seg.job = Some(self.original_ids[job.index()]);
+        if self.jobs.is_empty() {
+            return Ok(schedule);
+        }
+        let ctx = self.current_rebuild_context()?;
+        for k in 0..self.partition().len() {
+            for seg in self.realize_interval(k, ctx.as_ref())? {
+                schedule.push(seg);
             }
-            schedule.push(seg);
         }
         Ok(schedule)
     }
@@ -205,28 +443,43 @@ impl OnlinePd {
         }
         online.schedule()
     }
+}
 
-    fn context(&self) -> Result<ProgramContext, ScheduleError> {
-        let instance = Instance::from_jobs(self.machines, self.alpha, self.jobs.clone())
-            .map_err(|e| ScheduleError::Internal(e.to_string()))?;
-        Ok(ProgramContext::with_partition(
-            &instance,
-            self.partition.clone(),
-        ))
-    }
+/// Builds the dense planning context of the rebuild engine: clones the full
+/// job history into a fresh `Instance` and re-derives every job's interval
+/// coverage — `O(n·N)` per call, which is exactly the per-arrival cost the
+/// persistent context removes.
+fn rebuild_context(
+    machines: usize,
+    alpha: f64,
+    jobs: &[Job],
+    partition: &IntervalPartition,
+) -> Result<ProgramContext, ScheduleError> {
+    let instance = Instance::from_jobs(machines, alpha, jobs.to_vec())
+        .map_err(|e| ScheduleError::Internal(e.to_string()))?;
+    Ok(ProgramContext::with_partition(&instance, partition.clone()))
 }
 
 impl OnlineScheduler for OnlinePd {
     fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError> {
-        if now < job.release - 1e-9 {
+        // Only the `now`-specific half of the ingress contract is checked
+        // here; `arrive` performs the full `check_arrival` (including the
+        // one-time job validation) against the release time.
+        if now < job.release - ARRIVAL_ORDER_TOLERANCE {
             return Err(ScheduleError::Internal(format!(
                 "job {} fed before its release time ({} < {})",
                 job.id, now, job.release
             )));
         }
         let accepted = self.arrive(job)?;
-        let dual = self.lambda.last().copied().unwrap_or(0.0);
-        Ok(Decision { accepted, dual })
+        // The Decision convention of `pss_types::scheduler`: accepted jobs
+        // report their dual variable λ_j (the water level reached), rejected
+        // jobs always report their lost value.
+        Ok(if accepted {
+            Decision::accept(self.lambda.last().copied().unwrap_or(0.0))
+        } else {
+            Decision::reject(job.value)
+        })
     }
 
     fn frontier(&self) -> &Schedule {
@@ -237,8 +490,7 @@ impl OnlineScheduler for OnlinePd {
         if self.jobs.is_empty() {
             return Ok(Schedule::empty(self.machines));
         }
-        let ctx = self.context()?;
-        self.commit_elapsed(&ctx, f64::INFINITY);
+        self.commit_elapsed(f64::INFINITY, None)?;
         Ok(self.committed)
     }
 }
@@ -285,6 +537,34 @@ mod tests {
     }
 
     #[test]
+    fn incremental_engine_matches_rebuild_engine() {
+        let inst = instance();
+        let mut warm = OnlinePd::new(inst.machines, inst.alpha);
+        let mut cold = OnlinePd::new(inst.machines, inst.alpha).with_rebuild_engine();
+        for id in inst.arrival_order() {
+            let a = warm.arrive(inst.job(id)).unwrap();
+            let b = cold.arrive(inst.job(id)).unwrap();
+            assert_eq!(a, b, "decision for {id} differs between engines");
+            assert!(
+                (warm.lambda.last().unwrap() - cold.lambda.last().unwrap()).abs() < 1e-9,
+                "duals differ for {id}"
+            );
+        }
+        let sw = warm.schedule().unwrap();
+        let sc = cold.schedule().unwrap();
+        assert!(
+            (sw.cost(&inst).total() - sc.cost(&inst).total()).abs()
+                < 1e-9 * sc.cost(&inst).total().max(1.0)
+        );
+        for t in [0.25, 0.75, 1.5, 2.25, 3.25] {
+            assert!(
+                (sw.total_speed_at(t) - sc.total_speed_at(t)).abs() < 1e-9,
+                "profiles differ at t={t}"
+            );
+        }
+    }
+
+    #[test]
     fn online_schedule_is_feasible_at_every_prefix() {
         let inst = instance();
         let mut online = OnlinePd::new(inst.machines, inst.alpha);
@@ -327,6 +607,15 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_jobs_are_rejected_at_ingress() {
+        let mut online = OnlinePd::new(1, 2.0);
+        let mut bad = Job::new(0, 0.0, 1.0, 1.0, 1.0);
+        bad.work = f64::NAN;
+        assert!(online.arrive(&bad).is_err());
+        assert_eq!(online.arrived(), 0);
+    }
+
+    #[test]
     fn decisions_report_original_ids() {
         let inst = instance();
         let mut online = OnlinePd::new(inst.machines, inst.alpha);
@@ -354,5 +643,15 @@ mod tests {
         let online = OnlinePd::new(3, 2.0);
         assert_eq!(online.arrived(), 0);
         assert!(online.schedule().unwrap().segments.is_empty());
+    }
+
+    #[test]
+    fn rejected_jobs_follow_the_decision_convention() {
+        // A hopeless job: huge work over a short window, negligible value.
+        let job = Job::new(0, 0.0, 1.0, 10.0, 0.01);
+        let mut online = OnlinePd::new(1, 2.0);
+        let d = online.on_arrival(&job, 0.0).unwrap();
+        assert!(!d.accepted);
+        assert_eq!(d.dual, 0.01, "rejected jobs report their lost value");
     }
 }

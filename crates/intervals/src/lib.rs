@@ -28,4 +28,4 @@ pub mod assignment;
 pub mod partition;
 
 pub use assignment::WorkAssignment;
-pub use partition::{AtomicInterval, IntervalPartition, Refinement};
+pub use partition::{AtomicInterval, BoundaryInsert, IntervalPartition, Refinement};

@@ -38,7 +38,7 @@ impl IntervalPartition {
     /// the result is sorted.
     pub fn from_boundaries(points: impl IntoIterator<Item = f64>) -> Self {
         let mut pts: Vec<f64> = points.into_iter().filter(|p| p.is_finite()).collect();
-        pts.sort_by(|a, b| a.partial_cmp(b).expect("finite boundaries"));
+        pts.sort_by(f64::total_cmp);
         let mut boundaries: Vec<f64> = Vec::with_capacity(pts.len());
         for p in pts {
             if boundaries.last().is_none_or(|last| p - last > BOUNDARY_EPS) {
@@ -102,10 +102,38 @@ impl IntervalPartition {
     }
 
     /// Indices of all intervals contained in the job's availability window.
+    ///
+    /// Runs in `O(log N + |result|)`: because every partition in the
+    /// workspace contains the window endpoints of the jobs it was built
+    /// from, the covered set is a contiguous index range, found here by
+    /// binary search (the incremental online context calls this once per
+    /// arrival).
     pub fn covered_intervals(&self, job: &Job) -> Vec<usize> {
-        (0..self.len())
-            .filter(|&k| self.job_covers(job, k))
-            .collect()
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let starts = &self.boundaries[..n];
+        let ends = &self.boundaries[1..];
+        // Coarse bracket by raw comparison, widened to respect the
+        // tolerance-aware `job_covers` predicate.
+        let mut lo = starts.partition_point(|&s| s < job.release);
+        while lo > 0 && num::approx_le(job.release, starts[lo - 1]) {
+            lo -= 1;
+        }
+        let mut hi = ends.partition_point(|&e| e <= job.deadline);
+        while hi < n && num::approx_le(ends[hi], job.deadline) {
+            hi += 1;
+        }
+        let covered: Vec<usize> = (lo..hi).filter(|&k| self.job_covers(job, k)).collect();
+        debug_assert_eq!(
+            covered,
+            (0..n)
+                .filter(|&k| self.job_covers(job, k))
+                .collect::<Vec<_>>(),
+            "binary-searched coverage disagrees with the linear scan"
+        );
+        covered
     }
 
     /// Index of the interval containing time `t`, if any.
@@ -144,6 +172,78 @@ impl IntervalPartition {
         let mapping = Refinement::between(self, &refined);
         (refined, mapping)
     }
+
+    /// Inserts a single boundary point **in place** and reports the local
+    /// effect, without constructing a new partition or a full
+    /// [`Refinement`].  This is the `O(log N)`-search/`O(tail)`-memmove
+    /// primitive the persistent online planning contexts use per arrival
+    /// (new boundaries arrive in nondecreasing time order, so the moved tail
+    /// is short); [`refine`](Self::refine) remains the general entry point.
+    ///
+    /// Points within the boundary-coincidence tolerance of an existing
+    /// boundary are merged (the existing boundary wins), matching
+    /// [`from_boundaries`](Self::from_boundaries); non-finite points are
+    /// ignored.
+    pub fn insert_boundary(&mut self, p: f64) -> BoundaryInsert {
+        if !p.is_finite() {
+            return BoundaryInsert::Existing;
+        }
+        let pos = self.boundaries.partition_point(|&b| b < p);
+        if pos < self.boundaries.len() && self.boundaries[pos] - p <= BOUNDARY_EPS {
+            return BoundaryInsert::Existing;
+        }
+        if pos > 0 && p - self.boundaries[pos - 1] <= BOUNDARY_EPS {
+            return BoundaryInsert::Existing;
+        }
+        self.boundaries.insert(pos, p);
+        let n = self.boundaries.len();
+        if pos == n - 1 {
+            BoundaryInsert::Append {
+                created_interval: n >= 2,
+            }
+        } else if pos == 0 {
+            BoundaryInsert::Prepend {
+                created_interval: n >= 2,
+            }
+        } else {
+            let left = self.boundaries[pos - 1];
+            let right = self.boundaries[pos + 1];
+            BoundaryInsert::Split {
+                interval: pos - 1,
+                left_fraction: (p - left) / (right - left),
+            }
+        }
+    }
+}
+
+/// The local effect of [`IntervalPartition::insert_boundary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundaryInsert {
+    /// The point coincided (within tolerance) with an existing boundary, or
+    /// was not finite; the partition is unchanged.
+    Existing,
+    /// Interval `interval` was split in two: the left piece keeps the index
+    /// and `left_fraction` of the length, the right piece is inserted at
+    /// `interval + 1` (later intervals shift up by one).
+    Split {
+        /// Index of the split interval (and of its left piece).
+        interval: usize,
+        /// Length fraction of the left piece.
+        left_fraction: f64,
+    },
+    /// The point lies before every existing boundary; if an interval was
+    /// created it has index 0 and every existing interval shifts up by one.
+    Prepend {
+        /// Whether a new leading interval was created (false when the
+        /// partition previously had no boundary at all).
+        created_interval: bool,
+    },
+    /// The point lies after every existing boundary; if an interval was
+    /// created it is the new last interval.
+    Append {
+        /// Whether a new trailing interval was created.
+        created_interval: bool,
+    },
 }
 
 /// Describes how the intervals of an old partition map onto the intervals of
@@ -167,23 +267,37 @@ impl Refinement {
     /// Computes the refinement mapping from `old` to `new`.  `new` must be a
     /// refinement of `old` (every old boundary is also a new boundary); this
     /// is guaranteed by [`IntervalPartition::refine`].
+    ///
+    /// Runs in `O(old.len() + new.len())` by walking both sorted interval
+    /// lists in lockstep — this is on the per-arrival path of the online
+    /// algorithms, which refine the partition with every new job.
     pub fn between(old: &IntervalPartition, new: &IntervalPartition) -> Self {
         let mut pieces = vec![Vec::new(); old.len()];
+        let mut nk = 0usize;
         for (k, old_iv) in old.intervals().enumerate() {
             let old_len = old_iv.length();
-            for new_iv in new.intervals() {
-                // A new interval belongs to the old one if it is contained
-                // in it (refinement => containment or disjointness).
-                if num::approx_ge(new_iv.start, old_iv.start)
-                    && num::approx_le(new_iv.end, old_iv.end)
+            // Skip new intervals lying entirely before the old one (points
+            // added before the old horizon create such intervals).
+            while nk < new.len() && num::approx_le(new.interval(nk).end, old_iv.start) {
+                nk += 1;
+            }
+            // Collect the new intervals contained in the old one; because
+            // `new` refines `old`, containment and disjointness are the only
+            // possibilities, and the contained ones are consecutive.
+            while nk < new.len() {
+                let new_iv = new.interval(nk);
+                if !(num::approx_ge(new_iv.start, old_iv.start)
+                    && num::approx_le(new_iv.end, old_iv.end))
                 {
-                    let frac = if old_len > 0.0 {
-                        new_iv.length() / old_len
-                    } else {
-                        0.0
-                    };
-                    pieces[k].push((new_iv.index, frac));
+                    break;
                 }
+                let frac = if old_len > 0.0 {
+                    new_iv.length() / old_len
+                } else {
+                    0.0
+                };
+                pieces[k].push((new_iv.index, frac));
+                nk += 1;
             }
             debug_assert!(
                 num::approx_eq(pieces[k].iter().map(|(_, f)| *f).sum::<f64>(), 1.0)
@@ -289,6 +403,61 @@ mod tests {
         let (refined, map) = p.refine([1.0]);
         assert_eq!(refined, p);
         assert!(map.is_identity());
+    }
+
+    #[test]
+    fn insert_boundary_reports_local_effects() {
+        let mut p = IntervalPartition::from_boundaries(std::iter::empty());
+        // First point: no interval yet.
+        assert_eq!(
+            p.insert_boundary(2.0),
+            BoundaryInsert::Append {
+                created_interval: false
+            }
+        );
+        // Second point after it: creates the first interval.
+        assert_eq!(
+            p.insert_boundary(4.0),
+            BoundaryInsert::Append {
+                created_interval: true
+            }
+        );
+        // Coinciding point: merged.
+        assert_eq!(p.insert_boundary(4.0 + 1e-15), BoundaryInsert::Existing);
+        // Interior point: splits interval 0 at 3/4 of its length.
+        match p.insert_boundary(3.5) {
+            BoundaryInsert::Split {
+                interval,
+                left_fraction,
+            } => {
+                assert_eq!(interval, 0);
+                assert!((left_fraction - 0.75).abs() < 1e-12);
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+        // Point before everything: prepends an interval.
+        assert_eq!(
+            p.insert_boundary(1.0),
+            BoundaryInsert::Prepend {
+                created_interval: true
+            }
+        );
+        assert_eq!(p.boundaries(), &[1.0, 2.0, 3.5, 4.0]);
+        // The result matches the batch construction.
+        let batch = IntervalPartition::from_boundaries([2.0, 4.0, 3.5, 1.0]);
+        assert_eq!(p, batch);
+    }
+
+    #[test]
+    fn covered_intervals_binary_search_handles_partial_overlap() {
+        // Window strictly inside one interval: covers nothing.
+        let p = IntervalPartition::from_boundaries([0.0, 4.0, 8.0]);
+        let inside = Job::new(0, 1.0, 3.0, 1.0, 1.0);
+        assert!(p.covered_intervals(&inside).is_empty());
+        // Window starting before and ending inside: covers only the first.
+        let p = IntervalPartition::from_boundaries([0.0, 1.0, 2.0, 3.0]);
+        let job = Job::new(0, 0.0, 2.5, 1.0, 1.0);
+        assert_eq!(p.covered_intervals(&job), vec![0, 1]);
     }
 
     #[test]

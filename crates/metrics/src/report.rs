@@ -81,7 +81,7 @@ impl RatioSummary {
             return None;
         }
         let mut sorted: Vec<f64> = ratios.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let pct = |p: f64| -> f64 {

@@ -1,0 +1,493 @@
+//! Warm-started YDS for the left-aligned replanning subproblem.
+//!
+//! The plan-revision online algorithms (OA, qOA, CLL) re-solve YDS at every
+//! arrival over the *remaining* work of the pending jobs.  At replanning
+//! time `t` every pending job has already been released, so its effective
+//! window is `[t, d_j)` — all windows share the left endpoint `t`.  For this
+//! left-aligned special case YDS collapses to a closed form:
+//!
+//! 1. sort the jobs by deadline,
+//! 2. take cumulative remaining works `W_i`,
+//! 3. the optimal speed profile is the **concave majorant** of the points
+//!    `(d_i, W_i)` anchored at `(t, 0)`: a staircase of decreasing speeds
+//!    whose steps are exactly the critical intervals YDS would peel off, and
+//! 4. within each step the jobs run back to back in EDF (deadline) order,
+//!    each to completion — which is what YDS's per-round EDF does when every
+//!    job is already released.
+//!
+//! This replaces the `O(k³)` general critical-interval search of
+//! [`yds_schedule`](crate::yds::yds_schedule) by an `O(k log k)` geometric
+//! computation that produces the same schedule (verified against the general
+//! algorithm in the tests below and by the `incremental_equivalence`
+//! integration tests).
+//!
+//! [`IncrementalYds`] is the warm-started form: it keeps the deadline-sorted
+//! order across replans, so consecutive plans — which differ by one arrival
+//! and by the executed prefix — cost an allocation-free `O(k)` merge +
+//! majorant pass instead of a fresh sort.  This is the "reuse the previous
+//! solution, re-solve only what the new job perturbs" entry point used by
+//! the replanning executor in `pss-baselines`.
+
+use pss_types::{JobId, Schedule, ScheduleError, Segment};
+
+/// A pending job as seen by the left-aligned planner.
+///
+/// In the produced plan, segment job ids are the items' **positions**
+/// (`JobId(i)` refers to `items[i]`) — the dense-id convention of the
+/// replanning executor.  The `key` is only the *warm-start identity*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanItem {
+    /// Stable caller-chosen identity (e.g. the job's original id).  Keys
+    /// must be unique per call and stable across calls for warm starting to
+    /// engage; they also break deadline ties deterministically.
+    pub key: usize,
+    /// Deadline `d_j` (must lie after the planning time).
+    pub deadline: f64,
+    /// Remaining work (non-negative).
+    pub work: f64,
+}
+
+/// Computes the left-aligned YDS plan at time `now` from scratch.
+///
+/// Equivalent to `yds_schedule` on jobs `(release = now, deadline, work)`
+/// but `O(k log k)` instead of `O(k³)`.  Used as the one-shot entry point
+/// (e.g. by CLL's admission rule); the replanning executor uses the
+/// warm-started [`IncrementalYds`] instead.
+pub fn left_aligned_plan(now: f64, items: &[PlanItem]) -> Result<Schedule, ScheduleError> {
+    IncrementalYds::default().plan(now, items)
+}
+
+/// The maximum speed the left-aligned YDS plan at `now` assigns to
+/// `items[item]` (0 if the item has no work).  This is what CLL's admission
+/// rule needs: the speed OA would plan the new job at.
+pub fn left_aligned_planned_speed(
+    now: f64,
+    items: &[PlanItem],
+    item: usize,
+) -> Result<f64, ScheduleError> {
+    let plan = left_aligned_plan(now, items)?;
+    Ok(plan
+        .segments
+        .iter()
+        .filter(|s| s.job == Some(JobId(item)))
+        .map(|s| s.speed)
+        .fold(0.0_f64, f64::max))
+}
+
+/// Per-key scratch slot of [`IncrementalYds`]; `generation` stamps which
+/// plan call the slot belongs to, so the table never needs clearing.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    deadline: f64,
+    work: f64,
+    /// Position of the item in this call's `items` slice.
+    position: u32,
+    generation: u64,
+    /// Whether the cached order already contains this key (set during the
+    /// prune pass).
+    in_order: bool,
+}
+
+/// Warm-started left-aligned YDS: one instance per run of a replanning
+/// algorithm, fed the current pending set at every arrival.
+///
+/// The cached state is the deadline-sorted job order (keyed by the items'
+/// stable `key`s).  Each call prunes the jobs that finished or expired since
+/// the previous plan, merges the (few — typically one) newly arrived jobs
+/// into the order, and recomputes the concave majorant over the up-to-date
+/// remaining works.  Works and the planning time change every call (the
+/// executor runs the previous plan between arrivals), but by OA's structural
+/// invariant the staircase only changes where the new job perturbs it — the
+/// majorant pass over the cached order re-derives exactly the perturbed
+/// staircase without ever re-sorting or re-searching critical intervals.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalYds {
+    /// `(deadline, key)` sorted by `(deadline, key)`; survives across plans.
+    order: Vec<(f64, usize)>,
+    /// Generation-stamped per-key scratch, grown to the largest key seen.
+    slots: Vec<Slot>,
+    generation: u64,
+}
+
+impl IncrementalYds {
+    /// Plans the remaining work of `items` starting at `now` on machine 0;
+    /// segment job ids are item positions (`JobId(i)` for `items[i]`).
+    ///
+    /// Every item's deadline must lie after `now` and keys must be unique;
+    /// violations return an error.  The produced schedule finishes every
+    /// item by its deadline and its energy is the single-machine optimum for
+    /// the left-aligned instance.
+    pub fn plan(&mut self, now: f64, items: &[PlanItem]) -> Result<Schedule, ScheduleError> {
+        self.generation += 1;
+        let generation = self.generation;
+        for (i, it) in items.iter().enumerate() {
+            if !(it.deadline.is_finite() && it.work.is_finite() && it.work >= 0.0) {
+                return Err(ScheduleError::Internal(format!(
+                    "left-aligned YDS: item {} has non-finite deadline/work",
+                    it.key
+                )));
+            }
+            if it.deadline <= now {
+                return Err(ScheduleError::Internal(format!(
+                    "left-aligned YDS: item {} expired (deadline {} <= now {now})",
+                    it.key, it.deadline
+                )));
+            }
+            if it.key >= self.slots.len() {
+                self.slots.resize(it.key + 1, Slot::default());
+            }
+            let slot = &mut self.slots[it.key];
+            if slot.generation == generation {
+                return Err(ScheduleError::Internal(format!(
+                    "left-aligned YDS: duplicate item key {}",
+                    it.key
+                )));
+            }
+            *slot = Slot {
+                deadline: it.deadline,
+                work: it.work,
+                position: i as u32,
+                generation,
+                in_order: false,
+            };
+        }
+
+        // Prune entries whose job finished/expired since the previous plan
+        // (deadlines never change, so a key match with a different deadline
+        // means the key was recycled — treat it as fresh).
+        let slots = &mut self.slots;
+        self.order.retain(|&(d, key)| {
+            let slot = &mut slots[key];
+            if slot.generation == generation && slot.deadline == d {
+                slot.in_order = true;
+                true
+            } else {
+                false
+            }
+        });
+        // Merge the newly arrived items into the sorted order.
+        if self.order.len() < items.len() {
+            for it in items {
+                if self.slots[it.key].in_order {
+                    continue;
+                }
+                let pos = self
+                    .order
+                    .partition_point(|&(d, k)| match d.total_cmp(&it.deadline) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Greater => false,
+                        std::cmp::Ordering::Equal => k < it.key,
+                    });
+                self.order.insert(pos, (it.deadline, it.key));
+            }
+        }
+        debug_assert_eq!(self.order.len(), items.len());
+
+        let k = self.order.len();
+        let mut schedule = Schedule::empty(1);
+        if k == 0 {
+            return Ok(schedule);
+        }
+
+        // Cumulative remaining work along the deadline order.
+        let mut cum = Vec::with_capacity(k);
+        let mut acc = 0.0_f64;
+        for &(_, key) in &self.order {
+            acc += self.slots[key].work;
+            cum.push(acc);
+        }
+
+        // Concave majorant of the points (d_i, cum_i) anchored at (now, 0):
+        // a monotone chain keeping the breakpoints where the slope strictly
+        // decreases.  Division-free turn test, so equal deadlines (vertical
+        // stretches) and collinear runs are handled exactly: the dominated
+        // point is popped.
+        let mut stack: Vec<usize> = Vec::with_capacity(k);
+        for i in 0..k {
+            let d_i = self.order[i].0;
+            while let Some(&top) = stack.last() {
+                let d_t = self.order[top].0;
+                let (pd, pw) = match stack.len().checked_sub(2) {
+                    Some(j) => (self.order[stack[j]].0, cum[stack[j]]),
+                    None => (now, 0.0),
+                };
+                // Keep `top` only if slope(prev→top) > slope(top→i).
+                let lhs = (cum[top] - pw) * (d_i - d_t);
+                let rhs = (cum[i] - cum[top]) * (d_t - pd);
+                if lhs > rhs {
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push(i);
+        }
+
+        // Emit the staircase: each majorant step runs its jobs back to back
+        // in deadline order at the step's slope.
+        let mut t = now;
+        let mut first = 0usize;
+        let (mut prev_d, mut prev_w) = (now, 0.0_f64);
+        for &bp in &stack {
+            let d_bp = self.order[bp].0;
+            let step_work = cum[bp] - prev_w;
+            let speed = step_work / (d_bp - prev_d);
+            if speed > 0.0 {
+                for &(_, key) in &self.order[first..=bp] {
+                    let slot = &self.slots[key];
+                    if slot.work <= 0.0 {
+                        continue;
+                    }
+                    let dur = slot.work / speed;
+                    schedule.push(Segment::work(
+                        0,
+                        t,
+                        t + dur,
+                        speed,
+                        JobId(slot.position as usize),
+                    ));
+                    t += dur;
+                }
+            }
+            prev_d = d_bp;
+            prev_w = cum[bp];
+            first = bp + 1;
+        }
+        Ok(schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yds::yds_schedule;
+    use pss_types::Job;
+
+    /// xoshiro-free deterministic pseudo-random stream for the tests.
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn assert_matches_generic(now: f64, items: &[PlanItem]) {
+        let fast = left_aligned_plan(now, items).expect("fast plan");
+        // The generic reference sees the same items with position ids.
+        let jobs: Vec<Job> = items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| Job::new(i, now, it.deadline, it.work.max(1e-15), 0.0))
+            .collect();
+        let generic = yds_schedule(&jobs, 2.0).expect("generic YDS").schedule;
+        // Same per-job work...
+        let fw = fast.work_per_job(items.len());
+        let gw = generic.work_per_job(items.len());
+        for (i, it) in items.iter().enumerate() {
+            assert!(
+                (fw[i] - gw[i]).abs() < 1e-9 * it.work.max(1.0),
+                "work differs for item {i}: fast {} vs generic {}",
+                fw[i],
+                gw[i]
+            );
+        }
+        // ...and the same speed profile.
+        let hi = items.iter().map(|it| it.deadline).fold(now, f64::max);
+        for s in 0..200 {
+            let t = now + (s as f64 + 0.5) * (hi - now) / 200.0;
+            let a = fast.total_speed_at(t);
+            let b = generic.total_speed_at(t);
+            assert!(
+                (a - b).abs() < 1e-9 * b.max(1.0),
+                "profiles differ at t={t}: fast {a} vs generic {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_item_runs_at_its_density() {
+        let plan = left_aligned_plan(
+            1.0,
+            &[PlanItem {
+                key: 3,
+                deadline: 5.0,
+                work: 2.0,
+            }],
+        )
+        .unwrap();
+        assert_eq!(plan.segments.len(), 1);
+        let s = plan.segments[0];
+        assert_eq!(s.job, Some(JobId(0)), "ids are item positions");
+        assert!((s.speed - 0.5).abs() < 1e-12);
+        assert!((s.start - 1.0).abs() < 1e-12 && (s.end - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_speeds_decrease_and_meet_deadlines() {
+        let items = vec![
+            PlanItem {
+                key: 0,
+                deadline: 1.0,
+                work: 2.0,
+            },
+            PlanItem {
+                key: 1,
+                deadline: 4.0,
+                work: 1.0,
+            },
+            PlanItem {
+                key: 2,
+                deadline: 2.0,
+                work: 0.5,
+            },
+        ];
+        let plan = left_aligned_plan(0.0, &items).unwrap();
+        let mut prev = f64::INFINITY;
+        for seg in &plan.segments {
+            assert!(seg.speed <= prev + 1e-12, "speeds increased");
+            prev = seg.speed;
+        }
+        for (i, it) in items.iter().enumerate() {
+            let finish = plan
+                .segments
+                .iter()
+                .filter(|s| s.job == Some(JobId(i)))
+                .map(|s| s.end)
+                .fold(0.0, f64::max);
+            assert!(finish <= it.deadline + 1e-9, "item {i} misses deadline");
+        }
+    }
+
+    #[test]
+    fn matches_generic_yds_on_random_left_aligned_sets() {
+        let mut state = 99u64;
+        for round in 0..30 {
+            let now = lcg(&mut state) * 10.0;
+            let k = 1 + (round % 9);
+            let items: Vec<PlanItem> = (0..k)
+                .map(|i| PlanItem {
+                    key: i,
+                    deadline: now + 0.1 + 6.0 * lcg(&mut state),
+                    work: 0.05 + 2.0 * lcg(&mut state),
+                })
+                .collect();
+            assert_matches_generic(now, &items);
+        }
+    }
+
+    #[test]
+    fn matches_generic_yds_with_tied_deadlines_and_tiny_works() {
+        let items = vec![
+            PlanItem {
+                key: 0,
+                deadline: 2.0,
+                work: 1.0,
+            },
+            PlanItem {
+                key: 1,
+                deadline: 2.0,
+                work: 1e-11,
+            },
+            PlanItem {
+                key: 2,
+                deadline: 3.0,
+                work: 1e-11,
+            },
+            PlanItem {
+                key: 3,
+                deadline: 3.0,
+                work: 0.5,
+            },
+        ];
+        assert_matches_generic(0.5, &items);
+    }
+
+    #[test]
+    fn warm_start_matches_from_scratch_across_replans() {
+        let mut warm = IncrementalYds::default();
+        let mut state = 7u64;
+        let mut items: Vec<PlanItem> = Vec::new();
+        let mut now = 0.0;
+        for round in 0..40 {
+            now += 0.2 * lcg(&mut state);
+            // Simulate executed work and expiry between replans.
+            items.retain(|it| it.deadline > now + 1e-9);
+            for it in &mut items {
+                it.work = (it.work - 0.05 * lcg(&mut state)).max(1e-6);
+            }
+            items.push(PlanItem {
+                key: 100 + round,
+                deadline: now + 0.3 + 4.0 * lcg(&mut state),
+                work: 0.1 + 1.5 * lcg(&mut state),
+            });
+            let warm_plan = warm.plan(now, &items).expect("warm plan");
+            let cold_plan = left_aligned_plan(now, &items).expect("cold plan");
+            assert_eq!(
+                warm_plan.segments.len(),
+                cold_plan.segments.len(),
+                "round {round}: segment counts differ"
+            );
+            for (a, b) in warm_plan.segments.iter().zip(&cold_plan.segments) {
+                assert_eq!(a.job, b.job, "round {round}");
+                assert!((a.speed - b.speed).abs() < 1e-12, "round {round}");
+                assert!((a.start - b.start).abs() < 1e-12, "round {round}");
+                assert!((a.end - b.end).abs() < 1e-12, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_items_and_duplicate_keys_are_rejected() {
+        assert!(left_aligned_plan(
+            1.0,
+            &[PlanItem {
+                key: 0,
+                deadline: 0.5,
+                work: 1.0
+            }]
+        )
+        .is_err());
+        assert!(left_aligned_plan(
+            0.0,
+            &[
+                PlanItem {
+                    key: 0,
+                    deadline: 1.0,
+                    work: 1.0
+                },
+                PlanItem {
+                    key: 0,
+                    deadline: 2.0,
+                    work: 1.0
+                },
+            ]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn planned_speed_reports_the_items_step_speed() {
+        // Item 0 forces speed 2 in [0,1); item 1's step runs at 0.5.
+        let items = vec![
+            PlanItem {
+                key: 0,
+                deadline: 1.0,
+                work: 2.0,
+            },
+            PlanItem {
+                key: 1,
+                deadline: 3.0,
+                work: 1.0,
+            },
+        ];
+        let s0 = left_aligned_planned_speed(0.0, &items, 0).unwrap();
+        let s1 = left_aligned_planned_speed(0.0, &items, 1).unwrap();
+        assert!((s0 - 2.0).abs() < 1e-12);
+        assert!((s1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = left_aligned_plan(0.0, &[]).unwrap();
+        assert!(plan.segments.is_empty());
+    }
+}

@@ -8,6 +8,11 @@
 //!   implemented independently of the convex machinery (and cross-validated
 //!   against it in tests).  Includes the preemptive-EDF sub-scheduler used
 //!   inside critical intervals.
+//! * [`incremental`] — the warm-started left-aligned YDS special case used
+//!   by the online replanning executor: at replanning time every pending
+//!   job's window starts "now", which collapses YDS to a concave-majorant
+//!   staircase computable in `O(k log k)` (amortised `O(k)` across
+//!   arrivals via [`IncrementalYds`]).
 //! * [`brute`] — the exact optimum of the *profitable* problem for small
 //!   instances: exhaustive search over rejection sets, with the energy of
 //!   each kept set computed by YDS (`m = 1`) or the convex coordinate
@@ -23,9 +28,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod brute;
+pub mod incremental;
 pub mod schedulers;
 pub mod yds;
 
 pub use brute::{brute_force_optimum, BruteForceResult};
+pub use incremental::{left_aligned_plan, left_aligned_planned_speed, IncrementalYds, PlanItem};
 pub use schedulers::{BruteForceScheduler, MinEnergyScheduler, YdsScheduler};
 pub use yds::{edf_schedule, yds_schedule, YdsResult};

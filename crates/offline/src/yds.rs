@@ -61,7 +61,7 @@ pub fn yds_schedule(jobs: &[Job], alpha: f64) -> Result<YdsResult, ScheduleError
             .iter()
             .flat_map(|j| [j.release, j.deadline])
             .collect();
-        boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        boundaries.sort_by(f64::total_cmp);
         boundaries.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
         let mut best: Option<(f64, f64, f64)> = None; // (t1, t2, density)
@@ -215,8 +215,7 @@ pub fn edf_schedule(
         candidates.sort_by(|&a, &b| {
             jobs[a]
                 .deadline
-                .partial_cmp(&jobs[b].deadline)
-                .expect("finite deadlines")
+                .total_cmp(&jobs[b].deadline)
                 .then(jobs[a].id.cmp(&jobs[b].id))
         });
 
@@ -237,7 +236,14 @@ pub fn edf_schedule(
         let time_to_finish = remaining[run] / speed;
         let end = (now + time_to_finish).min(next_release).min(window_end);
         if end <= now + 1e-15 {
-            now = next_release;
+            // The candidate's residual work is too small to advance time at
+            // this magnitude (a floating-point leftover of an earlier
+            // subtraction, possible when `now` is large and one ulp exceeds
+            // the residual's duration): consider the job finished and pick
+            // the next candidate.  Idling to the next release here instead —
+            // the previous behaviour — silently skipped the rest of the
+            // critical interval and starved every remaining job.
+            remaining[run] = 0.0;
             continue;
         }
         segments.push(Segment::work(0, now, end, speed, jobs[run].id));
@@ -370,6 +376,34 @@ mod tests {
         for s in segs.iter().filter(|s| s.job == Some(JobId(1))) {
             assert!(s.start >= 1.0 - 1e-9 && s.end <= 2.0 + 1e-9);
         }
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+    fn edf_survives_sub_ulp_residuals_at_large_times() {
+        // Regression (found by the 10k-arrival streaming workload): at
+        // t ≈ 1566 one ulp is ~2.3e-13, so the floating-point residual left
+        // by an earlier subtraction (~1e-12 work at speed ~9.5) produces a
+        // sub-ulp segment.  The old degenerate-segment branch then idled to
+        // the next release — the window end — silently starving every other
+        // job of the critical interval.  The constants reproduce the exact
+        // bit patterns of the failing replanning step.
+        let t1 = 1565.992649881082116;
+        let t2 = 1566.580202953283788;
+        let speed = 9.487418057804181;
+        let jobs = vec![
+            Job::new(2, t1, 1566.5802029532837878, 1.0707206072158386, 0.0),
+            Job::new(5, t1, 1566.5412635628106273, 1.8758482289616536, 0.0),
+            Job::new(6, t1, 1566.3074796866567340, 1.1297497073571297, 0.0),
+            Job::new(7, t1, 1566.4426985902682645, 1.4980430835898433, 0.0),
+        ];
+        let segs = edf_schedule(&jobs, t1, t2, speed).expect("EDF at large time offsets");
+        let total: f64 = segs.iter().map(|s| s.work_amount()).sum();
+        let expected: f64 = jobs.iter().map(|j| j.work).sum();
+        assert!(
+            (total - expected).abs() < 1e-6,
+            "total {total} vs {expected}"
+        );
     }
 
     #[test]

@@ -126,7 +126,7 @@ impl Simulation {
                 .iter()
                 .filter(|s| s.job == Some(job.id))
                 .collect();
-            segs.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+            segs.sort_by(|a, b| a.start.total_cmp(&b.start));
 
             let mut work_done = 0.0;
             let mut completion_time = None;
@@ -277,6 +277,25 @@ impl StreamReport {
             .iter()
             .map(|e| e.latency_secs)
             .fold(0.0, f64::max)
+    }
+
+    /// The `p`-th percentile (`0 ≤ p ≤ 100`, nearest-rank) of the per-arrival
+    /// handling latency, in seconds; 0 for an empty stream.  The streaming
+    /// latency experiment (E12) reports p50/p95/p99 through this.
+    pub fn latency_percentile_secs(&self, p: f64) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> = self.events.iter().map(|e| e.latency_secs).collect();
+        lat.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1]
+    }
+
+    /// Total wall-clock time spent handling arrivals (the sum of per-event
+    /// latencies), in seconds.
+    pub fn total_arrival_secs(&self) -> f64 {
+        self.events.iter().map(|e| e.latency_secs).sum()
     }
 
     /// Total cost of the finished schedule (energy + lost value).
@@ -439,6 +458,32 @@ mod tests {
         // The streamed schedule costs the same as the batch adapter's.
         let batch_cost = AvrScheduler.schedule(&inst).unwrap().cost(&inst).total();
         assert!((stream.total_cost() - batch_cost).abs() < 1e-9 * batch_cost.max(1.0));
+    }
+
+    #[test]
+    fn latency_percentiles_follow_nearest_rank() {
+        use pss_baselines::AvrScheduler;
+
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 4.0, 2.0, 5.0),
+                (1.0, 3.0, 1.0, 2.0),
+                (2.0, 5.0, 1.5, 3.0),
+            ],
+        )
+        .unwrap();
+        let mut stream = StreamingSimulation.run(&AvrScheduler, &inst).unwrap();
+        // Install deterministic latencies to pin the percentile math.
+        for (i, e) in stream.events.iter_mut().enumerate() {
+            e.latency_secs = (i + 1) as f64; // 1, 2, 3
+        }
+        assert_eq!(stream.latency_percentile_secs(50.0), 2.0);
+        assert_eq!(stream.latency_percentile_secs(95.0), 3.0);
+        assert_eq!(stream.latency_percentile_secs(99.0), 3.0);
+        assert_eq!(stream.latency_percentile_secs(0.0), 1.0);
+        assert_eq!(stream.total_arrival_secs(), 6.0);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub fn prefix_stability_report<S: Scheduler + ?Sized>(
 ) -> Result<PrefixStabilityReport, ScheduleError> {
     let full = scheduler.schedule(instance)?;
     let mut checkpoints: Vec<f64> = instance.jobs.iter().map(|j| j.release).collect();
-    checkpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    checkpoints.sort_by(f64::total_cmp);
     checkpoints.dedup();
 
     let mut max_deviation = 0.0_f64;

@@ -102,10 +102,7 @@ impl Instance {
         ids.sort_by(|a, b| {
             let ja = &self.jobs[a.index()];
             let jb = &self.jobs[b.index()];
-            ja.release
-                .partial_cmp(&jb.release)
-                .expect("release times are finite")
-                .then(a.cmp(b))
+            ja.release.total_cmp(&jb.release).then(a.cmp(b))
         });
         ids
     }

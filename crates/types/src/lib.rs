@@ -46,7 +46,8 @@ pub use instance::Instance;
 pub use job::{Job, JobId};
 pub use num::Tolerance;
 pub use scheduler::{
-    check_arrival_order, run_online, Decision, OnlineAlgorithm, OnlineScheduler, Scheduler,
+    check_arrival, check_arrival_order, run_online, Decision, OnlineAlgorithm, OnlineScheduler,
+    Scheduler, ARRIVAL_ORDER_TOLERANCE,
 };
 pub use segment::{Schedule, Segment};
 pub use validate::{validate_schedule, ValidationReport};

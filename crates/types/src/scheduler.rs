@@ -40,16 +40,29 @@ pub trait Scheduler {
 }
 
 /// The outcome of one [`OnlineScheduler::on_arrival`] event.
+///
+/// # Dual-value convention
+///
+/// Every online algorithm in the workspace follows one convention for the
+/// `dual` field, constructed through [`Decision::accept`] /
+/// [`Decision::reject`]:
+///
+/// * **accepted** — `dual` is the dual variable `λ_j` the algorithm
+///   associates with the job (for the paper's primal-dual algorithm the
+///   water level `δ·∂P_k/∂x_{jk}` reached by the fill).  Algorithms without
+///   a dual interpretation (OA, qOA, OA(m), AVR, BKP, CLL) report `0.0`.
+/// * **rejected** — `dual` is always the job's value `v_j` (the lost value
+///   paid by the objective), for *every* algorithm.  This matches the
+///   paper's Listing 1 (`λ_j = v_j` on rejection) and makes
+///   `Σ_rejected dual` the lost-value part of the cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Decision {
     /// Whether the algorithm committed to finishing the job.  Rejected jobs
     /// are permanently lost (their value is paid instead of energy).
     pub accepted: bool,
-    /// The dual value `λ_j` the algorithm associates with the job: for the
-    /// paper's primal-dual algorithm this is the water level reached
-    /// (accepted) or the job's value (rejected); algorithms without a dual
-    /// interpretation report `0` for accepted jobs and the lost value for
-    /// rejected ones.
+    /// The dual value `λ_j` of the job under the convention above: the
+    /// algorithm's dual variable (or `0`) when accepted, the job's value
+    /// when rejected.
     pub dual: f64,
 }
 
@@ -139,18 +152,48 @@ pub trait OnlineAlgorithm {
     }
 }
 
+/// Tolerance of the arrival-time contract checks: times closer than this
+/// are treated as simultaneous, and a job may be fed at most this much
+/// before its nominal release.  All `on_arrival` implementations in the
+/// workspace share this single constant (via [`check_arrival`] /
+/// [`check_arrival_order`]).
+pub const ARRIVAL_ORDER_TOLERANCE: f64 = 1e-9;
+
 /// Checks the nondecreasing-arrival-time contract of
-/// [`OnlineScheduler::on_arrival`]: `now` may not lie (more than a small
-/// tolerance) before the previous arrival time.  Every run implementation
-/// in the workspace routes its ordering check through this helper so the
-/// tolerance and error wording stay in one place.
+/// [`OnlineScheduler::on_arrival`]: `now` may not lie (more than
+/// [`ARRIVAL_ORDER_TOLERANCE`]) before the previous arrival time.  Every run
+/// implementation in the workspace routes its ordering check through this
+/// helper so the tolerance and error wording stay in one place.
 pub fn check_arrival_order(previous: f64, now: f64) -> Result<(), ScheduleError> {
-    if now < previous - 1e-9 {
+    if now < previous - ARRIVAL_ORDER_TOLERANCE {
         return Err(ScheduleError::Internal(format!(
             "jobs must arrive in release order: got time {now} after {previous}"
         )));
     }
     Ok(())
+}
+
+/// The full ingress check shared by every `on_arrival` implementation:
+///
+/// 1. the job's fields are finite and well-formed ([`Job::validate`]) —
+///    validating once at ingress is what lets the numeric code downstream
+///    sort with [`f64::total_cmp`] instead of panicking on NaN,
+/// 2. the job is not fed before its release time (more than
+///    [`ARRIVAL_ORDER_TOLERANCE`] early),
+/// 3. arrival times are nondecreasing ([`check_arrival_order`]).
+///
+/// `previous` is the run's last arrival time (`f64::NEG_INFINITY` before the
+/// first arrival).
+pub fn check_arrival(job: &Job, previous: f64, now: f64) -> Result<(), ScheduleError> {
+    job.validate()
+        .map_err(|e| ScheduleError::Internal(e.to_string()))?;
+    if now < job.release - ARRIVAL_ORDER_TOLERANCE {
+        return Err(ScheduleError::Internal(format!(
+            "job {} fed before its release time ({} < {})",
+            job.id, now, job.release
+        )));
+    }
+    check_arrival_order(previous, now)
 }
 
 /// Drives a fresh run of `algo` over the whole instance, feeding jobs in
@@ -333,5 +376,30 @@ mod tests {
         let reject = Decision::reject(7.0);
         assert!(!reject.accepted);
         assert_eq!(reject.dual, 7.0);
+    }
+
+    #[test]
+    fn check_arrival_enforces_the_ingress_contract() {
+        let job = Job::new(0, 2.0, 4.0, 1.0, 1.0);
+        // Fresh run (previous = -inf) at the release time: fine.
+        assert!(check_arrival(&job, f64::NEG_INFINITY, 2.0).is_ok());
+        // Later than release and after the previous arrival: fine.
+        assert!(check_arrival(&job, 2.0, 3.0).is_ok());
+        // Fed clearly before its release: rejected.
+        assert!(check_arrival(&job, f64::NEG_INFINITY, 1.0).is_err());
+        // Within the tolerance of the release: fine.
+        assert!(check_arrival(&job, f64::NEG_INFINITY, 2.0 - 1e-12).is_ok());
+        // Out of order versus the previous arrival: rejected.
+        assert!(check_arrival(&job, 3.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn check_arrival_rejects_non_finite_jobs_at_ingress() {
+        let mut nan_work = Job::new(0, 0.0, 1.0, 1.0, 1.0);
+        nan_work.work = f64::NAN;
+        assert!(check_arrival(&nan_work, f64::NEG_INFINITY, 0.0).is_err());
+        let mut inf_deadline = Job::new(0, 0.0, 1.0, 1.0, 1.0);
+        inf_deadline.deadline = f64::INFINITY;
+        assert!(check_arrival(&inf_deadline, f64::NEG_INFINITY, 0.0).is_err());
     }
 }

@@ -186,7 +186,7 @@ impl Schedule {
             .copied()
             .filter(|s| s.machine == machine)
             .collect();
-        segs.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        segs.sort_by(|a, b| a.start.total_cmp(&b.start));
         segs
     }
 

@@ -115,7 +115,7 @@ pub fn validate_schedule(
             .iter()
             .filter(|s| s.job == Some(JobId(j)))
             .collect();
-        segs.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        segs.sort_by(|a, b| a.start.total_cmp(&b.start));
         for pair in segs.windows(2) {
             if pair[0].overlaps(pair[1]) && pair[0].machine != pair[1].machine {
                 return Err(ScheduleError::BadSegment(format!(

@@ -173,7 +173,7 @@ impl RandomConfig {
                 let mut r: Vec<f64> = (0..self.n_jobs)
                     .map(|_| sample_uniform(rng, 0.0, self.horizon))
                     .collect();
-                r.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                r.sort_by(f64::total_cmp);
                 r
             }
             ArrivalModel::Poisson { rate } => {
@@ -191,7 +191,7 @@ impl RandomConfig {
                 let mut burst_times: Vec<f64> = (0..bursts)
                     .map(|_| sample_uniform(rng, 0.0, self.horizon))
                     .collect();
-                burst_times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                burst_times.sort_by(f64::total_cmp);
                 (0..self.n_jobs)
                     .map(|i| burst_times[i / burst_size.max(1)])
                     .collect()

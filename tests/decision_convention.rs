@@ -1,0 +1,103 @@
+//! The `Decision` dual-value convention (`pss_types::scheduler`):
+//!
+//! * accepted jobs report the algorithm's dual variable `λ_j` (PD's water
+//!   level) or `0.0` for algorithms without a dual interpretation,
+//! * rejected jobs **always** report the job's value (the lost value paid by
+//!   the objective).
+//!
+//! All six online algorithms are checked through the event-driven
+//! `on_arrival` API.
+
+use pss_core::prelude::*;
+
+/// A single job so expensive relative to its value that every profit-aware
+/// algorithm rejects it: speed 10 over a unit window (energy 100 at α = 2)
+/// for a value of 0.001.
+fn hopeless_instance() -> Instance {
+    Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 10.0, 0.001), (0.0, 2.0, 0.5, 10.0)]).unwrap()
+}
+
+/// An easy mandatory-style instance every algorithm accepts in full.
+fn easy_instance() -> Instance {
+    Instance::from_tuples(1, 2.0, vec![(0.0, 4.0, 1.0, 100.0), (1.0, 3.0, 0.5, 100.0)]).unwrap()
+}
+
+fn drive<A: OnlineAlgorithm>(algo: &A, instance: &Instance) -> Vec<Decision> {
+    let mut run = algo.start_for(instance).expect("start");
+    instance
+        .arrival_order()
+        .into_iter()
+        .map(|id| {
+            let job = instance.job(id);
+            run.on_arrival(job, job.release).expect("arrival")
+        })
+        .collect()
+}
+
+#[test]
+fn rejecting_algorithms_report_the_lost_value_as_dual() {
+    let instance = hopeless_instance();
+    // PD and CLL both reject job 0; the dual must be exactly its value.
+    for decisions in [
+        drive(&PdScheduler::default(), &instance),
+        drive(&CllScheduler, &instance),
+    ] {
+        assert!(!decisions[0].accepted, "hopeless job was accepted");
+        assert_eq!(
+            decisions[0].dual, 0.001,
+            "rejected jobs report their lost value"
+        );
+        assert!(decisions[1].accepted, "easy job was rejected");
+    }
+}
+
+#[test]
+fn pd_accepted_jobs_report_their_water_level() {
+    let instance = easy_instance();
+    let batch = PdScheduler::default().run(&instance).expect("batch PD");
+    let decisions = drive(&PdScheduler::default(), &instance);
+    for (i, d) in decisions.iter().enumerate() {
+        assert!(d.accepted);
+        assert!(d.dual >= 0.0);
+        assert!(
+            (d.dual - batch.lambda[i]).abs() <= 1e-6 * batch.lambda[i].max(1.0),
+            "PD dual {} differs from batch λ {}",
+            d.dual,
+            batch.lambda[i]
+        );
+    }
+}
+
+#[test]
+fn dual_free_algorithms_report_zero_for_accepted_jobs() {
+    let instance = easy_instance();
+    for decisions in [
+        drive(&OaScheduler, &instance),
+        drive(&QoaScheduler::default(), &instance),
+        drive(&MultiOaScheduler::default(), &instance),
+        drive(&AvrScheduler, &instance),
+        drive(&BkpScheduler::default(), &instance),
+        drive(&CllScheduler, &instance),
+    ] {
+        for d in decisions {
+            assert!(d.accepted);
+            assert_eq!(d.dual, 0.0, "accepted jobs without a dual report 0");
+        }
+    }
+}
+
+#[test]
+fn ingress_validation_rejects_malformed_jobs_everywhere() {
+    let instance = easy_instance();
+    let mut bad = *instance.job(JobId(0));
+    bad.work = f64::NAN;
+
+    let mut pd = PdScheduler::default().start_for(&instance).unwrap();
+    assert!(pd.on_arrival(&bad, bad.release).is_err());
+    let mut oa = OaScheduler.start_for(&instance).unwrap();
+    assert!(oa.on_arrival(&bad, bad.release).is_err());
+    let mut avr = AvrScheduler.start_for(&instance).unwrap();
+    assert!(avr.on_arrival(&bad, bad.release).is_err());
+    let mut bkp = BkpScheduler::default().start_for(&instance).unwrap();
+    assert!(bkp.on_arrival(&bad, bad.release).is_err());
+}

@@ -12,8 +12,11 @@
 //! interval may order jobs differently — because the schedule semantics
 //! live in the speed profiles and per-job work, which are compared.
 
+use pss_core::baselines::cll::CllAdmission;
+use pss_core::baselines::oa::OaPlanner;
+use pss_core::baselines::replan::{AdmissionPolicy, AdmitAll, OnlineEnv, Planner, ReplanState};
 use pss_core::prelude::*;
-use pss_workloads::{RandomConfig, ValueModel};
+use pss_workloads::{ArrivalModel, RandomConfig, ValueModel};
 
 /// Compares two schedules of the same instance as schedules-proper: cost,
 /// finished set, and sampled total speed profiles.
@@ -161,5 +164,177 @@ fn cll_incremental_equals_batch_on_random_workloads() {
         let batch = CllScheduler.batch_schedule(&instance).expect("batch CLL");
         let incremental = CllScheduler.schedule(&instance).expect("incremental CLL");
         assert_equivalent(&instance, &batch, &incremental, "CLL", 1e-9);
+    }
+}
+
+// ---- Warm-started vs from-scratch arrival paths -------------------------
+//
+// PR 2 made the arrival step itself incremental: OA-family replans reuse the
+// previous YDS solution (`Planner::plan_warm` + `PlanCache`), and PD keeps a
+// persistent sparse planning context instead of rebuilding it per arrival.
+// These tests pin the warm-started paths to the from-scratch ones on random
+// workloads: identical decisions, costs and speed profiles.
+
+/// Drives two fresh `ReplanState` runs — warm-started and from-scratch —
+/// over the instance and asserts they are equivalent.
+fn assert_warm_equals_cold<P, A>(instance: &Instance, planner: P, admission: A, label: &str)
+where
+    P: Planner + Clone,
+    A: AdmissionPolicy + Clone,
+{
+    let env = OnlineEnv {
+        machines: instance.machines,
+        alpha: instance.alpha,
+    };
+    let mut warm = ReplanState::new(planner.clone(), admission.clone(), env);
+    let mut cold = ReplanState::new(planner, admission, env).with_warm_start(false);
+    for id in instance.arrival_order() {
+        let job = instance.job(id);
+        let dw = warm.on_arrival(job, job.release).expect("warm arrival");
+        let dc = cold.on_arrival(job, job.release).expect("cold arrival");
+        assert_eq!(
+            dw.accepted, dc.accepted,
+            "{label}: decision for {id} differs between warm and cold"
+        );
+        assert!(
+            (dw.dual - dc.dual).abs() <= 1e-9 * dc.dual.abs().max(1.0),
+            "{label}: dual for {id} differs between warm and cold"
+        );
+    }
+    let warm_schedule = warm.finish().expect("warm finish");
+    let cold_schedule = cold.finish().expect("cold finish");
+    assert_equivalent(instance, &cold_schedule, &warm_schedule, label, 1e-9);
+}
+
+#[test]
+fn warm_oa_equals_from_scratch_on_random_workloads() {
+    for seed in 0..6u64 {
+        let instance = profitable(5100 + seed, 1, 2.0 + 0.5 * (seed % 3) as f64);
+        assert_warm_equals_cold(
+            &instance,
+            OaPlanner { speed_factor: 1.0 },
+            AdmitAll,
+            "warm OA",
+        );
+    }
+}
+
+#[test]
+fn warm_qoa_equals_from_scratch_on_random_workloads() {
+    for seed in 0..6u64 {
+        let instance = profitable(5200 + seed, 1, 2.5);
+        let q = 2.0 - 1.0 / instance.alpha;
+        assert_warm_equals_cold(&instance, OaPlanner::with_factor(q), AdmitAll, "warm qOA");
+    }
+}
+
+#[test]
+fn warm_cll_equals_from_scratch_on_random_workloads() {
+    for seed in 0..6u64 {
+        let instance = profitable(5300 + seed, 1, 2.0);
+        assert_warm_equals_cold(
+            &instance,
+            OaPlanner { speed_factor: 1.0 },
+            CllAdmission,
+            "warm CLL",
+        );
+    }
+}
+
+#[test]
+fn warm_replanning_survives_equal_release_times() {
+    // Bursty arrivals: several jobs share a release time, so the executor
+    // replans once per burst and the warm state absorbs several insertions
+    // between executions.
+    for seed in 0..4u64 {
+        let instance = RandomConfig {
+            n_jobs: 12,
+            machines: 1,
+            alpha: 2.0,
+            arrival: ArrivalModel::Bursty { burst_size: 3 },
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+            ..RandomConfig::standard(5400 + seed)
+        }
+        .generate();
+        assert_warm_equals_cold(
+            &instance,
+            OaPlanner { speed_factor: 1.0 },
+            AdmitAll,
+            "warm OA (bursty)",
+        );
+        assert_warm_equals_cold(
+            &instance,
+            OaPlanner { speed_factor: 1.0 },
+            CllAdmission,
+            "warm CLL (bursty)",
+        );
+    }
+}
+
+#[test]
+fn warm_replanning_survives_near_zero_works_and_tied_deadlines() {
+    // Hand-crafted out-of-order-tolerance edge cases: equal releases, tied
+    // deadlines and (nearly) zero-work jobs.
+    let instance = Instance::from_tuples(
+        1,
+        2.0,
+        vec![
+            (0.0, 2.0, 1.0, 10.0),
+            (0.0, 2.0, 1e-9, 10.0), // near-zero work, tied window
+            (0.0, 3.0, 1e-9, 10.0),
+            (1.0, 3.0, 0.8, 10.0),
+            (1.0, 3.0 + 1e-13, 0.4, 10.0), // deadline tied within 1e-12
+            (2.0, 5.0, 1.5, 10.0),
+        ],
+    )
+    .unwrap();
+    assert_warm_equals_cold(
+        &instance,
+        OaPlanner { speed_factor: 1.0 },
+        AdmitAll,
+        "warm OA (edge)",
+    );
+    // The batch reference agrees too.
+    let batch = OaScheduler.batch_schedule(&instance).expect("batch OA");
+    let warm = OaScheduler.schedule(&instance).expect("warm OA");
+    assert_equivalent(&instance, &batch, &warm, "warm OA vs batch (edge)", 1e-9);
+}
+
+#[test]
+fn pd_persistent_context_equals_rebuild_on_random_workloads() {
+    for seed in 0..6u64 {
+        let machines = 1 + (seed % 3) as usize;
+        let alpha = 1.5 + 0.5 * (seed % 3) as f64;
+        let instance = profitable(5500 + seed, machines, alpha);
+        let scheduler = PdScheduler::default();
+        let mut warm = scheduler.start_for(&instance).expect("incremental PD");
+        let mut cold = OnlinePd::with_options(
+            instance.machines,
+            instance.alpha,
+            scheduler.effective_delta(instance.alpha),
+            scheduler.tol,
+        )
+        .with_rebuild_engine();
+        for id in instance.arrival_order() {
+            let job = instance.job(id);
+            let dw = warm.on_arrival(job, job.release).expect("warm arrival");
+            let dc = cold.on_arrival(job, job.release).expect("cold arrival");
+            assert_eq!(dw.accepted, dc.accepted, "PD decision differs for {id}");
+            assert!(
+                (dw.dual - dc.dual).abs() <= 1e-7 * dc.dual.abs().max(1.0),
+                "PD dual differs for {id}: {} vs {}",
+                dw.dual,
+                dc.dual
+            );
+        }
+        let warm_schedule = warm.finish().expect("warm finish");
+        let cold_schedule = cold.finish().expect("cold finish");
+        assert_equivalent(
+            &instance,
+            &cold_schedule,
+            &warm_schedule,
+            "PD persistent vs rebuild",
+            1e-7,
+        );
     }
 }
