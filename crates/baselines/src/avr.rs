@@ -12,10 +12,26 @@
 //! arrivals using the densities of the jobs known so far.  The one-shot
 //! construction over the full atomic-interval partition is retained as
 //! [`AvrScheduler::batch_schedule`] for the equivalence tests.
+//!
+//! ### The active-set index
+//!
+//! Committing a window only needs the jobs whose availability window
+//! intersects it.  Because arrivals are fed in release order, every stored
+//! job is already released when a window is committed, so the only interior
+//! boundaries are *deadlines* and the relevant jobs are exactly the ones
+//! whose deadline has not passed.  [`AvrState`] therefore keeps a persistent
+//! **active-set index**: released jobs sorted by deadline (descending), with
+//! expired jobs popped from the tail as the committed frontier advances.
+//! Each committed piece touches only the jobs covering it — amortised
+//! `O(active)` per commit, independent of the stream length.  The original
+//! full-history scan survives behind
+//! [`AvrState::with_active_index(false)`](AvrState::with_active_index) as
+//! cross-check and benchmark baseline, mirroring the warm-start toggles of
+//! PD and the replanning executor.
 
 use pss_intervals::IntervalPartition;
 use pss_types::{
-    check_arrival, Decision, Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler, Schedule,
+    check_arrival, num, Decision, Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler, Schedule,
     ScheduleError, Segment,
 };
 
@@ -61,20 +77,111 @@ impl AvrScheduler {
     }
 }
 
+/// One entry of the active-set index: a released job that can still cover a
+/// future commit piece.
+#[derive(Debug, Clone, Copy)]
+struct ActiveJob {
+    deadline: f64,
+    density: f64,
+    id: JobId,
+}
+
 /// One event-driven AVR run.
 #[derive(Debug, Clone)]
 pub struct AvrState {
-    /// Jobs released so far (original ids).
+    /// Jobs released so far (original ids); only read by the full-scan
+    /// reference path.
     jobs: Vec<Job>,
+    /// Released, not-yet-expired jobs sorted by deadline *descending*, so
+    /// expiry pops from the tail and the jobs covering a piece are a prefix.
+    active: Vec<ActiveJob>,
+    /// Largest deadline seen so far (the finish horizon).
+    horizon_end: f64,
+    /// When `true` (the default), commits use the active-set index; when
+    /// `false`, the original full-history scan.
+    indexed: bool,
     committed: Schedule,
     now: f64,
 }
 
 impl AvrState {
+    /// Enables or disables the active-set index.  With `false` every commit
+    /// re-scans the full job history — the pre-index behaviour, kept as the
+    /// baseline the `warm_replan` benchmark and the indexed-vs-scan
+    /// equivalence tests compare against.
+    pub fn with_active_index(mut self, enabled: bool) -> Self {
+        self.indexed = enabled;
+        self
+    }
+
     /// Commits the window `[self.now, to)` using the densities of the jobs
     /// known so far.  Future arrivals have release `≥ to`, so they can never
     /// contribute to this window — the commit is final.
     fn commit_to(&mut self, to: f64) {
+        if self.indexed {
+            self.commit_to_indexed(to);
+        } else {
+            self.commit_to_scan(to);
+        }
+    }
+
+    /// Index-driven commit: the interior cuts are the active deadlines (all
+    /// stored jobs are already released, so releases never cut the window)
+    /// and each piece is covered by a prefix of the deadline-descending
+    /// active set.  Touches only jobs intersecting the window.
+    fn commit_to_indexed(&mut self, to: f64) {
+        if !self.now.is_finite() || to <= self.now + 1e-15 {
+            self.now = self.now.max(to);
+            return;
+        }
+        // Same cut dedup rule as the scan path: chained, 1e-12 apart.
+        let mut cuts: Vec<f64> = vec![self.now];
+        for a in self.active.iter().rev() {
+            if a.deadline > self.now + 1e-12
+                && a.deadline < to - 1e-12
+                && cuts.last().is_none_or(|last| a.deadline - last > 1e-12)
+            {
+                cuts.push(a.deadline);
+            }
+        }
+        cuts.push(to);
+
+        for pair in cuts.windows(2) {
+            let (start, end) = (pair[0], pair[1]);
+            // Covering jobs are the prefix whose deadline reaches `end`
+            // (releases are all <= start already).
+            let covering = self
+                .active
+                .partition_point(|a| num::approx_le(end, a.deadline));
+            let total_speed: f64 = self.active[..covering].iter().map(|a| a.density).sum();
+            if total_speed <= 0.0 {
+                continue;
+            }
+            let mut t = start;
+            for a in &self.active[..covering] {
+                let duration = (end - start) * a.density / total_speed;
+                if duration <= 0.0 {
+                    continue;
+                }
+                self.committed
+                    .push(Segment::work(0, t, t + duration, total_speed, a.id));
+                t += duration;
+            }
+        }
+        self.now = to;
+        // Jobs whose deadline lies definitely before the frontier can never
+        // cover a future piece: drop them so the index stays `O(active)`.
+        while let Some(last) = self.active.last() {
+            if num::definitely_lt(last.deadline, self.now) {
+                self.active.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The original full-history commit, kept as the reference baseline.
+    fn commit_to_scan(&mut self, to: f64) {
         if !self.now.is_finite() || to <= self.now + 1e-15 {
             self.now = self.now.max(to);
             return;
@@ -125,6 +232,19 @@ impl OnlineScheduler for AvrState {
         check_arrival(job, self.now, now)?;
         self.commit_to(now.max(self.now));
         self.jobs.push(*job);
+        // Keep the active set sorted by deadline descending (ties keep
+        // arrival order); expired-on-arrival jobs can still cover nothing,
+        // but inserting them is harmless — the next commit pops them.
+        let pos = self.active.partition_point(|a| a.deadline >= job.deadline);
+        self.active.insert(
+            pos,
+            ActiveJob {
+                deadline: job.deadline,
+                density: job.density(),
+                id: job.id,
+            },
+        );
+        self.horizon_end = self.horizon_end.max(job.deadline);
         Ok(Decision::accept(0.0))
     }
 
@@ -133,13 +253,8 @@ impl OnlineScheduler for AvrState {
     }
 
     fn finish(mut self) -> Result<Schedule, ScheduleError> {
-        let end = self
-            .jobs
-            .iter()
-            .map(|j| j.deadline)
-            .fold(f64::NEG_INFINITY, f64::max);
-        if end.is_finite() {
-            self.commit_to(end);
+        if self.horizon_end.is_finite() {
+            self.commit_to(self.horizon_end);
         }
         Ok(self.committed)
     }
@@ -156,6 +271,9 @@ impl OnlineAlgorithm for AvrScheduler {
         crate::require_single_machine(machines, "AVR", "")?;
         Ok(AvrState {
             jobs: Vec::new(),
+            active: Vec::new(),
+            horizon_end: f64::NEG_INFINITY,
+            indexed: true,
             committed: Schedule::empty(1),
             now: f64::NEG_INFINITY,
         })
@@ -262,5 +380,34 @@ mod tests {
     fn avr_rejects_multi_machine_instances() {
         let inst = Instance::from_tuples(2, 2.0, vec![(0.0, 1.0, 1.0, 1.0)]).unwrap();
         assert!(AvrScheduler.schedule(&inst).is_err());
+    }
+
+    #[test]
+    fn indexed_commits_match_the_full_scan_path() {
+        let inst = instance();
+        let mut indexed = AvrScheduler.start_for(&inst).unwrap();
+        let mut scan = AvrScheduler
+            .start_for(&inst)
+            .unwrap()
+            .with_active_index(false);
+        for id in inst.arrival_order() {
+            let job = inst.job(id);
+            indexed.on_arrival(job, job.release).unwrap();
+            scan.on_arrival(job, job.release).unwrap();
+        }
+        let a = indexed.finish().unwrap();
+        let b = scan.finish().unwrap();
+        assert!((a.cost(&inst).energy - b.cost(&inst).energy).abs() < 1e-9);
+        for t in [0.5, 1.5, 2.5, 3.5, 4.5] {
+            assert!(
+                (a.total_speed_at(t) - b.total_speed_at(t)).abs() < 1e-9,
+                "indexed vs scan profiles differ at t={t}"
+            );
+        }
+        let aw = a.work_per_job(inst.len());
+        let bw = b.work_per_job(inst.len());
+        for j in 0..inst.len() {
+            assert!((aw[j] - bw[j]).abs() < 1e-9, "work differs for job {j}");
+        }
     }
 }

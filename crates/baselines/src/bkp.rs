@@ -30,6 +30,29 @@
 //! horizon, [`OnlineAlgorithm::start_for`] picks the grid; a pure
 //! [`start`](OnlineAlgorithm::start) requires an explicit
 //! [`step`](BkpScheduler::step) width.
+//!
+//! ### The deadline-indexed event path
+//!
+//! The naive `bkp_speed` scan evaluates `v(t)` by enumerating `O(k)`
+//! candidate times `t'` and summing `O(k)` jobs for each — `O(k²)` per grid
+//! step for `k` released jobs.  [`BkpState`] instead keeps a resident
+//! `BkpSpeedIndex` across arrivals: released jobs sorted by deadline and
+//! by release (new arrivals buffered and lazily merged, `O(1)` per
+//! arrival).  For a query at time `t`, every job `j` has a *key*
+//! `max(d_j, (e·t − r_j)/(e−1))` — the first candidate at which it is
+//! counted — and the supremum of `w/(e·(t'−t))` is attained at the keys.
+//! Splitting jobs into deadline-keyed and crossing-keyed groups (monotone
+//! in `e·t`, so the split is a per-job predicate), the two presorted lists
+//! yield all keys in ascending order by a single merge, and one prefix-sum
+//! sweep evaluates every candidate — `O(k)` per grid evaluation, with no
+//! per-candidate rescan.  EDF dispatch inside a step similarly replaces its
+//! full-history scan with a lazy min-deadline heap.  Both fast paths can be
+//! disabled via [`BkpState::with_indexed_events(false)`](BkpState::with_indexed_events),
+//! which restores the original scans as cross-check and bench baseline;
+//! [`BkpScheduler::batch_schedule`] keeps using the naive scan, so the
+//! equivalence tests pin the index against an independent implementation.
+
+use std::collections::BinaryHeap;
 
 use pss_types::{
     check_arrival, num, Decision, Instance, Job, OnlineAlgorithm, OnlineScheduler, Schedule,
@@ -96,6 +119,195 @@ fn bkp_speed(jobs: &[Job], t: f64) -> f64 {
         v = v.max(work / (e * (t2 - t)));
     }
     e * v
+}
+
+/// One job as the speed index sees it: `phi = r + (e−1)·d` decides whether
+/// the job's key at query time `t` is its deadline (`phi ≥ e·t`) or its
+/// release-crossing `(e·t − r)/(e−1)` (`phi < e·t`) — the job's key is the
+/// maximum of the two, and `phi` compares them without recomputing either.
+#[derive(Debug, Clone, Copy)]
+struct IndexedJob {
+    release: f64,
+    deadline: f64,
+    work: f64,
+    phi: f64,
+}
+
+impl IndexedJob {
+    fn new(job: &Job) -> Self {
+        let e = std::f64::consts::E;
+        Self {
+            release: job.release,
+            deadline: job.deadline,
+            work: job.work,
+            phi: job.release + (e - 1.0) * job.deadline,
+        }
+    }
+}
+
+/// The resident deadline/release index behind the incremental BKP speed
+/// evaluation.
+///
+/// `speed(t)` is mathematically identical to `bkp_speed` on the inserted
+/// jobs (the supremum over candidate times is attained at the per-job keys,
+/// which the two presorted lists enumerate in ascending order; jobs not yet
+/// released at `t` — possible within the arrival-order tolerance when a job
+/// is fed slightly early — are filtered during the sweep exactly like the
+/// scan's release filter), but costs a single `O(k)` merge-and-sweep
+/// instead of the naive `O(k²)` candidate × rescan loop.
+///
+/// Cost model: `O(1)` buffering per arrival; each grid *evaluation* is one
+/// `O(k)` sweep over every job released so far (the BKP work term never
+/// forgets old jobs), so per-arrival cost is amortised-flat on streams
+/// whose grid advances slower than arrivals, while tail latencies grow
+/// slowly with the history — see the ROADMAP open item on pruning.
+#[derive(Debug, Clone, Default)]
+struct BkpSpeedIndex {
+    /// Merged jobs sorted by deadline ascending (ties arbitrary).
+    by_deadline: Vec<IndexedJob>,
+    /// Merged jobs sorted by release *descending* — ascending crossing-key
+    /// order for any query time.
+    by_release: Vec<IndexedJob>,
+    /// Arrivals not yet merged into the sorted lists.
+    fresh: Vec<IndexedJob>,
+}
+
+impl BkpSpeedIndex {
+    /// Buffers a newly released job (merged lazily at the next evaluation).
+    fn insert(&mut self, job: &Job) {
+        self.fresh.push(IndexedJob::new(job));
+    }
+
+    /// Merges the buffered arrivals into both sorted lists.
+    fn merge_fresh(&mut self) {
+        if self.fresh.is_empty() {
+            return;
+        }
+        self.fresh.sort_by(|a, b| a.deadline.total_cmp(&b.deadline));
+        merge_sorted(&mut self.by_deadline, &self.fresh, |a, b| {
+            a.deadline <= b.deadline
+        });
+        self.fresh.sort_by(|a, b| b.release.total_cmp(&a.release));
+        merge_sorted(&mut self.by_release, &self.fresh, |a, b| {
+            a.release >= b.release
+        });
+        self.fresh.clear();
+    }
+
+    /// The BKP speed `e·v(t)` over the inserted jobs.
+    fn speed(&mut self, t: f64) -> f64 {
+        self.merge_fresh();
+        let e = std::f64::consts::E;
+        let et = e * t;
+        let a = &self.by_deadline;
+        let b = &self.by_release;
+        let (mut ai, mut bi) = (0usize, 0usize);
+        let mut sum = 0.0_f64;
+        let mut v = 0.0_f64;
+        loop {
+            // Next deadline-keyed job (phi ≥ e·t) and next crossing-keyed
+            // job (phi < e·t); the other group is skipped in each list.
+            while ai < a.len() && a[ai].phi < et {
+                ai += 1;
+            }
+            while bi < b.len() && b[bi].phi >= et {
+                bi += 1;
+            }
+            let ka = (ai < a.len()).then(|| a[ai].deadline);
+            let kb = (bi < b.len()).then(|| (et - b[bi].release) / (e - 1.0));
+            // Consume the smaller key.  Evaluating after every single job is
+            // sound even for tied keys: the last evaluation at a key sees
+            // the full prefix sum, earlier ones are dominated by it.
+            let (job, key) = match (ka, kb) {
+                (None, None) => break,
+                (Some(ka), None) => {
+                    ai += 1;
+                    (&a[ai - 1], ka)
+                }
+                (None, Some(kb)) => {
+                    bi += 1;
+                    (&b[bi - 1], kb)
+                }
+                (Some(ka), Some(kb)) => {
+                    if ka <= kb {
+                        ai += 1;
+                        (&a[ai - 1], ka)
+                    } else {
+                        bi += 1;
+                        (&b[bi - 1], kb)
+                    }
+                }
+            };
+            // The scan's release filter: a job fed early (within the
+            // arrival-order tolerance) and not released by `t` contributes
+            // neither work nor a candidate.
+            if job.release > t + 1e-12 {
+                continue;
+            }
+            sum += job.work;
+            if key > t {
+                v = v.max(sum / (e * (key - t)));
+            }
+        }
+        e * v
+    }
+}
+
+/// Merges the presorted `fresh` run into the presorted `base` list in one
+/// backward pass (`le(a, b)` = "a may precede b").
+fn merge_sorted<F: Fn(&IndexedJob, &IndexedJob) -> bool>(
+    base: &mut Vec<IndexedJob>,
+    fresh: &[IndexedJob],
+    le: F,
+) {
+    let mut merged = Vec::with_capacity(base.len() + fresh.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < base.len() && j < fresh.len() {
+        if le(&base[i], &fresh[j]) {
+            merged.push(base[i]);
+            i += 1;
+        } else {
+            merged.push(fresh[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&base[i..]);
+    merged.extend_from_slice(&fresh[j..]);
+    *base = merged;
+}
+
+/// Entry of the lazy EDF queue: ordered so the max-heap pops the smallest
+/// `(deadline, job)` — exactly the first minimum the scan's `min_by` picks.
+#[derive(Debug, Clone, Copy)]
+struct EdfEntry {
+    deadline: f64,
+    /// Dense index into [`BkpState::jobs`].
+    job: usize,
+}
+
+impl PartialEq for EdfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for EdfEntry {}
+
+impl PartialOrd for EdfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EdfEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline
+        // (ties: smallest index) on top.
+        other
+            .deadline
+            .total_cmp(&self.deadline)
+            .then(other.job.cmp(&self.job))
+    }
 }
 
 impl BkpScheduler {
@@ -192,11 +404,69 @@ pub struct BkpState {
     /// loop.
     step_idle: bool,
     inflight: Option<Inflight>,
+    /// When `true` (the default), grid evaluations use the resident
+    /// deadline/release index and EDF dispatch the lazy heap; when `false`,
+    /// the original full-history scans.
+    indexed: bool,
+    /// Resident speed index over the released jobs.
+    index: BkpSpeedIndex,
+    /// Lazy EDF queue over the released jobs (finished/expired entries are
+    /// discarded at peek time; they can never become eligible again).
+    edf: BinaryHeap<EdfEntry>,
 }
 
 impl BkpState {
+    /// Enables or disables the indexed event path (speed index + EDF heap).
+    /// With `false` every grid evaluation and every dispatch re-scans the
+    /// full job history — the pre-index behaviour, kept as the baseline the
+    /// `warm_replan` benchmark and the indexed-vs-scan equivalence tests
+    /// compare against.
+    pub fn with_indexed_events(mut self, enabled: bool) -> Self {
+        self.indexed = enabled;
+        self
+    }
+
     fn step_start(&self, anchor: f64) -> f64 {
         anchor + self.step_idx as f64 * self.dt
+    }
+
+    /// The earliest-deadline eligible job at `self.now`, by scanning the
+    /// full history — the original dispatch rule, used by the non-indexed
+    /// path and as the rare-edge fallback of the heap.
+    fn scan_next(&self) -> Option<usize> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(j, job)| {
+                self.remaining[*j] > 1e-12
+                    && job.release <= self.now + 1e-12
+                    && job.deadline > self.now
+            })
+            .min_by(|(_, a), (_, b)| a.deadline.total_cmp(&b.deadline))
+            .map(|(j, _)| j)
+    }
+
+    /// The earliest-deadline eligible job at `self.now`, via the lazy heap
+    /// (equivalent to [`scan_next`](Self::scan_next), including its
+    /// first-minimum tie-break).
+    fn edf_peek(&mut self) -> Option<usize> {
+        while let Some(entry) = self.edf.peek() {
+            let j = entry.job;
+            if self.remaining[j] <= 1e-12 || self.jobs[j].deadline <= self.now {
+                // Finished or expired: permanently ineligible, drop it.
+                self.edf.pop();
+                continue;
+            }
+            if self.jobs[j].release > self.now + 1e-12 {
+                // Fed early (within the arrival tolerance) and not released
+                // yet at dispatch time: it may become eligible later, so it
+                // cannot be popped — fall back to the scan for this
+                // dispatch.
+                return self.scan_next();
+            }
+            return Some(j);
+        }
+        None
     }
 
     /// Executes the grid over `[self.now, to)`.
@@ -217,9 +487,18 @@ impl BkpState {
             }
             // The speed of a step is fixed at its start time, from the jobs
             // released by then — later arrivals never change it.
-            let speed = *self
-                .step_speed
-                .get_or_insert_with(|| bkp_speed(&self.jobs, step_start) * self.speed_margin);
+            let speed = match self.step_speed {
+                Some(s) => s,
+                None => {
+                    let s = if self.indexed {
+                        self.index.speed(step_start) * self.speed_margin
+                    } else {
+                        bkp_speed(&self.jobs, step_start) * self.speed_margin
+                    };
+                    self.step_speed = Some(s);
+                    s
+                }
+            };
             let stop = step_end.min(to);
 
             if speed <= 0.0 || self.step_idle {
@@ -231,22 +510,18 @@ impl BkpState {
                     let fl = match self.inflight {
                         Some(fl) => fl,
                         None => {
-                            let next = self
-                                .jobs
-                                .iter()
-                                .enumerate()
-                                .filter(|(j, job)| {
-                                    self.remaining[*j] > 1e-12
-                                        && job.release <= self.now + 1e-12
-                                        && job.deadline > self.now
-                                })
-                                .min_by(|(_, a), (_, b)| a.deadline.total_cmp(&b.deadline));
-                            let Some((j, job)) = next else {
+                            let next = if self.indexed {
+                                self.edf_peek()
+                            } else {
+                                self.scan_next()
+                            };
+                            let Some(j) = next else {
                                 // Batch `break`: the rest of the step idles,
                                 // even past arrivals landing inside it.
                                 self.step_idle = true;
                                 break;
                             };
+                            let job = self.jobs[j];
                             let max_dur = (self.remaining[j] / speed)
                                 .min(step_end - self.now)
                                 .min(job.deadline - self.now);
@@ -302,6 +577,11 @@ impl OnlineScheduler for BkpState {
             let to = now.max(self.now);
             self.advance_to(to);
         }
+        self.edf.push(EdfEntry {
+            deadline: job.deadline,
+            job: self.jobs.len(),
+        });
+        self.index.insert(job);
         self.jobs.push(*job);
         self.remaining.push(job.work);
         Ok(Decision::accept(0.0))
@@ -357,6 +637,9 @@ impl OnlineAlgorithm for BkpScheduler {
             step_speed: None,
             step_idle: false,
             inflight: None,
+            indexed: true,
+            index: BkpSpeedIndex::default(),
+            edf: BinaryHeap::new(),
         })
     }
 
@@ -387,6 +670,9 @@ impl OnlineAlgorithm for BkpScheduler {
             step_speed: None,
             step_idle: false,
             inflight: None,
+            indexed: true,
+            index: BkpSpeedIndex::default(),
+            edf: BinaryHeap::new(),
         })
     }
 }
@@ -516,5 +802,80 @@ mod tests {
     fn bkp_requires_single_machine() {
         let inst = Instance::from_tuples(2, 2.0, vec![(0.0, 1.0, 1.0, 1.0)]).unwrap();
         assert!(BkpScheduler::default().schedule(&inst).is_err());
+    }
+
+    /// Deterministic pseudo-random stream for the index pin tests.
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    #[test]
+    fn speed_index_matches_the_naive_scan_at_increasing_times() {
+        let mut state = 11u64;
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut release = 0.0;
+        for i in 0..120 {
+            release += 0.3 * lcg(&mut state);
+            let window = 0.2 + 3.0 * lcg(&mut state);
+            jobs.push(Job::new(
+                i,
+                release,
+                release + window,
+                0.1 + 2.0 * lcg(&mut state),
+                1.0,
+            ));
+        }
+        let mut index = BkpSpeedIndex::default();
+        let mut inserted = 0usize;
+        let mut t = 0.0;
+        while t < release + 4.0 {
+            // Insert jobs up to 0.1 *before* their release passes `t`, like
+            // a run fed within the arrival-order tolerance: the index's
+            // sweep-time release filter must exclude them exactly like the
+            // naive scan's.
+            while inserted < jobs.len() && jobs[inserted].release <= t + 0.1 {
+                index.insert(&jobs[inserted]);
+                inserted += 1;
+            }
+            let fast = index.speed(t);
+            let naive = bkp_speed(&jobs[..inserted], t);
+            assert!(
+                (fast - naive).abs() <= 1e-9 * naive.max(1.0),
+                "speeds differ at t={t}: index {fast} vs scan {naive}"
+            );
+            t += 0.17;
+        }
+    }
+
+    #[test]
+    fn indexed_events_match_the_full_scan_path() {
+        let inst = instance();
+        let algo = BkpScheduler {
+            resolution: 600,
+            ..Default::default()
+        };
+        let mut indexed = algo.start_for(&inst).unwrap();
+        let mut scan = algo.start_for(&inst).unwrap().with_indexed_events(false);
+        for id in inst.arrival_order() {
+            let job = inst.job(id);
+            indexed.on_arrival(job, job.release).unwrap();
+            scan.on_arrival(job, job.release).unwrap();
+        }
+        let a = indexed.finish().unwrap();
+        let b = scan.finish().unwrap();
+        assert!(
+            (a.cost(&inst).energy - b.cost(&inst).energy).abs()
+                < 1e-9 * b.cost(&inst).energy.max(1.0)
+        );
+        for i in 0..60 {
+            let t = 0.05 + i as f64 * 0.1;
+            assert!(
+                (a.speed_at(0, t) - b.speed_at(0, t)).abs() < 1e-9,
+                "indexed vs scan profiles differ at t={t}"
+            );
+        }
     }
 }

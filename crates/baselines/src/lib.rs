@@ -29,6 +29,24 @@
 //! CLL) share the incremental replanning executor in [`replan`], which
 //! enforces the online information model: plans may only depend on jobs
 //! released so far and on the remaining (unprocessed) work.
+//!
+//! Every arrival path avoids rebuild-per-arrival work: the per-arrival
+//! cost depends on the active set — except BKP's grid evaluation, which
+//! is one `O(released)` sweep (its work term never forgets old jobs), so
+//! BKP is amortised-flat per arrival but its tail latencies grow slowly
+//! with the history.  OA, qOA
+//! and CLL warm-start their left-aligned YDS replans
+//! (`pss_offline::incremental` via [`replan::PlanCache`]); multiprocessor
+//! OA seeds `pss_convex::solve_min_energy_warm` with the previous
+//! coordinate-descent solution ([`oa::MultiOaWarm`]); AVR commits through a
+//! deadline-sorted active-set index ([`avr::AvrState`]); and BKP keeps a
+//! resident deadline/release speed index plus a lazy EDF heap
+//! ([`bkp::BkpState`]).  Each fast path has a toggle
+//! (`with_warm_start(false)`, `with_active_index(false)`,
+//! `with_indexed_events(false)`) restoring the original
+//! rebuild-or-rescan-per-arrival behaviour as cross-check and benchmark
+//! baseline, and the `incremental_equivalence` integration tests pin the
+//! fast and slow paths against each other.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

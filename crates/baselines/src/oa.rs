@@ -9,7 +9,8 @@
 //! are retained as `batch_schedule` reference paths for the equivalence
 //! tests.
 
-use pss_convex::{solve_min_energy_with, ProgramContext, SolverOptions};
+use pss_convex::{solve_min_energy_warm, solve_min_energy_with, ProgramContext, SolverOptions};
+use pss_intervals::WorkAssignment;
 use pss_offline::incremental::{IncrementalYds, PlanItem};
 use pss_offline::yds::yds_schedule;
 use pss_types::{Instance, Job, OnlineAlgorithm, Schedule, ScheduleError};
@@ -182,10 +183,38 @@ impl OnlineAlgorithm for QoaScheduler {
 
 /// Planner replanning with the *multiprocessor* offline optimum (coordinate
 /// descent on the convex program, realised by Chen et al.'s algorithm).
+///
+/// Through [`Planner::plan_warm`] the planner keeps the previous replan's
+/// solution in the run's [`PlanCache`] (as [`MultiOaWarm`]) and seeds
+/// [`solve_min_energy_warm`] with it, remapped onto the new partition: when
+/// an arrival adds one job, the descent converges in a few passes instead of
+/// re-solving the convex program from scratch.
+/// [`ReplanState::with_warm_start(false)`](crate::replan::ReplanState::with_warm_start)
+/// restores the from-scratch behaviour as cross-check and bench baseline.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiOaPlanner {
     /// Convex solver options used for every replanning step.
     pub options: SolverOptions,
+}
+
+impl MultiOaPlanner {
+    /// Builds the replanning sub-instance and its program context for the
+    /// pending jobs at time `now` (dense ids are pending positions).
+    fn context(
+        &self,
+        env: &OnlineEnv,
+        now: f64,
+        pending: &[PendingJob],
+    ) -> Result<ProgramContext, ScheduleError> {
+        let jobs: Vec<Job> = pending
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.as_job_at(now, i))
+            .collect();
+        let sub = Instance::from_jobs(env.machines, env.alpha, jobs)
+            .map_err(|e| ScheduleError::Internal(e.to_string()))?;
+        Ok(ProgramContext::new(&sub))
+    }
 }
 
 impl Planner for MultiOaPlanner {
@@ -202,16 +231,142 @@ impl Planner for MultiOaPlanner {
         if pending.is_empty() {
             return Ok(Schedule::empty(env.machines));
         }
-        let jobs: Vec<Job> = pending
-            .iter()
-            .enumerate()
-            .map(|(i, p)| p.as_job_at(now, i))
-            .collect();
-        let sub = Instance::from_jobs(env.machines, env.alpha, jobs)
-            .map_err(|e| ScheduleError::Internal(e.to_string()))?;
-        let ctx = ProgramContext::new(&sub);
+        let ctx = self.context(env, now, pending)?;
         let sol = solve_min_energy_with(&ctx, &self.options);
         Ok(ctx.realize_schedule(&sol.assignment))
+    }
+
+    /// Warm-started replan: seed coordinate descent from the previous
+    /// solution (kept in the cache keyed by original job id, remapped onto
+    /// the current partition by time overlap), then record the new solution
+    /// and its convergence statistics back into the cache.
+    fn plan_warm(
+        &self,
+        env: &OnlineEnv,
+        now: f64,
+        pending: &[PendingJob],
+        cache: &mut PlanCache,
+    ) -> Result<Schedule, ScheduleError> {
+        let warm = cache.multi.get_or_insert_with(MultiOaWarm::default);
+        if pending.is_empty() {
+            warm.rows.clear();
+            return Ok(Schedule::empty(env.machines));
+        }
+        let ctx = self.context(env, now, pending)?;
+        let seed = warm.seed_for(&ctx, pending);
+        let sol = match &seed {
+            Some(seed) => solve_min_energy_warm(&ctx, &self.options, seed),
+            None => solve_min_energy_with(&ctx, &self.options),
+        };
+        warm.record(&ctx, pending, &sol.assignment);
+        warm.replans += 1;
+        warm.total_passes += sol.passes;
+        if seed.is_some() {
+            warm.seeded_replans += 1;
+        }
+        if sol.converged {
+            warm.converged_replans += 1;
+        }
+        Ok(ctx.realize_schedule(&sol.assignment))
+    }
+}
+
+/// One job's positive assignment pieces, as `(start, end, fraction)` over
+/// time.
+type FractionPieces = Vec<(f64, f64, f64)>;
+
+/// Warm-start state of [`MultiOaPlanner`], carried in the run's
+/// [`PlanCache`]: the previous coordinate-descent solution as per-job
+/// fraction profiles over *time* (so it can be remapped onto the next
+/// replan's partition, whose boundaries shift with `now` and the pending
+/// set), plus convergence statistics for benchmarks and E12.
+#[derive(Debug, Clone, Default)]
+pub struct MultiOaWarm {
+    /// Per pending job of the previous replan: the job's stable key (its
+    /// original id) and its positive `(start, end, fraction)` pieces.
+    rows: Vec<(usize, FractionPieces)>,
+    /// Number of warm replans performed.
+    pub replans: usize,
+    /// Total coordinate-descent passes across all replans.
+    pub total_passes: usize,
+    /// Replans that were actually seeded from a previous solution.
+    pub seeded_replans: usize,
+    /// Replans whose descent converged below the energy tolerance.
+    pub converged_replans: usize,
+}
+
+impl MultiOaWarm {
+    /// Mean coordinate-descent passes per replan (0 before the first).
+    pub fn mean_passes(&self) -> f64 {
+        if self.replans == 0 {
+            0.0
+        } else {
+            self.total_passes as f64 / self.replans as f64
+        }
+    }
+
+    /// Remaps the previous solution onto the context's partition: every
+    /// job's old fraction pieces are spread over the new intervals
+    /// proportionally to time overlap and renormalised to a full
+    /// assignment.  Returns `None` when no pending job has a previous row
+    /// (the first replan).
+    fn seed_for(&self, ctx: &ProgramContext, pending: &[PendingJob]) -> Option<WorkAssignment> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let partition = ctx.partition();
+        let mut seed = WorkAssignment::zeros(ctx.n_jobs(), partition.len());
+        let mut seeded_any = false;
+        for (i, p) in pending.iter().enumerate() {
+            let Some((_, pieces)) = self.rows.iter().find(|(key, _)| *key == p.id.index()) else {
+                continue;
+            };
+            let mut total = 0.0;
+            for &k in ctx.covered(i) {
+                let iv = partition.interval(k);
+                let mut frac = 0.0;
+                for &(ps, pe, f) in pieces {
+                    let overlap = iv.end.min(pe) - iv.start.max(ps);
+                    if overlap > 0.0 && pe > ps {
+                        frac += f * overlap / (pe - ps);
+                    }
+                }
+                if frac > 0.0 {
+                    seed.set(i, k, frac);
+                    total += frac;
+                }
+            }
+            if total > 1e-9 {
+                // Renormalise: the seed should fully assign the job's
+                // *remaining* work (the executed prefix fell before `now`).
+                let scale = 1.0 / total;
+                for &k in ctx.covered(i) {
+                    let f = seed.get(i, k);
+                    if f > 0.0 {
+                        seed.set(i, k, f * scale);
+                    }
+                }
+                seeded_any = true;
+            }
+        }
+        seeded_any.then_some(seed)
+    }
+
+    /// Stores the new solution's positive pieces, keyed by original job id.
+    fn record(&mut self, ctx: &ProgramContext, pending: &[PendingJob], x: &WorkAssignment) {
+        self.rows.clear();
+        let partition = ctx.partition();
+        for (i, p) in pending.iter().enumerate() {
+            let mut pieces = Vec::new();
+            for &k in ctx.covered(i) {
+                let f = x.get(i, k);
+                if f > 0.0 {
+                    let iv = partition.interval(k);
+                    pieces.push((iv.start, iv.end, f));
+                }
+            }
+            self.rows.push((p.id.index(), pieces));
+        }
     }
 }
 

@@ -100,6 +100,12 @@ pub struct PlanCache {
     /// plans cost an `O(k)` merge + staircase pass instead of a fresh
     /// `O(k³)` critical-interval search.
     pub yds: Option<pss_offline::IncrementalYds>,
+    /// Warm multiprocessor-OA state: the previous coordinate-descent
+    /// solution (per pending job, as a fraction profile over its old
+    /// intervals) plus convergence statistics.  [`crate::oa::MultiOaPlanner`]
+    /// remaps it onto the next replan's partition and seeds
+    /// `pss_convex::solve_min_energy_warm` with it.
+    pub multi: Option<crate::oa::MultiOaWarm>,
 }
 
 /// A planning rule: given the current time and the pending jobs, produce a
@@ -121,13 +127,16 @@ pub trait Planner {
     /// Warm-started replan: like [`plan`](Self::plan), but may reuse state
     /// in `cache` carried over from the previous replanning step of the same
     /// run (e.g. the previous YDS solution, of which the new arrival only
-    /// perturbs a part).
+    /// perturbs a part, or the previous coordinate-descent assignment the
+    /// multiprocessor planner seeds its solver with).
     ///
     /// Implementations must produce a schedule *equivalent* to
     /// [`plan`](Self::plan) — same speeds, same per-job works — on every
-    /// input; the `incremental_equivalence` integration tests pin this on
-    /// random workloads.  The default ignores the cache and falls back to
-    /// the from-scratch plan.
+    /// input, up to the planner's own numeric tolerance (exact for the
+    /// combinatorial single-machine planners; solver-accuracy for the
+    /// iterative multiprocessor one).  The `incremental_equivalence`
+    /// integration tests pin this on random workloads.  The default ignores
+    /// the cache and falls back to the from-scratch plan.
     fn plan_warm(
         &self,
         env: &OnlineEnv,
@@ -237,6 +246,16 @@ impl<P: Planner, A: AdmissionPolicy> ReplanState<P, A> {
     /// The jobs currently admitted and unfinished.
     pub fn pending(&self) -> &[PendingJob] {
         &self.pending
+    }
+
+    /// The warm-start cache carried across this run's replans (read-only).
+    ///
+    /// Benchmarks and the E12 streaming experiment read the solver
+    /// statistics recorded here (e.g. coordinate-descent pass counts of the
+    /// multiprocessor-OA planner) to make warm-start convergence visible in
+    /// the results.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
     }
 
     /// Executes the current plan over `[self.now, to)` and drops finished or

@@ -1,6 +1,8 @@
-//! Criterion bench: warm-started incremental arrivals vs the
-//! rebuild-per-arrival baseline, for OA (the replanning executor) and PD
-//! (the persistent planning context).
+//! Criterion bench: warm-started / indexed incremental arrivals vs the
+//! rebuild-or-rescan-per-arrival baselines, for every algorithm with a fast
+//! arrival path — OA and OA(m) (the replanning executor), PD (the
+//! persistent planning context), AVR (the active-set index) and BKP (the
+//! resident speed index + lazy EDF heap).
 //!
 //! The workload is a Poisson stream with a bounded active set, so the
 //! per-arrival cost of the warm paths stays flat as the stream grows while
@@ -8,16 +10,17 @@
 //! is the *total arrival-processing time* of feeding the whole stream to a
 //! fresh run (no `finish`, no validation) — the serving-path metric.
 //!
-//! The rebuild-per-arrival PD baseline is quadratic per arrival and cannot
-//! reasonably run at `n = 10_000`; it is benched at a smaller size where the
-//! comparison is already decisive (the E12 experiment tabulates the same
-//! speedup).  Set `WARM_REPLAN_SMOKE=1` to shrink every size for CI smoke
-//! runs.
+//! The rebuild/rescan baselines are quadratic (or worse) per stream and
+//! cannot reasonably run at `n = 10_000`; they are benched at smaller sizes
+//! where the comparison is already decisive (the E12 experiment tabulates
+//! the same speedups).  Set `WARM_REPLAN_SMOKE=1` to shrink every size for
+//! CI smoke runs — the smoke step covers all five algorithm groups, so a
+//! regression in any fast arrival path fails CI.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use pss_bench::experiments::streaming::stream_instance;
-use pss_core::baselines::oa::OaPlanner;
+use pss_bench::experiments::streaming::{stream_instance, stream_instance_on};
+use pss_core::baselines::oa::{MultiOaPlanner, OaPlanner};
 use pss_core::baselines::replan::{AdmitAll, OnlineEnv, ReplanState};
 use pss_core::prelude::*;
 
@@ -95,5 +98,116 @@ fn bench_pd_arrivals(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_oa_arrivals, bench_pd_arrivals);
+fn bench_avr_arrivals(c: &mut Criterion) {
+    let indexed_sizes: &[usize] = if smoke() { &[200] } else { &[2000, 10000] };
+    let scan_sizes: &[usize] = if smoke() { &[200] } else { &[1000, 2000] };
+    let mut group = c.benchmark_group("avr_arrivals");
+    group.sample_size(10);
+    for &n in indexed_sizes {
+        let inst = stream_instance(n, 7100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &inst, |b, inst| {
+            b.iter(|| {
+                let run = AvrScheduler.start_for(inst).expect("AVR run");
+                std::hint::black_box(feed_all(run, inst))
+            })
+        });
+    }
+    for &n in scan_sizes {
+        let inst = stream_instance(n, 7100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("full_scan", n), &inst, |b, inst| {
+            b.iter(|| {
+                let run = AvrScheduler
+                    .start_for(inst)
+                    .expect("AVR run")
+                    .with_active_index(false);
+                std::hint::black_box(feed_all(run, inst))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bkp_arrivals(c: &mut Criterion) {
+    let indexed_sizes: &[usize] = if smoke() { &[200] } else { &[2000, 10000] };
+    let scan_sizes: &[usize] = if smoke() { &[200] } else { &[500, 1000] };
+    let algo = BkpScheduler::default();
+    let mut group = c.benchmark_group("bkp_arrivals");
+    group.sample_size(10);
+    for &n in indexed_sizes {
+        let inst = stream_instance(n, 7100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &inst, |b, inst| {
+            b.iter(|| {
+                let run = algo.start_for(inst).expect("BKP run");
+                std::hint::black_box(feed_all(run, inst))
+            })
+        });
+    }
+    for &n in scan_sizes {
+        let inst = stream_instance(n, 7100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("full_scan", n), &inst, |b, inst| {
+            b.iter(|| {
+                let run = algo
+                    .start_for(inst)
+                    .expect("BKP run")
+                    .with_indexed_events(false);
+                std::hint::black_box(feed_all(run, inst))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn multi_oa_run(machines: usize, alpha: f64, warm: bool) -> ReplanState<MultiOaPlanner, AdmitAll> {
+    ReplanState::new(
+        MultiOaPlanner {
+            options: Default::default(),
+        },
+        AdmitAll,
+        OnlineEnv { machines, alpha },
+    )
+    .with_warm_start(warm)
+}
+
+fn bench_multi_oa_arrivals(c: &mut Criterion) {
+    // The convex replanner is much heavier per arrival than the
+    // single-machine planners, so the sizes are smaller; warm and
+    // from-scratch run the same sizes — the speedup is per-replan (descent
+    // passes), not asymptotic in the history.
+    let sizes: &[usize] = if smoke() { &[60] } else { &[300, 600] };
+    let mut group = c.benchmark_group("multi_oa_arrivals");
+    group.sample_size(10);
+    for &machines in &[1usize, 2] {
+        for &n in sizes {
+            let inst = stream_instance_on(machines, n, 7100 + n as u64);
+            let label = |kind: &str| format!("{kind}/m{machines}");
+            group.bench_with_input(BenchmarkId::new(label("warm"), n), &inst, |b, inst| {
+                b.iter(|| {
+                    std::hint::black_box(feed_all(multi_oa_run(machines, inst.alpha, true), inst))
+                })
+            });
+            group.bench_with_input(
+                BenchmarkId::new(label("from_scratch"), n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        std::hint::black_box(feed_all(
+                            multi_oa_run(machines, inst.alpha, false),
+                            inst,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_oa_arrivals,
+    bench_pd_arrivals,
+    bench_avr_arrivals,
+    bench_bkp_arrivals,
+    bench_multi_oa_arrivals
+);
 criterion_main!(benches);

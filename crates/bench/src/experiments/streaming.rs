@@ -1,17 +1,20 @@
 //! E12 — streaming arrival latency: per-arrival handling time percentiles
-//! (p50/p95/p99) versus stream length for the event-driven online
-//! algorithms, driven through [`StreamingSimulation`], plus the
-//! warm-started-vs-rebuild arrival-processing speedup.
+//! (p50/p95/p99) versus stream length for *all* the event-driven online
+//! algorithms (PD, OA, qOA, OA(m), CLL, AVR, BKP), driven through
+//! [`StreamingSimulation`], plus the warm-started/indexed-vs-rebuild
+//! arrival-processing speedups and the OA(m) coordinate-descent
+//! convergence statistics.
 //!
 //! The workload is a Poisson arrival stream with a bounded active set (the
 //! regime a long-running scheduler actually serves), so the stream length
 //! `n` grows while the instantaneous load stays fixed — per-arrival latency
 //! then measures how the *history* size affects the arrival step.  With the
-//! persistent planning contexts this cost is flat; the rebuild-per-arrival
-//! baselines degrade with `n`.
+//! persistent planning contexts and the AVR/BKP event indices this cost is
+//! flat; the rebuild/rescan-per-arrival baselines degrade with `n`.
 
 use std::time::Instant;
 
+use pss_core::baselines::oa::MultiOaPlanner;
 use pss_core::baselines::replan::{AdmitAll, OnlineEnv, ReplanState};
 use pss_core::prelude::*;
 use pss_metrics::table::fmt_f64;
@@ -24,9 +27,16 @@ use crate::support::check;
 
 /// A Poisson stream of `n` jobs with a bounded active set (~10 jobs).
 pub fn stream_instance(n: usize, seed: u64) -> Instance {
+    stream_instance_on(1, n, seed)
+}
+
+/// [`stream_instance`] over an explicit machine count (the multiprocessor
+/// planner is benched on `m > 1` too, where the convex program's
+/// cross-machine coupling makes warm convergence genuinely harder).
+pub fn stream_instance_on(machines: usize, n: usize, seed: u64) -> Instance {
     RandomConfig {
         n_jobs: n,
-        machines: 1,
+        machines,
         alpha: 2.5,
         arrival: ArrivalModel::Poisson { rate: 4.0 },
         value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
@@ -74,17 +84,29 @@ pub fn run(quick: bool) -> ExperimentOutput {
         let instance = stream_instance(n, 9100 + n as u64);
         let pd = PdScheduler::coarse();
         let oa = OaScheduler;
+        let qoa = QoaScheduler::default();
+        let multi_oa = MultiOaScheduler::default();
         let cll = CllScheduler;
         let avr = AvrScheduler;
+        let bkp = BkpScheduler::default();
         let runs: Vec<pss_sim::StreamReport> = vec![
             StreamingSimulation.run(&pd, &instance).expect("PD stream"),
             StreamingSimulation.run(&oa, &instance).expect("OA stream"),
+            StreamingSimulation
+                .run(&qoa, &instance)
+                .expect("qOA stream"),
+            StreamingSimulation
+                .run(&multi_oa, &instance)
+                .expect("OA(m) stream"),
             StreamingSimulation
                 .run(&cll, &instance)
                 .expect("CLL stream"),
             StreamingSimulation
                 .run(&avr, &instance)
                 .expect("AVR stream"),
+            StreamingSimulation
+                .run(&bkp, &instance)
+                .expect("BKP stream"),
         ];
         for stream in runs {
             let (p50, p95, p99) = (
@@ -109,11 +131,19 @@ pub fn run(quick: bool) -> ExperimentOutput {
         }
     }
 
-    // Warm-started vs rebuild-per-arrival total arrival-processing time, at
-    // a size the (quadratic-per-arrival) rebuild paths can still handle.
-    let (oa_n, pd_n) = if quick { (120, 100) } else { (1500, 600) };
+    // Warm-started/indexed vs rebuild-per-arrival total arrival-processing
+    // time, at sizes the (quadratic-per-arrival or worse) rebuild paths can
+    // still handle.
+    // OA(m)'s warm-start overhead (remap + seed pricing) only amortises
+    // once the pending sets reach their steady-state size, so its quick
+    // size is not scaled down as aggressively as the others.
+    let (oa_n, pd_n, avr_n, bkp_n, moa_n) = if quick {
+        (120, 100, 120, 80, 150)
+    } else {
+        (1500, 600, 1500, 600, 400)
+    };
     let mut speedup = Table::new(
-        "Warm-started vs rebuild-per-arrival arrival processing",
+        "Warm-started/indexed vs rebuild-per-arrival arrival processing",
         &[
             "algorithm",
             "n",
@@ -123,6 +153,16 @@ pub fn run(quick: bool) -> ExperimentOutput {
         ],
     );
     let mut all_speedups = Vec::new();
+    let mut speedup_row = |table: &mut Table, label: &str, n: usize, warm: f64, cold: f64| {
+        all_speedups.push(cold / warm.max(1e-12));
+        table.push_row(vec![
+            label.into(),
+            n.to_string(),
+            fmt_f64(warm * 1e3),
+            fmt_f64(cold * 1e3),
+            fmt_f64(cold / warm.max(1e-12)),
+        ]);
+    };
 
     let oa_inst = stream_instance(oa_n, 9300);
     let env = OnlineEnv {
@@ -134,14 +174,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let warm = drive_arrivals(&mut warm_run, &oa_inst);
     let mut cold_run = ReplanState::new(planner, AdmitAll, env).with_warm_start(false);
     let cold = drive_arrivals(&mut cold_run, &oa_inst);
-    all_speedups.push(cold / warm.max(1e-12));
-    speedup.push_row(vec![
-        "OA".into(),
-        oa_n.to_string(),
-        fmt_f64(warm * 1e3),
-        fmt_f64(cold * 1e3),
-        fmt_f64(cold / warm.max(1e-12)),
-    ]);
+    speedup_row(&mut speedup, "OA", oa_n, warm, cold);
 
     let pd_inst = stream_instance(pd_n, 9400);
     let scheduler = PdScheduler::coarse();
@@ -155,29 +188,113 @@ pub fn run(quick: bool) -> ExperimentOutput {
     )
     .with_rebuild_engine();
     let cold = drive_arrivals(&mut cold_run, &pd_inst);
-    all_speedups.push(cold / warm.max(1e-12));
-    speedup.push_row(vec![
-        "PD".into(),
-        pd_n.to_string(),
-        fmt_f64(warm * 1e3),
-        fmt_f64(cold * 1e3),
-        fmt_f64(cold / warm.max(1e-12)),
-    ]);
+    speedup_row(&mut speedup, "PD", pd_n, warm, cold);
+
+    let avr_inst = stream_instance(avr_n, 9500);
+    let mut warm_run = AvrScheduler.start_for(&avr_inst).expect("AVR run");
+    let warm = drive_arrivals(&mut warm_run, &avr_inst);
+    let mut cold_run = AvrScheduler
+        .start_for(&avr_inst)
+        .expect("AVR run")
+        .with_active_index(false);
+    let cold = drive_arrivals(&mut cold_run, &avr_inst);
+    speedup_row(&mut speedup, "AVR", avr_n, warm, cold);
+
+    let bkp_inst = stream_instance(bkp_n, 9600);
+    let bkp = BkpScheduler::default();
+    let mut warm_run = bkp.start_for(&bkp_inst).expect("BKP run");
+    let warm = drive_arrivals(&mut warm_run, &bkp_inst);
+    let mut cold_run = bkp
+        .start_for(&bkp_inst)
+        .expect("BKP run")
+        .with_indexed_events(false);
+    let cold = drive_arrivals(&mut cold_run, &bkp_inst);
+    speedup_row(&mut speedup, "BKP", bkp_n, warm, cold);
+
+    // OA(m): warm-started coordinate descent, with convergence statistics
+    // read back from the run's plan cache so the pass counts are visible.
+    let moa_inst = stream_instance(moa_n, 9700);
+    let env = OnlineEnv {
+        machines: 1,
+        alpha: moa_inst.alpha,
+    };
+    let moa_planner = MultiOaPlanner {
+        options: Default::default(),
+    };
+    let mut warm_run = ReplanState::new(moa_planner, AdmitAll, env);
+    let warm = drive_arrivals(&mut warm_run, &moa_inst);
+    let mut cold_run = ReplanState::new(moa_planner, AdmitAll, env).with_warm_start(false);
+    let cold = drive_arrivals(&mut cold_run, &moa_inst);
+    speedup_row(&mut speedup, "OA(m)", moa_n, warm, cold);
+
+    // OA(m) on two machines: the cross-machine coupling makes the seeded
+    // descent converge in more passes than the effectively-single-machine
+    // case, so the speedup is smaller — benched so a regression below 1x
+    // cannot hide behind the m = 1 number.
+    let moa2_inst = stream_instance_on(2, moa_n, 9800);
+    let env2 = OnlineEnv {
+        machines: 2,
+        alpha: moa2_inst.alpha,
+    };
+    let mut warm2_run = ReplanState::new(moa_planner, AdmitAll, env2);
+    let warm2 = drive_arrivals(&mut warm2_run, &moa2_inst);
+    let mut cold2_run = ReplanState::new(moa_planner, AdmitAll, env2).with_warm_start(false);
+    let cold2 = drive_arrivals(&mut cold2_run, &moa2_inst);
+    speedup_row(&mut speedup, "OA(m) m=2", moa_n, warm2, cold2);
+
+    let mut convergence = Table::new(
+        "OA(m) warm-started coordinate-descent convergence",
+        &[
+            "machines",
+            "n",
+            "replans",
+            "seeded",
+            "converged",
+            "total passes",
+            "passes/replan",
+        ],
+    );
+    let moa_stats = warm_run.plan_cache().multi.clone().unwrap_or_default();
+    for (machines, stats) in [
+        (1usize, &moa_stats),
+        (
+            2usize,
+            &warm2_run.plan_cache().multi.clone().unwrap_or_default(),
+        ),
+    ] {
+        convergence.push_row(vec![
+            machines.to_string(),
+            moa_n.to_string(),
+            stats.replans.to_string(),
+            stats.seeded_replans.to_string(),
+            stats.converged_replans.to_string(),
+            stats.total_passes.to_string(),
+            fmt_f64(stats.mean_passes()),
+        ]);
+    }
 
     let min_speedup = all_speedups.iter().copied().fold(f64::INFINITY, f64::min);
     ExperimentOutput {
         id: "E12".into(),
         title: "Streaming arrival latency (percentiles vs n, warm-start speedup)".into(),
-        tables: vec![latency, speedup],
+        tables: vec![latency, speedup, convergence],
         notes: vec![
             format!(
                 "latency percentiles are ordered p50 <= p95 <= p99 in every row: {}",
                 check(percentiles_ordered)
             ),
             format!(
-                "warm-started arrival processing is faster than rebuild-per-arrival \
-                 (min speedup {}x across OA and PD)",
+                "warm-started/indexed arrival processing is faster than \
+                 rebuild-per-arrival (min speedup {}x across OA, PD, AVR, BKP \
+                 and OA(m) at m = 1 and m = 2)",
                 fmt_f64(min_speedup)
+            ),
+            format!(
+                "OA(m) warm coordinate descent converged on {}/{} replans at \
+                 {} passes per replan on average",
+                moa_stats.converged_replans,
+                moa_stats.replans,
+                fmt_f64(moa_stats.mean_passes())
             ),
         ],
     }
@@ -190,10 +307,12 @@ mod tests {
     #[test]
     fn e12_quick_produces_ordered_percentiles() {
         let out = run(true);
-        assert_eq!(out.tables.len(), 2);
-        // 4 algorithms x 2 sizes latency rows, 2 speedup rows.
-        assert_eq!(out.tables[0].rows.len(), 8);
-        assert_eq!(out.tables[1].rows.len(), 2);
+        assert_eq!(out.tables.len(), 3);
+        // 7 algorithms x 2 sizes latency rows, 6 speedup rows (OA(m) at
+        // m = 1 and m = 2), 2 convergence rows.
+        assert_eq!(out.tables[0].rows.len(), 14);
+        assert_eq!(out.tables[1].rows.len(), 6);
+        assert_eq!(out.tables[2].rows.len(), 2);
         assert!(out.notes[0].contains("yes"), "{:?}", out.notes);
     }
 }

@@ -16,9 +16,13 @@
 //! * [`solver`] — an offline cyclic coordinate-descent solver for the
 //!   "finish everything" relaxation, used as the multiprocessor offline
 //!   baseline and as the replanning engine of multiprocessor Optimal
-//!   Available,
-//! * [`kkt`] — KKT stationarity residuals used to certify solver output in
-//!   tests.
+//!   Available.  [`solve_min_energy_warm`] is the warm-started entry point:
+//!   it seeds the descent from a caller-provided assignment (the previous
+//!   replanning solution, remapped onto the current partition), so a
+//!   replanner that adds one job per arrival converges in a few passes
+//!   instead of re-solving the program from zero,
+//! * [`kkt`] — KKT stationarity residuals used to certify solver output
+//!   (cold *and* warm-started) in tests.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,7 +35,10 @@ pub mod waterfill;
 
 pub use dual::{dual_bound, DualSolution};
 pub use program::ProgramContext;
-pub use solver::{solve_min_energy, solve_min_energy_with, MinEnergySolution, SolverOptions};
+pub use solver::{
+    solve_min_energy, solve_min_energy_warm, solve_min_energy_with, MinEnergySolution,
+    SolverOptions,
+};
 pub use waterfill::{
     waterfill_candidates, waterfill_job, WaterfillCandidate, WaterfillOptions, WaterfillResult,
 };

@@ -13,7 +13,7 @@
 //! live in the speed profiles and per-job work, which are compared.
 
 use pss_core::baselines::cll::CllAdmission;
-use pss_core::baselines::oa::OaPlanner;
+use pss_core::baselines::oa::{MultiOaPlanner, OaPlanner};
 use pss_core::baselines::replan::{AdmissionPolicy, AdmitAll, OnlineEnv, Planner, ReplanState};
 use pss_core::prelude::*;
 use pss_workloads::{ArrivalModel, RandomConfig, ValueModel};
@@ -115,8 +115,29 @@ fn multi_oa_incremental_equals_batch_on_random_workloads() {
         let instance = profitable(4500 + seed, 1 + (seed % 3) as usize, 2.5);
         let algo = MultiOaScheduler::default();
         let batch = algo.batch_schedule(&instance).expect("batch OA(m)");
+        // The default incremental run warm-starts coordinate descent from
+        // the previous solution; warm and cold descents converge to the same
+        // optimum, but only up to the solver's energy tolerance — so the
+        // comparison against the from-scratch batch loop is at solver
+        // accuracy, not bitwise.
         let incremental = algo.schedule(&instance).expect("incremental OA(m)");
-        assert_equivalent(&instance, &batch, &incremental, "OA(m)", 1e-9);
+        assert_equivalent(&instance, &batch, &incremental, "OA(m) warm", 1e-4);
+        // The cold incremental run performs the identical sequence of
+        // from-scratch solves as the batch loop: exact agreement.
+        let env = OnlineEnv {
+            machines: instance.machines,
+            alpha: instance.alpha,
+        };
+        let planner = MultiOaPlanner {
+            options: Default::default(),
+        };
+        let mut cold = ReplanState::new(planner, AdmitAll, env).with_warm_start(false);
+        for id in instance.arrival_order() {
+            let job = instance.job(id);
+            cold.on_arrival(job, job.release).expect("cold arrival");
+        }
+        let cold_schedule = cold.finish().expect("cold finish");
+        assert_equivalent(&instance, &batch, &cold_schedule, "OA(m) cold", 1e-9);
     }
 }
 
@@ -177,8 +198,13 @@ fn cll_incremental_equals_batch_on_random_workloads() {
 
 /// Drives two fresh `ReplanState` runs — warm-started and from-scratch —
 /// over the instance and asserts they are equivalent.
-fn assert_warm_equals_cold<P, A>(instance: &Instance, planner: P, admission: A, label: &str)
-where
+fn assert_warm_equals_cold<P, A>(
+    instance: &Instance,
+    planner: P,
+    admission: A,
+    label: &str,
+    tol: f64,
+) where
     P: Planner + Clone,
     A: AdmissionPolicy + Clone,
 {
@@ -197,13 +223,13 @@ where
             "{label}: decision for {id} differs between warm and cold"
         );
         assert!(
-            (dw.dual - dc.dual).abs() <= 1e-9 * dc.dual.abs().max(1.0),
+            (dw.dual - dc.dual).abs() <= tol * dc.dual.abs().max(1.0),
             "{label}: dual for {id} differs between warm and cold"
         );
     }
     let warm_schedule = warm.finish().expect("warm finish");
     let cold_schedule = cold.finish().expect("cold finish");
-    assert_equivalent(instance, &cold_schedule, &warm_schedule, label, 1e-9);
+    assert_equivalent(instance, &cold_schedule, &warm_schedule, label, tol);
 }
 
 #[test]
@@ -215,6 +241,7 @@ fn warm_oa_equals_from_scratch_on_random_workloads() {
             OaPlanner { speed_factor: 1.0 },
             AdmitAll,
             "warm OA",
+            1e-9,
         );
     }
 }
@@ -224,7 +251,13 @@ fn warm_qoa_equals_from_scratch_on_random_workloads() {
     for seed in 0..6u64 {
         let instance = profitable(5200 + seed, 1, 2.5);
         let q = 2.0 - 1.0 / instance.alpha;
-        assert_warm_equals_cold(&instance, OaPlanner::with_factor(q), AdmitAll, "warm qOA");
+        assert_warm_equals_cold(
+            &instance,
+            OaPlanner::with_factor(q),
+            AdmitAll,
+            "warm qOA",
+            1e-9,
+        );
     }
 }
 
@@ -237,6 +270,7 @@ fn warm_cll_equals_from_scratch_on_random_workloads() {
             OaPlanner { speed_factor: 1.0 },
             CllAdmission,
             "warm CLL",
+            1e-9,
         );
     }
 }
@@ -261,12 +295,14 @@ fn warm_replanning_survives_equal_release_times() {
             OaPlanner { speed_factor: 1.0 },
             AdmitAll,
             "warm OA (bursty)",
+            1e-9,
         );
         assert_warm_equals_cold(
             &instance,
             OaPlanner { speed_factor: 1.0 },
             CllAdmission,
             "warm CLL (bursty)",
+            1e-9,
         );
     }
 }
@@ -293,6 +329,7 @@ fn warm_replanning_survives_near_zero_works_and_tied_deadlines() {
         OaPlanner { speed_factor: 1.0 },
         AdmitAll,
         "warm OA (edge)",
+        1e-9,
     );
     // The batch reference agrees too.
     let batch = OaScheduler.batch_schedule(&instance).expect("batch OA");
@@ -337,4 +374,221 @@ fn pd_persistent_context_equals_rebuild_on_random_workloads() {
             1e-7,
         );
     }
+}
+
+// ---- OA(m): warm-started coordinate descent vs from-scratch solves ------
+//
+// The multiprocessor planner seeds `solve_min_energy_warm` from the previous
+// replan's solution (remapped onto the new partition).  Warm and cold
+// descents converge to the same optimum up to the solver's energy
+// tolerance, so these pins compare at solver accuracy; decisions must agree
+// exactly.
+
+#[test]
+fn warm_multi_oa_equals_from_scratch_on_random_workloads() {
+    for seed in 0..4u64 {
+        let instance = profitable(5600 + seed, 1 + (seed % 3) as usize, 2.5);
+        assert_warm_equals_cold(
+            &instance,
+            MultiOaPlanner {
+                options: Default::default(),
+            },
+            AdmitAll,
+            "warm OA(m)",
+            1e-4,
+        );
+    }
+}
+
+#[test]
+fn warm_multi_oa_survives_bursty_equal_releases() {
+    for seed in 0..2u64 {
+        let instance = RandomConfig {
+            n_jobs: 12,
+            machines: 2,
+            alpha: 2.5,
+            arrival: ArrivalModel::Bursty { burst_size: 3 },
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+            ..RandomConfig::standard(5700 + seed)
+        }
+        .generate();
+        assert_warm_equals_cold(
+            &instance,
+            MultiOaPlanner {
+                options: Default::default(),
+            },
+            AdmitAll,
+            "warm OA(m) (bursty)",
+            1e-4,
+        );
+    }
+}
+
+#[test]
+fn warm_multi_oa_survives_near_zero_works_and_tied_deadlines() {
+    let instance = Instance::from_tuples(
+        2,
+        2.5,
+        vec![
+            (0.0, 2.0, 1.0, 10.0),
+            (0.0, 2.0, 1e-9, 10.0), // near-zero work, tied window
+            (0.0, 3.0, 1e-9, 10.0),
+            (1.0, 3.0, 0.8, 10.0),
+            (1.0, 3.0 + 1e-13, 0.4, 10.0), // deadline tied within 1e-12
+            (2.0, 5.0, 1.5, 10.0),
+        ],
+    )
+    .unwrap();
+    assert_warm_equals_cold(
+        &instance,
+        MultiOaPlanner {
+            options: Default::default(),
+        },
+        AdmitAll,
+        "warm OA(m) (edge)",
+        1e-4,
+    );
+}
+
+// ---- AVR / BKP: indexed event paths vs the full-history scans ------------
+//
+// AVR's active-set index and BKP's deadline/release speed index change only
+// *how* the same quantities are computed (summation order aside), so the
+// pins are at numeric accuracy, like the OA warm-start ones.
+
+/// Drives two runs over the instance's arrival stream and asserts their
+/// decisions and final schedules agree.
+fn assert_runs_equivalent<R1: OnlineScheduler, R2: OnlineScheduler>(
+    instance: &Instance,
+    mut fast: R1,
+    mut slow: R2,
+    label: &str,
+    tol: f64,
+) {
+    for id in instance.arrival_order() {
+        let job = instance.job(id);
+        let df = fast.on_arrival(job, job.release).expect("fast arrival");
+        let ds = slow.on_arrival(job, job.release).expect("slow arrival");
+        assert_eq!(
+            df.accepted, ds.accepted,
+            "{label}: decision for {id} differs between fast and slow paths"
+        );
+    }
+    let f = fast.finish().expect("fast finish");
+    let s = slow.finish().expect("slow finish");
+    assert_equivalent(instance, &s, &f, label, tol);
+}
+
+#[test]
+fn indexed_avr_equals_full_scan_on_random_and_bursty_workloads() {
+    for seed in 0..6u64 {
+        let instance = profitable(5800 + seed, 1, 2.0);
+        let fast = AvrScheduler.start_for(&instance).expect("indexed AVR");
+        let slow = AvrScheduler
+            .start_for(&instance)
+            .expect("scan AVR")
+            .with_active_index(false);
+        assert_runs_equivalent(&instance, fast, slow, "indexed AVR", 1e-9);
+    }
+    for seed in 0..3u64 {
+        let instance = RandomConfig {
+            n_jobs: 12,
+            machines: 1,
+            alpha: 2.0,
+            arrival: ArrivalModel::Bursty { burst_size: 3 },
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+            ..RandomConfig::standard(5900 + seed)
+        }
+        .generate();
+        let fast = AvrScheduler.start_for(&instance).expect("indexed AVR");
+        let slow = AvrScheduler
+            .start_for(&instance)
+            .expect("scan AVR")
+            .with_active_index(false);
+        assert_runs_equivalent(&instance, fast, slow, "indexed AVR (bursty)", 1e-9);
+    }
+}
+
+#[test]
+fn indexed_avr_survives_near_zero_works_and_tied_deadlines() {
+    let instance = Instance::from_tuples(
+        1,
+        2.0,
+        vec![
+            (0.0, 2.0, 1.0, 10.0),
+            (0.0, 2.0, 1e-9, 10.0),
+            (0.0, 3.0, 1e-9, 10.0),
+            (1.0, 3.0, 0.8, 10.0),
+            (1.0, 3.0 + 1e-13, 0.4, 10.0),
+            (2.0, 5.0, 1.5, 10.0),
+        ],
+    )
+    .unwrap();
+    let fast = AvrScheduler.start_for(&instance).expect("indexed AVR");
+    let slow = AvrScheduler
+        .start_for(&instance)
+        .expect("scan AVR")
+        .with_active_index(false);
+    assert_runs_equivalent(&instance, fast, slow, "indexed AVR (edge)", 1e-9);
+}
+
+#[test]
+fn indexed_bkp_equals_full_scan_on_random_and_bursty_workloads() {
+    let algo = BkpScheduler {
+        resolution: 800,
+        ..Default::default()
+    };
+    for seed in 0..4u64 {
+        let instance = profitable(6000 + seed, 1, 3.0);
+        let fast = algo.start_for(&instance).expect("indexed BKP");
+        let slow = algo
+            .start_for(&instance)
+            .expect("scan BKP")
+            .with_indexed_events(false);
+        assert_runs_equivalent(&instance, fast, slow, "indexed BKP", 1e-9);
+    }
+    for seed in 0..2u64 {
+        let instance = RandomConfig {
+            n_jobs: 12,
+            machines: 1,
+            alpha: 3.0,
+            arrival: ArrivalModel::Bursty { burst_size: 3 },
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+            ..RandomConfig::standard(6100 + seed)
+        }
+        .generate();
+        let fast = algo.start_for(&instance).expect("indexed BKP");
+        let slow = algo
+            .start_for(&instance)
+            .expect("scan BKP")
+            .with_indexed_events(false);
+        assert_runs_equivalent(&instance, fast, slow, "indexed BKP (bursty)", 1e-9);
+    }
+}
+
+#[test]
+fn indexed_bkp_survives_near_zero_works_and_tied_deadlines() {
+    let instance = Instance::from_tuples(
+        1,
+        3.0,
+        vec![
+            (0.0, 2.0, 1.0, 10.0),
+            (0.0, 2.0, 1e-9, 10.0),
+            (0.0, 3.0, 1e-9, 10.0),
+            (1.0, 3.0, 0.8, 10.0),
+            (1.0, 3.0 + 1e-13, 0.4, 10.0),
+            (2.0, 5.0, 1.5, 10.0),
+        ],
+    )
+    .unwrap();
+    let algo = BkpScheduler {
+        resolution: 600,
+        ..Default::default()
+    };
+    let fast = algo.start_for(&instance).expect("indexed BKP");
+    let slow = algo
+        .start_for(&instance)
+        .expect("scan BKP")
+        .with_indexed_events(false);
+    assert_runs_equivalent(&instance, fast, slow, "indexed BKP (edge)", 1e-9);
 }
