@@ -37,8 +37,10 @@
 //! candidate times `t'` and summing `O(k)` jobs for each — `O(k²)` per grid
 //! step for `k` released jobs.  [`BkpState`] instead keeps a resident
 //! `BkpSpeedIndex` across arrivals: released jobs sorted by deadline and
-//! by release (new arrivals buffered and lazily merged, `O(1)` per
-//! arrival).  For a query at time `t`, every job `j` has a *key*
+//! by release (releases arrive in nondecreasing order, so the release list
+//! appends at the back; with key pruning the deadline list holds only
+//! active jobs, so both insertions are `O(active)` or better).  For a
+//! query at time `t`, every job `j` has a *key*
 //! `max(d_j, (e·t − r_j)/(e−1))` — the first candidate at which it is
 //! counted — and the supremum of `w/(e·(t'−t))` is attained at the keys.
 //! Splitting jobs into deadline-keyed and crossing-keyed groups (monotone
@@ -51,6 +53,17 @@
 //! which restores the original scans as cross-check and bench baseline;
 //! [`BkpScheduler::batch_schedule`] keeps using the naive scan, so the
 //! equivalence tests pin the index against an independent implementation.
+//!
+//! On top of the merge, the index **prunes far-future candidate keys**:
+//! expired jobs are dropped from the deadline list permanently (they stay
+//! crossing-keyed forever), and the whole aged history — every job old
+//! enough that its crossing key exceeds all deadline keys — is aggregated
+//! by a single `O(log n)` max-slope query on a convex hull of
+//! release/prefix-work points instead of being swept job by job.  A grid
+//! evaluation costs `O(active + recent + log n)` instead of `O(released)`,
+//! so per-arrival tail latencies stop growing with the stream length;
+//! [`BkpState::with_key_pruning(false)`](BkpState::with_key_pruning)
+//! restores the full sweep.
 
 use std::collections::BinaryHeap;
 
@@ -156,87 +169,282 @@ impl IndexedJob {
 /// scan's release filter), but costs a single `O(k)` merge-and-sweep
 /// instead of the naive `O(k²)` candidate × rescan loop.
 ///
-/// Cost model: `O(1)` buffering per arrival; each grid *evaluation* is one
-/// `O(k)` sweep over every job released so far (the BKP work term never
-/// forgets old jobs), so per-arrival cost is amortised-flat on streams
-/// whose grid advances slower than arrivals, while tail latencies grow
-/// slowly with the history — see the ROADMAP open item on pruning.
-#[derive(Debug, Clone, Default)]
+/// Cost model: with **key pruning** (the default) an insertion is
+/// `O(active)` and an evaluation is `O(active + recent + log n)`:
+///
+/// * the release list appends at the back (releases are nondecreasing) and
+///   the deadline list's live tail holds only active jobs — the expired
+///   prefix is dropped permanently as the query time advances (expired
+///   jobs are crossing-keyed forever, so the deadline copy can never be
+///   needed again);
+/// * the merge sweep only walks the *young* jobs — those whose crossing
+///   key could fall below some deadline key.  For every job older than the
+///   cutoff `r* = e·t − (e−1)·d_max` (so its key exceeds every deadline
+///   key), the candidate value has the closed form
+///   `(W − P(r_j)) · (e−1) / (e·(t − r_j))`, where `W` is the total
+///   released work and `P(r_j)` the prefix work released before `r_j`:
+///   every released job except the strictly older crossing ones counts.
+///   Maximising this over the old jobs is a **max-slope query** from the
+///   moving point `(t, W)` over the static point set `(r_j, P(r_j))` —
+///   answered in `O(log n)` on the *lower convex hull* of those points
+///   (smaller prefix works dominate, since they subtract less from `W`),
+///   which is append-only because releases and prefix works are both
+///   nondecreasing.  The sup over the whole aged history is therefore
+///   computed exactly without touching it.
+///
+/// On a steady stream the aged candidates genuinely stay competitive
+/// (prefix work grows linearly with key distance, so their values plateau
+/// near `ρ·(e−1)/e` for arrival work rate `ρ` — they cannot be *skipped*,
+/// only aggregated), which is why the hull, not a decay bound, is the
+/// right structure.  [`BkpState::with_key_pruning(false)`] restores the
+/// full `O(released)` sweep as cross-check and bench baseline.
+///
+/// Queries must be made at nondecreasing times `t` (the grid execution
+/// does this by construction); the expired-prefix drop relies on it.
+#[derive(Debug, Clone)]
 struct BkpSpeedIndex {
-    /// Merged jobs sorted by deadline ascending (ties arbitrary).
+    /// Jobs sorted by deadline ascending (ties keep arrival order).  With
+    /// pruning on, the entries before `expired_prefix` are dead and
+    /// periodically drained, so the live tail holds only *active* jobs —
+    /// which is what keeps insertion `O(active)`.
     by_deadline: Vec<IndexedJob>,
-    /// Merged jobs sorted by release *descending* — ascending crossing-key
-    /// order for any query time.
+    /// Number of leading `by_deadline` entries dropped by the pruning
+    /// cursor (physically drained once they outnumber the live tail).
+    expired_prefix: usize,
+    /// Jobs sorted by release *ascending* — arrival order up to the feed
+    /// tolerance, so an insert appends at (or within a few slots of) the
+    /// back.  The sweep walks it backward: descending release is ascending
+    /// crossing-key order for any query time.
     by_release: Vec<IndexedJob>,
-    /// Arrivals not yet merged into the sorted lists.
-    fresh: Vec<IndexedJob>,
+    /// `prefix_work[i]` = total work of `by_release[..i]` (length
+    /// `by_release.len() + 1`); the `P(r_j)` of the hull points.
+    prefix_work: Vec<f64>,
+    /// Lower convex hull of the points `(release, prefix_work[pos])` over
+    /// `by_release[..hull_len]` — strictly increasing in x.
+    hull: Vec<(f64, f64)>,
+    /// Number of leading `by_release` positions covered by `hull`.
+    hull_len: usize,
+    /// Running maximum deadline over every inserted job (monotone): the
+    /// conservative `d_max` of the hull cutoff, so coverage regresses only
+    /// when an unusually long window arrives.
+    d_max_all: f64,
+    /// Whether pruning (expired-prefix drop + hull aggregation of the aged
+    /// history) is active (the default; disable for the full-sweep
+    /// baseline).
+    prune: bool,
+}
+
+impl Default for BkpSpeedIndex {
+    fn default() -> Self {
+        Self {
+            by_deadline: Vec::new(),
+            expired_prefix: 0,
+            by_release: Vec::new(),
+            prefix_work: vec![0.0],
+            hull: Vec::new(),
+            hull_len: 0,
+            d_max_all: f64::NEG_INFINITY,
+            prune: true,
+        }
+    }
 }
 
 impl BkpSpeedIndex {
-    /// Buffers a newly released job (merged lazily at the next evaluation).
+    /// Registers a newly released job in both sorted lists.
+    ///
+    /// `by_release` is append-biased (releases are nondecreasing up to the
+    /// arrival-order tolerance, so the backward walk is `O(1)` amortised);
+    /// `by_deadline`'s insertion point lies in its live tail, which the
+    /// expired-prefix drop keeps at `O(active)` — new deadlines are
+    /// strictly after `now`, hence after every dropped deadline.
     fn insert(&mut self, job: &Job) {
-        self.fresh.push(IndexedJob::new(job));
+        let ij = IndexedJob::new(job);
+        let live = &self.by_deadline[self.expired_prefix..];
+        let pos = self.expired_prefix + live.partition_point(|a| a.deadline <= ij.deadline);
+        self.by_deadline.insert(pos, ij);
+        let mut pos = self.by_release.len();
+        while pos > 0 && self.by_release[pos - 1].release > ij.release {
+            pos -= 1;
+        }
+        if pos < self.hull_len {
+            // A tolerance-early feed landed inside the hulled prefix: its
+            // prefix works go stale.  The hull keeps a 128-position margin
+            // behind the back, so this needs an out-of-order feed *and* a
+            // pathologically short history — rebuilt lazily if it happens.
+            self.hull.clear();
+            self.hull_len = 0;
+        }
+        self.by_release.insert(pos, ij);
+        // Fix the prefix-work tail (O(1) for the in-order append case).
+        self.prefix_work.truncate(pos + 1);
+        for i in pos..self.by_release.len() {
+            let next = self.prefix_work[i] + self.by_release[i].work;
+            self.prefix_work.push(next);
+        }
+        self.d_max_all = self.d_max_all.max(ij.deadline);
     }
 
-    /// Merges the buffered arrivals into both sorted lists.
-    fn merge_fresh(&mut self) {
-        if self.fresh.is_empty() {
-            return;
+    /// Appends the point for `by_release[pos]` to the **lower** convex
+    /// hull: the query maximises `(W − y)/(t − x)` from a point above and
+    /// to the right, so smaller prefix works dominate and the relevant
+    /// envelope is the chain convex from below.
+    fn hull_push(&mut self, pos: usize) {
+        let p = (self.by_release[pos].release, self.prefix_work[pos]);
+        if let Some(&(x, y)) = self.hull.last() {
+            if x == p.0 {
+                // Equal releases: the earlier position has the smaller
+                // prefix, i.e. the candidate whose work term includes the
+                // whole tie group — it dominates the later tied points.
+                if p.1 >= y {
+                    return;
+                }
+                self.hull.pop();
+            }
         }
-        self.fresh.sort_by(|a, b| a.deadline.total_cmp(&b.deadline));
-        merge_sorted(&mut self.by_deadline, &self.fresh, |a, b| {
-            a.deadline <= b.deadline
-        });
-        self.fresh.sort_by(|a, b| b.release.total_cmp(&a.release));
-        merge_sorted(&mut self.by_release, &self.fresh, |a, b| {
-            a.release >= b.release
-        });
-        self.fresh.clear();
+        while self.hull.len() >= 2 {
+            let (ox, oy) = self.hull[self.hull.len() - 2];
+            let (ax, ay) = self.hull[self.hull.len() - 1];
+            // Pop while the middle point lies on or above the chord (keeps
+            // the chain strictly convex from below).
+            if (ax - ox) * (p.1 - oy) - (ay - oy) * (p.0 - ox) <= 0.0 {
+                self.hull.pop();
+            } else {
+                break;
+            }
+        }
+        self.hull.push(p);
+    }
+
+    /// The best aged-candidate value over the hull,
+    /// `max_j (w − y_j)·(e−1) / (e·(t − x_j))` — i.e. the largest slope
+    /// from the query point `(t, w)` to a hull vertex, rescaled by
+    /// `(e−1)/e`; `0` when the hull is empty.  The slope over a strictly
+    /// convex chain is unimodal in the vertex index, so a binary peak
+    /// search suffices.
+    fn hull_best(&self, t: f64, w: f64) -> f64 {
+        if self.hull.is_empty() {
+            return 0.0;
+        }
+        let e = std::f64::consts::E;
+        let value = |&(x, y): &(f64, f64)| {
+            if t - x <= 0.0 {
+                return 0.0;
+            }
+            (w - y) * (e - 1.0) / (e * (t - x))
+        };
+        let (mut lo, mut hi) = (0usize, self.hull.len() - 1);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if value(&self.hull[mid]) < value(&self.hull[mid + 1]) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        value(&self.hull[lo])
     }
 
     /// The BKP speed `e·v(t)` over the inserted jobs.
     fn speed(&mut self, t: f64) -> f64 {
-        self.merge_fresh();
         let e = std::f64::consts::E;
         let et = e * t;
+        if self.prune {
+            // Expired jobs (deadline ≤ t, hence — windows being strictly
+            // positive — `phi < e·t` now and forever) are crossing-keyed at
+            // every future query: their deadline-list copy would only ever
+            // be skipped, so drop it permanently.  The cursor advances
+            // monotonically because query times do; the occasional physical
+            // drain keeps the dead prefix bounded by the live tail, so it
+            // is `O(1)` amortised per expiry.
+            while self.expired_prefix < self.by_deadline.len() {
+                let job = &self.by_deadline[self.expired_prefix];
+                if job.deadline <= t && job.phi < et {
+                    self.expired_prefix += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.expired_prefix > 64 && 2 * self.expired_prefix > self.by_deadline.len() {
+                self.by_deadline.drain(..self.expired_prefix);
+                self.expired_prefix = 0;
+            }
+        }
+
+        // Hull split: jobs released at or before `r*` have crossing keys at
+        // or beyond every deadline key (d_max is the running maximum, so
+        // r* only regresses when an unusually long window arrives), which
+        // makes their candidate values the closed form the hull aggregates.
+        // The sweep below walks only the positions at or after `split`; the
+        // hull answers the rest in O(log n).  A 128-position margin behind
+        // the back keeps tolerance-early inserts out of the hulled prefix.
+        let mut split = 0usize;
+        if self.prune {
+            let k_cut = self.d_max_all.max(t);
+            let r_star = e * t - (e - 1.0) * k_cut;
+            // Strict: a job released exactly at r* could still be
+            // deadline-keyed (its crossing key ties d_max), so it sweeps.
+            let idx = self.by_release.partition_point(|j| j.release < r_star);
+            if idx < self.hull_len {
+                // Coverage regressed past the hull (rare: a record-length
+                // window arrived); rebuild over the still-valid prefix.
+                self.hull.clear();
+                self.hull_len = 0;
+            }
+            let target = idx.min(self.by_release.len().saturating_sub(128));
+            while self.hull_len < target {
+                self.hull_push(self.hull_len);
+                self.hull_len += 1;
+            }
+            split = self.hull_len;
+        }
+
         let a = &self.by_deadline;
         let b = &self.by_release;
-        let (mut ai, mut bi) = (0usize, 0usize);
+        let mut ai = self.expired_prefix;
+        let mut bi = b.len();
+        // Candidate prefix sum of the swept (young) keys; old jobs only
+        // have *larger* keys, so they never contribute to a swept
+        // candidate's work term.
         let mut sum = 0.0_f64;
+        // Total released work of the swept positions (candidate or not) —
+        // together with the hulled prefix this is the released work `W` of
+        // the hull's closed form.
+        let mut swept_work = 0.0_f64;
         let mut v = 0.0_f64;
         loop {
             // Next deadline-keyed job (phi ≥ e·t) and next crossing-keyed
-            // job (phi < e·t); the other group is skipped in each list.
+            // job (phi < e·t); the other group is skipped in each list
+            // (list b is walked backward — most recent release first, and
+            // only down to the hull split).
             while ai < a.len() && a[ai].phi < et {
                 ai += 1;
             }
-            while bi < b.len() && b[bi].phi >= et {
-                bi += 1;
+            while bi > split && b[bi - 1].phi >= et {
+                if b[bi - 1].release <= t + 1e-12 {
+                    swept_work += b[bi - 1].work;
+                }
+                bi -= 1;
             }
             let ka = (ai < a.len()).then(|| a[ai].deadline);
-            let kb = (bi < b.len()).then(|| (et - b[bi].release) / (e - 1.0));
+            let kb = (bi > split).then(|| (et - b[bi - 1].release) / (e - 1.0));
             // Consume the smaller key.  Evaluating after every single job is
             // sound even for tied keys: the last evaluation at a key sees
             // the full prefix sum, earlier ones are dominated by it.
-            let (job, key) = match (ka, kb) {
+            let consume_b = match (ka, kb) {
                 (None, None) => break,
-                (Some(ka), None) => {
-                    ai += 1;
-                    (&a[ai - 1], ka)
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some(ka), Some(kb)) => ka > kb,
+            };
+            let (job, key) = if consume_b {
+                bi -= 1;
+                if b[bi].release <= t + 1e-12 {
+                    swept_work += b[bi].work;
                 }
-                (None, Some(kb)) => {
-                    bi += 1;
-                    (&b[bi - 1], kb)
-                }
-                (Some(ka), Some(kb)) => {
-                    if ka <= kb {
-                        ai += 1;
-                        (&a[ai - 1], ka)
-                    } else {
-                        bi += 1;
-                        (&b[bi - 1], kb)
-                    }
-                }
+                (&b[bi], kb.expect("b key exists when consuming b"))
+            } else {
+                ai += 1;
+                (&a[ai - 1], ka.expect("a key exists when consuming a"))
             };
             // The scan's release filter: a job fed early (within the
             // arrival-order tolerance) and not released by `t` contributes
@@ -249,31 +457,15 @@ impl BkpSpeedIndex {
                 v = v.max(sum / (e * (key - t)));
             }
         }
+        if self.prune && split > 0 {
+            // The aged history, aggregated: max over the hulled prefix of
+            // `(W − P(r_j))·(e−1)/(e·(t − r_j))` with `W` the total work
+            // released by `t`.
+            let released = self.prefix_work[split] + swept_work;
+            v = v.max(self.hull_best(t, released));
+        }
         e * v
     }
-}
-
-/// Merges the presorted `fresh` run into the presorted `base` list in one
-/// backward pass (`le(a, b)` = "a may precede b").
-fn merge_sorted<F: Fn(&IndexedJob, &IndexedJob) -> bool>(
-    base: &mut Vec<IndexedJob>,
-    fresh: &[IndexedJob],
-    le: F,
-) {
-    let mut merged = Vec::with_capacity(base.len() + fresh.len());
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < base.len() && j < fresh.len() {
-        if le(&base[i], &fresh[j]) {
-            merged.push(base[i]);
-            i += 1;
-        } else {
-            merged.push(fresh[j]);
-            j += 1;
-        }
-    }
-    merged.extend_from_slice(&base[i..]);
-    merged.extend_from_slice(&fresh[j..]);
-    *base = merged;
 }
 
 /// Entry of the lazy EDF queue: ordered so the max-heap pops the smallest
@@ -423,6 +615,19 @@ impl BkpState {
     /// compare against.
     pub fn with_indexed_events(mut self, enabled: bool) -> Self {
         self.indexed = enabled;
+        self
+    }
+
+    /// Enables or disables the speed index's **key pruning** (the
+    /// far-future early-out plus the expired-prefix drop; enabled by
+    /// default).  With `false` every indexed grid evaluation sweeps the
+    /// full released history — the pre-pruning behaviour, kept as the
+    /// baseline the pruned-vs-full equivalence tests and the tail-latency
+    /// measurements compare against.  Irrelevant when
+    /// [`with_indexed_events(false)`](Self::with_indexed_events) selects
+    /// the naive scan.
+    pub fn with_key_pruning(mut self, enabled: bool) -> Self {
+        self.index.prune = enabled;
         self
     }
 
@@ -585,6 +790,37 @@ impl OnlineScheduler for BkpState {
         self.jobs.push(*job);
         self.remaining.push(job.work);
         Ok(Decision::accept(0.0))
+    }
+
+    /// Batch ingestion: the grid is advanced **once** for the whole burst,
+    /// then every job is registered with the resident structures — the EDF
+    /// heap push (`O(log n)`), the speed index (append-biased release
+    /// list, `O(active)` deadline list), and the job/remaining tables.
+    fn on_arrivals(&mut self, jobs: &[Job], now: f64) -> Result<Vec<Decision>, ScheduleError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        for job in jobs {
+            check_arrival(job, self.now, now)?;
+        }
+        if self.anchor.is_none() {
+            self.anchor = Some(now);
+            self.now = now;
+        }
+        if self.now.is_finite() {
+            let to = now.max(self.now);
+            self.advance_to(to);
+        }
+        for job in jobs {
+            self.edf.push(EdfEntry {
+                deadline: job.deadline,
+                job: self.jobs.len(),
+            });
+            self.index.insert(job);
+            self.jobs.push(*job);
+            self.remaining.push(job.work);
+        }
+        Ok(vec![Decision::accept(0.0); jobs.len()])
     }
 
     fn frontier(&self) -> &Schedule {
@@ -847,6 +1083,84 @@ mod tests {
                 "speeds differ at t={t}: index {fast} vs scan {naive}"
             );
             t += 0.17;
+        }
+    }
+
+    #[test]
+    fn key_pruning_matches_the_full_sweep_at_increasing_times() {
+        // A long stream whose early jobs expire far behind the query time:
+        // the pruned sweep must still produce the exact same speeds as the
+        // unpruned sweep and the naive scan at every query.
+        let mut state = 23u64;
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut release = 0.0;
+        for i in 0..300 {
+            release += 0.25 * lcg(&mut state);
+            let window = 0.2 + 2.0 * lcg(&mut state);
+            jobs.push(Job::new(
+                i,
+                release,
+                release + window,
+                0.1 + 2.0 * lcg(&mut state),
+                1.0,
+            ));
+        }
+        let mut pruned = BkpSpeedIndex::default();
+        let mut full = BkpSpeedIndex {
+            prune: false,
+            ..Default::default()
+        };
+        let mut inserted = 0usize;
+        let mut t = 0.0;
+        while t < release + 3.0 {
+            while inserted < jobs.len() && jobs[inserted].release <= t {
+                pruned.insert(&jobs[inserted]);
+                full.insert(&jobs[inserted]);
+                inserted += 1;
+            }
+            let fast = pruned.speed(t);
+            let slow = full.speed(t);
+            let naive = bkp_speed(&jobs[..inserted], t);
+            assert!(
+                (fast - slow).abs() <= 1e-9 * slow.max(1.0),
+                "pruned vs full sweep differ at t={t}: {fast} vs {slow}"
+            );
+            assert!(
+                (fast - naive).abs() <= 1e-9 * naive.max(1.0),
+                "pruned vs naive scan differ at t={t}: {fast} vs {naive}"
+            );
+            t += 0.21;
+        }
+        // The expired prefix really is dropped as the frontier advances.
+        assert!(
+            pruned.by_deadline.len() - pruned.expired_prefix < jobs.len() / 2,
+            "pruning never dropped the aged deadline prefix"
+        );
+    }
+
+    #[test]
+    fn key_pruning_toggle_produces_identical_runs() {
+        let inst = instance();
+        let algo = BkpScheduler {
+            resolution: 500,
+            ..Default::default()
+        };
+        let mut pruned = algo.start_for(&inst).unwrap();
+        let mut full = algo.start_for(&inst).unwrap().with_key_pruning(false);
+        for id in inst.arrival_order() {
+            let job = inst.job(id);
+            pruned.on_arrival(job, job.release).unwrap();
+            full.on_arrival(job, job.release).unwrap();
+        }
+        let a = pruned.finish().unwrap();
+        let b = full.finish().unwrap();
+        assert!((a.cost(&inst).energy - b.cost(&inst).energy).abs() < 1e-9);
+        for i in 0..60 {
+            let t = 0.05 + i as f64 * 0.1;
+            assert!(
+                (a.speed_at(0, t) - b.speed_at(0, t)).abs() < 1e-9,
+                "pruned vs full profiles differ at t={t}"
+            );
         }
     }
 

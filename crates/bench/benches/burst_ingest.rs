@@ -1,0 +1,147 @@
+//! Criterion bench: burst-batched ingestion (`on_arrivals` fed per
+//! coalesced burst) vs the per-event `on_arrival` loop, for every online
+//! algorithm in the workspace.
+//!
+//! The workload is a bursty Poisson stream: bursts of `b`
+//! near-simultaneous jobs (distinct timestamps within a 1e-4 jitter — the
+//! shape "simultaneous" traffic actually has) at a fixed overall job rate.
+//! The loop baseline pays one replan / index update per *arrival*; the
+//! batch path coalesces each burst into one `on_arrivals` call, so the
+//! shared per-burst work collapses `b`-fold.  The replanning executors
+//! (OA, qOA, OA(m)) show the collapse directly (one planning solve per
+//! burst); CLL is bounded by its per-job admission rule, and PD by its
+//! per-job water-fill, so their batch gains are the smaller
+//! partition/commit savings — E13 tabulates the same numbers with replan
+//! counts.
+//!
+//! Set `BURST_SMOKE=1` to shrink every size for CI smoke runs — the smoke
+//! step covers every algorithm group, so a regression in any batch
+//! ingestion path fails CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pss_bench::experiments::burst::{
+    burst_instance, feed_coalesced, feed_per_event, COALESCE_WINDOW,
+};
+use pss_core::baselines::oa::{MultiOaPlanner, OaPlanner};
+use pss_core::baselines::replan::{AdmitAll, OnlineEnv, ReplanState};
+use pss_core::prelude::*;
+
+fn smoke() -> bool {
+    std::env::var_os("BURST_SMOKE").is_some()
+}
+
+fn burst_sizes() -> &'static [usize] {
+    if smoke() {
+        &[16]
+    } else {
+        &[4, 16]
+    }
+}
+
+/// Benches the per-event loop and the coalesced batch feed of fresh runs
+/// produced by `make_run`, over bursts of each configured size.
+fn bench_ingest<R, F>(c: &mut Criterion, group: &str, n: usize, mut make_run: F)
+where
+    R: OnlineScheduler,
+    F: FnMut(&Instance) -> R,
+{
+    let n = if smoke() { n.min(192) } else { n };
+    let mut group = c.benchmark_group(format!("burst_ingest/{group}"));
+    group.sample_size(10);
+    for &b in burst_sizes() {
+        let inst = burst_instance(1, n, b, 8200 + b as u64);
+        group.bench_with_input(
+            BenchmarkId::new(format!("loop/b{b}"), n),
+            &inst,
+            |be, inst| {
+                be.iter(|| {
+                    let mut run = make_run(inst);
+                    std::hint::black_box(feed_per_event(&mut run, inst))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("batch/b{b}"), n),
+            &inst,
+            |be, inst| {
+                be.iter(|| {
+                    let mut run = make_run(inst);
+                    std::hint::black_box(feed_coalesced(&mut run, inst, COALESCE_WINDOW))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn env_for(inst: &Instance) -> OnlineEnv {
+    OnlineEnv {
+        machines: inst.machines,
+        alpha: inst.alpha,
+    }
+}
+
+fn bench_oa(c: &mut Criterion) {
+    bench_ingest(c, "oa", 2048, |inst| {
+        ReplanState::new(OaPlanner { speed_factor: 1.0 }, AdmitAll, env_for(inst))
+    });
+}
+
+fn bench_qoa(c: &mut Criterion) {
+    bench_ingest(c, "qoa", 2048, |inst| {
+        ReplanState::new(
+            OaPlanner::with_factor(2.0 - 1.0 / inst.alpha),
+            AdmitAll,
+            env_for(inst),
+        )
+    });
+}
+
+fn bench_cll(c: &mut Criterion) {
+    bench_ingest(c, "cll", 2048, |inst| {
+        CllScheduler.start_for(inst).expect("CLL run")
+    });
+}
+
+fn bench_multi_oa(c: &mut Criterion) {
+    bench_ingest(c, "multi_oa", 512, |inst| {
+        ReplanState::new(
+            MultiOaPlanner {
+                options: Default::default(),
+            },
+            AdmitAll,
+            env_for(inst),
+        )
+    });
+}
+
+fn bench_pd(c: &mut Criterion) {
+    bench_ingest(c, "pd", 600, |inst| {
+        PdScheduler::coarse().start_for(inst).expect("PD run")
+    });
+}
+
+fn bench_avr(c: &mut Criterion) {
+    bench_ingest(c, "avr", 2048, |inst| {
+        AvrScheduler.start_for(inst).expect("AVR run")
+    });
+}
+
+fn bench_bkp(c: &mut Criterion) {
+    bench_ingest(c, "bkp", 600, |inst| {
+        BkpScheduler::default().start_for(inst).expect("BKP run")
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_oa,
+    bench_qoa,
+    bench_cll,
+    bench_multi_oa,
+    bench_pd,
+    bench_avr,
+    bench_bkp
+);
+criterion_main!(benches);

@@ -1,8 +1,10 @@
 //! The experiment registry (E1–E11 of DESIGN.md, plus the streaming
-//! latency experiment E12).
+//! latency experiment E12 and the burst-ingestion/sharding experiment
+//! E13).
 
 use pss_metrics::Table;
 
+pub mod burst;
 pub mod classical;
 pub mod competitive;
 pub mod delta_ablation;
@@ -93,10 +95,11 @@ pub fn all_experiments(quick: bool) -> Vec<ExperimentOutput> {
         scaling::run(quick),
         delta_ablation::run(quick),
         streaming::run(quick),
+        burst::run(quick),
     ]
 }
 
-/// Runs a single experiment by id (`"E1"`, …, `"E12"`), if it exists.
+/// Runs a single experiment by id (`"E1"`, …, `"E13"`), if it exists.
 pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
     match id.to_ascii_uppercase().as_str() {
         "E1" => Some(fig2_chen::run(quick)),
@@ -111,6 +114,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "E10" => Some(scaling::run(quick)),
         "E11" => Some(delta_ablation::run(quick)),
         "E12" => Some(streaming::run(quick)),
+        "E13" => Some(burst::run(quick)),
         _ => None,
     }
 }

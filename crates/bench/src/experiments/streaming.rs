@@ -90,21 +90,25 @@ pub fn run(quick: bool) -> ExperimentOutput {
         let avr = AvrScheduler;
         let bkp = BkpScheduler::default();
         let runs: Vec<pss_sim::StreamReport> = vec![
-            StreamingSimulation.run(&pd, &instance).expect("PD stream"),
-            StreamingSimulation.run(&oa, &instance).expect("OA stream"),
-            StreamingSimulation
+            StreamingSimulation::default()
+                .run(&pd, &instance)
+                .expect("PD stream"),
+            StreamingSimulation::default()
+                .run(&oa, &instance)
+                .expect("OA stream"),
+            StreamingSimulation::default()
                 .run(&qoa, &instance)
                 .expect("qOA stream"),
-            StreamingSimulation
+            StreamingSimulation::default()
                 .run(&multi_oa, &instance)
                 .expect("OA(m) stream"),
-            StreamingSimulation
+            StreamingSimulation::default()
                 .run(&cll, &instance)
                 .expect("CLL stream"),
-            StreamingSimulation
+            StreamingSimulation::default()
                 .run(&avr, &instance)
                 .expect("AVR stream"),
-            StreamingSimulation
+            StreamingSimulation::default()
                 .run(&bkp, &instance)
                 .expect("BKP stream"),
         ];

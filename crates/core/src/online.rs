@@ -71,8 +71,8 @@ impl PlanState {
     /// the points to the committed-frontier floor, so no committed interval
     /// can ever split).  No new partition and no full `Refinement` mapping
     /// is ever materialised.
-    fn refine(&mut self, points: [f64; 2]) {
-        for p in points {
+    fn refine(&mut self, points: &[f64]) {
+        for &p in points {
             match self.partition.insert_boundary(p) {
                 BoundaryInsert::Existing => {}
                 BoundaryInsert::Append { created_interval } => {
@@ -262,7 +262,7 @@ impl OnlinePd {
         let mut rebuild_ctx: Option<ProgramContext> = None;
         let fill = match &mut self.engine {
             ArrivalEngine::Incremental(state) => {
-                state.refine(boundary_points);
+                state.refine(&boundary_points);
                 let candidates: Vec<WaterfillCandidate> = state
                     .partition
                     .covered_intervals(&self.jobs[dense])
@@ -433,6 +433,117 @@ impl OnlinePd {
         Ok(schedule)
     }
 
+    /// Feeds a burst of jobs arriving together: one pass over the
+    /// persistent sparse planning context — per-job partition refinement +
+    /// water-fill in slice order (the greedy primal-dual step is
+    /// order-dependent, so the fills stay sequential — exactly Listing 1's
+    /// semantics) — with the boundary floor resolved once and **one**
+    /// frontier commit (the per-interval Chen realisations) at the end
+    /// instead of one per arrival.
+    ///
+    /// Splitting an interval proportionally never changes any water level
+    /// or realised speed (the paper's partition-refinement invariance,
+    /// Section 3), so committing after the whole burst realises exactly
+    /// what the one-at-a-time interleaving would have; the
+    /// burst-equivalence integration tests (`tests/incremental_equivalence.rs`)
+    /// pin this.  Returns the accept decision per job, like
+    /// [`arrive`](Self::arrive).
+    ///
+    /// The rebuild reference engine has no batched context update and
+    /// simply loops [`arrive`](Self::arrive).
+    pub fn arrive_burst(&mut self, jobs: &[Job], now: f64) -> Result<Vec<bool>, ScheduleError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Validate the whole burst (against the loop's sequential ordering
+        // contract) before mutating any state.
+        let mut last = self.last_release;
+        for job in jobs {
+            if now < job.release - ARRIVAL_ORDER_TOLERANCE {
+                return Err(ScheduleError::Internal(format!(
+                    "job {} fed before its release time ({} < {})",
+                    job.id, now, job.release
+                )));
+            }
+            check_arrival(job, last, job.release)?;
+            last = last.max(job.release);
+        }
+        if matches!(self.engine, ArrivalEngine::Rebuild { .. }) {
+            // The reference engine rebuilds its dense context per arrival
+            // anyway; batching would change what it is a baseline for.
+            return jobs.iter().map(|job| self.arrive(job)).collect();
+        }
+
+        // The committed frontier cannot advance inside the burst (the
+        // commit below is deferred), so the boundary floor is fixed once.
+        let floor = if self.committed_prefix > 0 {
+            self.partition().boundaries()[self.committed_prefix]
+        } else {
+            f64::NEG_INFINITY
+        };
+        let ArrivalEngine::Incremental(state) = &mut self.engine else {
+            unreachable!("rebuild engine handled above");
+        };
+
+        // The sequential greedy fills, job by job on the shared context.
+        // Each job refines the partition with its own two boundaries just
+        // before its fill (not all burst boundaries upfront: a fill's cost
+        // scales with the candidate sub-intervals it sees, so refining
+        // lazily keeps the burst's earlier fills on the coarser partition,
+        // exactly like the one-at-a-time path — refinement invariance makes
+        // either order produce the same fills).
+        let mut accepted = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            state.refine(&[job.release.max(floor), job.deadline.max(floor)]);
+            let dense = self.jobs.len();
+            self.jobs.push(Job::new(
+                dense,
+                job.release,
+                job.deadline,
+                job.work,
+                job.value,
+            ));
+            self.original_ids.push(job.id);
+            let opts = WaterfillOptions {
+                max_fraction: 1.0,
+                max_marginal: Some(job.value / self.delta),
+                tol: self.tol,
+            };
+            let candidates: Vec<WaterfillCandidate> = state
+                .partition
+                .covered_intervals(&self.jobs[dense])
+                .into_iter()
+                .map(|k| WaterfillCandidate {
+                    interval: k,
+                    length: state.partition.length(k),
+                    other_works: state.loads[k]
+                        .iter()
+                        .map(|&(j, f)| f * self.jobs[j].work)
+                        .collect(),
+                })
+                .collect();
+            let fill = waterfill_candidates(self.power, self.machines, job.work, candidates, &opts);
+            if fill.saturated {
+                for &(k, f) in &fill.added {
+                    state.loads[k].push((dense, f));
+                }
+                self.lambda.push(self.delta * fill.level_marginal);
+            } else {
+                self.lambda.push(job.value);
+            }
+            self.accepted.push(fill.saturated);
+            accepted.push(fill.saturated);
+            self.last_release = self.last_release.max(job.release);
+        }
+
+        // One frontier commit for the whole burst: realising an atomic
+        // interval (a Chen solve per interval) is the expensive part of an
+        // arrival on a jittered burst, and deferring it until the burst's
+        // loads are final does it once instead of per sliver.
+        self.commit_elapsed(self.last_release, None)?;
+        Ok(accepted)
+    }
+
     /// Convenience: runs the online algorithm over a whole instance (feeding
     /// jobs in release order) and returns the schedule in the instance's
     /// original job ids.
@@ -480,6 +591,26 @@ impl OnlineScheduler for OnlinePd {
         } else {
             Decision::reject(job.value)
         })
+    }
+
+    /// Batch ingestion through [`arrive_burst`](OnlinePd::arrive_burst):
+    /// one partition update and one frontier commit per burst, sequential
+    /// (order-exact) water-fills, decisions under the workspace dual
+    /// convention.
+    fn on_arrivals(&mut self, jobs: &[Job], now: f64) -> Result<Vec<Decision>, ScheduleError> {
+        let before = self.lambda.len();
+        let accepted = self.arrive_burst(jobs, now)?;
+        Ok(accepted
+            .into_iter()
+            .enumerate()
+            .map(|(i, ok)| {
+                if ok {
+                    Decision::accept(self.lambda[before + i])
+                } else {
+                    Decision::reject(jobs[i].value)
+                }
+            })
+            .collect())
     }
 
     fn frontier(&self) -> &Schedule {

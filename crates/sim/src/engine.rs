@@ -224,10 +224,17 @@ pub struct ArrivalRecord {
     /// The dual value the algorithm reported for the job.
     pub dual: f64,
     /// Wall-clock time the algorithm spent handling this arrival, in
-    /// seconds.
+    /// seconds.  When the arrival was ingested as part of a coalesced
+    /// burst, this is the burst's handling time divided by its size (the
+    /// amortised per-arrival cost — the quantity a throughput-oriented
+    /// latency percentile should see).
     pub latency_secs: f64,
-    /// Number of committed frontier segments right after the arrival.
+    /// Number of committed frontier segments right after the arrival (after
+    /// the whole burst, for burst-ingested arrivals).
     pub frontier_segments: usize,
+    /// Size of the ingestion batch this arrival was part of (1 in
+    /// per-event mode).
+    pub burst: usize,
 }
 
 /// The result of one streaming run: the per-event trace, the finished
@@ -238,6 +245,9 @@ pub struct StreamReport {
     pub algorithm: String,
     /// One record per arrival, in arrival order.
     pub events: Vec<ArrivalRecord>,
+    /// Number of ingestion calls made (`on_arrivals` batches; equals
+    /// `events.len()` in per-event mode).
+    pub batches: usize,
     /// The finished schedule.
     pub schedule: Schedule,
     /// The execution report of replaying `schedule`.
@@ -283,13 +293,9 @@ impl StreamReport {
     /// handling latency, in seconds; 0 for an empty stream.  The streaming
     /// latency experiment (E12) reports p50/p95/p99 through this.
     pub fn latency_percentile_secs(&self, p: f64) -> f64 {
-        if self.events.is_empty() {
-            return 0.0;
-        }
         let mut lat: Vec<f64> = self.events.iter().map(|e| e.latency_secs).collect();
         lat.sort_by(f64::total_cmp);
-        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
-        lat[rank.clamp(1, lat.len()) - 1]
+        nearest_rank(&lat, p)
     }
 
     /// Total wall-clock time spent handling arrivals (the sum of per-event
@@ -304,15 +310,81 @@ impl StreamReport {
     }
 }
 
+/// The nearest-rank `p`-th percentile (`0 ≤ p ≤ 100`) of an
+/// ascending-sorted sample list; 0 for an empty list.  The single
+/// percentile definition shared by [`StreamReport`] and the fleet-level
+/// merge (`pss_sim::parallel`), so per-shard and pooled numbers can never
+/// follow different formulas.
+pub(crate) fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Partitions an instance's arrival stream into coalesced ingestion bursts:
+/// each burst is a maximal run of consecutive arrivals (in arrival order)
+/// whose release times lie within `window` of the burst's **first** release.
+/// Returned as `(feed_time, job ids)` pairs, where `feed_time` is the
+/// burst's *last* (largest) release — feeding the whole burst there keeps
+/// every job's `check_arrival` ingress contract satisfied (`now ≥ release`).
+///
+/// `window = 0` yields one singleton burst per arrival (the per-event
+/// stream), including for bit-equal release times, so the degenerate case
+/// is exactly the pre-coalescing event loop.
+pub fn coalesce_arrivals(instance: &Instance, window: f64) -> Vec<(f64, Vec<JobId>)> {
+    let order = instance.arrival_order();
+    let mut bursts: Vec<(f64, Vec<JobId>)> = Vec::new();
+    let mut i = 0usize;
+    while i < order.len() {
+        let first = instance.job(order[i]).release;
+        let mut j = i + 1;
+        if window > 0.0 {
+            while j < order.len() && instance.job(order[j]).release <= first + window {
+                j += 1;
+            }
+        }
+        let feed_time = instance.job(order[j - 1]).release;
+        bursts.push((feed_time, order[i..j].to_vec()));
+        i = j;
+    }
+    bursts
+}
+
 /// Drives an event-driven online algorithm over an instance's arrival
-/// stream, one job at a time.
+/// stream — one job at a time by default, or one coalesced *burst* at a
+/// time when a coalescing window is configured.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct StreamingSimulation;
+pub struct StreamingSimulation {
+    /// Width of the burst-coalescing window: arrivals within this much of a
+    /// burst's first release are fed together through
+    /// [`OnlineScheduler::on_arrivals`] at the burst's last release (see
+    /// [`coalesce_arrivals`]).  `0` (the default) feeds every arrival
+    /// individually through [`OnlineScheduler::on_arrival`], exactly like
+    /// the pre-batching simulator.
+    ///
+    /// Coalescing deliberately treats near-simultaneous arrivals as
+    /// simultaneous: jobs are fed up to one window *later* than their
+    /// release.  Replanning algorithms catch up (they plan the *remaining*
+    /// work), but fixed-rate algorithms like AVR permanently under-process
+    /// a delayed job by `density × delay` — keep the window far below the
+    /// jobs' time scale (it models timestamp jitter, not load shedding).
+    pub coalesce_window: f64,
+}
 
 impl StreamingSimulation {
-    /// Feeds the instance's jobs to a fresh run of `algo` in arrival order,
-    /// recording per-event metrics, then finishes the run, validates the
-    /// schedule and replays it through [`Simulation`].
+    /// A simulator with the given burst-coalescing window.
+    pub fn with_coalescing(window: f64) -> Self {
+        Self {
+            coalesce_window: window.max(0.0),
+        }
+    }
+
+    /// Feeds the instance's jobs to a fresh run of `algo` in arrival order
+    /// (batched per coalesced burst if a window is configured), recording
+    /// per-event metrics, then finishes the run, validates the schedule and
+    /// replays it through [`Simulation`].
     pub fn run<A: OnlineAlgorithm + ?Sized>(
         &self,
         algo: &A,
@@ -320,25 +392,60 @@ impl StreamingSimulation {
     ) -> Result<StreamReport, ScheduleError> {
         let mut run = algo.start_for(instance)?;
         let mut events = Vec::with_capacity(instance.len());
-        for id in instance.arrival_order() {
-            let job = instance.job(id);
-            let started = Instant::now();
-            let decision = run.on_arrival(job, job.release)?;
-            let latency_secs = started.elapsed().as_secs_f64();
-            events.push(ArrivalRecord {
-                job: id,
-                time: job.release,
-                accepted: decision.accepted,
-                dual: decision.dual,
-                latency_secs,
-                frontier_segments: run.frontier().segments.len(),
-            });
+        let mut batches = 0usize;
+        if self.coalesce_window > 0.0 {
+            let mut burst_jobs = Vec::new();
+            for (feed_time, ids) in coalesce_arrivals(instance, self.coalesce_window) {
+                burst_jobs.clear();
+                burst_jobs.extend(ids.iter().map(|&id| *instance.job(id)));
+                let started = Instant::now();
+                let decisions = run.on_arrivals(&burst_jobs, feed_time)?;
+                let amortised = started.elapsed().as_secs_f64() / ids.len().max(1) as f64;
+                if decisions.len() != ids.len() {
+                    return Err(ScheduleError::Internal(format!(
+                        "on_arrivals contract violation: {} decisions for a burst of {} jobs",
+                        decisions.len(),
+                        ids.len()
+                    )));
+                }
+                batches += 1;
+                let frontier_segments = run.frontier().segments.len();
+                for (id, decision) in ids.iter().zip(decisions) {
+                    events.push(ArrivalRecord {
+                        job: *id,
+                        time: instance.job(*id).release,
+                        accepted: decision.accepted,
+                        dual: decision.dual,
+                        latency_secs: amortised,
+                        frontier_segments,
+                        burst: ids.len(),
+                    });
+                }
+            }
+        } else {
+            for id in instance.arrival_order() {
+                let job = instance.job(id);
+                let started = Instant::now();
+                let decision = run.on_arrival(job, job.release)?;
+                let latency_secs = started.elapsed().as_secs_f64();
+                batches += 1;
+                events.push(ArrivalRecord {
+                    job: id,
+                    time: job.release,
+                    accepted: decision.accepted,
+                    dual: decision.dual,
+                    latency_secs,
+                    frontier_segments: run.frontier().segments.len(),
+                    burst: 1,
+                });
+            }
         }
         let schedule = run.finish()?;
         let report = Simulation.run(instance, &schedule)?;
         Ok(StreamReport {
             algorithm: algo.algorithm_name(),
             events,
+            batches,
             schedule,
             report,
         })
@@ -442,7 +549,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let stream = StreamingSimulation.run(&AvrScheduler, &inst).unwrap();
+        let stream = StreamingSimulation::default()
+            .run(&AvrScheduler, &inst)
+            .unwrap();
         assert_eq!(stream.algorithm, "AVR");
         assert_eq!(stream.events.len(), inst.len());
         assert_eq!(stream.accepted_jobs(), inst.len());
@@ -474,7 +583,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let mut stream = StreamingSimulation.run(&AvrScheduler, &inst).unwrap();
+        let mut stream = StreamingSimulation::default()
+            .run(&AvrScheduler, &inst)
+            .unwrap();
         // Install deterministic latencies to pin the percentile math.
         for (i, e) in stream.events.iter_mut().enumerate() {
             e.latency_secs = (i + 1) as f64; // 1, 2, 3
@@ -487,6 +598,102 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_single_sample_streams_have_safe_statistics() {
+        use pss_baselines::AvrScheduler;
+
+        // Empty stream: every statistic must be defined (no NaN, no
+        // division by zero).
+        let empty = Instance::from_tuples(1, 2.0, vec![]).unwrap();
+        let stream = StreamingSimulation::default()
+            .run(&AvrScheduler, &empty)
+            .unwrap();
+        assert_eq!(stream.events.len(), 0);
+        assert_eq!(stream.batches, 0);
+        assert_eq!(stream.acceptance_rate(), 1.0);
+        assert_eq!(stream.mean_latency_secs(), 0.0);
+        assert_eq!(stream.max_latency_secs(), 0.0);
+        assert_eq!(stream.latency_percentile_secs(50.0), 0.0);
+        assert_eq!(stream.total_arrival_secs(), 0.0);
+        assert!(stream.total_cost().is_finite());
+
+        // Single-sample stream: every percentile is that sample.
+        let single = Instance::from_tuples(1, 2.0, vec![(0.0, 2.0, 1.0, 1.0)]).unwrap();
+        let mut stream = StreamingSimulation::default()
+            .run(&AvrScheduler, &single)
+            .unwrap();
+        stream.events[0].latency_secs = 3.5;
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(stream.latency_percentile_secs(p), 3.5);
+        }
+        assert_eq!(stream.mean_latency_secs(), 3.5);
+        assert_eq!(stream.batches, 1);
+        assert_eq!(stream.events[0].burst, 1);
+    }
+
+    #[test]
+    fn coalescing_window_batches_near_simultaneous_arrivals() {
+        use pss_baselines::AvrScheduler;
+
+        // Two bursts of two (1e-5 apart) and a lone straggler.
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 4.0, 1.0, 1.0),
+                (1e-5, 4.0, 1.0, 1.0),
+                (1.0, 5.0, 1.0, 1.0),
+                (1.0 + 1e-5, 5.0, 1.0, 1.0),
+                (2.0, 6.0, 1.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let bursts = coalesce_arrivals(&inst, 1e-4);
+        assert_eq!(bursts.len(), 3);
+        assert_eq!(bursts[0].1.len(), 2);
+        assert_eq!(bursts[1].1.len(), 2);
+        assert_eq!(bursts[2].1.len(), 1);
+        // Each burst is fed at its last release.
+        assert_eq!(bursts[0].0, 1e-5);
+        assert_eq!(bursts[2].0, 2.0);
+        // Window 0: strict per-event partition, even for equal times.
+        assert_eq!(coalesce_arrivals(&inst, 0.0).len(), 5);
+
+        let coalesced = StreamingSimulation::with_coalescing(1e-4)
+            .run(&AvrScheduler, &inst)
+            .unwrap();
+        assert_eq!(coalesced.batches, 3);
+        assert_eq!(coalesced.events.len(), 5);
+        assert_eq!(coalesced.events[0].burst, 2);
+        assert_eq!(coalesced.events[4].burst, 1);
+        // Burst members share the amortised latency and the post-burst
+        // frontier size.
+        assert_eq!(
+            coalesced.events[0].latency_secs,
+            coalesced.events[1].latency_secs
+        );
+        assert_eq!(
+            coalesced.events[0].frontier_segments,
+            coalesced.events[1].frontier_segments
+        );
+        // For a replanning algorithm (which replans *remaining* work, so a
+        // burst-delayed feed catches up) the coalesced schedule matches the
+        // per-event one up to the jitter scale.
+        use pss_baselines::OaScheduler;
+        let coalesced_oa = StreamingSimulation::with_coalescing(1e-4)
+            .run(&OaScheduler, &inst)
+            .unwrap();
+        let per_event_oa = StreamingSimulation::default()
+            .run(&OaScheduler, &inst)
+            .unwrap();
+        assert_eq!(per_event_oa.batches, 5);
+        assert_eq!(coalesced_oa.accepted_jobs(), per_event_oa.accepted_jobs());
+        assert!(
+            (coalesced_oa.total_cost() - per_event_oa.total_cost()).abs()
+                < 1e-3 * per_event_oa.total_cost().max(1.0)
+        );
+    }
+
+    #[test]
     fn streaming_simulation_records_rejections_and_duals() {
         use pss_baselines::CllScheduler;
 
@@ -494,7 +701,9 @@ mod tests {
         let inst =
             Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 10.0, 0.001), (0.0, 2.0, 0.5, 10.0)])
                 .unwrap();
-        let stream = StreamingSimulation.run(&CllScheduler, &inst).unwrap();
+        let stream = StreamingSimulation::default()
+            .run(&CllScheduler, &inst)
+            .unwrap();
         assert_eq!(stream.accepted_jobs(), 1);
         assert_eq!(stream.rejected_jobs(), 1);
         let rejected = stream.events.iter().find(|e| !e.accepted).unwrap();

@@ -15,7 +15,17 @@
 //! [`engine::StreamingSimulation`] drives an event-driven online algorithm
 //! ([`OnlineAlgorithm`](pss_types::OnlineAlgorithm)) one arrival at a time
 //! and records a per-event trace (decision, dual, latency, frontier
-//! growth) — the runtime counterpart of the paper's online model.
+//! growth) — the runtime counterpart of the paper's online model.  A
+//! configurable **burst-coalescing window** feeds near-simultaneous
+//! arrivals (within the window of a burst's first release) as one batch
+//! through [`OnlineScheduler::on_arrivals`](pss_types::OnlineScheduler::on_arrivals),
+//! at the burst's last release time, so a burst costs one replan / index
+//! merge instead of one per job; `coalesce_window = 0` (the default) is the
+//! exact per-event loop.  [`parallel::ParallelStreamingSimulation`] shards
+//! independent streams across `std::thread` workers and deterministically
+//! merges the per-shard [`engine::StreamReport`]s into a fleet-level
+//! [`parallel::FleetReport`] (pooled percentiles recomputed from pooled
+//! samples, never averaged).
 //!
 //! [`replay`] provides the operational definition of "online": the
 //! streaming check [`replay::streaming_prefix_report`] verifies in a single
@@ -30,11 +40,13 @@
 
 pub mod engine;
 pub mod gantt;
+pub mod parallel;
 pub mod replay;
 
 pub use engine::{
-    ArrivalRecord, JobOutcome, MachineStats, SimReport, Simulation, StreamReport,
-    StreamingSimulation,
+    coalesce_arrivals, ArrivalRecord, JobOutcome, MachineStats, SimReport, Simulation,
+    StreamReport, StreamingSimulation,
 };
 pub use gantt::{render_gantt, GanttOptions};
+pub use parallel::{FleetReport, ParallelStreamingSimulation};
 pub use replay::{prefix_stability_report, streaming_prefix_report, PrefixStabilityReport};

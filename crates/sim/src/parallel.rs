@@ -1,0 +1,318 @@
+//! Parallel sharded streaming: many independent arrival streams, one
+//! algorithm, `std::thread` workers, and a deterministic fleet-level merge.
+//!
+//! A production scheduler serving heavy traffic does not funnel every
+//! arrival through one run: independent streams (tenants, clusters,
+//! partitions of the job-id space) are *sharded* across cores, each shard
+//! driving its own [`OnlineScheduler`](pss_types::OnlineScheduler) run.
+//! [`ParallelStreamingSimulation`] is that harness: it takes one shard
+//! instance per stream (generated from provably disjoint RNG substreams via
+//! `pss_workloads::SmallRng::split_stream`), drives every shard through the
+//! burst-coalescing [`StreamingSimulation`], and merges the per-shard
+//! [`StreamReport`]s into a [`FleetReport`].
+//!
+//! Shards are distributed over at most `workers` OS threads (clamped to the
+//! machine's available parallelism by default); a worker processes its
+//! shards sequentially.  Scheduling decisions, schedules and costs are a
+//! pure function of each shard's instance, so the merged report is
+//! **deterministic** for a fixed seed and shard count regardless of the
+//! worker count or thread interleaving — only the wall-clock fields vary
+//! between runs.  The merge recomputes every pooled statistic from the
+//! pooled per-event samples (percentiles are *not* averages of per-shard
+//! percentiles, which would be statistically meaningless).
+
+use std::time::Instant;
+
+use pss_types::{Instance, OnlineAlgorithm, ScheduleError};
+
+use crate::engine::{StreamReport, StreamingSimulation};
+
+/// Drives one run per shard instance across worker threads and merges the
+/// shard reports into a fleet-level view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelStreamingSimulation {
+    /// Burst-coalescing window applied within every shard (see
+    /// [`StreamingSimulation::coalesce_window`]).
+    pub coalesce_window: f64,
+    /// Maximum number of worker threads; `None` uses
+    /// [`std::thread::available_parallelism`].  The effective worker count
+    /// is additionally clamped to the shard count.
+    pub workers: Option<usize>,
+}
+
+impl ParallelStreamingSimulation {
+    /// A harness with the given coalescing window and the default worker
+    /// clamp (available parallelism).
+    pub fn with_coalescing(window: f64) -> Self {
+        Self {
+            coalesce_window: window.max(0.0),
+            workers: None,
+        }
+    }
+
+    /// The number of worker threads used for `shards` shard instances.
+    pub fn effective_workers(&self, shards: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.workers
+            .unwrap_or(hw)
+            .clamp(1, hw.max(1))
+            .min(shards.max(1))
+    }
+
+    /// Runs one fresh stream of `algo` per shard instance, in parallel, and
+    /// merges the per-shard reports (in shard-index order) into a
+    /// [`FleetReport`].
+    ///
+    /// Shard `k`'s report is identical to
+    /// `StreamingSimulation::with_coalescing(w).run(algo, &shards[k])` —
+    /// the parallelism is across shards only, never within a run.
+    pub fn run<A: OnlineAlgorithm + Sync + ?Sized>(
+        &self,
+        algo: &A,
+        shards: &[Instance],
+    ) -> Result<FleetReport, ScheduleError> {
+        let started = Instant::now();
+        let sim = StreamingSimulation::with_coalescing(self.coalesce_window);
+        let workers = self.effective_workers(shards.len());
+        let mut slots: Vec<Option<Result<StreamReport, ScheduleError>>> =
+            (0..shards.len()).map(|_| None).collect();
+        if workers <= 1 {
+            for (slot, shard) in slots.iter_mut().zip(shards) {
+                *slot = Some(sim.run(algo, shard));
+            }
+        } else {
+            // Contiguous chunks keep the partition deterministic (it only
+            // affects wall-clock, but determinism everywhere is cheaper to
+            // reason about than determinism almost everywhere).
+            let chunk = shards.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (slot_chunk, shard_chunk) in slots.chunks_mut(chunk).zip(shards.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, shard) in slot_chunk.iter_mut().zip(shard_chunk) {
+                            *slot = Some(sim.run(algo, shard));
+                        }
+                    });
+                }
+            });
+        }
+        let mut reports = Vec::with_capacity(shards.len());
+        for slot in slots {
+            reports.push(slot.expect("every shard slot is filled")?);
+        }
+        Ok(FleetReport {
+            shards: reports,
+            workers,
+            wall_clock_secs: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// The merged result of a sharded streaming run.
+///
+/// All pooled statistics are recomputed from the per-shard event traces in
+/// shard-index order; nothing is averaged across shards.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-shard stream reports, in shard-index order.
+    pub shards: Vec<StreamReport>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock duration of the whole parallel run (includes `finish`,
+    /// validation and replay of every shard, not only arrival handling).
+    pub wall_clock_secs: f64,
+}
+
+impl FleetReport {
+    /// Total number of arrivals across all shards.
+    pub fn total_arrivals(&self) -> usize {
+        self.shards.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// Total number of ingestion calls (coalesced bursts) across shards.
+    pub fn total_batches(&self) -> usize {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Accepted arrivals across all shards.
+    pub fn accepted_jobs(&self) -> usize {
+        self.shards.iter().map(|s| s.accepted_jobs()).sum()
+    }
+
+    /// Pooled acceptance rate (1 for an empty fleet, matching
+    /// [`StreamReport::acceptance_rate`]).
+    pub fn acceptance_rate(&self) -> f64 {
+        let total = self.total_arrivals();
+        if total == 0 {
+            return 1.0;
+        }
+        self.accepted_jobs() as f64 / total as f64
+    }
+
+    /// Sum of per-arrival handling times across every shard (the serial
+    /// work; compare against [`wall_clock_secs`](Self::wall_clock_secs) for
+    /// the parallel utilisation).
+    pub fn total_arrival_secs(&self) -> f64 {
+        self.shards.iter().map(|s| s.total_arrival_secs()).sum()
+    }
+
+    /// Fleet ingestion throughput: total arrivals per wall-clock second of
+    /// the parallel run (0 for an empty fleet).
+    pub fn arrivals_per_sec(&self) -> f64 {
+        if self.wall_clock_secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_arrivals() as f64 / self.wall_clock_secs
+    }
+
+    /// Pooled mean per-arrival latency (0 for an empty fleet).
+    pub fn mean_latency_secs(&self) -> f64 {
+        let total = self.total_arrivals();
+        if total == 0 {
+            return 0.0;
+        }
+        self.total_arrival_secs() / total as f64
+    }
+
+    /// The `p`-th percentile (nearest-rank, like
+    /// [`StreamReport::latency_percentile_secs`]) of the per-arrival
+    /// latency over the **pooled** samples of every shard; 0 for an empty
+    /// fleet.
+    ///
+    /// Percentiles do not compose: the pooled p99 is recomputed from the
+    /// pooled multiset, never averaged from per-shard p99s (an average of
+    /// percentiles over unequal shards is not a percentile of anything).
+    pub fn latency_percentile_secs(&self, p: f64) -> f64 {
+        let mut lat: Vec<f64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.events.iter().map(|e| e.latency_secs))
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        crate::engine::nearest_rank(&lat, p)
+    }
+
+    /// Summed schedule cost (energy + lost value) across shards.
+    pub fn total_cost(&self) -> f64 {
+        self.shards.iter().map(|s| s.total_cost()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_baselines::{AvrScheduler, CllScheduler};
+    use pss_workloads::{ArrivalModel, RandomConfig, SmallRng, ValueModel};
+
+    fn shard_instances(shards: usize, n: usize, seed: u64) -> Vec<Instance> {
+        let base = SmallRng::seed_from_u64(seed);
+        let cfg = RandomConfig {
+            n_jobs: n,
+            machines: 1,
+            alpha: 2.0,
+            arrival: ArrivalModel::BurstyPoisson {
+                rate: 1.0,
+                burst_size: 4,
+                jitter: 1e-4,
+            },
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+            ..RandomConfig::standard(seed)
+        };
+        (0..shards)
+            .map(|k| cfg.generate_with(&mut base.split_stream(k as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn merged_fleet_report_is_deterministic_for_a_fixed_seed() {
+        let shards = shard_instances(3, 40, 777);
+        let sim = ParallelStreamingSimulation::with_coalescing(1e-3);
+        let a = sim.run(&CllScheduler, &shards).unwrap();
+        let b = sim.run(&CllScheduler, &shards).unwrap();
+        assert_eq!(a.total_arrivals(), 120);
+        assert_eq!(a.total_arrivals(), b.total_arrivals());
+        assert_eq!(a.accepted_jobs(), b.accepted_jobs());
+        assert_eq!(a.total_batches(), b.total_batches());
+        assert!((a.total_cost() - b.total_cost()).abs() == 0.0);
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x.schedule.segments, y.schedule.segments);
+            let dx: Vec<(bool, f64)> = x.events.iter().map(|e| (e.accepted, e.dual)).collect();
+            let dy: Vec<(bool, f64)> = y.events.iter().map(|e| (e.accepted, e.dual)).collect();
+            assert_eq!(dx, dy);
+        }
+    }
+
+    #[test]
+    fn shard_reports_match_the_sequential_simulator() {
+        let shards = shard_instances(2, 30, 555);
+        let fleet = ParallelStreamingSimulation::with_coalescing(1e-3)
+            .run(&AvrScheduler, &shards)
+            .unwrap();
+        for (shard, inst) in fleet.shards.iter().zip(&shards) {
+            let solo = StreamingSimulation::with_coalescing(1e-3)
+                .run(&AvrScheduler, inst)
+                .unwrap();
+            assert_eq!(shard.schedule.segments, solo.schedule.segments);
+            assert_eq!(shard.batches, solo.batches);
+        }
+    }
+
+    #[test]
+    fn worker_count_clamps_to_parallelism_and_shards() {
+        let sim = ParallelStreamingSimulation {
+            coalesce_window: 0.0,
+            workers: Some(64),
+        };
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert!(sim.effective_workers(8) <= hw);
+        assert_eq!(sim.effective_workers(1), 1);
+        assert_eq!(
+            ParallelStreamingSimulation::default().effective_workers(0),
+            1
+        );
+    }
+
+    #[test]
+    fn pooled_percentiles_are_recomputed_not_averaged() {
+        // Two shards with very different latency distributions: the pooled
+        // p50 must be the median of the pooled multiset (2.0), not the
+        // average of the per-shard medians ((1 + 100)/2 = 50.5).
+        let shards = shard_instances(2, 3, 99);
+        let mut fleet = ParallelStreamingSimulation::default()
+            .run(&AvrScheduler, &shards)
+            .unwrap();
+        let fake = [[1.0, 1.0, 2.0], [2.0, 100.0, 100.0]];
+        for (shard, lats) in fleet.shards.iter_mut().zip(fake) {
+            for (e, l) in shard.events.iter_mut().zip(lats) {
+                e.latency_secs = l;
+            }
+        }
+        assert_eq!(fleet.latency_percentile_secs(50.0), 2.0);
+        let avg_of_medians = (fleet.shards[0].latency_percentile_secs(50.0)
+            + fleet.shards[1].latency_percentile_secs(50.0))
+            / 2.0;
+        assert!((avg_of_medians - 50.5).abs() < 1e-12);
+        assert_eq!(fleet.latency_percentile_secs(100.0), 100.0);
+        assert_eq!(fleet.latency_percentile_secs(0.0), 1.0);
+        // Pooled mean is the pooled sum over the pooled count.
+        assert!((fleet.mean_latency_secs() - 206.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fleet_has_safe_defaults() {
+        let fleet = FleetReport {
+            shards: Vec::new(),
+            workers: 1,
+            wall_clock_secs: 0.0,
+        };
+        assert_eq!(fleet.total_arrivals(), 0);
+        assert_eq!(fleet.acceptance_rate(), 1.0);
+        assert_eq!(fleet.latency_percentile_secs(99.0), 0.0);
+        assert_eq!(fleet.mean_latency_secs(), 0.0);
+        assert_eq!(fleet.arrivals_per_sec(), 0.0);
+        assert_eq!(fleet.total_cost(), 0.0);
+    }
+}

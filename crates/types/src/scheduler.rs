@@ -6,9 +6,11 @@
 //!   [`Schedule`].  Offline algorithms (YDS, brute force, the convex
 //!   solver) implement this directly.
 //! * [`OnlineScheduler`] / [`OnlineAlgorithm`] — the *event-driven* view:
-//!   jobs arrive one at a time via [`OnlineScheduler::on_arrival`], every
-//!   decision is made with only the jobs released so far, and the
-//!   already-committed past ([`OnlineScheduler::frontier`]) is never
+//!   jobs arrive one at a time via [`OnlineScheduler::on_arrival`] (or as
+//!   simultaneous bursts via [`OnlineScheduler::on_arrivals`], which is
+//!   observably equivalent but lets implementations share the per-burst
+//!   work), every decision is made with only the jobs released so far, and
+//!   the already-committed past ([`OnlineScheduler::frontier`]) is never
 //!   revised.  All online algorithms in the workspace (PD, OA, qOA,
 //!   multiprocessor OA, AVR, BKP, CLL) implement this pair, and a blanket
 //!   adapter recovers their batch [`Scheduler`] impl, so the experiment
@@ -105,6 +107,39 @@ pub trait OnlineScheduler {
     /// previous arrival time; implementations return an error on
     /// out-of-order feeds.  Typically `now == job.release`.
     fn on_arrival(&mut self, job: &Job, now: f64) -> Result<Decision, ScheduleError>;
+
+    /// Feeds a *burst* of simultaneous arrivals at time `now` and returns
+    /// one decision per job, in slice order.
+    ///
+    /// # Contract
+    ///
+    /// * Every job in `jobs` arrives at the same instant `now` (each job's
+    ///   release may precede `now`, exactly as for
+    ///   [`on_arrival`](Self::on_arrival); the per-job ingress checks of
+    ///   [`check_arrival`] still apply, so a job more than
+    ///   [`ARRIVAL_ORDER_TOLERANCE`] *after* `now` is rejected with an
+    ///   error).
+    /// * Jobs are processed **in slice order**: admission rules that
+    ///   consult the pending set see the burst's earlier jobs already
+    ///   admitted, exactly as if the slice had been fed job by job.
+    /// * The method is **observably equivalent** to looping
+    ///   [`on_arrival`](Self::on_arrival) over the slice at the same `now`:
+    ///   same decisions and duals, same frontier, same final schedule.  The
+    ///   default implementation *is* that loop; specialised
+    ///   implementations only collapse shared per-burst work (one replan,
+    ///   one index merge, one partition update for the whole burst instead
+    ///   of one per job) — the burst-equivalence integration tests
+    ///   (`tests/incremental_equivalence.rs`) pin this for every algorithm
+    ///   in the workspace.
+    /// * On error the run may have ingested a prefix of the burst; like an
+    ///   [`on_arrival`](Self::on_arrival) error, the run should be
+    ///   discarded.
+    ///
+    /// An empty burst is a no-op returning an empty vector (in particular
+    /// it does not advance the run's clock).
+    fn on_arrivals(&mut self, jobs: &[Job], now: f64) -> Result<Vec<Decision>, ScheduleError> {
+        jobs.iter().map(|job| self.on_arrival(job, now)).collect()
+    }
 
     /// The committed *frontier*: the partial schedule for the past (times
     /// `< now`) that the run guarantees never to revise.  It grows
@@ -366,6 +401,39 @@ mod tests {
                 "past revised at t={sample}"
             );
         }
+    }
+
+    #[test]
+    fn default_on_arrivals_is_the_on_arrival_loop() {
+        let inst = Instance::from_tuples(
+            1,
+            2.0,
+            vec![
+                (0.0, 2.0, 0.5, 1.0),
+                (0.0, 3.0, 0.5, 1.0),
+                (1.0, 4.0, 0.5, 1.0),
+            ],
+        )
+        .unwrap();
+        let mut looped = Density.start_for(&inst).unwrap();
+        let mut batched = Density.start_for(&inst).unwrap();
+        // Burst of the two t=0 jobs, then the t=1 singleton.
+        let jobs = &inst.jobs;
+        let burst = batched.on_arrivals(&jobs[0..2], 0.0).unwrap();
+        let mut single = Vec::new();
+        for job in &jobs[0..2] {
+            single.push(looped.on_arrival(job, 0.0).unwrap());
+        }
+        assert_eq!(burst, single);
+        assert_eq!(
+            batched.on_arrivals(&jobs[2..3], 1.0).unwrap(),
+            vec![looped.on_arrival(&jobs[2], 1.0).unwrap()]
+        );
+        // Empty bursts are no-ops.
+        assert!(batched.on_arrivals(&[], 1.0).unwrap().is_empty());
+        let a = batched.finish().unwrap();
+        let b = looped.finish().unwrap();
+        assert_eq!(a.segments, b.segments, "burst path revised the schedule");
     }
 
     #[test]

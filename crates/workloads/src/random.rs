@@ -21,6 +21,25 @@ pub enum ArrivalModel {
         /// Number of jobs per burst.
         burst_size: usize,
     },
+    /// Bursts of near-simultaneous jobs whose *burst* times follow a
+    /// Poisson process: every burst has `burst_size` jobs whose release
+    /// times are spread uniformly over `[center, center + jitter)` (sorted
+    /// within the burst).  `jitter = 0` collapses to bit-equal release
+    /// times per burst.
+    ///
+    /// This is the ingestion-grain workload of the burst-batching layer: a
+    /// real stream's "simultaneous" arrivals carry distinct (microsecond)
+    /// timestamps, which is exactly what a coalescing window turns back
+    /// into one batch.  The `horizon` field is ignored; the stream extends
+    /// as far as needed.
+    BurstyPoisson {
+        /// Expected number of *bursts* per unit time.
+        rate: f64,
+        /// Number of jobs per burst.
+        burst_size: usize,
+        /// Width of the intra-burst release spread (0 = exactly equal).
+        jitter: f64,
+    },
 }
 
 /// How job window lengths (deadline − release) are generated.
@@ -138,27 +157,36 @@ impl RandomConfig {
     /// Generates the instance described by this configuration.
     pub fn generate(&self) -> Instance {
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let releases = self.releases(&mut rng);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates the instance drawing from an explicit generator (the
+    /// `seed` field is ignored).
+    ///
+    /// This is what the sharded streaming harness uses: shard `k` draws
+    /// from [`SmallRng::split_stream`]`(k)` of one base generator, so the
+    /// shards' workloads are provably independent substreams of a single
+    /// seed rather than `s` ad-hoc seeds.
+    pub fn generate_with(&self, rng: &mut SmallRng) -> Instance {
+        let releases = self.releases(rng);
         let mut jobs = Vec::with_capacity(self.n_jobs);
         for (i, release) in releases.into_iter().enumerate() {
             let window = match self.window {
-                WindowModel::Uniform { min, max } => sample_uniform(&mut rng, min, max),
+                WindowModel::Uniform { min, max } => sample_uniform(rng, min, max),
             };
             let work = match self.work {
-                WorkModel::Uniform { min, max } => sample_uniform(&mut rng, min, max),
+                WorkModel::Uniform { min, max } => sample_uniform(rng, min, max),
                 WorkModel::Pareto { shape, scale, cap } => {
                     let u: f64 = rng.f64_range(1e-9, 1.0);
                     (scale * u.powf(-1.0 / shape)).min(cap)
                 }
             };
             let value = match self.value {
-                ValueModel::Absolute { min, max } => sample_uniform(&mut rng, min, max),
-                ValueModel::ProportionalToWork { min, max } => {
-                    work * sample_uniform(&mut rng, min, max)
-                }
+                ValueModel::Absolute { min, max } => sample_uniform(rng, min, max),
+                ValueModel::ProportionalToWork { min, max } => work * sample_uniform(rng, min, max),
                 ValueModel::ProportionalToEnergy { min, max } => {
                     let alone = work * (work / window).powf(self.alpha - 1.0);
-                    alone * sample_uniform(&mut rng, min, max)
+                    alone * sample_uniform(rng, min, max)
                 }
                 ValueModel::Mandatory => 1e12,
             };
@@ -195,6 +223,36 @@ impl RandomConfig {
                 (0..self.n_jobs)
                     .map(|i| burst_times[i / burst_size.max(1)])
                     .collect()
+            }
+            ArrivalModel::BurstyPoisson {
+                rate,
+                burst_size,
+                jitter,
+            } => {
+                let b = burst_size.max(1);
+                let bursts = self.n_jobs.div_ceil(b);
+                let mut releases = Vec::with_capacity(self.n_jobs);
+                let mut center = 0.0;
+                for burst in 0..bursts {
+                    let u: f64 = rng.f64_range(1e-12, 1.0);
+                    center += -u.ln() / rate;
+                    let in_burst = b.min(self.n_jobs - burst * b);
+                    let mut offsets: Vec<f64> = (0..in_burst)
+                        .map(|_| {
+                            if jitter > 0.0 {
+                                rng.f64_range(0.0, jitter)
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect();
+                    offsets.sort_by(f64::total_cmp);
+                    releases.extend(offsets.into_iter().map(|o| center + o));
+                }
+                // Heavy jitter can make consecutive bursts overlap; the
+                // online contract needs a globally nondecreasing stream.
+                releases.sort_by(f64::total_cmp);
+                releases
             }
         }
     }
@@ -250,6 +308,53 @@ mod tests {
         let distinct: std::collections::BTreeSet<u64> =
             inst.jobs.iter().map(|j| j.release.to_bits()).collect();
         assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn bursty_poisson_groups_are_jitter_bounded_and_sorted() {
+        let cfg = RandomConfig {
+            n_jobs: 24,
+            arrival: ArrivalModel::BurstyPoisson {
+                rate: 2.0,
+                burst_size: 4,
+                jitter: 1e-4,
+            },
+            ..RandomConfig::standard(17)
+        };
+        let inst = cfg.generate();
+        let releases: Vec<f64> = inst.jobs.iter().map(|j| j.release).collect();
+        for w in releases.windows(2) {
+            assert!(w[1] >= w[0], "releases must be nondecreasing");
+        }
+        // Each burst of 4 spans at most the jitter width.
+        for chunk in releases.chunks(4) {
+            assert!(chunk[chunk.len() - 1] - chunk[0] <= 1e-4 + 1e-12);
+        }
+        // Zero jitter collapses to bit-equal release times per burst.
+        let exact = RandomConfig {
+            arrival: ArrivalModel::BurstyPoisson {
+                rate: 2.0,
+                burst_size: 4,
+                jitter: 0.0,
+            },
+            ..cfg
+        }
+        .generate();
+        for chunk in exact.jobs.chunks(4) {
+            assert!(chunk.iter().all(|j| j.release == chunk[0].release));
+        }
+    }
+
+    #[test]
+    fn generate_with_split_streams_yields_distinct_shards() {
+        let cfg = RandomConfig::standard(33);
+        let base = crate::SmallRng::seed_from_u64(33);
+        let a = cfg.generate_with(&mut base.split_stream(0));
+        let b = cfg.generate_with(&mut base.split_stream(1));
+        assert_ne!(a, b, "shards must draw from disjoint substreams");
+        // And the shard set is reproducible.
+        let a2 = cfg.generate_with(&mut base.split_stream(0));
+        assert_eq!(a, a2);
     }
 
     #[test]

@@ -75,7 +75,7 @@ fn main() {
     // The same run, driven as a live event stream: jobs are fed to PD one
     // arrival at a time, and every decision is traced with its dual value
     // and handling latency — the view an online admission controller has.
-    let stream = StreamingSimulation
+    let stream = StreamingSimulation::default()
         .run(&PdScheduler::coarse(), &instance)
         .expect("streaming PD run");
     println!("\n== streaming arrival trace ==");

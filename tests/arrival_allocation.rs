@@ -131,4 +131,53 @@ fn incremental_arrival_paths_do_not_allocate_with_history_size() {
     let mut run = bkp.start_for(&instance).expect("BKP run");
     let (early, late, _) = windows(&mut run, &instance, windows_spec, |_| 0);
     assert_flat("BKP indexed grid", early, late);
+
+    // Burst ingestion: with the replan shared by the whole burst, the
+    // allocation count *per arrival* must not grow with the burst size b —
+    // a batch path that secretly re-planned per job would scale ~b-fold.
+    let per_arrival = |b: usize, seed: u64| -> usize {
+        let inst = RandomConfig {
+            n_jobs: n,
+            machines: 1,
+            alpha: 2.5,
+            arrival: ArrivalModel::BurstyPoisson {
+                rate: 4.0 / b as f64,
+                burst_size: b,
+                jitter: 0.0,
+            },
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+            ..RandomConfig::standard(seed)
+        }
+        .generate();
+        // Group the stream into its equal-release bursts up front, so the
+        // measurement covers only the ingestion calls.
+        let mut bursts: Vec<(f64, Vec<Job>)> = Vec::new();
+        for id in inst.arrival_order() {
+            let job = *inst.job(id);
+            match bursts.last_mut() {
+                Some((t, jobs)) if job.release == *t => jobs.push(job),
+                _ => bursts.push((job.release, vec![job])),
+            }
+        }
+        let mut run = ReplanState::new(
+            OaPlanner { speed_factor: 1.0 },
+            AdmitAll,
+            OnlineEnv {
+                machines: 1,
+                alpha: inst.alpha,
+            },
+        );
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for (t, jobs) in &bursts {
+            run.on_arrivals(jobs, *t).expect("burst");
+        }
+        (ALLOCATIONS.load(Ordering::Relaxed) - before) / n
+    };
+    let at_b4 = per_arrival(4, 8700);
+    let at_b16 = per_arrival(16, 8701);
+    assert!(
+        at_b16 <= at_b4 + at_b4 / 2 + 8,
+        "OA burst ingestion allocations grew with b: {at_b4}/arrival at b=4 \
+         vs {at_b16}/arrival at b=16"
+    );
 }

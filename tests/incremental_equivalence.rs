@@ -592,3 +592,324 @@ fn indexed_bkp_survives_near_zero_works_and_tied_deadlines() {
         .with_indexed_events(false);
     assert_runs_equivalent(&instance, fast, slow, "indexed BKP (edge)", 1e-9);
 }
+
+#[test]
+fn pruned_bkp_grid_equals_unpruned_on_random_and_bursty_workloads() {
+    // The key-pruned speed index (the default) against the full-sweep
+    // index: the pruning bound is exact, so the runs must agree at numeric
+    // accuracy like the other indexed-vs-scan pins.
+    let algo = BkpScheduler {
+        resolution: 800,
+        ..Default::default()
+    };
+    for seed in 0..4u64 {
+        let instance = profitable(6200 + seed, 1, 3.0);
+        let fast = algo.start_for(&instance).expect("pruned BKP");
+        let slow = algo
+            .start_for(&instance)
+            .expect("full BKP")
+            .with_key_pruning(false);
+        assert_runs_equivalent(&instance, fast, slow, "pruned BKP", 1e-9);
+    }
+    for seed in 0..2u64 {
+        let instance = RandomConfig {
+            n_jobs: 60,
+            machines: 1,
+            alpha: 3.0,
+            arrival: ArrivalModel::Poisson { rate: 4.0 },
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+            ..RandomConfig::standard(6300 + seed)
+        }
+        .generate();
+        let fast = algo.start_for(&instance).expect("pruned BKP");
+        let slow = algo
+            .start_for(&instance)
+            .expect("full BKP")
+            .with_key_pruning(false);
+        assert_runs_equivalent(&instance, fast, slow, "pruned BKP (stream)", 1e-9);
+    }
+}
+
+// ---- Burst ingestion: on_arrivals vs the on_arrival loop ----------------
+//
+// The batch ingestion paths (`OnlineScheduler::on_arrivals`: one replan /
+// one index merge / one frontier commit per burst) must be observably
+// equivalent to feeding the same jobs one at a time at the same instant:
+// identical decisions and duals, and the same final schedule.  Exact for
+// the combinatorial algorithms, solver accuracy for OA(m); the b = 1
+// degenerate feed must be *bit-identical* to the per-event path.
+
+use pss_workloads::SmallRng;
+
+/// The instance's arrival stream grouped into its equal-release bursts
+/// (bit-equal times, as the bursty generators produce).
+fn equal_release_bursts(instance: &Instance) -> Vec<(f64, Vec<Job>)> {
+    let mut bursts: Vec<(f64, Vec<Job>)> = Vec::new();
+    for id in instance.arrival_order() {
+        let job = *instance.job(id);
+        match bursts.last_mut() {
+            Some((t, jobs)) if job.release == *t => jobs.push(job),
+            _ => bursts.push((job.release, vec![job])),
+        }
+    }
+    bursts
+}
+
+/// Splits every burst into random sub-bursts (all sharing the release), so
+/// the batch path is exercised at ragged sizes, not only full bursts.
+fn ragged_bursts(bursts: &[(f64, Vec<Job>)], rng: &mut SmallRng) -> Vec<(f64, Vec<Job>)> {
+    let mut out = Vec::new();
+    for (t, jobs) in bursts {
+        let mut rest = &jobs[..];
+        while !rest.is_empty() {
+            let take = rng.usize_range(1, rest.len());
+            out.push((*t, rest[..take].to_vec()));
+            rest = &rest[take..];
+        }
+    }
+    out
+}
+
+fn drive_loop<R: OnlineScheduler>(
+    mut run: R,
+    bursts: &[(f64, Vec<Job>)],
+) -> (Vec<Decision>, Schedule) {
+    let mut decisions = Vec::new();
+    for (t, jobs) in bursts {
+        for job in jobs {
+            decisions.push(run.on_arrival(job, *t).expect("loop arrival"));
+        }
+    }
+    (decisions, run.finish().expect("loop finish"))
+}
+
+fn drive_bursts<R: OnlineScheduler>(
+    mut run: R,
+    bursts: &[(f64, Vec<Job>)],
+) -> (Vec<Decision>, Schedule) {
+    let mut decisions = Vec::new();
+    for (t, jobs) in bursts {
+        decisions.extend(run.on_arrivals(jobs, *t).expect("burst arrival"));
+    }
+    (decisions, run.finish().expect("burst finish"))
+}
+
+/// Asserts the burst feed of `make_run()` matches the one-at-a-time feed:
+/// exact decisions, duals within `tol`, equivalent schedules.
+fn assert_bursts_equal_loop<R: OnlineScheduler>(
+    instance: &Instance,
+    bursts: &[(f64, Vec<Job>)],
+    mut make_run: impl FnMut() -> R,
+    label: &str,
+    tol: f64,
+) {
+    let (ld, ls) = drive_loop(make_run(), bursts);
+    let (bd, bs) = drive_bursts(make_run(), bursts);
+    assert_eq!(ld.len(), bd.len(), "{label}: decision counts differ");
+    for (i, (l, b)) in ld.iter().zip(&bd).enumerate() {
+        assert_eq!(
+            l.accepted, b.accepted,
+            "{label}: decision {i} differs between loop and burst feed"
+        );
+        assert!(
+            (l.dual - b.dual).abs() <= tol * l.dual.abs().max(1.0),
+            "{label}: dual {i} differs — loop {} vs burst {}",
+            l.dual,
+            b.dual
+        );
+    }
+    assert_equivalent(instance, &ls, &bs, label, tol);
+}
+
+/// A bursty profitable instance (equal release times within each burst).
+fn bursty_profitable(seed: u64, machines: usize, alpha: f64, n: usize, b: usize) -> Instance {
+    RandomConfig {
+        n_jobs: n,
+        machines,
+        alpha,
+        arrival: ArrivalModel::Bursty { burst_size: b },
+        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+        ..RandomConfig::standard(seed)
+    }
+    .generate()
+}
+
+#[test]
+fn burst_feed_equals_loop_for_every_algorithm() {
+    for seed in 0..3u64 {
+        let single = bursty_profitable(7000 + seed, 1, 2.0 + 0.5 * (seed % 3) as f64, 16, 4);
+        let multi = bursty_profitable(7100 + seed, 2, 2.5, 16, 4);
+        let bursts = equal_release_bursts(&single);
+        let mut rng = SmallRng::seed_from_u64(7200 + seed);
+        let ragged = ragged_bursts(&bursts, &mut rng);
+        let multi_bursts = equal_release_bursts(&multi);
+
+        for groups in [&bursts, &ragged] {
+            assert_bursts_equal_loop(
+                &single,
+                groups,
+                || OaScheduler.start_for(&single).expect("OA run"),
+                "burst OA",
+                1e-9,
+            );
+            assert_bursts_equal_loop(
+                &single,
+                groups,
+                || QoaScheduler::default().start_for(&single).expect("qOA run"),
+                "burst qOA",
+                1e-9,
+            );
+            assert_bursts_equal_loop(
+                &single,
+                groups,
+                || CllScheduler.start_for(&single).expect("CLL run"),
+                "burst CLL",
+                1e-9,
+            );
+            assert_bursts_equal_loop(
+                &single,
+                groups,
+                || AvrScheduler.start_for(&single).expect("AVR run"),
+                "burst AVR",
+                1e-9,
+            );
+            let bkp = BkpScheduler {
+                resolution: 600,
+                ..Default::default()
+            };
+            assert_bursts_equal_loop(
+                &single,
+                groups,
+                || bkp.start_for(&single).expect("BKP run"),
+                "burst BKP",
+                1e-9,
+            );
+            assert_bursts_equal_loop(
+                &single,
+                groups,
+                || PdScheduler::default().start_for(&single).expect("PD run"),
+                "burst PD",
+                1e-7,
+            );
+        }
+        // OA(m) on two machines, at solver accuracy with exact decisions.
+        assert_bursts_equal_loop(
+            &multi,
+            &multi_bursts,
+            || {
+                MultiOaScheduler::default()
+                    .start_for(&multi)
+                    .expect("OA(m) run")
+            },
+            "burst OA(m)",
+            1e-4,
+        );
+    }
+}
+
+#[test]
+fn whole_instance_as_one_burst_equals_loop() {
+    // Every job shares one release time: the entire instance is a single
+    // on_arrivals call.
+    let instance = bursty_profitable(7300, 1, 2.0, 12, 12);
+    let bursts = equal_release_bursts(&instance);
+    assert_eq!(bursts.len(), 1, "expected a single burst");
+    assert_eq!(bursts[0].1.len(), 12);
+    assert_bursts_equal_loop(
+        &instance,
+        &bursts,
+        || OaScheduler.start_for(&instance).expect("OA run"),
+        "one-burst OA",
+        1e-9,
+    );
+    assert_bursts_equal_loop(
+        &instance,
+        &bursts,
+        || CllScheduler.start_for(&instance).expect("CLL run"),
+        "one-burst CLL",
+        1e-9,
+    );
+    assert_bursts_equal_loop(
+        &instance,
+        &bursts,
+        || PdScheduler::default().start_for(&instance).expect("PD run"),
+        "one-burst PD",
+        1e-7,
+    );
+    assert_bursts_equal_loop(
+        &instance,
+        &bursts,
+        || AvrScheduler.start_for(&instance).expect("AVR run"),
+        "one-burst AVR",
+        1e-9,
+    );
+}
+
+#[test]
+fn singleton_bursts_are_bit_identical_to_the_per_event_path() {
+    // b = 1 degenerate case: feeding every job as a one-element slice must
+    // produce bit-identical segments, not merely equivalent schedules.
+    let instance = profitable(7400, 1, 2.5);
+    let singletons: Vec<(f64, Vec<Job>)> = instance
+        .arrival_order()
+        .into_iter()
+        .map(|id| (instance.job(id).release, vec![*instance.job(id)]))
+        .collect();
+    macro_rules! pin {
+        ($label:expr, $make:expr) => {{
+            let (ld, ls) = drive_loop($make, &singletons);
+            let (bd, bs) = drive_bursts($make, &singletons);
+            assert_eq!(ld, bd, "{}: decisions not bit-identical", $label);
+            assert_eq!(
+                ls.segments, bs.segments,
+                "{}: segments not bit-identical",
+                $label
+            );
+        }};
+    }
+    pin!("OA", OaScheduler.start_for(&instance).expect("OA run"));
+    pin!(
+        "qOA",
+        QoaScheduler::default()
+            .start_for(&instance)
+            .expect("qOA run")
+    );
+    pin!("CLL", CllScheduler.start_for(&instance).expect("CLL run"));
+    pin!("AVR", AvrScheduler.start_for(&instance).expect("AVR run"));
+    pin!(
+        "BKP",
+        BkpScheduler {
+            resolution: 500,
+            ..Default::default()
+        }
+        .start_for(&instance)
+        .expect("BKP run")
+    );
+    pin!(
+        "PD",
+        PdScheduler::default().start_for(&instance).expect("PD run")
+    );
+    let multi = profitable(7500, 2, 2.5);
+    let multi_singletons: Vec<(f64, Vec<Job>)> = multi
+        .arrival_order()
+        .into_iter()
+        .map(|id| (multi.job(id).release, vec![*multi.job(id)]))
+        .collect();
+    let (ld, ls) = drive_loop(
+        MultiOaScheduler::default()
+            .start_for(&multi)
+            .expect("OA(m)"),
+        &multi_singletons,
+    );
+    let (bd, bs) = drive_bursts(
+        MultiOaScheduler::default()
+            .start_for(&multi)
+            .expect("OA(m)"),
+        &multi_singletons,
+    );
+    assert_eq!(ld, bd, "OA(m): decisions not bit-identical");
+    assert_eq!(
+        ls.segments, bs.segments,
+        "OA(m): segments not bit-identical"
+    );
+}

@@ -132,7 +132,7 @@ fn online_pd_schedule_is_feasible_for_the_full_instance() {
 #[test]
 fn streaming_simulation_agrees_with_the_batch_adapter() {
     for instance in instances() {
-        let stream = StreamingSimulation
+        let stream = StreamingSimulation::default()
             .run(&PdScheduler::default(), &instance)
             .expect("streaming run");
         let batch = PdScheduler::default()
