@@ -30,6 +30,9 @@
 //! PD and the replanning executor.
 
 use pss_intervals::IntervalPartition;
+use pss_types::snapshot::{
+    BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,
+};
 use pss_types::{
     check_arrival, num, Decision, Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler, Schedule,
     ScheduleError, Segment,
@@ -224,6 +227,61 @@ impl AvrState {
             }
         }
         self.now = to;
+    }
+}
+
+impl SnapshotPart for ActiveJob {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_f64(self.deadline);
+        w.write_f64(self.density);
+        w.write_part(&self.id);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            deadline: r.read_f64()?,
+            density: r.read_f64()?,
+            id: r.read_part()?,
+        })
+    }
+}
+
+/// State version of [`AvrState`] snapshots.
+const AVR_STATE_VERSION: u16 = 1;
+
+/// The snapshot holds the full job history (the reference scan path reads
+/// it), the deadline-descending active-set index, the committed frontier,
+/// the clock and the index toggle, so a restored run commits bit-identical
+/// windows.
+impl Checkpointable for AvrState {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = BlobWriter::new();
+        w.write_seq(&self.jobs);
+        w.write_seq(&self.active);
+        w.write_f64(self.horizon_end);
+        w.write_bool(self.indexed);
+        w.write_part(&self.committed);
+        w.write_f64(self.now);
+        StateBlob::new("avr", AVR_STATE_VERSION, w.into_payload())
+    }
+
+    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+        let mut r = blob.expect("avr", AVR_STATE_VERSION)?;
+        let state = Self {
+            jobs: r.read_seq()?,
+            active: r.read_seq()?,
+            horizon_end: r.read_f64()?,
+            indexed: r.read_bool()?,
+            committed: r.read_part()?,
+            now: r.read_f64()?,
+        };
+        r.finish()?;
+        if state.active.len() > state.jobs.len() {
+            return Err(SnapshotError::Invalid(
+                "active set larger than the job history".into(),
+            ));
+        }
+        Ok(state)
     }
 }
 

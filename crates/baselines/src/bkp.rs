@@ -67,6 +67,9 @@
 
 use std::collections::BinaryHeap;
 
+use pss_types::snapshot::{
+    BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,
+};
 use pss_types::{
     check_arrival, num, Decision, Instance, Job, OnlineAlgorithm, OnlineScheduler, Schedule,
     ScheduleError, Segment,
@@ -768,6 +771,165 @@ impl BkpState {
             }
         }
         self.now = self.now.max(to);
+    }
+}
+
+impl SnapshotPart for IndexedJob {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_f64(self.release);
+        w.write_f64(self.deadline);
+        w.write_f64(self.work);
+        w.write_f64(self.phi);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            release: r.read_f64()?,
+            deadline: r.read_f64()?,
+            work: r.read_f64()?,
+            phi: r.read_f64()?,
+        })
+    }
+}
+
+/// The resident speed index round-trips *verbatim* — both sorted lists, the
+/// expired-prefix cursor, the prefix works and the append-only convex hull
+/// with its coverage length — so the first grid evaluation after a restore
+/// walks exactly the structures the uninterrupted run would have walked.
+impl SnapshotPart for BkpSpeedIndex {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_seq(&self.by_deadline);
+        w.write_usize(self.expired_prefix);
+        w.write_seq(&self.by_release);
+        w.write_seq(&self.prefix_work);
+        w.write_seq(&self.hull);
+        w.write_usize(self.hull_len);
+        w.write_f64(self.d_max_all);
+        w.write_bool(self.prune);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        let index = Self {
+            by_deadline: r.read_seq()?,
+            expired_prefix: r.read_usize()?,
+            by_release: r.read_seq()?,
+            prefix_work: r.read_seq()?,
+            hull: r.read_seq()?,
+            hull_len: r.read_usize()?,
+            d_max_all: r.read_f64()?,
+            prune: r.read_bool()?,
+        };
+        if index.expired_prefix > index.by_deadline.len()
+            || index.prefix_work.len() != index.by_release.len() + 1
+            || index.hull_len > index.by_release.len()
+            || index.hull.len() > index.hull_len
+        {
+            return Err(SnapshotError::Invalid(
+                "speed index cursors out of range".into(),
+            ));
+        }
+        Ok(index)
+    }
+}
+
+/// State version of [`BkpState`] snapshots.
+const BKP_STATE_VERSION: u16 = 1;
+
+/// The snapshot holds the grid cursor (step index, the fixed per-step speed,
+/// the idle flag and any EDF sub-segment in flight), the job history with
+/// remaining works, the resident speed index including its convex hull, the
+/// lazy EDF queue, the committed frontier and both fast-path toggles — the
+/// complete dynamic state, so a restored run resumes the same grid step at
+/// the same speed.
+impl Checkpointable for BkpState {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = BlobWriter::new();
+        w.write_f64(self.speed_margin);
+        w.write_f64(self.dt);
+        w.write_part(&self.anchor);
+        w.write_part(&self.max_steps);
+        w.write_seq(&self.jobs);
+        w.write_seq(&self.remaining);
+        w.write_part(&self.committed);
+        w.write_f64(self.now);
+        w.write_usize(self.step_idx);
+        w.write_part(&self.step_speed);
+        w.write_bool(self.step_idle);
+        match self.inflight {
+            None => w.write_bool(false),
+            Some(fl) => {
+                w.write_bool(true);
+                w.write_usize(fl.job);
+                w.write_f64(fl.end);
+                w.write_f64(fl.remaining_after);
+            }
+        }
+        w.write_bool(self.indexed);
+        w.write_part(&self.index);
+        // The heap's pop order is a total order on (deadline, dense id), so
+        // serialising the entries sorted keeps blobs deterministic without
+        // changing behaviour.
+        let mut entries: Vec<(f64, usize)> = self.edf.iter().map(|e| (e.deadline, e.job)).collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        w.write_seq(&entries);
+        StateBlob::new("bkp", BKP_STATE_VERSION, w.into_payload())
+    }
+
+    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+        let mut r = blob.expect("bkp", BKP_STATE_VERSION)?;
+        let speed_margin = r.read_f64()?;
+        let dt = r.read_f64()?;
+        let anchor = r.read_part()?;
+        let max_steps = r.read_part()?;
+        let jobs: Vec<Job> = r.read_seq()?;
+        let remaining: Vec<f64> = r.read_seq()?;
+        let committed = r.read_part()?;
+        let now = r.read_f64()?;
+        let step_idx = r.read_usize()?;
+        let step_speed = r.read_part()?;
+        let step_idle = r.read_bool()?;
+        let inflight = if r.read_bool()? {
+            Some(Inflight {
+                job: r.read_usize()?,
+                end: r.read_f64()?,
+                remaining_after: r.read_f64()?,
+            })
+        } else {
+            None
+        };
+        let indexed = r.read_bool()?;
+        let index = r.read_part()?;
+        let entries: Vec<(f64, usize)> = r.read_seq()?;
+        r.finish()?;
+        if remaining.len() != jobs.len()
+            || inflight.is_some_and(|fl| fl.job >= jobs.len())
+            || entries.iter().any(|&(_, j)| j >= jobs.len())
+        {
+            return Err(SnapshotError::Invalid(
+                "BKP job table indices out of range".into(),
+            ));
+        }
+        let mut edf = BinaryHeap::with_capacity(entries.len());
+        for (deadline, job) in entries {
+            edf.push(EdfEntry { deadline, job });
+        }
+        Ok(Self {
+            speed_margin,
+            dt,
+            anchor,
+            max_steps,
+            jobs,
+            remaining,
+            committed,
+            now,
+            step_idx,
+            step_speed,
+            step_idle,
+            inflight,
+            indexed,
+            index,
+            edf,
+        })
     }
 }
 

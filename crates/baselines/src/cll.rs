@@ -16,6 +16,7 @@
 
 use pss_offline::incremental::{left_aligned_planned_speed, PlanItem};
 use pss_power::AlphaPower;
+use pss_types::snapshot::{BlobReader, BlobWriter, SnapshotError, SnapshotPart};
 use pss_types::{Instance, Job, OnlineAlgorithm, Schedule, ScheduleError};
 
 use crate::oa::OaPlanner;
@@ -59,6 +60,23 @@ impl AdmissionPolicy for CllAdmission {
         let planned_speed = left_aligned_planned_speed(now, &items, new_key)?;
         let threshold = power.rejection_speed_threshold(job.value, job.work);
         Ok(planned_speed <= threshold * (1.0 + 1e-9))
+    }
+}
+
+/// The admission rule is stateless; its snapshot is a tag so a CLL blob can
+/// never restore into an admit-all executor (or vice versa).
+impl SnapshotPart for CllAdmission {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_str("cll-admission");
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        match r.read_str()?.as_str() {
+            "cll-admission" => Ok(CllAdmission),
+            other => Err(SnapshotError::Invalid(format!(
+                "expected the CLL admission rule, found {other}"
+            ))),
+        }
     }
 }
 

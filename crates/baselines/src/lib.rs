@@ -46,7 +46,17 @@
 //! `with_indexed_events(false)`) restoring the original
 //! rebuild-or-rescan-per-arrival behaviour as cross-check and benchmark
 //! baseline, and the `incremental_equivalence` integration tests pin the
-//! fast and slow paths against each other.
+//! fast and slow paths against each other (the `toggle_matrix` suite
+//! additionally sweeps every toggle *combination* against the batch
+//! references).
+//!
+//! Every run state ([`replan::ReplanState`], [`avr::AvrState`],
+//! [`bkp::BkpState`]) implements `pss_types::Checkpointable`: a snapshot
+//! captures the complete dynamic state — pending/active sets, warm caches
+//! (including [`oa::MultiOaWarm`] and BKP's speed index with its convex
+//! hull), toggles and the committed frontier — and a restored run
+//! continues bit-identically (solver accuracy for OA(m)).  This is what
+//! the checkpoint/failover layer in `pss-sim` builds on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

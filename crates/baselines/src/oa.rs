@@ -13,6 +13,7 @@ use pss_convex::{solve_min_energy_warm, solve_min_energy_with, ProgramContext, S
 use pss_intervals::WorkAssignment;
 use pss_offline::incremental::{IncrementalYds, PlanItem};
 use pss_offline::yds::yds_schedule;
+use pss_types::snapshot::{BlobReader, BlobWriter, SnapshotError, SnapshotPart};
 use pss_types::{Instance, Job, OnlineAlgorithm, Schedule, ScheduleError};
 
 use crate::replan::{
@@ -103,6 +104,27 @@ impl Planner for OaPlanner {
         let mut plan = warm.plan(now, &items)?;
         self.apply_factor(&mut plan);
         Ok(plan)
+    }
+}
+
+/// The planner's configuration is part of a [`ReplanState`] snapshot, so a
+/// restored run replans with the identical speed factor; a tag guards
+/// against restoring a blob captured from a different planner type.
+impl SnapshotPart for OaPlanner {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_str("oa-planner");
+        w.write_f64(self.speed_factor);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        match r.read_str()?.as_str() {
+            "oa-planner" => Ok(Self {
+                speed_factor: r.read_f64()?,
+            }),
+            other => Err(SnapshotError::Invalid(format!(
+                "expected an OA-family planner, found {other}"
+            ))),
+        }
     }
 }
 
@@ -367,6 +389,61 @@ impl MultiOaWarm {
             }
             self.rows.push((p.id.index(), pieces));
         }
+    }
+}
+
+/// The multiprocessor planner's snapshot is its solver options; the tag
+/// guards against cross-planner restores.
+impl SnapshotPart for MultiOaPlanner {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_str("multi-oa-planner");
+        w.write_part(&self.options);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        match r.read_str()?.as_str() {
+            "multi-oa-planner" => Ok(Self {
+                options: r.read_part()?,
+            }),
+            other => Err(SnapshotError::Invalid(format!(
+                "expected the multiprocessor OA planner, found {other}"
+            ))),
+        }
+    }
+}
+
+/// The warm seed round-trips exactly: rows are `(key, pieces)` with the
+/// pieces' `(start, end, fraction)` stored bit-for-bit, so the first replan
+/// after a restore seeds coordinate descent with the identical assignment
+/// the uninterrupted run would have used.
+impl SnapshotPart for MultiOaWarm {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_usize(self.rows.len());
+        for (key, pieces) in &self.rows {
+            w.write_usize(*key);
+            w.write_seq(pieces);
+        }
+        w.write_usize(self.replans);
+        w.write_usize(self.total_passes);
+        w.write_usize(self.seeded_replans);
+        w.write_usize(self.converged_replans);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.read_len(8)?;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let key = r.read_usize()?;
+            let pieces: FractionPieces = r.read_seq()?;
+            rows.push((key, pieces));
+        }
+        Ok(Self {
+            rows,
+            replans: r.read_usize()?,
+            total_passes: r.read_usize()?,
+            seeded_replans: r.read_usize()?,
+            converged_replans: r.read_usize()?,
+        })
     }
 }
 

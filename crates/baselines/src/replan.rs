@@ -28,6 +28,9 @@
 //!   reference: the `incremental_equivalence` integration tests check that
 //!   both paths produce identical schedules on random workloads.
 
+use pss_types::snapshot::{
+    BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,
+};
 use pss_types::{
     check_arrival, num, Decision, Instance, Job, JobId, OnlineScheduler, Schedule, ScheduleError,
     Segment,
@@ -386,6 +389,121 @@ impl<P: Planner, A: AdmissionPolicy> OnlineScheduler for ReplanState<P, A> {
             self.advance_to(self.horizon_end)?;
         }
         Ok(self.committed)
+    }
+}
+
+impl SnapshotPart for PendingJob {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_part(&self.id);
+        w.write_f64(self.release);
+        w.write_f64(self.deadline);
+        w.write_f64(self.work);
+        w.write_f64(self.remaining);
+        w.write_f64(self.value);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            id: r.read_part()?,
+            release: r.read_f64()?,
+            deadline: r.read_f64()?,
+            work: r.read_f64()?,
+            remaining: r.read_f64()?,
+            value: r.read_f64()?,
+        })
+    }
+}
+
+impl SnapshotPart for PlanCache {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_part(&self.yds);
+        w.write_part(&self.multi);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            yds: r.read_part()?,
+            multi: r.read_part()?,
+        })
+    }
+}
+
+impl SnapshotPart for AdmitAll {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_str("admit-all");
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        match r.read_str()?.as_str() {
+            "admit-all" => Ok(AdmitAll),
+            other => Err(SnapshotError::Invalid(format!(
+                "expected admit-all admission policy, found {other}"
+            ))),
+        }
+    }
+}
+
+/// State version of [`ReplanState`] snapshots.
+const REPLAN_STATE_VERSION: u16 = 1;
+
+/// Checkpoint/restore for the replanning executor: the snapshot holds the
+/// run's complete dynamic state — the pending set with its remaining works,
+/// the current plan and its staleness flag, the warm-start cache (the
+/// left-aligned YDS order and/or the previous multiprocessor solution), the
+/// committed frontier, the clock and the horizon — plus the planner and
+/// admission configuration, so [`Checkpointable::restore`] rebuilds the run
+/// with no external context.  A restored run continues bit-identically
+/// (solver-accuracy for the iterative multiprocessor planner); the
+/// restore-equivalence integration tests pin this at arbitrary cut points,
+/// including mid-burst.
+impl<P, A> Checkpointable for ReplanState<P, A>
+where
+    P: Planner + SnapshotPart,
+    A: AdmissionPolicy + SnapshotPart,
+{
+    fn snapshot(&self) -> StateBlob {
+        let mut w = BlobWriter::new();
+        w.write_usize(self.env.machines);
+        w.write_f64(self.env.alpha);
+        w.write_part(&self.planner);
+        w.write_part(&self.admission);
+        w.write_seq(&self.pending);
+        w.write_part(&self.plan);
+        w.write_bool(self.plan_stale);
+        w.write_part(&self.cache);
+        w.write_usize(self.replans);
+        w.write_bool(self.warm_start);
+        w.write_part(&self.committed);
+        w.write_f64(self.now);
+        w.write_f64(self.horizon_end);
+        StateBlob::new("replan", REPLAN_STATE_VERSION, w.into_payload())
+    }
+
+    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+        let mut r = blob.expect("replan", REPLAN_STATE_VERSION)?;
+        let machines = r.read_usize()?;
+        let alpha = r.read_f64()?;
+        let state = Self {
+            env: OnlineEnv { machines, alpha },
+            planner: r.read_part()?,
+            admission: r.read_part()?,
+            pending: r.read_seq()?,
+            plan: r.read_part()?,
+            plan_stale: r.read_bool()?,
+            cache: r.read_part()?,
+            replans: r.read_usize()?,
+            warm_start: r.read_bool()?,
+            committed: r.read_part()?,
+            now: r.read_f64()?,
+            horizon_end: r.read_f64()?,
+        };
+        r.finish()?;
+        if state.plan.machines != machines || state.committed.machines != machines {
+            return Err(SnapshotError::Invalid(
+                "schedule machine counts disagree with the environment".into(),
+            ));
+        }
+        Ok(state)
     }
 }
 

@@ -1,10 +1,11 @@
 //! The experiment registry (E1–E11 of DESIGN.md, plus the streaming
-//! latency experiment E12 and the burst-ingestion/sharding experiment
-//! E13).
+//! latency experiment E12, the burst-ingestion/sharding experiment E13 and
+//! the checkpoint/failover experiment E14).
 
 use pss_metrics::Table;
 
 pub mod burst;
+pub mod checkpoint;
 pub mod classical;
 pub mod competitive;
 pub mod delta_ablation;
@@ -96,6 +97,7 @@ pub fn all_experiments(quick: bool) -> Vec<ExperimentOutput> {
         delta_ablation::run(quick),
         streaming::run(quick),
         burst::run(quick),
+        checkpoint::run(quick),
     ]
 }
 
@@ -115,6 +117,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "E11" => Some(delta_ablation::run(quick)),
         "E12" => Some(streaming::run(quick)),
         "E13" => Some(burst::run(quick)),
+        "E14" => Some(checkpoint::run(quick)),
         _ => None,
     }
 }

@@ -20,6 +20,7 @@
 
 use pss_intervals::WorkAssignment;
 use pss_types::num::Tolerance;
+use pss_types::snapshot::{BlobReader, BlobWriter, SnapshotError, SnapshotPart};
 
 use crate::program::ProgramContext;
 use crate::waterfill::{waterfill_job, WaterfillOptions};
@@ -53,6 +54,22 @@ impl SolverOptions {
             energy_tol: 1e-6,
             waterfill_tol: Tolerance::coarse(),
         }
+    }
+}
+
+impl SnapshotPart for SolverOptions {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_usize(self.max_passes);
+        w.write_f64(self.energy_tol);
+        w.write_part(&self.waterfill_tol);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            max_passes: r.read_usize()?,
+            energy_tol: r.read_f64()?,
+            waterfill_tol: r.read_part()?,
+        })
     }
 }
 

@@ -39,6 +39,9 @@ use pss_convex::{
 use pss_intervals::{BoundaryInsert, IntervalPartition, WorkAssignment};
 use pss_power::AlphaPower;
 use pss_types::num::Tolerance;
+use pss_types::snapshot::{
+    BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,
+};
 use pss_types::{
     check_arrival, Decision, Instance, Job, JobId, OnlineScheduler, Schedule, ScheduleError,
     Segment, ARRIVAL_ORDER_TOLERANCE,
@@ -553,6 +556,160 @@ impl OnlinePd {
             online.arrive(instance.job(id))?;
         }
         online.schedule()
+    }
+}
+
+impl SnapshotPart for PlanState {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_part(&self.partition);
+        w.write_usize(self.loads.len());
+        for entries in &self.loads {
+            w.write_seq(entries);
+        }
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        let partition: IntervalPartition = r.read_part()?;
+        let n = r.read_len(8)?;
+        let mut loads = Vec::with_capacity(n);
+        for _ in 0..n {
+            loads.push(r.read_seq::<(usize, f64)>()?);
+        }
+        if loads.len() != partition.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "{} load lists for {} intervals",
+                loads.len(),
+                partition.len()
+            )));
+        }
+        Ok(Self { partition, loads })
+    }
+}
+
+impl SnapshotPart for ArrivalEngine {
+    fn encode(&self, w: &mut BlobWriter) {
+        match self {
+            ArrivalEngine::Incremental(state) => {
+                w.write_u8(0);
+                w.write_part(state);
+            }
+            ArrivalEngine::Rebuild {
+                partition,
+                assignment,
+            } => {
+                w.write_u8(1);
+                w.write_part(partition);
+                w.write_part(assignment);
+            }
+        }
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        match r.read_u8()? {
+            0 => Ok(ArrivalEngine::Incremental(r.read_part()?)),
+            1 => Ok(ArrivalEngine::Rebuild {
+                partition: r.read_part()?,
+                assignment: r.read_part()?,
+            }),
+            other => Err(SnapshotError::Invalid(format!(
+                "unknown PD arrival engine tag {other}"
+            ))),
+        }
+    }
+}
+
+/// State version of [`OnlinePd`] snapshots.
+const PD_STATE_VERSION: u16 = 1;
+
+/// The snapshot holds PD's complete dynamic state: the persistent sparse
+/// planning context (partition boundaries + per-interval `(job, fraction)`
+/// load lists — or the rebuild engine's partition and dense assignment),
+/// the dense job history with original ids, the duals and decisions so far,
+/// the committed frontier with its realised prefix length, and the run
+/// parameters (`m`, `α`, `δ`, water-level tolerance).  The power function is
+/// re-derived from `α` on restore; continuation is bit-identical.
+impl Checkpointable for OnlinePd {
+    fn snapshot(&self) -> StateBlob {
+        let mut w = BlobWriter::new();
+        w.write_usize(self.machines);
+        w.write_f64(self.alpha);
+        w.write_f64(self.delta);
+        w.write_part(&self.tol);
+        w.write_part(&self.engine);
+        w.write_seq(&self.jobs);
+        w.write_seq(&self.original_ids);
+        w.write_seq(&self.lambda);
+        w.write_seq(&self.accepted);
+        w.write_f64(self.last_release);
+        w.write_part(&self.committed);
+        w.write_usize(self.committed_prefix);
+        StateBlob::new("pd", PD_STATE_VERSION, w.into_payload())
+    }
+
+    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+        let mut r = blob.expect("pd", PD_STATE_VERSION)?;
+        let machines = r.read_usize()?;
+        let alpha = r.read_f64()?;
+        let delta = r.read_f64()?;
+        if machines == 0
+            || !(delta > 0.0 && delta.is_finite())
+            || !(alpha.is_finite() && alpha > 1.0)
+        {
+            return Err(SnapshotError::Invalid("PD parameters out of range".into()));
+        }
+        let state = Self {
+            machines,
+            alpha,
+            power: AlphaPower::new(alpha),
+            delta,
+            tol: r.read_part()?,
+            engine: r.read_part()?,
+            jobs: r.read_seq()?,
+            original_ids: r.read_seq()?,
+            lambda: r.read_seq()?,
+            accepted: r.read_seq()?,
+            last_release: r.read_f64()?,
+            committed: r.read_part()?,
+            committed_prefix: r.read_usize()?,
+        };
+        r.finish()?;
+        let n = state.jobs.len();
+        if state.original_ids.len() != n
+            || state.lambda.len() != n
+            || state.accepted.len() != n
+            || state.committed_prefix > state.partition().len()
+        {
+            return Err(SnapshotError::Invalid(
+                "PD job tables disagree in length".into(),
+            ));
+        }
+        // The engine's load/assignment tables index into the job history;
+        // restore must stay total, so a dangling index is an error here
+        // rather than a panic at the next arrival.
+        match &state.engine {
+            ArrivalEngine::Incremental(plan) => {
+                if plan
+                    .loads
+                    .iter()
+                    .any(|entries| entries.iter().any(|&(j, _)| j >= n))
+                {
+                    return Err(SnapshotError::Invalid(
+                        "PD planning context references unknown jobs".into(),
+                    ));
+                }
+            }
+            ArrivalEngine::Rebuild {
+                partition,
+                assignment,
+            } => {
+                if assignment.n_jobs() > n || assignment.n_intervals() != partition.len() {
+                    return Err(SnapshotError::Invalid(
+                        "PD rebuild assignment disagrees with the partition".into(),
+                    ));
+                }
+            }
+        }
+        Ok(state)
     }
 }
 

@@ -1,6 +1,7 @@
 //! The primal load variables `x_{jk}` of the convex program.
 
 use pss_types::num;
+use pss_types::snapshot::{BlobReader, BlobWriter, SnapshotError, SnapshotPart};
 
 use crate::partition::Refinement;
 
@@ -157,6 +158,34 @@ impl WorkAssignment {
         (0..self.n_jobs())
             .map(|j| self.get(j, interval) * workloads.get(j).copied().unwrap_or(0.0))
             .collect()
+    }
+}
+
+impl SnapshotPart for WorkAssignment {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_usize(self.n_intervals);
+        w.write_usize(self.rows.len());
+        for row in &self.rows {
+            w.write_seq(row);
+        }
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        let n_intervals = r.read_usize()?;
+        let n_rows = r.read_len(8)?;
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let row: Vec<f64> = r.read_seq()?;
+            if row.len() != n_intervals {
+                return Err(SnapshotError::Invalid(format!(
+                    "assignment row has {} entries for {} intervals",
+                    row.len(),
+                    n_intervals
+                )));
+            }
+            rows.push(row);
+        }
+        Ok(Self { n_intervals, rows })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Atomic interval partitions and their online refinement.
 
+use pss_types::snapshot::{BlobReader, BlobWriter, SnapshotError, SnapshotPart};
 use pss_types::{num, Job};
 
 /// Boundary coincidence tolerance: release/deadline values closer than this
@@ -213,6 +214,29 @@ impl IntervalPartition {
                 left_fraction: (p - left) / (right - left),
             }
         }
+    }
+}
+
+impl SnapshotPart for IntervalPartition {
+    fn encode(&self, w: &mut BlobWriter) {
+        w.write_seq(&self.boundaries);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        // Restored verbatim: the boundaries were sorted/deduped when the
+        // partition was built, and a restore must reproduce the exact bit
+        // pattern (re-running `from_boundaries` could merge points that an
+        // in-place `insert_boundary` history kept distinct).
+        let boundaries: Vec<f64> = r.read_seq()?;
+        for pair in boundaries.windows(2) {
+            // NaNs fail this check too (the comparison is false for them).
+            if pair[0] >= pair[1] || !pair[0].is_finite() || !pair[1].is_finite() {
+                return Err(SnapshotError::Invalid(
+                    "partition boundaries not strictly increasing".into(),
+                ));
+            }
+        }
+        Ok(Self { boundaries })
     }
 }
 

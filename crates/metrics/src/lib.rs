@@ -3,15 +3,20 @@
 //! Measurement and reporting utilities shared by the experiment harness:
 //! per-algorithm result records, competitive-ratio summaries, and plain-text
 //! / Markdown / JSON table rendering used to produce the tables recorded in
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md` — plus the JSON half of the checkpoint codec
+//! ([`codec`]): the hand-rolled, versioned text envelope for the
+//! [`StateBlob`](pss_types::StateBlob) snapshots of `pss_types::snapshot`
+//! (the binary wire form lives next to the blob type itself).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod csv;
 pub mod report;
 pub mod table;
 
+pub use codec::{blob_from_json, blob_to_json};
 pub use csv::table_to_csv;
 pub use report::{evaluate_scheduler, AlgorithmResult, RatioSummary};
 pub use table::Table;

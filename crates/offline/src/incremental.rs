@@ -28,6 +28,7 @@
 //! solution, re-solve only what the new job perturbs" entry point used by
 //! the replanning executor in `pss-baselines`.
 
+use pss_types::snapshot::{BlobReader, BlobWriter, SnapshotError, SnapshotPart};
 use pss_types::{JobId, Schedule, ScheduleError, Segment};
 
 /// A pending job as seen by the left-aligned planner.
@@ -154,10 +155,14 @@ impl IncrementalYds {
 
         // Prune entries whose job finished/expired since the previous plan
         // (deadlines never change, so a key match with a different deadline
-        // means the key was recycled — treat it as fresh).
+        // means the key was recycled — treat it as fresh).  A key with no
+        // slot at all can only come from a restored snapshot whose job has
+        // since finished; it is pruned like any other stale entry.
         let slots = &mut self.slots;
         self.order.retain(|&(d, key)| {
-            let slot = &mut slots[key];
+            let Some(slot) = slots.get_mut(key) else {
+                return false;
+            };
             if slot.generation == generation && slot.deadline == d {
                 slot.in_order = true;
                 true
@@ -253,6 +258,27 @@ impl IncrementalYds {
             first = bp + 1;
         }
         Ok(schedule)
+    }
+}
+
+impl SnapshotPart for IncrementalYds {
+    fn encode(&self, w: &mut BlobWriter) {
+        // Only the deadline-sorted order is live warm state: the slot table
+        // is generation-stamped per-call scratch (every `plan` call rewrites
+        // the slots of the keys it sees before the order is consulted), so a
+        // restore with fresh slots and generation 0 plans bit-identically.
+        w.write_seq(&self.order);
+    }
+
+    fn decode(r: &mut BlobReader<'_>) -> Result<Self, SnapshotError> {
+        // The slot table regrows lazily as keys reappear in `plan` calls
+        // (generation 0 means every slot is stale, exactly like a fresh
+        // warm state whose order was pre-seeded).
+        Ok(Self {
+            order: r.read_seq()?,
+            slots: Vec::new(),
+            generation: 0,
+        })
     }
 }
 

@@ -1,0 +1,776 @@
+//! Checkpointed streaming and shard failover.
+//!
+//! A production stream runs for days; suspending and resuming it must not
+//! perturb a single committed decision.  This module builds that on the
+//! [`Checkpointable`] contract of `pss_types::snapshot`:
+//!
+//! * [`StreamingSimulation::run_checkpointed`] — drive a stream like
+//!   [`StreamingSimulation::run`], snapshotting the scheduler every `k`
+//!   ingestion batches (plus once before any ingestion, so a crash at any
+//!   point is recoverable).  Returns the per-checkpoint blobs with their
+//!   capture costs — the data of the E14 checkpoint-size experiment.
+//! * [`StreamingSimulation::run_with_failover`] — the single-stream crash
+//!   drill: ingest until `kill_at_batch`, *drop the run* (the worker died;
+//!   everything since the last checkpoint is lost), restore a fresh
+//!   scheduler from the last checkpoint blob and **replay the delta** (the
+//!   arrivals after the checkpoint, which a real deployment would re-read
+//!   from its ingestion log).  Because restores continue bit-identically,
+//!   the recovered stream's decisions, schedule and report equal the
+//!   failure-free run's.
+//! * [`ParallelStreamingSimulation::run_with_failover`] — the fleet drill:
+//!   designated shards are killed mid-stream on their original worker and
+//!   their restored schedulers are *rebalanced* onto fresh worker threads
+//!   for the delta replay; the merged [`FleetReport`] is identical to the
+//!   no-failure run's on every deterministic field (decisions, duals,
+//!   schedules, batches, acceptance, cost — wall-clock obviously differs).
+//!
+//! What is (and is not) in a blob, cadence guidance and the RNG-position
+//! caveat are documented in the checkpoint recipe in `src/README.md`.
+
+use std::time::Instant;
+
+use pss_types::snapshot::{Checkpointable, StateBlob};
+use pss_types::{Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler, ScheduleError};
+
+use crate::engine::{
+    coalesce_arrivals, ArrivalRecord, Simulation, StreamReport, StreamingSimulation,
+};
+use crate::parallel::{FleetReport, ParallelStreamingSimulation};
+
+/// One captured checkpoint of a streaming run.
+#[derive(Debug, Clone)]
+pub struct CheckpointRecord {
+    /// Ingestion batches already processed when the checkpoint was taken
+    /// (0 for the pre-ingestion checkpoint).
+    pub batches_done: usize,
+    /// Arrival events already processed when the checkpoint was taken.
+    pub events_done: usize,
+    /// Feed time of the last ingested batch (`-inf` before the first).
+    pub time: f64,
+    /// Wall-clock cost of capturing the snapshot, in seconds.
+    pub capture_secs: f64,
+    /// The snapshot itself.
+    pub blob: StateBlob,
+}
+
+/// What a recovery cost: the numbers E14's recovery-latency table reports.
+#[derive(Debug, Clone)]
+pub struct RecoveryStats {
+    /// Which shard failed (0 for a single-stream run).
+    pub shard: usize,
+    /// Ingestion batches the dead worker had processed when it was killed.
+    pub killed_at_batch: usize,
+    /// Ingestion batches covered by the checkpoint the shard was restored
+    /// from (everything after it was lost and replayed).
+    pub restored_batches: usize,
+    /// Arrival events re-fed after the restore (the delta).
+    pub replayed_events: usize,
+    /// Size of the checkpoint blob that was restored, in bytes (binary wire
+    /// form).
+    pub checkpoint_bytes: usize,
+    /// Wall-clock cost of decoding + restoring the scheduler state.
+    pub restore_secs: f64,
+    /// Wall-clock cost of replaying the delta arrivals.
+    pub replay_secs: f64,
+}
+
+impl RecoveryStats {
+    /// Total recovery latency: restore plus delta replay.
+    pub fn recovery_secs(&self) -> f64 {
+        self.restore_secs + self.replay_secs
+    }
+}
+
+/// One planned shard failure of
+/// [`ParallelStreamingSimulation::run_with_failover`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardFailover {
+    /// Index of the shard whose worker is killed.
+    pub shard: usize,
+    /// The worker dies after ingesting this many batches of the shard's
+    /// stream (clamped to the stream's batch count).
+    pub kill_at_batch: usize,
+    /// Checkpoint cadence (in ingestion batches) the shard runs with.
+    pub checkpoint_every: usize,
+}
+
+/// The coalesced ingestion plan of a stream: `(feed time, job ids)` per
+/// batch, exactly what [`StreamingSimulation::run`] would feed.
+fn ingestion_plan(instance: &Instance, window: f64) -> Vec<(f64, Vec<JobId>)> {
+    coalesce_arrivals(instance, window)
+}
+
+/// Feeds one batch through `on_arrivals`, appending trace records exactly
+/// like the streaming simulator (amortised latency, post-batch frontier
+/// size, batch width).
+fn ingest_batch<R: OnlineScheduler>(
+    run: &mut R,
+    instance: &Instance,
+    feed_time: f64,
+    ids: &[JobId],
+    events: &mut Vec<ArrivalRecord>,
+) -> Result<(), ScheduleError> {
+    let jobs: Vec<Job> = ids.iter().map(|&id| *instance.job(id)).collect();
+    let started = Instant::now();
+    let decisions = run.on_arrivals(&jobs, feed_time)?;
+    let amortised = started.elapsed().as_secs_f64() / ids.len().max(1) as f64;
+    if decisions.len() != ids.len() {
+        return Err(ScheduleError::Internal(format!(
+            "on_arrivals contract violation: {} decisions for a batch of {} jobs",
+            decisions.len(),
+            ids.len()
+        )));
+    }
+    let frontier_segments = run.frontier().segments.len();
+    for (id, decision) in ids.iter().zip(decisions) {
+        events.push(ArrivalRecord {
+            job: *id,
+            time: instance.job(*id).release,
+            accepted: decision.accepted,
+            dual: decision.dual,
+            latency_secs: amortised,
+            frontier_segments,
+            burst: ids.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Snapshots a run, timing the capture.
+fn capture<R: Checkpointable>(
+    run: &R,
+    batches_done: usize,
+    events_done: usize,
+    time: f64,
+) -> CheckpointRecord {
+    let started = Instant::now();
+    let blob = run.snapshot();
+    CheckpointRecord {
+        batches_done,
+        events_done,
+        time,
+        capture_secs: started.elapsed().as_secs_f64(),
+        blob,
+    }
+}
+
+/// Finishes a run and wraps the trace into a [`StreamReport`] (validated
+/// and replayed through [`Simulation`], like the plain streaming path).
+fn finish_stream<R: OnlineScheduler>(
+    algorithm: String,
+    run: R,
+    instance: &Instance,
+    events: Vec<ArrivalRecord>,
+    batches: usize,
+) -> Result<StreamReport, ScheduleError> {
+    let schedule = run.finish()?;
+    let report = Simulation.run(instance, &schedule)?;
+    Ok(StreamReport {
+        algorithm,
+        events,
+        batches,
+        schedule,
+        report,
+    })
+}
+
+impl StreamingSimulation {
+    /// Like [`run`](Self::run), but snapshots the scheduler every
+    /// `every_batches` ingestion batches (and once before any ingestion).
+    ///
+    /// The stream itself is driven identically — same batches, same feed
+    /// times — so decisions and the finished schedule match the plain run;
+    /// the returned checkpoint records add the blobs with their capture
+    /// costs.  `every_batches` is clamped to at least 1.
+    pub fn run_checkpointed<A>(
+        &self,
+        algo: &A,
+        instance: &Instance,
+        every_batches: usize,
+    ) -> Result<(StreamReport, Vec<CheckpointRecord>), ScheduleError>
+    where
+        A: OnlineAlgorithm + ?Sized,
+        A::Run: Checkpointable,
+    {
+        let every = every_batches.max(1);
+        let plan = ingestion_plan(instance, self.coalesce_window);
+        let mut run = algo.start_for(instance)?;
+        let mut events = Vec::with_capacity(instance.len());
+        let mut checkpoints = vec![capture(&run, 0, 0, f64::NEG_INFINITY)];
+        for (i, (feed_time, ids)) in plan.iter().enumerate() {
+            ingest_batch(&mut run, instance, *feed_time, ids, &mut events)?;
+            if (i + 1) % every == 0 {
+                checkpoints.push(capture(&run, i + 1, events.len(), *feed_time));
+            }
+        }
+        let report = finish_stream(algo.algorithm_name(), run, instance, events, plan.len())?;
+        Ok((report, checkpoints))
+    }
+
+    /// The single-stream crash drill: ingest until `kill_at_batch`
+    /// (checkpointing every `every_batches`), **drop the run**, restore a
+    /// fresh scheduler from the last checkpoint and replay the delta.
+    ///
+    /// The returned report is indistinguishable from the failure-free run
+    /// on every deterministic field; the [`RecoveryStats`] record what the
+    /// recovery cost.  `kill_at_batch` is clamped to the stream's batch
+    /// count.
+    pub fn run_with_failover<A>(
+        &self,
+        algo: &A,
+        instance: &Instance,
+        every_batches: usize,
+        kill_at_batch: usize,
+    ) -> Result<(StreamReport, RecoveryStats), ScheduleError>
+    where
+        A: OnlineAlgorithm + ?Sized,
+        A::Run: Checkpointable,
+    {
+        let plan = ingestion_plan(instance, self.coalesce_window);
+        let (events, checkpoint, killed_at) = run_until_kill(
+            algo,
+            instance,
+            &plan,
+            every_batches.max(1),
+            kill_at_batch.min(plan.len()),
+        )?;
+        let (report, stats) =
+            recover_and_replay(algo, instance, &plan, events, checkpoint, killed_at, 0)?;
+        Ok((report, stats))
+    }
+}
+
+/// Phase 1 of a crash drill: ingest batches until the kill point, keeping
+/// only the most recent checkpoint (a real worker would ship each blob to
+/// durable storage as it is captured).  Returns the trace so far, the
+/// checkpoint to restore from, and the batch index the worker died at —
+/// the run itself is dropped here, which *is* the simulated crash.
+fn run_until_kill<A>(
+    algo: &A,
+    instance: &Instance,
+    plan: &[(f64, Vec<JobId>)],
+    every: usize,
+    kill_at: usize,
+) -> Result<(Vec<ArrivalRecord>, CheckpointRecord, usize), ScheduleError>
+where
+    A: OnlineAlgorithm + ?Sized,
+    A::Run: Checkpointable,
+{
+    let mut run = algo.start_for(instance)?;
+    let mut events = Vec::new();
+    let mut last_checkpoint = capture(&run, 0, 0, f64::NEG_INFINITY);
+    for (i, (feed_time, ids)) in plan.iter().enumerate().take(kill_at) {
+        ingest_batch(&mut run, instance, *feed_time, ids, &mut events)?;
+        if (i + 1) % every == 0 {
+            last_checkpoint = capture(&run, i + 1, events.len(), *feed_time);
+        }
+    }
+    Ok((events, last_checkpoint, kill_at))
+}
+
+/// Phase 2 of a crash drill: restore the scheduler from the checkpoint
+/// blob's *wire bytes* (the full decode path a real failover would take),
+/// discard the dead worker's post-checkpoint trace, replay the delta and
+/// finish the stream.
+fn recover_and_replay<A>(
+    algo: &A,
+    instance: &Instance,
+    plan: &[(f64, Vec<JobId>)],
+    mut events: Vec<ArrivalRecord>,
+    checkpoint: CheckpointRecord,
+    killed_at_batch: usize,
+    shard: usize,
+) -> Result<(StreamReport, RecoveryStats), ScheduleError>
+where
+    A: OnlineAlgorithm + ?Sized,
+    A::Run: Checkpointable,
+{
+    let wire = checkpoint.blob.to_bytes();
+    let started = Instant::now();
+    let blob = StateBlob::from_bytes(&wire)?;
+    let mut run = <A::Run as Checkpointable>::restore(&blob)?;
+    let restore_secs = started.elapsed().as_secs_f64();
+
+    // Everything the dead worker did after the checkpoint is lost.
+    events.truncate(checkpoint.events_done);
+    let replay_from = checkpoint.batches_done;
+    let started = Instant::now();
+    for (feed_time, ids) in &plan[replay_from..] {
+        ingest_batch(&mut run, instance, *feed_time, ids, &mut events)?;
+    }
+    let replay_secs = started.elapsed().as_secs_f64();
+    let replayed_events = events.len() - checkpoint.events_done;
+    let stats = RecoveryStats {
+        shard,
+        killed_at_batch,
+        restored_batches: replay_from,
+        replayed_events,
+        checkpoint_bytes: wire.len(),
+        restore_secs,
+        replay_secs,
+    };
+    let report = finish_stream(algo.algorithm_name(), run, instance, events, plan.len())?;
+    Ok((report, stats))
+}
+
+/// Phase-1 outcome of one shard in a fleet crash drill.
+enum ShardOutcome {
+    /// The shard's worker survived; its report is final.
+    Done(Result<StreamReport, ScheduleError>),
+    /// The shard's worker was killed mid-stream.
+    Killed {
+        events: Result<Vec<ArrivalRecord>, ScheduleError>,
+        checkpoint: Option<CheckpointRecord>,
+        killed_at_batch: usize,
+        failure: ShardFailover,
+    },
+}
+
+impl ParallelStreamingSimulation {
+    /// The fleet crash drill: runs every shard like
+    /// [`run`](ParallelStreamingSimulation::run), except that the shards
+    /// named in `failures` are **killed** on their original worker after
+    /// `kill_at_batch` ingestion batches, restored from their last
+    /// checkpoint, and *rebalanced* — the delta replay executes on a fresh
+    /// worker thread, not the one that died.
+    ///
+    /// The merged [`FleetReport`] equals the no-failure run on every
+    /// deterministic field (per-shard decisions, duals, schedules, batch
+    /// counts, acceptance, cost; pooled percentiles are recomputed over the
+    /// same pooled sample count).  One [`RecoveryStats`] is returned per
+    /// entry of `failures`, in order.
+    ///
+    /// Failures must name distinct, in-range shards; `checkpoint_every` is
+    /// clamped to at least 1.
+    pub fn run_with_failover<A>(
+        &self,
+        algo: &A,
+        shards: &[Instance],
+        failures: &[ShardFailover],
+    ) -> Result<(FleetReport, Vec<RecoveryStats>), ScheduleError>
+    where
+        A: OnlineAlgorithm + Sync + ?Sized,
+        A::Run: Checkpointable,
+    {
+        for f in failures {
+            if f.shard >= shards.len() {
+                return Err(ScheduleError::Internal(format!(
+                    "failover shard {} out of range ({} shards)",
+                    f.shard,
+                    shards.len()
+                )));
+            }
+            if failures.iter().filter(|g| g.shard == f.shard).count() > 1 {
+                return Err(ScheduleError::Internal(format!(
+                    "duplicate failover entry for shard {}",
+                    f.shard
+                )));
+            }
+        }
+        let started = Instant::now();
+        let sim = StreamingSimulation::with_coalescing(self.coalesce_window);
+        let workers = self.effective_workers(shards.len());
+        let failure_of = |k: usize| failures.iter().find(|f| f.shard == k).copied();
+
+        // Phase 1: the original workers.  Failing shards die at their kill
+        // point; surviving shards complete normally.
+        let mut outcomes: Vec<Option<ShardOutcome>> = (0..shards.len()).map(|_| None).collect();
+        let chunk = shards.len().div_ceil(workers).max(1);
+        std::thread::scope(|scope| {
+            for (chunk_idx, (slot_chunk, shard_chunk)) in outcomes
+                .chunks_mut(chunk)
+                .zip(shards.chunks(chunk))
+                .enumerate()
+            {
+                let base = chunk_idx * chunk;
+                let failure_of = &failure_of;
+                scope.spawn(move || {
+                    for (offset, (slot, shard)) in
+                        slot_chunk.iter_mut().zip(shard_chunk).enumerate()
+                    {
+                        let outcome = match failure_of(base + offset) {
+                            None => ShardOutcome::Done(sim.run(algo, shard)),
+                            Some(failure) => {
+                                let plan = ingestion_plan(shard, sim.coalesce_window);
+                                let kill_at = failure.kill_at_batch.min(plan.len());
+                                match run_until_kill(
+                                    algo,
+                                    shard,
+                                    &plan,
+                                    failure.checkpoint_every.max(1),
+                                    kill_at,
+                                ) {
+                                    Ok((events, checkpoint, killed_at_batch)) => {
+                                        ShardOutcome::Killed {
+                                            events: Ok(events),
+                                            checkpoint: Some(checkpoint),
+                                            killed_at_batch,
+                                            failure,
+                                        }
+                                    }
+                                    Err(e) => ShardOutcome::Killed {
+                                        events: Err(e),
+                                        checkpoint: None,
+                                        killed_at_batch: kill_at,
+                                        failure,
+                                    },
+                                }
+                            }
+                        };
+                        *slot = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        // Phase 2: rebalancing.  Every killed shard's recovery — restore
+        // from the checkpoint's wire bytes, replay the delta, finish — runs
+        // on a *fresh* worker thread.
+        let mut reports: Vec<Option<Result<StreamReport, ScheduleError>>> =
+            (0..shards.len()).map(|_| None).collect();
+        let mut recoveries: Vec<Option<Result<(usize, RecoveryStats), ScheduleError>>> =
+            (0..failures.len()).map(|_| None).collect();
+        {
+            let mut recovery_slots: Vec<
+                &mut Option<Result<(usize, RecoveryStats), ScheduleError>>,
+            > = recoveries.iter_mut().collect();
+            std::thread::scope(|scope| {
+                for (k, (slot, outcome)) in reports.iter_mut().zip(outcomes).enumerate() {
+                    match outcome.expect("every shard outcome is filled") {
+                        ShardOutcome::Done(report) => *slot = Some(report),
+                        ShardOutcome::Killed {
+                            events,
+                            checkpoint,
+                            killed_at_batch,
+                            failure,
+                        } => {
+                            let failure_pos = failures
+                                .iter()
+                                .position(|f| f.shard == failure.shard)
+                                .expect("failure entry exists");
+                            let recovery_slot = recovery_slots.remove(0);
+                            let shard_instance = &shards[k];
+                            scope.spawn(move || {
+                                let result = (|| {
+                                    let events = events?;
+                                    let checkpoint =
+                                        checkpoint.expect("checkpoint exists when events do");
+                                    recover_and_replay(
+                                        algo,
+                                        shard_instance,
+                                        &ingestion_plan(shard_instance, sim.coalesce_window),
+                                        events,
+                                        checkpoint,
+                                        killed_at_batch,
+                                        k,
+                                    )
+                                })();
+                                match result {
+                                    Ok((report, stats)) => {
+                                        *slot = Some(Ok(report));
+                                        *recovery_slot = Some(Ok((failure_pos, stats)));
+                                    }
+                                    Err(e) => {
+                                        *slot = Some(Err(e.clone()));
+                                        *recovery_slot = Some(Err(e));
+                                    }
+                                }
+                            });
+                        }
+                    }
+                }
+            });
+        }
+
+        let mut shard_reports = Vec::with_capacity(shards.len());
+        for slot in reports {
+            shard_reports.push(slot.expect("every shard report is filled")?);
+        }
+        let mut stats: Vec<Option<RecoveryStats>> = (0..failures.len()).map(|_| None).collect();
+        for slot in recoveries {
+            let (pos, s) = slot.expect("every recovery slot is filled")?;
+            stats[pos] = Some(s);
+        }
+        let recovery_stats: Vec<RecoveryStats> = stats
+            .into_iter()
+            .map(|s| s.expect("every failure produced stats"))
+            .collect();
+        Ok((
+            FleetReport {
+                shards: shard_reports,
+                workers,
+                wall_clock_secs: started.elapsed().as_secs_f64(),
+            },
+            recovery_stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pss_baselines::{AvrScheduler, BkpScheduler, CllScheduler, OaScheduler};
+    use pss_types::snapshot::SnapshotError;
+    use pss_workloads::{ArrivalModel, RandomConfig, SmallRng, ValueModel};
+
+    fn shard_instances(shards: usize, n: usize, seed: u64) -> Vec<Instance> {
+        let base = SmallRng::seed_from_u64(seed);
+        let cfg = RandomConfig {
+            n_jobs: n,
+            machines: 1,
+            alpha: 2.0,
+            arrival: ArrivalModel::BurstyPoisson {
+                rate: 1.0,
+                burst_size: 4,
+                jitter: 1e-4,
+            },
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+            ..RandomConfig::standard(seed)
+        };
+        (0..shards)
+            .map(|k| cfg.generate_with(&mut base.split_stream(k as u64)))
+            .collect()
+    }
+
+    /// Asserts two stream reports agree on every deterministic field
+    /// (decisions, duals, schedules, batch counts — latencies are
+    /// wall-clock and excluded).
+    fn assert_streams_equal(a: &StreamReport, b: &StreamReport, label: &str) {
+        assert_eq!(a.algorithm, b.algorithm, "{label}: algorithm");
+        assert_eq!(a.batches, b.batches, "{label}: batch counts");
+        assert_eq!(
+            a.schedule.segments, b.schedule.segments,
+            "{label}: schedule"
+        );
+        assert_eq!(a.events.len(), b.events.len(), "{label}: event counts");
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.job, y.job, "{label}: event order");
+            assert_eq!(x.accepted, y.accepted, "{label}: decision for {:?}", x.job);
+            assert_eq!(
+                x.dual.to_bits(),
+                y.dual.to_bits(),
+                "{label}: dual for {:?}",
+                x.job
+            );
+            assert_eq!(x.burst, y.burst, "{label}: burst width for {:?}", x.job);
+        }
+        assert_eq!(
+            a.report.total_cost().to_bits(),
+            b.report.total_cost().to_bits(),
+            "{label}: cost"
+        );
+    }
+
+    #[test]
+    fn checkpointed_run_matches_the_plain_run_and_records_blobs() {
+        let inst = shard_instances(1, 40, 4242).remove(0);
+        let sim = StreamingSimulation::with_coalescing(1e-3);
+        let plain = sim.run(&CllScheduler, &inst).unwrap();
+        let (stream, checkpoints) = sim.run_checkpointed(&CllScheduler, &inst, 3).unwrap();
+        assert_streams_equal(&plain, &stream, "checkpointed CLL");
+        // One pre-ingestion checkpoint plus one per three batches.
+        assert_eq!(checkpoints.len(), 1 + stream.batches / 3);
+        assert_eq!(checkpoints[0].batches_done, 0);
+        assert_eq!(checkpoints[0].events_done, 0);
+        // Blob sizes grow with the committed frontier.
+        let first = checkpoints.first().unwrap().blob.size_bytes();
+        let last = checkpoints.last().unwrap().blob.size_bytes();
+        assert!(last > first, "blob sizes must grow along the stream");
+        // Checkpoints are monotone in batches and events.
+        for pair in checkpoints.windows(2) {
+            assert!(pair[0].batches_done < pair[1].batches_done);
+            assert!(pair[0].events_done <= pair[1].events_done);
+        }
+    }
+
+    #[test]
+    fn single_stream_failover_is_invisible_in_the_report() {
+        let inst = shard_instances(1, 48, 9000).remove(0);
+        let sim = StreamingSimulation::with_coalescing(1e-3);
+        for algo_run in 0..2 {
+            // Two very different state shapes: the replanning executor and
+            // the BKP grid.
+            let (plain, recovered, stats, label) = if algo_run == 0 {
+                let plain = sim.run(&OaScheduler, &inst).unwrap();
+                let kill = plain.batches / 2;
+                let (r, s) = sim.run_with_failover(&OaScheduler, &inst, 4, kill).unwrap();
+                (plain, r, s, "OA")
+            } else {
+                let algo = BkpScheduler {
+                    resolution: 400,
+                    ..Default::default()
+                };
+                let plain = sim.run(&algo, &inst).unwrap();
+                let kill = plain.batches / 2;
+                let (r, s) = sim.run_with_failover(&algo, &inst, 4, kill).unwrap();
+                (plain, r, s, "BKP")
+            };
+            assert_streams_equal(&plain, &recovered, label);
+            assert!(stats.killed_at_batch >= stats.restored_batches, "{label}");
+            assert!(stats.replayed_events > 0, "{label}: nothing was replayed");
+            assert!(stats.checkpoint_bytes > 0, "{label}");
+        }
+    }
+
+    #[test]
+    fn killed_and_restored_shard_yields_the_no_failure_fleet_report() {
+        let shards = shard_instances(3, 36, 777);
+        let sim = ParallelStreamingSimulation::with_coalescing(1e-3);
+        let clean = sim.run(&CllScheduler, &shards).unwrap();
+        // Kill shard 1 mid-stream at a handful of cut points (including 0 =
+        // killed before any batch, and one past the end = killed after the
+        // last batch).
+        let batches_1 = clean.shards[1].batches;
+        for kill_at in [
+            0,
+            1,
+            batches_1 / 2,
+            batches_1.saturating_sub(1),
+            batches_1 + 7,
+        ] {
+            let (fleet, stats) = sim
+                .run_with_failover(
+                    &CllScheduler,
+                    &shards,
+                    &[ShardFailover {
+                        shard: 1,
+                        kill_at_batch: kill_at,
+                        checkpoint_every: 3,
+                    }],
+                )
+                .unwrap();
+            assert_eq!(stats.len(), 1);
+            assert_eq!(fleet.shards.len(), clean.shards.len());
+            for (k, (a, b)) in clean.shards.iter().zip(&fleet.shards).enumerate() {
+                assert_streams_equal(a, b, &format!("kill@{kill_at} shard {k}"));
+            }
+            // Fleet-level pooled statistics agree on the deterministic
+            // parts: acceptance counts, batch totals, costs, and the pooled
+            // percentile sample universe.
+            assert_eq!(fleet.total_arrivals(), clean.total_arrivals());
+            assert_eq!(fleet.total_batches(), clean.total_batches());
+            assert_eq!(fleet.accepted_jobs(), clean.accepted_jobs());
+            assert_eq!(fleet.acceptance_rate(), clean.acceptance_rate());
+            assert_eq!(fleet.total_cost().to_bits(), clean.total_cost().to_bits());
+            assert!(fleet.latency_percentile_secs(99.0).is_finite());
+        }
+    }
+
+    #[test]
+    fn fleet_failover_rejects_bad_plans() {
+        let shards = shard_instances(2, 12, 55);
+        let sim = ParallelStreamingSimulation::default();
+        let bad_shard = ShardFailover {
+            shard: 5,
+            kill_at_batch: 1,
+            checkpoint_every: 1,
+        };
+        assert!(sim
+            .run_with_failover(&AvrScheduler, &shards, &[bad_shard])
+            .is_err());
+        let dup = ShardFailover {
+            shard: 0,
+            kill_at_batch: 1,
+            checkpoint_every: 1,
+        };
+        assert!(sim
+            .run_with_failover(&AvrScheduler, &shards, &[dup, dup])
+            .is_err());
+    }
+
+    #[test]
+    fn corrupted_and_truncated_blobs_error_and_never_panic() {
+        // A mid-stream BKP state: the richest blob (grid cursor, speed
+        // index, hull, EDF heap).
+        let inst = shard_instances(1, 30, 31).remove(0);
+        let algo = BkpScheduler {
+            resolution: 300,
+            ..Default::default()
+        };
+        let (_, checkpoints) = StreamingSimulation::default()
+            .run_checkpointed(&algo, &inst, 5)
+            .unwrap();
+        let blob = &checkpoints.last().unwrap().blob;
+        let wire = blob.to_bytes();
+        // Every truncation fails cleanly.
+        for len in (0..wire.len()).step_by(7) {
+            assert!(StateBlob::from_bytes(&wire[..len]).is_err());
+        }
+        // Every probed bit flip fails cleanly (checksummed container).
+        for i in (0..wire.len()).step_by(11) {
+            let mut corrupted = wire.clone();
+            corrupted[i] ^= 0x10;
+            assert!(StateBlob::from_bytes(&corrupted).is_err());
+        }
+        // Restoring the wrong kind errors.
+        use pss_baselines::avr::AvrState;
+        use pss_baselines::bkp::BkpState;
+        assert!(matches!(
+            AvrState::restore(blob),
+            Err(SnapshotError::WrongKind { .. })
+        ));
+        // A kind-right blob with a truncated payload errors.
+        let short = StateBlob::new(
+            "bkp",
+            1,
+            blob.payload()[..blob.payload().len() / 2].to_vec(),
+        );
+        assert!(BkpState::restore(&short).is_err());
+        // The JSON envelope round-trips the same state.
+        let json = pss_metrics::blob_to_json(blob);
+        let back = pss_metrics::blob_from_json(&json).unwrap();
+        assert_eq!(&back, blob);
+        assert!(BkpState::restore(&back).is_ok());
+    }
+
+    #[test]
+    fn empty_single_job_and_large_states_round_trip() {
+        use pss_baselines::avr::AvrState;
+        use pss_types::OnlineAlgorithm;
+
+        // Empty state: a fresh run, never fed.
+        let fresh = AvrScheduler.start(1, 2.0).unwrap();
+        let blob = fresh.snapshot();
+        let restored =
+            AvrState::restore(&StateBlob::from_bytes(&blob.to_bytes()).unwrap()).unwrap();
+        assert!(restored.finish().unwrap().segments.is_empty());
+
+        // Single-job state.
+        let single = Instance::from_tuples(1, 2.0, vec![(0.0, 2.0, 1.0, 1.0)]).unwrap();
+        let mut run = AvrScheduler.start_for(&single).unwrap();
+        run.on_arrival(&single.jobs[0], 0.0).unwrap();
+        let restored = AvrState::restore(&run.snapshot()).unwrap();
+        assert_eq!(
+            restored.finish().unwrap().segments,
+            run.finish().unwrap().segments
+        );
+
+        // A 10k-job state round-trips bit-exactly through the wire format.
+        let big = RandomConfig {
+            n_jobs: 10_000,
+            machines: 1,
+            alpha: 2.0,
+            arrival: ArrivalModel::Poisson { rate: 4.0 },
+            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
+            ..RandomConfig::standard(808)
+        }
+        .generate();
+        let mut run = AvrScheduler.start_for(&big).unwrap();
+        for id in big.arrival_order() {
+            let job = big.job(id);
+            run.on_arrival(job, job.release).unwrap();
+        }
+        let blob = run.snapshot();
+        let wire = blob.to_bytes();
+        let back = StateBlob::from_bytes(&wire).unwrap();
+        assert_eq!(back, blob);
+        let restored = AvrState::restore(&back).unwrap();
+        // The restored state is observably the same state: identical
+        // snapshot, identical finish.
+        assert_eq!(restored.snapshot(), blob);
+        assert_eq!(
+            restored.finish().unwrap().segments,
+            run.finish().unwrap().segments
+        );
+    }
+}

@@ -27,6 +27,16 @@
 //! [`parallel::FleetReport`] (pooled percentiles recomputed from pooled
 //! samples, never averaged).
 //!
+//! [`checkpoint`] makes streams *restartable*: every run state implements
+//! `pss_types::Checkpointable`, so
+//! [`StreamingSimulation::run_checkpointed`](engine::StreamingSimulation)
+//! snapshots the scheduler every k ingestion batches, the failover
+//! drills (`run_with_failover`, single-stream and fleet-level) kill a
+//! worker mid-stream, restore from the last checkpoint blob and replay
+//! the delta — bit-identically, with killed shards *rebalanced* onto
+//! fresh worker threads — and E14 measures blob size, capture/restore
+//! cost and recovery latency.
+//!
 //! [`replay`] provides the operational definition of "online": the
 //! streaming check [`replay::streaming_prefix_report`] verifies in a single
 //! pass that the machine speed profiles an incremental run *commits to*
@@ -38,11 +48,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod gantt;
 pub mod parallel;
 pub mod replay;
 
+pub use checkpoint::{CheckpointRecord, RecoveryStats, ShardFailover};
 pub use engine::{
     coalesce_arrivals, ArrivalRecord, JobOutcome, MachineStats, SimReport, Simulation,
     StreamReport, StreamingSimulation,

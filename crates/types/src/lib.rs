@@ -20,7 +20,13 @@
 //!   [`OnlineScheduler::frontier`], and a blanket batch adapter) implemented
 //!   by every online algorithm in the workspace,
 //! * [`num`] — tolerance-aware floating point helpers used by all numeric
-//!   code in the workspace.
+//!   code in the workspace,
+//! * [`snapshot`] — checkpoint/restore for long-running runs: versioned
+//!   [`StateBlob`]s, the hand-rolled bounds-checked binary codec
+//!   ([`BlobWriter`]/[`BlobReader`], no serde in the offline build), and
+//!   the [`Checkpointable`]/[`SnapshotPart`] traits every online scheduler
+//!   state implements (restores continue bit-identically; the JSON
+//!   envelope lives in `pss-metrics`).
 //!
 //! The model follows Section 2 of the paper: `m` speed-scalable processors,
 //! power `P_α(s) = s^α` with `α > 1`, preemption and migration allowed, at
@@ -38,6 +44,7 @@ pub mod job;
 pub mod num;
 pub mod scheduler;
 pub mod segment;
+pub mod snapshot;
 pub mod validate;
 
 pub use cost::Cost;
@@ -50,4 +57,7 @@ pub use scheduler::{
     Scheduler, ARRIVAL_ORDER_TOLERANCE,
 };
 pub use segment::{Schedule, Segment};
+pub use snapshot::{
+    BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,
+};
 pub use validate::{validate_schedule, ValidationReport};

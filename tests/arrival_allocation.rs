@@ -19,10 +19,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+mod common;
+
 use pss_core::baselines::oa::OaPlanner;
 use pss_core::baselines::replan::{AdmitAll, OnlineEnv, ReplanState};
 use pss_core::prelude::*;
-use pss_workloads::{ArrivalModel, RandomConfig, ValueModel};
 
 /// Counts every allocation and reallocation (not bytes: a doubling realloc
 /// of a long-lived buffer is amortised-O(1) per arrival and counts once).
@@ -51,15 +52,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// A Poisson stream with a bounded active set (~10 pending jobs at a time).
 fn stream(n: usize, seed: u64) -> Instance {
-    RandomConfig {
-        n_jobs: n,
-        machines: 1,
-        alpha: 2.5,
-        arrival: ArrivalModel::Poisson { rate: 4.0 },
-        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-        ..RandomConfig::standard(seed)
-    }
-    .generate()
+    common::poisson_profitable(seed, 1, 2.5, n, 4.0)
 }
 
 /// Feeds the whole stream to `run`, returning the allocation counts of the
@@ -136,19 +129,7 @@ fn incremental_arrival_paths_do_not_allocate_with_history_size() {
     // allocation count *per arrival* must not grow with the burst size b —
     // a batch path that secretly re-planned per job would scale ~b-fold.
     let per_arrival = |b: usize, seed: u64| -> usize {
-        let inst = RandomConfig {
-            n_jobs: n,
-            machines: 1,
-            alpha: 2.5,
-            arrival: ArrivalModel::BurstyPoisson {
-                rate: 4.0 / b as f64,
-                burst_size: b,
-                jitter: 0.0,
-            },
-            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-            ..RandomConfig::standard(seed)
-        }
-        .generate();
+        let inst = common::bursty_poisson_profitable(seed, 1, 2.5, n, b, 4.0 / b as f64, 0.0);
         // Group the stream into its equal-release bursts up front, so the
         // measurement covers only the ingestion calls.
         let mut bursts: Vec<(f64, Vec<Job>)> = Vec::new();

@@ -2,22 +2,15 @@
 //! baselines' known guarantees, checked against the exact (brute force)
 //! optimum on many small random instances.
 
+mod common;
+
 use pss_core::prelude::*;
 use pss_offline::brute_force_optimum;
-use pss_workloads::{staircase_instance, RandomConfig, ValueModel};
+use pss_workloads::staircase_instance;
 
 fn sweep(machines: usize, alpha: f64, seeds: std::ops::Range<u64>) -> Vec<Instance> {
     seeds
-        .map(|seed| {
-            RandomConfig {
-                n_jobs: 9,
-                machines,
-                alpha,
-                value: ValueModel::ProportionalToEnergy { min: 0.2, max: 4.0 },
-                ..RandomConfig::standard(900 + seed)
-            }
-            .generate()
-        })
+        .map(|seed| common::profitable_values(900 + seed, machines, alpha, 9, 0.2, 4.0))
         .collect()
 }
 

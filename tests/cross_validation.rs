@@ -3,20 +3,11 @@
 //! realisation vs per-interval energies, OA vs its multiprocessor
 //! generalisation, PD vs OA in the mandatory-value regime).
 
+mod common;
+
+use common::mandatory as mandatory_instance;
 use pss_convex::{solve_min_energy, ProgramContext};
 use pss_core::prelude::*;
-use pss_workloads::{RandomConfig, ValueModel};
-
-fn mandatory_instance(seed: u64, machines: usize, alpha: f64, n: usize) -> Instance {
-    RandomConfig {
-        n_jobs: n,
-        machines,
-        alpha,
-        value: ValueModel::Mandatory,
-        ..RandomConfig::standard(seed)
-    }
-    .generate()
-}
 
 #[test]
 fn yds_and_convex_solver_agree_on_single_machine_energy() {

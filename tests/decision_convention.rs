@@ -8,19 +8,10 @@
 //! All six online algorithms are checked through the event-driven
 //! `on_arrival` API.
 
+mod common;
+
+use common::{easy_instance, hopeless_instance};
 use pss_core::prelude::*;
-
-/// A single job so expensive relative to its value that every profit-aware
-/// algorithm rejects it: speed 10 over a unit window (energy 100 at α = 2)
-/// for a value of 0.001.
-fn hopeless_instance() -> Instance {
-    Instance::from_tuples(1, 2.0, vec![(0.0, 1.0, 10.0, 0.001), (0.0, 2.0, 0.5, 10.0)]).unwrap()
-}
-
-/// An easy mandatory-style instance every algorithm accepts in full.
-fn easy_instance() -> Instance {
-    Instance::from_tuples(1, 2.0, vec![(0.0, 4.0, 1.0, 100.0), (1.0, 3.0, 0.5, 100.0)]).unwrap()
-}
 
 fn drive<A: OnlineAlgorithm>(algo: &A, instance: &Instance) -> Vec<Decision> {
     let mut run = algo.start_for(instance).expect("start");

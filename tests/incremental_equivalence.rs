@@ -12,11 +12,13 @@
 //! interval may order jobs differently — because the schedule semantics
 //! live in the speed profiles and per-job work, which are compared.
 
+mod common;
+
+use common::{bursty_profitable, edge_instance, poisson_profitable, profitable};
 use pss_core::baselines::cll::CllAdmission;
 use pss_core::baselines::oa::{MultiOaPlanner, OaPlanner};
 use pss_core::baselines::replan::{AdmissionPolicy, AdmitAll, OnlineEnv, Planner, ReplanState};
 use pss_core::prelude::*;
-use pss_workloads::{ArrivalModel, RandomConfig, ValueModel};
 
 /// Compares two schedules of the same instance as schedules-proper: cost,
 /// finished set, and sampled total speed profiles.
@@ -54,17 +56,6 @@ fn assert_equivalent(
             );
         }
     }
-}
-
-fn profitable(seed: u64, machines: usize, alpha: f64) -> Instance {
-    RandomConfig {
-        n_jobs: 10,
-        machines,
-        alpha,
-        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-        ..RandomConfig::standard(seed)
-    }
-    .generate()
 }
 
 #[test]
@@ -281,15 +272,7 @@ fn warm_replanning_survives_equal_release_times() {
     // replans once per burst and the warm state absorbs several insertions
     // between executions.
     for seed in 0..4u64 {
-        let instance = RandomConfig {
-            n_jobs: 12,
-            machines: 1,
-            alpha: 2.0,
-            arrival: ArrivalModel::Bursty { burst_size: 3 },
-            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-            ..RandomConfig::standard(5400 + seed)
-        }
-        .generate();
+        let instance = bursty_profitable(5400 + seed, 1, 2.0, 12, 3);
         assert_warm_equals_cold(
             &instance,
             OaPlanner { speed_factor: 1.0 },
@@ -311,19 +294,7 @@ fn warm_replanning_survives_equal_release_times() {
 fn warm_replanning_survives_near_zero_works_and_tied_deadlines() {
     // Hand-crafted out-of-order-tolerance edge cases: equal releases, tied
     // deadlines and (nearly) zero-work jobs.
-    let instance = Instance::from_tuples(
-        1,
-        2.0,
-        vec![
-            (0.0, 2.0, 1.0, 10.0),
-            (0.0, 2.0, 1e-9, 10.0), // near-zero work, tied window
-            (0.0, 3.0, 1e-9, 10.0),
-            (1.0, 3.0, 0.8, 10.0),
-            (1.0, 3.0 + 1e-13, 0.4, 10.0), // deadline tied within 1e-12
-            (2.0, 5.0, 1.5, 10.0),
-        ],
-    )
-    .unwrap();
+    let instance = edge_instance(1, 2.0);
     assert_warm_equals_cold(
         &instance,
         OaPlanner { speed_factor: 1.0 },
@@ -403,15 +374,7 @@ fn warm_multi_oa_equals_from_scratch_on_random_workloads() {
 #[test]
 fn warm_multi_oa_survives_bursty_equal_releases() {
     for seed in 0..2u64 {
-        let instance = RandomConfig {
-            n_jobs: 12,
-            machines: 2,
-            alpha: 2.5,
-            arrival: ArrivalModel::Bursty { burst_size: 3 },
-            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-            ..RandomConfig::standard(5700 + seed)
-        }
-        .generate();
+        let instance = bursty_profitable(5700 + seed, 2, 2.5, 12, 3);
         assert_warm_equals_cold(
             &instance,
             MultiOaPlanner {
@@ -426,19 +389,7 @@ fn warm_multi_oa_survives_bursty_equal_releases() {
 
 #[test]
 fn warm_multi_oa_survives_near_zero_works_and_tied_deadlines() {
-    let instance = Instance::from_tuples(
-        2,
-        2.5,
-        vec![
-            (0.0, 2.0, 1.0, 10.0),
-            (0.0, 2.0, 1e-9, 10.0), // near-zero work, tied window
-            (0.0, 3.0, 1e-9, 10.0),
-            (1.0, 3.0, 0.8, 10.0),
-            (1.0, 3.0 + 1e-13, 0.4, 10.0), // deadline tied within 1e-12
-            (2.0, 5.0, 1.5, 10.0),
-        ],
-    )
-    .unwrap();
+    let instance = edge_instance(2, 2.5);
     assert_warm_equals_cold(
         &instance,
         MultiOaPlanner {
@@ -491,15 +442,7 @@ fn indexed_avr_equals_full_scan_on_random_and_bursty_workloads() {
         assert_runs_equivalent(&instance, fast, slow, "indexed AVR", 1e-9);
     }
     for seed in 0..3u64 {
-        let instance = RandomConfig {
-            n_jobs: 12,
-            machines: 1,
-            alpha: 2.0,
-            arrival: ArrivalModel::Bursty { burst_size: 3 },
-            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-            ..RandomConfig::standard(5900 + seed)
-        }
-        .generate();
+        let instance = bursty_profitable(5900 + seed, 1, 2.0, 12, 3);
         let fast = AvrScheduler.start_for(&instance).expect("indexed AVR");
         let slow = AvrScheduler
             .start_for(&instance)
@@ -511,19 +454,7 @@ fn indexed_avr_equals_full_scan_on_random_and_bursty_workloads() {
 
 #[test]
 fn indexed_avr_survives_near_zero_works_and_tied_deadlines() {
-    let instance = Instance::from_tuples(
-        1,
-        2.0,
-        vec![
-            (0.0, 2.0, 1.0, 10.0),
-            (0.0, 2.0, 1e-9, 10.0),
-            (0.0, 3.0, 1e-9, 10.0),
-            (1.0, 3.0, 0.8, 10.0),
-            (1.0, 3.0 + 1e-13, 0.4, 10.0),
-            (2.0, 5.0, 1.5, 10.0),
-        ],
-    )
-    .unwrap();
+    let instance = edge_instance(1, 2.0);
     let fast = AvrScheduler.start_for(&instance).expect("indexed AVR");
     let slow = AvrScheduler
         .start_for(&instance)
@@ -548,15 +479,7 @@ fn indexed_bkp_equals_full_scan_on_random_and_bursty_workloads() {
         assert_runs_equivalent(&instance, fast, slow, "indexed BKP", 1e-9);
     }
     for seed in 0..2u64 {
-        let instance = RandomConfig {
-            n_jobs: 12,
-            machines: 1,
-            alpha: 3.0,
-            arrival: ArrivalModel::Bursty { burst_size: 3 },
-            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-            ..RandomConfig::standard(6100 + seed)
-        }
-        .generate();
+        let instance = bursty_profitable(6100 + seed, 1, 3.0, 12, 3);
         let fast = algo.start_for(&instance).expect("indexed BKP");
         let slow = algo
             .start_for(&instance)
@@ -568,19 +491,7 @@ fn indexed_bkp_equals_full_scan_on_random_and_bursty_workloads() {
 
 #[test]
 fn indexed_bkp_survives_near_zero_works_and_tied_deadlines() {
-    let instance = Instance::from_tuples(
-        1,
-        3.0,
-        vec![
-            (0.0, 2.0, 1.0, 10.0),
-            (0.0, 2.0, 1e-9, 10.0),
-            (0.0, 3.0, 1e-9, 10.0),
-            (1.0, 3.0, 0.8, 10.0),
-            (1.0, 3.0 + 1e-13, 0.4, 10.0),
-            (2.0, 5.0, 1.5, 10.0),
-        ],
-    )
-    .unwrap();
+    let instance = edge_instance(1, 3.0);
     let algo = BkpScheduler {
         resolution: 600,
         ..Default::default()
@@ -612,15 +523,7 @@ fn pruned_bkp_grid_equals_unpruned_on_random_and_bursty_workloads() {
         assert_runs_equivalent(&instance, fast, slow, "pruned BKP", 1e-9);
     }
     for seed in 0..2u64 {
-        let instance = RandomConfig {
-            n_jobs: 60,
-            machines: 1,
-            alpha: 3.0,
-            arrival: ArrivalModel::Poisson { rate: 4.0 },
-            value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-            ..RandomConfig::standard(6300 + seed)
-        }
-        .generate();
+        let instance = poisson_profitable(6300 + seed, 1, 3.0, 60, 4.0);
         let fast = algo.start_for(&instance).expect("pruned BKP");
         let slow = algo
             .start_for(&instance)
@@ -719,19 +622,6 @@ fn assert_bursts_equal_loop<R: OnlineScheduler>(
         );
     }
     assert_equivalent(instance, &ls, &bs, label, tol);
-}
-
-/// A bursty profitable instance (equal release times within each burst).
-fn bursty_profitable(seed: u64, machines: usize, alpha: f64, n: usize, b: usize) -> Instance {
-    RandomConfig {
-        n_jobs: n,
-        machines,
-        alpha,
-        arrival: ArrivalModel::Bursty { burst_size: b },
-        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-        ..RandomConfig::standard(seed)
-    }
-    .generate()
 }
 
 #[test]
@@ -911,5 +801,278 @@ fn singleton_bursts_are_bit_identical_to_the_per_event_path() {
     assert_eq!(
         ls.segments, bs.segments,
         "OA(m): segments not bit-identical"
+    );
+}
+
+// ---- Checkpoint/restore: snapshots at arbitrary cut points ---------------
+//
+// Every online run state implements `Checkpointable`: suspending a run into
+// a `StateBlob` and restoring it must not perturb a single future decision.
+// These pins drive each algorithm twice over the same stream — once
+// uninterrupted, once snapshotted/restored at a cut point — and assert the
+// decisions, duals and schedules are bit-identical (solver accuracy with
+// exact decisions for OA(m), whose restored descent re-runs the identical
+// warm-seeded solves).  Cut points include every burst boundary shape:
+// between bursts, immediately after a burst, and *mid-burst* (a burst split
+// across the snapshot, both halves fed at the same instant).
+
+/// Drives `make_run()` over the burst stream uninterrupted, and once per
+/// cut point with a snapshot/wire-round-trip/restore at the cut, comparing
+/// decisions and final schedules.
+fn assert_restore_equivalent<R>(
+    bursts: &[(f64, Vec<Job>)],
+    mut make_run: impl FnMut() -> R,
+    label: &str,
+    exact: bool,
+) where
+    R: OnlineScheduler + Checkpointable,
+{
+    // Flatten to per-event feeds so cuts can land mid-burst: feed events
+    // [0, cut) one way, snapshot, restore, feed [cut, n) — with every event
+    // of a burst fed at the burst's time, so splitting a burst is exactly
+    // the ragged sub-burst shape the burst-equivalence pins cover.
+    let feeds: Vec<(f64, Job)> = bursts
+        .iter()
+        .flat_map(|(t, jobs)| jobs.iter().map(|j| (*t, *j)))
+        .collect();
+    let mut baseline_run = make_run();
+    let mut baseline_decisions = Vec::new();
+    for (t, job) in &feeds {
+        baseline_decisions.push(baseline_run.on_arrival(job, *t).expect("baseline arrival"));
+    }
+    let baseline_schedule = baseline_run.finish().expect("baseline finish");
+
+    // Cut points: start, one mid-burst, one immediately after a burst,
+    // mid-stream, end — or, under `CHECKPOINT_SMOKE=1` (the CI checkpoint
+    // smoke step), *every* cut point of the stream.
+    let first_burst = bursts.first().map(|(_, j)| j.len()).unwrap_or(0);
+    let cuts: Vec<usize> = if std::env::var("CHECKPOINT_SMOKE").is_ok() {
+        (0..=feeds.len()).collect()
+    } else {
+        vec![
+            0,
+            1.min(feeds.len()),           // mid-first-burst (bursts have >1 job)
+            first_burst.min(feeds.len()), // immediately after the first burst
+            feeds.len() / 2,
+            feeds.len(),
+        ]
+    };
+    for &cut in &cuts {
+        let mut run = make_run();
+        let mut decisions = Vec::new();
+        for (t, job) in &feeds[..cut] {
+            decisions.push(run.on_arrival(job, *t).expect("pre-cut arrival"));
+        }
+        // Suspend through the full wire format and resume.
+        let wire = run.snapshot().to_bytes();
+        drop(run);
+        let blob = StateBlob::from_bytes(&wire).expect("wire round-trip");
+        let mut resumed = R::restore(&blob).expect("restore");
+        for (t, job) in &feeds[cut..] {
+            decisions.push(resumed.on_arrival(job, *t).expect("post-cut arrival"));
+        }
+        let schedule = resumed.finish().expect("restored finish");
+        assert_eq!(
+            decisions.len(),
+            baseline_decisions.len(),
+            "{label} cut {cut}: decision counts differ"
+        );
+        for (i, (a, b)) in baseline_decisions.iter().zip(&decisions).enumerate() {
+            assert_eq!(
+                a.accepted, b.accepted,
+                "{label} cut {cut}: decision {i} differs after restore"
+            );
+            if exact {
+                assert_eq!(
+                    a.dual.to_bits(),
+                    b.dual.to_bits(),
+                    "{label} cut {cut}: dual {i} not bit-identical after restore"
+                );
+            } else {
+                assert!(
+                    (a.dual - b.dual).abs() <= 1e-9 * a.dual.abs().max(1.0),
+                    "{label} cut {cut}: dual {i} differs after restore"
+                );
+            }
+        }
+        if exact {
+            assert_eq!(
+                baseline_schedule.segments, schedule.segments,
+                "{label} cut {cut}: schedule not bit-identical after restore"
+            );
+        } else {
+            // Iterative planner: solver-accuracy equivalence with exact
+            // decisions (asserted above).
+            assert_eq!(baseline_schedule.machines, schedule.machines);
+            assert_eq!(
+                baseline_schedule.segments.len(),
+                schedule.segments.len(),
+                "{label} cut {cut}: restored run emitted a different segment count"
+            );
+            for (a, b) in baseline_schedule.segments.iter().zip(&schedule.segments) {
+                assert!(
+                    a.machine == b.machine
+                        && a.job == b.job
+                        && (a.start - b.start).abs() < 1e-9
+                        && (a.end - b.end).abs() < 1e-9
+                        && (a.speed - b.speed).abs() < 1e-9 * a.speed.abs().max(1.0),
+                    "{label} cut {cut}: restored segments drift beyond solver accuracy"
+                );
+            }
+        }
+    }
+}
+
+/// The burst stream of an instance (bit-equal release times grouped).
+fn as_bursts(instance: &Instance) -> Vec<(f64, Vec<Job>)> {
+    equal_release_bursts(instance)
+}
+
+#[test]
+fn restored_runs_continue_bit_identically_for_every_algorithm() {
+    for seed in 0..3u64 {
+        let single = bursty_profitable(7600 + seed, 1, 2.0 + 0.5 * (seed % 3) as f64, 16, 4);
+        let bursts = as_bursts(&single);
+        assert_restore_equivalent(
+            &bursts,
+            || OaScheduler.start_for(&single).expect("OA run"),
+            "restore OA",
+            true,
+        );
+        assert_restore_equivalent(
+            &bursts,
+            || QoaScheduler::default().start_for(&single).expect("qOA run"),
+            "restore qOA",
+            true,
+        );
+        assert_restore_equivalent(
+            &bursts,
+            || CllScheduler.start_for(&single).expect("CLL run"),
+            "restore CLL",
+            true,
+        );
+        assert_restore_equivalent(
+            &bursts,
+            || AvrScheduler.start_for(&single).expect("AVR run"),
+            "restore AVR",
+            true,
+        );
+        let bkp = BkpScheduler {
+            resolution: 500,
+            ..Default::default()
+        };
+        assert_restore_equivalent(
+            &bursts,
+            || bkp.start_for(&single).expect("BKP run"),
+            "restore BKP",
+            true,
+        );
+        assert_restore_equivalent(
+            &bursts,
+            || PdScheduler::default().start_for(&single).expect("PD run"),
+            "restore PD",
+            true,
+        );
+        let multi = bursty_profitable(7700 + seed, 2, 2.5, 12, 3);
+        let multi_bursts = as_bursts(&multi);
+        assert_restore_equivalent(
+            &multi_bursts,
+            || {
+                MultiOaScheduler::default()
+                    .start_for(&multi)
+                    .expect("OA(m) run")
+            },
+            "restore OA(m)",
+            false,
+        );
+    }
+}
+
+#[test]
+fn restored_runs_survive_the_tolerance_edge_cases() {
+    // Tied deadlines, equal releases, near-zero works: the snapshots must
+    // preserve the exact bit patterns these paths branch on.
+    let instance = edge_instance(1, 2.0);
+    let bursts = as_bursts(&instance);
+    assert_restore_equivalent(
+        &bursts,
+        || OaScheduler.start_for(&instance).expect("OA run"),
+        "restore OA (edge)",
+        true,
+    );
+    assert_restore_equivalent(
+        &bursts,
+        || AvrScheduler.start_for(&instance).expect("AVR run"),
+        "restore AVR (edge)",
+        true,
+    );
+    assert_restore_equivalent(
+        &bursts,
+        || PdScheduler::default().start_for(&instance).expect("PD run"),
+        "restore PD (edge)",
+        true,
+    );
+    let bkp_edge = edge_instance(1, 3.0);
+    let bkp_bursts = as_bursts(&bkp_edge);
+    let bkp = BkpScheduler {
+        resolution: 400,
+        ..Default::default()
+    };
+    assert_restore_equivalent(
+        &bkp_bursts,
+        || bkp.start_for(&bkp_edge).expect("BKP run"),
+        "restore BKP (edge)",
+        true,
+    );
+}
+
+#[test]
+fn mid_burst_snapshots_round_trip_through_on_arrivals() {
+    // Split every burst across a snapshot: feed the first half through
+    // on_arrivals, suspend/restore, feed the rest through on_arrivals at
+    // the same instant — against the same split without the restore.
+    let instance = bursty_profitable(7800, 1, 2.0, 16, 4);
+    let bursts = as_bursts(&instance);
+    macro_rules! pin {
+        ($label:expr, $make:expr) => {{
+            let drive_split = |restore_mid: bool| {
+                let mut run = $make;
+                let mut decisions = Vec::new();
+                for (t, jobs) in &bursts {
+                    let half = jobs.len() / 2;
+                    decisions.extend(run.on_arrivals(&jobs[..half], *t).expect("first half"));
+                    if restore_mid {
+                        let blob = run.snapshot();
+                        run = Checkpointable::restore(&blob).expect("mid-burst restore");
+                    }
+                    decisions.extend(run.on_arrivals(&jobs[half..], *t).expect("second half"));
+                }
+                (decisions, run.finish().expect("finish"))
+            };
+            let (plain_decisions, plain_schedule) = drive_split(false);
+            let (restored_decisions, restored_schedule) = drive_split(true);
+            assert_eq!(plain_decisions, restored_decisions, "{}: decisions", $label);
+            assert_eq!(
+                plain_schedule.segments, restored_schedule.segments,
+                "{}: segments",
+                $label
+            );
+        }};
+    }
+    pin!("OA", OaScheduler.start_for(&instance).expect("OA run"));
+    pin!("CLL", CllScheduler.start_for(&instance).expect("CLL run"));
+    pin!("AVR", AvrScheduler.start_for(&instance).expect("AVR run"));
+    pin!(
+        "BKP",
+        BkpScheduler {
+            resolution: 400,
+            ..Default::default()
+        }
+        .start_for(&instance)
+        .expect("BKP run")
+    );
+    pin!(
+        "PD",
+        PdScheduler::default().start_for(&instance).expect("PD run")
     );
 }

@@ -2,37 +2,12 @@
 //! schedule validation → simulator → metrics, checking that every layer
 //! agrees with the others.
 
+mod common;
+
+use common::pipeline_families as families;
 use pss_core::prelude::*;
 use pss_metrics::evaluate_scheduler;
 use pss_sim::Simulation;
-use pss_workloads::{ArrivalModel, RandomConfig, ValueModel, WorkModel};
-
-fn families() -> Vec<RandomConfig> {
-    vec![
-        RandomConfig::standard(1),
-        RandomConfig {
-            n_jobs: 30,
-            machines: 4,
-            alpha: 3.0,
-            arrival: ArrivalModel::Poisson { rate: 2.0 },
-            value: ValueModel::ProportionalToEnergy { min: 0.2, max: 5.0 },
-            ..RandomConfig::standard(2)
-        },
-        RandomConfig {
-            n_jobs: 24,
-            machines: 2,
-            alpha: 1.7,
-            arrival: ArrivalModel::Bursty { burst_size: 4 },
-            work: WorkModel::Pareto {
-                shape: 1.3,
-                scale: 0.3,
-                cap: 8.0,
-            },
-            value: ValueModel::ProportionalToWork { min: 0.1, max: 3.0 },
-            ..RandomConfig::standard(3)
-        },
-    ]
-}
 
 #[test]
 fn pd_schedules_are_feasible_and_consistent_across_layers() {
@@ -93,14 +68,7 @@ fn certified_guarantee_holds_on_every_generated_family() {
 
 #[test]
 fn baselines_produce_feasible_schedules_on_shared_workloads() {
-    let instance = RandomConfig {
-        n_jobs: 15,
-        machines: 1,
-        alpha: 2.0,
-        value: ValueModel::ProportionalToEnergy { min: 0.5, max: 5.0 },
-        ..RandomConfig::standard(77)
-    }
-    .generate();
+    let instance = common::profitable_values(77, 1, 2.0, 15, 0.5, 5.0);
 
     let algorithms: Vec<Box<dyn Scheduler>> = vec![
         Box::new(PdScheduler::default()),
@@ -121,14 +89,7 @@ fn baselines_produce_feasible_schedules_on_shared_workloads() {
 
 #[test]
 fn mandatory_value_instances_are_fully_accepted_by_pd() {
-    let instance = RandomConfig {
-        n_jobs: 20,
-        machines: 3,
-        alpha: 2.5,
-        value: ValueModel::Mandatory,
-        ..RandomConfig::standard(8)
-    }
-    .generate();
+    let instance = common::mandatory(8, 3, 2.5, 20);
     let run = PdScheduler::default().run(&instance).expect("PD run");
     assert!(
         run.accepted.iter().all(|a| *a),

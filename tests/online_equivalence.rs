@@ -6,21 +6,20 @@
 //! incremental run per algorithm, whose committed frontier is sampled as
 //! arrivals are processed — no per-checkpoint re-solves.
 
+mod common;
+
 use pss_core::prelude::*;
 use pss_sim::{streaming_prefix_report, StreamingSimulation};
-use pss_workloads::{RandomConfig, ValueModel};
 
 fn instances() -> Vec<Instance> {
     (0..4u64)
         .map(|seed| {
-            RandomConfig {
-                n_jobs: 12,
-                machines: if seed % 2 == 0 { 1 } else { 3 },
-                alpha: 2.0 + 0.5 * (seed % 3) as f64,
-                value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-                ..RandomConfig::standard(500 + seed)
-            }
-            .generate()
+            common::profitable_n(
+                500 + seed,
+                if seed % 2 == 0 { 1 } else { 3 },
+                2.0 + 0.5 * (seed % 3) as f64,
+                12,
+            )
         })
         .collect()
 }
@@ -87,14 +86,7 @@ fn pd_never_revises_the_past() {
 
 #[test]
 fn baselines_never_revise_the_past() {
-    let instance = RandomConfig {
-        n_jobs: 10,
-        machines: 1,
-        alpha: 2.0,
-        value: ValueModel::ProportionalToEnergy { min: 0.3, max: 4.0 },
-        ..RandomConfig::standard(321)
-    }
-    .generate();
+    let instance = common::profitable(321, 1, 2.0);
     let oa = streaming_prefix_report(&OaScheduler, &instance, 48).expect("OA replay");
     assert!(
         oa.is_online(1e-5),
