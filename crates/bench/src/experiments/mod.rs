@@ -1,6 +1,7 @@
 //! The experiment registry (E1–E11 of DESIGN.md, plus the streaming
-//! latency experiment E12, the burst-ingestion/sharding experiment E13 and
-//! the checkpoint/failover experiment E14).
+//! latency experiment E12, the burst-ingestion/sharding experiment E13,
+//! the checkpoint/failover experiment E14 and the multi-tenant ingestion
+//! soak E15).
 
 use pss_metrics::Table;
 
@@ -17,6 +18,7 @@ pub mod pd_vs_cll;
 pub mod prop2;
 pub mod rejection_policy;
 pub mod scaling;
+pub mod serve;
 pub mod streaming;
 
 /// The output of one experiment: its identifier, a short description, the
@@ -98,10 +100,11 @@ pub fn all_experiments(quick: bool) -> Vec<ExperimentOutput> {
         streaming::run(quick),
         burst::run(quick),
         checkpoint::run(quick),
+        serve::run(quick),
     ]
 }
 
-/// Runs a single experiment by id (`"E1"`, …, `"E13"`), if it exists.
+/// Runs a single experiment by id (`"E1"`, …, `"E15"`), if it exists.
 pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
     match id.to_ascii_uppercase().as_str() {
         "E1" => Some(fig2_chen::run(quick)),
@@ -118,6 +121,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "E12" => Some(streaming::run(quick)),
         "E13" => Some(burst::run(quick)),
         "E14" => Some(checkpoint::run(quick)),
+        "E15" => Some(serve::run(quick)),
         _ => None,
     }
 }

@@ -10,9 +10,9 @@
 //! * **JSON** — [`blob_to_json`]/[`blob_from_json`] here: a fixed-shape
 //!   object with the payload hex-encoded, for checkpoint files that should
 //!   be inspectable (or transported through text-only channels).  The
-//!   build environment has no serde, so both the writer and the (strict,
-//!   fixed-shape) parser are hand-rolled, like the rest of the JSON output
-//!   in this crate.
+//!   build environment has no serde, so the writer is hand-rolled and the
+//!   (strict, fixed-shape) decoder goes through the shared
+//!   [`JsonValue`] parser of [`crate::json`].
 //!
 //! Both decoders are total: truncated or corrupted input of either form
 //! produces an error, never a panic — the codec fuzz pins in `pss-sim`
@@ -21,6 +21,7 @@
 use pss_types::snapshot::SnapshotError;
 use pss_types::StateBlob;
 
+use crate::json::JsonValue;
 use crate::table::json_string;
 
 /// Value of the `"format"` field identifying a checkpoint envelope.
@@ -53,200 +54,88 @@ pub fn blob_to_json(blob: &StateBlob) -> String {
 /// Parses the JSON envelope produced by [`blob_to_json`] back into a
 /// [`StateBlob`].
 ///
-/// The parser is deliberately strict: it accepts exactly the fixed object
-/// shape the writer produces (any key order, arbitrary whitespace between
-/// tokens) and rejects everything else with a [`SnapshotError`] — it is a
-/// checkpoint decoder, not a general JSON library.
+/// The decoder is deliberately strict: the input must be exactly one JSON
+/// object of the fixed shape the writer produces (any key order, arbitrary
+/// whitespace between tokens — the shared [`JsonValue`] parser's rules);
+/// anything else is rejected with a [`SnapshotError`] — it is a checkpoint
+/// decoder, not a general JSON consumer.
 pub fn blob_from_json(text: &str) -> Result<StateBlob, SnapshotError> {
-    let mut p = Parser::new(text);
-    p.skip_ws();
-    p.expect_byte(b'{')?;
+    let corrupted = SnapshotError::Corrupted;
+    let value = JsonValue::parse(text).map_err(|e| corrupted(e.to_string()))?;
+    let pairs = value
+        .as_object()
+        .ok_or_else(|| corrupted("checkpoint envelope is not an object".into()))?;
     let mut format: Option<String> = None;
     let mut kind: Option<String> = None;
     let mut version: Option<u64> = None;
     let mut payload: Option<Vec<u8>> = None;
-    loop {
-        p.skip_ws();
-        if p.peek() == Some(b'}') {
-            p.pos += 1;
-            break;
-        }
-        let key = p.parse_string()?;
-        p.skip_ws();
-        p.expect_byte(b':')?;
-        p.skip_ws();
+    for (key, field) in pairs {
         match key.as_str() {
-            "format" => format = Some(p.parse_string()?),
-            "kind" => kind = Some(p.parse_string()?),
-            "version" => version = Some(p.parse_u64()?),
-            "payload" => payload = Some(p.parse_hex_string()?),
-            other => {
-                return Err(SnapshotError::Corrupted(format!(
-                    "unknown checkpoint field {other:?}"
-                )))
+            "format" => {
+                format = Some(
+                    field
+                        .as_str()
+                        .ok_or_else(|| corrupted("format is not a string".into()))?
+                        .to_string(),
+                )
             }
+            "kind" => {
+                kind = Some(
+                    field
+                        .as_str()
+                        .ok_or_else(|| corrupted("kind is not a string".into()))?
+                        .to_string(),
+                )
+            }
+            "version" => {
+                version = Some(
+                    field
+                        .as_u64()
+                        .ok_or_else(|| corrupted("version is not an unsigned integer".into()))?,
+                )
+            }
+            "payload" => {
+                payload =
+                    Some(decode_hex(field.as_str().ok_or_else(|| {
+                        corrupted("payload is not a string".into())
+                    })?)?)
+            }
+            other => return Err(corrupted(format!("unknown checkpoint field {other:?}"))),
         }
-        p.skip_ws();
-        match p.peek() {
-            Some(b',') => p.pos += 1,
-            Some(b'}') => {}
-            _ => return Err(SnapshotError::Corrupted("expected ',' or '}'".into())),
-        }
-    }
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(SnapshotError::Corrupted("trailing characters".into()));
     }
     if format.as_deref() != Some(JSON_FORMAT) {
-        return Err(SnapshotError::Corrupted(format!(
-            "not a {JSON_FORMAT} envelope"
-        )));
+        return Err(corrupted(format!("not a {JSON_FORMAT} envelope")));
     }
-    let kind = kind.ok_or_else(|| SnapshotError::Corrupted("missing kind".into()))?;
-    let version = version.ok_or_else(|| SnapshotError::Corrupted("missing version".into()))?;
-    let version = u16::try_from(version)
-        .map_err(|_| SnapshotError::Corrupted(format!("version {version} out of range")))?;
-    let payload = payload.ok_or_else(|| SnapshotError::Corrupted("missing payload".into()))?;
+    let kind = kind.ok_or_else(|| corrupted("missing kind".into()))?;
+    let version = version.ok_or_else(|| corrupted("missing version".into()))?;
+    let version =
+        u16::try_from(version).map_err(|_| corrupted(format!("version {version} out of range")))?;
+    let payload = payload.ok_or_else(|| corrupted("missing payload".into()))?;
     Ok(StateBlob::new(kind, version, payload))
 }
 
-/// The minimal strict parser behind [`blob_from_json`].
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Self {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
+/// Decodes the payload's hex encoding (two digits per byte, either case).
+fn decode_hex(hex: &str) -> Result<Vec<u8>, SnapshotError> {
+    if !hex.len().is_multiple_of(2) {
+        return Err(SnapshotError::Corrupted("odd hex payload length".into()));
     }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect_byte(&mut self, b: u8) -> Result<(), SnapshotError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(SnapshotError::Corrupted(format!(
-                "expected {:?} at offset {}",
-                b as char, self.pos
-            )))
-        }
-    }
-
-    /// Parses a JSON string literal with the same escape set the writer
-    /// emits (`\" \\ \n \r \t \uXXXX`).
-    fn parse_string(&mut self) -> Result<String, SnapshotError> {
-        self.expect_byte(b'"')?;
-        let mut out = String::new();
-        loop {
-            let Some(b) = self.peek() else {
-                return Err(SnapshotError::Truncated);
-            };
-            self.pos += 1;
+    let bytes = hex.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let digit = |b: u8| -> Result<u8, SnapshotError> {
             match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(esc) = self.peek() else {
-                        return Err(SnapshotError::Truncated);
-                    };
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(SnapshotError::Truncated);
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| SnapshotError::Corrupted("bad \\u escape".into()))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| SnapshotError::Corrupted("bad \\u escape".into()))?;
-                            let c = char::from_u32(code).ok_or_else(|| {
-                                SnapshotError::Corrupted("bad \\u code point".into())
-                            })?;
-                            out.push(c);
-                            self.pos += 4;
-                        }
-                        other => {
-                            return Err(SnapshotError::Corrupted(format!(
-                                "unknown escape \\{}",
-                                other as char
-                            )))
-                        }
-                    }
-                }
-                _ => {
-                    // Continue a multi-byte UTF-8 sequence as raw bytes; the
-                    // input is a &str, so the sequence is valid.
-                    let start = self.pos - 1;
-                    while self
-                        .peek()
-                        .is_some_and(|nb| nb >= 0x80 && (nb & 0xC0) == 0x80)
-                    {
-                        self.pos += 1;
-                    }
-                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
-                        .map_err(|_| SnapshotError::Corrupted("invalid UTF-8".into()))?;
-                    out.push_str(s);
-                }
+                b'0'..=b'9' => Ok(b - b'0'),
+                b'a'..=b'f' => Ok(b - b'a' + 10),
+                b'A'..=b'F' => Ok(b - b'A' + 10),
+                _ => Err(SnapshotError::Corrupted(format!(
+                    "invalid hex digit {:?}",
+                    b as char
+                ))),
             }
-        }
+        };
+        out.push(digit(pair[0])? << 4 | digit(pair[1])?);
     }
-
-    fn parse_u64(&mut self) -> Result<u64, SnapshotError> {
-        let start = self.pos;
-        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        if self.pos == start {
-            return Err(SnapshotError::Corrupted("expected a number".into()));
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SnapshotError::Corrupted("number out of range".into()))
-    }
-
-    fn parse_hex_string(&mut self) -> Result<Vec<u8>, SnapshotError> {
-        let hex = self.parse_string()?;
-        if hex.len() % 2 != 0 {
-            return Err(SnapshotError::Corrupted("odd hex payload length".into()));
-        }
-        let bytes = hex.as_bytes();
-        let mut out = Vec::with_capacity(bytes.len() / 2);
-        for pair in bytes.chunks_exact(2) {
-            let digit = |b: u8| -> Result<u8, SnapshotError> {
-                match b {
-                    b'0'..=b'9' => Ok(b - b'0'),
-                    b'a'..=b'f' => Ok(b - b'a' + 10),
-                    b'A'..=b'F' => Ok(b - b'A' + 10),
-                    _ => Err(SnapshotError::Corrupted(format!(
-                        "invalid hex digit {:?}",
-                        b as char
-                    ))),
-                }
-            };
-            out.push(digit(pair[0])? << 4 | digit(pair[1])?);
-        }
-        Ok(out)
-    }
+    Ok(out)
 }
 
 #[cfg(test)]

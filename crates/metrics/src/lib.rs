@@ -7,16 +7,27 @@
 //! ([`codec`]): the hand-rolled, versioned text envelope for the
 //! [`StateBlob`](pss_types::StateBlob) snapshots of `pss_types::snapshot`
 //! (the binary wire form lives next to the blob type itself).
+//!
+//! All text output shares one strict, total, hand-rolled JSON tree
+//! ([`json::JsonValue`] — the offline build has no serde): the checkpoint
+//! envelope parses through it, and [`service::ServiceSummary`] (the flat
+//! summary of a `pss-serve` multi-tenant ingestion run: per-tenant
+//! admission counts, queue depths, the dual-price trace, drain/hand-off
+//! latencies) round-trips through it bit-exactly.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod codec;
 pub mod csv;
+pub mod json;
 pub mod report;
+pub mod service;
 pub mod table;
 
 pub use codec::{blob_from_json, blob_to_json};
 pub use csv::table_to_csv;
+pub use json::{JsonError, JsonValue};
 pub use report::{evaluate_scheduler, AlgorithmResult, RatioSummary};
+pub use service::{DrainSummary, ServiceSummary, ShardSummary, TenantSummary};
 pub use table::Table;

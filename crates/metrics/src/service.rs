@@ -1,0 +1,456 @@
+//! The machine-readable summary of a multi-tenant ingestion-service run —
+//! and its JSON codec, built on the shared [`JsonValue`](crate::json) tree.
+//!
+//! The `pss-serve` daemon's full `ServiceReport` carries heavyweight run
+//! artefacts (schedules, per-event records); what operators ship to
+//! dashboards is this flat summary: per-tenant admission accounting,
+//! per-shard queue/price/throughput statistics, and the drain / hand-off
+//! latencies of the lifecycle protocol.  The type lives here (not in
+//! `pss-serve`) for the same reason [`AlgorithmResult`](crate::report)
+//! does — it is pure reporting data, and keeping it below the daemon crate
+//! lets the codec be reused without a dependency cycle.
+//!
+//! [`ServiceSummary::to_json`]/[`ServiceSummary::from_json`] round-trip the
+//! summary exactly: every count is an integer, every latency/price is a
+//! finite `f64` rendered in shortest round-trip form, so
+//! `from_json(to_json(s)) == s` bit-for-bit.
+
+use crate::json::{JsonError, JsonValue};
+
+/// Per-tenant admission accounting over a service run.
+///
+/// The counters partition every submission the tenant attempted (once the
+/// service has fully drained): `submitted = accepted +
+/// rejected_by_scheduler + rejected_by_price + rejected_invalid +
+/// rejected_stale + deferred + queue_full + quota_exceeded`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// The tenant's registered name.
+    pub tenant: String,
+    /// Total submissions attempted through the tenant's handle.
+    pub submitted: u64,
+    /// Jobs the scheduling algorithm accepted.
+    pub accepted: u64,
+    /// Jobs that were ingested and rejected at the `Decision` level —
+    /// by the scheduling algorithm itself, or synthesised by the service
+    /// for jobs that expired in the queue (their value is lost either way).
+    pub rejected_by_scheduler: u64,
+    /// Jobs rejected *at admission* by dual-price backpressure under the
+    /// tenant's `Reject` policy (their value is lost without ever loading
+    /// the scheduler).
+    pub rejected_by_price: u64,
+    /// Submissions rejected as invalid (non-finite fields, bad windows).
+    pub rejected_invalid: u64,
+    /// Submissions rejected as too late: release beyond the staleness
+    /// window, or deadline already behind the shard's feed watermark
+    /// (dead on arrival).
+    pub rejected_stale: u64,
+    /// Submissions deferred by backpressure under the tenant's `Defer`
+    /// policy (retryable; no value lost).
+    pub deferred: u64,
+    /// Submissions bounced off a full arrival queue (retryable).
+    pub queue_full: u64,
+    /// Submissions rejected because the tenant's outstanding-jobs quota
+    /// was reached (retryable).
+    pub quota_exceeded: u64,
+    /// Total value lost to price-based admission rejections.
+    pub lost_value: f64,
+}
+
+/// Per-shard ingestion statistics over a service run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: u64,
+    /// Arrival events the shard's worker ingested.
+    pub arrivals: u64,
+    /// Ingestion batches (`on_arrivals` calls) the worker made — burst
+    /// coalescing makes this ≤ `arrivals`.
+    pub batches: u64,
+    /// Largest queue depth observed at a drain point.
+    pub max_queue_depth: u64,
+    /// Nearest-rank p99 of the queue depth samples.
+    pub queue_depth_p99: f64,
+    /// The rolling dual price after each ingestion batch (the backpressure
+    /// signal's trajectory; may be downsampled by the producer).
+    pub dual_price_trace: Vec<f64>,
+    /// The rolling dual price when the run ended.
+    pub final_price: f64,
+    /// Checkpoints the worker captured.
+    pub checkpoints: u64,
+    /// Hand-offs (worker migrations) the shard went through.
+    pub handoffs: u64,
+}
+
+/// Latencies of the lifecycle protocol: graceful drains and hand-offs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DrainSummary {
+    /// Per-shard wall-clock drain latency at shutdown, in seconds (from
+    /// the drain signal to the finished schedule), in shard order.
+    pub drain_secs: Vec<f64>,
+    /// Wall-clock latency of each hand-off (checkpoint on the old worker
+    /// to resumption on the fresh one), in occurrence order.
+    pub handoff_secs: Vec<f64>,
+}
+
+/// The flat, JSON-serialisable summary of a service run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSummary {
+    /// Name of the scheduling algorithm the daemon ran.
+    pub algorithm: String,
+    /// Per-tenant admission accounting, in registry order.
+    pub tenants: Vec<TenantSummary>,
+    /// Per-shard ingestion statistics, in shard order.
+    pub shards: Vec<ShardSummary>,
+    /// Drain / hand-off latencies.
+    pub drain: DrainSummary,
+}
+
+/// Value of the `"format"` field identifying a service-summary document.
+const JSON_FORMAT: &str = "pss-service";
+
+impl ServiceSummary {
+    /// Renders the summary as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let tenant = |t: &TenantSummary| {
+            JsonValue::Obj(vec![
+                ("tenant".into(), JsonValue::str(&t.tenant)),
+                ("submitted".into(), JsonValue::Num(t.submitted as f64)),
+                ("accepted".into(), JsonValue::Num(t.accepted as f64)),
+                (
+                    "rejected_by_scheduler".into(),
+                    JsonValue::Num(t.rejected_by_scheduler as f64),
+                ),
+                (
+                    "rejected_by_price".into(),
+                    JsonValue::Num(t.rejected_by_price as f64),
+                ),
+                (
+                    "rejected_invalid".into(),
+                    JsonValue::Num(t.rejected_invalid as f64),
+                ),
+                (
+                    "rejected_stale".into(),
+                    JsonValue::Num(t.rejected_stale as f64),
+                ),
+                ("deferred".into(), JsonValue::Num(t.deferred as f64)),
+                ("queue_full".into(), JsonValue::Num(t.queue_full as f64)),
+                (
+                    "quota_exceeded".into(),
+                    JsonValue::Num(t.quota_exceeded as f64),
+                ),
+                ("lost_value".into(), JsonValue::Num(t.lost_value)),
+            ])
+        };
+        let shard = |s: &ShardSummary| {
+            JsonValue::Obj(vec![
+                ("shard".into(), JsonValue::Num(s.shard as f64)),
+                ("arrivals".into(), JsonValue::Num(s.arrivals as f64)),
+                ("batches".into(), JsonValue::Num(s.batches as f64)),
+                (
+                    "max_queue_depth".into(),
+                    JsonValue::Num(s.max_queue_depth as f64),
+                ),
+                ("queue_depth_p99".into(), JsonValue::Num(s.queue_depth_p99)),
+                (
+                    "dual_price_trace".into(),
+                    JsonValue::nums(s.dual_price_trace.iter().copied()),
+                ),
+                ("final_price".into(), JsonValue::Num(s.final_price)),
+                ("checkpoints".into(), JsonValue::Num(s.checkpoints as f64)),
+                ("handoffs".into(), JsonValue::Num(s.handoffs as f64)),
+            ])
+        };
+        JsonValue::Obj(vec![
+            ("format".into(), JsonValue::str(JSON_FORMAT)),
+            ("algorithm".into(), JsonValue::str(&self.algorithm)),
+            (
+                "tenants".into(),
+                JsonValue::Arr(self.tenants.iter().map(tenant).collect()),
+            ),
+            (
+                "shards".into(),
+                JsonValue::Arr(self.shards.iter().map(shard).collect()),
+            ),
+            (
+                "drain".into(),
+                JsonValue::Obj(vec![
+                    (
+                        "drain_secs".into(),
+                        JsonValue::nums(self.drain.drain_secs.iter().copied()),
+                    ),
+                    (
+                        "handoff_secs".into(),
+                        JsonValue::nums(self.drain.handoff_secs.iter().copied()),
+                    ),
+                ]),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses a document produced by [`to_json`](Self::to_json).
+    ///
+    /// Strict like the checkpoint envelope decoder: the document must be a
+    /// `pss-service` object with exactly the writer's fields (any key
+    /// order); anything else is a [`JsonError`].
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let root = JsonValue::parse(text)?;
+        expect_keys(
+            &root,
+            &["format", "algorithm", "tenants", "shards", "drain"],
+        )?;
+        if str_field(&root, "format")? != JSON_FORMAT {
+            return Err(JsonError::new(format!("not a {JSON_FORMAT} document")));
+        }
+        let tenants = seq_field(&root, "tenants")?
+            .iter()
+            .map(parse_tenant)
+            .collect::<Result<Vec<_>, _>>()?;
+        let shards = seq_field(&root, "shards")?
+            .iter()
+            .map(parse_shard)
+            .collect::<Result<Vec<_>, _>>()?;
+        let drain = field(&root, "drain")?;
+        expect_keys(drain, &["drain_secs", "handoff_secs"])?;
+        Ok(ServiceSummary {
+            algorithm: str_field(&root, "algorithm")?.to_string(),
+            tenants,
+            shards,
+            drain: DrainSummary {
+                drain_secs: f64_seq(drain, "drain_secs")?,
+                handoff_secs: f64_seq(drain, "handoff_secs")?,
+            },
+        })
+    }
+}
+
+fn parse_tenant(v: &JsonValue) -> Result<TenantSummary, JsonError> {
+    expect_keys(
+        v,
+        &[
+            "tenant",
+            "submitted",
+            "accepted",
+            "rejected_by_scheduler",
+            "rejected_by_price",
+            "rejected_invalid",
+            "rejected_stale",
+            "deferred",
+            "queue_full",
+            "quota_exceeded",
+            "lost_value",
+        ],
+    )?;
+    Ok(TenantSummary {
+        tenant: str_field(v, "tenant")?.to_string(),
+        submitted: u64_field(v, "submitted")?,
+        accepted: u64_field(v, "accepted")?,
+        rejected_by_scheduler: u64_field(v, "rejected_by_scheduler")?,
+        rejected_by_price: u64_field(v, "rejected_by_price")?,
+        rejected_invalid: u64_field(v, "rejected_invalid")?,
+        rejected_stale: u64_field(v, "rejected_stale")?,
+        deferred: u64_field(v, "deferred")?,
+        queue_full: u64_field(v, "queue_full")?,
+        quota_exceeded: u64_field(v, "quota_exceeded")?,
+        lost_value: f64_field(v, "lost_value")?,
+    })
+}
+
+fn parse_shard(v: &JsonValue) -> Result<ShardSummary, JsonError> {
+    expect_keys(
+        v,
+        &[
+            "shard",
+            "arrivals",
+            "batches",
+            "max_queue_depth",
+            "queue_depth_p99",
+            "dual_price_trace",
+            "final_price",
+            "checkpoints",
+            "handoffs",
+        ],
+    )?;
+    Ok(ShardSummary {
+        shard: u64_field(v, "shard")?,
+        arrivals: u64_field(v, "arrivals")?,
+        batches: u64_field(v, "batches")?,
+        max_queue_depth: u64_field(v, "max_queue_depth")?,
+        queue_depth_p99: f64_field(v, "queue_depth_p99")?,
+        dual_price_trace: f64_seq(v, "dual_price_trace")?,
+        final_price: f64_field(v, "final_price")?,
+        checkpoints: u64_field(v, "checkpoints")?,
+        handoffs: u64_field(v, "handoffs")?,
+    })
+}
+
+/// Requires `v` to be an object whose key set is exactly `keys`.
+fn expect_keys(v: &JsonValue, keys: &[&str]) -> Result<(), JsonError> {
+    let pairs = v
+        .as_object()
+        .ok_or_else(|| JsonError::new("expected an object"))?;
+    for (k, _) in pairs {
+        if !keys.contains(&k.as_str()) {
+            return Err(JsonError::new(format!("unknown field {k:?}")));
+        }
+    }
+    for key in keys {
+        if !pairs.iter().any(|(k, _)| k == key) {
+            return Err(JsonError::new(format!("missing field {key:?}")));
+        }
+    }
+    Ok(())
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, JsonError> {
+    v.get(key)
+        .ok_or_else(|| JsonError::new(format!("missing field {key:?}")))
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, JsonError> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| JsonError::new(format!("field {key:?} is not a string")))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, JsonError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::new(format!("field {key:?} is not an unsigned integer")))
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> Result<f64, JsonError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::new(format!("field {key:?} is not a number")))
+}
+
+fn seq_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], JsonError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| JsonError::new(format!("field {key:?} is not an array")))
+}
+
+fn f64_seq(v: &JsonValue, key: &str) -> Result<Vec<f64>, JsonError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| JsonError::new(format!("field {key:?} is not an array")))?
+        .iter()
+        .map(|item| {
+            item.as_f64()
+                .ok_or_else(|| JsonError::new(format!("field {key:?} holds a non-number")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceSummary {
+        ServiceSummary {
+            algorithm: "PD".into(),
+            tenants: vec![
+                TenantSummary {
+                    tenant: "analytics".into(),
+                    submitted: 100,
+                    accepted: 80,
+                    rejected_by_scheduler: 5,
+                    rejected_by_price: 7,
+                    rejected_invalid: 1,
+                    rejected_stale: 2,
+                    deferred: 3,
+                    queue_full: 2,
+                    quota_exceeded: 4,
+                    lost_value: 12.625,
+                },
+                TenantSummary {
+                    tenant: "batch \"low\"".into(),
+                    submitted: 0,
+                    accepted: 0,
+                    rejected_by_scheduler: 0,
+                    rejected_by_price: 0,
+                    rejected_invalid: 0,
+                    rejected_stale: 0,
+                    deferred: 0,
+                    queue_full: 0,
+                    quota_exceeded: 0,
+                    lost_value: 0.0,
+                },
+            ],
+            shards: vec![ShardSummary {
+                shard: 0,
+                arrivals: 95,
+                batches: 40,
+                max_queue_depth: 17,
+                queue_depth_p99: 16.0,
+                dual_price_trace: vec![0.0, 0.25, 1.0 / 3.0],
+                final_price: 1.0 / 3.0,
+                checkpoints: 4,
+                handoffs: 1,
+            }],
+            drain: DrainSummary {
+                drain_secs: vec![0.001953125],
+                handoff_secs: vec![0.125, 0.0625],
+            },
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_bit_exactly() {
+        let summary = sample();
+        let json = summary.to_json();
+        assert!(json.contains("\"pss-service\""));
+        let back = ServiceSummary::from_json(&json).unwrap();
+        assert_eq!(back, summary);
+        // Non-dyadic floats survive bit-for-bit.
+        assert_eq!(
+            back.shards[0].dual_price_trace[2].to_bits(),
+            (1.0f64 / 3.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_summary_round_trips() {
+        let summary = ServiceSummary {
+            algorithm: "CLL".into(),
+            tenants: vec![],
+            shards: vec![],
+            drain: DrainSummary::default(),
+        };
+        let back = ServiceSummary::from_json(&summary.to_json()).unwrap();
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        let good = sample().to_json();
+        // Truncations fail cleanly.
+        for len in 0..good.len() {
+            if good.is_char_boundary(len) {
+                assert!(ServiceSummary::from_json(&good[..len]).is_err());
+            }
+        }
+        for bad in [
+            "null",
+            "{}",
+            "{\"format\":\"other\",\"algorithm\":\"x\",\"tenants\":[],\"shards\":[],\
+             \"drain\":{\"drain_secs\":[],\"handoff_secs\":[]}}",
+            // Unknown top-level field.
+            "{\"format\":\"pss-service\",\"algorithm\":\"x\",\"tenants\":[],\"shards\":[],\
+             \"drain\":{\"drain_secs\":[],\"handoff_secs\":[]},\"extra\":1}",
+            // Fractional count.
+            "{\"format\":\"pss-service\",\"algorithm\":\"x\",\"tenants\":[{\"tenant\":\"t\",\
+             \"submitted\":1.5,\"accepted\":0,\"rejected_by_scheduler\":0,\
+             \"rejected_by_price\":0,\"rejected_invalid\":0,\"rejected_stale\":0,\
+             \"deferred\":0,\"queue_full\":0,\"quota_exceeded\":0,\"lost_value\":0}],\
+             \"shards\":[],\"drain\":{\"drain_secs\":[],\"handoff_secs\":[]}}",
+        ] {
+            assert!(
+                ServiceSummary::from_json(bad).is_err(),
+                "must reject {bad:?}"
+            );
+        }
+    }
+}

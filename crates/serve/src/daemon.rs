@@ -1,0 +1,1077 @@
+//! The ingestion daemon: sharded worker threads draining lock-free arrival
+//! queues into long-running [`OnlineScheduler`] runs, with dual-price
+//! backpressure at admission and a checkpointed crash / hand-off / drain
+//! lifecycle.
+//!
+//! # Architecture
+//!
+//! ```text
+//! TenantHandle ──submit()──▶ admission gates ──▶ ArrivalQueue ─┐  (shard 0)
+//! TenantHandle ──submit()──▶ (validate, stale,                 ├─▶ worker ─▶ A::Run
+//!    ...                      quota, dual price)               │   thread
+//! TenantHandle ──────────────────────────────▶ ArrivalQueue ───┘  (shard 1) ...
+//! ```
+//!
+//! Each shard owns one scheduler run and one worker thread.  The worker
+//! drains its queue in bounded chunks, splits the chunk into *bursts* with
+//! the same maximal-run rule as `pss_sim::coalesce_arrivals` (releases
+//! within `coalesce_window` of the burst's first), and feeds each burst
+//! through one [`OnlineScheduler::on_arrivals`] call — so a b-job burst
+//! costs one replan instead of b, automatically, exactly when load is high
+//! enough for the queue to hold a backlog.  Dense [`JobId`]s are assigned
+//! in feed order, making each shard's fed stream a valid standalone
+//! instance.
+//!
+//! # Backpressure
+//!
+//! The duals the scheduler emits (λ_j on acceptance, the lost value v_j on
+//! rejection) are folded into a per-shard rolling EWMA — the *price*.
+//! Admission compares the price against `min(tenant price ceiling, job
+//! value)`: a submission whose declared value cannot cover the current
+//! marginal price is deferred (retryable) or rejected at the boundary,
+//! per the tenant's [`BackpressurePolicy`],
+//! before it ever loads the scheduler.  Ahead of the price gate sit the
+//! cheaper gates: model-field validation, the staleness window, the
+//! tenant's outstanding-jobs quota and the bounded queue itself.
+//!
+//! # Lifecycle and determinism
+//!
+//! Workers act on lifecycle signals (crash injection, hand-off, shutdown)
+//! only at *quiescent batch boundaries* — with no drained-but-unfed
+//! arrivals in hand — so a dying worker never loses work it acknowledged.
+//! Every fed batch is first appended to a durable in-memory journal; the
+//! worker checkpoints its run every `checkpoint_every` batches as a
+//! `StateBlob` wire image.  Recovery restores the run from the last blob,
+//! rewinds the derived records to the checkpoint, and replays the journal
+//! delta — reproducing the pre-crash decisions bit-for-bit, because every
+//! run's restore is bit-identical and the journal fixes feed times and id
+//! assignment.  A hand-off is the graceful special case: checkpoint at the
+//! boundary, exit, restore on a fresh thread with an empty delta.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pss_metrics::DrainSummary;
+use pss_types::{
+    Checkpointable, Decision, IngressError, Job, JobEnvelope, JobId, OnlineAlgorithm,
+    OnlineScheduler, Schedule, ScheduleError, StateBlob, TenantId,
+};
+
+use crate::queue::ArrivalQueue;
+use crate::report::{ServedEvent, ServiceReport, ShardReport};
+use crate::tenant::{BackpressurePolicy, TenantSpec, TenantState};
+
+/// How long an idle worker parks between queue polls.  Bounded parking
+/// (rather than unbounded park/unpark handshakes) keeps the loop correct
+/// even if an unpark races worker startup.
+const IDLE_PARK: Duration = Duration::from_micros(100);
+
+/// Static configuration of a service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Machines per shard run.
+    pub machines: usize,
+    /// Energy exponent α > 1.
+    pub alpha: f64,
+    /// Number of shards (independent queues, workers and scheduler runs).
+    pub shards: usize,
+    /// Capacity of each shard's arrival queue (rounded up to a power of
+    /// two).  A full queue is the outermost backpressure layer.
+    pub queue_capacity: usize,
+    /// Burst-coalescing window: consecutive drained arrivals whose releases
+    /// lie within this window of a burst's first are fed as one batch.
+    /// `0.0` feeds every arrival individually.
+    pub coalesce_window: f64,
+    /// Most arrivals a worker drains from its queue per chunk.
+    pub max_batch: usize,
+    /// Checkpoint the run every this many ingestion batches (`0` keeps
+    /// only the initial checkpoint).
+    pub checkpoint_every: usize,
+    /// EWMA weight β ∈ (0, 1] of the rolling dual price:
+    /// `price ← (1-β)·price + β·dual` per decision.
+    pub price_smoothing: f64,
+    /// How far a submission's release may lie behind the shard's feed
+    /// watermark and still be admitted; beyond it the submission is
+    /// rejected as stale.  `f64::INFINITY` (the default) never rejects on
+    /// lateness alone — late jobs are fed at the watermark.  Independent
+    /// of the tolerance, a job whose *deadline* the watermark has already
+    /// passed is rejected as expired (dead on arrival), and one whose
+    /// deadline the watermark overtakes while it waits in the queue is
+    /// rejected at feed time without being shown to the scheduler.
+    pub stale_tolerance: f64,
+    /// Start with ingestion paused (workers park, queues fill).  Used by
+    /// deterministic tests to control batching; [`Daemon::resume`] unpauses.
+    pub start_paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            machines: 1,
+            alpha: 2.0,
+            shards: 1,
+            queue_capacity: 1024,
+            coalesce_window: 0.0,
+            max_batch: 256,
+            checkpoint_every: 64,
+            price_smoothing: 0.1,
+            stale_tolerance: f64::INFINITY,
+            start_paused: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ScheduleError> {
+        let bad = |msg: String| Err(ScheduleError::Internal(msg));
+        if self.machines == 0 {
+            return bad("service needs at least one machine".into());
+        }
+        if !(self.alpha.is_finite() && self.alpha > 1.0) {
+            return bad(format!(
+                "energy exponent must be finite and > 1, got {}",
+                self.alpha
+            ));
+        }
+        if self.shards == 0 {
+            return bad("service needs at least one shard".into());
+        }
+        if self.max_batch == 0 {
+            return bad("max_batch must be positive".into());
+        }
+        if !(self.price_smoothing > 0.0 && self.price_smoothing <= 1.0) {
+            return bad(format!(
+                "price_smoothing must lie in (0, 1], got {}",
+                self.price_smoothing
+            ));
+        }
+        if self.coalesce_window.is_nan() || self.coalesce_window < 0.0 {
+            return bad(format!(
+                "coalesce_window must be nonnegative, got {}",
+                self.coalesce_window
+            ));
+        }
+        if self.stale_tolerance.is_nan() || self.stale_tolerance < 0.0 {
+            return bad(format!(
+                "stale_tolerance must be nonnegative, got {}",
+                self.stale_tolerance
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a successful [`TenantHandle::submit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Submission {
+    /// The envelope entered the shard's arrival queue and will be fed to
+    /// the scheduler.
+    Queued {
+        /// The shard that queued it.
+        shard: usize,
+    },
+    /// Dual-price backpressure rejected the job at admission under the
+    /// tenant's [`Reject`](BackpressurePolicy::Reject) policy; its value is
+    /// booked as lost.  (This is an `Ok` outcome: the service did exactly
+    /// what the tenant's policy asked for.)
+    RejectedByPrice {
+        /// The rolling dual price that triggered the rejection.
+        price: f64,
+    },
+}
+
+/// Statistics of one recovery ([`Daemon::recover_shard`]) or hand-off
+/// ([`Daemon::handoff_shard`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Journal batches replayed on top of the restored checkpoint.
+    pub replayed_batches: usize,
+    /// Wall-clock seconds from the request to the fresh worker running.
+    pub recovery_secs: f64,
+}
+
+/// One batch as fed to the scheduler, journalled *before* the feed so a
+/// recovering worker can replay it deterministically.
+#[derive(Debug, Clone)]
+struct LoggedBatch {
+    feed_time: f64,
+    envelopes: Vec<JobEnvelope>,
+}
+
+/// A captured shard state: the run's `StateBlob` wire image plus the
+/// journal cursor it corresponds to.
+#[derive(Debug, Clone)]
+struct ShardCheckpoint {
+    batches_done: usize,
+    events_done: usize,
+    jobs_done: usize,
+    watermark: f64,
+    price: f64,
+    release_floor: f64,
+    wire: Vec<u8>,
+}
+
+/// Everything a shard's worker writes: the durable batch log, the derived
+/// per-event records, and the lifecycle outcome.
+#[derive(Debug, Default)]
+struct ShardJournal {
+    log: Vec<LoggedBatch>,
+    events: Vec<ServedEvent>,
+    jobs: Vec<Job>,
+    price_trace: Vec<f64>,
+    depth_samples: Vec<usize>,
+    checkpoint: Option<ShardCheckpoint>,
+    checkpoints_taken: usize,
+    handoffs: usize,
+    handoff_secs: Vec<f64>,
+    drain_secs: f64,
+    finished: Option<Schedule>,
+    failed: Option<ScheduleError>,
+    crashed: bool,
+}
+
+/// Shared per-shard state: the queue, the published backpressure signals
+/// and the journal.
+#[derive(Debug)]
+struct ShardShared {
+    shard: usize,
+    queue: ArrivalQueue<JobEnvelope>,
+    /// Submissions currently inside `submit()` for this shard; a draining
+    /// worker finishes only when this reaches zero, closing the race
+    /// between a final push and the shutdown check.
+    submitting: AtomicUsize,
+    /// The rolling dual price, published as f64 bits.
+    price_bits: AtomicU64,
+    /// The shard's feed watermark (last feed time), published as f64 bits.
+    watermark_bits: AtomicU64,
+    /// Crash injection: the worker exits (without checkpointing) at the
+    /// first quiescent boundary with `batches_done >= crash_at`.
+    crash_at: AtomicUsize,
+    /// Hand-off request: the worker checkpoints at the next quiescent
+    /// boundary and exits.
+    handoff: AtomicBool,
+    /// Raised when the shard's run was poisoned by an ingestion error (the
+    /// worker exits, surfacing the error at shutdown).  Admission bounces
+    /// new submissions instead of letting producers spin on a queue no
+    /// worker will ever drain.
+    failed: AtomicBool,
+    /// The live worker thread, for unparking.
+    worker: Mutex<Option<std::thread::Thread>>,
+    journal: Mutex<ShardJournal>,
+}
+
+impl ShardShared {
+    fn new(shard: usize, queue_capacity: usize) -> Self {
+        Self {
+            shard,
+            queue: ArrivalQueue::with_capacity(queue_capacity),
+            submitting: AtomicUsize::new(0),
+            price_bits: AtomicU64::new(0.0_f64.to_bits()),
+            watermark_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            crash_at: AtomicUsize::new(usize::MAX),
+            handoff: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            worker: Mutex::new(None),
+            journal: Mutex::new(ShardJournal::default()),
+        }
+    }
+
+    fn price(&self) -> f64 {
+        f64::from_bits(self.price_bits.load(Ordering::Acquire))
+    }
+
+    fn watermark(&self) -> f64 {
+        f64::from_bits(self.watermark_bits.load(Ordering::Acquire))
+    }
+
+    fn unpark_worker(&self) {
+        if let Some(t) = self.worker.lock().unwrap().as_ref() {
+            t.unpark();
+        }
+    }
+}
+
+/// State shared between the daemon, the tenant handles and the workers.
+#[derive(Debug)]
+struct ServiceShared {
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    paused: AtomicBool,
+    tenants: Vec<TenantState>,
+    shards: Vec<Arc<ShardShared>>,
+}
+
+/// A tenant's submission capability.  Cloneable and sendable: a tenant may
+/// submit from as many threads as it likes; the handle *is* the identity
+/// (the envelope's `tenant` field is overwritten with the handle's).
+#[derive(Debug, Clone)]
+pub struct TenantHandle {
+    inner: Arc<ServiceShared>,
+    tenant: TenantId,
+}
+
+impl TenantHandle {
+    /// The tenant this handle submits as.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The shard this tenant's submissions enter.
+    pub fn shard(&self) -> usize {
+        self.inner.tenants[self.tenant.index()].spec.shard
+    }
+
+    /// The feed watermark of this tenant's shard (the time of its last
+    /// ingestion batch; `-inf` before the first).  Tenants producing from a
+    /// replayed or simulated clock pace against this to keep their releases
+    /// near the shard's virtual time — submissions whose deadlines fall
+    /// behind it are rejected as expired.
+    pub fn watermark(&self) -> f64 {
+        self.inner.shards[self.shard()].watermark()
+    }
+
+    /// Submits an envelope through the admission gates, in order: shutdown,
+    /// model-field validity, staleness and expiry against the shard
+    /// watermark, the dual-price gate, the outstanding-jobs quota, and
+    /// finally the bounded queue.  Returns where the submission ended up,
+    /// or the typed gate that stopped it — never panics, never poisons the
+    /// scheduler run.
+    pub fn submit(&self, mut envelope: JobEnvelope) -> Result<Submission, IngressError> {
+        envelope.tenant = self.tenant;
+        let state = &self.inner.tenants[self.tenant.index()];
+        let shard = &self.inner.shards[state.spec.shard];
+        // Announce the in-flight submission before the shutdown check, so
+        // a draining worker that sees the flag raised always waits for us.
+        shard.submitting.fetch_add(1, Ordering::AcqRel);
+        let result = self.admit(state, shard, envelope);
+        shard.submitting.fetch_sub(1, Ordering::AcqRel);
+        if matches!(result, Ok(Submission::Queued { .. })) {
+            shard.unpark_worker();
+        }
+        result
+    }
+
+    fn admit(
+        &self,
+        state: &TenantState,
+        shard: &ShardShared,
+        envelope: JobEnvelope,
+    ) -> Result<Submission, IngressError> {
+        if self.inner.shutdown.load(Ordering::Acquire) || shard.failed.load(Ordering::Acquire) {
+            return Err(IngressError::ShuttingDown);
+        }
+        state.submitted.fetch_add(1, Ordering::AcqRel);
+        envelope.validate().inspect_err(|_| {
+            state.rejected_invalid.fetch_add(1, Ordering::AcqRel);
+        })?;
+        let watermark = shard.watermark();
+        let tolerance = self.inner.config.stale_tolerance;
+        if envelope.release < watermark - tolerance {
+            state.rejected_stale.fetch_add(1, Ordering::AcqRel);
+            return Err(IngressError::Stale {
+                tenant: self.tenant,
+                tag: envelope.tag,
+                release: envelope.release,
+                watermark,
+                tolerance,
+            });
+        }
+        // Dead on arrival: the job would be fed no earlier than the
+        // watermark, past its own deadline.  (A job can still *expire in
+        // the queue* if the watermark overtakes it before feeding — the
+        // worker then synthesises the rejection at feed time.)
+        if envelope.deadline <= watermark {
+            state.rejected_stale.fetch_add(1, Ordering::AcqRel);
+            return Err(IngressError::Expired {
+                tenant: self.tenant,
+                tag: envelope.tag,
+                deadline: envelope.deadline,
+                watermark,
+            });
+        }
+        let price = shard.price();
+        let threshold = state.spec.price_ceiling.min(envelope.value);
+        if price > threshold {
+            return match state.spec.policy {
+                BackpressurePolicy::Defer => {
+                    state.deferred.fetch_add(1, Ordering::AcqRel);
+                    Err(IngressError::Backpressure {
+                        tenant: self.tenant,
+                        price,
+                        threshold,
+                    })
+                }
+                BackpressurePolicy::Reject => {
+                    state.rejected_by_price.fetch_add(1, Ordering::AcqRel);
+                    state.add_lost_value(envelope.value);
+                    Ok(Submission::RejectedByPrice { price })
+                }
+            };
+        }
+        let outstanding = state.outstanding.fetch_add(1, Ordering::AcqRel);
+        if outstanding >= state.spec.quota {
+            state.outstanding.fetch_sub(1, Ordering::AcqRel);
+            state.quota_exceeded.fetch_add(1, Ordering::AcqRel);
+            return Err(IngressError::QuotaExceeded {
+                tenant: self.tenant,
+                limit: state.spec.quota,
+            });
+        }
+        if shard.queue.push(envelope).is_err() {
+            state.outstanding.fetch_sub(1, Ordering::AcqRel);
+            state.queue_full.fetch_add(1, Ordering::AcqRel);
+            return Err(IngressError::QueueFull {
+                shard: state.spec.shard,
+                capacity: shard.queue.capacity(),
+            });
+        }
+        Ok(Submission::Queued {
+            shard: state.spec.shard,
+        })
+    }
+}
+
+/// The worker's feed cursor: how far the run has progressed, as journal
+/// coordinates.
+#[derive(Debug, Clone, Copy)]
+struct FeedCursor {
+    batches_done: usize,
+    jobs_done: usize,
+    price: f64,
+    /// The largest release the run has been fed so far.  The online model
+    /// requires nondecreasing releases (PD's partition refinement keys on
+    /// them), but a multi-tenant queue interleaves producers' releases out
+    /// of order — late live jobs are fed with their release clamped up to
+    /// this floor (never past the feed time, so their windows stay open).
+    release_floor: f64,
+}
+
+/// A worker's starting state: a run plus the cursor it is at.
+struct WorkerSeed<R> {
+    run: R,
+    cursor: FeedCursor,
+}
+
+/// Splits one coalesced burst off the front of `pending`: the maximal run
+/// of consecutive envelopes whose releases lie within `window` of the
+/// first's — the same rule as `pss_sim::coalesce_arrivals`, applied to the
+/// drained stream.  `window == 0` yields singletons.
+fn split_burst(pending: &mut VecDeque<JobEnvelope>, window: f64) -> Vec<JobEnvelope> {
+    let head = pending.pop_front().expect("split_burst on empty pending");
+    let first = head.release;
+    let mut burst = vec![head];
+    if window > 0.0 {
+        while pending.front().is_some_and(|e| e.release <= first + window) {
+            burst.push(pending.pop_front().unwrap());
+        }
+    }
+    burst
+}
+
+/// Feeds one journalled batch into the run and records its outcomes:
+/// per-decision events, the EWMA price update, the price trace and the
+/// published watermark.  Shared verbatim by the live worker path and the
+/// recovery replay, which is what makes replay bit-identical.
+///
+/// A job whose deadline the batch's feed time has already overtaken
+/// (admitted in time, then *expired in the queue* while the watermark ran
+/// ahead) is never shown to the scheduler — the model forbids arrivals
+/// past the deadline, and the algorithms treat them as contract
+/// violations.  The service synthesises the rejection the model implies
+/// (`Decision::reject(value)`, marked [`ServedEvent::expired`]) so the
+/// boundary stays total and the run is never poisoned.  The guard depends
+/// only on the journalled envelopes and feed time, so replay reproduces
+/// it bit-for-bit.
+fn feed_batch<R: OnlineScheduler>(
+    run: &mut R,
+    shard: &ShardShared,
+    journal: &mut ShardJournal,
+    cursor: &mut FeedCursor,
+    smoothing: f64,
+    batch: &LoggedBatch,
+) -> Result<(), ScheduleError> {
+    let base = cursor.jobs_done;
+    let jobs: Vec<Job> = batch
+        .envelopes
+        .iter()
+        .enumerate()
+        .map(|(k, e)| {
+            let mut job = e.job(JobId(base + k));
+            if job.deadline > batch.feed_time {
+                // Live job: clamp a late release up to the run's release
+                // floor — the online model requires nondecreasing releases,
+                // and a multi-tenant queue interleaves them out of order.
+                // The floor never exceeds the feed time, so the clamped
+                // window stays open; expired jobs (never fed) keep their
+                // original release for the record.
+                job.release = job.release.max(cursor.release_floor);
+                cursor.release_floor = job.release;
+            }
+            job
+        })
+        .collect();
+    let live: Vec<Job> = jobs
+        .iter()
+        .filter(|j| j.deadline > batch.feed_time)
+        .cloned()
+        .collect();
+    let mut live_decisions = run.on_arrivals(&live, batch.feed_time)?.into_iter();
+    for (envelope, job) in batch.envelopes.iter().zip(&jobs) {
+        let expired = job.deadline <= batch.feed_time;
+        let decision = if expired {
+            Decision::reject(envelope.value)
+        } else {
+            live_decisions
+                .next()
+                .expect("one decision per live job in the batch")
+        };
+        cursor.price = (1.0 - smoothing) * cursor.price + smoothing * decision.dual;
+        journal.events.push(ServedEvent {
+            shard: shard.shard,
+            tenant: envelope.tenant,
+            tag: envelope.tag,
+            job: job.id,
+            release: envelope.release,
+            feed_time: batch.feed_time,
+            batch: cursor.batches_done,
+            accepted: decision.accepted,
+            expired,
+            dual: decision.dual,
+        });
+    }
+    cursor.jobs_done += jobs.len();
+    cursor.batches_done += 1;
+    journal.jobs.extend(jobs);
+    journal.price_trace.push(cursor.price);
+    shard
+        .price_bits
+        .store(cursor.price.to_bits(), Ordering::Release);
+    shard
+        .watermark_bits
+        .store(batch.feed_time.to_bits(), Ordering::Release);
+    Ok(())
+}
+
+/// Captures a checkpoint: the run's `StateBlob` wire image plus the
+/// journal cursor, stored in the shard journal.
+fn capture_checkpoint<R: Checkpointable>(shard: &ShardShared, run: &R, cursor: &FeedCursor) {
+    let wire = run.snapshot().to_bytes();
+    let mut journal = shard.journal.lock().unwrap();
+    let events_done = journal.events.len();
+    journal.checkpoints_taken += 1;
+    journal.checkpoint = Some(ShardCheckpoint {
+        batches_done: cursor.batches_done,
+        events_done,
+        jobs_done: cursor.jobs_done,
+        watermark: shard.watermark(),
+        price: cursor.price,
+        release_floor: cursor.release_floor,
+        wire,
+    });
+}
+
+fn spawn_worker<R>(
+    shared: Arc<ServiceShared>,
+    shard: Arc<ShardShared>,
+    seed: WorkerSeed<R>,
+) -> JoinHandle<()>
+where
+    R: OnlineScheduler + Checkpointable + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("pss-serve-{}", shard.shard))
+        .spawn(move || worker_loop(shared, shard, seed))
+        .expect("failed to spawn shard worker thread")
+}
+
+fn worker_loop<R: OnlineScheduler + Checkpointable>(
+    shared: Arc<ServiceShared>,
+    shard: Arc<ShardShared>,
+    seed: WorkerSeed<R>,
+) {
+    *shard.worker.lock().unwrap() = Some(std::thread::current());
+    let config = shared.config;
+    let WorkerSeed {
+        mut run,
+        mut cursor,
+    } = seed;
+    let mut pending: VecDeque<JobEnvelope> = VecDeque::new();
+    let mut drain_buf: Vec<JobEnvelope> = Vec::new();
+    let mut drain_from: Option<Instant> = None;
+    loop {
+        if pending.is_empty() {
+            // A quiescent batch boundary: no drained-but-unfed arrivals in
+            // hand.  Lifecycle signals are honoured only here, so a dying
+            // worker never loses acknowledged work.
+            if cursor.batches_done >= shard.crash_at.load(Ordering::Acquire) {
+                // Injected crash: die *without* checkpointing; the run's
+                // in-memory state is lost with this thread.
+                shard.journal.lock().unwrap().crashed = true;
+                return;
+            }
+            if shard.handoff.swap(false, Ordering::AcqRel) {
+                capture_checkpoint(&shard, &run, &cursor);
+                return;
+            }
+            if shared.paused.load(Ordering::Acquire) && !shared.shutdown.load(Ordering::Acquire) {
+                std::thread::park_timeout(IDLE_PARK);
+                continue;
+            }
+            if shared.shutdown.load(Ordering::Acquire) && drain_from.is_none() {
+                drain_from = Some(Instant::now());
+            }
+            let depth = shard.queue.len();
+            drain_buf.clear();
+            if shard.queue.drain_into(&mut drain_buf, config.max_batch) == 0 {
+                if shared.shutdown.load(Ordering::Acquire)
+                    && shard.queue.is_empty()
+                    && shard.submitting.load(Ordering::Acquire) == 0
+                {
+                    let started = drain_from.unwrap_or_else(Instant::now);
+                    let result = run.finish();
+                    let mut journal = shard.journal.lock().unwrap();
+                    journal.drain_secs = started.elapsed().as_secs_f64();
+                    match result {
+                        Ok(schedule) => journal.finished = Some(schedule),
+                        Err(e) => journal.failed = Some(e),
+                    }
+                    return;
+                }
+                std::thread::park_timeout(IDLE_PARK);
+                continue;
+            }
+            for envelope in &drain_buf {
+                shared.tenants[envelope.tenant.index()]
+                    .outstanding
+                    .fetch_sub(1, Ordering::AcqRel);
+            }
+            shard.journal.lock().unwrap().depth_samples.push(depth);
+            pending.extend(drain_buf.drain(..));
+        }
+        let envelopes = split_burst(&mut pending, config.coalesce_window);
+        let release_max = envelopes
+            .iter()
+            .map(|e| e.release)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let batch = LoggedBatch {
+            // Late (stale-admitted) jobs are fed at the watermark so the
+            // nondecreasing-arrival contract always holds.
+            feed_time: shard.watermark().max(release_max),
+            envelopes,
+        };
+        {
+            let mut journal = shard.journal.lock().unwrap();
+            journal.log.push(batch.clone());
+            if let Err(e) = feed_batch(
+                &mut run,
+                &shard,
+                &mut journal,
+                &mut cursor,
+                config.price_smoothing,
+                &batch,
+            ) {
+                // An ingestion error poisons the run; surface it at
+                // shutdown instead of panicking the worker, and stop
+                // admitting so producers don't spin on a dead queue.
+                journal.failed = Some(e);
+                shard.failed.store(true, Ordering::Release);
+                return;
+            }
+        }
+        if config.checkpoint_every > 0 && cursor.batches_done % config.checkpoint_every == 0 {
+            capture_checkpoint(&shard, &run, &cursor);
+        }
+    }
+}
+
+/// A running multi-tenant ingestion service over online algorithm `A`.
+///
+/// Created by [`Daemon::spawn`]; submissions flow through the
+/// [`TenantHandle`]s it returns.  The daemon object itself is the *control
+/// plane*: lifecycle operations (crash injection, recovery, hand-off,
+/// shutdown) and introspection (prices, queue depths).
+pub struct Daemon<A: OnlineAlgorithm>
+where
+    A::Run: Checkpointable + Send + 'static,
+{
+    algorithm: A,
+    inner: Arc<ServiceShared>,
+    workers: Vec<Option<JoinHandle<()>>>,
+}
+
+impl<A> Daemon<A>
+where
+    A: OnlineAlgorithm,
+    A::Run: Checkpointable + Send + 'static,
+{
+    /// Starts the service: one scheduler run and one worker thread per
+    /// shard, plus one [`TenantHandle`] per registered tenant (in
+    /// registration order).
+    pub fn spawn(
+        algorithm: A,
+        config: ServeConfig,
+        tenants: Vec<TenantSpec>,
+    ) -> Result<(Self, Vec<TenantHandle>), ScheduleError> {
+        config.validate()?;
+        for (i, spec) in tenants.iter().enumerate() {
+            if spec.shard >= config.shards {
+                return Err(ScheduleError::Internal(format!(
+                    "tenant {i} ({}) is placed on shard {} but the service has {} shard(s)",
+                    spec.name, spec.shard, config.shards
+                )));
+            }
+        }
+        let inner = Arc::new(ServiceShared {
+            config,
+            shutdown: AtomicBool::new(false),
+            paused: AtomicBool::new(config.start_paused),
+            tenants: tenants.into_iter().map(TenantState::new).collect(),
+            shards: (0..config.shards)
+                .map(|s| Arc::new(ShardShared::new(s, config.queue_capacity)))
+                .collect(),
+        });
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in &inner.shards {
+            let run = algorithm.start(config.machines, config.alpha)?;
+            let cursor = FeedCursor {
+                batches_done: 0,
+                jobs_done: 0,
+                price: 0.0,
+                release_floor: f64::NEG_INFINITY,
+            };
+            // An initial checkpoint makes recovery possible from batch 0.
+            capture_checkpoint(shard, &run, &cursor);
+            let seed = WorkerSeed { run, cursor };
+            workers.push(Some(spawn_worker(
+                Arc::clone(&inner),
+                Arc::clone(shard),
+                seed,
+            )));
+        }
+        let handles = (0..inner.tenants.len())
+            .map(|i| TenantHandle {
+                inner: Arc::clone(&inner),
+                tenant: TenantId(i as u32),
+            })
+            .collect();
+        Ok((
+            Self {
+                algorithm,
+                inner,
+                workers,
+            },
+            handles,
+        ))
+    }
+
+    /// The algorithm's display name.
+    pub fn algorithm_name(&self) -> String {
+        self.algorithm.algorithm_name()
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.inner.config
+    }
+
+    /// A fresh handle for a registered tenant, or
+    /// [`IngressError::UnknownTenant`] — the error-path twin of the handles
+    /// [`spawn`](Self::spawn) returns.
+    pub fn handle(&self, tenant: TenantId) -> Result<TenantHandle, IngressError> {
+        if tenant.index() >= self.inner.tenants.len() {
+            return Err(IngressError::UnknownTenant(tenant));
+        }
+        Ok(TenantHandle {
+            inner: Arc::clone(&self.inner),
+            tenant,
+        })
+    }
+
+    /// Unpauses a service spawned with `start_paused`.
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::Release);
+        for shard in &self.inner.shards {
+            shard.unpark_worker();
+        }
+    }
+
+    /// The shard's current rolling dual price (the backpressure signal).
+    pub fn shard_price(&self, shard: usize) -> f64 {
+        self.inner.shards[shard].price()
+    }
+
+    /// A snapshot of the shard's arrival-queue depth.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.inner.shards[shard].queue.len()
+    }
+
+    /// The shard's feed watermark (the time of its last ingestion batch;
+    /// `-inf` before the first).  Staleness is judged against this.
+    pub fn shard_watermark(&self, shard: usize) -> f64 {
+        self.inner.shards[shard].watermark()
+    }
+
+    /// Injects a crash: the shard's worker exits *without* checkpointing at
+    /// the first quiescent boundary where it has fed at least `at_batches`
+    /// batches, losing all in-memory run state.  Blocks until the worker is
+    /// dead.  The shard's queue keeps accepting submissions; call
+    /// [`recover_shard`](Self::recover_shard) to resume ingestion.
+    ///
+    /// The worker only reaches boundaries while it has arrivals to feed or
+    /// polls an empty queue, so `at_batches` must be at most the batches
+    /// the pending workload produces, or this blocks until more arrive.
+    pub fn crash_shard(&mut self, shard: usize, at_batches: usize) -> Result<(), ScheduleError> {
+        let sh = &self.inner.shards[shard];
+        sh.crash_at.store(at_batches, Ordering::Release);
+        sh.unpark_worker();
+        let handle = self.workers[shard]
+            .take()
+            .ok_or_else(|| ScheduleError::Internal(format!("shard {shard} has no live worker")))?;
+        handle
+            .join()
+            .map_err(|_| ScheduleError::Internal(format!("shard {shard} worker panicked")))?;
+        sh.crash_at.store(usize::MAX, Ordering::Release);
+        debug_assert!(sh.journal.lock().unwrap().crashed);
+        Ok(())
+    }
+
+    /// Restores a dead shard on a fresh worker thread: reconstructs the run
+    /// from the last checkpoint's `StateBlob` wire image, rewinds the
+    /// derived records to the checkpoint, replays the journalled batches
+    /// after it (bit-identically — same feed times, same dense ids), and
+    /// resumes ingestion where the dead worker left off.
+    pub fn recover_shard(&mut self, shard: usize) -> Result<RecoveryReport, ScheduleError> {
+        if self.workers[shard].is_some() {
+            return Err(ScheduleError::Internal(format!(
+                "shard {shard} still has a live worker; crash or hand it off first"
+            )));
+        }
+        let started = Instant::now();
+        let sh = Arc::clone(&self.inner.shards[shard]);
+        let corrupted =
+            |e: pss_types::SnapshotError| ScheduleError::Internal(format!("restore failed: {e}"));
+        let mut journal = sh.journal.lock().unwrap();
+        let ckpt = journal
+            .checkpoint
+            .clone()
+            .ok_or_else(|| ScheduleError::Internal(format!("shard {shard} has no checkpoint")))?;
+        journal.events.truncate(ckpt.events_done);
+        journal.jobs.truncate(ckpt.jobs_done);
+        journal.price_trace.truncate(ckpt.batches_done);
+        journal.crashed = false;
+        let blob = StateBlob::from_bytes(&ckpt.wire).map_err(corrupted)?;
+        let mut run = A::Run::restore(&blob).map_err(corrupted)?;
+        sh.price_bits.store(ckpt.price.to_bits(), Ordering::Release);
+        sh.watermark_bits
+            .store(ckpt.watermark.to_bits(), Ordering::Release);
+        let mut cursor = FeedCursor {
+            batches_done: ckpt.batches_done,
+            jobs_done: ckpt.jobs_done,
+            price: ckpt.price,
+            release_floor: ckpt.release_floor,
+        };
+        let delta: Vec<LoggedBatch> = journal.log[ckpt.batches_done..].to_vec();
+        for batch in &delta {
+            feed_batch(
+                &mut run,
+                &sh,
+                &mut journal,
+                &mut cursor,
+                self.inner.config.price_smoothing,
+                batch,
+            )
+            .map_err(|e| {
+                ScheduleError::Internal(format!("journal replay rejected a logged batch: {e}"))
+            })?;
+        }
+        drop(journal);
+        let seed = WorkerSeed { run, cursor };
+        self.workers[shard] = Some(spawn_worker(Arc::clone(&self.inner), sh, seed));
+        Ok(RecoveryReport {
+            replayed_batches: delta.len(),
+            recovery_secs: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Gracefully migrates a shard to a fresh worker thread: the old worker
+    /// checkpoints at its next quiescent boundary and exits, the new one
+    /// restores from the blob (empty replay delta) and continues —
+    /// bit-identically, as if the hand-off never happened.  Returns the
+    /// recovery statistics; the hand-off latency is also recorded in the
+    /// service report.
+    pub fn handoff_shard(&mut self, shard: usize) -> Result<RecoveryReport, ScheduleError> {
+        let started = Instant::now();
+        let sh = &self.inner.shards[shard];
+        sh.handoff.store(true, Ordering::Release);
+        sh.unpark_worker();
+        let handle = self.workers[shard]
+            .take()
+            .ok_or_else(|| ScheduleError::Internal(format!("shard {shard} has no live worker")))?;
+        handle
+            .join()
+            .map_err(|_| ScheduleError::Internal(format!("shard {shard} worker panicked")))?;
+        let report = self.recover_shard(shard)?;
+        let secs = started.elapsed().as_secs_f64();
+        let mut journal = self.inner.shards[shard].journal.lock().unwrap();
+        journal.handoffs += 1;
+        journal.handoff_secs.push(secs);
+        Ok(report)
+    }
+
+    /// Drains and stops the service: no new submissions are admitted,
+    /// every worker feeds its queue dry, finishes its run, and the full
+    /// [`ServiceReport`] is assembled — per-shard schedules, decision
+    /// events, price traces, per-tenant accounting and lifecycle latencies.
+    pub fn shutdown(mut self) -> Result<ServiceReport, ScheduleError> {
+        self.inner.shutdown.store(true, Ordering::Release);
+        for shard in &self.inner.shards {
+            shard.unpark_worker();
+        }
+        for (s, worker) in self.workers.iter_mut().enumerate() {
+            let handle = worker.take().ok_or_else(|| {
+                ScheduleError::Internal(format!(
+                    "shard {s} has no live worker at shutdown (crashed and never recovered?)"
+                ))
+            })?;
+            handle
+                .join()
+                .map_err(|_| ScheduleError::Internal(format!("shard {s} worker panicked")))?;
+        }
+        let tenant_count = self.inner.tenants.len();
+        let mut accepted = vec![0u64; tenant_count];
+        let mut rejected = vec![0u64; tenant_count];
+        let mut shards = Vec::with_capacity(self.inner.shards.len());
+        let mut drain = DrainSummary::default();
+        for sh in &self.inner.shards {
+            let mut journal = sh.journal.lock().unwrap();
+            if let Some(e) = journal.failed.take() {
+                return Err(e);
+            }
+            let schedule = journal.finished.take().ok_or_else(|| {
+                ScheduleError::Internal(format!("shard {} did not finish its run", sh.shard))
+            })?;
+            for event in &journal.events {
+                if event.accepted {
+                    accepted[event.tenant.index()] += 1;
+                } else {
+                    rejected[event.tenant.index()] += 1;
+                }
+            }
+            drain.drain_secs.push(journal.drain_secs);
+            drain
+                .handoff_secs
+                .extend(journal.handoff_secs.iter().copied());
+            shards.push(ShardReport {
+                shard: sh.shard,
+                jobs: std::mem::take(&mut journal.jobs),
+                events: std::mem::take(&mut journal.events),
+                batches: journal.log.len(),
+                schedule,
+                price_trace: std::mem::take(&mut journal.price_trace),
+                final_price: sh.price(),
+                depth_samples: std::mem::take(&mut journal.depth_samples),
+                checkpoints: journal.checkpoints_taken,
+                handoffs: journal.handoffs,
+                drain_secs: journal.drain_secs,
+            });
+        }
+        let tenants = self
+            .inner
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, state)| state.summary(accepted[i], rejected[i]))
+            .collect();
+        Ok(ServiceReport {
+            algorithm: self.algorithm.algorithm_name(),
+            machines: self.inner.config.machines,
+            alpha: self.inner.config.alpha,
+            shards,
+            tenants,
+            drain,
+        })
+    }
+}
+
+impl<A: OnlineAlgorithm> Drop for Daemon<A>
+where
+    A::Run: Checkpointable + Send + 'static,
+{
+    fn drop(&mut self) {
+        // A dropped daemon releases its workers: raise the drain flag so
+        // parked threads exit instead of leaking.  (Orderly users call
+        // `shutdown`, which joins them and collects the report.)
+        self.inner.shutdown.store(true, Ordering::Release);
+        for shard in &self.inner.shards {
+            shard.unpark_worker();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(ServeConfig::default().validate().is_ok());
+        for broken in [
+            ServeConfig {
+                machines: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                alpha: 1.0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                shards: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                price_smoothing: 0.0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                price_smoothing: 1.5,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                coalesce_window: -1.0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                stale_tolerance: f64::NAN,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(broken.validate().is_err(), "accepted {broken:?}");
+        }
+    }
+
+    #[test]
+    fn split_burst_mirrors_the_coalescing_rule() {
+        let env = |release: f64| JobEnvelope::new(TenantId(0), 0, release, release + 1.0, 0.1, 1.0);
+        let mut pending: VecDeque<JobEnvelope> =
+            [0.0, 0.3, 0.9, 1.0, 5.0].into_iter().map(env).collect();
+        // Window 0: singletons, even for equal releases.
+        let burst = split_burst(&mut pending, 0.0);
+        assert_eq!(burst.len(), 1);
+        // Window 1.0 from the *first* release (0.3): 0.9 and 1.0 join.
+        let burst = split_burst(&mut pending, 1.0);
+        assert_eq!(burst.len(), 3);
+        assert_eq!(burst[0].release, 0.3);
+        assert_eq!(burst[2].release, 1.0);
+        let burst = split_burst(&mut pending, 1.0);
+        assert_eq!(burst.len(), 1);
+        assert_eq!(burst[0].release, 5.0);
+        assert!(pending.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # pss-serve
+//!
+//! A long-running, multi-tenant ingestion daemon over the event-driven
+//! online scheduling API — the paper's online model turned into a service.
+//!
+//! Where `pss-sim`'s `StreamingSimulation` *replays* a finite instance,
+//! the [`Daemon`] ingests an open-ended stream from concurrent tenants:
+//!
+//! * **[`queue`]** — a bounded lock-free multi-producer arrival queue
+//!   (Vyukov-style per-slot sequence ring; the workspace's only `unsafe`),
+//!   one per shard, between tenant handles and the worker thread.
+//! * **[`tenant`]** — the tenant registry: placement, outstanding-jobs
+//!   quota, price ceiling and [`BackpressurePolicy`], plus lock-free
+//!   admission accounting.
+//! * **[`daemon`]** — the service itself: sharded workers draining queues
+//!   into `OnlineScheduler` runs with burst coalescing (one replan per
+//!   burst under load), dual-price backpressure at admission (the rolling
+//!   EWMA of the scheduler's own duals is the congestion signal), and a
+//!   checkpointed lifecycle — crash injection, bit-identical journal-replay
+//!   recovery, graceful worker hand-off, and a draining shutdown.
+//! * **[`report`]** — what a run produces: per-decision events, per-shard
+//!   schedules and price traces, per-tenant accounting, and the projection
+//!   onto `pss_metrics::ServiceSummary` for JSON export.
+//!
+//! The service boundary is *total*: every way a submission can fail
+//! surfaces as a typed `pss_types::IngressError`, never a panic and never
+//! a poisoned scheduler run.  A single-tenant, single-shard daemon is
+//! bit-identical to `StreamingSimulation::with_coalescing` on the same
+//! stream — pinned by the workspace's differential tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod daemon;
+pub mod queue;
+pub mod report;
+pub mod tenant;
+
+pub use daemon::{Daemon, RecoveryReport, ServeConfig, Submission, TenantHandle};
+pub use queue::ArrivalQueue;
+pub use report::{ServedEvent, ServiceReport, ShardReport};
+pub use tenant::{BackpressurePolicy, TenantSpec};

@@ -1,0 +1,229 @@
+//! Tenant registration: the per-tenant admission contract (shard, quota,
+//! price ceiling, backpressure policy) and the lock-free accounting the
+//! daemon keeps for each tenant.
+//!
+//! A tenant declares *up front* how it wants the service to treat it when
+//! the dual price rises: a [`BackpressurePolicy::Defer`] tenant gets its
+//! submissions bounced back as retryable `IngressError::Backpressure` (it
+//! keeps the job and the value), a [`BackpressurePolicy::Reject`] tenant
+//! has the service drop the job at admission and book its value as lost —
+//! the service-level analogue of the scheduler's own `Decision::reject`.
+//! Either way the *signal* is the same: the shard's rolling EWMA of the
+//! duals its scheduler emits, compared against the smaller of the tenant's
+//! price ceiling and the job's declared value.
+//!
+//! All counters are plain atomics updated on the submitters' threads; the
+//! two scheduler-outcome counts (`accepted`, `rejected_by_scheduler`) are
+//! *not* kept here — they are derived from the shard journals at shutdown,
+//! so that crash/replay recovery cannot double-count them.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use pss_metrics::TenantSummary;
+
+/// How a tenant wants the service to react when dual-price backpressure
+/// bites (the shard's rolling price exceeds the tenant's threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Bounce the submission back as a retryable
+    /// [`IngressError::Backpressure`](pss_types::IngressError::Backpressure);
+    /// the tenant keeps the job and may resubmit when the price falls.
+    #[default]
+    Defer,
+    /// Drop the job at admission and book its value as lost — the service
+    /// rejects on the tenant's behalf, without loading the scheduler.
+    Reject,
+}
+
+/// A tenant's registration: identity, placement and admission contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Human-readable tenant name (reported in summaries).
+    pub name: String,
+    /// The shard whose queue this tenant's submissions enter.
+    pub shard: usize,
+    /// Maximum number of *outstanding* (queued, not yet ingested) jobs the
+    /// tenant may have; further submissions are rejected with
+    /// `IngressError::QuotaExceeded` until the worker drains some.
+    pub quota: usize,
+    /// Maximum rolling dual price the tenant is willing to pay; above it,
+    /// backpressure engages regardless of per-job values.
+    pub price_ceiling: f64,
+    /// What backpressure does to this tenant's submissions.
+    pub policy: BackpressurePolicy,
+}
+
+impl TenantSpec {
+    /// A tenant on shard 0 with no quota, no price ceiling and the
+    /// [`Defer`](BackpressurePolicy::Defer) policy.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            shard: 0,
+            quota: usize::MAX,
+            price_ceiling: f64::INFINITY,
+            policy: BackpressurePolicy::Defer,
+        }
+    }
+
+    /// Places the tenant on the given shard.
+    pub fn on_shard(mut self, shard: usize) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Caps the tenant's outstanding (queued) jobs.
+    pub fn with_quota(mut self, quota: usize) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    /// Caps the rolling dual price the tenant will pay.
+    pub fn with_price_ceiling(mut self, ceiling: f64) -> Self {
+        self.price_ceiling = ceiling;
+        self
+    }
+
+    /// Switches the tenant to the [`Reject`](BackpressurePolicy::Reject)
+    /// backpressure policy.
+    pub fn rejecting_on_price(mut self) -> Self {
+        self.policy = BackpressurePolicy::Reject;
+        self
+    }
+}
+
+/// Live per-tenant accounting: the spec plus admission-side counters.
+///
+/// Updated lock-free from submitter threads; read by the daemon at
+/// shutdown.  `outstanding` is the only counter the worker also touches
+/// (decremented as envelopes are drained for ingestion) — it backs the
+/// quota gate.
+#[derive(Debug)]
+pub(crate) struct TenantState {
+    pub(crate) spec: TenantSpec,
+    pub(crate) outstanding: AtomicUsize,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected_by_price: AtomicU64,
+    pub(crate) rejected_invalid: AtomicU64,
+    pub(crate) rejected_stale: AtomicU64,
+    pub(crate) deferred: AtomicU64,
+    pub(crate) queue_full: AtomicU64,
+    pub(crate) quota_exceeded: AtomicU64,
+    /// Value lost to price-based admission rejections, accumulated as f64
+    /// bits under a CAS loop (no atomic f64 on stable).
+    lost_value_bits: AtomicU64,
+}
+
+impl TenantState {
+    pub(crate) fn new(spec: TenantSpec) -> Self {
+        Self {
+            spec,
+            outstanding: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            rejected_by_price: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            rejected_stale: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
+            queue_full: AtomicU64::new(0),
+            quota_exceeded: AtomicU64::new(0),
+            lost_value_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    /// Adds `v` to the tenant's lost value (CAS loop over the f64 bits).
+    pub(crate) fn add_lost_value(&self, v: f64) {
+        let mut current = self.lost_value_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.lost_value_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    pub(crate) fn lost_value(&self) -> f64 {
+        f64::from_bits(self.lost_value_bits.load(Ordering::Acquire))
+    }
+
+    /// Folds the admission counters and the journal-derived scheduler
+    /// outcomes into the reporting summary.
+    pub(crate) fn summary(&self, accepted: u64, rejected_by_scheduler: u64) -> TenantSummary {
+        TenantSummary {
+            tenant: self.spec.name.clone(),
+            submitted: self.submitted.load(Ordering::Acquire),
+            accepted,
+            rejected_by_scheduler,
+            rejected_by_price: self.rejected_by_price.load(Ordering::Acquire),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Acquire),
+            rejected_stale: self.rejected_stale.load(Ordering::Acquire),
+            deferred: self.deferred.load(Ordering::Acquire),
+            queue_full: self.queue_full.load(Ordering::Acquire),
+            quota_exceeded: self.quota_exceeded.load(Ordering::Acquire),
+            lost_value: self.lost_value(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_chains() {
+        let spec = TenantSpec::new("batch")
+            .on_shard(2)
+            .with_quota(16)
+            .with_price_ceiling(4.5)
+            .rejecting_on_price();
+        assert_eq!(spec.name, "batch");
+        assert_eq!(spec.shard, 2);
+        assert_eq!(spec.quota, 16);
+        assert_eq!(spec.price_ceiling, 4.5);
+        assert_eq!(spec.policy, BackpressurePolicy::Reject);
+
+        let default = TenantSpec::new("t");
+        assert_eq!(default.shard, 0);
+        assert_eq!(default.quota, usize::MAX);
+        assert!(default.price_ceiling.is_infinite());
+        assert_eq!(default.policy, BackpressurePolicy::Defer);
+    }
+
+    #[test]
+    fn lost_value_accumulates_under_contention() {
+        let state = std::sync::Arc::new(TenantState::new(TenantSpec::new("t")));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let state = std::sync::Arc::clone(&state);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    state.add_lost_value(0.5);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(state.lost_value(), 2000.0);
+    }
+
+    #[test]
+    fn summary_folds_counters() {
+        let state = TenantState::new(TenantSpec::new("web"));
+        state.submitted.store(10, Ordering::Release);
+        state.deferred.store(3, Ordering::Release);
+        state.add_lost_value(7.25);
+        let s = state.summary(5, 2);
+        assert_eq!(s.tenant, "web");
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.accepted, 5);
+        assert_eq!(s.rejected_by_scheduler, 2);
+        assert_eq!(s.deferred, 3);
+        assert_eq!(s.lost_value, 7.25);
+    }
+}

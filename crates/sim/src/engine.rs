@@ -312,10 +312,11 @@ impl StreamReport {
 
 /// The nearest-rank `p`-th percentile (`0 ≤ p ≤ 100`) of an
 /// ascending-sorted sample list; 0 for an empty list.  The single
-/// percentile definition shared by [`StreamReport`] and the fleet-level
-/// merge (`pss_sim::parallel`), so per-shard and pooled numbers can never
+/// percentile definition shared by [`StreamReport`], the fleet-level
+/// merge (`pss_sim::parallel`) and the `pss-serve` daemon's queue-depth
+/// statistics, so per-shard, pooled and service-level numbers can never
 /// follow different formulas.
-pub(crate) fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

@@ -56,8 +56,8 @@ pub mod replay;
 
 pub use checkpoint::{CheckpointRecord, RecoveryStats, ShardFailover};
 pub use engine::{
-    coalesce_arrivals, ArrivalRecord, JobOutcome, MachineStats, SimReport, Simulation,
-    StreamReport, StreamingSimulation,
+    coalesce_arrivals, nearest_rank, ArrivalRecord, JobOutcome, MachineStats, SimReport,
+    Simulation, StreamReport, StreamingSimulation,
 };
 pub use gantt::{render_gantt, GanttOptions};
 pub use parallel::{FleetReport, ParallelStreamingSimulation};

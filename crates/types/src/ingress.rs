@@ -1,0 +1,369 @@
+//! Service-facing ingestion types: tenant identifiers, the job *envelope* a
+//! tenant submits to an ingestion daemon, and the typed errors an ingestion
+//! boundary returns instead of panicking.
+//!
+//! The scheduling core identifies jobs by dense [`JobId`]s (`0..n` inside an
+//! instance), an invariant clients of a long-running service cannot uphold —
+//! they do not know how many jobs other tenants submitted.  A
+//! [`JobEnvelope`] therefore carries the job's *model* fields plus the
+//! tenant's own correlation tag; the service assigns the dense [`JobId`] at
+//! ingestion time (in feed order, so each shard's accepted stream is a valid
+//! instance) via [`JobEnvelope::job`].
+//!
+//! [`IngressError`] makes the service boundary *total*: every violation of
+//! the ingress contract ([`check_arrival`](crate::check_arrival) validity,
+//! arrival ordering, queue capacity, tenant quota, dual-price backpressure)
+//! surfaces as a typed error the submitter can act on — retry, re-shard, or
+//! drop — never as a panic and never as a poisoned scheduler run.
+
+use std::fmt;
+
+use crate::job::{Job, JobId};
+
+/// Identifier of a tenant registered with an ingestion service.
+///
+/// Tenant ids are dense indices (`0..t`) into the service's tenant registry,
+/// mirroring the [`JobId`] convention; all per-tenant accounting is indexed
+/// by [`TenantId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The dense index of this tenant.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A job as a tenant submits it — the model fields of a [`Job`] plus the
+/// tenant's identity and correlation tag, *without* a dense [`JobId`] (the
+/// service assigns one at ingestion time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobEnvelope {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// An opaque client-side correlation tag, echoed back in the service's
+    /// per-decision records so tenants can match outcomes to submissions.
+    pub tag: u64,
+    /// Release time `r_j` (the job enters the system no earlier than this).
+    pub release: f64,
+    /// Deadline `d_j > r_j`.
+    pub deadline: f64,
+    /// Workload `w_j > 0`.
+    pub work: f64,
+    /// Value `v_j ≥ 0` lost if the job is not finished — also the tenant's
+    /// *declared willingness to pay*: a daemon's dual-price backpressure
+    /// compares the rolling marginal energy price against this value.
+    pub value: f64,
+}
+
+impl JobEnvelope {
+    /// Creates an envelope.
+    pub fn new(
+        tenant: TenantId,
+        tag: u64,
+        release: f64,
+        deadline: f64,
+        work: f64,
+        value: f64,
+    ) -> Self {
+        Self {
+            tenant,
+            tag,
+            release,
+            deadline,
+            work,
+            value,
+        }
+    }
+
+    /// Materialises the envelope as a [`Job`] under the service-assigned
+    /// dense id.
+    pub fn job(&self, id: JobId) -> Job {
+        Job {
+            id,
+            release: self.release,
+            deadline: self.deadline,
+            work: self.work,
+            value: self.value,
+        }
+    }
+
+    /// Checks the model-field sanity conditions ([`Job::validate`]) without
+    /// assigning an id, returning the violation as a typed
+    /// [`IngressError::InvalidJob`].
+    pub fn validate(&self) -> Result<(), IngressError> {
+        self.job(JobId(0)).validate().map_err(|e| {
+            let reason = match e {
+                crate::error::InstanceError::BadJob { reason, .. } => reason,
+                other => other.to_string(),
+            };
+            IngressError::InvalidJob {
+                tenant: self.tenant,
+                tag: self.tag,
+                reason,
+            }
+        })
+    }
+}
+
+/// A typed rejection at the service's ingestion boundary.
+///
+/// Every way a submission can fail *before* reaching the scheduler is an
+/// `IngressError` variant; scheduler-level rejections (the algorithm
+/// declines a valid job) are *not* errors — they come back as ordinary
+/// [`Decision`](crate::Decision)-level rejections in the service's records.
+/// [`IngressError::is_retryable`] distinguishes transient congestion
+/// (back off and resubmit) from submissions that can never succeed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngressError {
+    /// The submission names a tenant the service has no registration for.
+    UnknownTenant(TenantId),
+    /// The envelope's model fields are invalid (non-finite, deadline not
+    /// after release, nonpositive work, negative value) — the violation
+    /// [`check_arrival`](crate::check_arrival) would reject at feed time,
+    /// caught at the boundary instead.
+    InvalidJob {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// The submission's correlation tag.
+        tag: u64,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The envelope's release time lies too far before the shard's feed
+    /// watermark: ingesting it would violate the nondecreasing-arrival
+    /// contract [`check_arrival_order`](crate::check_arrival_order) enforces.
+    Stale {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// The submission's correlation tag.
+        tag: u64,
+        /// The stale release time.
+        release: f64,
+        /// The shard's current feed watermark (last feed time).
+        watermark: f64,
+        /// How far behind the watermark a release may lie and still be
+        /// admitted.
+        tolerance: f64,
+    },
+    /// The envelope's deadline already lies at or behind the shard's feed
+    /// watermark: the job would be fed no earlier than the watermark, so it
+    /// can no longer be completed — *dead on arrival*.  In the paper's
+    /// model jobs arrive at their release time (always before the
+    /// deadline), so an expired arrival is a contract violation the service
+    /// converts into a typed rejection instead of poisoning the run.
+    Expired {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// The submission's correlation tag.
+        tag: u64,
+        /// The expired deadline.
+        deadline: f64,
+        /// The shard's current feed watermark (last feed time).
+        watermark: f64,
+    },
+    /// The shard's bounded arrival queue is full — transient congestion;
+    /// back off and resubmit.
+    QueueFull {
+        /// The shard whose queue rejected the submission.
+        shard: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// The tenant has reached its admission quota of outstanding
+    /// (queued, not yet ingested) jobs.
+    QuotaExceeded {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// The tenant's outstanding-jobs quota.
+        limit: usize,
+    },
+    /// Dual-price backpressure deferred the submission: the shard's rolling
+    /// marginal price exceeds what this job (or its tenant) is willing to
+    /// pay.  Transient — resubmit when the price falls.
+    Backpressure {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// The shard's rolling dual price at submission time.
+        price: f64,
+        /// The threshold the price exceeded (the smaller of the tenant's
+        /// price ceiling and the job's declared value).
+        threshold: f64,
+    },
+    /// The service is draining; no new submissions are accepted.
+    ShuttingDown,
+}
+
+impl IngressError {
+    /// Whether the submission may succeed if simply retried later:
+    /// `true` for transient congestion ([`QueueFull`](Self::QueueFull),
+    /// [`QuotaExceeded`](Self::QuotaExceeded),
+    /// [`Backpressure`](Self::Backpressure)), `false` for submissions that
+    /// can never succeed as-is.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            IngressError::QueueFull { .. }
+                | IngressError::QuotaExceeded { .. }
+                | IngressError::Backpressure { .. }
+        )
+    }
+}
+
+impl fmt::Display for IngressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngressError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            IngressError::InvalidJob {
+                tenant,
+                tag,
+                reason,
+            } => write!(f, "invalid job (tenant {tenant}, tag {tag}): {reason}"),
+            IngressError::Stale {
+                tenant,
+                tag,
+                release,
+                watermark,
+                tolerance,
+            } => write!(
+                f,
+                "stale submission (tenant {tenant}, tag {tag}): release {release} lies more \
+                 than {tolerance} before the shard watermark {watermark}"
+            ),
+            IngressError::Expired {
+                tenant,
+                tag,
+                deadline,
+                watermark,
+            } => write!(
+                f,
+                "expired submission (tenant {tenant}, tag {tag}): deadline {deadline} already \
+                 lies behind the shard watermark {watermark}"
+            ),
+            IngressError::QueueFull { shard, capacity } => {
+                write!(f, "shard {shard} arrival queue full (capacity {capacity})")
+            }
+            IngressError::QuotaExceeded { tenant, limit } => {
+                write!(
+                    f,
+                    "tenant {tenant} exceeded its quota of {limit} outstanding jobs"
+                )
+            }
+            IngressError::Backpressure {
+                tenant,
+                price,
+                threshold,
+            } => write!(
+                f,
+                "backpressure for tenant {tenant}: dual price {price} exceeds threshold {threshold}"
+            ),
+            IngressError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for IngressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn envelope() -> JobEnvelope {
+        JobEnvelope::new(TenantId(2), 77, 1.0, 5.0, 2.0, 10.0)
+    }
+
+    #[test]
+    fn tenant_id_display_and_index() {
+        assert_eq!(TenantId(3).to_string(), "t3");
+        assert_eq!(TenantId(3).index(), 3);
+    }
+
+    #[test]
+    fn envelope_materialises_as_a_job_under_the_assigned_id() {
+        let env = envelope();
+        let job = env.job(JobId(9));
+        assert_eq!(job.id, JobId(9));
+        assert_eq!(job.release, 1.0);
+        assert_eq!(job.deadline, 5.0);
+        assert_eq!(job.work, 2.0);
+        assert_eq!(job.value, 10.0);
+        assert!(env.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_envelopes_surface_typed_errors() {
+        let mut env = envelope();
+        env.work = f64::NAN;
+        match env.validate() {
+            Err(IngressError::InvalidJob { tenant, tag, .. }) => {
+                assert_eq!(tenant, TenantId(2));
+                assert_eq!(tag, 77);
+            }
+            other => panic!("expected InvalidJob, got {other:?}"),
+        }
+        let mut env = envelope();
+        env.deadline = env.release;
+        assert!(env.validate().is_err());
+    }
+
+    #[test]
+    fn retryability_classifies_variants() {
+        assert!(IngressError::QueueFull {
+            shard: 0,
+            capacity: 8
+        }
+        .is_retryable());
+        assert!(IngressError::QuotaExceeded {
+            tenant: TenantId(0),
+            limit: 4
+        }
+        .is_retryable());
+        assert!(IngressError::Backpressure {
+            tenant: TenantId(0),
+            price: 2.0,
+            threshold: 1.0
+        }
+        .is_retryable());
+        assert!(!IngressError::ShuttingDown.is_retryable());
+        assert!(!IngressError::UnknownTenant(TenantId(9)).is_retryable());
+        assert!(envelope().validate().is_ok());
+        let stale = IngressError::Stale {
+            tenant: TenantId(1),
+            tag: 0,
+            release: 1.0,
+            watermark: 5.0,
+            tolerance: 0.5,
+        };
+        assert!(!stale.is_retryable());
+        let expired = IngressError::Expired {
+            tenant: TenantId(1),
+            tag: 0,
+            deadline: 3.0,
+            watermark: 5.0,
+        };
+        assert!(!expired.is_retryable());
+        assert!(expired.to_string().contains("deadline 3"));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = IngressError::Backpressure {
+            tenant: TenantId(4),
+            price: 3.25,
+            threshold: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("t4") && msg.contains("3.25") && msg.contains("1.5"));
+        assert!(IngressError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+}

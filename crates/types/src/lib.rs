@@ -19,6 +19,10 @@
 //!   [`OnlineScheduler::on_arrival`], a never-revised committed
 //!   [`OnlineScheduler::frontier`], and a blanket batch adapter) implemented
 //!   by every online algorithm in the workspace,
+//! * [`ingress`] — service-facing ingestion types: [`TenantId`],
+//!   [`JobEnvelope`] (a submitted job before the service assigns its dense
+//!   [`JobId`]) and the typed [`IngressError`]s a total
+//!   ingestion boundary returns instead of panicking,
 //! * [`num`] — tolerance-aware floating point helpers used by all numeric
 //!   code in the workspace,
 //! * [`snapshot`] — checkpoint/restore for long-running runs: versioned
@@ -39,6 +43,7 @@
 
 pub mod cost;
 pub mod error;
+pub mod ingress;
 pub mod instance;
 pub mod job;
 pub mod num;
@@ -49,6 +54,7 @@ pub mod validate;
 
 pub use cost::Cost;
 pub use error::{InstanceError, ScheduleError};
+pub use ingress::{IngressError, JobEnvelope, TenantId};
 pub use instance::Instance;
 pub use job::{Job, JobId};
 pub use num::Tolerance;

@@ -1076,3 +1076,101 @@ fn mid_burst_snapshots_round_trip_through_on_arrivals() {
         PdScheduler::default().start_for(&instance).expect("PD run")
     );
 }
+
+/// Differential pin of the ingestion daemon: a single-tenant, single-shard
+/// `pss_serve::Daemon` run — pre-queued while paused so the worker drains
+/// the whole stream as one backlog — is **bit-identical** to
+/// `StreamingSimulation::with_coalescing` on the same instance: same dense
+/// id assignment, same burst splits and feed times, same decisions and
+/// duals (to the bit), same final schedule segments.  This is the daemon's
+/// contract that "the queue is just another coalescing window".
+#[test]
+fn single_tenant_daemon_equals_streaming_simulation() {
+    use pss_core::types::{JobEnvelope, TenantId};
+    use pss_serve::{Daemon, ServeConfig, Submission, TenantSpec};
+    use pss_sim::StreamingSimulation;
+
+    fn pin<A>(label: &str, algo: A, instance: &Instance, window: f64)
+    where
+        A: OnlineAlgorithm + Clone,
+        A::Run: Checkpointable + Send + 'static,
+    {
+        // Re-densify ids in arrival order so the daemon's feed-order id
+        // assignment coincides with the instance's own ids.
+        let inst = instance.restrict(&instance.arrival_order());
+        let config = ServeConfig {
+            machines: inst.machines,
+            alpha: inst.alpha,
+            shards: 1,
+            queue_capacity: inst.len().max(2),
+            coalesce_window: window,
+            // The daemon coalesces over its drained backlog; draining the
+            // whole pre-queued stream in one chunk makes its burst splits
+            // exactly those of `coalesce_arrivals`.
+            max_batch: inst.len().max(1),
+            checkpoint_every: 0,
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let (daemon, handles) =
+            Daemon::spawn(algo.clone(), config, vec![TenantSpec::new("solo")]).expect("spawn");
+        for job in &inst.jobs {
+            let envelope = JobEnvelope::new(
+                TenantId(0),
+                job.id.index() as u64,
+                job.release,
+                job.deadline,
+                job.work,
+                job.value,
+            );
+            match handles[0].submit(envelope) {
+                Ok(Submission::Queued { .. }) => {}
+                other => panic!("{label}: pre-queued submission failed: {other:?}"),
+            }
+        }
+        daemon.resume();
+        let served = daemon.shutdown().expect("daemon run");
+        let offline = StreamingSimulation::with_coalescing(window)
+            .run(&algo, &inst)
+            .expect("offline replay");
+
+        let shard = &served.shards[0];
+        assert_eq!(
+            shard.events.len(),
+            offline.events.len(),
+            "{label}: event counts"
+        );
+        assert_eq!(shard.batches, offline.batches, "{label}: batch counts");
+        for (daemon_ev, sim_ev) in shard.events.iter().zip(&offline.events) {
+            assert_eq!(daemon_ev.job, sim_ev.job, "{label}: id assignment");
+            assert_eq!(
+                daemon_ev.accepted, sim_ev.accepted,
+                "{label}: decision flipped for {:?}",
+                sim_ev.job
+            );
+            assert_eq!(
+                daemon_ev.dual.to_bits(),
+                sim_ev.dual.to_bits(),
+                "{label}: dual differs for {:?}",
+                sim_ev.job
+            );
+        }
+        assert_eq!(
+            shard.schedule.segments, offline.schedule.segments,
+            "{label}: schedule segments"
+        );
+        // The shard's fed stream reassembles into the very instance.
+        let rebuilt = shard.instance(inst.machines, inst.alpha).expect("rebuild");
+        assert_eq!(rebuilt.jobs, inst.jobs, "{label}: fed stream");
+    }
+
+    let poisson = poisson_profitable(9100, 1, 2.0, 40, 3.0);
+    let bursty = common::bursty_poisson_profitable(9101, 1, 2.0, 48, 4, 2.0, 1e-4);
+    pin("CLL window=0", CllScheduler, &poisson, 0.0);
+    pin("CLL window=1e-3", CllScheduler, &bursty, 1e-3);
+    pin("PD window=0", PdScheduler::coarse(), &poisson, 0.0);
+    pin("PD window=1e-3", PdScheduler::coarse(), &bursty, 1e-3);
+    // Multiprocessor PD through the daemon.
+    let multi = profitable(9102, 3, 2.5);
+    pin("PD m=3", PdScheduler::coarse(), &multi, 1e-3);
+}
