@@ -58,6 +58,7 @@
 //! continues bit-identically (solver accuracy for OA(m)).  This is what
 //! the checkpoint/failover layer in `pss-sim` builds on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

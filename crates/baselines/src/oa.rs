@@ -44,6 +44,7 @@ impl OaPlanner {
         } else {
             1.0
         };
+        // pss-lint: allow(float-eq) — exact sentinel: skip the no-op scale
         if factor != 1.0 {
             for seg in &mut plan.segments {
                 seg.speed *= factor;
@@ -54,6 +55,7 @@ impl OaPlanner {
 
 impl Planner for OaPlanner {
     fn name(&self) -> String {
+        // pss-lint: allow(float-eq) — exact config sentinels (1.0 = plain OA)
         if self.speed_factor == 1.0 || self.speed_factor == 0.0 {
             "OA".into()
         } else {

@@ -23,7 +23,7 @@
 //! single-tenant, single-shard daemon must be bit-identical to
 //! `StreamingSimulation::with_coalescing` on the same stream.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use pss_check::sync::Counter;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -93,7 +93,7 @@ const PACE_LEAD: f64 = 2.0;
 /// One producer: submits its stream in release order, pacing against the
 /// shard's feed watermark, spinning politely on the retryable gates (full
 /// queue, quota) and accepting the terminal ones.
-fn produce(handle: TenantHandle, stream: Vec<JobEnvelope>, progress: Arc<AtomicUsize>) {
+fn produce(handle: TenantHandle, stream: Vec<JobEnvelope>, progress: Arc<Counter>) {
     for envelope in stream {
         // Pace: wait (bounded — the watermark freezes during a shard
         // crash) until the shard's virtual time approaches this release.
@@ -117,7 +117,7 @@ fn produce(handle: TenantHandle, stream: Vec<JobEnvelope>, progress: Arc<AtomicU
                 Err(_) => break,
             }
         }
-        progress.fetch_add(1, Ordering::Relaxed);
+        progress.incr();
     }
 }
 
@@ -194,7 +194,7 @@ where
         std::thread::yield_now();
     }
 
-    let progress = Arc::new(AtomicUsize::new(0));
+    let progress = Arc::new(Counter::new());
     let total = tenant_count * per_tenant;
     let mut producers = Vec::with_capacity(tenant_count);
     for (i, handle) in handles.into_iter().enumerate() {
@@ -208,7 +208,7 @@ where
     // Mid-soak lifecycle: a graceful hand-off of shard 0 and an injected
     // crash + journal-replay recovery of shard 1, under live producers.
     let half = Instant::now() + Duration::from_secs(120);
-    while progress.load(Ordering::Relaxed) < total / 2 && Instant::now() < half {
+    while progress.get() < (total / 2) as u64 && Instant::now() < half {
         std::thread::yield_now();
     }
     let handoff = daemon.handoff_shard(0).expect("hand-off shard 0");

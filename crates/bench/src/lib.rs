@@ -13,6 +13,7 @@
 //! * the Criterion benches (`cargo bench`) measure the runtime of the
 //!   substrates and of end-to-end scheduling.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,50 @@
+//! The `pss-lint` binary: walks the workspace, runs every invariant
+//! rule, prints findings compiler-style, and exits non-zero if any
+//! fired.  Run from anywhere inside the workspace:
+//!
+//! ```text
+//! cargo run -q -p pss-check --bin pss-lint
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).ok()?;
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("pss-lint: no workspace root found above the current directory");
+        return ExitCode::FAILURE;
+    };
+    match pss_check::lint::check_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("pss-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("pss-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("pss-lint: i/o error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

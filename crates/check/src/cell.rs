@@ -1,0 +1,69 @@
+//! The `UnsafeCell` facade: closure-based access so the model checker can
+//! observe (and race-check) every read and write of checker-managed data.
+//!
+//! In normal builds [`UnsafeCell`] is a `#[repr(transparent)]` wrapper
+//! over `std::cell::UnsafeCell` whose accessors inline to a bare pointer
+//! — zero cost.  Under `--cfg pss_model_check` it is the model cell,
+//! which records each access with the running thread's vector clock and
+//! reports a data race whenever two accesses (at least one a write) are
+//! not ordered by happens-before.
+
+#[cfg(pss_model_check)]
+pub use crate::model::cell::UnsafeCell;
+
+/// A zero-cost `std::cell::UnsafeCell` wrapper with the closure-based
+/// access API the model checker needs.
+///
+/// Safety is entirely the caller's: `with`/`with_mut` hand out raw
+/// pointers exactly like `std::cell::UnsafeCell::get`, and the caller's
+/// closure must uphold Rust's aliasing rules when dereferencing them.
+/// (The model-checked build *verifies* that discipline by exploring
+/// interleavings.)
+#[cfg(not(pss_model_check))]
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+#[cfg(not(pss_model_check))]
+impl<T> UnsafeCell<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> Self {
+        Self(std::cell::UnsafeCell::new(value))
+    }
+
+    /// Calls `f` with a shared raw pointer to the contents (a *read*
+    /// access under the model checker).
+    #[inline(always)]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    /// Calls `f` with an exclusive raw pointer to the contents (a *write*
+    /// access under the model checker).
+    #[inline(always)]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    /// Consumes the cell, returning the contents.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_mode_cell_round_trips() {
+        // The crate forbids `unsafe`, so exercise the accessors without
+        // dereferencing: both must hand out the same non-null location.
+        let cell = UnsafeCell::new(7_u32);
+        let shared = cell.with(|p| p as usize);
+        let excl = cell.with_mut(|p| p as usize);
+        assert_eq!(shared, excl);
+        assert_ne!(shared, 0);
+        assert_eq!(cell.into_inner(), 7);
+    }
+}

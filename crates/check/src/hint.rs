@@ -1,0 +1,14 @@
+//! Spin-loop hint facade.
+
+/// Emits a spin-loop hint.
+///
+/// `std::hint::spin_loop` in normal builds; a scheduler yield point under
+/// `--cfg pss_model_check` (a spinning thread must let the scheduler run
+/// the thread it is waiting on).
+#[inline]
+pub fn spin_loop() {
+    #[cfg(not(pss_model_check))]
+    std::hint::spin_loop();
+    #[cfg(pss_model_check)]
+    crate::model::yield_now();
+}

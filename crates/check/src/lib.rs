@@ -1,0 +1,43 @@
+//! # pss-check
+//!
+//! In-tree correctness tooling for the workspace's concurrent serving
+//! layer: a **deterministic interleaving model checker** in the spirit of
+//! [loom], and the **`pss-lint`** source-level invariant linter.
+//!
+//! The offline build has no crates.io access — no loom, no tsan, no miri
+//! on CI — so the checker is grown in-tree.  It has two halves:
+//!
+//! * **The facade** ([`sync`], [`cell`], [`thread`], [`hint`]): the
+//!   atomics surface the serving layer is written against.  In normal
+//!   builds these are pure re-exports of (or `#[repr(transparent)]`,
+//!   `#[inline(always)]` wrappers over) the `std` types — zero cost.
+//!   Under `--cfg pss_model_check` they route every load, store and RMW
+//!   through the controlled scheduler in [`model`].
+//! * **The checker** ([`model`]): bounded-exhaustive DFS over thread
+//!   interleavings with preemption bounding.  Atomics keep **per-atomic
+//!   store histories** with vector-clock causality, so a `Relaxed` or
+//!   insufficiently-ordered load can return *stale* values exactly as a
+//!   weak memory model permits — ordering bugs that x86's strong model
+//!   hides in stress tests are still explored and caught.  `UnsafeCell`
+//!   accesses are checked for data races with a FastTrack-style epoch
+//!   race detector.  The model side is always compiled (it is plain safe
+//!   `std` code), so the checker's own self-tests run in the tier-1
+//!   suite; `--cfg pss_model_check` only controls what the facade
+//!   resolves to.
+//!
+//! The linter ([`lint`], `src/bin/pss-lint.rs`) walks workspace sources
+//! with hand-rolled token rules and fails CI on repo-invariant
+//! violations; see the [`lint`] module docs for the rule set.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cell;
+pub mod hint;
+pub mod lint;
+pub mod model;
+pub mod sync;
+pub mod thread;

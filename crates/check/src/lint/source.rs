@@ -1,0 +1,319 @@
+//! Source preprocessing for the lint rules: comment/string stripping,
+//! waiver collection, and `#[cfg(test)]` block blanking.
+//!
+//! The rules are token-level, so before they run the source is reduced
+//! to the tokens that can actually violate an invariant: comments and
+//! string/char literals are blanked (newlines preserved, so line numbers
+//! survive), and code under `#[cfg(test)]` is blanked too — test code
+//! has different rules (it may use `SeqCst`, `unwrap`, raw orderings).
+//!
+//! Waivers: a comment containing `pss-lint: allow(<rule>)` suppresses
+//! that rule on the same line and the line below, so a justified
+//! exception is written right where it applies:
+//!
+//! ```text
+//! // pss-lint: allow(float-eq)  — exact sentinel comparison
+//! if price == f64::INFINITY {
+//! ```
+
+/// A preprocessed file ready for rule matching.
+pub struct Source {
+    /// Blanked lines (same count and width as the original).
+    pub lines: Vec<String>,
+    /// Per-line waived rule names (already propagated to the next line).
+    waivers: Vec<Vec<String>>,
+}
+
+impl Source {
+    /// Whether `rule` is waived on 0-based line `idx`.
+    pub fn waived(&self, idx: usize, rule: &str) -> bool {
+        self.waivers
+            .get(idx)
+            .is_some_and(|w| w.iter().any(|r| r == rule))
+    }
+}
+
+/// Lexer state while scanning raw source.
+#[derive(PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+    Char,
+}
+
+/// Preprocesses `raw` (see the module docs).
+pub fn preprocess(raw: &str) -> Source {
+    let stripped = strip(raw);
+    let waivers = collect_waivers(raw);
+    let lines = blank_test_blocks(stripped);
+    Source { lines, waivers }
+}
+
+/// Blanks comments and string/char literals, preserving layout.
+fn strip(raw: &str) -> Vec<String> {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut out = String::with_capacity(raw.len());
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    out.push(' ');
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    out.push('"');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        mode = Mode::RawStr(hashes);
+                        out.push('r');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        out.push('"');
+                        i = j;
+                    } else {
+                        out.push(c);
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a lifetime is 'ident not
+                    // followed by a closing quote (except 'x' the char).
+                    let is_char = matches!(next, Some(n) if n == '\\')
+                        || (next.is_some() && chars.get(i + 2) == Some(&'\''));
+                    if is_char {
+                        mode = Mode::Char;
+                    }
+                    out.push('\'');
+                }
+                _ => out.push(c),
+            },
+            Mode::LineComment => {
+                if c == '\n' {
+                    mode = Mode::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            Mode::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 1;
+                } else if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 1;
+                    if chars.get(i) == Some(&'\n') {
+                        // Escaped newline inside a string literal.
+                        out.pop();
+                        out.push('\n');
+                    }
+                }
+                '"' => {
+                    mode = Mode::Code;
+                    out.push('"');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let closed = (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        i += hashes;
+                        mode = Mode::Code;
+                    } else {
+                        out.push(' ');
+                    }
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 1;
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                    out.push('\'');
+                } else {
+                    out.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    out.lines().map(str::to_string).collect()
+}
+
+/// Pulls `pss-lint: allow(rule)` waivers out of the *raw* text (they
+/// live in comments, which `strip` erases) and propagates each to the
+/// following line.
+fn collect_waivers(raw: &str) -> Vec<Vec<String>> {
+    let line_count = raw.lines().count();
+    let mut waivers: Vec<Vec<String>> = vec![Vec::new(); line_count + 1];
+    for (idx, line) in raw.lines().enumerate() {
+        let mut rest = line;
+        while let Some(at) = rest.find("pss-lint: allow(") {
+            rest = &rest[at + "pss-lint: allow(".len()..];
+            if let Some(end) = rest.find(')') {
+                let rule = rest[..end].trim().to_string();
+                waivers[idx].push(rule.clone());
+                if idx + 1 < waivers.len() {
+                    waivers[idx + 1].push(rule);
+                }
+                rest = &rest[end..];
+            } else {
+                break;
+            }
+        }
+    }
+    waivers.truncate(line_count);
+    waivers
+}
+
+/// Blanks every brace block introduced by `#[cfg(test)]` (module or
+/// item), so rules never fire on test code.
+fn blank_test_blocks(mut lines: Vec<String>) -> Vec<String> {
+    let text = lines.join("\n");
+    let bytes: Vec<char> = text.chars().collect();
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut search_from = 0;
+    while let Some(found) = text[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + found;
+        // Find the first `{` after the attribute and match it.
+        let open = match text[attr_at..].find('{') {
+            Some(o) => attr_at + o,
+            None => break,
+        };
+        let mut depth = 0usize;
+        let mut close = open;
+        for (k, &c) in bytes.iter().enumerate().skip(open) {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        regions.push((attr_at, close));
+        search_from = close.max(attr_at + 1);
+    }
+    if regions.is_empty() {
+        return lines;
+    }
+    // Map char offsets back to (line, col) and blank the spans.
+    let mut offset = 0;
+    let mut line_spans = Vec::with_capacity(lines.len());
+    for line in &lines {
+        let len = line.chars().count();
+        line_spans.push((offset, offset + len));
+        offset += len + 1;
+    }
+    for (start, end) in regions {
+        for (idx, &(lo, hi)) in line_spans.iter().enumerate() {
+            if hi <= start || lo > end {
+                continue;
+            }
+            let from = start.saturating_sub(lo);
+            let to = (end + 1 - lo).min(hi - lo);
+            let blanked: String = lines[idx]
+                .chars()
+                .enumerate()
+                .map(|(col, c)| if col >= from && col < to { ' ' } else { c })
+                .collect();
+            lines[idx] = blanked;
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings_keeping_lines() {
+        let src = "let a = \"Ordering::SeqCst\"; // Ordering::SeqCst\nlet b = 1;\n";
+        let s = preprocess(src);
+        assert_eq!(s.lines.len(), 2);
+        assert!(!s.lines[0].contains("SeqCst"));
+        assert_eq!(s.lines[1], "let b = 1;");
+    }
+
+    #[test]
+    fn waiver_applies_to_own_and_next_line() {
+        let src = "// pss-lint: allow(float-eq)\nx == 0.0;\ny == 0.0;\n";
+        let s = preprocess(src);
+        assert!(s.waived(0, "float-eq"));
+        assert!(s.waived(1, "float-eq"));
+        assert!(!s.waived(2, "float-eq"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_blanked() {
+        let src = "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn tail() {}\n";
+        let s = preprocess(src);
+        assert!(s.lines[0].contains("unwrap"));
+        assert!(!s.lines[3].contains("unwrap"));
+        assert!(s.lines[5].contains("tail"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"Ordering::SeqCst \"inner\" \"#; let t = 1;\n";
+        let s = preprocess(src);
+        assert!(!s.lines[0].contains("SeqCst"));
+        assert!(s.lines[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'y'; let z = Ordering::SeqCst;\n";
+        let s = preprocess(src);
+        assert!(s.lines[0].contains("SeqCst"));
+        assert!(!s.lines[0].contains("'y'"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Model-checked atomic types.
+//!
+//! Each atomic created while a model execution is active (i.e. from the
+//! harness's setup closure or from a model thread) registers itself with
+//! that execution and routes every operation through the controlled
+//! scheduler, which explores both interleavings and the set of values a
+//! weakly-ordered load may return.
+//!
+//! Atomics created *outside* an execution — or touched by OS threads
+//! that do not belong to one — fall back to a plain `std` atomic
+//! ("mirror" mode), so a `--cfg pss_model_check` build of a consumer
+//! crate still runs its non-model code correctly.  Modeled operations
+//! keep the mirror up to date so a late fallback access observes a
+//! plausible value.
+//!
+//! Orderings are interpreted C11-style with two simplifications, both
+//! *strengthenings* (they can hide no bug that the real semantics
+//! forbid... but may miss exotic ones, documented here): `SeqCst` is
+//! treated as `AcqRel` (no total order beyond coherence), and a failed
+//! `compare_exchange` reads the latest store rather than a stale one.
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering};
+use std::sync::Arc;
+
+use super::exec::{current_ctx, Execution};
+
+fn load_acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn store_releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// The untyped core: an optional execution registration plus the mirror.
+struct ModelAtomic {
+    model: Option<(Arc<Execution>, usize)>,
+    mirror: StdAtomicU64,
+}
+
+impl ModelAtomic {
+    fn new(init: u64) -> Self {
+        let model = current_ctx().map(|ctx| {
+            let id = ctx.exec.register_atomic(init);
+            (ctx.exec, id)
+        });
+        Self {
+            model,
+            mirror: StdAtomicU64::new(init),
+        }
+    }
+
+    /// Routes to the model only when the calling thread belongs to the
+    /// same execution this atomic was registered with.
+    fn route(&self) -> Option<(&Arc<Execution>, usize, usize)> {
+        let (exec, id) = self.model.as_ref()?;
+        let ctx = current_ctx()?;
+        Arc::ptr_eq(&ctx.exec, exec).then_some((exec, *id, ctx.tid))
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        match self.route() {
+            Some((exec, id, tid)) => exec.atomic_load(tid, id, load_acquires(order)),
+            None => self.mirror.load(order),
+        }
+    }
+
+    fn store(&self, value: u64, order: Ordering) {
+        match self.route() {
+            Some((exec, id, tid)) => {
+                exec.atomic_store(tid, id, value, store_releases(order));
+                self.mirror.store(value, Ordering::Relaxed);
+            }
+            None => self.mirror.store(value, order),
+        }
+    }
+
+    /// A modeled read-modify-write; `op` returning `None` means "no
+    /// store" (failed CAS).  The fallback path is supplied by the typed
+    /// wrapper so it can use the native `std` RMW.
+    fn rmw(
+        &self,
+        order: Ordering,
+        op: impl Fn(u64) -> Option<u64>,
+        fallback: impl FnOnce(&StdAtomicU64) -> u64,
+    ) -> u64 {
+        match self.route() {
+            Some((exec, id, tid)) => {
+                let prev =
+                    exec.atomic_rmw(tid, id, load_acquires(order), store_releases(order), &op);
+                if let Some(next) = op(prev) {
+                    self.mirror.store(next, Ordering::Relaxed);
+                }
+                prev
+            }
+            None => fallback(&self.mirror),
+        }
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        match self.route() {
+            Some((exec, id, tid)) => {
+                let acquires = load_acquires(success) || load_acquires(failure);
+                let prev = exec.atomic_rmw(tid, id, acquires, store_releases(success), |v| {
+                    (v == current).then_some(new)
+                });
+                if prev == current {
+                    self.mirror.store(new, Ordering::Relaxed);
+                    Ok(prev)
+                } else {
+                    Err(prev)
+                }
+            }
+            None => self.mirror.compare_exchange(current, new, success, failure),
+        }
+    }
+}
+
+impl std::fmt::Debug for ModelAtomic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Reading the real model state would be a schedule point; show
+        // the mirror, which tracks the latest store.
+        write!(f, "{}", self.mirror.load(Ordering::Relaxed))
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug)]
+        pub struct $name(ModelAtomic);
+
+        impl $name {
+            /// Creates a new atomic, registering it with the active
+            /// model execution if one exists on this thread.
+            pub fn new(value: $ty) -> Self {
+                Self(ModelAtomic::new(value as u64))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.0.load(order) as $ty
+            }
+
+            /// Stores a value.
+            pub fn store(&self, value: $ty, order: Ordering) {
+                self.0.store(value as u64, order);
+            }
+
+            /// Adds to the value, returning the previous value.
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                self.0.rmw(
+                    order,
+                    |v| Some((v as $ty).wrapping_add(value) as u64),
+                    |m| m.fetch_add(value as u64, order),
+                ) as $ty
+            }
+
+            /// Subtracts from the value, returning the previous value.
+            ///
+            /// (The u64 mirror wraps at 64 bits, but every read truncates
+            /// with `as`, so results stay congruent at the typed width.)
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                self.0.rmw(
+                    order,
+                    |v| Some((v as $ty).wrapping_sub(value) as u64),
+                    |m| m.fetch_sub(value as u64, order),
+                ) as $ty
+            }
+
+            /// Stores `new` if the value equals `current`; returns the
+            /// previous value as `Ok` on success, `Err` on failure.
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.0
+                    .compare_exchange(current as u64, new as u64, success, failure)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            /// `compare_exchange` that is additionally allowed to fail
+            /// spuriously.  The model treats it as the strong variant
+            /// (spurious failures add schedules but no new outcomes for
+            /// retry loops, which is how the serving layer uses it).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+int_atomic!(
+    AtomicUsize,
+    usize,
+    "A model-checked `usize` atomic (see the module docs)."
+);
+int_atomic!(
+    AtomicU64,
+    u64,
+    "A model-checked `u64` atomic (see the module docs)."
+);
+
+/// A model-checked `bool` atomic (see the module docs).
+#[derive(Debug)]
+pub struct AtomicBool(ModelAtomic);
+
+impl AtomicBool {
+    /// Creates a new atomic, registering it with the active model
+    /// execution if one exists on this thread.
+    pub fn new(value: bool) -> Self {
+        Self(ModelAtomic::new(value as u64))
+    }
+
+    /// Loads the value.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.0.load(order) != 0
+    }
+
+    /// Stores a value.
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.0.store(value as u64, order);
+    }
+
+    /// Stores a value, returning the previous value.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.0.rmw(
+            order,
+            |_| Some(value as u64),
+            |m| m.swap(value as u64, order),
+        ) != 0
+    }
+}

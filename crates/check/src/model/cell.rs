@@ -1,0 +1,79 @@
+//! The model-checked `UnsafeCell`: every access is race-checked against
+//! the happens-before relation the execution has established.
+//!
+//! The data itself lives in a real `std::cell::UnsafeCell`; the model
+//! adds a FastTrack-style detector in front of it.  When two accesses
+//! (at least one a write) are unordered, the second accessor panics
+//! *before* its closure runs, so the undefined behaviour the race would
+//! constitute is reported rather than executed.
+
+use std::sync::Arc;
+
+use super::exec::{current_ctx, Execution};
+
+/// A model-checked `UnsafeCell` (see the module docs).  API-compatible
+/// with the zero-cost wrapper in [`crate::cell`].
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    model: Option<(Arc<Execution>, usize)>,
+}
+
+impl<T> std::fmt::Debug for UnsafeCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Reading the contents would be an (unchecked) access; mirror
+        // std's opaque formatting instead.
+        f.pad("UnsafeCell { .. }")
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+// Like `std::cell::UnsafeCell`, this type is deliberately `!Sync`;
+// containers built on it (e.g. the arrival queue) assert `Sync`
+// themselves with the same justification they owe the std version.
+
+impl<T> UnsafeCell<T> {
+    /// Wraps `value`, registering the cell with the active model
+    /// execution if one exists on this thread.
+    pub fn new(value: T) -> Self {
+        let model = current_ctx().map(|ctx| {
+            let id = ctx.exec.register_cell();
+            (ctx.exec, id)
+        });
+        Self {
+            data: std::cell::UnsafeCell::new(value),
+            model,
+        }
+    }
+
+    fn check(&self, is_write: bool) {
+        if let (Some((exec, id)), Some(ctx)) = (&self.model, current_ctx()) {
+            if Arc::ptr_eq(&ctx.exec, exec) {
+                exec.cell_access(ctx.tid, *id, is_write);
+            }
+        }
+    }
+
+    /// Calls `f` with a shared raw pointer to the contents, race-checked
+    /// as a *read* access.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        self.check(false);
+        f(self.data.get())
+    }
+
+    /// Calls `f` with an exclusive raw pointer to the contents,
+    /// race-checked as a *write* access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.check(true);
+        f(self.data.get())
+    }
+
+    /// Consumes the cell, returning the contents.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}

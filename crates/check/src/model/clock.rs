@@ -1,0 +1,109 @@
+//! Vector clocks and causality state for the model checker.
+//!
+//! Every model thread carries a [`Causality`]: a vector clock over thread
+//! ids (used by the FastTrack-style data-race checks on `UnsafeCell`
+//! accesses) plus a *view* — for each atomic, the earliest store in its
+//! modification order the thread is still allowed to read.  Release
+//! stores capture the storer's causality; acquire loads join it.  A load
+//! may return any store at or after the thread's view index, which is
+//! exactly how stale (weak-memory) reads enter the exploration.
+
+/// Maximum threads per execution: the harness (tid 0) plus up to four
+/// model threads.
+pub(crate) const MAX_THREADS: usize = 5;
+
+/// A fixed-width vector clock over [`MAX_THREADS`] thread ids.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(pub(crate) [u32; MAX_THREADS]);
+
+impl VClock {
+    /// Element-wise maximum.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Advances this thread's own component.
+    pub(crate) fn bump(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// Whether the epoch `(tid, at)` happens-before a thread holding this
+    /// clock (the FastTrack epoch test).
+    pub(crate) fn dominates(&self, tid: usize, at: u32) -> bool {
+        self.0[tid] >= at
+    }
+}
+
+/// A thread's full causal knowledge: its vector clock plus its per-atomic
+/// view (minimum readable store index, indexed by atomic id).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Causality {
+    pub(crate) clock: VClock,
+    view: Vec<usize>,
+}
+
+impl Causality {
+    /// Joins another causality in (acquire edge).
+    pub(crate) fn join(&mut self, other: &Causality) {
+        self.clock.join(&other.clock);
+        if self.view.len() < other.view.len() {
+            self.view.resize(other.view.len(), 0);
+        }
+        for (mine, theirs) in self.view.iter_mut().zip(other.view.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// The earliest store index of atomic `id` this thread may read.
+    pub(crate) fn view_of(&self, id: usize) -> usize {
+        self.view.get(id).copied().unwrap_or(0)
+    }
+
+    /// Raises the view of atomic `id` to `idx` (coherence: once a store
+    /// is observed, earlier stores become unreadable).
+    pub(crate) fn advance_view(&mut self, id: usize, idx: usize) {
+        if self.view.len() <= id {
+            self.view.resize(id + 1, 0);
+        }
+        if self.view[id] < idx {
+            self.view[id] = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_join_and_epoch_dominance() {
+        let mut a = VClock::default();
+        a.bump(1);
+        a.bump(1);
+        let mut b = VClock::default();
+        b.bump(2);
+        b.join(&a);
+        assert!(b.dominates(1, 2));
+        assert!(b.dominates(2, 1));
+        assert!(!b.dominates(1, 3));
+    }
+
+    #[test]
+    fn causality_view_joins_elementwise() {
+        let mut a = Causality::default();
+        a.advance_view(3, 7);
+        let mut b = Causality::default();
+        b.advance_view(3, 2);
+        b.advance_view(0, 5);
+        b.join(&a);
+        assert_eq!(b.view_of(3), 7);
+        assert_eq!(b.view_of(0), 5);
+        assert_eq!(b.view_of(9), 0);
+        // Joins never lower a view.
+        a.join(&b);
+        assert_eq!(a.view_of(0), 5);
+        assert_eq!(a.view_of(3), 7);
+    }
+}

@@ -1,0 +1,572 @@
+//! One model-checked execution: the controlled scheduler, the per-atomic
+//! store histories, and the cell race detector.
+//!
+//! # How an execution runs
+//!
+//! Model threads are real OS threads serialised by a **baton**: exactly
+//! one thread (`current`) may perform shared-memory operations; everyone
+//! else waits on a condvar.  Each operation is a *schedule point*: after
+//! performing it, the running thread consults the exploration tape to
+//! decide who performs the next operation — itself (no cost) or another
+//! runnable thread (one *preemption*, bounded per execution).  Loads add
+//! a second kind of choice: which store of the atomic's history to read
+//! (any store at or after the thread's coherence view is a candidate, so
+//! insufficiently-synchronised code observes stale values exactly as a
+//! weak memory model allows).
+//!
+//! The DFS driver in [`super::Model`] replays a recorded prefix of
+//! choices and extends it depth-first, so the exploration is exhaustive
+//! over the bounded choice tree and fully deterministic.
+//!
+//! # Failure handling
+//!
+//! A detected data race, a panicking assertion in a model thread, or an
+//! exceeded step budget flips the execution into **abort mode**: choices
+//! stop being recorded and the remaining threads run to completion one
+//! at a time (still baton-serialised, so no undefined behaviour can
+//! occur while unwinding the rest of the execution).
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use super::clock::{Causality, MAX_THREADS};
+
+/// Sentinel for "no thread holds the baton".
+const NOBODY: usize = usize::MAX;
+
+/// One recorded nondeterministic choice: which alternative was taken out
+/// of how many.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Choice {
+    /// Index of the alternative taken.
+    pub chosen: usize,
+    /// Number of alternatives that existed at this point.
+    pub alts: usize,
+}
+
+/// Why a model check failed, with the schedule that exposed it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Human-readable description (race report or panic message).
+    pub message: String,
+    /// 1-based index of the failing execution.
+    pub interleaving: u64,
+    /// The choice tape of the failing execution (replayable: the same
+    /// model explored with this prefix reproduces the failure first).
+    pub schedule: Vec<Choice>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "interleaving #{}: {} (schedule: {:?})",
+            self.interleaving,
+            self.message,
+            self.schedule.iter().map(|c| c.chosen).collect::<Vec<_>>()
+        )
+    }
+}
+
+/// Execution phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Harness building shared state; no scheduling, no choices.
+    Setup,
+    /// Model threads running under the controlled scheduler.
+    Run,
+    /// A failure or budget overrun occurred: threads are drained to
+    /// completion serially with no further recording.
+    Abort,
+    /// Threads joined; the harness runs the finale assertions.
+    Finale,
+}
+
+/// One store in an atomic's modification order.
+#[derive(Clone, Debug)]
+struct StoreEvt {
+    value: u64,
+    /// The causality an acquire load of this store synchronises with:
+    /// `Some` for release stores (and for RMWs continuing a release
+    /// sequence), `None` for relaxed stores.
+    sync: Option<Causality>,
+}
+
+/// Per-atomic model state: the full store history.
+#[derive(Debug, Default)]
+struct AtomicState {
+    stores: Vec<StoreEvt>,
+}
+
+/// Per-cell race-detector state (FastTrack-style epochs).
+#[derive(Debug, Default)]
+struct CellState {
+    /// Last write as `(tid, clock-at-write)`.
+    write: Option<(usize, u32)>,
+    /// Last read epoch per thread since the last write.
+    reads: [Option<u32>; MAX_THREADS],
+}
+
+/// The mutable state behind the execution mutex.
+pub(crate) struct ExecState {
+    pub(crate) phase: Phase,
+    current: usize,
+    /// Number of model threads (tids `1..=threads`).
+    threads: usize,
+    finished: usize,
+    alive: [bool; MAX_THREADS],
+    caus: [Causality; MAX_THREADS],
+    atomics: Vec<AtomicState>,
+    cells: Vec<CellState>,
+    preemption_bound: usize,
+    preemptions: usize,
+    steps: u64,
+    max_steps: u64,
+    pub(crate) pruned: bool,
+    tape: Vec<Choice>,
+    cursor: usize,
+    pub(crate) failure: Option<String>,
+}
+
+impl ExecState {
+    /// Takes the next choice at a branching point with `alts`
+    /// alternatives: replays the tape prefix, then extends depth-first
+    /// with alternative 0.  Only called in [`Phase::Run`].
+    fn decide(&mut self, alts: usize) -> usize {
+        debug_assert_eq!(self.phase, Phase::Run);
+        if alts <= 1 {
+            return 0;
+        }
+        if self.cursor < self.tape.len() {
+            let c = self.tape[self.cursor];
+            debug_assert_eq!(
+                c.alts, alts,
+                "nondeterministic model: replay saw a different branch width"
+            );
+            self.cursor += 1;
+            c.chosen
+        } else {
+            self.tape.push(Choice { chosen: 0, alts });
+            self.cursor += 1;
+            0
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        (1..=self.threads).filter(|&t| self.alive[t]).collect()
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(message);
+        }
+        self.phase = Phase::Abort;
+    }
+}
+
+/// One model-checked execution (shared between the harness and its model
+/// threads).
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+impl Execution {
+    pub(crate) fn new(tape: Vec<Choice>, preemption_bound: usize, max_steps: u64) -> Self {
+        Self {
+            state: Mutex::new(ExecState {
+                phase: Phase::Setup,
+                current: NOBODY,
+                threads: 0,
+                finished: 0,
+                alive: [false; MAX_THREADS],
+                caus: Default::default(),
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                preemption_bound,
+                preemptions: 0,
+                steps: 0,
+                max_steps,
+                pruned: false,
+                tape,
+                cursor: 0,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        // A panicking model thread (race detection, model assertions)
+        // poisons the mutex by design; the state stays valid, so strip
+        // the poison instead of propagating it.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new atomic with its initial value, returning its id.
+    pub(crate) fn register_atomic(&self, init: u64) -> usize {
+        let mut g = self.lock();
+        g.atomics.push(AtomicState {
+            stores: vec![StoreEvt {
+                value: init,
+                sync: None,
+            }],
+        });
+        g.atomics.len() - 1
+    }
+
+    /// Registers a new cell, returning its id.
+    pub(crate) fn register_cell(&self) -> usize {
+        let mut g = self.lock();
+        g.cells.push(CellState::default());
+        g.cells.len() - 1
+    }
+
+    /// Transitions from setup to the run phase with `threads` model
+    /// threads, and makes the first baton assignment (a recorded choice).
+    pub(crate) fn start_run(&self, threads: usize) {
+        assert!(
+            (1..MAX_THREADS).contains(&threads),
+            "a model needs 1..={} threads, got {threads}",
+            MAX_THREADS - 1
+        );
+        let mut g = self.lock();
+        g.threads = threads;
+        g.phase = Phase::Run;
+        for tid in 1..=threads {
+            g.alive[tid] = true;
+            g.caus[tid] = g.caus[0].clone();
+        }
+        let first = g.decide(threads);
+        g.current = first + 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every model thread has finished.
+    pub(crate) fn wait_threads(&self) {
+        let mut g = self.lock();
+        while g.finished < g.threads {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Transitions into the finale phase: the harness joins every model
+    /// thread's causality (the join edge), so finale reads are ordered
+    /// after everything the threads did.
+    pub(crate) fn start_finale(&self) {
+        let mut g = self.lock();
+        for tid in 1..=g.threads {
+            let thread_caus = g.caus[tid].clone();
+            g.caus[0].join(&thread_caus);
+        }
+        if g.phase != Phase::Abort {
+            g.phase = Phase::Finale;
+        } else {
+            // Keep abort semantics for the drop path, but the harness is
+            // the only thread left — give it the baton.
+            g.current = 0;
+        }
+    }
+
+    /// Records a model-thread exit (and any panic it carried: assertion
+    /// failure or race report unwinding), then passes the baton on.
+    ///
+    /// Exiting is itself a *scheduled event*: the thread first waits for
+    /// the baton, because it shrinks the runnable set — letting that
+    /// happen at an arbitrary real-time moment would make the branch
+    /// widths of later choices nondeterministic and break DFS replay.
+    pub(crate) fn thread_finished(&self, tid: usize, panic_message: Option<String>) {
+        let g = self.lock();
+        let mut g = self.acquire_baton(g, tid);
+        g.alive[tid] = false;
+        g.finished += 1;
+        if let Some(msg) = panic_message {
+            g.fail(msg);
+        }
+        let runnable = g.runnable();
+        if runnable.is_empty() {
+            g.current = NOBODY;
+        } else if g.phase == Phase::Run {
+            // Which thread proceeds after an exit is itself a scheduling
+            // choice (a forced switch — no preemption charged).
+            let c = g.decide(runnable.len());
+            g.current = runnable[c];
+        } else {
+            g.current = runnable[0];
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits until `tid` holds the baton (run/abort phases).  Setup and
+    /// finale run unscheduled on the harness thread.
+    fn acquire_baton<'a>(
+        &self,
+        mut g: MutexGuard<'a, ExecState>,
+        tid: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        if tid == 0 {
+            return g;
+        }
+        while g.current != tid {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        g
+    }
+
+    /// Accounts one operation against the step budget; an overrun prunes
+    /// the execution (recorded in the report) and flips to abort mode so
+    /// it still terminates.
+    fn charge_step(&self, g: &mut MutexGuard<'_, ExecState>) {
+        g.steps += 1;
+        if g.phase == Phase::Run && g.steps > g.max_steps {
+            g.pruned = true;
+            g.phase = Phase::Abort;
+            self.cv.notify_all();
+        }
+    }
+
+    /// The post-operation schedule point: decide who performs the next
+    /// operation.  Staying with the current thread is alternative 0;
+    /// switching to another runnable thread is a preemption, enumerated
+    /// only while the preemption budget lasts.
+    ///
+    /// In abort mode the baton instead rotates round-robin with no
+    /// recording, so bounded spin loops in draining threads cannot wedge
+    /// the wind-down.
+    fn hand_off(&self, g: &mut MutexGuard<'_, ExecState>, tid: usize) {
+        if tid == 0 {
+            return;
+        }
+        match g.phase {
+            Phase::Run => {
+                let mut alts = vec![tid];
+                if g.preemptions < g.preemption_bound {
+                    alts.extend(g.runnable().into_iter().filter(|&t| t != tid));
+                }
+                let c = g.decide(alts.len());
+                let next = alts[c];
+                if next != tid {
+                    g.preemptions += 1;
+                    g.current = next;
+                    self.cv.notify_all();
+                }
+            }
+            Phase::Abort => {
+                let runnable = g.runnable();
+                let next = runnable
+                    .iter()
+                    .copied()
+                    .find(|&t| t > tid)
+                    .or_else(|| runnable.first().copied());
+                if let Some(next) = next {
+                    if next != tid {
+                        g.current = next;
+                        self.cv.notify_all();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A pure schedule point with no memory effect (`yield_now`).
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let g = self.lock();
+        let mut g = self.acquire_baton(g, tid);
+        if g.phase == Phase::Run {
+            self.charge_step(&mut g);
+        }
+        self.hand_off(&mut g, tid);
+    }
+
+    /// An atomic load: picks (depth-first) one of the stores the thread's
+    /// coherence view still allows, newest first, and joins the store's
+    /// causality when the load has acquire semantics.
+    pub(crate) fn atomic_load(&self, tid: usize, id: usize, acquire: bool) -> u64 {
+        let g = self.lock();
+        let mut g = self.acquire_baton(g, tid);
+        if g.phase == Phase::Run {
+            self.charge_step(&mut g);
+        }
+        let newest = g.atomics[id].stores.len() - 1;
+        let idx = if g.phase == Phase::Run {
+            let oldest = g.caus[tid].view_of(id);
+            newest - g.decide(newest - oldest + 1)
+        } else {
+            newest
+        };
+        let evt = &g.atomics[id].stores[idx];
+        let value = evt.value;
+        let sync = if acquire { evt.sync.clone() } else { None };
+        g.caus[tid].clock.bump(tid);
+        g.caus[tid].advance_view(id, idx);
+        if let Some(s) = sync {
+            g.caus[tid].join(&s);
+        }
+        self.hand_off(&mut g, tid);
+        value
+    }
+
+    /// An atomic store, appended to the modification order.  A release
+    /// store captures the storer's causality; a relaxed store publishes
+    /// nothing (and, per the C++17 release-sequence rules, also ends any
+    /// release sequence headed at this atomic).
+    pub(crate) fn atomic_store(&self, tid: usize, id: usize, value: u64, release: bool) {
+        let g = self.lock();
+        let mut g = self.acquire_baton(g, tid);
+        if g.phase == Phase::Run {
+            self.charge_step(&mut g);
+        }
+        g.caus[tid].clock.bump(tid);
+        let sync = release.then(|| g.caus[tid].clone());
+        g.atomics[id].stores.push(StoreEvt { value, sync });
+        let idx = g.atomics[id].stores.len() - 1;
+        g.caus[tid].advance_view(id, idx);
+        self.hand_off(&mut g, tid);
+    }
+
+    /// An atomic read-modify-write.  RMWs read the *latest* store in the
+    /// modification order (atomicity), continue its release sequence
+    /// (an acquire load of the new store still synchronises with the
+    /// sequence head), and join the head's causality when the RMW has
+    /// acquire semantics.  Returns the previous value; `op` returning
+    /// `None` models a failed compare-exchange (pure load of the latest
+    /// value — a modest strengthening of C11, which lets failed CAS read
+    /// stale values; documented in the module docs).
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        id: usize,
+        acquire: bool,
+        release: bool,
+        op: impl FnOnce(u64) -> Option<u64>,
+    ) -> u64 {
+        let g = self.lock();
+        let mut g = self.acquire_baton(g, tid);
+        if g.phase == Phase::Run {
+            self.charge_step(&mut g);
+        }
+        let newest = g.atomics[id].stores.len() - 1;
+        let last = g.atomics[id].stores[newest].clone();
+        g.caus[tid].clock.bump(tid);
+        g.caus[tid].advance_view(id, newest);
+        if acquire {
+            if let Some(s) = &last.sync {
+                let s = s.clone();
+                g.caus[tid].join(&s);
+            }
+        }
+        if let Some(next) = op(last.value) {
+            let mut sync = last.sync;
+            if release {
+                match &mut sync {
+                    Some(s) => {
+                        let mine = g.caus[tid].clone();
+                        s.join(&mine);
+                    }
+                    None => sync = Some(g.caus[tid].clone()),
+                }
+            }
+            g.atomics[id].stores.push(StoreEvt { value: next, sync });
+            let idx = g.atomics[id].stores.len() - 1;
+            g.caus[tid].advance_view(id, idx);
+        }
+        self.hand_off(&mut g, tid);
+        last.value
+    }
+
+    /// A cell access (read or write): the FastTrack race check.  On a
+    /// detected race the failure is recorded and the accessing thread
+    /// panics *before* touching memory, so the undefined behaviour the
+    /// race would constitute never actually executes.
+    pub(crate) fn cell_access(&self, tid: usize, id: usize, is_write: bool) {
+        let g = self.lock();
+        let mut g = self.acquire_baton(g, tid);
+        if g.phase == Phase::Abort {
+            // Abort mode is baton-serialised with no further checks.
+            return;
+        }
+        if g.phase == Phase::Run {
+            self.charge_step(&mut g);
+            if g.phase == Phase::Abort {
+                return;
+            }
+        }
+        g.caus[tid].clock.bump(tid);
+        let clock = g.caus[tid].clock;
+        let cell = &g.cells[id];
+        let mut race = None;
+        if let Some((wt, wc)) = cell.write {
+            if wt != tid && !clock.dominates(wt, wc) {
+                race = Some(format!(
+                    "data race on cell #{id}: {} by thread {tid} is unordered \
+                     with a write by thread {wt}",
+                    if is_write { "a write" } else { "a read" },
+                ));
+            }
+        }
+        if is_write && race.is_none() {
+            for (rt, read) in cell.reads.iter().enumerate() {
+                if let Some(rc) = read {
+                    if rt != tid && !clock.dominates(rt, *rc) {
+                        race = Some(format!(
+                            "data race on cell #{id}: a write by thread {tid} is \
+                             unordered with a read by thread {rt}",
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(message) = race {
+            g.fail(message.clone());
+            self.cv.notify_all();
+            drop(g);
+            // Unwind out of the access before the closure can touch the
+            // cell; the wrapper around the thread body catches this.
+            panic!("{message}");
+        }
+        let cell = &mut g.cells[id];
+        if is_write {
+            cell.write = Some((tid, clock.0[tid]));
+            cell.reads = [None; MAX_THREADS];
+        } else {
+            cell.reads[tid] = Some(clock.0[tid]);
+        }
+        self.hand_off(&mut g, tid);
+    }
+
+    /// Extracts the outcome after the finale: the tape (for DFS
+    /// backtracking), whether the execution was pruned, and any failure.
+    pub(crate) fn outcome(&self) -> (Vec<Choice>, bool, Option<String>) {
+        let mut g = self.lock();
+        let tape = std::mem::take(&mut g.tape);
+        (tape, g.pruned, g.failure.clone())
+    }
+
+    /// Records a failure from the harness side (setup or finale panic).
+    pub(crate) fn harness_failure(&self, message: String) {
+        self.lock().fail(message);
+    }
+}
+
+/// The per-thread context: which execution this OS thread belongs to and
+/// as which model tid.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The current thread's model context, if it belongs to an execution.
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Installs (or clears) the current thread's model context.
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}

@@ -1,0 +1,450 @@
+//! A bounded-exhaustive model checker for the serving layer's lock-free
+//! code, in the style of loom/CHESS: real OS threads, serialised by a
+//! baton, explored depth-first over every scheduling decision (with a
+//! preemption bound) and every value a weakly-ordered load may return.
+//!
+//! This module always compiles — its own unit and integration tests run
+//! in the normal test suite — but consumer crates only route their
+//! atomics through it when built with `RUSTFLAGS="--cfg pss_model_check"`
+//! (see [`crate::sync`]).
+//!
+//! # Writing a model
+//!
+//! ```
+//! use pss_check::model::{Model, ModelRun};
+//! use pss_check::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! // Use the *model* types directly so the example checks even when the
+//! // enclosing build is not `--cfg pss_model_check`.
+//! use pss_check::model::atomic::AtomicUsize;
+//!
+//! let report = Model::new().check(|| {
+//!     let flag = Arc::new(AtomicUsize::new(0));
+//!     let (a, b) = (flag.clone(), flag.clone());
+//!     ModelRun {
+//!         threads: vec![
+//!             Box::new(move || a.store(1, Ordering::Release)),
+//!             Box::new(move || {
+//!                 let _ = b.load(Ordering::Acquire);
+//!             }),
+//!         ],
+//!         finale: Box::new(move || assert_eq!(flag.load(Ordering::Relaxed), 1)),
+//!     }
+//! });
+//! assert!(report.interleavings >= 2);
+//! ```
+//!
+//! The setup closure runs once per explored interleaving, so it must be
+//! deterministic: same structure, same operations, every time.
+
+pub mod atomic;
+pub mod cell;
+mod clock;
+mod exec;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+use exec::Execution;
+pub(crate) use exec::{current_ctx, set_ctx, Ctx};
+pub use exec::{Choice, Failure};
+
+/// One execution's worth of model threads plus the post-join assertions.
+///
+/// Returned by the setup closure handed to [`Model::explore`]; the
+/// closure is re-invoked for every explored interleaving and must build
+/// the same structure each time.
+pub struct ModelRun {
+    /// The model thread bodies (at most four).  Each runs on a real OS
+    /// thread under the controlled scheduler.
+    pub threads: Vec<Box<dyn FnOnce() + Send>>,
+    /// Runs on the harness thread after every model thread has finished
+    /// (and after the causal join with all of them): the place for
+    /// whole-run assertions such as multiset conservation.
+    pub finale: Box<dyn FnOnce()>,
+}
+
+/// The result of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Completed executions (each a distinct interleaving / weak-memory
+    /// read resolution).
+    pub interleavings: u64,
+    /// Executions abandoned for exceeding the step budget.
+    pub pruned: u64,
+    /// Whether exploration stopped at the execution cap rather than
+    /// exhausting the bounded space.
+    pub capped: bool,
+    /// The first failure found, if any.  `None` means every explored
+    /// execution passed.
+    pub failure: Option<Failure>,
+}
+
+/// The model-checker configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Model {
+    preemption_bound: usize,
+    max_executions: u64,
+    max_steps: u64,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Model {
+    /// A model with the default bounds: 2 preemptions, 10 000 steps per
+    /// execution, 200 000 executions.
+    pub fn new() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_executions: 200_000,
+            max_steps: 10_000,
+        }
+    }
+
+    /// Caps forced context switches per execution.  Empirically almost
+    /// all concurrency bugs surface within two preemptions (the CHESS
+    /// observation); raising this widens coverage exponentially.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps the number of executions explored (sets [`Report::capped`]
+    /// when hit).
+    pub fn max_executions(mut self, cap: u64) -> Self {
+        self.max_executions = cap;
+        self
+    }
+
+    /// Caps scheduled operations per execution; executions over budget
+    /// are abandoned and counted in [`Report::pruned`].
+    pub fn max_steps(mut self, cap: u64) -> Self {
+        self.max_steps = cap;
+        self
+    }
+
+    /// Explores every interleaving of the model built by `setup` within
+    /// the configured bounds, stopping at the first failure.
+    pub fn explore(&self, mut setup: impl FnMut() -> ModelRun) -> Report {
+        install_quiet_hook();
+        let mut report = Report {
+            interleavings: 0,
+            pruned: 0,
+            capped: false,
+            failure: None,
+        };
+        let mut tape: Vec<Choice> = Vec::new();
+        loop {
+            if report.interleavings + report.pruned >= self.max_executions {
+                report.capped = true;
+                return report;
+            }
+            let exec = Arc::new(Execution::new(
+                std::mem::take(&mut tape),
+                self.preemption_bound,
+                self.max_steps,
+            ));
+            let (final_tape, pruned, failure) = self.run_once(&exec, &mut setup);
+            if pruned {
+                report.pruned += 1;
+            } else {
+                report.interleavings += 1;
+            }
+            if let Some(message) = failure {
+                report.failure = Some(Failure {
+                    message,
+                    interleaving: report.interleavings + report.pruned,
+                    schedule: final_tape,
+                });
+                return report;
+            }
+            match advance(final_tape) {
+                Some(next) => tape = next,
+                None => return report,
+            }
+        }
+    }
+
+    /// [`Model::explore`], panicking with the failure (including its
+    /// replayable schedule) if one is found.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any explored execution fails.
+    pub fn check(&self, setup: impl FnMut() -> ModelRun) -> Report {
+        let report = self.explore(setup);
+        if let Some(failure) = &report.failure {
+            panic!("model check failed at {failure}");
+        }
+        report
+    }
+
+    /// Runs a single execution against a prepared tape.
+    fn run_once(
+        &self,
+        exec: &Arc<Execution>,
+        setup: &mut impl FnMut() -> ModelRun,
+    ) -> (Vec<Choice>, bool, Option<String>) {
+        set_ctx(Some(Ctx {
+            exec: exec.clone(),
+            tid: 0,
+        }));
+        let run = match catch_unwind(AssertUnwindSafe(&mut *setup)) {
+            Ok(run) => run,
+            Err(cause) => {
+                set_ctx(None);
+                std::panic::resume_unwind(cause);
+            }
+        };
+        let threads = run.threads;
+        assert!(
+            !threads.is_empty(),
+            "a model needs at least one thread to schedule"
+        );
+        let handles: Vec<_> = threads
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| {
+                let exec = exec.clone();
+                std::thread::spawn(move || {
+                    let tid = i + 1;
+                    set_ctx(Some(Ctx {
+                        exec: exec.clone(),
+                        tid,
+                    }));
+                    let outcome = catch_unwind(AssertUnwindSafe(body));
+                    // `as_ref` to reach the payload itself — coercing
+                    // `&Box<dyn Any>` would downcast against the Box.
+                    exec.thread_finished(tid, outcome.err().map(|e| panic_message(e.as_ref())));
+                })
+            })
+            .collect();
+        exec.start_run(handles.len());
+        exec.wait_threads();
+        for handle in handles {
+            // The model threads have all signalled completion; join the
+            // OS threads too so nothing leaks across executions.
+            let _ = handle.join();
+        }
+        exec.start_finale();
+        if let Err(cause) = catch_unwind(AssertUnwindSafe(run.finale)) {
+            exec.harness_failure(format!("finale failed: {}", panic_message(cause.as_ref())));
+        }
+        set_ctx(None);
+        exec.outcome()
+    }
+}
+
+/// Depth-first backtracking over a finished execution's tape: bump the
+/// last choice that still has an untried alternative and drop everything
+/// after it; `None` when the whole bounded space has been explored.
+fn advance(mut tape: Vec<Choice>) -> Option<Vec<Choice>> {
+    while let Some(last) = tape.last_mut() {
+        if last.chosen + 1 < last.alts {
+            last.chosen += 1;
+            return Some(tape);
+        }
+        tape.pop();
+    }
+    None
+}
+
+/// A yield with no memory effect: a pure schedule point when called from
+/// a model thread, a plain `std` yield otherwise.
+pub fn yield_now() {
+    match current_ctx() {
+        Some(ctx) => ctx.exec.yield_point(ctx.tid),
+        None => std::thread::yield_now(),
+    }
+}
+
+fn panic_message(cause: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = cause.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = cause.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Model threads panic on purpose (race reports, failing assertions,
+/// expected-failure self-tests); silence the default per-panic stderr
+/// dump for threads that belong to an execution, keeping it for
+/// everything else.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if std::env::var_os("PSS_CHECK_DEBUG_PANICS").is_some() {
+                eprintln!("[pss-check model panic] {info}");
+            }
+            if current_ctx().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::atomic::{AtomicBool, AtomicUsize};
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn advance_walks_the_choice_tree_depth_first() {
+        let tape = vec![Choice { chosen: 0, alts: 2 }, Choice { chosen: 1, alts: 2 }];
+        let next = advance(tape).expect("first choice still has an alternative");
+        assert_eq!(next, vec![Choice { chosen: 1, alts: 2 }]);
+        assert_eq!(advance(next), None);
+        assert_eq!(advance(Vec::new()), None);
+    }
+
+    #[test]
+    fn counts_interleavings_of_two_independent_writers() {
+        // Two threads, one store each to distinct atomics: at least the
+        // two operation orders (and nothing fails).
+        let report = Model::new().check(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = Arc::new(AtomicUsize::new(0));
+            let (wa, wb) = (a.clone(), b.clone());
+            ModelRun {
+                threads: vec![
+                    Box::new(move || wa.store(1, Ordering::Relaxed)),
+                    Box::new(move || wb.store(1, Ordering::Relaxed)),
+                ],
+                finale: Box::new(move || {
+                    assert_eq!(a.load(Ordering::Relaxed), 1);
+                    assert_eq!(b.load(Ordering::Relaxed), 1);
+                }),
+            }
+        });
+        assert!(report.interleavings >= 2, "report: {report:?}");
+        assert!(!report.capped);
+        assert_eq!(report.pruned, 0);
+    }
+
+    #[test]
+    fn relaxed_load_may_read_stale_value() {
+        // Writer stores 1; reader may still read the initial 0 even when
+        // scheduled after the store — the weak-memory half of the model.
+        // Neither "always reads 0" nor "always reads 1" can survive the
+        // full exploration, which proves both values are reachable.
+        for expect_zero in [false, true] {
+            let report = Model::new().explore(|| {
+                let flag = Arc::new(AtomicUsize::new(0));
+                let (w, r) = (flag.clone(), flag.clone());
+                ModelRun {
+                    threads: vec![
+                        Box::new(move || w.store(1, Ordering::Relaxed)),
+                        Box::new(move || {
+                            let seen = r.load(Ordering::Relaxed);
+                            assert_eq!(seen, usize::from(!expect_zero));
+                        }),
+                    ],
+                    finale: Box::new(|| ()),
+                }
+            });
+            assert!(report.failure.is_some(), "expect_zero={expect_zero}");
+        }
+    }
+
+    #[test]
+    fn release_store_publishes_to_acquire_load() {
+        // Acquire/Release handshake through an AtomicBool: once the
+        // reader sees the flag, the Relaxed payload must be visible too
+        // (the acquire join raises the reader's view of the payload).
+        let report = Model::new().check(|| {
+            let payload = Arc::new(AtomicUsize::new(0));
+            let ready = Arc::new(AtomicBool::new(false));
+            let (wp, wr) = (payload.clone(), ready.clone());
+            let (rp, rr) = (payload, ready);
+            ModelRun {
+                threads: vec![
+                    Box::new(move || {
+                        wp.store(7, Ordering::Relaxed);
+                        wr.store(true, Ordering::Release);
+                    }),
+                    Box::new(move || {
+                        if rr.load(Ordering::Acquire) {
+                            assert_eq!(rp.load(Ordering::Relaxed), 7);
+                        }
+                    }),
+                ],
+                finale: Box::new(|| ()),
+            }
+        });
+        assert!(report.interleavings > 2);
+    }
+
+    #[test]
+    fn relaxed_publication_flag_is_rejected() {
+        // The same handshake with a Relaxed flag store must fail: the
+        // reader can see the flag yet still read the stale payload.
+        let report = Model::new().explore(|| {
+            let payload = Arc::new(AtomicUsize::new(0));
+            let ready = Arc::new(AtomicBool::new(false));
+            let (wp, wr) = (payload.clone(), ready.clone());
+            let (rp, rr) = (payload, ready);
+            ModelRun {
+                threads: vec![
+                    Box::new(move || {
+                        wp.store(7, Ordering::Relaxed);
+                        wr.store(true, Ordering::Relaxed);
+                    }),
+                    Box::new(move || {
+                        if rr.load(Ordering::Acquire) {
+                            assert_eq!(rp.load(Ordering::Relaxed), 7);
+                        }
+                    }),
+                ],
+                finale: Box::new(|| ()),
+            }
+        });
+        assert!(report.failure.is_some());
+    }
+
+    #[test]
+    fn rmw_reads_latest_and_never_loses_increments() {
+        // Three threads fetch_add(1, Relaxed); atomicity means the final
+        // value is always 3 even though every individual load is weak.
+        let report = Model::new().check(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let mk = |n: Arc<AtomicUsize>| -> Box<dyn FnOnce() + Send> {
+                Box::new(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            };
+            ModelRun {
+                threads: vec![mk(n.clone()), mk(n.clone()), mk(n.clone())],
+                finale: Box::new(move || assert_eq!(n.load(Ordering::Relaxed), 3)),
+            }
+        });
+        assert!(report.interleavings >= 6);
+    }
+
+    #[test]
+    fn step_budget_prunes_instead_of_hanging() {
+        let report = Model::new().max_steps(8).max_executions(64).explore(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let spin = n.clone();
+            ModelRun {
+                threads: vec![Box::new(move || {
+                    for _ in 0..100 {
+                        spin.fetch_add(1, Ordering::Relaxed);
+                    }
+                })],
+                finale: Box::new(|| ()),
+            }
+        });
+        assert!(report.pruned > 0);
+        assert!(report.failure.is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! The atomics facade: what the serving layer imports instead of
+//! `std::sync::atomic`.
+//!
+//! In normal builds [`atomic`] re-exports the `std` types verbatim — zero
+//! cost, identical codegen.  Under `--cfg pss_model_check` it resolves to
+//! the model-checked atomics of [`crate::model::atomic`], which route every
+//! operation through the controlled scheduler and keep per-atomic store
+//! histories so weak-memory behaviours are explored.
+//!
+//! The module also provides the small derived types the workspace's
+//! *reporting-only* shared state uses ([`Counter`], [`Gauge`],
+//! [`AtomicF64`]).  They are built on the facade atomics (so they are
+//! model-checked too) and use `Relaxed` internally: they carry statistics,
+//! not synchronisation — no other memory is published through them, which
+//! is exactly the ordering contract `Relaxed` expresses.  Keeping them
+//! here also keeps `Ordering::` tokens out of their callers, which
+//! `pss-lint` enforces (rule `ordering-outside-facade`).
+
+/// Atomic integer and flag types plus [`atomic::Ordering`].
+///
+/// `std::sync::atomic` re-exports in normal builds; the model-checked
+/// types under `--cfg pss_model_check` (orderings are always the `std`
+/// enum — the model interprets them rather than redefining them).
+#[cfg(not(pss_model_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Atomic integer and flag types plus [`atomic::Ordering`].
+///
+/// Model-checked build: every load/store/RMW is a schedule point and
+/// consults the per-atomic store history.
+#[cfg(pss_model_check)]
+pub mod atomic {
+    pub use crate::model::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}
+
+use atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A monotone event counter for reporting-only statistics.
+///
+/// All operations are `Relaxed`: the counter synchronises nothing — it is
+/// read for summaries after the threads that bump it have been joined (the
+/// join edge orders the final read), or as an approximate live sample.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count (approximate under concurrent bumps).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An up/down gauge for tracking a live quantity (e.g. a tenant's
+/// outstanding queued jobs).
+///
+/// Like [`Counter`], all operations are `Relaxed`: the gauge's RMWs are
+/// atomic regardless of ordering (orderings only constrain *other*
+/// memory), so compare-style uses such as quota gates stay exact counts —
+/// they just don't publish anything else.
+#[derive(Debug)]
+pub struct Gauge(AtomicUsize);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self(AtomicUsize::new(0))
+    }
+
+    /// Increments the gauge, returning the *previous* value (so callers
+    /// can enforce caps race-free: the increment reserves the slot).
+    pub fn incr(&self) -> usize {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Decrements the gauge.
+    pub fn decr(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The current value (approximate under concurrent updates).
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A lock-free `f64` accumulator (there is no atomic `f64` on stable):
+/// the value lives as IEEE-754 bits in an `AtomicU64` and additions go
+/// through a CAS loop.
+///
+/// Reporting-only, hence `Relaxed` throughout: the CAS loop makes each
+/// addition atomic (no lost updates) and the final read happens after the
+/// contributing threads are joined.
+#[derive(Debug)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// An accumulator holding `value`.
+    pub fn new(value: f64) -> Self {
+        Self(AtomicU64::new(value.to_bits()))
+    }
+
+    /// Adds `v` (CAS loop over the bit pattern).
+    pub fn add(&self, v: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for AtomicF64 {
+    fn default() -> Self {
+        Self::new(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_count() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        assert_eq!(g.incr(), 0);
+        assert_eq!(g.incr(), 1);
+        g.decr();
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn atomic_f64_accumulates_under_contention() {
+        let acc = std::sync::Arc::new(AtomicF64::new(0.0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let acc = std::sync::Arc::clone(&acc);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    acc.add(0.25);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(acc.get(), 1000.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Fixture self-tests for every `pss-lint` rule: each rule must fire on
+//! a minimal violating source and stay quiet on the compliant variant,
+//! so a silently-dead rule cannot pass CI.
+
+use pss_check::lint::rules;
+use pss_check::lint::{check_file, preprocess};
+
+fn rule_hits(path: &str, src: &str, rule: &str) -> usize {
+    check_file(path, &preprocess(src))
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .count()
+}
+
+#[test]
+fn total_cmp_fires_on_partial_cmp_call() {
+    let bad = "fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+    assert_eq!(rule_hits("crates/core/src/pd.rs", bad, "total-cmp"), 1);
+    let good = "fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.total_cmp(b)); }\n";
+    assert_eq!(rule_hits("crates/core/src/pd.rs", good, "total-cmp"), 0);
+    // A `PartialOrd` impl *defines* partial_cmp without calling it.
+    let def = "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { None }\n";
+    assert_eq!(rule_hits("crates/core/src/pd.rs", def, "total-cmp"), 0);
+}
+
+#[test]
+fn codec_totality_fires_only_in_codec_modules() {
+    let bad = "fn d(b: &[u8]) -> u8 { b[0] }\nfn u(r: Result<u8, ()>) -> u8 { r.unwrap() }\n";
+    assert_eq!(
+        rule_hits("crates/types/src/snapshot.rs", bad, "codec-totality"),
+        2
+    );
+    assert_eq!(
+        rule_hits("crates/metrics/src/codec.rs", bad, "codec-totality"),
+        2
+    );
+    // Same source outside the codec modules: out of scope.
+    assert_eq!(rule_hits("crates/core/src/pd.rs", bad, "codec-totality"), 0);
+    let good = "fn d(b: &[u8]) -> Option<u8> { b.first().copied() }\n";
+    assert_eq!(
+        rule_hits("crates/types/src/snapshot.rs", good, "codec-totality"),
+        0
+    );
+}
+
+#[test]
+fn codec_totality_ignores_attributes_and_literals() {
+    let src = "#[derive(Debug)]\nstruct S;\nconst K: [u8; 2] = [1, 2];\nfn p(b: &[u8]) -> Option<[u8; 2]> { match b { [a, c] => Some([*a, *c]), _ => None } }\n";
+    assert_eq!(
+        rule_hits("crates/types/src/snapshot.rs", src, "codec-totality"),
+        0
+    );
+}
+
+#[test]
+fn ordering_rule_fires_outside_the_audited_files() {
+    let bad = "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Acquire) }\n";
+    assert_eq!(
+        rule_hits("crates/sim/src/parallel.rs", bad, "ordering-outside-facade"),
+        1
+    );
+    // The two audited lock-free files and the facade itself are exempt.
+    assert_eq!(
+        rule_hits("crates/serve/src/queue.rs", bad, "ordering-outside-facade"),
+        0
+    );
+    assert_eq!(
+        rule_hits("crates/serve/src/daemon.rs", bad, "ordering-outside-facade"),
+        0
+    );
+    assert_eq!(
+        rule_hits("crates/check/src/sync.rs", bad, "ordering-outside-facade"),
+        0
+    );
+    // cmp::Ordering is a different enum and is unrestricted.
+    let cmp = "fn g(a: i32, b: i32) -> Ordering { if a < b { Ordering::Less } else { Ordering::Greater } }\n";
+    assert_eq!(
+        rule_hits("crates/sim/src/parallel.rs", cmp, "ordering-outside-facade"),
+        0
+    );
+}
+
+#[test]
+fn seqcst_banned_even_in_audited_files() {
+    let bad = "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::SeqCst) }\n";
+    assert_eq!(rule_hits("crates/serve/src/queue.rs", bad, "no-seqcst"), 1);
+    assert_eq!(rule_hits("crates/serve/src/daemon.rs", bad, "no-seqcst"), 1);
+    // ...except inside #[cfg(test)] blocks.
+    let test_only = "#[cfg(test)]\nmod tests {\n    fn f(a: &AtomicUsize) -> usize { a.load(Ordering::SeqCst) }\n}\n";
+    assert_eq!(
+        rule_hits("crates/serve/src/queue.rs", test_only, "no-seqcst"),
+        0
+    );
+    // The model interprets orderings, so the facade may spell SeqCst.
+    assert_eq!(
+        rule_hits("crates/check/src/model/atomic.rs", bad, "no-seqcst"),
+        0
+    );
+}
+
+#[test]
+fn float_eq_fires_on_literal_comparisons() {
+    let bad = "fn f(x: f64) -> bool { x == 0.0 }\n";
+    assert_eq!(rule_hits("crates/core/src/pd.rs", bad, "float-eq"), 1);
+    // The tolerance module itself is exempt.
+    assert_eq!(rule_hits("crates/types/src/num.rs", bad, "float-eq"), 0);
+    // Integer comparisons and range checks are fine.
+    let good = "fn g(n: usize, x: f64) -> bool { n == 0 && x <= 1.5 }\n";
+    assert_eq!(rule_hits("crates/core/src/pd.rs", good, "float-eq"), 0);
+}
+
+#[test]
+fn waiver_comment_suppresses_the_named_rule_only() {
+    let waived =
+        "// pss-lint: allow(float-eq) — exact sentinel\nfn f(x: f64) -> bool { x == 0.0 }\n";
+    assert_eq!(rule_hits("crates/core/src/pd.rs", waived, "float-eq"), 0);
+    // A waiver for one rule does not silence another.
+    let cross = "// pss-lint: allow(float-eq)\nfn f(a: &A) -> usize { a.load(Ordering::SeqCst) }\n";
+    assert_eq!(rule_hits("crates/core/src/pd.rs", cross, "no-seqcst"), 1);
+    // And it only reaches one line below.
+    let too_far = "// pss-lint: allow(float-eq)\nfn f() {}\nfn g(x: f64) -> bool { x == 0.0 }\n";
+    assert_eq!(rule_hits("crates/core/src/pd.rs", too_far, "float-eq"), 1);
+}
+
+#[test]
+fn rules_skip_comments_and_strings() {
+    let src = "// a.load(Ordering::SeqCst) in prose\nconst DOC: &str = \"x == 0.0 and b[0] and .partial_cmp(\";\n";
+    for rule in ["no-seqcst", "float-eq", "codec-totality", "total-cmp"] {
+        assert_eq!(rule_hits("crates/types/src/snapshot.rs", src, rule), 0);
+    }
+}
+
+#[test]
+fn toggle_matrix_flags_uncovered_toggles() {
+    let src = preprocess(
+        "pub fn with_fast_path(mut self, on: bool) -> Self { self }\n\
+         pub fn with_slow_path(mut self, on: bool) -> Self { self }\n",
+    );
+    let toggles: Vec<(String, String, usize)> = rules::collect_toggles(&src)
+        .into_iter()
+        .map(|(name, idx)| (name, "crates/x/src/lib.rs".to_string(), idx))
+        .collect();
+    let matrix = "fn matrix() { b.with_fast_path(true); }";
+    let findings = rules::toggle_matrix(&toggles, matrix);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("with_slow_path"));
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn crate_attrs_requires_the_per_crate_posture() {
+    let plain = "#![warn(missing_docs)]\npub fn f() {}\n";
+    assert_eq!(rules::crate_attrs("crates/core/src/lib.rs", plain).len(), 1);
+    let forbid = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+    assert!(rules::crate_attrs("crates/core/src/lib.rs", forbid).is_empty());
+    // serve is the one crate allowed unsafe; it must deny implicit
+    // unsafe-op-in-unsafe-fn instead.
+    assert_eq!(
+        rules::crate_attrs("crates/serve/src/lib.rs", forbid).len(),
+        1
+    );
+    let deny = "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}\n";
+    assert!(rules::crate_attrs("crates/serve/src/lib.rs", deny).is_empty());
+}
+
+#[test]
+fn workspace_walk_excludes_vendor() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let files = pss_check::lint::workspace_sources(root).unwrap();
+    assert!(files.iter().any(|f| f == "crates/check/src/lint/rules.rs"));
+    assert!(files.iter().any(|f| f == "src/lib.rs"));
+    assert!(!files.iter().any(|f| f.starts_with("vendor/")));
+    assert!(!files.iter().any(|f| f.starts_with("target/")));
+}

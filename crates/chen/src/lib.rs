@@ -28,6 +28,7 @@
 //! * [`placement`] — conversion of an [`IntervalSolution`] into concrete
 //!   machine-level [`Segment`](pss_types::Segment)s.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -24,6 +24,7 @@
 //! * [`kkt`] — KKT stationarity residuals used to certify solver output
 //!   (cold *and* warm-started) in tests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -49,6 +49,7 @@
 //! | [`analysis`] | Dual bound, job categories (J1/J2/J3), Lemma 9–11 checks, rejection-policy equivalence |
 //! | re-exports | `types`, `power`, `intervals`, `chen`, `convex`, `offline`, `baselines` |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

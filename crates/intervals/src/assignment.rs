@@ -140,6 +140,7 @@ impl WorkAssignment {
         for row in &mut self.rows {
             let mut new_row = vec![0.0; refinement.new_len];
             for (old_k, &x) in row.iter().enumerate() {
+                // pss-lint: allow(float-eq) — exact sparsity: skip true zeros
                 if x == 0.0 {
                     continue;
                 }

@@ -21,6 +21,7 @@
 //!   program: for every job, the fraction of its workload assigned to each
 //!   atomic interval.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

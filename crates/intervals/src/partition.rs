@@ -325,6 +325,7 @@ impl Refinement {
             }
             debug_assert!(
                 num::approx_eq(pieces[k].iter().map(|(_, f)| *f).sum::<f64>(), 1.0)
+                    // pss-lint: allow(float-eq) — exact degenerate-interval sentinel
                     || old_len == 0.0,
                 "refinement pieces of interval {k} do not cover it"
             );

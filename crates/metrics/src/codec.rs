@@ -133,7 +133,12 @@ fn decode_hex(hex: &str) -> Result<Vec<u8>, SnapshotError> {
                 ))),
             }
         };
-        out.push(digit(pair[0])? << 4 | digit(pair[1])?);
+        // `chunks_exact(2)` guarantees the shape; the slice pattern keeps
+        // the decode total without indexing.
+        let &[hi, lo] = pair else {
+            return Err(SnapshotError::Corrupted("odd hex payload length".into()));
+        };
+        out.push(digit(hi)? << 4 | digit(lo)?);
     }
     Ok(out)
 }

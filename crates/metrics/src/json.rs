@@ -105,6 +105,7 @@ impl JsonValue {
     /// `f64` can no longer represent every integer).
     pub fn as_u64(&self) -> Option<u64> {
         let x = self.as_f64()?;
+        // pss-lint: allow(float-eq) — exact integrality test, not a tolerance
         if x.fract() != 0.0 || !(0.0..=9_007_199_254_740_992.0).contains(&x) {
             return None;
         }
@@ -211,6 +212,7 @@ fn render_f64(x: f64) -> String {
         // Integral: print without the ".0" Rust's Display would omit
         // anyway, but clamp the path through i64/format manually to keep
         // "−0.0" stable.
+        // pss-lint: allow(float-eq) — exact zero (±0.0) gets the short form
         if x == 0.0 {
             return "0".into();
         }

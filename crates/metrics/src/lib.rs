@@ -15,6 +15,7 @@
 //! admission counts, queue depths, the dual-price trace, drain/hand-off
 //! latencies) round-trips through it bit-exactly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -130,6 +130,7 @@ pub fn fmt_f64(x: f64) -> String {
     if !x.is_finite() {
         return format!("{x}");
     }
+    // pss-lint: allow(float-eq) — exact zero (±0.0) gets the short form
     if x == 0.0 {
         return "0".into();
     }

@@ -24,6 +24,7 @@
 //!   [`schedulers::BruteForceScheduler`] (exact optimum
 //!   with rejection).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

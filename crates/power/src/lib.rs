@@ -16,6 +16,7 @@
 //! generic over the concrete power model; the paper (and the default
 //! throughout the workspace) is [`AlphaPower`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -49,11 +49,17 @@
 //! boundary, exit, restore on a fresh thread with an empty delta.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+// All shared-state atomics go through the `pss_check` facade: identical
+// `std` re-exports in normal builds, model-checked replacements under
+// `--cfg pss_model_check`.  This file and `queue.rs` are the only places
+// outside the facade allowed to spell `Ordering::` (enforced by
+// `pss-lint`); every use below carries its ordering contract in a
+// comment.
+use pss_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use pss_metrics::DrainSummary;
 use pss_types::{
     Checkpointable, Decision, IngressError, Job, JobEnvelope, JobId, OnlineAlgorithm,
@@ -279,6 +285,13 @@ impl ShardShared {
         }
     }
 
+    // Ordering contract for the published signals: the worker stores both
+    // with `Release` after updating the journal under its mutex, and
+    // admission reads them with `Acquire`.  Each signal is a single
+    // `AtomicU64` of f64 bits, so a read is never torn — it is some value
+    // the worker actually published — and the acquire edge makes the
+    // batch that produced it (journal entries, watermark advance) visible
+    // to the reader.
     fn price(&self) -> f64 {
         f64::from_bits(self.price_bits.load(Ordering::Acquire))
     }
@@ -345,6 +358,16 @@ impl TenantHandle {
         let shard = &self.inner.shards[state.spec.shard];
         // Announce the in-flight submission before the shutdown check, so
         // a draining worker that sees the flag raised always waits for us.
+        //
+        // Ordering contract: both RMWs are `AcqRel` so the counter's
+        // modification order carries synchronisation.  The increment's
+        // acquire side pairs with the worker's probe (see the drain check
+        // in `worker_loop`): if the probe read zero *after* shutdown was
+        // observed, our increment comes later in the modification order
+        // and its acquire edge makes the shutdown flag visible to the
+        // `admit` call below, which then bounces.  The decrement's release
+        // side publishes the queue push that `admit` performed, so a probe
+        // that reads zero also observes every completed push.
         shard.submitting.fetch_add(1, Ordering::AcqRel);
         let result = self.admit(state, shard, envelope);
         shard.submitting.fetch_sub(1, Ordering::AcqRel);
@@ -363,14 +386,14 @@ impl TenantHandle {
         if self.inner.shutdown.load(Ordering::Acquire) || shard.failed.load(Ordering::Acquire) {
             return Err(IngressError::ShuttingDown);
         }
-        state.submitted.fetch_add(1, Ordering::AcqRel);
+        state.submitted.incr();
         envelope.validate().inspect_err(|_| {
-            state.rejected_invalid.fetch_add(1, Ordering::AcqRel);
+            state.rejected_invalid.incr();
         })?;
         let watermark = shard.watermark();
         let tolerance = self.inner.config.stale_tolerance;
         if envelope.release < watermark - tolerance {
-            state.rejected_stale.fetch_add(1, Ordering::AcqRel);
+            state.rejected_stale.incr();
             return Err(IngressError::Stale {
                 tenant: self.tenant,
                 tag: envelope.tag,
@@ -384,7 +407,7 @@ impl TenantHandle {
         // the queue* if the watermark overtakes it before feeding — the
         // worker then synthesises the rejection at feed time.)
         if envelope.deadline <= watermark {
-            state.rejected_stale.fetch_add(1, Ordering::AcqRel);
+            state.rejected_stale.incr();
             return Err(IngressError::Expired {
                 tenant: self.tenant,
                 tag: envelope.tag,
@@ -397,7 +420,7 @@ impl TenantHandle {
         if price > threshold {
             return match state.spec.policy {
                 BackpressurePolicy::Defer => {
-                    state.deferred.fetch_add(1, Ordering::AcqRel);
+                    state.deferred.incr();
                     Err(IngressError::Backpressure {
                         tenant: self.tenant,
                         price,
@@ -405,24 +428,27 @@ impl TenantHandle {
                     })
                 }
                 BackpressurePolicy::Reject => {
-                    state.rejected_by_price.fetch_add(1, Ordering::AcqRel);
+                    state.rejected_by_price.incr();
                     state.add_lost_value(envelope.value);
                     Ok(Submission::RejectedByPrice { price })
                 }
             };
         }
-        let outstanding = state.outstanding.fetch_add(1, Ordering::AcqRel);
+        // The gauge's atomic increment *reserves* the quota slot (it
+        // returns the previous value), so concurrent submitters cannot
+        // jointly overshoot; failed gates release the reservation.
+        let outstanding = state.outstanding.incr();
         if outstanding >= state.spec.quota {
-            state.outstanding.fetch_sub(1, Ordering::AcqRel);
-            state.quota_exceeded.fetch_add(1, Ordering::AcqRel);
+            state.outstanding.decr();
+            state.quota_exceeded.incr();
             return Err(IngressError::QuotaExceeded {
                 tenant: self.tenant,
                 limit: state.spec.quota,
             });
         }
         if shard.queue.push(envelope).is_err() {
-            state.outstanding.fetch_sub(1, Ordering::AcqRel);
-            state.queue_full.fetch_add(1, Ordering::AcqRel);
+            state.outstanding.decr();
+            state.queue_full.incr();
             return Err(IngressError::QueueFull {
                 shard: state.spec.shard,
                 capacity: shard.queue.capacity(),
@@ -546,6 +572,10 @@ fn feed_batch<R: OnlineScheduler>(
     cursor.batches_done += 1;
     journal.jobs.extend(jobs);
     journal.price_trace.push(cursor.price);
+    // `Release` publication: an admission thread that acquires either
+    // signal also sees this batch's journal updates (see the contract on
+    // `ShardShared::price`).  The watermark is stored after the price so a
+    // tenant pacing on the watermark never sees a price older than it.
     shard
         .price_bits
         .store(cursor.price.to_bits(), Ordering::Release);
@@ -612,6 +642,9 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
                 shard.journal.lock().unwrap().crashed = true;
                 return;
             }
+            // `AcqRel` swap: consume the request (release keeps the reset
+            // ordered for a later requester; acquire pairs with the
+            // control plane's `Release` store so its writes are visible).
             if shard.handoff.swap(false, Ordering::AcqRel) {
                 capture_checkpoint(&shard, &run, &cursor);
                 return;
@@ -626,9 +659,26 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
             let depth = shard.queue.len();
             drain_buf.clear();
             if shard.queue.drain_into(&mut drain_buf, config.max_batch) == 0 {
+                // Drain-completion check.  Probe `submitting` FIRST, with
+                // an `AcqRel` RMW (not a plain load): an RMW always reads
+                // the latest value in the counter's modification order,
+                // and its release side means any submitter whose increment
+                // lands *after* this probe synchronises with it — having
+                // already observed `shutdown` (which happened-before the
+                // probe via our acquire load above), that submitter
+                // bounces in `admit` and never pushes.  A probe of zero
+                // also observes every completed push, because each
+                // submitter's `AcqRel` decrement released its push into
+                // the RMW chain the probe acquires.  Only then re-check
+                // the queue: any push the probe admitted is now visible,
+                // so an empty queue here really is the last word.  (The
+                // previous plain-`Acquire` load could miss a submitter
+                // that slipped between the drain and the check, losing its
+                // final push — the model checker's shutdown model catches
+                // exactly that interleaving.)
                 if shared.shutdown.load(Ordering::Acquire)
+                    && shard.submitting.fetch_add(0, Ordering::AcqRel) == 0
                     && shard.queue.is_empty()
-                    && shard.submitting.load(Ordering::Acquire) == 0
                 {
                     let started = drain_from.unwrap_or_else(Instant::now);
                     let result = run.finish();
@@ -644,9 +694,7 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
                 continue;
             }
             for envelope in &drain_buf {
-                shared.tenants[envelope.tenant.index()]
-                    .outstanding
-                    .fetch_sub(1, Ordering::AcqRel);
+                shared.tenants[envelope.tenant.index()].outstanding.decr();
             }
             shard.journal.lock().unwrap().depth_samples.push(depth);
             pending.extend(drain_buf.drain(..));

@@ -28,6 +28,11 @@
 //! bit-identical to `StreamingSimulation::with_coalescing` on the same
 //! stream — pinned by the workspace's differential tests.
 
+// The one crate with `unsafe` (the queue's slot handoff): every unsafe
+// operation must sit in an explicit `unsafe { }` block with its own
+// SAFETY comment, even inside `unsafe fn` — enforced by pss-lint's
+// `crate-attrs` rule.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

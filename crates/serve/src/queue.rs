@@ -19,12 +19,56 @@
 //! admits a consumer (`seq == pos + 1`) and uninitialised when it admits a
 //! producer (`seq == pos`); the `Acquire`/`Release` pairs on the sequence
 //! make the value write happen-before the matching read.  The concurrent
-//! stress tests below (multi-producer, full/empty races, drop accounting)
-//! exercise it under real contention.
+//! stress tests below (multi-producer, full/empty races, drop accounting,
+//! tiny capacities with many wrap-arounds) exercise it under real
+//! contention, and the model-checked build (`--cfg pss_model_check`, see
+//! `pss-check`) explores the interleavings exhaustively: the atomics and
+//! the slot cells come from the `pss_check` facade, so every operation is
+//! a schedule point and every cell access is race-checked.  The
+//! publication store goes through `publish_ordering`, which the model
+//! tests can weaken to `Relaxed` to prove the checker detects the
+//! resulting race (the mutation gate).
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pss_check::cell::UnsafeCell;
+use pss_check::sync::atomic::{AtomicUsize, Ordering};
+
+/// The ordering of the sequence store that publishes a slot to the other
+/// side: `Release`, so the value write happens-before the `Acquire` load
+/// that admits the next owner.
+#[cfg(not(pss_model_check))]
+#[inline(always)]
+fn publish_ordering() -> Ordering {
+    Ordering::Release
+}
+
+/// Model-checked builds can weaken the publication to `Relaxed` via
+/// [`mutation::weaken_publish`]; the model checker must then report the
+/// data race on the slot cell — the mutation gate that proves the checker
+/// has teeth.  The flag itself is a plain `std` atomic (test control
+/// plane, not modelled state).
+#[cfg(pss_model_check)]
+fn publish_ordering() -> Ordering {
+    if mutation::WEAKEN_PUBLISH.load(std::sync::atomic::Ordering::Relaxed) {
+        Ordering::Relaxed
+    } else {
+        Ordering::Release
+    }
+}
+
+/// Mutation hooks for the model-checked build's self-tests.
+#[cfg(pss_model_check)]
+pub mod mutation {
+    pub(super) static WEAKEN_PUBLISH: std::sync::atomic::AtomicBool =
+        std::sync::atomic::AtomicBool::new(false);
+
+    /// Weakens (or restores) the queue's publication ordering.  Only for
+    /// the mutation-gate test; affects every queue in the process.
+    pub fn weaken_publish(on: bool) {
+        WEAKEN_PUBLISH.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+}
 
 /// One slot of the ring: a sequence number and a possibly-initialised value.
 struct Slot<T> {
@@ -108,11 +152,25 @@ impl<T> ArrivalQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // SAFETY: the CAS made this producer the unique
-                        // owner of the slot until the sequence bump below;
-                        // the slot is uninitialised (seq == pos).
-                        unsafe { (*slot.value.get()).write(value) };
-                        slot.sequence.store(pos + 1, Ordering::Release);
+                        // SAFETY (sequence-number invariant): we observed
+                        // `seq == pos` with `Acquire`, which means the slot
+                        // is producer-owned and its `MaybeUninit` holds no
+                        // initialised value — either it was never written
+                        // (fresh ring, `seq` initialised to the slot index)
+                        // or the previous lap's consumer moved the value
+                        // out with `assume_init_read` before releasing
+                        // `seq = pos` (its store happened-before our load).
+                        // The CAS on `enqueue_pos` then made us the *only*
+                        // producer holding this `pos`, so until the
+                        // publication store below no other thread touches
+                        // the cell: writing uninitialised memory through
+                        // the exclusive pointer is sound and leaks nothing.
+                        slot.value.with_mut(|p| unsafe { (*p).write(value) });
+                        // Publish: `Release` makes the value write above
+                        // happen-before the consumer's `Acquire` load of
+                        // `seq == pos + 1` (weakened only by the mutation
+                        // gate, which the model checker must catch).
+                        slot.sequence.store(pos + 1, publish_ordering());
                         return Ok(());
                     }
                     Err(current) => pos = current,
@@ -144,12 +202,21 @@ impl<T> ArrivalQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // SAFETY: the CAS made this consumer the unique
-                        // owner of the slot; the producer's Release store
-                        // of `pos + 1` happens-before the Acquire load
-                        // above, so the value is initialised.
-                        let value = unsafe { (*slot.value.get()).assume_init_read() };
-                        slot.sequence.store(pos + self.mask + 1, Ordering::Release);
+                        // SAFETY (sequence-number invariant): we observed
+                        // `seq == pos + 1` with `Acquire`, which only the
+                        // producer that claimed `pos` stores, *after* its
+                        // value write, with `Release` — so the write
+                        // happens-before this read and the cell holds an
+                        // initialised value.  The CAS on `dequeue_pos`
+                        // made us the only consumer holding this `pos`,
+                        // and no producer touches the cell until it
+                        // observes the `seq = pos + mask + 1` we store
+                        // below; `assume_init_read` therefore moves the
+                        // value out of memory we exclusively own, and the
+                        // slot returns to "uninitialised, producer-owned"
+                        // exactly when the next-lap producer is admitted.
+                        let value = slot.value.with_mut(|p| unsafe { (*p).assume_init_read() });
+                        slot.sequence.store(pos + self.mask + 1, publish_ordering());
                         return Some(value);
                     }
                     Err(current) => pos = current,
@@ -293,12 +360,69 @@ mod tests {
     }
 
     #[test]
+    fn tiny_capacity_queues_survive_heavy_wraparound() {
+        // Capacities 2 and 4 with more producers than slots force maximal
+        // contention: every push fights for one or two live slots and the
+        // sequence numbers lap the ring thousands of times, hammering the
+        // wrap-around arithmetic (`seq = pos + mask + 1`) that larger
+        // capacities rarely stress.  The consumer asserts the exact
+        // multiset (every element once) and per-producer FIFO order.
+        // The checker's MPSC model explores the same protocol
+        // exhaustively at small bounds; this is the full-scale twin.
+        for capacity in [2usize, 4] {
+            const PRODUCERS: usize = 6;
+            const PER_PRODUCER: usize = 2_000;
+            let q = Arc::new(ArrivalQueue::with_capacity(capacity));
+            let mut handles = Vec::new();
+            for p in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut v = (p, i);
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                }));
+            }
+            let mut next = [0usize; PRODUCERS];
+            let mut total = 0usize;
+            while total < PRODUCERS * PER_PRODUCER {
+                match q.pop() {
+                    Some((p, i)) => {
+                        assert_eq!(i, next[p], "producer {p} reordered at capacity {capacity}");
+                        next[p] += 1;
+                        total += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(q.pop(), None, "stray element at capacity {capacity}");
+            assert!(
+                next.iter().all(|&n| n == PER_PRODUCER),
+                "lost elements at capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
     fn dropping_a_nonempty_queue_drops_the_elements() {
         #[derive(Debug)]
         struct Tracked(Arc<Counter>);
         impl Drop for Tracked {
             fn drop(&mut self) {
-                self.0.fetch_add(1, Ordering::SeqCst);
+                // Relaxed is enough: the whole test is single-threaded, so
+                // program order alone sequences the bumps and the reads.
+                self.0.fetch_add(1, Ordering::Relaxed);
             }
         }
         let drops = Arc::new(Counter::new(0));
@@ -307,9 +431,9 @@ mod tests {
             q.push(Tracked(Arc::clone(&drops))).unwrap();
         }
         drop(q.pop()); // one explicit
-        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
         drop(q); // four remaining
-        assert_eq!(drops.load(Ordering::SeqCst), 5);
+        assert_eq!(drops.load(Ordering::Relaxed), 5);
     }
 
     #[test]

@@ -12,13 +12,17 @@
 //! duals its scheduler emits, compared against the smaller of the tenant's
 //! price ceiling and the job's declared value.
 //!
-//! All counters are plain atomics updated on the submitters' threads; the
-//! two scheduler-outcome counts (`accepted`, `rejected_by_scheduler`) are
-//! *not* kept here — they are derived from the shard journals at shutdown,
-//! so that crash/replay recovery cannot double-count them.
+//! All counters are lock-free reporting state updated on the submitters'
+//! threads, held as `pss_check::sync` derived types ([`Counter`],
+//! [`Gauge`], [`AtomicF64`]) — the facade fixes their memory ordering
+//! (`Relaxed`: they publish nothing besides their own value) in one
+//! audited place, and `pss-lint` keeps raw `Ordering::` tokens out of
+//! this file.  The two scheduler-outcome counts (`accepted`,
+//! `rejected_by_scheduler`) are *not* kept here — they are derived from
+//! the shard journals at shutdown, so that crash/replay recovery cannot
+//! double-count them.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
+use pss_check::sync::{AtomicF64, Counter, Gauge};
 use pss_metrics::TenantSummary;
 
 /// How a tenant wants the service to react when dual-price backpressure
@@ -101,54 +105,42 @@ impl TenantSpec {
 #[derive(Debug)]
 pub(crate) struct TenantState {
     pub(crate) spec: TenantSpec,
-    pub(crate) outstanding: AtomicUsize,
-    pub(crate) submitted: AtomicU64,
-    pub(crate) rejected_by_price: AtomicU64,
-    pub(crate) rejected_invalid: AtomicU64,
-    pub(crate) rejected_stale: AtomicU64,
-    pub(crate) deferred: AtomicU64,
-    pub(crate) queue_full: AtomicU64,
-    pub(crate) quota_exceeded: AtomicU64,
-    /// Value lost to price-based admission rejections, accumulated as f64
-    /// bits under a CAS loop (no atomic f64 on stable).
-    lost_value_bits: AtomicU64,
+    pub(crate) outstanding: Gauge,
+    pub(crate) submitted: Counter,
+    pub(crate) rejected_by_price: Counter,
+    pub(crate) rejected_invalid: Counter,
+    pub(crate) rejected_stale: Counter,
+    pub(crate) deferred: Counter,
+    pub(crate) queue_full: Counter,
+    pub(crate) quota_exceeded: Counter,
+    /// Value lost to price-based admission rejections (lock-free f64
+    /// accumulator; see [`AtomicF64`]).
+    lost_value: AtomicF64,
 }
 
 impl TenantState {
     pub(crate) fn new(spec: TenantSpec) -> Self {
         Self {
             spec,
-            outstanding: AtomicUsize::new(0),
-            submitted: AtomicU64::new(0),
-            rejected_by_price: AtomicU64::new(0),
-            rejected_invalid: AtomicU64::new(0),
-            rejected_stale: AtomicU64::new(0),
-            deferred: AtomicU64::new(0),
-            queue_full: AtomicU64::new(0),
-            quota_exceeded: AtomicU64::new(0),
-            lost_value_bits: AtomicU64::new(0.0_f64.to_bits()),
+            outstanding: Gauge::default(),
+            submitted: Counter::default(),
+            rejected_by_price: Counter::default(),
+            rejected_invalid: Counter::default(),
+            rejected_stale: Counter::default(),
+            deferred: Counter::default(),
+            queue_full: Counter::default(),
+            quota_exceeded: Counter::default(),
+            lost_value: AtomicF64::default(),
         }
     }
 
-    /// Adds `v` to the tenant's lost value (CAS loop over the f64 bits).
+    /// Adds `v` to the tenant's lost value.
     pub(crate) fn add_lost_value(&self, v: f64) {
-        let mut current = self.lost_value_bits.load(Ordering::Relaxed);
-        loop {
-            let next = (f64::from_bits(current) + v).to_bits();
-            match self.lost_value_bits.compare_exchange_weak(
-                current,
-                next,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return,
-                Err(observed) => current = observed,
-            }
-        }
+        self.lost_value.add(v);
     }
 
     pub(crate) fn lost_value(&self) -> f64 {
-        f64::from_bits(self.lost_value_bits.load(Ordering::Acquire))
+        self.lost_value.get()
     }
 
     /// Folds the admission counters and the journal-derived scheduler
@@ -156,15 +148,15 @@ impl TenantState {
     pub(crate) fn summary(&self, accepted: u64, rejected_by_scheduler: u64) -> TenantSummary {
         TenantSummary {
             tenant: self.spec.name.clone(),
-            submitted: self.submitted.load(Ordering::Acquire),
+            submitted: self.submitted.get(),
             accepted,
             rejected_by_scheduler,
-            rejected_by_price: self.rejected_by_price.load(Ordering::Acquire),
-            rejected_invalid: self.rejected_invalid.load(Ordering::Acquire),
-            rejected_stale: self.rejected_stale.load(Ordering::Acquire),
-            deferred: self.deferred.load(Ordering::Acquire),
-            queue_full: self.queue_full.load(Ordering::Acquire),
-            quota_exceeded: self.quota_exceeded.load(Ordering::Acquire),
+            rejected_by_price: self.rejected_by_price.get(),
+            rejected_invalid: self.rejected_invalid.get(),
+            rejected_stale: self.rejected_stale.get(),
+            deferred: self.deferred.get(),
+            queue_full: self.queue_full.get(),
+            quota_exceeded: self.quota_exceeded.get(),
             lost_value: self.lost_value(),
         }
     }
@@ -215,8 +207,8 @@ mod tests {
     #[test]
     fn summary_folds_counters() {
         let state = TenantState::new(TenantSpec::new("web"));
-        state.submitted.store(10, Ordering::Release);
-        state.deferred.store(3, Ordering::Release);
+        state.submitted.add(10);
+        state.deferred.add(3);
         state.add_lost_value(7.25);
         let s = state.summary(5, 2);
         assert_eq!(s.tenant, "web");

@@ -45,6 +45,7 @@
 //! [`Scheduler`](pss_types::Scheduler) on growing prefixes of an instance
 //! for algorithms without the incremental API.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

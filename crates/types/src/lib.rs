@@ -38,6 +38,7 @@
 //! cost of a schedule is the consumed energy plus the total value of jobs it
 //! does not finish.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -217,7 +217,8 @@ impl StateBlob {
         if r.remaining() != 0 {
             return Err(SnapshotError::Corrupted("trailing bytes".into()));
         }
-        if fnv1a(&bytes[..checked]) != checksum {
+        let checked_bytes = bytes.get(..checked).ok_or(SnapshotError::Truncated)?;
+        if fnv1a(checked_bytes) != checksum {
             return Err(SnapshotError::Corrupted("checksum mismatch".into()));
         }
         Ok(Self {
@@ -362,17 +363,25 @@ impl<'a> BlobReader<'a> {
     }
 
     fn read_exact(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        // `remaining() < n` already implies the range is in bounds; the
+        // `.get` keeps the read total even if that reasoning rots.
         if self.remaining() < n {
             return Err(SnapshotError::Truncated);
         }
-        let out = &self.buf[self.pos..self.pos + n];
+        let out = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(SnapshotError::Truncated)?;
         self.pos += n;
         Ok(out)
     }
 
     /// Reads one byte.
     pub fn read_u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.read_exact(1)?[0])
+        match self.read_exact(1)? {
+            &[b] => Ok(b),
+            _ => Err(SnapshotError::Truncated),
+        }
     }
 
     /// Reads a `bool` (rejecting bytes other than 0/1).
@@ -388,22 +397,29 @@ impl<'a> BlobReader<'a> {
 
     /// Reads a `u16`.
     pub fn read_u16(&mut self) -> Result<u16, SnapshotError> {
-        let b = self.read_exact(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        let b: [u8; 2] = self
+            .read_exact(2)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?;
+        Ok(u16::from_le_bytes(b))
     }
 
     /// Reads a `u32`.
     pub fn read_u32(&mut self) -> Result<u32, SnapshotError> {
-        let b = self.read_exact(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .read_exact(4)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Reads a `u64`.
     pub fn read_u64(&mut self) -> Result<u64, SnapshotError> {
-        let b = self.read_exact(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self
+            .read_exact(8)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Reads a `usize` (stored as `u64`), rejecting values that cannot fit.

@@ -21,6 +21,7 @@
 //! crates.io access), so every experiment table in EXPERIMENTS.md can be
 //! regenerated bit-for-bit.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

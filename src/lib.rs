@@ -7,6 +7,7 @@
 //! a single package.  See [`pss_core`] for the algorithmic entry points and
 //! `ROADMAP.md` for the crate graph.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
