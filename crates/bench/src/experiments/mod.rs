@@ -1,11 +1,12 @@
 //! The experiment registry (E1–E11 of DESIGN.md, plus the streaming
 //! latency experiment E12, the burst-ingestion/sharding experiment E13,
-//! the checkpoint/failover experiment E14 and the multi-tenant ingestion
-//! soak E15).
+//! the checkpoint/failover experiment E14, the multi-tenant ingestion
+//! soak E15 and the chaos soak E16).
 
 use pss_metrics::Table;
 
 pub mod burst;
+pub mod chaos;
 pub mod checkpoint;
 pub mod classical;
 pub mod competitive;
@@ -101,10 +102,11 @@ pub fn all_experiments(quick: bool) -> Vec<ExperimentOutput> {
         burst::run(quick),
         checkpoint::run(quick),
         serve::run(quick),
+        chaos::run(quick),
     ]
 }
 
-/// Runs a single experiment by id (`"E1"`, …, `"E15"`), if it exists.
+/// Runs a single experiment by id (`"E1"`, …, `"E16"`), if it exists.
 pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
     match id.to_ascii_uppercase().as_str() {
         "E1" => Some(fig2_chen::run(quick)),
@@ -122,6 +124,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "E13" => Some(burst::run(quick)),
         "E14" => Some(checkpoint::run(quick)),
         "E15" => Some(serve::run(quick)),
+        "E16" => Some(chaos::run(quick)),
         _ => None,
     }
 }

@@ -78,11 +78,19 @@ fn tenant_stream(per_tenant: usize, alpha: f64, seed: u64) -> Vec<JobEnvelope> {
         .collect()
 }
 
-/// A job no algorithm can profitably run (huge work in a sliver of a
-/// window, token value): guaranteed rejected, which seeds the shard's dual
-/// price — the backpressure gates only engage once the price is positive.
-fn hopeless_primer() -> JobEnvelope {
-    JobEnvelope::new(TenantId(0), u64::MAX, 0.0, 0.1, 50.0, 0.5)
+/// The price-seeding primer pair for one shard: an easy anchor the
+/// algorithm is certain to accept, plus a job no algorithm can profitably
+/// run (huge work in a sliver of a window).  Submitted back-to-back into a
+/// paused shard they coalesce into one batch, so the anchor's acceptance
+/// makes the batch a pricing event and the hopeless job's rejection dual
+/// (its value) drags the published price positive — the backpressure gates
+/// only engage once the price is positive.  A lone rejected batch would no
+/// longer do: the price EWMA ignores batches with no accepted decision.
+fn primer_pair() -> [JobEnvelope; 2] {
+    [
+        JobEnvelope::new(TenantId(0), u64::MAX - 1, 0.0, 4.0, 0.2, 8.0),
+        JobEnvelope::new(TenantId(0), u64::MAX, 0.0, 0.1, 50.0, 8.0),
+    ]
 }
 
 /// How far ahead of the shard's feed watermark a producer lets its
@@ -155,6 +163,7 @@ where
         max_batch: 64,
         checkpoint_every: 16,
         price_smoothing: 0.1,
+        start_paused: true,
         ..ServeConfig::default()
     };
     // One best-effort tenant per shard, plus the three special tenants on
@@ -184,11 +193,14 @@ where
     let started = Instant::now();
     let (mut daemon, handles) = Daemon::spawn(algorithm, config, specs).expect("daemon spawn");
 
-    // Prime every shard's dual price with a guaranteed rejection, so the
-    // price gates are live before the special tenants start submitting.
+    // Prime every shard's dual price while the feeds are still paused, so
+    // the price gates are live before the special tenants start submitting.
     for handle in handles.iter().take(shards) {
-        handle.submit(hopeless_primer()).expect("primer queued");
+        for envelope in primer_pair() {
+            handle.submit(envelope).expect("primer queued");
+        }
     }
+    daemon.resume();
     let deadline = Instant::now() + Duration::from_secs(10);
     while (0..shards).any(|s| daemon.shard_price(s) <= 0.0) && Instant::now() < deadline {
         std::thread::yield_now();

@@ -25,7 +25,9 @@
 //! # Backpressure
 //!
 //! The duals the scheduler emits (λ_j on acceptance, the lost value v_j on
-//! rejection) are folded into a per-shard rolling EWMA — the *price*.
+//! rejection) are folded into a per-shard rolling EWMA — the *price* —
+//! batch by batch; a batch with no accepted decision is not a pricing
+//! event and leaves the published price unchanged (see `feed_batch`).
 //! Admission compares the price against `min(tenant price ceiling, job
 //! value)`: a submission whose declared value cannot cover the current
 //! marginal price is deferred (retryable) or rejected at the boundary,
@@ -41,12 +43,19 @@
 //! arrivals in hand — so a dying worker never loses work it acknowledged.
 //! Every fed batch is first appended to a durable in-memory journal; the
 //! worker checkpoints its run every `checkpoint_every` batches as a
-//! `StateBlob` wire image.  Recovery restores the run from the last blob,
-//! rewinds the derived records to the checkpoint, and replays the journal
-//! delta — reproducing the pre-crash decisions bit-for-bit, because every
-//! run's restore is bit-identical and the journal fixes feed times and id
-//! assignment.  A hand-off is the graceful special case: checkpoint at the
-//! boundary, exit, restore on a fresh thread with an empty delta.
+//! `StateBlob` wire image, kept in a bounded per-shard *chain* of the
+//! `checkpoint_chain` newest blobs.  Recovery restores the run from the
+//! newest blob that decodes (a corrupted checkpoint costs replay length,
+//! not the shard), rewinds the derived records to that checkpoint, and
+//! replays the journal delta — reproducing the pre-crash decisions
+//! bit-for-bit, because every run's restore is bit-identical and the
+//! journal fixes feed times and id assignment.  If the whole chain is
+//! corrupt, the run restarts cold and the full journal replays: the
+//! journal is the source of truth, checkpoints only shorten replay.  A
+//! hand-off is the graceful special case: checkpoint at the boundary,
+//! exit, restore on a fresh thread with an empty delta.  A `watchdog_sweep`
+//! on the control plane reaps dead workers (injected crashes, poisoned
+//! runs) and auto-recovers them with capped consecutive attempts.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -96,6 +105,17 @@ pub struct ServeConfig {
     /// Checkpoint the run every this many ingestion batches (`0` keeps
     /// only the initial checkpoint).
     pub checkpoint_every: usize,
+    /// How many checkpoints each shard retains (a bounded *chain*, newest
+    /// last).  Recovery restores from the newest blob that decodes and
+    /// replays the correspondingly longer journal delta, so a corrupted
+    /// latest checkpoint degrades replay cost instead of killing the
+    /// shard.  Must be at least 1.
+    pub checkpoint_chain: usize,
+    /// How many consecutive automatic recoveries [`Daemon::watchdog_sweep`]
+    /// attempts per shard before giving up (the verdict turns into
+    /// [`WatchdogVerdict::GaveUp`]).  Must be at least 1.  A sweep that
+    /// finds the shard healthy resets the counter.
+    pub max_recovery_attempts: usize,
     /// EWMA weight β ∈ (0, 1] of the rolling dual price:
     /// `price ← (1-β)·price + β·dual` per decision.
     pub price_smoothing: f64,
@@ -123,6 +143,8 @@ impl Default for ServeConfig {
             coalesce_window: 0.0,
             max_batch: 256,
             checkpoint_every: 64,
+            checkpoint_chain: 4,
+            max_recovery_attempts: 3,
             price_smoothing: 0.1,
             stale_tolerance: f64::INFINITY,
             start_paused: false,
@@ -147,6 +169,12 @@ impl ServeConfig {
         }
         if self.max_batch == 0 {
             return bad("max_batch must be positive".into());
+        }
+        if self.checkpoint_chain == 0 {
+            return bad("checkpoint_chain must retain at least one checkpoint".into());
+        }
+        if self.max_recovery_attempts == 0 {
+            return bad("max_recovery_attempts must be positive".into());
         }
         if !(self.price_smoothing > 0.0 && self.price_smoothing <= 1.0) {
             return bad(format!(
@@ -197,6 +225,35 @@ pub struct RecoveryReport {
     pub replayed_batches: usize,
     /// Wall-clock seconds from the request to the fresh worker running.
     pub recovery_secs: f64,
+    /// Checkpoints in the chain that failed to decode and were skipped
+    /// (newest first) before one restored.
+    pub chain_skipped: usize,
+    /// Every checkpoint in the chain was undecodable, so the run was
+    /// rebuilt from scratch and the *entire* journal replayed.
+    pub cold_restart: bool,
+}
+
+/// What [`Daemon::watchdog_sweep`] found (and did) for one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WatchdogVerdict {
+    /// The worker is alive (running, parked or draining) — nothing to do.
+    Healthy,
+    /// The worker was dead (injected crash, poisoned run, or a previous
+    /// give-up) and was restored; `attempts` counts the consecutive
+    /// automatic recoveries for this shard including this one.
+    Recovered {
+        /// The recovery statistics.
+        report: RecoveryReport,
+        /// Consecutive automatic recovery attempts, including this one.
+        attempts: usize,
+    },
+    /// The worker was dead but the shard already exhausted
+    /// [`ServeConfig::max_recovery_attempts`] consecutive recoveries; the
+    /// shard is left down for the operator.
+    GaveUp {
+        /// Consecutive automatic recovery attempts already spent.
+        attempts: usize,
+    },
 }
 
 /// One batch as fed to the scheduler, journalled *before* the feed so a
@@ -229,7 +286,8 @@ struct ShardJournal {
     jobs: Vec<Job>,
     price_trace: Vec<f64>,
     depth_samples: Vec<usize>,
-    checkpoint: Option<ShardCheckpoint>,
+    /// The bounded checkpoint chain, oldest first, newest last.
+    checkpoints: VecDeque<ShardCheckpoint>,
     checkpoints_taken: usize,
     handoffs: usize,
     handoff_secs: Vec<f64>,
@@ -256,6 +314,22 @@ struct ShardShared {
     /// Crash injection: the worker exits (without checkpointing) at the
     /// first quiescent boundary with `batches_done >= crash_at`.
     crash_at: AtomicUsize,
+    /// Fault injection: the worker journals the batch numbered
+    /// `fail_feed_at`, then poisons the shard *instead of* feeding it —
+    /// modelling a transient feed failure after the durable log write.
+    /// Recovery replays the logged batch successfully, so the merged
+    /// outcome is bit-identical to a fault-free run.  `usize::MAX`
+    /// (the default) never fires; the hook is one relaxed-free load per
+    /// batch when disabled.
+    fail_feed_at: AtomicUsize,
+    /// Bumped every time the worker parks at a quiescent boundary while
+    /// the service is paused.  Deterministic drivers (the chaos engine)
+    /// wait for a bump after pausing to know the worker holds no
+    /// drained-but-unfed arrivals.
+    idle_epoch: AtomicU64,
+    /// Consecutive automatic recoveries by the watchdog; reset when a
+    /// sweep finds the shard healthy.
+    recovery_attempts: AtomicUsize,
     /// Hand-off request: the worker checkpoints at the next quiescent
     /// boundary and exits.
     handoff: AtomicBool,
@@ -278,6 +352,9 @@ impl ShardShared {
             price_bits: AtomicU64::new(0.0_f64.to_bits()),
             watermark_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
             crash_at: AtomicUsize::new(usize::MAX),
+            fail_feed_at: AtomicUsize::new(usize::MAX),
+            idle_epoch: AtomicU64::new(0),
+            recovery_attempts: AtomicUsize::new(0),
             handoff: AtomicBool::new(false),
             failed: AtomicBool::new(false),
             worker: Mutex::new(None),
@@ -545,16 +622,35 @@ fn feed_batch<R: OnlineScheduler>(
         .cloned()
         .collect();
     let mut live_decisions = run.on_arrivals(&live, batch.feed_time)?.into_iter();
-    for (envelope, job) in batch.envelopes.iter().zip(&jobs) {
+    let decisions: Vec<Decision> = batch
+        .envelopes
+        .iter()
+        .zip(&jobs)
+        .map(|(envelope, job)| {
+            if job.deadline <= batch.feed_time {
+                Decision::reject(envelope.value)
+            } else {
+                live_decisions
+                    .next()
+                    .expect("one decision per live job in the batch")
+            }
+        })
+        .collect();
+    // A batch with no accepted decision is not a pricing event: an
+    // all-rejected (or all-expired) batch leaves the published price
+    // bit-unchanged instead of folding rejection duals — a flood of
+    // worthless jobs must not drag the price toward zero (or, with no
+    // decisions at all, toward NaN) exactly when the gate should hold.
+    // Rejections still price in whenever the batch carries at least one
+    // acceptance, which is what lets hopeless jobs raise the price in a
+    // mixed batch.  The guard depends only on the decisions, so replay
+    // reproduces it bit-for-bit.
+    let pricing_event = decisions.iter().any(|d| d.accepted);
+    for ((envelope, job), decision) in batch.envelopes.iter().zip(&jobs).zip(&decisions) {
         let expired = job.deadline <= batch.feed_time;
-        let decision = if expired {
-            Decision::reject(envelope.value)
-        } else {
-            live_decisions
-                .next()
-                .expect("one decision per live job in the batch")
-        };
-        cursor.price = (1.0 - smoothing) * cursor.price + smoothing * decision.dual;
+        if pricing_event {
+            cursor.price = (1.0 - smoothing) * cursor.price + smoothing * decision.dual;
+        }
         journal.events.push(ServedEvent {
             shard: shard.shard,
             tenant: envelope.tenant,
@@ -586,13 +682,19 @@ fn feed_batch<R: OnlineScheduler>(
 }
 
 /// Captures a checkpoint: the run's `StateBlob` wire image plus the
-/// journal cursor, stored in the shard journal.
-fn capture_checkpoint<R: Checkpointable>(shard: &ShardShared, run: &R, cursor: &FeedCursor) {
+/// journal cursor, appended to the shard's bounded checkpoint chain
+/// (oldest entries fall off once the chain exceeds `chain` blobs).
+fn capture_checkpoint<R: Checkpointable>(
+    shard: &ShardShared,
+    run: &R,
+    cursor: &FeedCursor,
+    chain: usize,
+) {
     let wire = run.snapshot().to_bytes();
     let mut journal = shard.journal.lock().unwrap();
     let events_done = journal.events.len();
     journal.checkpoints_taken += 1;
-    journal.checkpoint = Some(ShardCheckpoint {
+    journal.checkpoints.push_back(ShardCheckpoint {
         batches_done: cursor.batches_done,
         events_done,
         jobs_done: cursor.jobs_done,
@@ -601,6 +703,9 @@ fn capture_checkpoint<R: Checkpointable>(shard: &ShardShared, run: &R, cursor: &
         release_floor: cursor.release_floor,
         wire,
     });
+    while journal.checkpoints.len() > chain.max(1) {
+        journal.checkpoints.pop_front();
+    }
 }
 
 fn spawn_worker<R>(
@@ -646,10 +751,17 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
             // ordered for a later requester; acquire pairs with the
             // control plane's `Release` store so its writes are visible).
             if shard.handoff.swap(false, Ordering::AcqRel) {
-                capture_checkpoint(&shard, &run, &cursor);
+                capture_checkpoint(&shard, &run, &cursor, config.checkpoint_chain);
                 return;
             }
             if shared.paused.load(Ordering::Acquire) && !shared.shutdown.load(Ordering::Acquire) {
+                // Publish that we parked at a quiescent boundary while
+                // paused: a deterministic driver that paused the service
+                // and saw the epoch advance knows every lifecycle signal
+                // above was checked with nothing drained-but-unfed in
+                // hand.  `AcqRel` so the bump orders after the signal
+                // checks for the driver's `Acquire` read.
+                shard.idle_epoch.fetch_add(1, Ordering::AcqRel);
                 std::thread::park_timeout(IDLE_PARK);
                 continue;
             }
@@ -713,6 +825,18 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
         {
             let mut journal = shard.journal.lock().unwrap();
             journal.log.push(batch.clone());
+            // Injected transient feed fault: the batch is durably logged
+            // but the feed "fails" — the run is poisoned exactly as a real
+            // ingestion error would, and recovery replays the logged batch
+            // (successfully) for a bit-identical merged outcome.
+            if cursor.batches_done >= shard.fail_feed_at.load(Ordering::Acquire) {
+                shard.fail_feed_at.store(usize::MAX, Ordering::Release);
+                journal.failed = Some(ScheduleError::Internal(
+                    "injected transient feed fault".into(),
+                ));
+                shard.failed.store(true, Ordering::Release);
+                return;
+            }
             if let Err(e) = feed_batch(
                 &mut run,
                 &shard,
@@ -730,7 +854,7 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
             }
         }
         if config.checkpoint_every > 0 && cursor.batches_done % config.checkpoint_every == 0 {
-            capture_checkpoint(&shard, &run, &cursor);
+            capture_checkpoint(&shard, &run, &cursor, config.checkpoint_chain);
         }
     }
 }
@@ -791,7 +915,7 @@ where
                 release_floor: f64::NEG_INFINITY,
             };
             // An initial checkpoint makes recovery possible from batch 0.
-            capture_checkpoint(shard, &run, &cursor);
+            capture_checkpoint(shard, &run, &cursor, config.checkpoint_chain);
             let seed = WorkerSeed { run, cursor };
             workers.push(Some(spawn_worker(
                 Arc::clone(&inner),
@@ -838,12 +962,43 @@ where
         })
     }
 
-    /// Unpauses a service spawned with `start_paused`.
+    /// Unpauses a service spawned with `start_paused` (or re-paused by
+    /// [`pause`](Self::pause)).
     pub fn resume(&self) {
         self.inner.paused.store(false, Ordering::Release);
         for shard in &self.inner.shards {
             shard.unpark_worker();
         }
+    }
+
+    /// Pauses ingestion: workers park at their next quiescent boundary and
+    /// queues fill.  Together with [`shard_idle_epoch`](Self::shard_idle_epoch)
+    /// this lets a deterministic driver (the chaos engine) stage a wave of
+    /// submissions while no worker drains, fixing the drain chunking —
+    /// and therefore the batch structure — independent of producer timing.
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::Release);
+    }
+
+    /// The shard's idle epoch: bumped every time its worker parks at a
+    /// quiescent boundary while the service is paused.  After
+    /// [`pause`](Self::pause), an epoch advance proves the worker is parked
+    /// with nothing drained-but-unfed in hand.
+    pub fn shard_idle_epoch(&self, shard: usize) -> u64 {
+        // `Acquire` pairs with the worker's `AcqRel` bump.
+        self.inner.shards[shard].idle_epoch.load(Ordering::Acquire)
+    }
+
+    /// How many decision events the shard has journalled so far.  A driver
+    /// that knows how many envelopes it queued polls this to detect that
+    /// the worker has fed them all.
+    pub fn shard_event_count(&self, shard: usize) -> usize {
+        self.inner.shards[shard]
+            .journal
+            .lock()
+            .unwrap()
+            .events
+            .len()
     }
 
     /// The shard's current rolling dual price (the backpressure signal).
@@ -887,10 +1042,16 @@ where
     }
 
     /// Restores a dead shard on a fresh worker thread: reconstructs the run
-    /// from the last checkpoint's `StateBlob` wire image, rewinds the
-    /// derived records to the checkpoint, replays the journalled batches
-    /// after it (bit-identically — same feed times, same dense ids), and
-    /// resumes ingestion where the dead worker left off.
+    /// from the newest checkpoint in the chain whose `StateBlob` wire image
+    /// still decodes (skipping corrupted blobs towards older ones), rewinds
+    /// the derived records to that checkpoint, replays the journalled
+    /// batches after it (bit-identically — same feed times, same dense
+    /// ids), and resumes ingestion where the dead worker left off.  If
+    /// *every* blob in the chain is corrupt the run is rebuilt from scratch
+    /// and the whole journal replayed (`cold_restart`) — the journal, not
+    /// the checkpoint, is the source of truth; checkpoints only shorten
+    /// replay.  A poisoned shard (`failed` raised by a feed fault) is
+    /// un-poisoned: the pending error is dropped and admission reopens.
     pub fn recover_shard(&mut self, shard: usize) -> Result<RecoveryReport, ScheduleError> {
         if self.workers[shard].is_some() {
             return Err(ScheduleError::Internal(format!(
@@ -899,29 +1060,59 @@ where
         }
         let started = Instant::now();
         let sh = Arc::clone(&self.inner.shards[shard]);
-        let corrupted =
-            |e: pss_types::SnapshotError| ScheduleError::Internal(format!("restore failed: {e}"));
         let mut journal = sh.journal.lock().unwrap();
-        let ckpt = journal
-            .checkpoint
-            .clone()
-            .ok_or_else(|| ScheduleError::Internal(format!("shard {shard} has no checkpoint")))?;
-        journal.events.truncate(ckpt.events_done);
-        journal.jobs.truncate(ckpt.jobs_done);
-        journal.price_trace.truncate(ckpt.batches_done);
-        journal.crashed = false;
-        let blob = StateBlob::from_bytes(&ckpt.wire).map_err(corrupted)?;
-        let mut run = A::Run::restore(&blob).map_err(corrupted)?;
-        sh.price_bits.store(ckpt.price.to_bits(), Ordering::Release);
-        sh.watermark_bits
-            .store(ckpt.watermark.to_bits(), Ordering::Release);
-        let mut cursor = FeedCursor {
-            batches_done: ckpt.batches_done,
-            jobs_done: ckpt.jobs_done,
-            price: ckpt.price,
-            release_floor: ckpt.release_floor,
+        // Newest blob that decodes wins; count what we had to skip.
+        let mut chain_skipped = 0;
+        let mut restored: Option<(A::Run, ShardCheckpoint)> = None;
+        for ckpt in journal.checkpoints.iter().rev() {
+            match StateBlob::from_bytes(&ckpt.wire).and_then(|blob| A::Run::restore(&blob)) {
+                Ok(run) => {
+                    restored = Some((run, ckpt.clone()));
+                    break;
+                }
+                Err(_) => chain_skipped += 1,
+            }
+        }
+        let cold_restart = restored.is_none();
+        let (mut run, mut cursor) = match restored {
+            Some((run, ckpt)) => {
+                journal.events.truncate(ckpt.events_done);
+                journal.jobs.truncate(ckpt.jobs_done);
+                journal.price_trace.truncate(ckpt.batches_done);
+                sh.price_bits.store(ckpt.price.to_bits(), Ordering::Release);
+                sh.watermark_bits
+                    .store(ckpt.watermark.to_bits(), Ordering::Release);
+                let cursor = FeedCursor {
+                    batches_done: ckpt.batches_done,
+                    jobs_done: ckpt.jobs_done,
+                    price: ckpt.price,
+                    release_floor: ckpt.release_floor,
+                };
+                (run, cursor)
+            }
+            None => {
+                let run = self
+                    .algorithm
+                    .start(self.inner.config.machines, self.inner.config.alpha)?;
+                journal.events.clear();
+                journal.jobs.clear();
+                journal.price_trace.clear();
+                sh.price_bits.store(0.0_f64.to_bits(), Ordering::Release);
+                sh.watermark_bits
+                    .store(f64::NEG_INFINITY.to_bits(), Ordering::Release);
+                let cursor = FeedCursor {
+                    batches_done: 0,
+                    jobs_done: 0,
+                    price: 0.0,
+                    release_floor: f64::NEG_INFINITY,
+                };
+                (run, cursor)
+            }
         };
-        let delta: Vec<LoggedBatch> = journal.log[ckpt.batches_done..].to_vec();
+        journal.crashed = false;
+        journal.failed = None;
+        sh.failed.store(false, Ordering::Release);
+        let delta: Vec<LoggedBatch> = journal.log[cursor.batches_done..].to_vec();
         for batch in &delta {
             feed_batch(
                 &mut run,
@@ -941,7 +1132,105 @@ where
         Ok(RecoveryReport {
             replayed_batches: delta.len(),
             recovery_secs: started.elapsed().as_secs_f64(),
+            chain_skipped,
+            cold_restart,
         })
+    }
+
+    /// Sweeps every shard for dead workers and auto-recovers them with
+    /// capped attempts — the supervision loop a chaos run (or an operator
+    /// timer) drives.  A shard whose worker thread has exited outside
+    /// shutdown — an injected crash, a poisoned run (feed fault), or a
+    /// previous give-up — is joined and restored via
+    /// [`recover_shard`](Self::recover_shard), up to
+    /// [`ServeConfig::max_recovery_attempts`] *consecutive* recoveries;
+    /// past the cap the verdict is [`WatchdogVerdict::GaveUp`] and the
+    /// shard stays down.  A healthy shard resets its attempt counter.
+    /// Returns one verdict per shard, in shard order.
+    pub fn watchdog_sweep(&mut self) -> Result<Vec<WatchdogVerdict>, ScheduleError> {
+        let mut verdicts = Vec::with_capacity(self.inner.shards.len());
+        for shard in 0..self.inner.shards.len() {
+            let sh = &self.inner.shards[shard];
+            let finished = self.workers[shard]
+                .as_ref()
+                .is_some_and(|handle| handle.is_finished());
+            let dead = if finished {
+                // Reap the exited thread before restoring the shard.
+                let handle = self.workers[shard]
+                    .take()
+                    .expect("finished implies a live handle");
+                handle.join().map_err(|_| {
+                    ScheduleError::Internal(format!("shard {shard} worker panicked"))
+                })?;
+                true
+            } else {
+                self.workers[shard].is_none()
+            };
+            if !dead {
+                // Store (not RMW): the watchdog is the only writer.
+                sh.recovery_attempts.store(0, Ordering::Release);
+                verdicts.push(WatchdogVerdict::Healthy);
+                continue;
+            }
+            let spent = sh.recovery_attempts.load(Ordering::Acquire);
+            if spent >= self.inner.config.max_recovery_attempts {
+                verdicts.push(WatchdogVerdict::GaveUp { attempts: spent });
+                continue;
+            }
+            sh.recovery_attempts.store(spent + 1, Ordering::Release);
+            let report = self.recover_shard(shard)?;
+            verdicts.push(WatchdogVerdict::Recovered {
+                report,
+                attempts: spent + 1,
+            });
+        }
+        Ok(verdicts)
+    }
+
+    /// Corrupts a stored checkpoint blob in place (a chaos-engine hook):
+    /// flips one bit of the wire image of the checkpoint `newest_offset`
+    /// back from the newest in the shard's chain (`0` = the newest).  The
+    /// checksummed container makes any flipped bit decode to an error at
+    /// recovery, exercising the chain fallback.  Errors if the chain has
+    /// no such entry.  Zero cost when never called.
+    pub fn corrupt_checkpoint(
+        &self,
+        shard: usize,
+        newest_offset: usize,
+        bit: usize,
+    ) -> Result<(), ScheduleError> {
+        let mut journal = self.inner.shards[shard].journal.lock().unwrap();
+        let len = journal.checkpoints.len();
+        let slot = len
+            .checked_sub(1 + newest_offset)
+            .ok_or_else(|| {
+                ScheduleError::Internal(format!(
+                    "shard {shard} chain holds {len} checkpoint(s); cannot corrupt offset {newest_offset}"
+                ))
+            })?;
+        let wire = &mut journal.checkpoints[slot].wire;
+        if wire.is_empty() {
+            return Err(ScheduleError::Internal(format!(
+                "shard {shard} checkpoint {slot} has an empty wire image"
+            )));
+        }
+        let bit = bit % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        Ok(())
+    }
+
+    /// Arms the transient-feed-fault injection hook (a chaos-engine hook):
+    /// the shard's worker will durably journal batch number `at_batches`
+    /// (0-based) and then poison the run instead of feeding it, exactly as
+    /// a real ingestion error would — the worker exits, admission bounces,
+    /// and [`watchdog_sweep`](Self::watchdog_sweep) (or
+    /// [`recover_shard`](Self::recover_shard) after joining) un-poisons the
+    /// shard by replaying the log.  One-shot: the hook disarms when it
+    /// fires.  Zero cost when never armed (one `Acquire` load per batch).
+    pub fn inject_feed_fault(&self, shard: usize, at_batches: usize) {
+        let sh = &self.inner.shards[shard];
+        sh.fail_feed_at.store(at_batches, Ordering::Release);
+        sh.unpark_worker();
     }
 
     /// Gracefully migrates a shard to a fresh worker thread: the old worker

@@ -21,6 +21,16 @@
 //! * **[`report`]** — what a run produces: per-decision events, per-shard
 //!   schedules and price traces, per-tenant accounting, and the projection
 //!   onto `pss_metrics::ServiceSummary` for JSON export.
+//! * **[`retry`]** — producer-side supervision: [`RetryPolicy`] drives a
+//!   submission through bounded exponential backoff with deterministic
+//!   jitter, honouring `IngressError::is_retryable`, to success or a typed
+//!   [`RetryError`] give-up.
+//! * **[`chaos`]** — deterministic fault injection: a seeded [`FaultPlan`]
+//!   (worker kills, checkpoint corruption, transient feed faults,
+//!   queue-full storms, dead-on-arrival floods, adversarial out-of-order
+//!   interleavings) driven wave-by-wave by [`ChaosDriver`], with
+//!   [`deterministic_fields_equal`] as the oracle that a fault-injected
+//!   run ends equal to the fault-free run on every deterministic field.
 //!
 //! The service boundary is *total*: every way a submission can fail
 //! surfaces as a typed `pss_types::IngressError`, never a panic and never
@@ -36,12 +46,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod daemon;
 pub mod queue;
 pub mod report;
+pub mod retry;
 pub mod tenant;
 
-pub use daemon::{Daemon, RecoveryReport, ServeConfig, Submission, TenantHandle};
+pub use chaos::{deterministic_fields_equal, ChaosDriver, ChaosRun, ChaosStats, FaultPlan};
+pub use daemon::{Daemon, RecoveryReport, ServeConfig, Submission, TenantHandle, WatchdogVerdict};
 pub use queue::ArrivalQueue;
 pub use report::{ServedEvent, ServiceReport, ShardReport};
+pub use retry::{RetryError, RetryPolicy};
 pub use tenant::{BackpressurePolicy, TenantSpec};

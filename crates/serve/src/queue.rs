@@ -12,7 +12,10 @@
 //! The queue is deliberately *bounded*: a full queue returns the value to
 //! the producer ([`ArrivalQueue::push`] → `Err`), which the daemon surfaces
 //! as the typed, retryable `IngressError::QueueFull` — the first layer of
-//! backpressure, ahead of the dual-price admission gate.
+//! backpressure, ahead of the dual-price admission gate.  The capacity is
+//! rounded up to a power of two (sequence arithmetic needs it); callers
+//! that must *fill* the ring — the chaos driver's queue-full storm waves —
+//! size their bursts to the rounded capacity, not the requested one.
 //!
 //! This is the only `unsafe` code in the workspace.  The invariant is the
 //! standard one: a slot's value is initialised exactly when its sequence

@@ -5,8 +5,11 @@
 //! The report is deliberately *heavyweight* — it keeps every decision
 //! event and each shard's finished [`Schedule`] so tests can compare a
 //! daemon run bit-for-bit against an offline replay (`StreamingSimulation`)
-//! and against a crash-recovered run.  Operators exporting to dashboards
-//! call [`ServiceReport::summary`] and ship the JSON.
+//! and against a crash-recovered run; the chaos oracle
+//! ([`crate::chaos::deterministic_fields_equal`]) compares exactly the
+//! deterministic subset of these fields between a fault-free and a
+//! fault-injected run.  Operators exporting to dashboards call
+//! [`ServiceReport::summary`] and ship the JSON.
 
 use pss_metrics::{DrainSummary, ServiceSummary, ShardSummary, TenantSummary};
 use pss_sim::nearest_rank;

@@ -269,11 +269,15 @@ fn quotas_cap_outstanding_jobs_and_release_on_drain() {
 
 /// Drives the shard price up by feeding jobs the scheduler must reject
 /// (huge density, tiny value relative to the energy needed), then checks
-/// both backpressure policies.
+/// both backpressure policies.  An all-rejected batch is not a pricing
+/// event (see the EWMA guard in `feed_batch`), so the hopeless job rides
+/// in one coalesced batch behind an accepted anchor.
 #[test]
 fn dual_price_backpressure_defers_and_rejects() {
     let config = ServeConfig {
-        price_smoothing: 1.0, // price = the last decision's dual
+        price_smoothing: 1.0, // price = the batch's last decision dual
+        coalesce_window: 0.5, // anchor + hopeless coalesce into one batch
+        start_paused: true,
         ..ServeConfig::default()
     };
     let tenants = vec![
@@ -281,10 +285,15 @@ fn dual_price_backpressure_defers_and_rejects() {
         TenantSpec::new("reject").rejecting_on_price(),
     ];
     let (daemon, handles) = Daemon::spawn(CllScheduler, config, tenants).unwrap();
-    // Work 50 in a window of 0.1 needs speed 500: energy ≈ 500² · 0.1 ≫
-    // value 8, so CLL rejects and the decision's dual is the value 8.
+    // The anchor is trivially profitable (speed 0.2, energy ≪ value), so
+    // its acceptance makes the batch a pricing event.  Work 50 in a window
+    // of 0.1 needs speed 500: energy ≈ 500² · 0.1 ≫ value 8, so CLL
+    // rejects the hopeless job and the batch's last dual is the value 8.
+    let anchor = JobEnvelope::new(TenantId(0), 98, 0.0, 1.0, 0.2, 1.0);
     let hopeless = JobEnvelope::new(TenantId(0), 99, 0.0, 0.1, 50.0, 8.0);
+    handles[0].submit(anchor).unwrap();
     handles[0].submit(hopeless).unwrap();
+    daemon.resume();
     wait_for("the dual price to spike", || daemon.shard_price(0) >= 8.0);
 
     // A Defer-policy tenant gets a retryable Backpressure error...

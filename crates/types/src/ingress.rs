@@ -208,13 +208,28 @@ impl IngressError {
     /// [`QuotaExceeded`](Self::QuotaExceeded),
     /// [`Backpressure`](Self::Backpressure)), `false` for submissions that
     /// can never succeed as-is.
+    ///
+    /// The match is exhaustive on purpose: a new variant forces an explicit
+    /// classification here instead of silently inheriting one — producers'
+    /// retry loops (`pss_serve`'s `RetryPolicy`) key their terminate-or-
+    /// back-off decision on this contract.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
+        match self {
+            // Transient congestion: the queue drains, quota slots free as
+            // the worker ingests, and the rolling price falls when cheaper
+            // batches feed — backing off and resubmitting can succeed.
             IngressError::QueueFull { .. }
-                | IngressError::QuotaExceeded { .. }
-                | IngressError::Backpressure { .. }
-        )
+            | IngressError::QuotaExceeded { .. }
+            | IngressError::Backpressure { .. } => true,
+            // Permanent for this envelope: the registration, the model
+            // fields, and the relation of release/deadline to a
+            // never-receding watermark cannot improve by waiting.
+            IngressError::UnknownTenant(_)
+            | IngressError::InvalidJob { .. }
+            | IngressError::Stale { .. }
+            | IngressError::Expired { .. }
+            | IngressError::ShuttingDown => false,
+        }
     }
 }
 

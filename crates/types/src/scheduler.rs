@@ -192,6 +192,12 @@ pub trait OnlineAlgorithm {
 /// before its nominal release.  All `on_arrival` implementations in the
 /// workspace share this single constant (via [`check_arrival`] /
 /// [`check_arrival_order`]).
+///
+/// Producers that cannot honour the contract (concurrent tenants racing
+/// far beyond this tolerance) go through the serving layer, whose
+/// release-floor clamp restores monotone feed order; the chaos suite
+/// submits adversarially shuffled waves to pin that the clamp replays
+/// bit-identically.
 pub const ARRIVAL_ORDER_TOLERANCE: f64 = 1e-9;
 
 /// Checks the nondecreasing-arrival-time contract of

@@ -1,4 +1,9 @@
 //! Adversarial instances from the lower-bound constructions.
+//!
+//! The scenario fleet ([`crate::scenarios`]) wraps the staircase here (and
+//! a grid-resonant release pattern targeting BKP's discretisation) as named
+//! seedable members, so the chaos soak (E16) runs them alongside the
+//! statistical workloads.
 
 use pss_types::{Instance, Job};
 

@@ -14,7 +14,12 @@
 //!   realises the `α^α` lower bound of Theorem 3, plus a multiprocessor
 //!   variant,
 //! * [`paper_examples`] — the small hand-crafted instances behind the
-//!   paper's Figures 2 and 3.
+//!   paper's Figures 2 and 3,
+//! * [`scenarios`] — the named scenario fleet for the soak harness: flash
+//!   crowds (100x rate steps), diurnal cycles, heavy-tailed work/value,
+//!   rejection-dominated overload, and per-algorithm adversaries
+//!   (staircase, grid-resonant releases), each a seedable
+//!   [`ScenarioConfig`].
 //!
 //! All generators are deterministic given their seed (a vendored
 //! xoshiro256** generator in [`rng`], since the build environment has no
@@ -29,8 +34,10 @@ pub mod adversarial;
 pub mod paper_examples;
 pub mod random;
 pub mod rng;
+pub mod scenarios;
 
 pub use adversarial::{staircase_instance, staircase_multiprocessor};
 pub use paper_examples::{figure2_instance, figure3_instance};
 pub use random::{ArrivalModel, RandomConfig, ValueModel, WindowModel, WorkModel};
 pub use rng::SmallRng;
+pub use scenarios::{ScenarioConfig, ScenarioKind};

@@ -1,4 +1,9 @@
 //! Seeded random instance families.
+//!
+//! These are the *statistical* workloads (uniform/Poisson/bursty arrivals
+//! with uniform or Pareto work).  The named scenario regimes the soak
+//! harness runs — flash crowds, diurnal cycles, overload, per-algorithm
+//! adversaries — live in [`crate::scenarios`].
 
 use pss_types::{Instance, Job};
 

@@ -112,7 +112,11 @@ impl SmallRng {
     /// `2^128` draws each, so parallel shards seeded via `split_stream`
     /// draw from provably disjoint parts of the period — no accidental
     /// correlation between shards, and the shard set is deterministic for a
-    /// fixed base seed regardless of how many threads execute it.
+    /// fixed base seed regardless of how many threads execute it.  The
+    /// serving layer's chaos engine leans on the same property: a fault
+    /// plan's classes (kills, corruption bits, interleavings, retry
+    /// jitter) each draw from their own substream of one plan seed, which
+    /// is what makes a whole chaos run replayable from a single `u64`.
     pub fn split_stream(&self, k: u64) -> Self {
         let mut stream = self.clone();
         for _ in 0..k {

@@ -1,0 +1,366 @@
+//! The adversarial scenario fleet (ROADMAP item 5): named, seedable
+//! workload scenarios beyond the Poisson/bursty families of [`random`] —
+//! flash crowds, diurnal cycles, heavy-tailed work and value, overload
+//! regimes where rejection dominates, and per-algorithm adversaries (the
+//! YDS staircase, BKP grid-resonant releases).
+//!
+//! A [`ScenarioConfig`] is a small named value: `kind` picks the shape,
+//! `seed` pins every draw (all sampling goes through [`SmallRng`]), and
+//! the soak harness iterates [`ScenarioConfig::all`] to build its
+//! scenario × fault-plan matrix.  The same config always generates the
+//! same [`Instance`], bit for bit.
+//!
+//! [`random`]: crate::random
+
+use pss_types::{Instance, Job};
+
+use crate::adversarial::staircase_multiprocessor;
+use crate::rng::SmallRng;
+
+/// The shape of a scenario (see each variant's worst case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// A calm stream that steps to 100x the arrival rate: 60% of the jobs
+    /// trickle over the first 80% of the horizon, then the remaining 40%
+    /// land in a window compressed by the rate factor.  Stresses burst
+    /// coalescing and queue backpressure.
+    FlashCrowd,
+    /// Two sinusoidal load cycles over the horizon (arrival density swings
+    /// roughly 3x between trough and peak) — the classic day/night
+    /// pattern.  Stresses price-EWMA tracking across load swings.
+    Diurnal,
+    /// Pareto-tailed work (shape 1.5, capped) with a wide independent
+    /// value spread.  A few elephants dominate total work; stresses
+    /// speed-scaling cost and acceptance decisions on outliers.
+    HeavyTailed,
+    /// Rejection-dominated overload: the whole stream lands in a quarter
+    /// of the usual horizon with tight windows and values *below* each
+    /// job's stand-alone energy — a profit-aware scheduler must reject
+    /// most of it.  Stresses the rejection path and the dual price.
+    Overload,
+    /// The Bansal–Kimbrel–Pruhs staircase (the `α^α` lower-bound
+    /// construction), replicated per machine — the YDS/OA-family
+    /// adversary.  The seed only jitters the value scale; the structure
+    /// is the proof's.
+    StaircaseAdversary,
+    /// Releases and deadlines aligned just inside uniform grid cells, so
+    /// a grid-discretised algorithm (BKP evaluates speeds at step entry)
+    /// sees every window open and close between its own evaluation
+    /// points.
+    GridResonant,
+}
+
+/// A named, seedable scenario: everything the soak harness needs to
+/// regenerate the workload bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// The scenario shape.
+    pub kind: ScenarioKind,
+    /// Number of jobs to generate (adversarial kinds round to their
+    /// structure: the staircase generates `n_jobs / machines` steps per
+    /// machine).
+    pub n_jobs: usize,
+    /// Machines in the generated instance.
+    pub machines: usize,
+    /// Energy exponent α > 1.
+    pub alpha: f64,
+    /// Seed for every random draw.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// A scenario of the given kind with the fleet defaults: 64 jobs, one
+    /// machine, α = 2.5.
+    pub fn new(kind: ScenarioKind, seed: u64) -> Self {
+        Self {
+            kind,
+            n_jobs: 64,
+            machines: 1,
+            alpha: 2.5,
+            seed,
+        }
+    }
+
+    /// The scenario's stable name (table keys, file names, log lines).
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            ScenarioKind::FlashCrowd => "flash-crowd",
+            ScenarioKind::Diurnal => "diurnal",
+            ScenarioKind::HeavyTailed => "heavy-tailed",
+            ScenarioKind::Overload => "overload",
+            ScenarioKind::StaircaseAdversary => "staircase-adversary",
+            ScenarioKind::GridResonant => "grid-resonant",
+        }
+    }
+
+    /// One config per scenario kind, sharing size, machine count, α and
+    /// seed — the fleet the soak harness crosses with its fault plans.
+    pub fn all(n_jobs: usize, machines: usize, alpha: f64, seed: u64) -> Vec<Self> {
+        [
+            ScenarioKind::FlashCrowd,
+            ScenarioKind::Diurnal,
+            ScenarioKind::HeavyTailed,
+            ScenarioKind::Overload,
+            ScenarioKind::StaircaseAdversary,
+            ScenarioKind::GridResonant,
+        ]
+        .into_iter()
+        .map(|kind| Self {
+            kind,
+            n_jobs,
+            machines,
+            alpha,
+            seed,
+        })
+        .collect()
+    }
+
+    /// Generates the scenario's instance.  Deterministic in the config:
+    /// the same `(kind, n_jobs, machines, alpha, seed)` always produces
+    /// the same jobs, bit for bit.
+    pub fn generate(&self) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.n_jobs.max(2);
+        let jobs = match self.kind {
+            ScenarioKind::FlashCrowd => flash_crowd(n, self.alpha, &mut rng),
+            ScenarioKind::Diurnal => diurnal(n, self.alpha, &mut rng),
+            ScenarioKind::HeavyTailed => heavy_tailed(n, &mut rng),
+            ScenarioKind::Overload => overload(n, self.alpha, &mut rng),
+            ScenarioKind::StaircaseAdversary => {
+                // The construction is fixed; the seed only jitters how
+                // unprofitable rejection is.
+                let factor = rng.f64_range(50.0, 150.0);
+                let per_machine = (n / self.machines.max(1)).max(2);
+                return staircase_multiprocessor(
+                    per_machine,
+                    self.machines.max(1),
+                    self.alpha,
+                    factor,
+                );
+            }
+            ScenarioKind::GridResonant => grid_resonant(n, self.alpha, &mut rng),
+        };
+        finish(self.machines.max(1), self.alpha, jobs)
+    }
+}
+
+/// Sorts by release (ties by the draw index already encoded in `id`),
+/// reassigns dense ids in arrival order, and builds the instance.
+fn finish(machines: usize, alpha: f64, mut jobs: Vec<Job>) -> Instance {
+    jobs.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.id.cmp(&b.id)));
+    let jobs = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(id, j)| Job::new(id, j.release, j.deadline, j.work, j.value))
+        .collect();
+    Instance::from_jobs(machines, alpha, jobs).expect("scenario jobs are valid")
+}
+
+/// The energy of running `work` alone, spread evenly over `window`.
+fn alone_energy(work: f64, window: f64, alpha: f64) -> f64 {
+    work * (work / window).powf(alpha - 1.0)
+}
+
+fn flash_crowd(n: usize, alpha: f64, rng: &mut SmallRng) -> Vec<Job> {
+    const HORIZON: f64 = 10.0;
+    const RATE_STEP: f64 = 100.0;
+    let calm_n = (n * 3) / 5;
+    let calm_end = 0.8 * HORIZON;
+    // The crowd arrives at RATE_STEP times the calm rate, so its window is
+    // its share of the stream divided by the stepped-up rate.
+    let calm_rate = calm_n as f64 / calm_end;
+    let crowd_len = (n - calm_n) as f64 / (RATE_STEP * calm_rate);
+    (0..n)
+        .map(|i| {
+            let release = if i < calm_n {
+                rng.f64_range(0.0, calm_end)
+            } else {
+                rng.f64_range(calm_end, calm_end + crowd_len)
+            };
+            let window = rng.f64_range(0.5, 2.0);
+            let work = rng.f64_range(0.5, 2.0);
+            let value = alone_energy(work, window, alpha) * rng.f64_range(0.5, 4.0);
+            Job::new(i, release, release + window, work, value)
+        })
+        .collect()
+}
+
+fn diurnal(n: usize, alpha: f64, rng: &mut SmallRng) -> Vec<Job> {
+    const HORIZON: f64 = 20.0;
+    const CYCLES: f64 = 2.0;
+    // Monotone time warp of a uniform grid: where the warp's slope is
+    // small, arrivals bunch (peak); where it is large, they thin (trough).
+    // Amplitude keeps the derivative positive, so order is preserved.
+    const AMP: f64 = 0.05;
+    (0..n)
+        .map(|i| {
+            let u = (i as f64 + 0.9 * rng.next_f64()) / n as f64;
+            let release = HORIZON * (u + AMP * (2.0 * std::f64::consts::PI * CYCLES * u).sin());
+            let window = rng.f64_range(1.0, 4.0);
+            let work = rng.f64_range(0.5, 2.0);
+            let value = alone_energy(work, window, alpha) * rng.f64_range(0.5, 4.0);
+            Job::new(i, release, release + window, work, value)
+        })
+        .collect()
+}
+
+fn heavy_tailed(n: usize, rng: &mut SmallRng) -> Vec<Job> {
+    const HORIZON: f64 = 10.0;
+    const SHAPE: f64 = 1.5;
+    const SCALE: f64 = 0.5;
+    const CAP: f64 = 50.0;
+    (0..n)
+        .map(|i| {
+            let release = rng.f64_range(0.0, HORIZON);
+            let window = rng.f64_range(1.0, 4.0);
+            // Inverse-CDF Pareto draw, capped so a single elephant cannot
+            // dwarf the rest of the instance beyond measure.
+            let u = 1.0 - rng.next_f64();
+            let work = (SCALE / u.powf(1.0 / SHAPE)).min(CAP);
+            // Value proportional to work with a wide independent spread —
+            // heavy in both dimensions, and not perfectly correlated.
+            let value = work * rng.f64_range(0.2, 10.0);
+            Job::new(i, release, release + window, work, value)
+        })
+        .collect()
+}
+
+fn overload(n: usize, alpha: f64, rng: &mut SmallRng) -> Vec<Job> {
+    // The whole stream in a quarter of the flash-crowd horizon, tight
+    // windows, values strictly below stand-alone energy: accepting
+    // everything loses money, so rejection must dominate.
+    const HORIZON: f64 = 2.5;
+    (0..n)
+        .map(|i| {
+            let release = rng.f64_range(0.0, HORIZON);
+            let window = rng.f64_range(0.3, 1.0);
+            let work = rng.f64_range(0.5, 2.0);
+            let value = alone_energy(work, window, alpha) * rng.f64_range(0.05, 0.5);
+            Job::new(i, release, release + window, work, value)
+        })
+        .collect()
+}
+
+fn grid_resonant(n: usize, alpha: f64, rng: &mut SmallRng) -> Vec<Job> {
+    const HORIZON: f64 = 8.0;
+    const CELLS: usize = 64;
+    let step = HORIZON / CELLS as f64;
+    let eps = step * 1e-3;
+    (0..n)
+        .map(|i| {
+            // The whole window sits strictly inside one grid cell: it
+            // opens just after a boundary and closes just before the
+            // next, resonating with any evaluator that samples state at
+            // step entry.
+            let cell = rng.usize_range(0, CELLS - 1) as f64;
+            let release = cell * step + eps;
+            let deadline = (cell + 1.0) * step - eps;
+            let work = step * rng.f64_range(0.2, 0.8);
+            let value = alone_energy(work, deadline - release, alpha) * rng.f64_range(1.0, 4.0);
+            Job::new(i, release, deadline, work, value)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Vec<ScenarioConfig> {
+        ScenarioConfig::all(64, 1, 2.5, 42)
+    }
+
+    #[test]
+    fn every_scenario_generates_a_valid_deterministic_instance() {
+        for config in fleet() {
+            let a = config.generate();
+            let b = config.generate();
+            assert!(a.validate().is_ok(), "{} must validate", config.name());
+            assert_eq!(a.jobs, b.jobs, "{} must be deterministic", config.name());
+            assert_eq!(a.machines, 1);
+            // Arrival order: the soak harness feeds instances in order.
+            for w in a.jobs.windows(2) {
+                assert!(w[1].release >= w[0].release, "{}", config.name());
+            }
+            let other = ScenarioConfig { seed: 43, ..config }.generate();
+            assert_ne!(a.jobs, other.jobs, "{} must be seedable", config.name());
+        }
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let names: Vec<&str> = fleet().iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "flash-crowd",
+                "diurnal",
+                "heavy-tailed",
+                "overload",
+                "staircase-adversary",
+                "grid-resonant"
+            ]
+        );
+    }
+
+    #[test]
+    fn flash_crowd_steps_the_rate_by_two_orders_of_magnitude() {
+        let inst = ScenarioConfig::new(ScenarioKind::FlashCrowd, 7).generate();
+        // 40% of the jobs land past t = 8 in a window ~100x denser than
+        // the calm phase's.
+        let crowd: Vec<f64> = inst
+            .jobs
+            .iter()
+            .map(|j| j.release)
+            .filter(|r| *r >= 8.0)
+            .collect();
+        assert!(crowd.len() >= 25, "the crowd is 40% of 64 jobs");
+        let span = crowd.last().unwrap() - crowd.first().unwrap();
+        let calm_rate = (64.0 - crowd.len() as f64) / 8.0;
+        let crowd_rate = crowd.len() as f64 / span;
+        assert!(
+            crowd_rate > 50.0 * calm_rate,
+            "rate step must be ~100x (got {:.0}x)",
+            crowd_rate / calm_rate
+        );
+    }
+
+    #[test]
+    fn overload_values_sit_below_stand_alone_energy() {
+        let config = ScenarioConfig::new(ScenarioKind::Overload, 3);
+        let inst = config.generate();
+        for job in &inst.jobs {
+            let window = job.deadline - job.release;
+            let alone = alone_energy(job.work, window, config.alpha);
+            assert!(
+                job.value < alone,
+                "overload jobs must be unprofitable to run alone"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_resonant_windows_sit_strictly_inside_cells() {
+        let inst = ScenarioConfig::new(ScenarioKind::GridResonant, 9).generate();
+        let step = 8.0 / 64.0;
+        for job in &inst.jobs {
+            let cell = (job.release / step).floor();
+            let lo = cell * step;
+            let hi = lo + step;
+            assert!(job.release > lo && job.deadline < hi);
+            assert!(job.deadline > job.release);
+        }
+    }
+
+    #[test]
+    fn staircase_adversary_keeps_the_proof_structure() {
+        let config = ScenarioConfig {
+            machines: 2,
+            ..ScenarioConfig::new(ScenarioKind::StaircaseAdversary, 5)
+        };
+        let inst = config.generate();
+        assert_eq!(inst.machines, 2);
+        assert_eq!(inst.len(), 64, "32 steps per machine");
+        assert!(inst.validate().is_ok());
+    }
+}
