@@ -1,7 +1,7 @@
 //! The experiment registry (E1–E11 of DESIGN.md, plus the streaming
 //! latency experiment E12, the burst-ingestion/sharding experiment E13,
 //! the checkpoint/failover experiment E14, the multi-tenant ingestion
-//! soak E15 and the chaos soak E16).
+//! soak E15, the chaos soak E16 and the stream-sharding experiment E17).
 
 use pss_metrics::Table;
 
@@ -18,6 +18,7 @@ pub mod lower_bound;
 pub mod pd_vs_cll;
 pub mod prop2;
 pub mod rejection_policy;
+pub mod route;
 pub mod scaling;
 pub mod serve;
 pub mod streaming;
@@ -103,10 +104,11 @@ pub fn all_experiments(quick: bool) -> Vec<ExperimentOutput> {
         checkpoint::run(quick),
         serve::run(quick),
         chaos::run(quick),
+        route::run(quick),
     ]
 }
 
-/// Runs a single experiment by id (`"E1"`, …, `"E16"`), if it exists.
+/// Runs a single experiment by id (`"E1"`, …, `"E17"`), if it exists.
 pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
     match id.to_ascii_uppercase().as_str() {
         "E1" => Some(fig2_chen::run(quick)),
@@ -125,6 +127,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "E14" => Some(checkpoint::run(quick)),
         "E15" => Some(serve::run(quick)),
         "E16" => Some(chaos::run(quick)),
+        "E17" => Some(route::run(quick)),
         _ => None,
     }
 }

@@ -168,6 +168,16 @@ macro_rules! int_atomic {
                 ) as $ty
             }
 
+            /// Stores the maximum of the value and `value`, returning the
+            /// previous value.
+            pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                self.0.rmw(
+                    order,
+                    |v| Some((v as $ty).max(value) as u64),
+                    |m| m.fetch_max(value as u64, order),
+                ) as $ty
+            }
+
             /// Subtracts from the value, returning the previous value.
             ///
             /// (The u64 mirror wraps at 64 bits, but every read truncates

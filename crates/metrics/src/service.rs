@@ -69,6 +69,10 @@ pub struct ShardSummary {
     pub batches: u64,
     /// Largest queue depth observed at a drain point.
     pub max_queue_depth: u64,
+    /// True maximum queue depth ever reached, counted at every push —
+    /// transient storms that build and drain between two drain points are
+    /// invisible to `max_queue_depth` but not to this; always ≥ it.
+    pub peak_queue_depth: u64,
     /// Nearest-rank p99 of the queue depth samples.
     pub queue_depth_p99: f64,
     /// The rolling dual price after each ingestion batch (the backpressure
@@ -150,6 +154,10 @@ impl ServiceSummary {
                 (
                     "max_queue_depth".into(),
                     JsonValue::Num(s.max_queue_depth as f64),
+                ),
+                (
+                    "peak_queue_depth".into(),
+                    JsonValue::Num(s.peak_queue_depth as f64),
                 ),
                 ("queue_depth_p99".into(), JsonValue::Num(s.queue_depth_p99)),
                 (
@@ -265,6 +273,7 @@ fn parse_shard(v: &JsonValue) -> Result<ShardSummary, JsonError> {
             "arrivals",
             "batches",
             "max_queue_depth",
+            "peak_queue_depth",
             "queue_depth_p99",
             "dual_price_trace",
             "final_price",
@@ -277,6 +286,7 @@ fn parse_shard(v: &JsonValue) -> Result<ShardSummary, JsonError> {
         arrivals: u64_field(v, "arrivals")?,
         batches: u64_field(v, "batches")?,
         max_queue_depth: u64_field(v, "max_queue_depth")?,
+        peak_queue_depth: u64_field(v, "peak_queue_depth")?,
         queue_depth_p99: f64_field(v, "queue_depth_p99")?,
         dual_price_trace: f64_seq(v, "dual_price_trace")?,
         final_price: f64_field(v, "final_price")?,
@@ -384,6 +394,7 @@ mod tests {
                 arrivals: 95,
                 batches: 40,
                 max_queue_depth: 17,
+                peak_queue_depth: 23,
                 queue_depth_p99: 16.0,
                 dual_price_trace: vec![0.0, 0.25, 1.0 / 3.0],
                 final_price: 1.0 / 3.0,

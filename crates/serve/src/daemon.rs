@@ -307,6 +307,13 @@ struct ShardShared {
     /// worker finishes only when this reaches zero, closing the race
     /// between a final push and the shutdown check.
     submitting: AtomicUsize,
+    /// True maximum queue depth ever reached, bumped by producers at every
+    /// successful push (`fetch_max`).  The journal's `depth_samples` are
+    /// taken only at drain points, so a transient storm that builds and
+    /// drains between two drains would otherwise under-report — this
+    /// counter is the storm-proof bound E17's imbalance column needs.
+    /// Relaxed: a monotone max carries no ordering obligations.
+    peak_depth: AtomicUsize,
     /// The rolling dual price, published as f64 bits.
     price_bits: AtomicU64,
     /// The shard's feed watermark (last feed time), published as f64 bits.
@@ -349,6 +356,7 @@ impl ShardShared {
             shard,
             queue: ArrivalQueue::with_capacity(queue_capacity),
             submitting: AtomicUsize::new(0),
+            peak_depth: AtomicUsize::new(0),
             price_bits: AtomicU64::new(0.0_f64.to_bits()),
             watermark_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
             crash_at: AtomicUsize::new(usize::MAX),
@@ -531,6 +539,9 @@ impl TenantHandle {
                 capacity: shard.queue.capacity(),
             });
         }
+        shard
+            .peak_depth
+            .fetch_max(shard.queue.len(), Ordering::Relaxed);
         Ok(Submission::Queued {
             shard: state.spec.shard,
         })
@@ -769,6 +780,7 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
                 drain_from = Some(Instant::now());
             }
             let depth = shard.queue.len();
+            shard.peak_depth.fetch_max(depth, Ordering::Relaxed);
             drain_buf.clear();
             if shard.queue.drain_into(&mut drain_buf, config.max_batch) == 0 {
                 // Drain-completion check.  Probe `submitting` FIRST, with
@@ -1310,6 +1322,7 @@ where
                 price_trace: std::mem::take(&mut journal.price_trace),
                 final_price: sh.price(),
                 depth_samples: std::mem::take(&mut journal.depth_samples),
+                peak_queue_depth: sh.peak_depth.load(Ordering::Relaxed),
                 checkpoints: journal.checkpoints_taken,
                 handoffs: journal.handoffs,
                 drain_secs: journal.drain_secs,

@@ -25,6 +25,13 @@
 //!   submission through bounded exponential backoff with deterministic
 //!   jitter, honouring `IngressError::is_retryable`, to success or a typed
 //!   [`RetryError`] give-up.
+//! * **[`router`]** — one logical stream over many shards:
+//!   [`StreamRouter`] routes every arrival by a pluggable
+//!   [`RoutePolicy`](pss_sim::RoutePolicy) (hash / round-robin /
+//!   cheapest-price over the shards' lock-free published dual-price
+//!   EWMAs) and zips the per-shard outcomes into one logical schedule
+//!   (`pss_types::merge_frontiers`) — wave-stepped for bit-replayable
+//!   routing, free-running for throughput.
 //! * **[`chaos`]** — deterministic fault injection: a seeded [`FaultPlan`]
 //!   (worker kills, checkpoint corruption, transient feed faults,
 //!   queue-full storms, dead-on-arrival floods, adversarial out-of-order
@@ -51,6 +58,7 @@ pub mod daemon;
 pub mod queue;
 pub mod report;
 pub mod retry;
+pub mod router;
 pub mod tenant;
 
 pub use chaos::{deterministic_fields_equal, ChaosDriver, ChaosRun, ChaosStats, FaultPlan};
@@ -58,4 +66,5 @@ pub use daemon::{Daemon, RecoveryReport, ServeConfig, Submission, TenantHandle, 
 pub use queue::ArrivalQueue;
 pub use report::{ServedEvent, ServiceReport, ShardReport};
 pub use retry::{RetryError, RetryPolicy};
+pub use router::{routed_fields_equal, RoutedReport, RoutedSubmission, StreamRouter};
 pub use tenant::{BackpressurePolicy, TenantSpec};

@@ -71,6 +71,11 @@ pub struct ShardReport {
     pub final_price: f64,
     /// Queue depth observed at each drain point.
     pub depth_samples: Vec<usize>,
+    /// True maximum queue depth ever reached, counted at every push (not
+    /// just at drain points), so transient storms that build and drain
+    /// between two drains are still visible.  Always ≥
+    /// [`max_queue_depth`](Self::max_queue_depth).
+    pub peak_queue_depth: usize,
     /// Checkpoints captured over the run.
     pub checkpoints: usize,
     /// Hand-offs (worker migrations) the shard went through.
@@ -98,7 +103,8 @@ impl ShardReport {
         self.events.iter().filter(|e| e.expired).count()
     }
 
-    /// The largest queue depth observed at a drain point.
+    /// The largest queue depth observed at a drain point.  The push-side
+    /// [`peak_queue_depth`](Self::peak_queue_depth) bounds this from above.
     pub fn max_queue_depth(&self) -> usize {
         self.depth_samples.iter().copied().max().unwrap_or(0)
     }
@@ -123,6 +129,7 @@ impl ShardReport {
             arrivals: self.events.len() as u64,
             batches: self.batches as u64,
             max_queue_depth: self.max_queue_depth() as u64,
+            peak_queue_depth: self.peak_queue_depth as u64,
             queue_depth_p99: self.queue_depth_percentile(99.0),
             dual_price_trace: self.price_trace.clone(),
             final_price: self.final_price,
@@ -209,6 +216,7 @@ mod tests {
             price_trace: vec![0.5, 0.75, 0.5],
             final_price: 0.5,
             depth_samples: vec![3, 1, 7, 2],
+            peak_queue_depth: 9,
             checkpoints: 1,
             handoffs: 0,
             drain_secs: 0.001,
@@ -267,5 +275,6 @@ mod tests {
         let back = ServiceSummary::from_json(&json).unwrap();
         assert_eq!(back, summary);
         assert_eq!(back.shards[0].max_queue_depth, 7);
+        assert_eq!(back.shards[0].peak_queue_depth, 9);
     }
 }

@@ -121,11 +121,30 @@ impl RetryPolicy {
         raw * (1.0 - jitter * rng.next_f64())
     }
 
+    /// The backoff for retry `attempt` after a specific bounce: price
+    /// deferrals ([`IngressError::Backpressure`]) carry the observed shard
+    /// price, so the delay is scaled by how far the price overshot the
+    /// producer's threshold ([`IngressError::price_overshoot`], clamped to
+    /// at most 8x) — a 3x-overpriced shard is retried 3x more slowly
+    /// instead of blindly.  Other retryable errors keep the plain
+    /// schedule.  Still bounded: at most `8 · max_delay`.
+    pub fn backoff_secs_for(
+        &self,
+        attempt: usize,
+        error: &IngressError,
+        rng: &mut SmallRng,
+    ) -> f64 {
+        let scale = error.price_overshoot().map_or(1.0, |o| o.clamp(1.0, 8.0));
+        self.backoff_secs(attempt, rng) * scale
+    }
+
     /// Drives one envelope to completion or typed give-up: submits through
     /// `handle`, sleeping the jittered backoff between retryable failures.
     /// Returns the successful [`Submission`] (including a policy-conforming
     /// [`Submission::RejectedByPrice`]), or the typed [`RetryError`].
-    /// Terminates after at most `max_attempts` submissions.
+    /// Terminates after at most `max_attempts` submissions.  Price
+    /// deferrals back off proportionally to the observed overshoot — see
+    /// [`backoff_secs_for`](Self::backoff_secs_for).
     pub fn submit(
         &self,
         handle: &TenantHandle,
@@ -149,7 +168,7 @@ impl RetryPolicy {
                             attempts: budget,
                         });
                     }
-                    let delay = self.backoff_secs(attempt, rng);
+                    let delay = self.backoff_secs_for(attempt, &e, rng);
                     if delay > 0.0 {
                         std::thread::sleep(Duration::from_secs_f64(delay));
                     } else {
@@ -205,5 +224,37 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let far = policy.backoff_secs(usize::MAX, &mut rng);
         assert!(far.is_finite() && far <= 1e-3);
+    }
+
+    #[test]
+    fn price_deferrals_back_off_proportionally() {
+        use pss_types::TenantId;
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: 1e-4,
+            max_delay: 1e-3,
+            jitter: 0.0,
+        };
+        let deferred = |price: f64| IngressError::Backpressure {
+            tenant: TenantId(0),
+            price,
+            threshold: 1.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        // 3x over the threshold ⇒ exactly 3x the plain schedule.
+        let plain = policy.backoff_secs(0, &mut rng);
+        let scaled = policy.backoff_secs_for(0, &deferred(3.0), &mut rng);
+        assert_eq!(scaled, 3.0 * plain); // pss-lint: allow(float-eq) — exact scale, no rounding
+                                         // The proportional scale is clamped: a 100x overshoot waits 8x,
+                                         // not 100x, so one absurd price cannot park a producer forever.
+        let capped = policy.backoff_secs_for(1, &deferred(100.0), &mut rng);
+        assert_eq!(capped, 8.0 * policy.backoff_secs(1, &mut rng)); // pss-lint: allow(float-eq) — exact scale
+                                                                    // Non-price errors keep the plain schedule.
+        let other = IngressError::QueueFull {
+            shard: 0,
+            capacity: 4,
+        };
+        let a = policy.backoff_secs_for(2, &other, &mut rng);
+        assert_eq!(a, policy.backoff_secs(2, &mut rng)); // pss-lint: allow(float-eq) — identical schedule
     }
 }

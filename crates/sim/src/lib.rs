@@ -27,6 +27,15 @@
 //! [`parallel::FleetReport`] (pooled percentiles recomputed from pooled
 //! samples, never averaged).
 //!
+//! [`sharded`] partitions *one* logical stream across `S` independent
+//! scheduler runs — [`sharded::RoutePolicy`] (hash / round-robin /
+//! cheapest-price over the shards' published dual-price EWMAs) routes each
+//! arrival, [`sharded::ShardedStream`] keeps a mergeable per-shard frontier
+//! ([`pss_types::merge_frontiers`]), and [`sharded::sharding_drift`] is the
+//! sharding-cost oracle comparing the same workload unsharded vs sharded.
+//! With `shards = 1`, [`sharded::ShardedStreaming`] is bit-identical to
+//! [`engine::StreamingSimulation`].
+//!
 //! [`checkpoint`] makes streams *restartable*: every run state implements
 //! `pss_types::Checkpointable`, so
 //! [`StreamingSimulation::run_checkpointed`](engine::StreamingSimulation)
@@ -54,6 +63,7 @@ pub mod engine;
 pub mod gantt;
 pub mod parallel;
 pub mod replay;
+pub mod sharded;
 
 pub use checkpoint::{CheckpointRecord, RecoveryStats, ShardFailover};
 pub use engine::{
@@ -63,3 +73,7 @@ pub use engine::{
 pub use gantt::{render_gantt, GanttOptions};
 pub use parallel::{FleetReport, ParallelStreamingSimulation};
 pub use replay::{prefix_stability_report, streaming_prefix_report, PrefixStabilityReport};
+pub use sharded::{
+    sharded_fields_equal, sharding_drift, RoutePolicy, ShardedEvent, ShardedReport, ShardedStream,
+    ShardedStreaming, ShardingDrift,
+};

@@ -231,6 +231,31 @@ impl IngressError {
             | IngressError::ShuttingDown => false,
         }
     }
+
+    /// How far the observed shard price overshot the submission's threshold:
+    /// `Some(price / threshold)` (≥ 1) for a price deferral
+    /// ([`Backpressure`](Self::Backpressure)), `None` for every other error.
+    ///
+    /// Producers back off *proportionally* on this signal instead of
+    /// blindly: the EWMA price decays towards cheaper batches at a rate set
+    /// by the smoothing weight, so a 4x overshoot predictably needs longer
+    /// than a 1.1x overshoot to clear.  `pss_serve`'s `RetryPolicy` scales
+    /// its delay by this ratio.  Degenerate thresholds (zero, non-finite)
+    /// report an overshoot of 1 — plain backoff.
+    pub fn price_overshoot(&self) -> Option<f64> {
+        match self {
+            IngressError::Backpressure {
+                price, threshold, ..
+            } => {
+                if price.is_finite() && *threshold > 0.0 && threshold.is_finite() {
+                    Some((price / threshold).max(1.0))
+                } else {
+                    Some(1.0)
+                }
+            }
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for IngressError {
@@ -366,6 +391,39 @@ mod tests {
         };
         assert!(!expired.is_retryable());
         assert!(expired.to_string().contains("deadline 3"));
+    }
+
+    #[test]
+    fn price_overshoot_reports_the_deferral_ratio() {
+        let deferred = IngressError::Backpressure {
+            tenant: TenantId(0),
+            price: 3.0,
+            threshold: 1.5,
+        };
+        assert_eq!(deferred.price_overshoot(), Some(2.0));
+        // Prices below the threshold (possible when the threshold comes
+        // from a ceiling mid-update) clamp to plain backoff.
+        let under = IngressError::Backpressure {
+            tenant: TenantId(0),
+            price: 0.5,
+            threshold: 1.0,
+        };
+        assert_eq!(under.price_overshoot(), Some(1.0));
+        // Degenerate thresholds degrade to plain backoff, not NaN/inf.
+        let degenerate = IngressError::Backpressure {
+            tenant: TenantId(0),
+            price: 2.0,
+            threshold: 0.0,
+        };
+        assert_eq!(degenerate.price_overshoot(), Some(1.0));
+        assert_eq!(
+            IngressError::QueueFull {
+                shard: 0,
+                capacity: 8
+            }
+            .price_overshoot(),
+            None
+        );
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   [`OnlineScheduler::on_arrival`], a never-revised committed
 //!   [`OnlineScheduler::frontier`], and a blanket batch adapter) implemented
 //!   by every online algorithm in the workspace,
+//! * [`merge`] — reassembling one logical schedule from per-shard
+//!   committed schedules ([`merge_frontiers`]: lane-offset machines,
+//!   remapped job ids, additive speeds/energy — the frontier-merge half of
+//!   the sharded-stream router),
 //! * [`ingress`] — service-facing ingestion types: [`TenantId`],
 //!   [`JobEnvelope`] (a submitted job before the service assigns its dense
 //!   [`JobId`]) and the typed [`IngressError`]s a total
@@ -47,6 +51,7 @@ pub mod error;
 pub mod ingress;
 pub mod instance;
 pub mod job;
+pub mod merge;
 pub mod num;
 pub mod scheduler;
 pub mod segment;
@@ -58,6 +63,7 @@ pub use error::{InstanceError, ScheduleError};
 pub use ingress::{IngressError, JobEnvelope, TenantId};
 pub use instance::Instance;
 pub use job::{Job, JobId};
+pub use merge::{merge_frontiers, ShardPiece};
 pub use num::Tolerance;
 pub use scheduler::{
     check_arrival, check_arrival_order, run_online, Decision, OnlineAlgorithm, OnlineScheduler,

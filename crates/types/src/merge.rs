@@ -1,0 +1,199 @@
+//! Zipping per-shard schedules back into one logical schedule.
+//!
+//! A *sharded* run of one logical stream partitions arrivals across `S`
+//! independent scheduler runs, each over its own `machines_per_shard`
+//! processors and its own dense shard-local job ids.  [`merge_frontiers`]
+//! reassembles the per-shard committed [`Schedule`]s (frontiers mid-stream,
+//! finished schedules at the end) into a single logical schedule:
+//!
+//! * **machine lanes** — shard `s`'s machine `m` becomes logical machine
+//!   `s · machines_per_shard + m`, so per-job pieces stay within their
+//!   shard's lanes and the merged schedule is a valid `S ·
+//!   machines_per_shard`-machine schedule;
+//! * **job ids** — each shard supplies the map from its dense local ids to
+//!   the logical stream's ids ([`ShardPiece::jobs`]), so the merged
+//!   segments speak the logical instance's vocabulary;
+//! * **speeds add** — on overlapping time intervals the merged schedule's
+//!   [`total_speed_at`](Schedule::total_speed_at) is the sum of the shard
+//!   speeds (the lanes are disjoint), and because energy is a per-segment
+//!   sum the merged energy equals the sum of the shard energies — the
+//!   *total-energy identity* pinned by the sharded-stream test suites.
+//!
+//! Segments are copied bit-for-bit in shard order (shard 0's segments
+//! first, each shard's in its own committed order), never re-split or
+//! re-rounded, so a merged frontier inherits prefix stability from its
+//! shards: segments a shard has committed appear unchanged in every later
+//! merge.
+
+use crate::error::ScheduleError;
+use crate::job::JobId;
+use crate::segment::Schedule;
+
+/// One shard's contribution to a logical-schedule merge.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPiece<'a> {
+    /// The shard's committed schedule (frontier or finished), over the
+    /// shard's own `machines_per_shard` machines and dense local job ids.
+    pub schedule: &'a Schedule,
+    /// Maps the shard's dense local job ids (`0..jobs.len()`) to the
+    /// logical stream's job ids.
+    pub jobs: &'a [JobId],
+}
+
+/// Merges per-shard committed schedules into one logical schedule over
+/// `shards.len() · machines_per_shard` machines (see the module docs for
+/// the lane/id/energy contract).
+///
+/// Errors if a shard schedule spans more machines than
+/// `machines_per_shard`, or references a local job id outside its
+/// [`ShardPiece::jobs`] map.
+pub fn merge_frontiers(
+    machines_per_shard: usize,
+    shards: &[ShardPiece<'_>],
+) -> Result<Schedule, ScheduleError> {
+    if machines_per_shard == 0 {
+        return Err(ScheduleError::Internal(
+            "merge_frontiers needs at least one machine per shard".into(),
+        ));
+    }
+    let mut merged = Schedule::empty(shards.len() * machines_per_shard);
+    for (s, piece) in shards.iter().enumerate() {
+        if piece.schedule.machines > machines_per_shard {
+            return Err(ScheduleError::Internal(format!(
+                "shard {s} schedule spans {} machines, expected at most {machines_per_shard}",
+                piece.schedule.machines
+            )));
+        }
+        for seg in &piece.schedule.segments {
+            if seg.machine >= machines_per_shard {
+                return Err(ScheduleError::Internal(format!(
+                    "shard {s} segment on machine {} outside the shard's {machines_per_shard} lane(s)",
+                    seg.machine
+                )));
+            }
+            let job = match seg.job {
+                None => None,
+                Some(local) => Some(*piece.jobs.get(local.index()).ok_or_else(|| {
+                    ScheduleError::Internal(format!(
+                        "shard {s} segment references local job {local} outside its id map \
+                         ({} entries)",
+                        piece.jobs.len()
+                    ))
+                })?),
+            };
+            // Copied bit-for-bit (no Schedule::push degeneracy filtering):
+            // the merge must preserve exactly what the shard committed so
+            // prefix stability and the energy identity hold bit-for-bit.
+            let mut seg = *seg;
+            seg.machine += s * machines_per_shard;
+            seg.job = job;
+            merged.segments.push(seg);
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Segment;
+
+    fn shard_schedule(machines: usize, segs: &[(usize, f64, f64, f64, Option<usize>)]) -> Schedule {
+        let mut s = Schedule::empty(machines);
+        for &(m, a, b, v, j) in segs {
+            s.segments.push(Segment {
+                machine: m,
+                start: a,
+                end: b,
+                speed: v,
+                job: j.map(JobId),
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn lanes_are_offset_and_ids_remapped() {
+        let a = shard_schedule(
+            2,
+            &[(0, 0.0, 1.0, 1.0, Some(0)), (1, 0.5, 2.0, 0.5, Some(1))],
+        );
+        let b = shard_schedule(2, &[(0, 0.0, 1.0, 2.0, Some(0)), (1, 1.0, 2.0, 0.0, None)]);
+        let a_jobs = [JobId(3), JobId(5)];
+        let b_jobs = [JobId(4)];
+        let merged = merge_frontiers(
+            2,
+            &[
+                ShardPiece {
+                    schedule: &a,
+                    jobs: &a_jobs,
+                },
+                ShardPiece {
+                    schedule: &b,
+                    jobs: &b_jobs,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(merged.machines, 4);
+        assert_eq!(merged.segments.len(), 4);
+        assert_eq!(merged.segments[0].machine, 0);
+        assert_eq!(merged.segments[0].job, Some(JobId(3)));
+        assert_eq!(merged.segments[1].machine, 1);
+        assert_eq!(merged.segments[1].job, Some(JobId(5)));
+        assert_eq!(merged.segments[2].machine, 2);
+        assert_eq!(merged.segments[2].job, Some(JobId(4)));
+        assert_eq!(merged.segments[3].machine, 3);
+        assert_eq!(merged.segments[3].job, None);
+    }
+
+    #[test]
+    fn energy_is_the_sum_of_shard_energies_and_speeds_add() {
+        let a = shard_schedule(1, &[(0, 0.0, 2.0, 1.5, Some(0))]);
+        let b = shard_schedule(1, &[(0, 1.0, 3.0, 2.0, Some(0))]);
+        let pieces = [
+            ShardPiece {
+                schedule: &a,
+                jobs: &[JobId(0)],
+            },
+            ShardPiece {
+                schedule: &b,
+                jobs: &[JobId(1)],
+            },
+        ];
+        let merged = merge_frontiers(1, &pieces).unwrap();
+        let alpha = 2.5;
+        let sum = a.energy(alpha) + b.energy(alpha);
+        assert!((merged.energy(alpha) - sum).abs() <= 1e-12 * sum.max(1.0));
+        // On the overlap [1, 2) the logical speed is the sum of the shards'.
+        assert!((merged.total_speed_at(1.5) - 3.5).abs() < 1e-12);
+        assert!((merged.total_speed_at(0.5) - 1.5).abs() < 1e-12);
+        assert!((merged.total_speed_at(2.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_total_on_bad_input() {
+        let wide = shard_schedule(2, &[(1, 0.0, 1.0, 1.0, Some(0))]);
+        let err = merge_frontiers(
+            1,
+            &[ShardPiece {
+                schedule: &wide,
+                jobs: &[JobId(0)],
+            }],
+        );
+        assert!(err.is_err(), "machine outside the shard's lanes");
+        let dangling = shard_schedule(1, &[(0, 0.0, 1.0, 1.0, Some(7))]);
+        let err = merge_frontiers(
+            1,
+            &[ShardPiece {
+                schedule: &dangling,
+                jobs: &[JobId(0)],
+            }],
+        );
+        assert!(err.is_err(), "local id outside the map");
+        assert!(merge_frontiers(0, &[]).is_err(), "zero machines per shard");
+        let empty = merge_frontiers(3, &[]).unwrap();
+        assert_eq!(empty.machines, 0);
+        assert!(empty.segments.is_empty());
+    }
+}

@@ -40,4 +40,4 @@ pub use adversarial::{staircase_instance, staircase_multiprocessor};
 pub use paper_examples::{figure2_instance, figure3_instance};
 pub use random::{ArrivalModel, RandomConfig, ValueModel, WindowModel, WorkModel};
 pub use rng::SmallRng;
-pub use scenarios::{ScenarioConfig, ScenarioKind};
+pub use scenarios::{arrival_envelopes, ScenarioConfig, ScenarioKind};

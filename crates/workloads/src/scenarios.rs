@@ -12,10 +12,34 @@
 //!
 //! [`random`]: crate::random
 
-use pss_types::{Instance, Job};
+use pss_types::{Instance, Job, JobEnvelope, TenantId};
 
 use crate::adversarial::staircase_multiprocessor;
 use crate::rng::SmallRng;
+
+/// The instance's jobs as a serving-layer submission stream: envelopes in
+/// arrival order (release, then id), tagged with the logical job id and
+/// attributed to `TenantId(0)` (drivers overwrite the tenant through the
+/// handle they submit on).  The shared front half of every daemon driver —
+/// the chaos engine's wave partition and the stream router both start
+/// here, so the "same workload" in a sharded-vs-unsharded comparison is
+/// the same envelope sequence by construction.
+pub fn arrival_envelopes(instance: &Instance) -> Vec<JobEnvelope> {
+    let mut jobs = instance.jobs.clone();
+    jobs.sort_by(|a, b| a.release.total_cmp(&b.release).then(a.id.cmp(&b.id)));
+    jobs.iter()
+        .map(|j| {
+            JobEnvelope::new(
+                TenantId(0),
+                j.id.index() as u64,
+                j.release,
+                j.deadline,
+                j.work,
+                j.value,
+            )
+        })
+        .collect()
+}
 
 /// The shape of a scenario (see each variant's worst case).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
