@@ -30,6 +30,7 @@
 //! PD and the replanning executor.
 
 use pss_intervals::IntervalPartition;
+use pss_types::seglog::{FrontierPart, LogCheckpointable, SegmentLog};
 use pss_types::snapshot::{
     BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,
 };
@@ -246,33 +247,31 @@ impl SnapshotPart for ActiveJob {
     }
 }
 
-/// State version of [`AvrState`] snapshots.
-const AVR_STATE_VERSION: u16 = 1;
+/// State version of [`AvrState`] snapshots.  Version 2 stores the
+/// committed frontier as a [`FrontierPart`] (inline or a segment-log
+/// cursor); version-1 blobs are rejected with a typed error.
+const AVR_STATE_VERSION: u16 = 2;
 
-/// The snapshot holds the full job history (the reference scan path reads
-/// it), the deadline-descending active-set index, the committed frontier,
-/// the clock and the index toggle, so a restored run commits bit-identical
-/// windows.
-impl Checkpointable for AvrState {
-    fn snapshot(&self) -> StateBlob {
+impl AvrState {
+    fn encode_snapshot(&self, frontier: &FrontierPart) -> StateBlob {
         let mut w = BlobWriter::new();
         w.write_seq(&self.jobs);
         w.write_seq(&self.active);
         w.write_f64(self.horizon_end);
         w.write_bool(self.indexed);
-        w.write_part(&self.committed);
+        w.write_part(frontier);
         w.write_f64(self.now);
         StateBlob::new("avr", AVR_STATE_VERSION, w.into_payload())
     }
 
-    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+    fn decode_snapshot(blob: &StateBlob, log: Option<&SegmentLog>) -> Result<Self, SnapshotError> {
         let mut r = blob.expect("avr", AVR_STATE_VERSION)?;
         let state = Self {
             jobs: r.read_seq()?,
             active: r.read_seq()?,
             horizon_end: r.read_f64()?,
             indexed: r.read_bool()?,
-            committed: r.read_part()?,
+            committed: r.read_part::<FrontierPart>()?.resolve(log)?,
             now: r.read_f64()?,
         };
         r.finish()?;
@@ -282,6 +281,33 @@ impl Checkpointable for AvrState {
             ));
         }
         Ok(state)
+    }
+}
+
+/// The snapshot holds the full job history (the reference scan path reads
+/// it), the deadline-descending active-set index, the committed frontier,
+/// the clock and the index toggle, so a restored run commits bit-identical
+/// windows.
+impl Checkpointable for AvrState {
+    fn snapshot(&self) -> StateBlob {
+        self.encode_snapshot(&FrontierPart::Inline(self.committed.clone()))
+    }
+
+    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(blob, None)
+    }
+}
+
+/// O(active) checkpointing: the committed frontier lives in the run's
+/// [`SegmentLog`]; the blob stores only a cursor.
+impl LogCheckpointable for AvrState {
+    fn snapshot_live(&self, log: &mut SegmentLog) -> Result<StateBlob, SnapshotError> {
+        let cursor = log.sync_from(&self.committed)?;
+        Ok(self.encode_snapshot(&FrontierPart::cursor_of(self.committed.machines, cursor)))
+    }
+
+    fn restore_with_log(blob: &StateBlob, log: &SegmentLog) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(blob, Some(log))
     }
 }
 

@@ -67,6 +67,7 @@
 
 use std::collections::BinaryHeap;
 
+use pss_types::seglog::{FrontierPart, LogCheckpointable, SegmentLog};
 use pss_types::snapshot::{
     BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,
 };
@@ -832,17 +833,13 @@ impl SnapshotPart for BkpSpeedIndex {
     }
 }
 
-/// State version of [`BkpState`] snapshots.
-const BKP_STATE_VERSION: u16 = 1;
+/// State version of [`BkpState`] snapshots.  Version 2 stores the
+/// committed frontier as a [`FrontierPart`] (inline or a segment-log
+/// cursor); version-1 blobs are rejected with a typed error.
+const BKP_STATE_VERSION: u16 = 2;
 
-/// The snapshot holds the grid cursor (step index, the fixed per-step speed,
-/// the idle flag and any EDF sub-segment in flight), the job history with
-/// remaining works, the resident speed index including its convex hull, the
-/// lazy EDF queue, the committed frontier and both fast-path toggles — the
-/// complete dynamic state, so a restored run resumes the same grid step at
-/// the same speed.
-impl Checkpointable for BkpState {
-    fn snapshot(&self) -> StateBlob {
+impl BkpState {
+    fn encode_snapshot(&self, frontier: &FrontierPart) -> StateBlob {
         let mut w = BlobWriter::new();
         w.write_f64(self.speed_margin);
         w.write_f64(self.dt);
@@ -850,7 +847,7 @@ impl Checkpointable for BkpState {
         w.write_part(&self.max_steps);
         w.write_seq(&self.jobs);
         w.write_seq(&self.remaining);
-        w.write_part(&self.committed);
+        w.write_part(frontier);
         w.write_f64(self.now);
         w.write_usize(self.step_idx);
         w.write_part(&self.step_speed);
@@ -875,7 +872,7 @@ impl Checkpointable for BkpState {
         StateBlob::new("bkp", BKP_STATE_VERSION, w.into_payload())
     }
 
-    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+    fn decode_snapshot(blob: &StateBlob, log: Option<&SegmentLog>) -> Result<Self, SnapshotError> {
         let mut r = blob.expect("bkp", BKP_STATE_VERSION)?;
         let speed_margin = r.read_f64()?;
         let dt = r.read_f64()?;
@@ -883,7 +880,7 @@ impl Checkpointable for BkpState {
         let max_steps = r.read_part()?;
         let jobs: Vec<Job> = r.read_seq()?;
         let remaining: Vec<f64> = r.read_seq()?;
-        let committed = r.read_part()?;
+        let committed = r.read_part::<FrontierPart>()?.resolve(log)?;
         let now = r.read_f64()?;
         let step_idx = r.read_usize()?;
         let step_speed = r.read_part()?;
@@ -930,6 +927,35 @@ impl Checkpointable for BkpState {
             index,
             edf,
         })
+    }
+}
+
+/// The snapshot holds the grid cursor (step index, the fixed per-step speed,
+/// the idle flag and any EDF sub-segment in flight), the job history with
+/// remaining works, the resident speed index including its convex hull, the
+/// lazy EDF queue, the committed frontier and both fast-path toggles — the
+/// complete dynamic state, so a restored run resumes the same grid step at
+/// the same speed.
+impl Checkpointable for BkpState {
+    fn snapshot(&self) -> StateBlob {
+        self.encode_snapshot(&FrontierPart::Inline(self.committed.clone()))
+    }
+
+    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(blob, None)
+    }
+}
+
+/// O(active) checkpointing: the committed frontier lives in the run's
+/// [`SegmentLog`]; the blob stores only a cursor.
+impl LogCheckpointable for BkpState {
+    fn snapshot_live(&self, log: &mut SegmentLog) -> Result<StateBlob, SnapshotError> {
+        let cursor = log.sync_from(&self.committed)?;
+        Ok(self.encode_snapshot(&FrontierPart::cursor_of(self.committed.machines, cursor)))
+    }
+
+    fn restore_with_log(blob: &StateBlob, log: &SegmentLog) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(blob, Some(log))
     }
 }
 

@@ -28,6 +28,7 @@
 //!   reference: the `incremental_equivalence` integration tests check that
 //!   both paths produce identical schedules on random workloads.
 
+use pss_types::seglog::{FrontierPart, LogCheckpointable, SegmentLog};
 use pss_types::snapshot::{
     BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,
 };
@@ -443,8 +444,64 @@ impl SnapshotPart for AdmitAll {
     }
 }
 
-/// State version of [`ReplanState`] snapshots.
-const REPLAN_STATE_VERSION: u16 = 1;
+/// State version of [`ReplanState`] snapshots.  Version 2 stores the
+/// committed frontier as a [`FrontierPart`] (inline or a segment-log
+/// cursor); version-1 blobs are rejected with a typed error.
+const REPLAN_STATE_VERSION: u16 = 2;
+
+impl<P, A> ReplanState<P, A>
+where
+    P: Planner + SnapshotPart,
+    A: AdmissionPolicy + SnapshotPart,
+{
+    /// Encodes the run's live state with the given frontier encoding.
+    fn encode_snapshot(&self, frontier: &FrontierPart) -> StateBlob {
+        let mut w = BlobWriter::new();
+        w.write_usize(self.env.machines);
+        w.write_f64(self.env.alpha);
+        w.write_part(&self.planner);
+        w.write_part(&self.admission);
+        w.write_seq(&self.pending);
+        w.write_part(&self.plan);
+        w.write_bool(self.plan_stale);
+        w.write_part(&self.cache);
+        w.write_usize(self.replans);
+        w.write_bool(self.warm_start);
+        w.write_part(frontier);
+        w.write_f64(self.now);
+        w.write_f64(self.horizon_end);
+        StateBlob::new("replan", REPLAN_STATE_VERSION, w.into_payload())
+    }
+
+    /// Decodes a snapshot, resolving the frontier against `log` when it is
+    /// stored as a cursor.
+    fn decode_snapshot(blob: &StateBlob, log: Option<&SegmentLog>) -> Result<Self, SnapshotError> {
+        let mut r = blob.expect("replan", REPLAN_STATE_VERSION)?;
+        let machines = r.read_usize()?;
+        let alpha = r.read_f64()?;
+        let state = Self {
+            env: OnlineEnv { machines, alpha },
+            planner: r.read_part()?,
+            admission: r.read_part()?,
+            pending: r.read_seq()?,
+            plan: r.read_part()?,
+            plan_stale: r.read_bool()?,
+            cache: r.read_part()?,
+            replans: r.read_usize()?,
+            warm_start: r.read_bool()?,
+            committed: r.read_part::<FrontierPart>()?.resolve(log)?,
+            now: r.read_f64()?,
+            horizon_end: r.read_f64()?,
+        };
+        r.finish()?;
+        if state.plan.machines != machines || state.committed.machines != machines {
+            return Err(SnapshotError::Invalid(
+                "schedule machine counts disagree with the environment".into(),
+            ));
+        }
+        Ok(state)
+    }
+}
 
 /// Checkpoint/restore for the replanning executor: the snapshot holds the
 /// run's complete dynamic state — the pending set with its remaining works,
@@ -462,48 +519,29 @@ where
     A: AdmissionPolicy + SnapshotPart,
 {
     fn snapshot(&self) -> StateBlob {
-        let mut w = BlobWriter::new();
-        w.write_usize(self.env.machines);
-        w.write_f64(self.env.alpha);
-        w.write_part(&self.planner);
-        w.write_part(&self.admission);
-        w.write_seq(&self.pending);
-        w.write_part(&self.plan);
-        w.write_bool(self.plan_stale);
-        w.write_part(&self.cache);
-        w.write_usize(self.replans);
-        w.write_bool(self.warm_start);
-        w.write_part(&self.committed);
-        w.write_f64(self.now);
-        w.write_f64(self.horizon_end);
-        StateBlob::new("replan", REPLAN_STATE_VERSION, w.into_payload())
+        self.encode_snapshot(&FrontierPart::Inline(self.committed.clone()))
     }
 
     fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
-        let mut r = blob.expect("replan", REPLAN_STATE_VERSION)?;
-        let machines = r.read_usize()?;
-        let alpha = r.read_f64()?;
-        let state = Self {
-            env: OnlineEnv { machines, alpha },
-            planner: r.read_part()?,
-            admission: r.read_part()?,
-            pending: r.read_seq()?,
-            plan: r.read_part()?,
-            plan_stale: r.read_bool()?,
-            cache: r.read_part()?,
-            replans: r.read_usize()?,
-            warm_start: r.read_bool()?,
-            committed: r.read_part()?,
-            now: r.read_f64()?,
-            horizon_end: r.read_f64()?,
-        };
-        r.finish()?;
-        if state.plan.machines != machines || state.committed.machines != machines {
-            return Err(SnapshotError::Invalid(
-                "schedule machine counts disagree with the environment".into(),
-            ));
-        }
-        Ok(state)
+        Self::decode_snapshot(blob, None)
+    }
+}
+
+/// O(active) checkpointing: the blob stores only the pending set, plan,
+/// caches and a [`pss_types::seglog::LogCursor`]; the committed frontier
+/// lives in the run's [`SegmentLog`].
+impl<P, A> LogCheckpointable for ReplanState<P, A>
+where
+    P: Planner + SnapshotPart,
+    A: AdmissionPolicy + SnapshotPart,
+{
+    fn snapshot_live(&self, log: &mut SegmentLog) -> Result<StateBlob, SnapshotError> {
+        let cursor = log.sync_from(&self.committed)?;
+        Ok(self.encode_snapshot(&FrontierPart::cursor_of(self.committed.machines, cursor)))
+    }
+
+    fn restore_with_log(blob: &StateBlob, log: &SegmentLog) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(blob, Some(log))
     }
 }
 

@@ -30,7 +30,7 @@ fn main() {
                 .filter_map(|id| {
                     let out = run_experiment(id, quick);
                     if out.is_none() {
-                        eprintln!("unknown experiment id: {id} (expected E1..E17 or 'all')");
+                        eprintln!("unknown experiment id: {id} (expected E1..E18 or 'all')");
                     }
                     out
                 })

@@ -70,7 +70,7 @@ where
 }
 
 /// Deterministic-field equality of two stream reports (latencies excluded).
-fn streams_agree(a: &StreamReport, b: &StreamReport) -> bool {
+pub(super) fn streams_agree(a: &StreamReport, b: &StreamReport) -> bool {
     a.batches == b.batches
         && a.schedule.segments == b.schedule.segments
         && a.events.len() == b.events.len()
@@ -82,7 +82,7 @@ fn streams_agree(a: &StreamReport, b: &StreamReport) -> bool {
 
 /// OA(m)'s schedules come from an iterative solver; its recovered run is
 /// compared at solver tolerance with exact decisions instead of bitwise.
-fn streams_agree_tol(a: &StreamReport, b: &StreamReport, tol: f64) -> bool {
+pub(super) fn streams_agree_tol(a: &StreamReport, b: &StreamReport, tol: f64) -> bool {
     a.batches == b.batches
         && a.events.len() == b.events.len()
         && a.events
@@ -273,9 +273,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
                  no-failure run on every deterministic field: {}",
                 check(fleet_identical)
             ),
-            "a blob holds the complete dynamic state including the committed frontier, \
-             so blob size grows linearly with the stream — checkpoint cadence trades \
-             capture cost against replay length (see the recipe in src/README.md)"
+            "a legacy full-frontier blob holds the complete dynamic state including the \
+             committed frontier, so its size grows linearly with the stream — E18 \
+             measures the (log, blob) split that keeps the live blob O(active) at \
+             per-burst cadence (see the recipe in src/README.md)"
                 .into(),
         ],
     }

@@ -1,7 +1,8 @@
 //! The experiment registry (E1–E11 of DESIGN.md, plus the streaming
 //! latency experiment E12, the burst-ingestion/sharding experiment E13,
 //! the checkpoint/failover experiment E14, the multi-tenant ingestion
-//! soak E15, the chaos soak E16 and the stream-sharding experiment E17).
+//! soak E15, the chaos soak E16, the stream-sharding experiment E17 and
+//! the O(active)-checkpoint experiment E18).
 
 use pss_metrics::Table;
 
@@ -20,6 +21,7 @@ pub mod prop2;
 pub mod rejection_policy;
 pub mod route;
 pub mod scaling;
+pub mod seglog;
 pub mod serve;
 pub mod streaming;
 
@@ -105,10 +107,11 @@ pub fn all_experiments(quick: bool) -> Vec<ExperimentOutput> {
         serve::run(quick),
         chaos::run(quick),
         route::run(quick),
+        seglog::run(quick),
     ]
 }
 
-/// Runs a single experiment by id (`"E1"`, …, `"E17"`), if it exists.
+/// Runs a single experiment by id (`"E1"`, …, `"E18"`), if it exists.
 pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
     match id.to_ascii_uppercase().as_str() {
         "E1" => Some(fig2_chen::run(quick)),
@@ -128,6 +131,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "E15" => Some(serve::run(quick)),
         "E16" => Some(chaos::run(quick)),
         "E17" => Some(route::run(quick)),
+        "E18" => Some(seglog::run(quick)),
         _ => None,
     }
 }

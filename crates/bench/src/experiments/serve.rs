@@ -32,7 +32,7 @@ use pss_metrics::table::fmt_f64;
 use pss_metrics::{ServiceSummary, Table};
 use pss_serve::{Daemon, RecoveryReport, ServeConfig, ServiceReport, TenantHandle, TenantSpec};
 use pss_sim::StreamingSimulation;
-use pss_types::{IngressError, JobEnvelope, TenantId};
+use pss_types::{IngressError, JobEnvelope, LogCheckpointable, TenantId};
 use pss_workloads::{ArrivalModel, RandomConfig, ValueModel, WindowModel, WorkModel};
 
 use super::ExperimentOutput;
@@ -81,11 +81,12 @@ fn tenant_stream(per_tenant: usize, alpha: f64, seed: u64) -> Vec<JobEnvelope> {
 /// The price-seeding primer pair for one shard: an easy anchor the
 /// algorithm is certain to accept, plus a job no algorithm can profitably
 /// run (huge work in a sliver of a window).  Submitted back-to-back into a
-/// paused shard they coalesce into one batch, so the anchor's acceptance
-/// makes the batch a pricing event and the hopeless job's rejection dual
-/// (its value) drags the published price positive — the backpressure gates
-/// only engage once the price is positive.  A lone rejected batch would no
-/// longer do: the price EWMA ignores batches with no accepted decision.
+/// paused shard they coalesce into one batch; the anchor's acceptance
+/// folds λ and the hopeless job's rejection dual (its value) drags the
+/// published price positive — the backpressure gates only engage once the
+/// price is positive.  (Since the rejection-starvation fix, every decision
+/// prices in, so a lone rejected batch would also lift the price; the
+/// anchor is kept so the soak still exercises a mixed batch.)
 fn primer_pair() -> [JobEnvelope; 2] {
     [
         JobEnvelope::new(TenantId(0), u64::MAX - 1, 0.0, 4.0, 0.2, 8.0),
@@ -152,7 +153,7 @@ fn soak<A>(
 ) -> SoakOutcome
 where
     A: OnlineAlgorithm,
-    A::Run: Checkpointable + Send + 'static,
+    A::Run: LogCheckpointable + Send + 'static,
 {
     let config = ServeConfig {
         machines: 1,
@@ -289,7 +290,7 @@ fn shards_consistent(outcome: &SoakOutcome) -> bool {
 fn daemon_matches_streaming<A>(algorithm: A, window: f64, seed: u64) -> bool
 where
     A: OnlineAlgorithm + Clone,
-    A::Run: Checkpointable + Send + 'static,
+    A::Run: LogCheckpointable + Send + 'static,
 {
     let config = RandomConfig {
         n_jobs: 48,

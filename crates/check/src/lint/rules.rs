@@ -79,6 +79,7 @@ pub fn total_cmp(path: &str, src: &Source) -> Vec<Finding> {
 /// functions of arbitrary input bytes.
 pub const CODEC_MODULES: &[&str] = &[
     "crates/types/src/snapshot.rs",
+    "crates/types/src/seglog.rs",
     "crates/metrics/src/codec.rs",
 ];
 

@@ -39,6 +39,7 @@ use pss_convex::{
 use pss_intervals::{BoundaryInsert, IntervalPartition, WorkAssignment};
 use pss_power::AlphaPower;
 use pss_types::num::Tolerance;
+use pss_types::seglog::{FrontierPart, LogCheckpointable, SegmentLog};
 use pss_types::snapshot::{
     BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,
 };
@@ -618,18 +619,13 @@ impl SnapshotPart for ArrivalEngine {
     }
 }
 
-/// State version of [`OnlinePd`] snapshots.
-const PD_STATE_VERSION: u16 = 1;
+/// State version of [`OnlinePd`] snapshots.  Version 2 stores the
+/// committed frontier as a [`FrontierPart`] (inline or a segment-log
+/// cursor); version-1 blobs are rejected with a typed error.
+const PD_STATE_VERSION: u16 = 2;
 
-/// The snapshot holds PD's complete dynamic state: the persistent sparse
-/// planning context (partition boundaries + per-interval `(job, fraction)`
-/// load lists — or the rebuild engine's partition and dense assignment),
-/// the dense job history with original ids, the duals and decisions so far,
-/// the committed frontier with its realised prefix length, and the run
-/// parameters (`m`, `α`, `δ`, water-level tolerance).  The power function is
-/// re-derived from `α` on restore; continuation is bit-identical.
-impl Checkpointable for OnlinePd {
-    fn snapshot(&self) -> StateBlob {
+impl OnlinePd {
+    fn encode_snapshot(&self, frontier: &FrontierPart) -> StateBlob {
         let mut w = BlobWriter::new();
         w.write_usize(self.machines);
         w.write_f64(self.alpha);
@@ -641,12 +637,12 @@ impl Checkpointable for OnlinePd {
         w.write_seq(&self.lambda);
         w.write_seq(&self.accepted);
         w.write_f64(self.last_release);
-        w.write_part(&self.committed);
+        w.write_part(frontier);
         w.write_usize(self.committed_prefix);
         StateBlob::new("pd", PD_STATE_VERSION, w.into_payload())
     }
 
-    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+    fn decode_snapshot(blob: &StateBlob, log: Option<&SegmentLog>) -> Result<Self, SnapshotError> {
         let mut r = blob.expect("pd", PD_STATE_VERSION)?;
         let machines = r.read_usize()?;
         let alpha = r.read_f64()?;
@@ -669,7 +665,7 @@ impl Checkpointable for OnlinePd {
             lambda: r.read_seq()?,
             accepted: r.read_seq()?,
             last_release: r.read_f64()?,
-            committed: r.read_part()?,
+            committed: r.read_part::<FrontierPart>()?.resolve(log)?,
             committed_prefix: r.read_usize()?,
         };
         r.finish()?;
@@ -710,6 +706,37 @@ impl Checkpointable for OnlinePd {
             }
         }
         Ok(state)
+    }
+}
+
+/// The snapshot holds PD's complete dynamic state: the persistent sparse
+/// planning context (partition boundaries + per-interval `(job, fraction)`
+/// load lists — or the rebuild engine's partition and dense assignment),
+/// the dense job history with original ids, the duals and decisions so far,
+/// the committed frontier with its realised prefix length, and the run
+/// parameters (`m`, `α`, `δ`, water-level tolerance).  The power function is
+/// re-derived from `α` on restore; continuation is bit-identical.
+impl Checkpointable for OnlinePd {
+    fn snapshot(&self) -> StateBlob {
+        self.encode_snapshot(&FrontierPart::Inline(self.committed.clone()))
+    }
+
+    fn restore(blob: &StateBlob) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(blob, None)
+    }
+}
+
+/// O(active) checkpointing: the committed frontier lives in the run's
+/// [`SegmentLog`]; the blob stores only a cursor (the realised-prefix
+/// index `committed_prefix` is live state and stays in the blob).
+impl LogCheckpointable for OnlinePd {
+    fn snapshot_live(&self, log: &mut SegmentLog) -> Result<StateBlob, SnapshotError> {
+        let cursor = log.sync_from(&self.committed)?;
+        Ok(self.encode_snapshot(&FrontierPart::cursor_of(self.committed.machines, cursor)))
+    }
+
+    fn restore_with_log(blob: &StateBlob, log: &SegmentLog) -> Result<Self, SnapshotError> {
+        Self::decode_snapshot(blob, Some(log))
     }
 }
 

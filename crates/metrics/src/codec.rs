@@ -14,18 +14,27 @@
 //!   (strict, fixed-shape) decoder goes through the shared
 //!   [`JsonValue`] parser of [`crate::json`].
 //!
-//! Both decoders are total: truncated or corrupted input of either form
+//! The realised-segment log — the other half of an O(active) `(log, blob)`
+//! checkpoint pair — gets the same treatment: [`seglog_to_json`]/
+//! [`seglog_from_json`] wrap a [`SegmentLog`]'s checksummed binary wire
+//! form in a self-describing envelope (machine count, end cursor, record
+//! count) whose summary fields are verified against the decoded log.
+//!
+//! All decoders are total: truncated or corrupted input of any form
 //! produces an error, never a panic — the codec fuzz pins in `pss-sim`
 //! exercise this.
 
 use pss_types::snapshot::SnapshotError;
-use pss_types::StateBlob;
+use pss_types::{SegmentLog, StateBlob};
 
 use crate::json::JsonValue;
 use crate::table::json_string;
 
 /// Value of the `"format"` field identifying a checkpoint envelope.
 const JSON_FORMAT: &str = "pss-checkpoint";
+
+/// Value of the `"format"` field identifying a segment-log envelope.
+const SEGLOG_FORMAT: &str = "pss-seglog";
 
 /// Renders a checkpoint blob as a JSON object:
 ///
@@ -114,6 +123,114 @@ pub fn blob_from_json(text: &str) -> Result<StateBlob, SnapshotError> {
     Ok(StateBlob::new(kind, version, payload))
 }
 
+/// Renders a realised-segment log as a JSON envelope:
+///
+/// ```json
+/// {"format":"pss-seglog","machines":2,"segments":10,"records":3,"log":"<hex>"}
+/// ```
+///
+/// The `log` field is the log's binary wire form ([`SegmentLog::to_bytes`]:
+/// the checksummed `StateBlob` container with one FNV-1a checksum per
+/// record), hex-encoded; `machines`, `segments` (the end cursor) and
+/// `records` (live record envelopes) are carried alongside so the envelope
+/// is self-describing without decoding the payload — the other half of the
+/// `(log, blob)` checkpoint pair in text form.
+pub fn seglog_to_json(log: &SegmentLog) -> String {
+    let bytes = log.to_bytes();
+    let mut hex = String::with_capacity(2 * bytes.len());
+    for b in &bytes {
+        use std::fmt::Write;
+        let _ = write!(hex, "{b:02x}");
+    }
+    format!(
+        "{{\"format\":{},\"machines\":{},\"segments\":{},\"records\":{},\"log\":\"{}\"}}",
+        json_string(SEGLOG_FORMAT),
+        log.machines(),
+        log.cursor().segments(),
+        log.record_count(),
+        hex
+    )
+}
+
+/// Parses the JSON envelope produced by [`seglog_to_json`] back into a
+/// [`SegmentLog`].
+///
+/// As strict as [`blob_from_json`], and strictly *total*: the fixed shape
+/// is enforced, the hex payload must decode as a valid log (contiguous,
+/// checksummed records — [`SegmentLog::from_bytes`]), and the summary
+/// fields must agree with the decoded log; any mismatch is a
+/// [`SnapshotError`], never a panic or a silent misparse.
+pub fn seglog_from_json(text: &str) -> Result<SegmentLog, SnapshotError> {
+    let corrupted = SnapshotError::Corrupted;
+    let value = JsonValue::parse(text).map_err(|e| corrupted(e.to_string()))?;
+    let pairs = value
+        .as_object()
+        .ok_or_else(|| corrupted("segment-log envelope is not an object".into()))?;
+    let mut format: Option<String> = None;
+    let mut machines: Option<u64> = None;
+    let mut segments: Option<u64> = None;
+    let mut records: Option<u64> = None;
+    let mut wire: Option<Vec<u8>> = None;
+    for (key, field) in pairs {
+        match key.as_str() {
+            "format" => {
+                format = Some(
+                    field
+                        .as_str()
+                        .ok_or_else(|| corrupted("format is not a string".into()))?
+                        .to_string(),
+                )
+            }
+            "machines" => {
+                machines = Some(
+                    field
+                        .as_u64()
+                        .ok_or_else(|| corrupted("machines is not an unsigned integer".into()))?,
+                )
+            }
+            "segments" => {
+                segments = Some(
+                    field
+                        .as_u64()
+                        .ok_or_else(|| corrupted("segments is not an unsigned integer".into()))?,
+                )
+            }
+            "records" => {
+                records = Some(
+                    field
+                        .as_u64()
+                        .ok_or_else(|| corrupted("records is not an unsigned integer".into()))?,
+                )
+            }
+            "log" => {
+                wire = Some(decode_hex(
+                    field
+                        .as_str()
+                        .ok_or_else(|| corrupted("log is not a string".into()))?,
+                )?)
+            }
+            other => return Err(corrupted(format!("unknown segment-log field {other:?}"))),
+        }
+    }
+    if format.as_deref() != Some(SEGLOG_FORMAT) {
+        return Err(corrupted(format!("not a {SEGLOG_FORMAT} envelope")));
+    }
+    let machines = machines.ok_or_else(|| corrupted("missing machines".into()))?;
+    let segments = segments.ok_or_else(|| corrupted("missing segments".into()))?;
+    let records = records.ok_or_else(|| corrupted("missing records".into()))?;
+    let wire = wire.ok_or_else(|| corrupted("missing log".into()))?;
+    let log = SegmentLog::from_bytes(&wire)?;
+    if log.machines() as u64 != machines
+        || log.cursor().segments() != segments
+        || log.record_count() as u64 != records
+    {
+        return Err(corrupted(
+            "segment-log summary fields disagree with the decoded log".into(),
+        ));
+    }
+    Ok(log)
+}
+
 /// Decodes the payload's hex encoding (two digits per byte, either case).
 fn decode_hex(hex: &str) -> Result<Vec<u8>, SnapshotError> {
     if !hex.len().is_multiple_of(2) {
@@ -198,5 +315,65 @@ mod tests {
         let blob = StateBlob::new("weird \"kind\"\nwith \\ stuff", 2, vec![7]);
         let back = blob_from_json(&blob_to_json(&blob)).unwrap();
         assert_eq!(back, blob);
+    }
+
+    fn sample_log() -> SegmentLog {
+        use pss_types::{JobId, Schedule, Segment};
+        let mut log = SegmentLog::new(2);
+        let mut frontier = Schedule::empty(2);
+        for burst in 0..3usize {
+            frontier.segments.push(Segment::work(
+                burst % 2,
+                burst as f64,
+                burst as f64 + 1.0,
+                1.25,
+                JobId(burst),
+            ));
+            log.sync_from(&frontier).unwrap();
+        }
+        log
+    }
+
+    #[test]
+    fn seglog_envelope_round_trips() {
+        let log = sample_log();
+        let json = seglog_to_json(&log);
+        assert!(json.contains("\"pss-seglog\""));
+        assert!(json.contains("\"segments\":3"));
+        let back = seglog_from_json(&json).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn seglog_envelope_rejects_corruption_and_lying_summaries() {
+        let log = sample_log();
+        let json = seglog_to_json(&log);
+        // Every truncation of the valid envelope must fail cleanly.
+        for len in 0..json.len() {
+            let prefix = &json[..len];
+            assert!(seglog_from_json(prefix).is_err(), "truncation to {len}");
+        }
+        // A summary field that disagrees with the decoded log is corrupt,
+        // not silently trusted.
+        let lying = json.replace("\"segments\":3", "\"segments\":4");
+        assert!(seglog_from_json(&lying).is_err());
+        // A flipped hex digit breaks a record checksum inside the wire.
+        let hex_at = json.find("\"log\":\"").unwrap() + "\"log\":\"".len();
+        let mut flipped = json.clone().into_bytes();
+        flipped[hex_at + 40] = if flipped[hex_at + 40] == b'0' {
+            b'1'
+        } else {
+            b'0'
+        };
+        let flipped = String::from_utf8(flipped).unwrap();
+        assert!(seglog_from_json(&flipped).is_err());
+        for bad in [
+            "{}",
+            "{\"format\":\"pss-seglog\",\"machines\":2,\"segments\":3,\"records\":3}",
+            "{\"format\":\"pss-checkpoint\",\"machines\":2,\"segments\":3,\"records\":3,\"log\":\"\"}",
+            "{\"format\":\"pss-seglog\",\"machines\":2,\"segments\":3,\"records\":3,\"log\":\"zz\"}",
+        ] {
+            assert!(seglog_from_json(bad).is_err(), "must reject {bad:?}");
+        }
     }
 }

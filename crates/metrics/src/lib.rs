@@ -26,7 +26,7 @@ pub mod report;
 pub mod service;
 pub mod table;
 
-pub use codec::{blob_from_json, blob_to_json};
+pub use codec::{blob_from_json, blob_to_json, seglog_from_json, seglog_to_json};
 pub use csv::table_to_csv;
 pub use json::{JsonError, JsonValue};
 pub use report::{evaluate_scheduler, AlgorithmResult, RatioSummary};

@@ -26,8 +26,11 @@
 //!
 //! The duals the scheduler emits (λ_j on acceptance, the lost value v_j on
 //! rejection) are folded into a per-shard rolling EWMA — the *price* —
-//! batch by batch; a batch with no accepted decision is not a pricing
-//! event and leaves the published price unchanged (see `feed_batch`).
+//! decision by decision, so a shard drowning in rejections *raises* its
+//! published price instead of freezing it (rejection-only batches used to
+//! be skipped, which starved the signal and made cheapest-price routing
+//! herd — the E17 finding).  A batch with no decisions at all leaves the
+//! price bit-unchanged and never NaN (see `feed_batch`).
 //! Admission compares the price against `min(tenant price ceiling, job
 //! value)`: a submission whose declared value cannot cover the current
 //! marginal price is deferred (retryable) or rejected at the boundary,
@@ -41,21 +44,34 @@
 //! Workers act on lifecycle signals (crash injection, hand-off, shutdown)
 //! only at *quiescent batch boundaries* — with no drained-but-unfed
 //! arrivals in hand — so a dying worker never loses work it acknowledged.
-//! Every fed batch is first appended to a durable in-memory journal; the
-//! worker checkpoints its run every `checkpoint_every` batches as a
-//! `StateBlob` wire image, kept in a bounded per-shard *chain* of the
-//! `checkpoint_chain` newest blobs.  Recovery restores the run from the
-//! newest blob that decodes (a corrupted checkpoint costs replay length,
-//! not the shard), rewinds the derived records to that checkpoint, and
-//! replays the journal delta — reproducing the pre-crash decisions
-//! bit-for-bit, because every run's restore is bit-identical and the
-//! journal fixes feed times and id assignment.  If the whole chain is
-//! corrupt, the run restarts cold and the full journal replays: the
-//! journal is the source of truth, checkpoints only shorten replay.  A
-//! hand-off is the graceful special case: checkpoint at the boundary,
-//! exit, restore on a fresh thread with an empty delta.  A `watchdog_sweep`
-//! on the control plane reaps dead workers (injected crashes, poisoned
-//! runs) and auto-recovers them with capped consecutive attempts.
+//! Every fed batch is first appended to a durable in-memory journal, and
+//! the segments the batch *committed* are mirrored into the shard's
+//! append-only [`SegmentLog`] (one checksummed record per batch, under the
+//! journal lock).  The worker checkpoints its run every `checkpoint_every`
+//! batches as a `StateBlob` wire image, kept in a bounded per-shard
+//! *chain* of the `checkpoint_chain` newest blobs.  By default a blob
+//! holds only the run's *live* state plus a log cursor — O(active) bytes,
+//! independent of how long the shard has been fed — and the log's record
+//! envelopes are compacted below the newest retained cursor at each
+//! capture (segment data is never dropped, so every retained blob still
+//! reassembles).  [`ServeConfig::full_frontier_checkpoints`] restores the
+//! legacy inline-frontier blobs as a differential baseline.
+//!
+//! Recovery restores the run from the newest blob that decodes against
+//! the log (a corrupted checkpoint costs replay length, not the shard),
+//! rewinds the derived records *and the log* to that checkpoint's cursor
+//! (write-ahead discipline: replay re-commits the truncated segments
+//! through the run itself), and replays the journal delta — reproducing
+//! the pre-crash decisions bit-for-bit, because every run's restore is
+//! bit-identical and the journal fixes feed times and id assignment.  If
+//! the whole chain is corrupt, the run restarts cold, the log resets and
+//! the full journal replays: the journal is the source of truth,
+//! checkpoints only shorten replay.  A hand-off is the graceful special
+//! case: checkpoint at the boundary, exit, ship the `(log tail, blob)`
+//! pair, restore on a fresh thread with an empty delta.  A
+//! `watchdog_sweep` on the control plane reaps dead workers (injected
+//! crashes, poisoned runs) and auto-recovers them with capped consecutive
+//! attempts.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -71,8 +87,9 @@ use std::time::{Duration, Instant};
 use pss_check::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use pss_metrics::DrainSummary;
 use pss_types::{
-    Checkpointable, Decision, IngressError, Job, JobEnvelope, JobId, OnlineAlgorithm,
-    OnlineScheduler, Schedule, ScheduleError, StateBlob, TenantId,
+    fold_price, Checkpointable, Decision, IngressError, Job, JobEnvelope, JobId, LogCheckpointable,
+    LogCursor, OnlineAlgorithm, OnlineScheduler, Schedule, ScheduleError, SegmentLog, StateBlob,
+    TenantId,
 };
 
 use crate::queue::ArrivalQueue;
@@ -131,6 +148,12 @@ pub struct ServeConfig {
     /// Start with ingestion paused (workers park, queues fill).  Used by
     /// deterministic tests to control batching; [`Daemon::resume`] unpauses.
     pub start_paused: bool,
+    /// Capture legacy full-frontier checkpoint blobs (the committed
+    /// frontier inline in every `StateBlob`, O(events) bytes) instead of
+    /// the default O(active) live-state blobs backed by the shard's
+    /// segment log.  Retained as the differential baseline E18 and the
+    /// chaos drills compare against.
+    pub full_frontier_checkpoints: bool,
 }
 
 impl Default for ServeConfig {
@@ -148,11 +171,20 @@ impl Default for ServeConfig {
             price_smoothing: 0.1,
             stale_tolerance: f64::INFINITY,
             start_paused: false,
+            full_frontier_checkpoints: false,
         }
     }
 }
 
 impl ServeConfig {
+    /// Toggles legacy full-frontier checkpoint blobs (the differential
+    /// baseline; the default captures O(active) live-state blobs plus the
+    /// shard's segment log).
+    pub fn with_full_frontier_checkpoints(mut self, on: bool) -> Self {
+        self.full_frontier_checkpoints = on;
+        self
+    }
+
     fn validate(&self) -> Result<(), ScheduleError> {
         let bad = |msg: String| Err(ScheduleError::Internal(msg));
         if self.machines == 0 {
@@ -274,18 +306,26 @@ struct ShardCheckpoint {
     watermark: f64,
     price: f64,
     release_floor: f64,
+    /// The segment-log cursor at capture time: recovery truncates the log
+    /// here before replay (write-ahead discipline), and an O(active) blob
+    /// stores the same cursor in place of its frontier.
+    cursor: LogCursor,
     wire: Vec<u8>,
 }
 
 /// Everything a shard's worker writes: the durable batch log, the derived
 /// per-event records, and the lifecycle outcome.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ShardJournal {
     log: Vec<LoggedBatch>,
     events: Vec<ServedEvent>,
     jobs: Vec<Job>,
     price_trace: Vec<f64>,
     depth_samples: Vec<usize>,
+    /// The shard's append-only realised-segment log: synced with the
+    /// run's frontier after every fed batch (under this lock), the other
+    /// half of every O(active) checkpoint in the chain.
+    seglog: SegmentLog,
     /// The bounded checkpoint chain, oldest first, newest last.
     checkpoints: VecDeque<ShardCheckpoint>,
     checkpoints_taken: usize,
@@ -295,6 +335,27 @@ struct ShardJournal {
     finished: Option<Schedule>,
     failed: Option<ScheduleError>,
     crashed: bool,
+}
+
+impl ShardJournal {
+    fn new(machines: usize) -> Self {
+        Self {
+            log: Vec::new(),
+            events: Vec::new(),
+            jobs: Vec::new(),
+            price_trace: Vec::new(),
+            depth_samples: Vec::new(),
+            seglog: SegmentLog::new(machines),
+            checkpoints: VecDeque::new(),
+            checkpoints_taken: 0,
+            handoffs: 0,
+            handoff_secs: Vec::new(),
+            drain_secs: 0.0,
+            finished: None,
+            failed: None,
+            crashed: false,
+        }
+    }
 }
 
 /// Shared per-shard state: the queue, the published backpressure signals
@@ -351,7 +412,7 @@ struct ShardShared {
 }
 
 impl ShardShared {
-    fn new(shard: usize, queue_capacity: usize) -> Self {
+    fn new(shard: usize, queue_capacity: usize, machines: usize) -> Self {
         Self {
             shard,
             queue: ArrivalQueue::with_capacity(queue_capacity),
@@ -366,7 +427,7 @@ impl ShardShared {
             handoff: AtomicBool::new(false),
             failed: AtomicBool::new(false),
             worker: Mutex::new(None),
-            journal: Mutex::new(ShardJournal::default()),
+            journal: Mutex::new(ShardJournal::new(machines)),
         }
     }
 
@@ -647,21 +708,23 @@ fn feed_batch<R: OnlineScheduler>(
             }
         })
         .collect();
-    // A batch with no accepted decision is not a pricing event: an
-    // all-rejected (or all-expired) batch leaves the published price
-    // bit-unchanged instead of folding rejection duals — a flood of
-    // worthless jobs must not drag the price toward zero (or, with no
-    // decisions at all, toward NaN) exactly when the gate should hold.
-    // Rejections still price in whenever the batch carries at least one
-    // acceptance, which is what lets hopeless jobs raise the price in a
-    // mixed batch.  The guard depends only on the decisions, so replay
-    // reproduces it bit-for-bit.
-    let pricing_event = decisions.iter().any(|d| d.accepted);
+    // Every decision is a pricing event, folded through the shared
+    // `fold_price` rule (same code path as the sharded simulator, so
+    // replay, recovery and the drift oracle agree to the bit):
+    // acceptances fold their marginal price λ_j symmetrically, while
+    // rejections only ratchet the price *up* toward the lost value v_j —
+    // a shard drowning in hopeless jobs raises its published price
+    // instead of freezing it (rejection-only batches used to be skipped
+    // entirely; a congested shard's price then never moved and
+    // cheapest-price routing kept herding onto it — the E17 starvation
+    // finding), yet a flood of below-price rejections cannot drag the
+    // price down and turn the congested shard into the argmin.  A batch
+    // with no decisions at all still leaves the price bit-unchanged and
+    // never NaN: admission-level bounces (the ceiling-0 flood) produce
+    // no decisions and must not perturb the signal.
     for ((envelope, job), decision) in batch.envelopes.iter().zip(&jobs).zip(&decisions) {
         let expired = job.deadline <= batch.feed_time;
-        if pricing_event {
-            cursor.price = (1.0 - smoothing) * cursor.price + smoothing * decision.dual;
-        }
+        cursor.price = fold_price(cursor.price, smoothing, decision);
         journal.events.push(ServedEvent {
             shard: shard.shard,
             tenant: envelope.tenant,
@@ -679,6 +742,15 @@ fn feed_batch<R: OnlineScheduler>(
     cursor.batches_done += 1;
     journal.jobs.extend(jobs);
     journal.price_trace.push(cursor.price);
+    // The run's frontier just grew by this batch's committed segments;
+    // mirror the delta into the shard's append-only segment log (one
+    // checksummed record per batch).  Recovery replays through this same
+    // path, so a restored shard rebuilds the identical log.
+    journal.seglog.sync_from(run.frontier()).map_err(|e| {
+        ScheduleError::Internal(format!(
+            "segment log rejected the batch's frontier delta: {e}"
+        ))
+    })?;
     // `Release` publication: an admission thread that acquires either
     // signal also sees this batch's journal updates (see the contract on
     // `ShardShared::price`).  The watermark is stored after the price so a
@@ -694,15 +766,33 @@ fn feed_batch<R: OnlineScheduler>(
 
 /// Captures a checkpoint: the run's `StateBlob` wire image plus the
 /// journal cursor, appended to the shard's bounded checkpoint chain
-/// (oldest entries fall off once the chain exceeds `chain` blobs).
-fn capture_checkpoint<R: Checkpointable>(
+/// (oldest entries fall off once the chain exceeds `checkpoint_chain`
+/// blobs).
+///
+/// By default the blob holds only live state plus a cursor into the
+/// shard's segment log (`snapshot_live`) — O(active) bytes per capture —
+/// and the log's record envelopes are compacted below the fresh cursor
+/// (segment data is never dropped, so the older retained blobs still
+/// reassemble).  Under [`ServeConfig::full_frontier_checkpoints`] the
+/// legacy inline-frontier blob is captured instead.
+fn capture_checkpoint<R: LogCheckpointable>(
     shard: &ShardShared,
     run: &R,
     cursor: &FeedCursor,
-    chain: usize,
-) {
-    let wire = run.snapshot().to_bytes();
+    config: &ServeConfig,
+) -> Result<(), ScheduleError> {
     let mut journal = shard.journal.lock().unwrap();
+    let wire = if config.full_frontier_checkpoints {
+        run.snapshot().to_bytes()
+    } else {
+        run.snapshot_live(&mut journal.seglog)
+            .map_err(|e| ScheduleError::Internal(format!("checkpoint capture failed: {e}")))?
+            .to_bytes()
+    };
+    let log_cursor = journal.seglog.cursor();
+    if !config.full_frontier_checkpoints {
+        journal.seglog.compact(log_cursor);
+    }
     let events_done = journal.events.len();
     journal.checkpoints_taken += 1;
     journal.checkpoints.push_back(ShardCheckpoint {
@@ -712,11 +802,13 @@ fn capture_checkpoint<R: Checkpointable>(
         watermark: shard.watermark(),
         price: cursor.price,
         release_floor: cursor.release_floor,
+        cursor: log_cursor,
         wire,
     });
-    while journal.checkpoints.len() > chain.max(1) {
+    while journal.checkpoints.len() > config.checkpoint_chain.max(1) {
         journal.checkpoints.pop_front();
     }
+    Ok(())
 }
 
 fn spawn_worker<R>(
@@ -725,7 +817,7 @@ fn spawn_worker<R>(
     seed: WorkerSeed<R>,
 ) -> JoinHandle<()>
 where
-    R: OnlineScheduler + Checkpointable + Send + 'static,
+    R: OnlineScheduler + LogCheckpointable + Send + 'static,
 {
     std::thread::Builder::new()
         .name(format!("pss-serve-{}", shard.shard))
@@ -733,7 +825,7 @@ where
         .expect("failed to spawn shard worker thread")
 }
 
-fn worker_loop<R: OnlineScheduler + Checkpointable>(
+fn worker_loop<R: OnlineScheduler + LogCheckpointable>(
     shared: Arc<ServiceShared>,
     shard: Arc<ShardShared>,
     seed: WorkerSeed<R>,
@@ -762,7 +854,11 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
             // ordered for a later requester; acquire pairs with the
             // control plane's `Release` store so its writes are visible).
             if shard.handoff.swap(false, Ordering::AcqRel) {
-                capture_checkpoint(&shard, &run, &cursor, config.checkpoint_chain);
+                if let Err(e) = capture_checkpoint(&shard, &run, &cursor, &config) {
+                    let mut journal = shard.journal.lock().unwrap();
+                    journal.failed = Some(e);
+                    shard.failed.store(true, Ordering::Release);
+                }
                 return;
             }
             if shared.paused.load(Ordering::Acquire) && !shared.shutdown.load(Ordering::Acquire) {
@@ -866,7 +962,15 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
             }
         }
         if config.checkpoint_every > 0 && cursor.batches_done % config.checkpoint_every == 0 {
-            capture_checkpoint(&shard, &run, &cursor, config.checkpoint_chain);
+            if let Err(e) = capture_checkpoint(&shard, &run, &cursor, &config) {
+                // A failed capture poisons the shard like a feed error:
+                // surface it at shutdown, stop admitting, let the
+                // watchdog recover from the journal.
+                let mut journal = shard.journal.lock().unwrap();
+                journal.failed = Some(e);
+                shard.failed.store(true, Ordering::Release);
+                return;
+            }
         }
     }
 }
@@ -879,7 +983,7 @@ fn worker_loop<R: OnlineScheduler + Checkpointable>(
 /// shutdown) and introspection (prices, queue depths).
 pub struct Daemon<A: OnlineAlgorithm>
 where
-    A::Run: Checkpointable + Send + 'static,
+    A::Run: LogCheckpointable + Send + 'static,
 {
     algorithm: A,
     inner: Arc<ServiceShared>,
@@ -889,7 +993,7 @@ where
 impl<A> Daemon<A>
 where
     A: OnlineAlgorithm,
-    A::Run: Checkpointable + Send + 'static,
+    A::Run: LogCheckpointable + Send + 'static,
 {
     /// Starts the service: one scheduler run and one worker thread per
     /// shard, plus one [`TenantHandle`] per registered tenant (in
@@ -914,7 +1018,7 @@ where
             paused: AtomicBool::new(config.start_paused),
             tenants: tenants.into_iter().map(TenantState::new).collect(),
             shards: (0..config.shards)
-                .map(|s| Arc::new(ShardShared::new(s, config.queue_capacity)))
+                .map(|s| Arc::new(ShardShared::new(s, config.queue_capacity, config.machines)))
                 .collect(),
         });
         let mut workers = Vec::with_capacity(config.shards);
@@ -927,7 +1031,7 @@ where
                 release_floor: f64::NEG_INFINITY,
             };
             // An initial checkpoint makes recovery possible from batch 0.
-            capture_checkpoint(shard, &run, &cursor, config.checkpoint_chain);
+            capture_checkpoint(shard, &run, &cursor, &config)?;
             let seed = WorkerSeed { run, cursor };
             workers.push(Some(spawn_worker(
                 Arc::clone(&inner),
@@ -1018,6 +1122,25 @@ where
         self.inner.shards[shard].price()
     }
 
+    /// The shard's segment-log end cursor (realised segments) and live
+    /// record-envelope count — introspection for the checkpoint drills
+    /// and E18 (compaction keeps the envelope count O(retained chain)).
+    pub fn shard_log_stats(&self, shard: usize) -> (u64, usize) {
+        let journal = self.inner.shards[shard].journal.lock().unwrap();
+        (
+            journal.seglog.cursor().segments(),
+            journal.seglog.record_count(),
+        )
+    }
+
+    /// Wire sizes of the shard's retained checkpoint blobs, oldest first —
+    /// the O(active)-vs-O(events) measurement E18 and the chaos drills
+    /// read.
+    pub fn shard_checkpoint_sizes(&self, shard: usize) -> Vec<usize> {
+        let journal = self.inner.shards[shard].journal.lock().unwrap();
+        journal.checkpoints.iter().map(|c| c.wire.len()).collect()
+    }
+
     /// A snapshot of the shard's arrival-queue depth.
     pub fn queue_depth(&self, shard: usize) -> usize {
         self.inner.shards[shard].queue.len()
@@ -1073,11 +1196,22 @@ where
         let started = Instant::now();
         let sh = Arc::clone(&self.inner.shards[shard]);
         let mut journal = sh.journal.lock().unwrap();
-        // Newest blob that decodes wins; count what we had to skip.
+        // Newest blob that decodes wins; count what we had to skip.  An
+        // O(active) blob decodes *against the log*: its frontier cursor
+        // reassembles from the journal's segment log (compaction never
+        // discards the segments an older retained blob needs).
+        let full_frontier = self.inner.config.full_frontier_checkpoints;
         let mut chain_skipped = 0;
         let mut restored: Option<(A::Run, ShardCheckpoint)> = None;
         for ckpt in journal.checkpoints.iter().rev() {
-            match StateBlob::from_bytes(&ckpt.wire).and_then(|blob| A::Run::restore(&blob)) {
+            let decoded = StateBlob::from_bytes(&ckpt.wire).and_then(|blob| {
+                if full_frontier {
+                    A::Run::restore(&blob)
+                } else {
+                    A::Run::restore_with_log(&blob, &journal.seglog)
+                }
+            });
+            match decoded {
                 Ok(run) => {
                     restored = Some((run, ckpt.clone()));
                     break;
@@ -1091,6 +1225,14 @@ where
                 journal.events.truncate(ckpt.events_done);
                 journal.jobs.truncate(ckpt.jobs_done);
                 journal.price_trace.truncate(ckpt.batches_done);
+                // Write-ahead discipline: drop log segments at or beyond
+                // the restored blob's cursor *before* replay — replay
+                // re-commits them through the run itself (`feed_batch`
+                // re-syncs the log), so skipping the truncation would
+                // duplicate them.
+                journal.seglog.truncate(ckpt.cursor).map_err(|e| {
+                    ScheduleError::Internal(format!("segment log rewind failed: {e}"))
+                })?;
                 sh.price_bits.store(ckpt.price.to_bits(), Ordering::Release);
                 sh.watermark_bits
                     .store(ckpt.watermark.to_bits(), Ordering::Release);
@@ -1109,6 +1251,9 @@ where
                 journal.events.clear();
                 journal.jobs.clear();
                 journal.price_trace.clear();
+                // The full journal replays from scratch, so the log
+                // restarts empty and is rebuilt batch by batch.
+                journal.seglog = SegmentLog::new(self.inner.config.machines);
                 sh.price_bits.store(0.0_f64.to_bits(), Ordering::Release);
                 sh.watermark_bits
                     .store(f64::NEG_INFINITY.to_bits(), Ordering::Release);
@@ -1262,6 +1407,25 @@ where
         handle
             .join()
             .map_err(|_| ScheduleError::Internal(format!("shard {shard} worker panicked")))?;
+        // The hand-off ships a `(log tail, blob)` pair across the worker
+        // boundary: the departing worker's final checkpoint blob plus the
+        // serialised segment-log tail, re-absorbed into a *fresh* log on
+        // the receiving side.  Rebuilding the journal's log from the
+        // shipped bytes — and only those bytes — proves the pair is
+        // self-contained before `recover_shard` restores from it.
+        // Skipped under the legacy full-frontier toggle, whose blobs
+        // carry their frontier inline.
+        if !self.inner.config.full_frontier_checkpoints {
+            let mut journal = self.inner.shards[shard].journal.lock().unwrap();
+            let tail = journal.seglog.encode_tail(LogCursor(0)).map_err(|e| {
+                ScheduleError::Internal(format!("hand-off log-tail encode failed: {e}"))
+            })?;
+            let mut moved = SegmentLog::new(self.inner.config.machines);
+            moved.absorb_tail(&tail).map_err(|e| {
+                ScheduleError::Internal(format!("hand-off log-tail absorb failed: {e}"))
+            })?;
+            journal.seglog = moved;
+        }
         let report = self.recover_shard(shard)?;
         let secs = started.elapsed().as_secs_f64();
         let mut journal = self.inner.shards[shard].journal.lock().unwrap();
@@ -1348,7 +1512,7 @@ where
 
 impl<A: OnlineAlgorithm> Drop for Daemon<A>
 where
-    A::Run: Checkpointable + Send + 'static,
+    A::Run: LogCheckpointable + Send + 'static,
 {
     fn drop(&mut self) {
         // A dropped daemon releases its workers: raise the drain flag so

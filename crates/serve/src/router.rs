@@ -7,7 +7,8 @@
 //! is routed to a shard by a pluggable [`RoutePolicy`] — deterministic
 //! hash of the submission sequence, round-robin, or **cheapest-price**
 //! (the argmin of the shards' published rolling dual-price EWMAs, read
-//! lock-free via [`Daemon::shard_price`], ties broken by shard index) —
+//! lock-free via [`Daemon::shard_price`], exact ties rotated by sequence
+//! number so an all-zero cold start spreads like round-robin) —
 //! and the per-shard outcomes are zipped back into one logical schedule
 //! with [`pss_types::merge_frontiers`].
 //!
@@ -39,7 +40,7 @@ use std::time::{Duration, Instant};
 
 use pss_sim::RoutePolicy;
 use pss_types::{merge_frontiers, Instance, JobId, Schedule, ScheduleError, ShardPiece};
-use pss_types::{Checkpointable, OnlineAlgorithm};
+use pss_types::{LogCheckpointable, OnlineAlgorithm};
 use pss_workloads::{arrival_envelopes, SmallRng};
 
 use crate::chaos::deterministic_fields_equal;
@@ -241,7 +242,7 @@ impl StreamRouter {
     fn prices<A>(daemon: &Daemon<A>, shards: usize) -> Vec<f64>
     where
         A: OnlineAlgorithm,
-        A::Run: Checkpointable + Send + 'static,
+        A::Run: LogCheckpointable + Send + 'static,
     {
         (0..shards).map(|s| daemon.shard_price(s)).collect()
     }
@@ -257,7 +258,7 @@ impl StreamRouter {
     ) -> Result<RoutedReport, ScheduleError>
     where
         A: OnlineAlgorithm,
-        A::Run: Checkpointable + Send + 'static,
+        A::Run: LogCheckpointable + Send + 'static,
     {
         self.check()?;
         let (daemon, handles) = Daemon::spawn(algorithm, self.config(true), self.tenants())?;
@@ -319,7 +320,7 @@ impl StreamRouter {
     ) -> Result<RoutedReport, ScheduleError>
     where
         A: OnlineAlgorithm,
-        A::Run: Checkpointable + Send + 'static,
+        A::Run: LogCheckpointable + Send + 'static,
     {
         self.check()?;
         let (daemon, handles) = Daemon::spawn(algorithm, self.config(false), self.tenants())?;
@@ -415,7 +416,7 @@ impl StreamRouter {
 fn wait_idle_all<A>(daemon: &Daemon<A>, shards: usize) -> Result<(), ScheduleError>
 where
     A: OnlineAlgorithm,
-    A::Run: Checkpointable + Send + 'static,
+    A::Run: LogCheckpointable + Send + 'static,
 {
     let epochs: Vec<u64> = (0..shards).map(|s| daemon.shard_idle_epoch(s)).collect();
     let deadline = Instant::now() + WAIT_LIMIT;
@@ -436,7 +437,7 @@ where
 fn wait_events<A>(daemon: &Daemon<A>, shard: usize, expected: usize) -> Result<(), ScheduleError>
 where
     A: OnlineAlgorithm,
-    A::Run: Checkpointable + Send + 'static,
+    A::Run: LogCheckpointable + Send + 'static,
 {
     let deadline = Instant::now() + WAIT_LIMIT;
     while daemon.shard_event_count(shard) < expected {

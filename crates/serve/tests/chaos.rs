@@ -57,7 +57,7 @@ fn wave_config() -> ServeConfig {
 fn feed_wave<A>(daemon: &Daemon<A>, handle: &pss_serve::TenantHandle, wave: &[JobEnvelope])
 where
     A: pss_types::OnlineAlgorithm,
-    A::Run: pss_types::Checkpointable + Send + 'static,
+    A::Run: pss_types::LogCheckpointable + Send + 'static,
 {
     let epoch = daemon.shard_idle_epoch(0);
     wait_for("worker parked", || daemon.shard_idle_epoch(0) > epoch);
@@ -256,6 +256,75 @@ fn corrupting_a_missing_checkpoint_is_a_typed_error() {
 }
 
 // ---------------------------------------------------------------------------
+// Tentpole: O(active) checkpoints — the segment log compacts at every
+// capture, live blobs undercut the legacy full-frontier blobs, and crash
+// recovery from (log, blob) is bit-identical in both encoding modes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seglog_checkpoints_compact_and_recover_bit_identically_in_both_modes() {
+    let run = |full_frontier: bool, crash: bool| {
+        let config = wave_config().with_full_frontier_checkpoints(full_frontier);
+        let (mut daemon, handles) =
+            Daemon::spawn(PdScheduler::coarse(), config, vec![TenantSpec::new("t")]).unwrap();
+        for i in 0..6 {
+            feed_wave(&daemon, &handles[0], &[env(i, i as f64)]);
+        }
+        // Wait for the park after the last wave's checkpoint so the log
+        // stats and chain sizes are read at a quiescent boundary.
+        let epoch = daemon.shard_idle_epoch(0);
+        wait_for("post-wave park", || daemon.shard_idle_epoch(0) > epoch);
+        let (segments, records) = daemon.shard_log_stats(0);
+        let sizes = daemon.shard_checkpoint_sizes(0);
+        if crash {
+            // Corrupt the newest blob: recovery falls back one level, so
+            // the restored run reassembles its frontier from a log cursor
+            // *below* the compaction point, truncates the log there, and
+            // replays the newer batch on top.
+            daemon.crash_shard(0, 0).unwrap();
+            daemon.corrupt_checkpoint(0, 0, 33).unwrap();
+            let report = daemon.recover_shard(0).unwrap();
+            assert_eq!(report.chain_skipped, 1);
+            assert!(!report.cold_restart);
+            assert_eq!(report.replayed_batches, 1);
+        }
+        daemon.resume();
+        (daemon.shutdown().unwrap(), segments, records, sizes)
+    };
+
+    let (live, live_segments, live_records, live_sizes) = run(false, true);
+    let (legacy, _, _, legacy_sizes) = run(true, true);
+    let (free, ..) = run(false, false);
+
+    // The encoding toggle and the crash are both invisible on every
+    // deterministic field.
+    assert!(
+        deterministic_fields_equal(&live, &free),
+        "seglog crash recovery diverged from the crash-free reference"
+    );
+    assert!(
+        deterministic_fields_equal(&live, &legacy),
+        "checkpoint encoding leaked into the scheduling path"
+    );
+
+    // Compaction at capture: every committed segment lives in the log's
+    // prefix, no record envelope outlives the capture that folded it.
+    assert!(live_segments > 0, "committed work must reach the log");
+    assert_eq!(
+        live_records, 0,
+        "capture must compact the log's record envelopes"
+    );
+    // O(active): the newest live blob undercuts the legacy full-frontier
+    // blob captured at the same cut, and the chain respects its bound.
+    assert!(live_sizes.len() <= 3 && legacy_sizes.len() <= 3);
+    let (live_last, legacy_last) = (*live_sizes.last().unwrap(), *legacy_sizes.last().unwrap());
+    assert!(
+        live_last < legacy_last,
+        "O(active) blob ({live_last} B) should undercut full-frontier ({legacy_last} B)"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Satellite-adjacent: watchdog supervision — poisoned feeds heal, and
 // consecutive failures hit the cap as a typed give-up.
 // ---------------------------------------------------------------------------
@@ -342,11 +411,11 @@ fn watchdog_gives_up_after_the_configured_consecutive_attempts() {
 }
 
 // ---------------------------------------------------------------------------
-// Satellite: the price EWMA ignores batches with no accepted decision.
+// Satellite: rejection duals price in; decision-free bounces never do.
 // ---------------------------------------------------------------------------
 
 #[test]
-fn all_rejected_batches_leave_the_published_price_untouched() {
+fn rejection_only_batches_fold_their_duals_into_the_price() {
     let config = ServeConfig {
         price_smoothing: 0.5,
         ..wave_config()
@@ -360,30 +429,63 @@ fn all_rejected_batches_leave_the_published_price_untouched() {
     assert!(price.is_finite() && !price.is_nan());
 
     // A batch of provably rejected jobs (duals = their values, 8.0 each)
-    // is NOT a pricing event: the published price must be bit-unchanged,
-    // not dragged toward 8 and never NaN.
+    // IS a pricing event: every rejection folds its lost value v_j into
+    // the EWMA — the congestion signal cheapest-price routing reads.
+    // (Skipping rejection-only batches froze a congested shard's price
+    // and made the router herd onto it — the E17 starvation bug.)  The
+    // fold is deterministic, one EWMA step per decision in feed order.
     feed_wave(
         &daemon,
         &handles[0],
         &[hopeless(1, 1.0, 8.0), hopeless(2, 1.0, 8.0)],
     );
-    assert_eq!(daemon.shard_price(0).to_bits(), price.to_bits());
+    let mut expected = price;
+    for _ in 0..2 {
+        expected = 0.5 * expected + 0.5 * 8.0;
+    }
+    assert_eq!(daemon.shard_price(0).to_bits(), expected.to_bits());
+    assert!(
+        daemon.shard_price(0) > price,
+        "a rejection flood must raise a low price, not freeze it"
+    );
 
-    // Same guard on the dead-on-arrival path: expired-in-queue jobs are
-    // force-rejected, so a wave of them is not a pricing event either.
+    // The ratchet side of the fold: a rejection whose lost value sits
+    // *below* the current price is only one-sided evidence (the clearing
+    // price is at least v_j), so it must leave the price bit-unchanged —
+    // a flood of cheap hopeless jobs cannot drag the price down and keep
+    // the congested shard the routing argmin (the cheap-job magnetism
+    // half of the E17 fix).  Both jobs pass admission against the price
+    // *at queue time*; in feed order the first rejection (v = 20) folds
+    // the price up past the second (v = 7), which must then not fold.
+    feed_wave(
+        &daemon,
+        &handles[0],
+        &[hopeless(4, 2.0, 20.0), hopeless(5, 2.0, 7.0)],
+    );
+    expected = 0.5 * expected + 0.5 * 20.0;
+    assert_eq!(
+        daemon.shard_price(0).to_bits(),
+        expected.to_bits(),
+        "a below-price rejection must not move the price"
+    );
+    let frozen = daemon.shard_price(0);
+
+    // The surviving PR-8 guard: a typed admission bounce produces no
+    // decision, so it leaves the price bit-unchanged — and the price is
+    // never NaN.  The dead-on-arrival path exercises it.
     let doa = JobEnvelope::new(TenantId(0), 3, 0.5, 0.9, 0.1, 1.0);
     let epoch = daemon.shard_idle_epoch(0);
     wait_for("worker parked", || daemon.shard_idle_epoch(0) > epoch);
     // Watermark sits past 1.0, so the gate bounces it typed — and typed
-    // bounces are not pricing events by construction.
+    // bounces are decision-free by construction.
     assert!(matches!(
         handles[0].submit(doa),
         Err(IngressError::Expired { .. })
     ));
-    assert_eq!(daemon.shard_price(0).to_bits(), price.to_bits());
+    assert_eq!(daemon.shard_price(0).to_bits(), frozen.to_bits());
     daemon.resume();
     let report = daemon.shutdown().unwrap();
-    assert_eq!(report.shards[0].final_price.to_bits(), price.to_bits());
+    assert_eq!(report.shards[0].final_price.to_bits(), frozen.to_bits());
     assert!(report.shards[0].price_trace.iter().all(|p| !p.is_nan()));
 }
 

@@ -24,11 +24,28 @@
 //!   no-failure run's on every deterministic field (decisions, duals,
 //!   schedules, batches, acceptance, cost — wall-clock obviously differs).
 //!
+//! Each of those drills exists in two forms.  The legacy *full-frontier*
+//! form above snapshots through [`Checkpointable`], so every blob carries
+//! the committed frontier and grows with the stream — retained as the
+//! differential baseline (E18 measures it).  The `_logged` variants
+//! ([`StreamingSimulation::run_checkpointed_logged`],
+//! [`StreamingSimulation::run_with_failover_logged`],
+//! [`ParallelStreamingSimulation::run_with_failover_logged`]) carry a
+//! [`SegmentLog`] per run: the driver syncs the log with the frontier
+//! after every ingested batch (the worker appending realised segments as
+//! it commits), snapshots through
+//! [`LogCheckpointable::snapshot_live`] so blobs stay O(active), compacts
+//! record envelopes below the newest retained checkpoint's cursor, and on
+//! recovery truncates the log to the restored blob's cursor *before*
+//! replaying the delta (write-ahead-log discipline — replay re-commits
+//! those segments through the run itself).
+//!
 //! What is (and is not) in a blob, cadence guidance and the RNG-position
 //! caveat are documented in the checkpoint recipe in `src/README.md`.
 
 use std::time::Instant;
 
+use pss_types::seglog::{LogCheckpointable, LogCursor, SegmentLog};
 use pss_types::snapshot::{Checkpointable, StateBlob};
 use pss_types::{Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler, ScheduleError};
 
@@ -79,6 +96,26 @@ impl RecoveryStats {
     pub fn recovery_secs(&self) -> f64 {
         self.restore_secs + self.replay_secs
     }
+}
+
+/// One captured O(active) checkpoint of a logged streaming run: the blob
+/// holds only live state, and `cursor` records where in the shared
+/// [`SegmentLog`] its frontier ends (recovery truncates the log here
+/// before replay).
+#[derive(Debug, Clone)]
+pub struct LogCheckpointRecord {
+    /// Ingestion batches already processed when the checkpoint was taken.
+    pub batches_done: usize,
+    /// Arrival events already processed when the checkpoint was taken.
+    pub events_done: usize,
+    /// Feed time of the last ingested batch (`-inf` before the first).
+    pub time: f64,
+    /// Wall-clock cost of capturing the snapshot, in seconds.
+    pub capture_secs: f64,
+    /// End cursor of the run's frontier in the segment log.
+    pub cursor: LogCursor,
+    /// The live-state snapshot (no frontier inside).
+    pub blob: StateBlob,
 }
 
 /// One planned shard failure of
@@ -152,6 +189,32 @@ fn capture<R: Checkpointable>(
         capture_secs: started.elapsed().as_secs_f64(),
         blob,
     }
+}
+
+/// Snapshots only a run's live state into `log`, timing the capture.  The
+/// log is synced with the frontier by `snapshot_live`, then compacted to
+/// the new checkpoint's cursor — the newest retained blob — so record
+/// envelopes stay bounded by the retained chain.
+fn capture_live<R: LogCheckpointable>(
+    run: &R,
+    log: &mut SegmentLog,
+    batches_done: usize,
+    events_done: usize,
+    time: f64,
+) -> Result<LogCheckpointRecord, ScheduleError> {
+    let started = Instant::now();
+    let blob = run.snapshot_live(log)?;
+    let capture_secs = started.elapsed().as_secs_f64();
+    let cursor = log.cursor();
+    log.compact(cursor);
+    Ok(LogCheckpointRecord {
+        batches_done,
+        events_done,
+        time,
+        capture_secs,
+        cursor,
+        blob,
+    })
 }
 
 /// Finishes a run and wraps the trace into a [`StreamReport`] (validated
@@ -238,6 +301,166 @@ impl StreamingSimulation {
             recover_and_replay(algo, instance, &plan, events, checkpoint, killed_at, 0)?;
         Ok((report, stats))
     }
+
+    /// The O(active) counterpart of [`run_checkpointed`](Self::run_checkpointed):
+    /// the driver syncs a [`SegmentLog`] with the frontier after every
+    /// ingested batch and snapshots through
+    /// [`LogCheckpointable::snapshot_live`], so blobs hold only live state
+    /// plus a log cursor and their size does not grow with the stream.
+    ///
+    /// At most `retain_chain` checkpoints are kept (oldest dropped first,
+    /// clamped to at least 1 — the bounded chain a daemon would hold); the
+    /// log is compacted to the newest retained blob's cursor after each
+    /// capture.  Returns the retained chain and the log; recovery from any
+    /// `(log, chain[k])` pair is bit-identical (see
+    /// [`run_with_failover_logged`](Self::run_with_failover_logged)).
+    pub fn run_checkpointed_logged<A>(
+        &self,
+        algo: &A,
+        instance: &Instance,
+        every_batches: usize,
+        retain_chain: usize,
+    ) -> Result<(StreamReport, Vec<LogCheckpointRecord>, SegmentLog), ScheduleError>
+    where
+        A: OnlineAlgorithm + ?Sized,
+        A::Run: LogCheckpointable,
+    {
+        let every = every_batches.max(1);
+        let retain = retain_chain.max(1);
+        let plan = ingestion_plan(instance, self.coalesce_window);
+        let mut run = algo.start_for(instance)?;
+        let mut log = SegmentLog::new(instance.machines);
+        let mut events = Vec::with_capacity(instance.len());
+        let mut chain = vec![capture_live(&run, &mut log, 0, 0, f64::NEG_INFINITY)?];
+        for (i, (feed_time, ids)) in plan.iter().enumerate() {
+            ingest_batch(&mut run, instance, *feed_time, ids, &mut events)?;
+            // The worker appends realised segments as it commits them.
+            log.sync_from(run.frontier())?;
+            if (i + 1) % every == 0 {
+                chain.push(capture_live(
+                    &run,
+                    &mut log,
+                    i + 1,
+                    events.len(),
+                    *feed_time,
+                )?);
+                if chain.len() > retain {
+                    chain.remove(0);
+                }
+            }
+        }
+        let report = finish_stream(algo.algorithm_name(), run, instance, events, plan.len())?;
+        Ok((report, chain, log))
+    }
+
+    /// The crash drill over the `(log, blob)` pair: ingest until
+    /// `kill_at_batch` with O(active) checkpoints, **drop the run** (the
+    /// log and the last checkpoint survive — both are durable), truncate
+    /// the log to the checkpoint's cursor, restore through
+    /// [`LogCheckpointable::restore_with_log`] and replay the delta.
+    ///
+    /// The returned report is indistinguishable from the failure-free run
+    /// on every deterministic field, and the returned log ends bit-equal
+    /// to an uninterrupted run's.
+    pub fn run_with_failover_logged<A>(
+        &self,
+        algo: &A,
+        instance: &Instance,
+        every_batches: usize,
+        kill_at_batch: usize,
+    ) -> Result<(StreamReport, RecoveryStats, SegmentLog), ScheduleError>
+    where
+        A: OnlineAlgorithm + ?Sized,
+        A::Run: LogCheckpointable,
+    {
+        let plan = ingestion_plan(instance, self.coalesce_window);
+        let (events, checkpoint, log, killed_at) = run_until_kill_logged(
+            algo,
+            instance,
+            &plan,
+            every_batches.max(1),
+            kill_at_batch.min(plan.len()),
+        )?;
+        recover_and_replay_logged(algo, instance, &plan, events, checkpoint, log, killed_at, 0)
+    }
+}
+
+/// Phase 1 of a logged crash drill: ingest until the kill point, syncing
+/// the log after every batch and keeping only the most recent O(active)
+/// checkpoint.  The run is dropped (that *is* the crash); the log and the
+/// checkpoint survive, exactly like a durable journal would.
+fn run_until_kill_logged<A>(
+    algo: &A,
+    instance: &Instance,
+    plan: &[(f64, Vec<JobId>)],
+    every: usize,
+    kill_at: usize,
+) -> Result<(Vec<ArrivalRecord>, LogCheckpointRecord, SegmentLog, usize), ScheduleError>
+where
+    A: OnlineAlgorithm + ?Sized,
+    A::Run: LogCheckpointable,
+{
+    let mut run = algo.start_for(instance)?;
+    let mut log = SegmentLog::new(instance.machines);
+    let mut events = Vec::new();
+    let mut last_checkpoint = capture_live(&run, &mut log, 0, 0, f64::NEG_INFINITY)?;
+    for (i, (feed_time, ids)) in plan.iter().enumerate().take(kill_at) {
+        ingest_batch(&mut run, instance, *feed_time, ids, &mut events)?;
+        log.sync_from(run.frontier())?;
+        if (i + 1) % every == 0 {
+            last_checkpoint = capture_live(&run, &mut log, i + 1, events.len(), *feed_time)?;
+        }
+    }
+    Ok((events, last_checkpoint, log, kill_at))
+}
+
+/// Phase 2 of a logged crash drill: truncate the surviving log to the
+/// checkpoint's cursor (WAL tail discard — the replay below re-commits
+/// those segments through the run itself), restore from the blob's wire
+/// bytes with the log, replay the delta and finish the stream.
+#[allow(clippy::too_many_arguments)]
+fn recover_and_replay_logged<A>(
+    algo: &A,
+    instance: &Instance,
+    plan: &[(f64, Vec<JobId>)],
+    mut events: Vec<ArrivalRecord>,
+    checkpoint: LogCheckpointRecord,
+    mut log: SegmentLog,
+    killed_at_batch: usize,
+    shard: usize,
+) -> Result<(StreamReport, RecoveryStats, SegmentLog), ScheduleError>
+where
+    A: OnlineAlgorithm + ?Sized,
+    A::Run: LogCheckpointable,
+{
+    let wire = checkpoint.blob.to_bytes();
+    let started = Instant::now();
+    let blob = StateBlob::from_bytes(&wire)?;
+    log.truncate(checkpoint.cursor)?;
+    let mut run = <A::Run as LogCheckpointable>::restore_with_log(&blob, &log)?;
+    let restore_secs = started.elapsed().as_secs_f64();
+
+    // Everything the dead worker did after the checkpoint is lost.
+    events.truncate(checkpoint.events_done);
+    let replay_from = checkpoint.batches_done;
+    let started = Instant::now();
+    for (feed_time, ids) in plan.get(replay_from..).unwrap_or_default() {
+        ingest_batch(&mut run, instance, *feed_time, ids, &mut events)?;
+        log.sync_from(run.frontier())?;
+    }
+    let replay_secs = started.elapsed().as_secs_f64();
+    let replayed_events = events.len() - checkpoint.events_done;
+    let stats = RecoveryStats {
+        shard,
+        killed_at_batch,
+        restored_batches: replay_from,
+        replayed_events,
+        checkpoint_bytes: wire.len(),
+        restore_secs,
+        replay_secs,
+    };
+    let report = finish_stream(algo.algorithm_name(), run, instance, events, plan.len())?;
+    Ok((report, stats, log))
 }
 
 /// Phase 1 of a crash drill: ingest batches until the kill point, keeping
@@ -504,6 +727,113 @@ impl ParallelStreamingSimulation {
             recovery_stats,
         ))
     }
+
+    /// The fleet crash drill over `(log, blob)` pairs: like
+    /// [`run_with_failover`](Self::run_with_failover), but every shard
+    /// carries its own [`SegmentLog`] and the shards named in `failures`
+    /// recover through O(active) checkpoints — truncate the surviving log
+    /// to the blob's cursor, [`LogCheckpointable::restore_with_log`],
+    /// replay the delta on the shard's worker.
+    ///
+    /// The merged [`FleetReport`] equals the no-failure run on every
+    /// deterministic field; one [`RecoveryStats`] is returned per entry of
+    /// `failures`, in order.  Failures must name distinct, in-range shards.
+    pub fn run_with_failover_logged<A>(
+        &self,
+        algo: &A,
+        shards: &[Instance],
+        failures: &[ShardFailover],
+    ) -> Result<(FleetReport, Vec<RecoveryStats>), ScheduleError>
+    where
+        A: OnlineAlgorithm + Sync + ?Sized,
+        A::Run: LogCheckpointable,
+    {
+        for f in failures {
+            if f.shard >= shards.len() {
+                return Err(ScheduleError::Internal(format!(
+                    "failover shard {} out of range ({} shards)",
+                    f.shard,
+                    shards.len()
+                )));
+            }
+            if failures.iter().filter(|g| g.shard == f.shard).count() > 1 {
+                return Err(ScheduleError::Internal(format!(
+                    "duplicate failover entry for shard {}",
+                    f.shard
+                )));
+            }
+        }
+        let started = Instant::now();
+        let sim = StreamingSimulation::with_coalescing(self.coalesce_window);
+        let workers = self.effective_workers(shards.len());
+        let failure_of = |k: usize| failures.iter().find(|f| f.shard == k).copied();
+
+        type ShardSlot = Option<Result<(StreamReport, Option<RecoveryStats>), ScheduleError>>;
+        let mut slots: Vec<ShardSlot> = (0..shards.len()).map(|_| None).collect();
+        let chunk = shards.len().div_ceil(workers).max(1);
+        std::thread::scope(|scope| {
+            for (chunk_idx, (slot_chunk, shard_chunk)) in slots
+                .chunks_mut(chunk)
+                .zip(shards.chunks(chunk))
+                .enumerate()
+            {
+                let base = chunk_idx * chunk;
+                let failure_of = &failure_of;
+                let sim = &sim;
+                scope.spawn(move || {
+                    for (offset, (slot, shard)) in
+                        slot_chunk.iter_mut().zip(shard_chunk).enumerate()
+                    {
+                        let k = base + offset;
+                        let result = match failure_of(k) {
+                            None => sim.run(algo, shard).map(|r| (r, None)),
+                            Some(failure) => sim
+                                .run_with_failover_logged(
+                                    algo,
+                                    shard,
+                                    failure.checkpoint_every.max(1),
+                                    failure.kill_at_batch,
+                                )
+                                .map(|(report, mut stats, _log)| {
+                                    stats.shard = k;
+                                    (report, Some(stats))
+                                }),
+                        };
+                        *slot = Some(result);
+                    }
+                });
+            }
+        });
+
+        let mut shard_reports = Vec::with_capacity(shards.len());
+        let mut stats_by_shard: Vec<(usize, RecoveryStats)> = Vec::new();
+        for (k, slot) in slots.into_iter().enumerate() {
+            let (report, stats) = slot.expect("every shard slot is filled")?;
+            shard_reports.push(report);
+            if let Some(s) = stats {
+                stats_by_shard.push((k, s));
+            }
+        }
+        let mut recovery_stats = Vec::with_capacity(failures.len());
+        for f in failures {
+            let (_, s) = stats_by_shard
+                .iter()
+                .find(|(k, _)| *k == f.shard)
+                .cloned()
+                .ok_or_else(|| {
+                    ScheduleError::Internal(format!("failover shard {} produced no stats", f.shard))
+                })?;
+            recovery_stats.push(s);
+        }
+        Ok((
+            FleetReport {
+                shards: shard_reports,
+                workers,
+                wall_clock_secs: started.elapsed().as_secs_f64(),
+            },
+            recovery_stats,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -581,6 +911,138 @@ mod tests {
             assert!(pair[0].batches_done < pair[1].batches_done);
             assert!(pair[0].events_done <= pair[1].events_done);
         }
+    }
+
+    #[test]
+    fn logged_run_matches_plain_and_blobs_stay_o_active() {
+        let inst = shard_instances(1, 40, 4242).remove(0);
+        let sim = StreamingSimulation::with_coalescing(1e-3);
+        let plain = sim.run(&CllScheduler, &inst).unwrap();
+        let (stream, chain, log) = sim
+            .run_checkpointed_logged(&CllScheduler, &inst, 3, usize::MAX)
+            .unwrap();
+        assert_streams_equal(&plain, &stream, "logged CLL");
+        assert_eq!(chain.len(), 1 + stream.batches / 3);
+        // The live blobs do not absorb the frontier: the final one stays
+        // far below the final full-frontier blob of the legacy path.
+        let (_, legacy) = sim.run_checkpointed(&CllScheduler, &inst, 3).unwrap();
+        let legacy_last = legacy.last().unwrap().blob.size_bytes();
+        let live_last = chain.last().unwrap().blob.size_bytes();
+        assert!(
+            live_last * 2 < legacy_last,
+            "live blob ({live_last} B) must be far smaller than the \
+             full-frontier blob ({legacy_last} B); E18 measures the \
+             flat-vs-length asymptotics on longer streams"
+        );
+        // The log mirrors the committed frontier: its end cursor equals the
+        // frontier size the last event observed, and cursors are monotone.
+        let final_frontier = stream.events.last().unwrap().frontier_segments;
+        assert_eq!(log.cursor(), LogCursor(final_frontier as u64));
+        for pair in chain.windows(2) {
+            assert!(pair[0].cursor <= pair[1].cursor);
+        }
+        // Compaction after each capture bounds the record envelopes.
+        assert!(log.record_count() <= stream.batches % 3 + 1);
+    }
+
+    #[test]
+    fn every_retained_chain_depth_recovers_from_every_retained_blob() {
+        let inst = shard_instances(1, 36, 1337).remove(0);
+        let sim = StreamingSimulation::with_coalescing(1e-3);
+        let plain = sim.run(&CllScheduler, &inst).unwrap();
+        for retain in 1..=4 {
+            let (stream, chain, log) = sim
+                .run_checkpointed_logged(&CllScheduler, &inst, 2, retain)
+                .unwrap();
+            assert_streams_equal(&plain, &stream, &format!("retain {retain}"));
+            assert!(chain.len() <= retain);
+            // Every retained blob restores against the log truncated to its
+            // cursor — including the oldest, whose records were compacted
+            // into the prefix.
+            for (k, ckpt) in chain.iter().enumerate() {
+                let mut cut = log.clone();
+                cut.truncate(ckpt.cursor).unwrap();
+                let run = <CllScheduler as OnlineAlgorithm>::Run::restore_with_log(
+                    &StateBlob::from_bytes(&ckpt.blob.to_bytes()).unwrap(),
+                    &cut,
+                )
+                .unwrap_or_else(|e| panic!("retain {retain} chain[{k}]: {e}"));
+                assert_eq!(
+                    run.frontier().segments.len() as u64,
+                    ckpt.cursor.segments(),
+                    "retain {retain} chain[{k}]: frontier size"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logged_failover_is_invisible_and_leaves_a_consistent_log() {
+        let inst = shard_instances(1, 48, 9000).remove(0);
+        let sim = StreamingSimulation::with_coalescing(1e-3);
+        for algo_run in 0..2 {
+            let (plain, recovered, stats, log, label) = if algo_run == 0 {
+                let plain = sim.run(&OaScheduler, &inst).unwrap();
+                let kill = plain.batches / 2;
+                let (r, s, l) = sim
+                    .run_with_failover_logged(&OaScheduler, &inst, 4, kill)
+                    .unwrap();
+                (plain, r, s, l, "OA")
+            } else {
+                let algo = BkpScheduler {
+                    resolution: 400,
+                    ..Default::default()
+                };
+                let plain = sim.run(&algo, &inst).unwrap();
+                let kill = plain.batches / 2;
+                let (r, s, l) = sim.run_with_failover_logged(&algo, &inst, 4, kill).unwrap();
+                (plain, r, s, l, "BKP")
+            };
+            assert_streams_equal(&plain, &recovered, label);
+            assert!(stats.replayed_events > 0, "{label}: nothing was replayed");
+            // The recovered log ends exactly at the uninterrupted run's
+            // final frontier.
+            let final_frontier = plain.events.last().unwrap().frontier_segments;
+            assert_eq!(log.cursor(), LogCursor(final_frontier as u64), "{label}");
+        }
+    }
+
+    #[test]
+    fn logged_fleet_failover_yields_the_no_failure_fleet_report() {
+        let shards = shard_instances(3, 36, 777);
+        let sim = ParallelStreamingSimulation::with_coalescing(1e-3);
+        let clean = sim.run(&CllScheduler, &shards).unwrap();
+        let batches_1 = clean.shards[1].batches;
+        for kill_at in [0, batches_1 / 2, batches_1 + 7] {
+            let (fleet, stats) = sim
+                .run_with_failover_logged(
+                    &CllScheduler,
+                    &shards,
+                    &[ShardFailover {
+                        shard: 1,
+                        kill_at_batch: kill_at,
+                        checkpoint_every: 3,
+                    }],
+                )
+                .unwrap();
+            assert_eq!(stats.len(), 1);
+            assert_eq!(stats[0].shard, 1);
+            for (k, (a, b)) in clean.shards.iter().zip(&fleet.shards).enumerate() {
+                assert_streams_equal(a, b, &format!("logged kill@{kill_at} shard {k}"));
+            }
+            assert_eq!(fleet.total_cost().to_bits(), clean.total_cost().to_bits());
+        }
+        assert!(sim
+            .run_with_failover_logged(
+                &CllScheduler,
+                &shards,
+                &[ShardFailover {
+                    shard: 9,
+                    kill_at_batch: 1,
+                    checkpoint_every: 1
+                }]
+            )
+            .is_err());
     }
 
     #[test]
@@ -712,10 +1174,18 @@ mod tests {
         // A kind-right blob with a truncated payload errors.
         let short = StateBlob::new(
             "bkp",
-            1,
+            2,
             blob.payload()[..blob.payload().len() / 2].to_vec(),
         );
         assert!(BkpState::restore(&short).is_err());
+        // A version-1 blob (the pre-seglog layout, frontier inline with no
+        // tag byte) is rejected with the typed version error, never
+        // misparsed.
+        let old = StateBlob::new("bkp", 1, blob.payload().to_vec());
+        assert!(matches!(
+            BkpState::restore(&old),
+            Err(SnapshotError::UnsupportedVersion(1))
+        ));
         // The JSON envelope round-trips the same state.
         let json = pss_metrics::blob_to_json(blob);
         let back = pss_metrics::blob_from_json(&json).unwrap();

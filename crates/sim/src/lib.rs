@@ -37,14 +37,17 @@
 //! [`engine::StreamingSimulation`].
 //!
 //! [`checkpoint`] makes streams *restartable*: every run state implements
-//! `pss_types::Checkpointable`, so
+//! `pss_types::Checkpointable` and `pss_types::LogCheckpointable`, so
 //! [`StreamingSimulation::run_checkpointed`](engine::StreamingSimulation)
 //! snapshots the scheduler every k ingestion batches, the failover
 //! drills (`run_with_failover`, single-stream and fleet-level) kill a
 //! worker mid-stream, restore from the last checkpoint blob and replay
 //! the delta — bit-identically, with killed shards *rebalanced* onto
 //! fresh worker threads — and E14 measures blob size, capture/restore
-//! cost and recovery latency.
+//! cost and recovery latency.  The `_logged` variants carry a
+//! `pss_types::SegmentLog` per run: blobs hold only live state plus a
+//! log cursor (O(active), measured flat by E18), and recovery
+//! reassembles the frontier from the `(log, blob)` pair.
 //!
 //! [`replay`] provides the operational definition of "online": the
 //! streaming check [`replay::streaming_prefix_report`] verifies in a single
@@ -65,7 +68,7 @@ pub mod parallel;
 pub mod replay;
 pub mod sharded;
 
-pub use checkpoint::{CheckpointRecord, RecoveryStats, ShardFailover};
+pub use checkpoint::{CheckpointRecord, LogCheckpointRecord, RecoveryStats, ShardFailover};
 pub use engine::{
     coalesce_arrivals, nearest_rank, ArrivalRecord, JobOutcome, MachineStats, SimReport,
     Simulation, StreamReport, StreamingSimulation,

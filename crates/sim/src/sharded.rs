@@ -38,8 +38,8 @@
 use std::time::Instant;
 
 use pss_types::{
-    merge_frontiers, Decision, Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler, Schedule,
-    ScheduleError, ShardPiece,
+    fold_price, merge_frontiers, Decision, Instance, Job, JobId, OnlineAlgorithm, OnlineScheduler,
+    Schedule, ScheduleError, ShardPiece,
 };
 
 use crate::engine::{coalesce_arrivals, nearest_rank, StreamingSimulation};
@@ -59,9 +59,11 @@ pub enum RoutePolicy {
     HashById,
     /// `seq mod S`: perfectly balanced arrival counts, ignoring prices.
     RoundRobin,
-    /// Route to the shard with the lowest published rolling dual price
-    /// (ties to the lowest shard index) — cross-shard admission driven by
-    /// the paper's own congestion signal.
+    /// Route to the shard with the lowest published rolling dual price —
+    /// cross-shard admission driven by the paper's own congestion signal.
+    /// Exact price ties rotate by sequence number (`seq mod #tied`), so a
+    /// cold start with every price at 0.0 degrades to round-robin instead
+    /// of herding the whole stream onto shard 0.
     CheapestPrice,
 }
 
@@ -91,12 +93,28 @@ impl RoutePolicy {
         match self {
             RoutePolicy::HashById => (splitmix64(seq) % shards as u64) as usize,
             RoutePolicy::RoundRobin => (seq % shards as u64) as usize,
-            RoutePolicy::CheapestPrice => prices
-                .iter()
-                .enumerate()
-                .min_by(|(i, a), (j, b)| a.total_cmp(b).then(i.cmp(j)))
-                .map(|(i, _)| i)
-                .unwrap_or(0),
+            RoutePolicy::CheapestPrice => {
+                if prices.is_empty() {
+                    return 0;
+                }
+                let cheapest = prices
+                    .iter()
+                    .copied()
+                    .min_by(f64::total_cmp)
+                    .expect("non-empty price slice");
+                // Rotate across exact ties by sequence number: still a
+                // pure function of (seq, prices), so replay with the same
+                // price trajectory routes identically, but an all-tied
+                // cold start spreads like round-robin instead of pinning
+                // every submission on the lowest index.
+                let tied: Vec<usize> = prices
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.total_cmp(&cheapest).is_eq())
+                    .map(|(i, _)| i)
+                    .collect();
+                tied[(seq % tied.len() as u64) as usize]
+            }
         }
     }
 }
@@ -247,12 +265,18 @@ impl<R: OnlineScheduler> ShardedStream<R> {
                     sub.len()
                 )));
             }
-            let pricing_event = decisions.iter().any(|d| d.accepted);
-            if pricing_event {
-                for d in &decisions {
-                    self.prices[shard] =
-                        (1.0 - self.smoothing) * self.prices[shard] + self.smoothing * d.dual;
-                }
+            // Every decision prices in through the shared `fold_price`
+            // rule: acceptances fold λ_j symmetrically, rejections only
+            // ratchet the price *up* toward the lost value v_j — so a
+            // congested shard's price rises under a rejection flood
+            // instead of freezing (the E17 starvation bug) and a stream
+            // of cheap hopeless jobs cannot drag it down and keep the
+            // shard the argmin.  A decision-free burst (admission
+            // bounced everything upstream) leaves the price
+            // bit-unchanged, never NaN — the surviving PR-8 guard.
+            // Mirrors the daemon's `feed_batch` exactly.
+            for d in &decisions {
+                self.prices[shard] = fold_price(self.prices[shard], self.smoothing, d);
             }
             self.price_traces[shard].push(self.prices[shard]);
             self.batches[shard] += 1;
@@ -579,8 +603,19 @@ mod tests {
             // Total on the empty fleet.
             assert_eq!(policy.route(7, &[]), 0);
         }
-        // Cheapest price: argmin with ties to the lowest index.
+        // Cheapest price: argmin, exact ties rotated by sequence number
+        // (indices 1 and 2 are tied at 0.2 here).
         assert_eq!(RoutePolicy::CheapestPrice.route(0, &prices), 1);
+        assert_eq!(RoutePolicy::CheapestPrice.route(1, &prices), 2);
+        assert_eq!(RoutePolicy::CheapestPrice.route(2, &prices), 1);
+        // An all-tied cold start degrades to round-robin.
+        let cold = [0.0; 4];
+        for seq in 0..8 {
+            assert_eq!(
+                RoutePolicy::CheapestPrice.route(seq, &cold),
+                RoutePolicy::RoundRobin.route(seq, &cold)
+            );
+        }
         assert_eq!(RoutePolicy::RoundRobin.route(6, &prices), 2);
         // Hash ignores prices entirely.
         let other = [9.0, 0.0, 1.0, 2.0];

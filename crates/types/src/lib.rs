@@ -34,7 +34,12 @@
 //!   ([`BlobWriter`]/[`BlobReader`], no serde in the offline build), and
 //!   the [`Checkpointable`]/[`SnapshotPart`] traits every online scheduler
 //!   state implements (restores continue bit-identically; the JSON
-//!   envelope lives in `pss-metrics`).
+//!   envelope lives in `pss-metrics`),
+//! * [`seglog`] — the append-only realised-segment log behind O(active)
+//!   checkpoints: checksummed [`SegmentLog`] records, [`LogCursor`]s,
+//!   the [`FrontierPart`] inline-or-cursor frontier encoding and the
+//!   [`LogCheckpointable`] trait (snapshot only live state, reassemble the
+//!   frontier from a `(log, blob)` pair bit-identically).
 //!
 //! The model follows Section 2 of the paper: `m` speed-scalable processors,
 //! power `P_α(s) = s^α` with `α > 1`, preemption and migration allowed, at
@@ -54,6 +59,7 @@ pub mod job;
 pub mod merge;
 pub mod num;
 pub mod scheduler;
+pub mod seglog;
 pub mod segment;
 pub mod snapshot;
 pub mod validate;
@@ -66,9 +72,10 @@ pub use job::{Job, JobId};
 pub use merge::{merge_frontiers, ShardPiece};
 pub use num::Tolerance;
 pub use scheduler::{
-    check_arrival, check_arrival_order, run_online, Decision, OnlineAlgorithm, OnlineScheduler,
-    Scheduler, ARRIVAL_ORDER_TOLERANCE,
+    check_arrival, check_arrival_order, fold_price, run_online, Decision, OnlineAlgorithm,
+    OnlineScheduler, Scheduler, ARRIVAL_ORDER_TOLERANCE,
 };
+pub use seglog::{FrontierPart, LogCheckpointable, LogCursor, SegmentLog};
 pub use segment::{Schedule, Segment};
 pub use snapshot::{
     BlobReader, BlobWriter, Checkpointable, SnapshotError, SnapshotPart, StateBlob,

@@ -86,6 +86,33 @@ impl Decision {
     }
 }
 
+/// Folds one decision into a rolling dual-price EWMA — the shared pricing
+/// rule of the serving daemon's `feed_batch` and the sharded simulator
+/// (one implementation so replay, recovery and the drift oracle agree to
+/// the bit).
+///
+/// * **Accepted** — the marginal price `λ_j` folds symmetrically:
+///   `p ← (1-β)·p + β·λ_j`.  Cheap capacity pulls the price down.
+/// * **Rejected** — a rejection of value `v_j` is one-sided evidence: the
+///   shard's clearing price exceeds `v_j`, so the price folds `v_j` only
+///   **upward** (`v_j > p`), and a rejection *below* the current price
+///   leaves it bit-unchanged.  Folding cheap rejections symmetrically
+///   would *lower* the price — claiming the shard got cheaper because it
+///   turned away a cheap job — which makes a rejection-dominated shard a
+///   magnet for cheapest-price routing (runs of consecutive cheap
+///   rejections hold its EWMA at the bottom of the fleet).
+///
+/// The caller guarantees decision-free batches never reach this fold, so
+/// a batch with no decisions leaves the price bit-unchanged and the
+/// signal is never NaN for finite inputs.
+pub fn fold_price(price: f64, smoothing: f64, decision: &Decision) -> f64 {
+    if decision.accepted || decision.dual > price {
+        (1.0 - smoothing) * price + smoothing * decision.dual
+    } else {
+        price
+    }
+}
+
 /// One *run* of an event-driven online algorithm.
 ///
 /// A run is stateful: jobs are fed one at a time, in nondecreasing release

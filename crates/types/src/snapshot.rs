@@ -78,6 +78,10 @@ pub enum SnapshotError {
     /// The payload decoded structurally but violates an invariant of the
     /// state being restored (e.g. mismatched table lengths).
     Invalid(String),
+    /// The blob stores its committed frontier as a segment-log cursor
+    /// (`FrontierPart::Cursor`), so restoring it requires the matching
+    /// [`SegmentLog`](crate::seglog::SegmentLog); the caller supplied none.
+    NeedsLog,
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -95,6 +99,12 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "unsupported snapshot state version {v}")
             }
             SnapshotError::Invalid(why) => write!(f, "invalid snapshot state: {why}"),
+            SnapshotError::NeedsLog => {
+                write!(
+                    f,
+                    "snapshot stores a log cursor but no segment log was supplied"
+                )
+            }
         }
     }
 }
@@ -108,8 +118,9 @@ impl From<SnapshotError> for crate::error::ScheduleError {
 }
 
 /// FNV-1a 64-bit hash, the integrity checksum of the wire format (this is a
-/// corruption check, not a cryptographic signature).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// corruption check, not a cryptographic signature).  Shared with the
+/// segment log's per-record checksums.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -660,8 +671,12 @@ impl SnapshotPart for Tolerance {
 /// decisions, duals, frontier and final schedule to feeding them to the
 /// original run (solver-accuracy-bounded for iterative planners).  The
 /// blob holds the run's complete *dynamic* state — including the committed
-/// frontier, so blob size grows with the stream; see the checkpoint recipe
-/// in `src/README.md` for cadence guidance.
+/// frontier inline, so blob size grows with the stream.  Production
+/// checkpointing uses the O(active) variant instead
+/// ([`LogCheckpointable`](crate::seglog::LogCheckpointable)), which stores
+/// only a cursor into an external
+/// [`SegmentLog`](crate::seglog::SegmentLog); see the checkpoint recipe in
+/// `src/README.md` for cadence guidance.
 ///
 /// `restore` must be total: a blob of the wrong kind, an incompatible
 /// version, or corrupted/truncated payload bytes yield an error, never a

@@ -19,6 +19,7 @@ use pss_core::baselines::cll::CllAdmission;
 use pss_core::baselines::oa::{MultiOaPlanner, OaPlanner};
 use pss_core::baselines::replan::{AdmissionPolicy, AdmitAll, OnlineEnv, Planner, ReplanState};
 use pss_core::prelude::*;
+use pss_core::types::{LogCheckpointable, SegmentLog};
 
 /// Compares two schedules of the same instance as schedules-proper: cost,
 /// finished set, and sampled total speed profiles.
@@ -815,6 +816,76 @@ fn singleton_bursts_are_bit_identical_to_the_per_event_path() {
 // warm-seeded solves).  Cut points include every burst boundary shape:
 // between bursts, immediately after a burst, and *mid-burst* (a burst split
 // across the snapshot, both halves fed at the same instant).
+//
+// Since PR 10 every run state also implements `LogCheckpointable`: the
+// committed frontier lives in an append-only `SegmentLog` and blobs carry
+// only live state plus a log cursor.  The `(log, blob)` pins below mirror
+// the full-frontier ones cut-for-cut, and additionally drill the daemon's
+// compact-at-capture retention: recovery from every depth of a bounded
+// checkpoint chain over a compacted log.
+
+/// Bit-compares a restored run's decision stream and final schedule
+/// against the uninterrupted baseline.  With `exact` false (OA(m), whose
+/// restored descent re-runs warm-seeded solves) duals and segments are
+/// compared to solver accuracy while decisions stay exact.
+fn assert_stream_matches(
+    baseline_decisions: &[Decision],
+    decisions: &[Decision],
+    baseline_schedule: &Schedule,
+    schedule: &Schedule,
+    label: &str,
+    cut: usize,
+    exact: bool,
+) {
+    assert_eq!(
+        decisions.len(),
+        baseline_decisions.len(),
+        "{label} cut {cut}: decision counts differ"
+    );
+    for (i, (a, b)) in baseline_decisions.iter().zip(decisions).enumerate() {
+        assert_eq!(
+            a.accepted, b.accepted,
+            "{label} cut {cut}: decision {i} differs after restore"
+        );
+        if exact {
+            assert_eq!(
+                a.dual.to_bits(),
+                b.dual.to_bits(),
+                "{label} cut {cut}: dual {i} not bit-identical after restore"
+            );
+        } else {
+            assert!(
+                (a.dual - b.dual).abs() <= 1e-9 * a.dual.abs().max(1.0),
+                "{label} cut {cut}: dual {i} differs after restore"
+            );
+        }
+    }
+    if exact {
+        assert_eq!(
+            baseline_schedule.segments, schedule.segments,
+            "{label} cut {cut}: schedule not bit-identical after restore"
+        );
+    } else {
+        // Iterative planner: solver-accuracy equivalence with exact
+        // decisions (asserted above).
+        assert_eq!(baseline_schedule.machines, schedule.machines);
+        assert_eq!(
+            baseline_schedule.segments.len(),
+            schedule.segments.len(),
+            "{label} cut {cut}: restored run emitted a different segment count"
+        );
+        for (a, b) in baseline_schedule.segments.iter().zip(&schedule.segments) {
+            assert!(
+                a.machine == b.machine
+                    && a.job == b.job
+                    && (a.start - b.start).abs() < 1e-9
+                    && (a.end - b.end).abs() < 1e-9
+                    && (a.speed - b.speed).abs() < 1e-9 * a.speed.abs().max(1.0),
+                "{label} cut {cut}: restored segments drift beyond solver accuracy"
+            );
+        }
+    }
+}
 
 /// Drives `make_run()` over the burst stream uninterrupted, and once per
 /// cut point with a snapshot/wire-round-trip/restore at the cut, comparing
@@ -872,54 +943,111 @@ fn assert_restore_equivalent<R>(
             decisions.push(resumed.on_arrival(job, *t).expect("post-cut arrival"));
         }
         let schedule = resumed.finish().expect("restored finish");
-        assert_eq!(
-            decisions.len(),
-            baseline_decisions.len(),
-            "{label} cut {cut}: decision counts differ"
+        assert_stream_matches(
+            &baseline_decisions,
+            &decisions,
+            &baseline_schedule,
+            &schedule,
+            label,
+            cut,
+            exact,
         );
-        for (i, (a, b)) in baseline_decisions.iter().zip(&decisions).enumerate() {
-            assert_eq!(
-                a.accepted, b.accepted,
-                "{label} cut {cut}: decision {i} differs after restore"
-            );
-            if exact {
-                assert_eq!(
-                    a.dual.to_bits(),
-                    b.dual.to_bits(),
-                    "{label} cut {cut}: dual {i} not bit-identical after restore"
-                );
-            } else {
-                assert!(
-                    (a.dual - b.dual).abs() <= 1e-9 * a.dual.abs().max(1.0),
-                    "{label} cut {cut}: dual {i} differs after restore"
-                );
-            }
+    }
+}
+
+/// The `(log, blob)` twin of [`assert_restore_equivalent`]: the run keeps a
+/// realised-segment log synced after every arrival; at the cut it is
+/// suspended with [`LogCheckpointable::snapshot_live`] (O(active) blob plus
+/// log cursor), the log is compacted to the capture cursor exactly as the
+/// daemon does at capture time, both halves cross the wire independently,
+/// the log is truncated back to the cursor (WAL discipline — records past
+/// the checkpoint are discarded on recovery), and the run is reassembled
+/// with [`LogCheckpointable::restore_with_log`].  Every future decision,
+/// the reassembled frontier, and the final schedule must match the
+/// uninterrupted run.
+fn assert_log_restore_equivalent<R>(
+    bursts: &[(f64, Vec<Job>)],
+    mut make_run: impl FnMut() -> R,
+    label: &str,
+    exact: bool,
+) where
+    R: OnlineScheduler + LogCheckpointable,
+{
+    let feeds: Vec<(f64, Job)> = bursts
+        .iter()
+        .flat_map(|(t, jobs)| jobs.iter().map(|j| (*t, *j)))
+        .collect();
+    let mut baseline_run = make_run();
+    let mut baseline_decisions = Vec::new();
+    for (t, job) in &feeds {
+        baseline_decisions.push(baseline_run.on_arrival(job, *t).expect("baseline arrival"));
+    }
+    let baseline_schedule = baseline_run.finish().expect("baseline finish");
+
+    let first_burst = bursts.first().map(|(_, j)| j.len()).unwrap_or(0);
+    let exhaustive =
+        std::env::var("CHECKPOINT_SMOKE").is_ok() || std::env::var("SEGLOG_SMOKE").is_ok();
+    let cuts: Vec<usize> = if exhaustive {
+        (0..=feeds.len()).collect()
+    } else {
+        vec![
+            0,
+            1.min(feeds.len()),           // mid-first-burst
+            first_burst.min(feeds.len()), // immediately after the first burst
+            feeds.len() / 2,
+            feeds.len(),
+        ]
+    };
+    for &cut in &cuts {
+        let mut run = make_run();
+        let mut log = SegmentLog::new(run.frontier().machines);
+        let mut decisions = Vec::new();
+        for (t, job) in &feeds[..cut] {
+            decisions.push(run.on_arrival(job, *t).expect("pre-cut arrival"));
+            log.sync_from(run.frontier()).expect("pre-cut log sync");
         }
-        if exact {
-            assert_eq!(
-                baseline_schedule.segments, schedule.segments,
-                "{label} cut {cut}: schedule not bit-identical after restore"
-            );
-        } else {
-            // Iterative planner: solver-accuracy equivalence with exact
-            // decisions (asserted above).
-            assert_eq!(baseline_schedule.machines, schedule.machines);
-            assert_eq!(
-                baseline_schedule.segments.len(),
-                schedule.segments.len(),
-                "{label} cut {cut}: restored run emitted a different segment count"
-            );
-            for (a, b) in baseline_schedule.segments.iter().zip(&schedule.segments) {
-                assert!(
-                    a.machine == b.machine
-                        && a.job == b.job
-                        && (a.start - b.start).abs() < 1e-9
-                        && (a.end - b.end).abs() < 1e-9
-                        && (a.speed - b.speed).abs() < 1e-9 * a.speed.abs().max(1.0),
-                    "{label} cut {cut}: restored segments drift beyond solver accuracy"
-                );
-            }
+        // Capture: live-only blob + cursor, compact the log to the cursor
+        // (the daemon's capture-time discipline), and send both halves
+        // through their wire formats independently.
+        let blob = run.snapshot_live(&mut log).expect("live snapshot");
+        let cursor = log.cursor();
+        log.compact(cursor);
+        assert_eq!(
+            log.record_count(),
+            0,
+            "{label} cut {cut}: capture must compact the log's record envelopes"
+        );
+        let wire = blob.to_bytes();
+        let log_wire = log.to_bytes();
+        drop(run);
+        drop(log);
+        let decoded = StateBlob::from_bytes(&wire).expect("blob wire round-trip");
+        let mut log = SegmentLog::from_bytes(&log_wire).expect("log wire round-trip");
+        log.truncate(cursor).expect("truncate to checkpoint cursor");
+        let mut resumed = R::restore_with_log(&decoded, &log).expect("restore with log");
+        for (t, job) in &feeds[cut..] {
+            decisions.push(resumed.on_arrival(job, *t).expect("post-cut arrival"));
+            log.sync_from(resumed.frontier())
+                .expect("post-cut log sync");
         }
+        // The re-synced log reassembles the resumed run's committed
+        // frontier bit-for-bit at its own cursor.
+        let reassembled = log.reassemble(log.cursor()).expect("reassemble");
+        assert_eq!(
+            reassembled.segments,
+            resumed.frontier().segments,
+            "{label} cut {cut}: log does not reassemble the resumed frontier"
+        );
+        let schedule = resumed.finish().expect("restored finish");
+        assert_stream_matches(
+            &baseline_decisions,
+            &decisions,
+            &baseline_schedule,
+            &schedule,
+            label,
+            cut,
+            exact,
+        );
     }
 }
 
@@ -985,6 +1113,144 @@ fn restored_runs_continue_bit_identically_for_every_algorithm() {
             "restore OA(m)",
             false,
         );
+    }
+}
+
+#[test]
+fn log_restored_runs_continue_bit_identically_for_every_algorithm() {
+    // The O(active) twin of the pin above: every algorithm, same workloads,
+    // suspended at the same cut points (all of them under CHECKPOINT_SMOKE)
+    // through the (log, blob) pair instead of a full-frontier blob.
+    for seed in 0..3u64 {
+        let single = bursty_profitable(7600 + seed, 1, 2.0 + 0.5 * (seed % 3) as f64, 16, 4);
+        let bursts = as_bursts(&single);
+        assert_log_restore_equivalent(
+            &bursts,
+            || OaScheduler.start_for(&single).expect("OA run"),
+            "log-restore OA",
+            true,
+        );
+        assert_log_restore_equivalent(
+            &bursts,
+            || QoaScheduler::default().start_for(&single).expect("qOA run"),
+            "log-restore qOA",
+            true,
+        );
+        assert_log_restore_equivalent(
+            &bursts,
+            || CllScheduler.start_for(&single).expect("CLL run"),
+            "log-restore CLL",
+            true,
+        );
+        assert_log_restore_equivalent(
+            &bursts,
+            || AvrScheduler.start_for(&single).expect("AVR run"),
+            "log-restore AVR",
+            true,
+        );
+        let bkp = BkpScheduler {
+            resolution: 500,
+            ..Default::default()
+        };
+        assert_log_restore_equivalent(
+            &bursts,
+            || bkp.start_for(&single).expect("BKP run"),
+            "log-restore BKP",
+            true,
+        );
+        assert_log_restore_equivalent(
+            &bursts,
+            || PdScheduler::default().start_for(&single).expect("PD run"),
+            "log-restore PD",
+            true,
+        );
+        let multi = bursty_profitable(7700 + seed, 2, 2.5, 12, 3);
+        let multi_bursts = as_bursts(&multi);
+        assert_log_restore_equivalent(
+            &multi_bursts,
+            || {
+                MultiOaScheduler::default()
+                    .start_for(&multi)
+                    .expect("OA(m) run")
+            },
+            "log-restore OA(m)",
+            false,
+        );
+    }
+}
+
+#[test]
+fn compacted_log_recovers_from_every_retained_checkpoint_depth() {
+    // A capture after every burst feeds a bounded chain of (cursor, blob)
+    // records with the log compacted to each capture's cursor — the
+    // daemon's retention discipline.  For every retained-chain depth the
+    // daemon can be configured with, recovery from EVERY record still in
+    // the chain (not just the newest) must replay to the exact baseline:
+    // compaction folds records into the prefix but never loses the segment
+    // data an older cursor needs.
+    let instance = bursty_profitable(7900, 1, 2.5, 16, 4);
+    let bursts = as_bursts(&instance);
+
+    let mut baseline_run = CllScheduler.start_for(&instance).expect("CLL run");
+    let mut baseline_decisions = Vec::new();
+    for (t, jobs) in &bursts {
+        baseline_decisions.extend(baseline_run.on_arrivals(jobs, *t).expect("baseline burst"));
+    }
+    let baseline_schedule = baseline_run.finish().expect("baseline finish");
+
+    for retain in 1..=4usize {
+        let mut run = CllScheduler.start_for(&instance).expect("CLL run");
+        let mut log = SegmentLog::new(instance.machines);
+        let mut chain = Vec::new();
+        let mut decisions_done = 0usize;
+        for (done, (t, jobs)) in bursts.iter().enumerate() {
+            decisions_done += run.on_arrivals(jobs, *t).expect("burst").len();
+            let blob = run.snapshot_live(&mut log).expect("capture");
+            let cursor = log.cursor();
+            log.compact(cursor);
+            assert_eq!(log.record_count(), 0, "capture must compact the log");
+            chain.push((done + 1, decisions_done, cursor, blob.to_bytes()));
+            if chain.len() > retain {
+                chain.remove(0);
+            }
+        }
+        assert_eq!(chain.len(), retain.min(bursts.len()));
+        let log_wire = log.to_bytes();
+
+        for (bursts_done, decided, cursor, wire) in &chain {
+            let mut log = SegmentLog::from_bytes(&log_wire).expect("log decode");
+            log.truncate(*cursor).expect("truncate to retained cursor");
+            let blob = StateBlob::from_bytes(wire).expect("blob decode");
+            let mut resumed = <CllScheduler as OnlineAlgorithm>::Run::restore_with_log(&blob, &log)
+                .expect("restore with log");
+            let mut decisions = Vec::new();
+            for (t, jobs) in &bursts[*bursts_done..] {
+                decisions.extend(resumed.on_arrivals(jobs, *t).expect("replayed burst"));
+            }
+            let schedule = resumed.finish().expect("replayed finish");
+            // The replayed tail of the decision stream is bit-identical…
+            assert_eq!(decided + decisions.len(), baseline_decisions.len());
+            for (i, (a, b)) in baseline_decisions[*decided..]
+                .iter()
+                .zip(&decisions)
+                .enumerate()
+            {
+                assert_eq!(
+                    a.accepted, b.accepted,
+                    "retain {retain}, record at burst {bursts_done}: replayed decision {i} flipped"
+                );
+                assert_eq!(
+                    a.dual.to_bits(),
+                    b.dual.to_bits(),
+                    "retain {retain}, record at burst {bursts_done}: replayed dual {i} drifted"
+                );
+            }
+            // …and so is the final schedule.
+            assert_eq!(
+                baseline_schedule.segments, schedule.segments,
+                "retain {retain}, record at burst {bursts_done}: recovered schedule differs"
+            );
+        }
     }
 }
 
@@ -1093,7 +1359,7 @@ fn single_tenant_daemon_equals_streaming_simulation() {
     fn pin<A>(label: &str, algo: A, instance: &Instance, window: f64)
     where
         A: OnlineAlgorithm + Clone,
-        A::Run: Checkpointable + Send + 'static,
+        A::Run: LogCheckpointable + Send + 'static,
     {
         // Re-densify ids in arrival order so the daemon's feed-order id
         // assignment coincides with the instance's own ids.
